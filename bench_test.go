@@ -1,0 +1,238 @@
+// Benchmarks regenerating every table and figure of the paper plus the
+// ablation studies called out in DESIGN.md.
+//
+// Each BenchmarkTableN / BenchmarkFigN runs the corresponding experiment
+// end to end (dataset generation is cached across iterations) at the
+// quick configuration; run `cmd/fsexp -exp all` for the full-scale
+// numbers recorded in EXPERIMENTS.md. The Ablation benchmarks measure
+// the design choices: Fenwick-tree vs linear walker selection, FS vs
+// distributed FS, alias vs rejection seeding, CSR vs map adjacency, and
+// the effect of the FS dimension m on estimation error.
+package frontier_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"frontier"
+	"frontier/internal/experiments"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	cfg := experiments.QuickConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkFig1(b *testing.B)   { benchExperiment(b, "fig1") }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+
+// benchGraph builds the shared benchmark graph once.
+var benchGraphCache *frontier.Graph
+
+func benchGraph(b *testing.B) *frontier.Graph {
+	b.Helper()
+	if benchGraphCache == nil {
+		benchGraphCache = frontier.BarabasiAlbert(frontier.NewRand(99), 50000, 5)
+	}
+	return benchGraphCache
+}
+
+// BenchmarkAblationWalkerSelection compares the O(log m) Fenwick-tree
+// walker selection against the O(m) linear scan inside the FS step loop.
+func BenchmarkAblationWalkerSelection(b *testing.B) {
+	g := benchGraph(b)
+	for _, m := range []int{10, 100, 1000} {
+		for _, linear := range []bool{false, true} {
+			name := fmt.Sprintf("m=%d/fenwick", m)
+			if linear {
+				name = fmt.Sprintf("m=%d/linear", m)
+			}
+			b.Run(name, func(b *testing.B) {
+				fs := &frontier.FrontierSampler{M: m, LinearSelection: linear}
+				sess := frontier.NewSession(g, float64(b.N+m), frontier.UnitCosts(), frontier.NewRand(1))
+				b.ResetTimer()
+				if err := fs.Run(sess, func(u, v int) {}); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationDFS compares the centrally coordinated FS step loop
+// against the event-clock distributed variant at equal walker counts.
+func BenchmarkAblationDFS(b *testing.B) {
+	g := benchGraph(b)
+	const m = 100
+	// Seed both variants from the same fixed vertices: the DFS budget is
+	// continuous time, so uniform seeding (which charges budget units)
+	// would conflate the two clocks.
+	rng := frontier.NewRand(42)
+	seeds := make([]int, m)
+	for i := range seeds {
+		seeds[i] = rng.Intn(g.NumVertices())
+	}
+	seeder := frontier.FixedSeeder{Vertices: seeds}
+	b.Run("FS", func(b *testing.B) {
+		fs := &frontier.FrontierSampler{M: m, Seeder: seeder}
+		sess := frontier.NewSession(g, float64(b.N), frontier.UnitCosts(), frontier.NewRand(2))
+		b.ResetTimer()
+		if err := fs.Run(sess, func(u, v int) {}); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("DFS", func(b *testing.B) {
+		dfs := &frontier.DistributedFS{M: m, Seeder: seeder}
+		// A time window sized so roughly b.N transition events occur
+		// (each walker fires at expected rate ≈ average degree).
+		window := float64(b.N) / (float64(m) * g.AverageSymDegree())
+		sess := frontier.NewSession(g, window+1, frontier.UnitCosts(), frontier.NewRand(3))
+		b.ResetTimer()
+		if err := dfs.Run(sess, func(u, v int) {}); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkAblationAlias compares alias-method degree-proportional
+// seeding against rejection sampling (propose uniform vertex, accept
+// with probability deg/degmax).
+func BenchmarkAblationAlias(b *testing.B) {
+	g := benchGraph(b)
+	b.Run("alias", func(b *testing.B) {
+		seeder, err := frontier.NewStationarySeeder(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess := frontier.NewSession(g, 1e18, frontier.UnitCosts(), frontier.NewRand(4))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := seeder.Seed(sess, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rejection", func(b *testing.B) {
+		maxDeg, _ := g.MaxSymDegree()
+		rng := frontier.NewRand(5)
+		n := g.NumVertices()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for {
+				v := rng.Intn(n)
+				if rng.Float64()*float64(maxDeg) < float64(g.SymDegree(v)) {
+					break
+				}
+			}
+		}
+	})
+}
+
+// mapAdjacency is a map-based crawl.Source used to quantify what the CSR
+// layout buys the walk loop.
+type mapAdjacency struct {
+	n   int
+	adj map[int][]int
+}
+
+func (m *mapAdjacency) NumVertices() int         { return m.n }
+func (m *mapAdjacency) SymDegree(v int) int      { return len(m.adj[v]) }
+func (m *mapAdjacency) SymNeighbor(v, i int) int { return m.adj[v][i] }
+
+// BenchmarkAblationAdjacency compares random-walk throughput on the CSR
+// graph against a map-of-slices adjacency.
+func BenchmarkAblationAdjacency(b *testing.B) {
+	g := benchGraph(b)
+	b.Run("csr", func(b *testing.B) {
+		sess := frontier.NewSession(g, float64(b.N+1), frontier.UnitCosts(), frontier.NewRand(6))
+		rw := &frontier.SingleRW{}
+		b.ResetTimer()
+		if err := rw.Run(sess, func(u, v int) {}); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		ma := &mapAdjacency{n: g.NumVertices(), adj: make(map[int][]int, g.NumVertices())}
+		for v := 0; v < g.NumVertices(); v++ {
+			nb := make([]int, g.SymDegree(v))
+			for i := range nb {
+				nb[i] = g.SymNeighbor(v, i)
+			}
+			ma.adj[v] = nb
+		}
+		sess := frontier.NewSession(ma, float64(b.N+1), frontier.UnitCosts(), frontier.NewRand(7))
+		rw := &frontier.SingleRW{}
+		b.ResetTimer()
+		if err := rw.Run(sess, func(u, v int) {}); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkAblationDimension measures how the FS dimension m affects
+// estimation error at a fixed budget: it reports the geometric-mean
+// CNMSE of the degree CCDF (lower is better) as "cnmse" alongside the
+// usual time/op. m = 1 degrades to a single walker.
+func BenchmarkAblationDimension(b *testing.B) {
+	ds, err := frontier.DatasetByName("flickr", frontier.NewRand(8), 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := ds.Graph
+	truth := frontier.CCDF(g.DegreeDistribution(frontier.InDeg))
+	budget := float64(g.NumVertices()) / 10
+	for _, m := range []int{1, 10, 100, 400} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			rng := frontier.NewRand(9)
+			ve := frontier.NewVectorError(truth)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				est := frontier.NewDegreeDist(g, frontier.InDeg)
+				sess := frontier.NewSession(g, budget, frontier.UnitCosts(), frontier.NewRand(rng.Uint64()))
+				fs := &frontier.FrontierSampler{M: m}
+				if err := fs.Run(sess, est.Observe); err != nil {
+					b.Fatal(err)
+				}
+				ve.Add(est.CCDF())
+			}
+			var gm, count float64
+			for i := 0; i < ve.Len(); i++ {
+				v := ve.NMSEAt(i)
+				if v > 0 && !math.IsNaN(v) {
+					gm += math.Log(v)
+					count++
+				}
+			}
+			if count > 0 {
+				b.ReportMetric(math.Exp(gm/count), "cnmse")
+			}
+		})
+	}
+}

@@ -1,0 +1,221 @@
+// Command fsample runs a sampling method against a graph — local file
+// or remote graphd URL — and prints the requested estimates.
+//
+// Usage:
+//
+//	fsample -graph g.fgrb -method fs -m 100 -budget 5000 -estimate degree
+//	fsample -url http://localhost:8080 -method fs -m 64 -budget 2000 -estimate clustering
+//	fsample -graph g.fg -method single -budget 1000 -estimate assortativity
+//
+// Methods: fs, dfs, single, multiple, mhrw, rv, re.
+// Estimates: degree (CCDF of the in/out/sym distribution), clustering,
+// assortativity, avgdegree.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"frontier/internal/core"
+	"frontier/internal/crawl"
+	"frontier/internal/estimate"
+	"frontier/internal/graph"
+	"frontier/internal/graphio"
+	"frontier/internal/netgraph"
+	"frontier/internal/stats"
+	"frontier/internal/walkstats"
+	"frontier/internal/xrand"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "local graph file")
+		url       = flag.String("url", "", "remote graphd base URL")
+		methodStr = flag.String("method", "fs", "fs | dfs | single | multiple | mhrw | rv | re")
+		m         = flag.Int("m", 100, "walkers (fs, dfs, multiple)")
+		budget    = flag.Float64("budget", 1000, "sampling budget B")
+		seed      = flag.Uint64("seed", 1, "deterministic seed")
+		est       = flag.String("estimate", "degree", "degree | clustering | assortativity | avgdegree")
+		kindStr   = flag.String("kind", "sym", "degree kind: in | out | sym")
+		hitRatio  = flag.Float64("hit-ratio", 1, "random-vertex hit ratio h")
+		diagnose  = flag.Bool("diagnose", false, "report convergence diagnostics (Geweke z, ESS) on the walk")
+	)
+	flag.Parse()
+
+	var kind graph.DegreeKind
+	switch *kindStr {
+	case "in":
+		kind = graph.InDeg
+	case "out":
+		kind = graph.OutDeg
+	case "sym":
+		kind = graph.SymDeg
+	default:
+		fmt.Fprintf(os.Stderr, "fsample: unknown degree kind %q\n", *kindStr)
+		os.Exit(2)
+	}
+
+	// Resolve the graph source: estimators need the richer EdgeView; the
+	// session only needs crawl.Source.
+	var (
+		src      crawl.Source
+		view     estimate.EdgeView
+		runSafe  func(func() error) error
+		isRemote bool
+	)
+	switch {
+	case *graphPath != "":
+		g, err := graphio.LoadFile(*graphPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
+			os.Exit(1)
+		}
+		src, view = g, g
+		runSafe = func(fn func() error) error { return fn() }
+	case *url != "":
+		c, err := netgraph.Dial(*url, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
+			os.Exit(1)
+		}
+		src, view = c, c
+		runSafe = c.RunSafely
+		isRemote = true
+	default:
+		fmt.Fprintln(os.Stderr, "fsample: need -graph or -url")
+		os.Exit(2)
+	}
+
+	model := crawl.UnitCosts()
+	model.VertexHitRatio = *hitRatio
+	sess := crawl.NewSession(src, *budget, model, xrand.New(*seed))
+
+	var sampler core.EdgeSampler
+	var vsampler core.VertexSampler
+	switch *methodStr {
+	case "fs":
+		sampler = &core.FrontierSampler{M: *m}
+	case "dfs":
+		sampler = &core.DistributedFS{M: *m}
+	case "single":
+		sampler = &core.SingleRW{}
+	case "multiple":
+		sampler = &core.MultipleRW{M: *m}
+	case "mhrw":
+		vsampler = &core.MetropolisRW{}
+	case "rv":
+		vsampler = core.RandomVertexSampler{}
+	case "re":
+		sampler = core.RandomEdgeSampler{}
+	default:
+		fmt.Fprintf(os.Stderr, "fsample: unknown method %q\n", *methodStr)
+		os.Exit(2)
+	}
+
+	ignoreExhaustion := func(err error) error {
+		if errors.Is(err, crawl.ErrBudgetExhausted) {
+			return nil
+		}
+		return err
+	}
+
+	switch *est {
+	case "degree":
+		if vsampler != nil {
+			e := estimate.NewPlainDegreeDist(view, kind)
+			if err := runSafe(func() error { return ignoreExhaustion(vsampler.RunVertices(sess, e.ObserveVertex)) }); err != nil {
+				fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
+				os.Exit(1)
+			}
+			printCCDF(e.CCDF())
+		} else {
+			e := estimate.NewDegreeDist(view, kind)
+			if err := runSafe(func() error { return ignoreExhaustion(sampler.Run(sess, e.Observe)) }); err != nil {
+				fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
+				os.Exit(1)
+			}
+			printCCDF(e.CCDF())
+		}
+	case "clustering":
+		requireEdgeSampler(sampler, *methodStr)
+		e := estimate.NewClustering(view)
+		if err := runSafe(func() error { return ignoreExhaustion(sampler.Run(sess, e.Observe)) }); err != nil {
+			fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("global clustering estimate: %.5f\n", e.Estimate())
+	case "assortativity":
+		requireEdgeSampler(sampler, *methodStr)
+		e := estimate.NewAssortativity(view, false)
+		if err := runSafe(func() error { return ignoreExhaustion(sampler.Run(sess, e.Observe)) }); err != nil {
+			fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("assortativity estimate: %.5f\n", e.Estimate())
+	case "avgdegree":
+		requireEdgeSampler(sampler, *methodStr)
+		e := estimate.NewAvgDegree(view)
+		if err := runSafe(func() error { return ignoreExhaustion(sampler.Run(sess, e.Observe)) }); err != nil {
+			fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("average degree estimate: %.3f\n", e.Estimate())
+	default:
+		fmt.Fprintf(os.Stderr, "fsample: unknown estimate %q\n", *est)
+		os.Exit(2)
+	}
+
+	st := sess.Stats()
+	fmt.Printf("budget spent: %.0f (steps %d, vertex queries %d, misses %d)\n",
+		st.Spent, st.Steps, st.VertexQueries, st.VertexMisses)
+	if isRemote {
+		fmt.Printf("remote fetches: %d\n", src.(*netgraph.Client).Fetches())
+	}
+
+	if *diagnose && sampler != nil {
+		// Re-run the same walk (same seed) collecting the 1/deg series
+		// the estimators weight by, and report stationarity diagnostics.
+		dsess := crawl.NewSession(src, *budget, model, xrand.New(*seed))
+		var series []float64
+		err := runSafe(func() error {
+			return ignoreExhaustion(sampler.Run(dsess, func(u, v int) {
+				series = append(series, 1/float64(view.SymDegree(v)))
+			}))
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsample: diagnostics: %v\n", err)
+			os.Exit(1)
+		}
+		if z, err := walkstats.Geweke(series, 0.1, 0.5); err == nil {
+			verdict := "consistent with stationarity"
+			if z > 2 || z < -2 {
+				verdict = "NOT stationary (|z| > 2) — consider a larger m or budget"
+			}
+			fmt.Printf("Geweke z: %.2f (%s)\n", z, verdict)
+		} else {
+			fmt.Printf("Geweke z: %v\n", err)
+		}
+		if ess, err := walkstats.EffectiveSampleSize(series); err == nil {
+			fmt.Printf("effective sample size: %.0f of %d walk samples\n", ess, len(series))
+		}
+	}
+}
+
+func requireEdgeSampler(s core.EdgeSampler, name string) {
+	if s == nil {
+		fmt.Fprintf(os.Stderr, "fsample: method %q emits vertices; this estimate needs an edge sampler\n", name)
+		os.Exit(2)
+	}
+}
+
+func printCCDF(gamma []float64) {
+	fmt.Println("degree\tCCDF")
+	for _, i := range stats.LogBuckets(len(gamma), 4) {
+		if gamma[i] <= 0 {
+			continue
+		}
+		fmt.Printf("%d\t%.6g\n", i, gamma[i])
+	}
+}

@@ -1,0 +1,98 @@
+// Command fsexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	fsexp -exp fig5                 # one artifact
+//	fsexp -exp all                  # everything, paper order
+//	fsexp -exp table2 -runs 1000    # more Monte Carlo runs
+//	fsexp -list                     # available artifact ids
+//
+// Output is a plain-text table per artifact (the same rows/series the
+// paper plots), followed by the shape checks that encode the paper's
+// qualitative claims. Exit status is non-zero if any check fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"frontier/internal/experiments"
+	"frontier/internal/gen"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "artifact id (table1, fig1, ... , table4) or 'all'")
+		seed   = flag.Uint64("seed", 1, "deterministic seed")
+		scale  = flag.Float64("scale", 1, "dataset scale factor")
+		runs   = flag.Int("runs", 0, "Monte Carlo runs per point (0 = default 400; paper used 10000)")
+		trials = flag.Int("trials", 0, "Monte Carlo trials for table4 (0 = default 400000)")
+		list   = flag.Bool("list", false, "list artifact ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Seed:   *seed,
+		Scale:  gen.Scale(*scale),
+		Runs:   *runs,
+		Trials: *trials,
+	}
+
+	var ids []string
+	if *exp == "all" {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	failed := 0
+	for _, id := range ids {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fsexp: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsexp: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s — %s (%.1fs)\n", res.ID, res.Title, time.Since(start).Seconds())
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, strings.Join(res.Header, "\t"))
+		for _, row := range res.Rows {
+			fmt.Fprintln(tw, strings.Join(row, "\t"))
+		}
+		tw.Flush()
+		for _, n := range res.Notes {
+			fmt.Printf("  note: %s\n", n)
+		}
+		for _, c := range res.Checks {
+			mark := "PASS"
+			if !c.Pass {
+				mark = "FAIL"
+				failed++
+			}
+			fmt.Printf("  [%s] %s — %s\n", mark, c.Name, c.Detail)
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "fsexp: %d shape check(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

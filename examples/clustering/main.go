@@ -1,0 +1,67 @@
+// Clustering: estimate the global clustering coefficient and the degree
+// assortativity of a partially disconnected social graph from a 1%
+// sampling budget (Sections 4.2.2, 4.2.4, 6.1 and 6.6 of the paper),
+// comparing Frontier Sampling with a single random walker over repeated
+// runs.
+//
+//	go run ./examples/clustering
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"frontier"
+)
+
+func main() {
+	ds, err := frontier.DatasetByName("flickr", frontier.NewRand(5), 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := ds.Graph
+	trueC := g.GlobalClustering()
+	trueR := g.AssortativityUndirected()
+	fmt.Printf("%s: %d vertices, C = %.4f, r = %.4f\n\n", ds.Name, g.NumVertices(), trueC, trueR)
+
+	budget := float64(g.NumVertices()) / 100
+	const runs = 60
+	m := int(budget / 17)
+
+	methods := []struct {
+		name string
+		mk   func() frontier.EdgeSampler
+	}{
+		{fmt.Sprintf("FS(m=%d)", m), func() frontier.EdgeSampler { return &frontier.FrontierSampler{M: m} }},
+		{"SingleRW", func() frontier.EdgeSampler { return &frontier.SingleRW{} }},
+	}
+
+	rng := frontier.NewRand(6)
+	fmt.Printf("%-10s %12s %12s %12s %12s\n", "method", "E[C]", "NMSE(C)", "E[r]", "NMSE(r)")
+	for _, mth := range methods {
+		cErr := frontier.NewScalarError(trueC)
+		rErr := frontier.NewScalarError(trueR)
+		for run := 0; run < runs; run++ {
+			cEst := frontier.NewClustering(g)
+			rEst := frontier.NewAssortativity(g, false)
+			sess := frontier.NewSession(g, budget, frontier.UnitCosts(), frontier.NewRand(rng.Uint64()))
+			if err := mth.mk().Run(sess, func(u, v int) {
+				cEst.Observe(u, v)
+				rEst.Observe(u, v)
+			}); err != nil {
+				log.Fatal(err)
+			}
+			c, r := cEst.Estimate(), rEst.Estimate()
+			if c == c { // skip NaN (run never reached a deg≥2 vertex)
+				cErr.Add(c)
+			}
+			if r == r {
+				rErr.Add(r)
+			}
+		}
+		fmt.Printf("%-10s %12.4f %12.3f %12.4f %12.3f\n",
+			mth.name, cErr.MeanEstimate(), cErr.NMSE(), rErr.MeanEstimate(), rErr.NMSE())
+	}
+	fmt.Println("\nFrontier Sampling keeps both estimates near truth even though ~5%")
+	fmt.Println("of the vertices live in components a single walker can never reach.")
+}

@@ -1,0 +1,365 @@
+// Package frontier is a Go implementation of Frontier Sampling — the
+// m-dimensional random walk of Ribeiro & Towsley, "Estimating and
+// Sampling Graphs with Multidimensional Random Walks" (IMC 2010) — and
+// of the full apparatus around it: baseline samplers, asymptotically
+// unbiased estimators, synthetic graph generators, a query-cost crawl
+// model, graph I/O, an HTTP graph-crawling stack, and an experiment
+// harness that regenerates every table and figure of the paper.
+//
+// This file is the public facade: it re-exports the library's primary
+// types and constructors so that applications can depend on the single
+// import "frontier". The implementation lives in the internal packages
+// (internal/core, internal/graph, internal/estimate, ...), one per
+// subsystem; see DESIGN.md for the system inventory.
+//
+// # Quick start
+//
+//	g := frontier.BarabasiAlbert(frontier.NewRand(1), 10000, 3)
+//	sess := frontier.NewSession(g, 1000, frontier.UnitCosts(), frontier.NewRand(2))
+//	est := frontier.NewDegreeDist(g, frontier.SymDeg)
+//	fs := &frontier.FrontierSampler{M: 64}
+//	if err := fs.Run(sess, est.Observe); err != nil { ... }
+//	theta := est.Theta() // estimated degree distribution
+//
+// See examples/ for complete programs.
+package frontier
+
+import (
+	"frontier/internal/core"
+	"frontier/internal/crawl"
+	"frontier/internal/estimate"
+	"frontier/internal/gen"
+	"frontier/internal/graph"
+	"frontier/internal/graphio"
+	"frontier/internal/netgraph"
+	"frontier/internal/stats"
+	"frontier/internal/walkstats"
+	"frontier/internal/xrand"
+)
+
+// Graph substrate (internal/graph).
+type (
+	// Graph is an immutable labeled directed graph plus its symmetric
+	// counterpart; all walks run on the symmetric view.
+	Graph = graph.Graph
+	// Builder accumulates directed edges and produces a Graph.
+	Builder = graph.Builder
+	// Edge is a directed edge.
+	Edge = graph.Edge
+	// GroupLabels assigns special-interest group labels to vertices.
+	GroupLabels = graph.GroupLabels
+	// DegreeKind selects in-, out- or symmetric degree.
+	DegreeKind = graph.DegreeKind
+	// Summary is a Table-1 style dataset description.
+	Summary = graph.Summary
+)
+
+// Degree kinds.
+const (
+	InDeg  = graph.InDeg
+	OutDeg = graph.OutDeg
+	SymDeg = graph.SymDeg
+)
+
+// NewBuilder creates a builder for a graph with n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph with n vertices from a directed edge list.
+func FromEdges(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
+
+// CCDF converts a density into its complementary CDF.
+func CCDF(theta []float64) []float64 { return graph.CCDF(theta) }
+
+// Randomness (internal/xrand).
+type (
+	// Rand is the deterministic PRNG used throughout the library.
+	Rand = xrand.Rand
+)
+
+// NewRand returns a deterministic generator for the given seed.
+func NewRand(seed uint64) *Rand { return xrand.New(seed) }
+
+// Crawl model (internal/crawl).
+type (
+	// Session mediates budgeted graph access for one sampling run.
+	Session = crawl.Session
+	// CostModel prices each query type (steps, vertex and edge queries,
+	// hit ratios).
+	CostModel = crawl.CostModel
+	// Source is the minimal neighborhood-query interface walks need.
+	Source = crawl.Source
+	// CrawlStats counts what a session actually did.
+	CrawlStats = crawl.Stats
+)
+
+// ErrBudgetExhausted is returned when an operation would exceed the
+// session budget.
+var ErrBudgetExhausted = crawl.ErrBudgetExhausted
+
+// UnitCosts returns the paper's default cost accounting.
+func UnitCosts() CostModel { return crawl.UnitCosts() }
+
+// NewSession creates a session over src with the given budget and cost
+// model.
+func NewSession(src Source, budget float64, model CostModel, rng *Rand) *Session {
+	return crawl.NewSession(src, budget, model, rng)
+}
+
+// Samplers (internal/core — the paper's contribution and baselines).
+type (
+	// FrontierSampler is Algorithm 1: the m-dimensional random walk.
+	FrontierSampler = core.FrontierSampler
+	// DistributedFS is the coordination-free variant (Theorem 5.5).
+	DistributedFS = core.DistributedFS
+	// SingleRW is the classic single random walker.
+	SingleRW = core.SingleRW
+	// MultipleRW runs m independent walkers splitting the budget.
+	MultipleRW = core.MultipleRW
+	// ParallelDFS runs the distributed variant with one goroutine per
+	// walker — zero coordination, as Section 5.3 promises.
+	ParallelDFS = core.ParallelDFS
+	// BurnIn wraps a sampler and discards its first W samples.
+	BurnIn = core.BurnIn
+	// MetropolisRW samples vertices uniformly (comparator).
+	MetropolisRW = core.MetropolisRW
+	// RandomVertexSampler draws uniform vertices with replacement.
+	RandomVertexSampler = core.RandomVertexSampler
+	// RandomEdgeSampler draws uniform edges with replacement.
+	RandomEdgeSampler = core.RandomEdgeSampler
+	// EdgeSampler is the interface all edge-emitting samplers satisfy.
+	EdgeSampler = core.EdgeSampler
+	// VertexSampler is the interface vertex-emitting samplers satisfy.
+	VertexSampler = core.VertexSampler
+	// Seeder chooses initial walker positions.
+	Seeder = core.Seeder
+	// UniformSeeder seeds walkers at uniformly random vertices.
+	UniformSeeder = core.UniformSeeder
+	// StationarySeeder seeds walkers proportionally to degree.
+	StationarySeeder = core.StationarySeeder
+	// FixedSeeder seeds walkers at predetermined vertices.
+	FixedSeeder = core.FixedSeeder
+	// EdgeFunc receives sampled edges.
+	EdgeFunc = core.EdgeFunc
+	// VertexFunc receives sampled vertices.
+	VertexFunc = core.VertexFunc
+)
+
+// NewStationarySeeder precomputes degree-proportional seeding for src.
+func NewStationarySeeder(src Source) (*StationarySeeder, error) {
+	return core.NewStationarySeeder(src)
+}
+
+// Estimators (internal/estimate).
+type (
+	// DegreeDist estimates degree distributions from walk samples.
+	DegreeDist = estimate.DegreeDist
+	// PlainDegreeDist estimates them from uniform vertex samples.
+	PlainDegreeDist = estimate.PlainDegreeDist
+	// GroupDensity estimates group densities from walk samples.
+	GroupDensity = estimate.GroupDensity
+	// PlainGroupDensity estimates them from uniform vertex samples.
+	PlainGroupDensity = estimate.PlainGroupDensity
+	// EdgeDensity estimates edge-label densities (equation (5)).
+	EdgeDensity = estimate.EdgeDensity
+	// Assortativity estimates the assortative mixing coefficient.
+	Assortativity = estimate.Assortativity
+	// Clustering estimates the global clustering coefficient.
+	Clustering = estimate.Clustering
+	// ScalarDensity estimates the fraction of vertices satisfying a
+	// predicate.
+	ScalarDensity = estimate.ScalarDensity
+	// AvgDegree estimates the average degree.
+	AvgDegree = estimate.AvgDegree
+	// View provides the vertex metadata estimators need.
+	View = estimate.View
+	// EdgeView adds the edge-level queries some estimators need.
+	EdgeView = estimate.EdgeView
+)
+
+// NewDegreeDist creates a walk-sample degree-distribution estimator.
+func NewDegreeDist(view View, kind DegreeKind) *DegreeDist {
+	return estimate.NewDegreeDist(view, kind)
+}
+
+// NewPlainDegreeDist creates the vertex-sample variant.
+func NewPlainDegreeDist(view View, kind DegreeKind) *PlainDegreeDist {
+	return estimate.NewPlainDegreeDist(view, kind)
+}
+
+// NewGroupDensity creates a walk-sample group-density estimator.
+func NewGroupDensity(view View, labels *GroupLabels) *GroupDensity {
+	return estimate.NewGroupDensity(view, labels)
+}
+
+// NewPlainGroupDensity creates the vertex-sample variant.
+func NewPlainGroupDensity(labels *GroupLabels) *PlainGroupDensity {
+	return estimate.NewPlainGroupDensity(labels)
+}
+
+// NewEdgeDensity creates an edge-label density estimator.
+func NewEdgeDensity(numLabels int, label func(u, v int) (int, bool)) *EdgeDensity {
+	return estimate.NewEdgeDensity(numLabels, label)
+}
+
+// NewAssortativity creates an assortative-mixing estimator.
+func NewAssortativity(view EdgeView, directed bool) *Assortativity {
+	return estimate.NewAssortativity(view, directed)
+}
+
+// NewClustering creates a global clustering coefficient estimator.
+func NewClustering(view EdgeView) *Clustering {
+	return estimate.NewClustering(view)
+}
+
+// NewScalarDensity creates a predicate-density estimator.
+func NewScalarDensity(view View, pred func(v int) bool) *ScalarDensity {
+	return estimate.NewScalarDensity(view, pred)
+}
+
+// NewAvgDegree creates an average-degree estimator.
+func NewAvgDegree(view View) *AvgDegree {
+	return estimate.NewAvgDegree(view)
+}
+
+// Generators (internal/gen).
+type (
+	// Dataset bundles a named graph with optional group labels.
+	Dataset = gen.Dataset
+	// Scale multiplies dataset sizes.
+	Scale = gen.Scale
+)
+
+// BarabasiAlbert generates an undirected preferential-attachment graph.
+func BarabasiAlbert(r *Rand, n, m int) *Graph { return gen.BarabasiAlbert(r, n, m) }
+
+// ErdosRenyiGNM generates a uniform random graph with n vertices and m
+// edges.
+func ErdosRenyiGNM(r *Rand, n, m int, directed bool) *Graph {
+	return gen.ErdosRenyiGNM(r, n, m, directed)
+}
+
+// DirectedConfigModel generates a power-law directed graph.
+func DirectedConfigModel(r *Rand, n int, alpha float64, kmin, kmax int) *Graph {
+	return gen.DirectedConfigModel(r, n, alpha, kmin, kmax)
+}
+
+// GAB builds the paper's two-BA stress graph (Section 6.1).
+func GAB(r *Rand, nEach int) *Graph { return gen.GAB(r, nEach) }
+
+// StochasticBlockModel generates k equal communities with within/cross
+// edge probabilities pIn and pOut.
+func StochasticBlockModel(r *Rand, n, k int, pIn, pOut float64) *Graph {
+	return gen.StochasticBlockModel(r, n, k, pIn, pOut)
+}
+
+// PlantedPartition is the heterogeneous block model (per-community
+// densities).
+func PlantedPartition(r *Rand, n int, pIns []float64, pOut float64) *Graph {
+	return gen.PlantedPartition(r, n, pIns, pOut)
+}
+
+// WattsStrogatz generates a small-world ring lattice with rewiring
+// probability beta.
+func WattsStrogatz(r *Rand, n, k int, beta float64) *Graph {
+	return gen.WattsStrogatz(r, n, k, beta)
+}
+
+// DatasetByName builds one of the synthetic stand-in datasets
+// ("flickr", "lj", "youtube", "internet-rlt", "hepth", "gab").
+func DatasetByName(name string, r *Rand, scale Scale) (Dataset, error) {
+	return gen.ByName(name, r, scale)
+}
+
+// PlantGroups assigns Zipf-popularity, degree-correlated group labels.
+func PlantGroups(r *Rand, g *Graph, numGroups, totalMemberships int, s float64) *GroupLabels {
+	return gen.PlantGroups(r, g, numGroups, totalMemberships, s)
+}
+
+// Graph I/O (internal/graphio).
+
+// SaveGraph writes g to path (binary for ".fgrb", text otherwise).
+func SaveGraph(path string, g *Graph) error { return graphio.SaveFile(path, g) }
+
+// LoadGraph reads a graph from path.
+func LoadGraph(path string) (*Graph, error) { return graphio.LoadFile(path) }
+
+// Networked crawling (internal/netgraph).
+type (
+	// GraphServer serves a graph over HTTP (see cmd/graphd).
+	GraphServer = netgraph.Server
+	// GraphClient crawls a remote graph; it implements Source and
+	// EdgeView so samplers and estimators run against it unmodified.
+	GraphClient = netgraph.Client
+)
+
+// NewGraphServer creates an HTTP handler serving g (groups may be nil).
+func NewGraphServer(name string, g *Graph, groups *GroupLabels) *GraphServer {
+	return netgraph.NewServer(name, g, groups)
+}
+
+// DialGraph connects to a graph served at baseURL.
+func DialGraph(baseURL string) (*GraphClient, error) {
+	return netgraph.Dial(baseURL, nil)
+}
+
+// Error metrics (internal/stats).
+type (
+	// ScalarError accumulates Monte Carlo estimates of a scalar with
+	// known truth (bias, NMSE).
+	ScalarError = stats.ScalarError
+	// VectorError is the per-index variant (NMSE/CNMSE curves).
+	VectorError = stats.VectorError
+	// Welford is a numerically stable running mean/variance.
+	Welford = stats.Welford
+)
+
+// NewScalarError creates a scalar error accumulator.
+func NewScalarError(truth float64) *ScalarError { return stats.NewScalarError(truth) }
+
+// NewVectorError creates a vector error accumulator.
+func NewVectorError(truth []float64) *VectorError { return stats.NewVectorError(truth) }
+
+// Analytical error model of Section 3 (equations (3) and (4)).
+type (
+	// DegreeNMSEModel predicts NMSE for random edge and vertex sampling.
+	DegreeNMSEModel = estimate.DegreeNMSEModel
+)
+
+// NewDegreeNMSEModel builds the Section-3 error model for g.
+func NewDegreeNMSEModel(g *Graph, kind DegreeKind) *DegreeNMSEModel {
+	return estimate.NewDegreeNMSEModel(g, kind)
+}
+
+// PredictedEdgeNMSE is equation (3).
+func PredictedEdgeNMSE(pi, b float64) float64 { return estimate.PredictedEdgeNMSE(pi, b) }
+
+// PredictedVertexNMSE is equation (4).
+func PredictedVertexNMSE(theta, b float64) float64 { return estimate.PredictedVertexNMSE(theta, b) }
+
+// Convergence diagnostics (internal/walkstats).
+
+// GelmanRubin computes the potential scale reduction factor R̂ over
+// several chains.
+func GelmanRubin(chains [][]float64) (float64, error) { return walkstats.GelmanRubin(chains) }
+
+// Geweke computes the stationarity z-score over early/late windows.
+func Geweke(xs []float64, firstFrac, lastFrac float64) (float64, error) {
+	return walkstats.Geweke(xs, firstFrac, lastFrac)
+}
+
+// EffectiveSampleSize estimates the independent-sample worth of a
+// correlated walk series.
+func EffectiveSampleSize(xs []float64) (float64, error) {
+	return walkstats.EffectiveSampleSize(xs)
+}
+
+// Autocorrelation returns lag-k autocorrelations for k = 0..maxLag.
+func Autocorrelation(xs []float64, maxLag int) ([]float64, error) {
+	return walkstats.Autocorrelation(xs, maxLag)
+}
+
+// MeanCI returns a walk series' mean with a ~95% batch-means confidence
+// half-width — error bars without ground truth.
+func MeanCI(xs []float64) (mean, halfWidth float64, err error) {
+	return walkstats.MeanCI(xs)
+}

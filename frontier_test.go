@@ -1,0 +1,257 @@
+// Integration tests exercising the public facade end to end, the way a
+// downstream application would.
+package frontier_test
+
+import (
+	"errors"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"frontier"
+)
+
+func TestPublicAPIDegreeEstimation(t *testing.T) {
+	g := frontier.BarabasiAlbert(frontier.NewRand(1), 5000, 3)
+	sess := frontier.NewSession(g, 5000, frontier.UnitCosts(), frontier.NewRand(2))
+	est := frontier.NewDegreeDist(g, frontier.SymDeg)
+	fs := &frontier.FrontierSampler{M: 64}
+	if err := fs.Run(sess, est.Observe); err != nil {
+		t.Fatal(err)
+	}
+	truth := g.DegreeDistribution(frontier.SymDeg)
+	got := est.Theta()
+	if math.Abs(got[3]-truth[3]) > 0.05 {
+		t.Fatalf("theta[3] = %v, want ~%v", got[3], truth[3])
+	}
+}
+
+func TestPublicAPIAllSamplers(t *testing.T) {
+	g := frontier.BarabasiAlbert(frontier.NewRand(3), 1000, 3)
+	edgeSamplers := []frontier.EdgeSampler{
+		&frontier.FrontierSampler{M: 10},
+		&frontier.DistributedFS{M: 10},
+		&frontier.ParallelDFS{M: 10},
+		&frontier.SingleRW{},
+		&frontier.MultipleRW{M: 10},
+		frontier.RandomEdgeSampler{},
+		&frontier.BurnIn{Sampler: &frontier.SingleRW{}, W: 5},
+	}
+	for _, s := range edgeSamplers {
+		sess := frontier.NewSession(g, 200, frontier.UnitCosts(), frontier.NewRand(4))
+		count := 0
+		if err := s.Run(sess, func(u, v int) {
+			count++
+			if !g.HasSymEdge(u, v) {
+				t.Fatalf("%s emitted non-edge", s.Name())
+			}
+		}); err != nil && !errors.Is(err, frontier.ErrBudgetExhausted) {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if count == 0 {
+			t.Fatalf("%s emitted nothing", s.Name())
+		}
+	}
+	vertexSamplers := []frontier.VertexSampler{
+		&frontier.MetropolisRW{},
+		frontier.RandomVertexSampler{},
+	}
+	for _, s := range vertexSamplers {
+		sess := frontier.NewSession(g, 200, frontier.UnitCosts(), frontier.NewRand(5))
+		count := 0
+		if err := s.RunVertices(sess, func(v int) { count++ }); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if count == 0 {
+			t.Fatalf("%s emitted nothing", s.Name())
+		}
+	}
+}
+
+func TestPublicAPIEstimators(t *testing.T) {
+	r := frontier.NewRand(6)
+	g := frontier.BarabasiAlbert(r, 2000, 4)
+	groups := frontier.PlantGroups(r, g, 10, 400, 1.0)
+
+	clus := frontier.NewClustering(g)
+	asst := frontier.NewAssortativity(g, false)
+	grp := frontier.NewGroupDensity(g, groups)
+	avg := frontier.NewAvgDegree(g)
+	dens := frontier.NewScalarDensity(g, func(v int) bool { return g.SymDegree(v) > 8 })
+
+	sess := frontier.NewSession(g, 50000, frontier.UnitCosts(), frontier.NewRand(7))
+	fs := &frontier.FrontierSampler{M: 32}
+	if err := fs.Run(sess, func(u, v int) {
+		clus.Observe(u, v)
+		asst.Observe(u, v)
+		grp.Observe(u, v)
+		avg.Observe(u, v)
+		dens.Observe(u, v)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(clus.Estimate()-g.GlobalClustering()) > 0.03 {
+		t.Fatalf("clustering estimate %v vs %v", clus.Estimate(), g.GlobalClustering())
+	}
+	if math.Abs(asst.Estimate()-g.AssortativityUndirected()) > 0.08 {
+		t.Fatalf("assortativity estimate %v vs %v", asst.Estimate(), g.AssortativityUndirected())
+	}
+	if math.Abs(avg.Estimate()-g.AverageSymDegree())/g.AverageSymDegree() > 0.05 {
+		t.Fatalf("avg degree estimate %v vs %v", avg.Estimate(), g.AverageSymDegree())
+	}
+	if math.Abs(grp.Estimate(0)-groups.Density(0)) > 0.05 {
+		t.Fatalf("group density estimate %v vs %v", grp.Estimate(0), groups.Density(0))
+	}
+	if dens.Estimate() <= 0 {
+		t.Fatal("scalar density estimate empty")
+	}
+}
+
+func TestPublicAPIGraphIO(t *testing.T) {
+	dir := t.TempDir()
+	g := frontier.ErdosRenyiGNM(frontier.NewRand(8), 200, 600, true)
+	path := dir + "/g.fgrb"
+	if err := frontier.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := frontier.LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumDirectedEdges() != g.NumDirectedEdges() {
+		t.Fatal("round trip changed edges")
+	}
+}
+
+func TestPublicAPINetworkCrawl(t *testing.T) {
+	r := frontier.NewRand(9)
+	g := frontier.BarabasiAlbert(r, 500, 3)
+	groups := frontier.PlantGroups(r, g, 5, 100, 1.0)
+	ts := httptest.NewServer(frontier.NewGraphServer("t", g, groups))
+	defer ts.Close()
+
+	c, err := frontier.DialGraph(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := frontier.NewSession(c, 500, frontier.UnitCosts(), frontier.NewRand(10))
+	est := frontier.NewDegreeDist(c, frontier.SymDeg)
+	fs := &frontier.FrontierSampler{M: 16}
+	if err := c.RunSafely(func() error { return fs.Run(sess, est.Observe) }); err != nil {
+		t.Fatal(err)
+	}
+	if est.N() == 0 {
+		t.Fatal("no samples over HTTP")
+	}
+}
+
+func TestPublicAPIAnalyticModel(t *testing.T) {
+	g := frontier.BarabasiAlbert(frontier.NewRand(11), 2000, 3)
+	model := frontier.NewDegreeNMSEModel(g, frontier.SymDeg)
+	co := model.CrossoverDegree()
+	if co < int(model.AvgDegree()) {
+		t.Fatalf("crossover %d below average %v", co, model.AvgDegree())
+	}
+	if !(frontier.PredictedEdgeNMSE(0.5, 100) < frontier.PredictedVertexNMSE(0.01, 100)) {
+		t.Fatal("predicted ordering wrong")
+	}
+}
+
+func TestPublicAPIDiagnostics(t *testing.T) {
+	g := frontier.BarabasiAlbert(frontier.NewRand(12), 1000, 3)
+	series := func(seed uint64) []float64 {
+		sess := frontier.NewSession(g, 2001, frontier.UnitCosts(), frontier.NewRand(seed))
+		var xs []float64
+		rw := &frontier.SingleRW{}
+		if err := rw.Run(sess, func(u, v int) {
+			xs = append(xs, 1/float64(g.SymDegree(v)))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return xs
+	}
+	a, b := series(13), series(14)
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	rhat, err := frontier.GelmanRubin([][]float64{a[:n], b[:n]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rhat > 1.3 {
+		t.Fatalf("R-hat on connected graph = %v", rhat)
+	}
+	if _, err := frontier.Geweke(a, 0.1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	ess, err := frontier.EffectiveSampleSize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ess <= 0 || ess > float64(len(a)) {
+		t.Fatalf("ESS = %v out of range", ess)
+	}
+	rho, err := frontier.Autocorrelation(a, 3)
+	if err != nil || len(rho) != 4 {
+		t.Fatalf("autocorrelation: %v, %v", rho, err)
+	}
+}
+
+func TestPublicAPIGenerators(t *testing.T) {
+	r := frontier.NewRand(15)
+	cases := []struct {
+		name string
+		g    *frontier.Graph
+	}{
+		{"ba", frontier.BarabasiAlbert(r, 300, 2)},
+		{"gnm", frontier.ErdosRenyiGNM(r, 300, 900, false)},
+		{"config", frontier.DirectedConfigModel(r, 300, 1.9, 2, 30)},
+		{"gab", frontier.GAB(r, 150)},
+		{"sbm", frontier.StochasticBlockModel(r, 300, 3, 0.1, 0.01)},
+		{"pp", frontier.PlantedPartition(r, 300, []float64{0.05, 0.2}, 0.01)},
+		{"ws", frontier.WattsStrogatz(r, 300, 3, 0.1)},
+	}
+	for _, c := range cases {
+		if c.g.NumVertices() == 0 || c.g.NumDirectedEdges() == 0 {
+			t.Fatalf("%s: empty graph", c.name)
+		}
+	}
+	for _, name := range []string{"flickr", "lj", "youtube", "internet-rlt", "hepth", "gab"} {
+		ds, err := frontier.DatasetByName(name, frontier.NewRand(16), 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Graph.NumVertices() == 0 {
+			t.Fatalf("%s: empty dataset", name)
+		}
+	}
+	if _, err := frontier.DatasetByName("bogus", r, 1); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestPublicAPISummaryAndStats(t *testing.T) {
+	g := frontier.GAB(frontier.NewRand(17), 200)
+	s := g.Summarize("gab")
+	if !s.Connected || s.NumVertices != 400 {
+		t.Fatalf("summary: %+v", s)
+	}
+	se := frontier.NewScalarError(1.0)
+	se.Add(0.9)
+	se.Add(1.1)
+	if math.Abs(se.NMSE()-0.1) > 1e-12 {
+		t.Fatalf("NMSE = %v", se.NMSE())
+	}
+	ve := frontier.NewVectorError([]float64{1})
+	ve.Add([]float64{2})
+	if ve.NMSEAt(0) != 1 {
+		t.Fatal("vector error wrong")
+	}
+	var w frontier.Welford
+	w.Add(1)
+	w.Add(3)
+	if w.Mean() != 2 {
+		t.Fatal("welford wrong")
+	}
+}

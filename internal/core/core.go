@@ -1,0 +1,505 @@
+// Package core implements the paper's primary contribution — Frontier
+// Sampling, an m-dimensional random walk — together with every random
+// walk baseline the evaluation compares it against.
+//
+// All samplers run against a crawl.Session, which enforces the sampling
+// budget B and the query cost model, and emit the sequence of sampled
+// edges {(u_i, v_i)} to a callback. Estimators (internal/estimate)
+// consume that sequence per Theorem 4.1 (the strong law of large numbers
+// for stationary random walks).
+//
+// Samplers provided:
+//
+//   - FrontierSampler   — Algorithm 1 (FS): m dependent walkers; at each
+//     step walker u is selected with probability deg(u)/Σ_{v∈L} deg(v)
+//     and advanced along a uniform incident edge. Selection is O(log m)
+//     via a Fenwick tree.
+//   - DistributedFS     — Theorem 5.5: m independent walkers whose
+//     per-visit cost is Exponential(deg(v)); statistically equivalent to
+//     FS, with no coordination between walkers.
+//   - SingleRW          — one classic random walker.
+//   - MultipleRW        — m independent walkers splitting the budget.
+//   - MetropolisRW      — Metropolis–Hastings walk that samples vertices
+//     uniformly (the related-work comparator; emits vertices).
+//   - RandomVertexSampler / RandomEdgeSampler — independent uniform
+//     sampling with the paper's cost + hit-ratio accounting.
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"frontier/internal/crawl"
+	"frontier/internal/xrand"
+)
+
+// EdgeFunc receives each sampled edge in order. u is the walker's
+// position before the step and v its position after.
+type EdgeFunc func(u, v int)
+
+// VertexFunc receives each sampled vertex in order.
+type VertexFunc func(v int)
+
+// EdgeSampler is a sampling process that emits a sequence of edges until
+// the session budget is exhausted.
+type EdgeSampler interface {
+	// Name identifies the method in experiment output.
+	Name() string
+	// Run consumes the session's budget, calling emit for every sampled
+	// edge. It returns nil on normal budget exhaustion.
+	Run(sess *crawl.Session, emit EdgeFunc) error
+}
+
+// VertexSampler is a sampling process that emits vertices.
+type VertexSampler interface {
+	Name() string
+	RunVertices(sess *crawl.Session, emit VertexFunc) error
+}
+
+// Seeder chooses the initial positions of the walkers. The paper's
+// default initializes all walkers at independently, uniformly sampled
+// vertices (paying the random-vertex query cost); Section 6.3 contrasts
+// that with degree-proportional ("stationary") seeding.
+type Seeder interface {
+	Seed(sess *crawl.Session, m int) ([]int, error)
+}
+
+// UniformSeeder seeds walkers at uniformly random vertices through the
+// session's RandomVertex query (so seeding pays m·c budget units and is
+// subject to the hit ratio).
+type UniformSeeder struct{}
+
+// Seed implements Seeder.
+func (UniformSeeder) Seed(sess *crawl.Session, m int) ([]int, error) {
+	seeds := make([]int, m)
+	for i := range seeds {
+		v, err := sess.RandomVertex()
+		if err != nil {
+			return nil, fmt.Errorf("core: seeding walker %d: %w", i, err)
+		}
+		seeds[i] = v
+	}
+	return seeds, nil
+}
+
+// StationarySeeder seeds walkers proportionally to vertex degree — the
+// steady-state distribution of a random walk. The paper uses this as an
+// idealized comparison point (Section 6.3: "when MultipleRW starts in
+// steady state its errors match FS"); real systems generally cannot
+// sample this way, so no budget is charged.
+type StationarySeeder struct {
+	alias *xrand.Alias
+}
+
+// NewStationarySeeder precomputes the degree-proportional distribution
+// of src. Build it once per graph and reuse across runs.
+func NewStationarySeeder(src crawl.Source) (*StationarySeeder, error) {
+	n := src.NumVertices()
+	w := make([]float64, n)
+	for v := 0; v < n; v++ {
+		w[v] = float64(src.SymDegree(v))
+	}
+	a, err := xrand.NewAlias(w)
+	if err != nil {
+		return nil, fmt.Errorf("core: stationary seeder: %w", err)
+	}
+	return &StationarySeeder{alias: a}, nil
+}
+
+// Seed implements Seeder.
+func (s *StationarySeeder) Seed(sess *crawl.Session, m int) ([]int, error) {
+	seeds := make([]int, m)
+	for i := range seeds {
+		seeds[i] = s.alias.Sample(sess.RNG())
+	}
+	return seeds, nil
+}
+
+// FixedSeeder seeds walkers at predetermined vertices (cycled if m
+// exceeds the list). Used to compare methods from identical starting
+// conditions, as the paper does in Figures 6 and 9.
+type FixedSeeder struct {
+	Vertices []int
+}
+
+// Seed implements Seeder.
+func (f FixedSeeder) Seed(_ *crawl.Session, m int) ([]int, error) {
+	if len(f.Vertices) == 0 {
+		return nil, errors.New("core: FixedSeeder has no vertices")
+	}
+	seeds := make([]int, m)
+	for i := range seeds {
+		seeds[i] = f.Vertices[i%len(f.Vertices)]
+	}
+	return seeds, nil
+}
+
+// FrontierSampler implements Algorithm 1 of the paper: Frontier
+// Sampling, the m-dimensional random walk.
+//
+// It maintains a list L of M walker positions. Each step selects a
+// walker with probability proportional to its current degree, advances
+// it across a uniformly random incident edge, and emits that edge. By
+// Lemma 5.1 this is exactly a single random walk on the M-th Cartesian
+// power G^M, so in steady state edges are sampled uniformly
+// (Theorem 5.2) while the joint walker distribution stays close to
+// uniform (Theorem 5.4) — which is what makes FS robust to disconnected
+// and loosely connected components.
+type FrontierSampler struct {
+	// M is the dimension (number of dependent walkers). M = 1 degrades
+	// to a single random walk.
+	M int
+	// Seeder positions the walkers; nil means UniformSeeder.
+	Seeder Seeder
+	// LinearSelection switches walker selection from the O(log M)
+	// Fenwick tree to an O(M) linear scan. Exposed for the ablation
+	// bench; results are statistically identical.
+	LinearSelection bool
+}
+
+// Name implements EdgeSampler.
+func (f *FrontierSampler) Name() string { return fmt.Sprintf("FS(m=%d)", f.M) }
+
+func (f *FrontierSampler) seeder() Seeder {
+	if f.Seeder == nil {
+		return UniformSeeder{}
+	}
+	return f.Seeder
+}
+
+// Run implements EdgeSampler.
+func (f *FrontierSampler) Run(sess *crawl.Session, emit EdgeFunc) error {
+	if f.M < 1 {
+		return errors.New("core: FrontierSampler needs M >= 1")
+	}
+	walkers, err := f.seeder().Seed(sess, f.M)
+	if err != nil {
+		return err
+	}
+	src := sess.Source()
+	weights := make([]float64, f.M)
+	for i, v := range walkers {
+		weights[i] = float64(src.SymDegree(v))
+	}
+	if f.LinearSelection {
+		return f.runLinear(sess, walkers, weights, emit)
+	}
+	fen := xrand.NewFenwick(weights)
+	rng := sess.RNG()
+	for sess.CanStep() {
+		i, err := fen.Sample(rng)
+		if err != nil {
+			// All walkers on zero-degree vertices: impossible in the
+			// paper's model (every vertex has an edge) but fail safe.
+			return fmt.Errorf("core: frontier stalled: %w", err)
+		}
+		u := walkers[i]
+		v, err := sess.Step(u)
+		if err != nil {
+			if errors.Is(err, crawl.ErrBudgetExhausted) {
+				return nil
+			}
+			return err
+		}
+		emit(u, v)
+		walkers[i] = v
+		fen.Update(i, float64(src.SymDegree(v)))
+	}
+	return nil
+}
+
+// runLinear is Run's body with O(M) walker selection, for the ablation
+// benchmark.
+func (f *FrontierSampler) runLinear(sess *crawl.Session, walkers []int, weights []float64, emit EdgeFunc) error {
+	src := sess.Source()
+	rng := sess.RNG()
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	for sess.CanStep() {
+		if total <= 0 {
+			return errors.New("core: frontier stalled")
+		}
+		x := rng.Float64() * total
+		i := 0
+		for ; i < len(weights)-1; i++ {
+			if x < weights[i] {
+				break
+			}
+			x -= weights[i]
+		}
+		u := walkers[i]
+		v, err := sess.Step(u)
+		if err != nil {
+			if errors.Is(err, crawl.ErrBudgetExhausted) {
+				return nil
+			}
+			return err
+		}
+		emit(u, v)
+		walkers[i] = v
+		nw := float64(src.SymDegree(v))
+		total += nw - weights[i]
+		weights[i] = nw
+	}
+	return nil
+}
+
+// SingleRW is the classic random walk (Section 4): a single walker
+// moving to a uniformly random neighbor at every step.
+type SingleRW struct {
+	// Seeder positions the walker; nil means UniformSeeder.
+	Seeder Seeder
+}
+
+// Name implements EdgeSampler.
+func (s *SingleRW) Name() string { return "SingleRW" }
+
+// Run implements EdgeSampler.
+func (s *SingleRW) Run(sess *crawl.Session, emit EdgeFunc) error {
+	sd := s.Seeder
+	if sd == nil {
+		sd = UniformSeeder{}
+	}
+	seeds, err := sd.Seed(sess, 1)
+	if err != nil {
+		return err
+	}
+	u := seeds[0]
+	for sess.CanStep() {
+		v, err := sess.Step(u)
+		if err != nil {
+			if errors.Is(err, crawl.ErrBudgetExhausted) {
+				return nil
+			}
+			return err
+		}
+		emit(u, v)
+		u = v
+	}
+	return nil
+}
+
+// MultipleRW runs M mutually independent random walkers, each spending
+// an equal share of the remaining budget (Section 4.4). With uniform
+// seeding this is the "naive" multi-walker fix whose failure on
+// disconnected graphs motivates Frontier Sampling.
+type MultipleRW struct {
+	M int
+	// Seeder positions the walkers; nil means UniformSeeder.
+	Seeder Seeder
+}
+
+// Name implements EdgeSampler.
+func (m *MultipleRW) Name() string { return fmt.Sprintf("MultipleRW(m=%d)", m.M) }
+
+// Run implements EdgeSampler.
+func (m *MultipleRW) Run(sess *crawl.Session, emit EdgeFunc) error {
+	if m.M < 1 {
+		return errors.New("core: MultipleRW needs M >= 1")
+	}
+	sd := m.Seeder
+	if sd == nil {
+		sd = UniformSeeder{}
+	}
+	walkers, err := sd.Seed(sess, m.M)
+	if err != nil {
+		return err
+	}
+	// Each walker takes an equal share of the post-seeding step budget
+	// (the paper's ⌊B/m − c⌋ steps per walker).
+	total := int(sess.Remaining())
+	share := total / m.M
+	for _, start := range walkers {
+		u := start
+		for s := 0; s < share; s++ {
+			v, err := sess.Step(u)
+			if err != nil {
+				if errors.Is(err, crawl.ErrBudgetExhausted) {
+					return nil
+				}
+				return err
+			}
+			emit(u, v)
+			u = v
+		}
+	}
+	return nil
+}
+
+// DistributedFS implements the fully distributed Frontier Sampling
+// process of Theorem 5.5: M independent random walkers where visiting
+// vertex v costs an Exponential(deg(v)) amount of budget. By the
+// uniformization argument, the sequence of edges ordered by event time
+// is statistically identical to FS — with zero coordination between
+// walkers.
+//
+// Budget accounting: steps charge their exponential holding time via
+// Session.Charge rather than the fixed StepCost, so a budget of B here
+// corresponds to observing the continuous-time process on [0, B].
+type DistributedFS struct {
+	M int
+	// Seeder positions the walkers; nil means UniformSeeder.
+	Seeder Seeder
+}
+
+// Name implements EdgeSampler.
+func (d *DistributedFS) Name() string { return fmt.Sprintf("DFS(m=%d)", d.M) }
+
+// event is a scheduled walker transition.
+type event struct {
+	at     float64
+	walker int32
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run implements EdgeSampler. Edges are emitted in event-time order
+// across all walkers, which is the order the equivalent FS process would
+// emit them.
+func (d *DistributedFS) Run(sess *crawl.Session, emit EdgeFunc) error {
+	if d.M < 1 {
+		return errors.New("core: DistributedFS needs M >= 1")
+	}
+	sd := d.Seeder
+	if sd == nil {
+		sd = UniformSeeder{}
+	}
+	walkers, err := sd.Seed(sess, d.M)
+	if err != nil {
+		return err
+	}
+	src := sess.Source()
+	rng := sess.RNG()
+	h := make(eventHeap, 0, d.M)
+	now := 0.0
+	for i, v := range walkers {
+		deg := src.SymDegree(v)
+		if deg == 0 {
+			return errors.New("core: walker seeded on isolated vertex")
+		}
+		h = append(h, event{at: rng.Exp(float64(deg)), walker: int32(i)})
+	}
+	heap.Init(&h)
+	for len(h) > 0 {
+		ev := h[0]
+		dt := ev.at - now
+		if err := sess.Charge(dt); err != nil {
+			// Clock ran past the observation window [0, B]: normal end.
+			return nil
+		}
+		now = ev.at
+		u := walkers[ev.walker]
+		deg := src.SymDegree(u)
+		v := src.SymNeighbor(u, rng.Intn(deg))
+		emit(u, v)
+		walkers[ev.walker] = v
+		h[0] = event{at: now + rng.Exp(float64(src.SymDegree(v))), walker: ev.walker}
+		heap.Fix(&h, 0)
+	}
+	return nil
+}
+
+// MetropolisRW is the Metropolis–Hastings random walk that samples
+// vertices uniformly at random (the comparator the related work
+// favors; Sections 4 and 7 note RW-based estimators beat it in
+// practice). A proposed move to a uniform neighbor w of v is accepted
+// with probability min(1, deg(v)/deg(w)).
+type MetropolisRW struct {
+	// Seeder positions the walker; nil means UniformSeeder.
+	Seeder Seeder
+}
+
+// Name implements VertexSampler.
+func (m *MetropolisRW) Name() string { return "MetropolisRW" }
+
+// RunVertices implements VertexSampler. Each budgeted step emits the
+// walker's position after the (possibly rejected) move; rejected moves
+// still consume budget, as they still query the proposed neighbor.
+func (m *MetropolisRW) RunVertices(sess *crawl.Session, emit VertexFunc) error {
+	sd := m.Seeder
+	if sd == nil {
+		sd = UniformSeeder{}
+	}
+	seeds, err := sd.Seed(sess, 1)
+	if err != nil {
+		return err
+	}
+	src := sess.Source()
+	rng := sess.RNG()
+	v := seeds[0]
+	for sess.CanStep() {
+		w, err := sess.Step(v)
+		if err != nil {
+			if errors.Is(err, crawl.ErrBudgetExhausted) {
+				return nil
+			}
+			return err
+		}
+		dv, dw := src.SymDegree(v), src.SymDegree(w)
+		if dw <= dv || rng.Float64() < float64(dv)/float64(dw) {
+			v = w
+		}
+		emit(v)
+	}
+	return nil
+}
+
+// RandomVertexSampler emits independently, uniformly sampled vertices
+// (with replacement) until the budget is exhausted, honoring the
+// session's vertex query cost and hit ratio.
+type RandomVertexSampler struct{}
+
+// Name implements VertexSampler.
+func (RandomVertexSampler) Name() string { return "RandomVertex" }
+
+// RunVertices implements VertexSampler.
+func (RandomVertexSampler) RunVertices(sess *crawl.Session, emit VertexFunc) error {
+	for {
+		v, err := sess.RandomVertex()
+		if err != nil {
+			if errors.Is(err, crawl.ErrBudgetExhausted) {
+				return nil
+			}
+			return err
+		}
+		emit(v)
+	}
+}
+
+// RandomEdgeSampler emits independently, uniformly sampled symmetric
+// edges (with replacement) until the budget is exhausted, honoring the
+// session's edge query cost and hit ratio. The session source must be a
+// crawl.EdgeSource.
+type RandomEdgeSampler struct{}
+
+// Name implements EdgeSampler.
+func (RandomEdgeSampler) Name() string { return "RandomEdge" }
+
+// Run implements EdgeSampler.
+func (RandomEdgeSampler) Run(sess *crawl.Session, emit EdgeFunc) error {
+	for {
+		e, err := sess.RandomEdge()
+		if err != nil {
+			if errors.Is(err, crawl.ErrBudgetExhausted) {
+				return nil
+			}
+			return err
+		}
+		emit(int(e.U), int(e.V))
+	}
+}

@@ -1,0 +1,431 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"frontier/internal/crawl"
+	"frontier/internal/gen"
+	"frontier/internal/graph"
+	"frontier/internal/xrand"
+)
+
+// lollipop returns a small connected non-bipartite test graph: a
+// triangle {0,1,2} with a path 2–3–4 attached.
+func lollipop() *graph.Graph {
+	b := graph.NewBuilder(5)
+	b.AddUndirected(0, 1)
+	b.AddUndirected(1, 2)
+	b.AddUndirected(0, 2)
+	b.AddUndirected(2, 3)
+	b.AddUndirected(3, 4)
+	return b.Build()
+}
+
+func newSession(g *graph.Graph, budget float64, seed uint64) *crawl.Session {
+	return crawl.NewSession(g, budget, crawl.UnitCosts(), xrand.New(seed))
+}
+
+// vertexVisitFractions runs sampler for the given budget and returns the
+// fraction of sampled edges whose endpoint v equals each vertex.
+func vertexVisitFractions(t *testing.T, g *graph.Graph, s EdgeSampler, budget float64, seed uint64) []float64 {
+	t.Helper()
+	counts := make([]float64, g.NumVertices())
+	var total float64
+	sess := newSession(g, budget, seed)
+	if err := s.Run(sess, func(u, v int) {
+		counts[v]++
+		total++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("sampler emitted nothing")
+	}
+	for i := range counts {
+		counts[i] /= total
+	}
+	return counts
+}
+
+// checkDegreeProportional asserts visit fractions track deg(v)/vol(V).
+func checkDegreeProportional(t *testing.T, g *graph.Graph, frac []float64, tol float64) {
+	t.Helper()
+	vol := float64(g.NumSymEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		want := float64(g.SymDegree(v)) / vol
+		if math.Abs(frac[v]-want) > tol {
+			t.Fatalf("vertex %d visited %.4f of steps, want %.4f (deg %d)",
+				v, frac[v], want, g.SymDegree(v))
+		}
+	}
+}
+
+func TestSingleRWStationaryDistribution(t *testing.T) {
+	g := lollipop()
+	frac := vertexVisitFractions(t, g, &SingleRW{}, 300000, 1)
+	checkDegreeProportional(t, g, frac, 0.01)
+}
+
+func TestFrontierStationaryDistribution(t *testing.T) {
+	g := lollipop()
+	frac := vertexVisitFractions(t, g, &FrontierSampler{M: 4}, 300000, 2)
+	checkDegreeProportional(t, g, frac, 0.01)
+}
+
+func TestFrontierLinearSelectionDistribution(t *testing.T) {
+	g := lollipop()
+	frac := vertexVisitFractions(t, g, &FrontierSampler{M: 4, LinearSelection: true}, 300000, 3)
+	checkDegreeProportional(t, g, frac, 0.01)
+}
+
+func TestMultipleRWStationaryDistribution(t *testing.T) {
+	// With stationary seeding, MultipleRW visits are degree-proportional
+	// from the start.
+	g := lollipop()
+	seeder, err := NewStationarySeeder(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := vertexVisitFractions(t, g, &MultipleRW{M: 10, Seeder: seeder}, 300000, 4)
+	checkDegreeProportional(t, g, frac, 0.01)
+}
+
+func TestDistributedFSStationaryDistribution(t *testing.T) {
+	g := lollipop()
+	// DFS budget is continuous time; expected steps per unit time equal
+	// vol(V) in aggregate, so give it enough window for ~300k events.
+	counts := make([]float64, g.NumVertices())
+	var total float64
+	sess := newSession(g, 300000/float64(g.NumSymEdges()), 5)
+	if err := (&DistributedFS{M: 4}).Run(sess, func(u, v int) {
+		counts[v]++
+		total++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total < 100000 {
+		t.Fatalf("DFS produced too few events: %v", total)
+	}
+	for i := range counts {
+		counts[i] /= total
+	}
+	checkDegreeProportional(t, g, counts, 0.01)
+}
+
+func TestFrontierUniformEdgeSampling(t *testing.T) {
+	// Theorem 5.2(I): in steady state FS samples edges uniformly. Count
+	// undirected edge occurrences on a long walk.
+	g := lollipop()
+	counts := map[[2]int]float64{}
+	var total float64
+	sess := newSession(g, 400000, 6)
+	if err := (&FrontierSampler{M: 3}).Run(sess, func(u, v int) {
+		key := [2]int{u, v}
+		if u > v {
+			key = [2]int{v, u}
+		}
+		counts[key]++
+		total++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := total / float64(g.NumUndirectedEdges())
+	for e, c := range counts {
+		if math.Abs(c-want)/want > 0.03 {
+			t.Fatalf("edge %v sampled %v times, want ~%v", e, c, want)
+		}
+	}
+	if len(counts) != g.NumUndirectedEdges() {
+		t.Fatalf("sampled %d distinct edges, want %d", len(counts), g.NumUndirectedEdges())
+	}
+}
+
+func TestFrontierWalkersStayInComponents(t *testing.T) {
+	// Two disconnected triangles; walkers seeded in one component must
+	// never emit edges of the other.
+	b := graph.NewBuilder(6)
+	b.AddUndirected(0, 1)
+	b.AddUndirected(1, 2)
+	b.AddUndirected(0, 2)
+	b.AddUndirected(3, 4)
+	b.AddUndirected(4, 5)
+	b.AddUndirected(3, 5)
+	g := b.Build()
+	sess := newSession(g, 5000, 7)
+	fs := &FrontierSampler{M: 2, Seeder: FixedSeeder{Vertices: []int{0, 1}}}
+	if err := fs.Run(sess, func(u, v int) {
+		if u >= 3 || v >= 3 {
+			t.Fatalf("walker escaped its component: edge (%d,%d)", u, v)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrontierBudgetAccounting(t *testing.T) {
+	g := lollipop()
+	sess := newSession(g, 100, 8)
+	steps := 0
+	fs := &FrontierSampler{M: 10}
+	if err := fs.Run(sess, func(u, v int) { steps++ }); err != nil {
+		t.Fatal(err)
+	}
+	// Seeding 10 walkers costs 10; 90 steps remain.
+	if steps != 90 {
+		t.Fatalf("steps = %d, want 90", steps)
+	}
+	if sess.Remaining() != 0 {
+		t.Fatalf("remaining = %v", sess.Remaining())
+	}
+}
+
+func TestMultipleRWBudgetSplit(t *testing.T) {
+	g := lollipop()
+	sess := newSession(g, 103, 9)
+	steps := 0
+	m := &MultipleRW{M: 10}
+	if err := m.Run(sess, func(u, v int) { steps++ }); err != nil {
+		t.Fatal(err)
+	}
+	// Seeding costs 10, leaving 93; each walker takes ⌊93/10⌋ = 9 steps.
+	if steps != 90 {
+		t.Fatalf("steps = %d, want 90", steps)
+	}
+}
+
+func TestSingleRWEdgesAreWalk(t *testing.T) {
+	// Consecutive edges must chain: v_i == u_{i+1}, and every emitted
+	// pair must be a real edge.
+	g := lollipop()
+	sess := newSession(g, 1000, 10)
+	prev := -1
+	if err := (&SingleRW{}).Run(sess, func(u, v int) {
+		if prev >= 0 && u != prev {
+			t.Fatalf("walk broke: prev end %d, next start %d", prev, u)
+		}
+		if !g.HasSymEdge(u, v) {
+			t.Fatalf("emitted non-edge (%d,%d)", u, v)
+		}
+		prev = v
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrontierEmitsRealEdges(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(42), 300, 2)
+	sess := newSession(g, 5000, 11)
+	if err := (&FrontierSampler{M: 16}).Run(sess, func(u, v int) {
+		if !g.HasSymEdge(u, v) {
+			t.Fatalf("emitted non-edge (%d,%d)", u, v)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetropolisUniformVertexSampling(t *testing.T) {
+	// MHRW samples vertices uniformly even on a degree-skewed graph.
+	g := lollipop()
+	counts := make([]float64, g.NumVertices())
+	var total float64
+	sess := newSession(g, 400000, 12)
+	if err := (&MetropolisRW{}).RunVertices(sess, func(v int) {
+		counts[v]++
+		total++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for v := range counts {
+		frac := counts[v] / total
+		if math.Abs(frac-0.2) > 0.01 {
+			t.Fatalf("MHRW vertex %d fraction %.4f, want 0.2", v, frac)
+		}
+	}
+}
+
+func TestRandomVertexSampler(t *testing.T) {
+	g := lollipop()
+	counts := make([]float64, g.NumVertices())
+	var total float64
+	sess := newSession(g, 200000, 13)
+	if err := (RandomVertexSampler{}).RunVertices(sess, func(v int) {
+		counts[v]++
+		total++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total != 200000 {
+		t.Fatalf("samples = %v, want budget-many", total)
+	}
+	for v := range counts {
+		if math.Abs(counts[v]/total-0.2) > 0.01 {
+			t.Fatalf("vertex %d fraction %v", v, counts[v]/total)
+		}
+	}
+}
+
+func TestRandomEdgeSampler(t *testing.T) {
+	g := lollipop()
+	var total float64
+	sess := newSession(g, 10000, 14)
+	if err := (RandomEdgeSampler{}).Run(sess, func(u, v int) {
+		if !g.HasSymEdge(u, v) {
+			t.Fatalf("non-edge (%d,%d)", u, v)
+		}
+		total++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Each edge draw costs 2 → 5000 draws.
+	if total != 5000 {
+		t.Fatalf("draws = %v, want 5000", total)
+	}
+}
+
+func TestSeederErrors(t *testing.T) {
+	g := lollipop()
+	if _, err := (FixedSeeder{}).Seed(nil, 3); err == nil {
+		t.Fatal("empty FixedSeeder must error")
+	}
+	seeds, err := (FixedSeeder{Vertices: []int{4}}).Seed(nil, 3)
+	if err != nil || len(seeds) != 3 || seeds[0] != 4 || seeds[2] != 4 {
+		t.Fatalf("FixedSeeder cycling wrong: %v, %v", seeds, err)
+	}
+	// Uniform seeding with insufficient budget fails cleanly.
+	sess := newSession(g, 2, 15)
+	if _, err := (UniformSeeder{}).Seed(sess, 5); err == nil {
+		t.Fatal("seeding past budget must error")
+	}
+}
+
+func TestSamplerParamValidation(t *testing.T) {
+	g := lollipop()
+	sess := newSession(g, 10, 16)
+	if err := (&FrontierSampler{M: 0}).Run(sess, func(u, v int) {}); err == nil {
+		t.Fatal("M=0 FS must error")
+	}
+	if err := (&MultipleRW{M: 0}).Run(sess, func(u, v int) {}); err == nil {
+		t.Fatal("M=0 MultipleRW must error")
+	}
+	if err := (&DistributedFS{M: 0}).Run(sess, func(u, v int) {}); err == nil {
+		t.Fatal("M=0 DFS must error")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (&FrontierSampler{M: 7}).Name() != "FS(m=7)" {
+		t.Fatal("FS name")
+	}
+	if (&MultipleRW{M: 3}).Name() != "MultipleRW(m=3)" {
+		t.Fatal("MultipleRW name")
+	}
+	if (&SingleRW{}).Name() != "SingleRW" {
+		t.Fatal("SingleRW name")
+	}
+	if (&DistributedFS{M: 2}).Name() != "DFS(m=2)" {
+		t.Fatal("DFS name")
+	}
+	if (&MetropolisRW{}).Name() != "MetropolisRW" {
+		t.Fatal("MetropolisRW name")
+	}
+	if (RandomVertexSampler{}).Name() != "RandomVertex" || (RandomEdgeSampler{}).Name() != "RandomEdge" {
+		t.Fatal("independent sampler names")
+	}
+}
+
+func TestStationarySeederDistribution(t *testing.T) {
+	g := lollipop()
+	seeder, err := NewStationarySeeder(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := newSession(g, 1e9, 17)
+	counts := make([]float64, g.NumVertices())
+	const rounds = 30000
+	for i := 0; i < rounds; i++ {
+		seeds, err := seeder.Seed(sess, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range seeds {
+			counts[v]++
+		}
+	}
+	vol := float64(g.NumSymEdges())
+	for v := range counts {
+		want := float64(g.SymDegree(v)) / vol
+		got := counts[v] / (2 * rounds)
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("stationary seed freq of %d = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestFrontierDeterministicGivenSeed(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(100), 200, 2)
+	runOnce := func() []int {
+		var out []int
+		sess := newSession(g, 500, 99)
+		if err := (&FrontierSampler{M: 8}).Run(sess, func(u, v int) {
+			out = append(out, u, v)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams differ at %d", i)
+		}
+	}
+}
+
+// TestFSvsDFSEquivalence verifies Theorem 5.5's practical content: FS and
+// DFS produce the same stationary vertex-visit distribution (deg/vol).
+func TestFSvsDFSEquivalence(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(5), 150, 2)
+	const samples = 400000
+	fsFrac := vertexVisitFractions(t, g, &FrontierSampler{M: 8}, samples, 18)
+
+	// DFS budget is a continuous-time window. The time-stationary
+	// distribution of each continuous-time walker is uniform over
+	// vertices (Q = A − D has uniform left null vector on a symmetric
+	// graph), so a walker fires at expected rate Σd/n — the average
+	// degree. Size the window for about the same number of events as FS.
+	window := samples / (8 * g.AverageSymDegree())
+	counts := make([]float64, g.NumVertices())
+	var total float64
+	sess := newSession(g, window, 19)
+	if err := (&DistributedFS{M: 8}).Run(sess, func(u, v int) {
+		counts[v]++
+		total++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total < samples/2 {
+		t.Fatalf("DFS produced too few events: %v", total)
+	}
+	for i := range counts {
+		counts[i] /= total
+	}
+	// Both empirical distributions must be close to deg/vol in L1.
+	vol := float64(g.NumSymEdges())
+	var l1FS, l1DFS float64
+	for v := range counts {
+		want := float64(g.SymDegree(v)) / vol
+		l1FS += math.Abs(fsFrac[v] - want)
+		l1DFS += math.Abs(counts[v] - want)
+	}
+	if l1FS > 0.04 {
+		t.Fatalf("FS visit distribution off truth: L1 = %v", l1FS)
+	}
+	if l1DFS > 0.04 {
+		t.Fatalf("DFS visit distribution off truth: L1 = %v", l1DFS)
+	}
+}

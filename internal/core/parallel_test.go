@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"frontier/internal/gen"
+	"frontier/internal/graph"
+	"frontier/internal/xrand"
+)
+
+func TestParallelDFSStationaryDistribution(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(21), 200, 3)
+	// Observation window sized for ~300k events (per-walker event rate
+	// is the average degree under the uniform time-stationary law).
+	const m = 8
+	window := 300000 / (m * g.AverageSymDegree())
+	counts := make([]float64, g.NumVertices())
+	var total float64
+	sess := newSession(g, window+float64(m), 22)
+	p := &ParallelDFS{M: m}
+	if err := p.Run(sess, func(u, v int) {
+		counts[v]++
+		total++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total < 100000 {
+		t.Fatalf("too few events: %v", total)
+	}
+	vol := float64(g.NumSymEdges())
+	var l1 float64
+	for v := range counts {
+		l1 += math.Abs(counts[v]/total - float64(g.SymDegree(v))/vol)
+	}
+	if l1 > 0.05 {
+		t.Fatalf("ParallelDFS visit distribution off: L1 = %v", l1)
+	}
+}
+
+func TestParallelDFSEmitsRealEdgesSerially(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(23), 150, 2)
+	var mu sync.Mutex
+	inEmit := false
+	sess := newSession(g, 50, 24)
+	p := &ParallelDFS{M: 4}
+	if err := p.Run(sess, func(u, v int) {
+		// emit must never run concurrently with itself.
+		mu.Lock()
+		if inEmit {
+			mu.Unlock()
+			t.Error("concurrent emit")
+			return
+		}
+		inEmit = true
+		mu.Unlock()
+		if !g.HasSymEdge(u, v) {
+			t.Errorf("non-edge (%d,%d)", u, v)
+		}
+		mu.Lock()
+		inEmit = false
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelDFSValidation(t *testing.T) {
+	g := lollipop()
+	sess := newSession(g, 10, 25)
+	if err := (&ParallelDFS{M: 0}).Run(sess, func(u, v int) {}); err == nil {
+		t.Fatal("M=0 must error")
+	}
+	if (&ParallelDFS{M: 3}).Name() != "ParallelDFS(m=3)" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestParallelDFSWalkersStayInComponents(t *testing.T) {
+	// Two disconnected triangles; walkers seeded in the first component
+	// must never sample the second.
+	b := newTwoTriangles()
+	sess := newSession(b, 100, 26)
+	p := &ParallelDFS{M: 3, Seeder: FixedSeeder{Vertices: []int{0, 1, 2}}}
+	if err := p.Run(sess, func(u, v int) {
+		if u >= 3 || v >= 3 {
+			t.Errorf("walker escaped: (%d,%d)", u, v)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBurnInDiscardsPrefix(t *testing.T) {
+	g := lollipop()
+	sess := newSession(g, 100, 27)
+	var all []int
+	raw := &SingleRW{}
+	if err := raw.Run(sess, func(u, v int) { all = append(all, u, v) }); err != nil {
+		t.Fatal(err)
+	}
+	sess2 := newSession(g, 100, 27) // same seed → same walk
+	var kept []int
+	bi := &BurnIn{Sampler: &SingleRW{}, W: 10}
+	if err := bi.Run(sess2, func(u, v int) { kept = append(kept, u, v) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != len(all)-20 {
+		t.Fatalf("burn-in kept %d values, want %d", len(kept), len(all)-20)
+	}
+	for i := range kept {
+		if kept[i] != all[i+20] {
+			t.Fatalf("burn-in changed the walk at %d", i)
+		}
+	}
+}
+
+func TestBurnInValidationAndName(t *testing.T) {
+	g := lollipop()
+	sess := newSession(g, 10, 28)
+	bi := &BurnIn{Sampler: &SingleRW{}, W: -1}
+	if err := bi.Run(sess, func(u, v int) {}); err == nil {
+		t.Fatal("negative burn-in must error")
+	}
+	bi2 := &BurnIn{Sampler: &SingleRW{}, W: 5}
+	if bi2.Name() != "SingleRW+burnin(5)" {
+		t.Fatalf("name = %q", bi2.Name())
+	}
+}
+
+func newTwoTriangles() *graph.Graph {
+	b := graph.NewBuilder(6)
+	b.AddUndirected(0, 1)
+	b.AddUndirected(1, 2)
+	b.AddUndirected(0, 2)
+	b.AddUndirected(3, 4)
+	b.AddUndirected(4, 5)
+	b.AddUndirected(3, 5)
+	return b.Build()
+}

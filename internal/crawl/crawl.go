@@ -1,0 +1,196 @@
+// Package crawl models how a sampler is allowed to touch a graph and
+// what each touch costs.
+//
+// The paper's accounting (Sections 2, 4.4 and 6.4): walking to a neighbor
+// costs one budget unit; drawing a uniformly random vertex costs c units
+// per query and only succeeds with a hit ratio h (sparse user-id spaces —
+// e.g. MySpace's ~10% — make h < 1); random edge queries cost two units
+// because an edge reveals two vertices. A sampler receives a Session wired
+// to a Source and spends from a fixed budget B until it runs dry.
+//
+// Source is intentionally tiny so that both the in-memory graph.Graph and
+// the HTTP client in internal/netgraph satisfy it.
+package crawl
+
+import (
+	"errors"
+
+	"frontier/internal/graph"
+	"frontier/internal/xrand"
+)
+
+// Source is the neighborhood-query interface every random walk needs:
+// the symmetric degree of a vertex and indexed access to its neighbors.
+// *graph.Graph implements Source.
+type Source interface {
+	// NumVertices returns |V|. Random vertex queries draw from [0, |V|).
+	NumVertices() int
+	// SymDegree returns deg(v) in the symmetric counterpart G.
+	SymDegree(v int) int
+	// SymNeighbor returns the i-th symmetric neighbor, 0 ≤ i < SymDegree(v).
+	SymNeighbor(v, i int) int
+}
+
+// EdgeSource additionally exposes uniform random access to the symmetric
+// edge list, which idealized random edge sampling requires (the paper
+// notes this is rarely available in practice — Section 1).
+type EdgeSource interface {
+	Source
+	NumSymEdges() int
+	SymEdgeAt(i int) graph.Edge
+}
+
+// Statically ensure the in-memory graph satisfies the interfaces.
+var (
+	_ Source     = (*graph.Graph)(nil)
+	_ EdgeSource = (*graph.Graph)(nil)
+)
+
+// CostModel prices each query type.
+type CostModel struct {
+	// StepCost is the cost of one random-walk step (querying a known
+	// vertex's neighborhood). The paper sets it to 1.
+	StepCost float64
+	// VertexQueryCost is c: the cost of one random-vertex query attempt.
+	VertexQueryCost float64
+	// VertexHitRatio is h ∈ (0,1]: the probability a random-vertex query
+	// attempt returns a valid vertex (1 = dense id space).
+	VertexHitRatio float64
+	// EdgeQueryCost is the cost of one random-edge query attempt
+	// (paper: 2, an edge samples two vertices).
+	EdgeQueryCost float64
+	// EdgeHitRatio is the probability a random-edge query attempt hits.
+	EdgeHitRatio float64
+}
+
+// UnitCosts returns the paper's default accounting: every query costs 1
+// except edge queries (2); all hit ratios are 1.
+func UnitCosts() CostModel {
+	return CostModel{
+		StepCost:        1,
+		VertexQueryCost: 1,
+		VertexHitRatio:  1,
+		EdgeQueryCost:   2,
+		EdgeHitRatio:    1,
+	}
+}
+
+// ErrBudgetExhausted is returned when an operation would exceed the
+// session's budget.
+var ErrBudgetExhausted = errors.New("crawl: budget exhausted")
+
+// Stats counts what a session actually did.
+type Stats struct {
+	Steps         int64 // neighbor-walk steps taken
+	VertexQueries int64 // random-vertex attempts (hits + misses)
+	VertexMisses  int64 // attempts that hit an invalid id
+	EdgeQueries   int64 // random-edge attempts
+	EdgeMisses    int64
+	Spent         float64
+}
+
+// Session mediates all graph access for one sampling run: it enforces the
+// budget, applies the cost model, and records stats. Not safe for
+// concurrent use.
+type Session struct {
+	src    Source
+	model  CostModel
+	budget float64
+	rng    *xrand.Rand
+	stats  Stats
+}
+
+// NewSession creates a session over src with the given budget and cost
+// model, drawing randomness from rng.
+func NewSession(src Source, budget float64, model CostModel, rng *xrand.Rand) *Session {
+	return &Session{src: src, model: model, budget: budget, rng: rng}
+}
+
+// Source returns the underlying source (for label lookups that the
+// paper's model treats as free once a vertex has been visited).
+func (s *Session) Source() Source { return s.src }
+
+// RNG returns the session's random stream.
+func (s *Session) RNG() *xrand.Rand { return s.rng }
+
+// Stats returns a copy of the session's counters.
+func (s *Session) Stats() Stats { return s.stats }
+
+// Remaining returns the unspent budget.
+func (s *Session) Remaining() float64 { return s.budget - s.stats.Spent }
+
+// CanStep reports whether at least one walk step fits in the budget.
+func (s *Session) CanStep() bool { return s.Remaining() >= s.model.StepCost }
+
+func (s *Session) spend(c float64) error {
+	if s.stats.Spent+c > s.budget {
+		return ErrBudgetExhausted
+	}
+	s.stats.Spent += c
+	return nil
+}
+
+// Charge spends an arbitrary non-negative cost from the budget without
+// performing a query. Distributed Frontier Sampling uses it for its
+// exponentially distributed per-visit costs (Theorem 5.5), where the
+// price of a step is random rather than fixed.
+func (s *Session) Charge(c float64) error {
+	if c < 0 {
+		return errors.New("crawl: negative charge")
+	}
+	return s.spend(c)
+}
+
+// Step performs one random-walk step from v: it pays StepCost and
+// returns a uniformly random symmetric neighbor of v. Vertices with no
+// neighbors cannot occur in the paper's model (every vertex has an edge);
+// they return an error here.
+func (s *Session) Step(v int) (int, error) {
+	if err := s.spend(s.model.StepCost); err != nil {
+		return 0, err
+	}
+	d := s.src.SymDegree(v)
+	if d == 0 {
+		return 0, errors.New("crawl: vertex has no neighbors")
+	}
+	s.stats.Steps++
+	return s.src.SymNeighbor(v, s.rng.Intn(d)), nil
+}
+
+// RandomVertex draws a uniformly random vertex, paying VertexQueryCost
+// per attempt until an attempt hits (probability VertexHitRatio). It
+// fails with ErrBudgetExhausted if the budget runs out mid-draw.
+func (s *Session) RandomVertex() (int, error) {
+	for {
+		if err := s.spend(s.model.VertexQueryCost); err != nil {
+			return 0, err
+		}
+		s.stats.VertexQueries++
+		if s.model.VertexHitRatio < 1 && !s.rng.Bernoulli(s.model.VertexHitRatio) {
+			s.stats.VertexMisses++
+			continue
+		}
+		return s.rng.Intn(s.src.NumVertices()), nil
+	}
+}
+
+// RandomEdge draws a uniformly random ordered symmetric edge, paying
+// EdgeQueryCost per attempt until a hit. The source must be an
+// EdgeSource.
+func (s *Session) RandomEdge() (graph.Edge, error) {
+	es, ok := s.src.(EdgeSource)
+	if !ok {
+		return graph.Edge{}, errors.New("crawl: source does not support edge queries")
+	}
+	for {
+		if err := s.spend(s.model.EdgeQueryCost); err != nil {
+			return graph.Edge{}, err
+		}
+		s.stats.EdgeQueries++
+		if s.model.EdgeHitRatio < 1 && !s.rng.Bernoulli(s.model.EdgeHitRatio) {
+			s.stats.EdgeMisses++
+			continue
+		}
+		return es.SymEdgeAt(s.rng.Intn(es.NumSymEdges())), nil
+	}
+}

@@ -1,0 +1,175 @@
+package crawl
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"frontier/internal/graph"
+	"frontier/internal/xrand"
+)
+
+func path4() *graph.Graph {
+	b := graph.NewBuilder(4)
+	b.AddUndirected(0, 1)
+	b.AddUndirected(1, 2)
+	b.AddUndirected(2, 3)
+	return b.Build()
+}
+
+func TestStepSpendsBudget(t *testing.T) {
+	g := path4()
+	s := NewSession(g, 3, UnitCosts(), xrand.New(1))
+	for i := 0; i < 3; i++ {
+		if !s.CanStep() {
+			t.Fatalf("budget should allow step %d", i)
+		}
+		if _, err := s.Step(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.CanStep() {
+		t.Fatal("budget should be exhausted")
+	}
+	if _, err := s.Step(1); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("expected ErrBudgetExhausted, got %v", err)
+	}
+	st := s.Stats()
+	if st.Steps != 3 || st.Spent != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStepUniformNeighbor(t *testing.T) {
+	g := path4()
+	s := NewSession(g, 1e9, UnitCosts(), xrand.New(2))
+	counts := map[int]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		u, err := s.Step(1) // neighbors {0, 2}
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[u]++
+	}
+	if counts[0]+counts[2] != n {
+		t.Fatalf("unexpected neighbors: %v", counts)
+	}
+	if math.Abs(float64(counts[0])/n-0.5) > 0.01 {
+		t.Fatalf("neighbor choice not uniform: %v", counts)
+	}
+}
+
+func TestRandomVertexUniform(t *testing.T) {
+	g := path4()
+	s := NewSession(g, 1e9, UnitCosts(), xrand.New(3))
+	counts := make([]int, 4)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v, err := s.RandomVertex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if math.Abs(float64(c)/n-0.25) > 0.01 {
+			t.Fatalf("vertex %d frequency %v not uniform", v, float64(c)/n)
+		}
+	}
+}
+
+func TestRandomVertexHitRatioCost(t *testing.T) {
+	g := path4()
+	model := UnitCosts()
+	model.VertexHitRatio = 0.1
+	s := NewSession(g, 1e9, model, xrand.New(4))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if _, err := s.RandomVertex(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	// Expected attempts per hit = 1/h = 10.
+	perHit := float64(st.VertexQueries) / n
+	if math.Abs(perHit-10) > 0.5 {
+		t.Fatalf("attempts per hit = %v, want ~10", perHit)
+	}
+	if st.VertexMisses != st.VertexQueries-n {
+		t.Fatalf("miss accounting wrong: %+v", st)
+	}
+	if math.Abs(st.Spent-float64(st.VertexQueries)) > 1e-9 {
+		t.Fatalf("spend mismatch: %+v", st)
+	}
+}
+
+func TestRandomVertexBudgetExhaustion(t *testing.T) {
+	g := path4()
+	model := UnitCosts()
+	model.VertexHitRatio = 0.0001 // nearly always misses
+	s := NewSession(g, 50, model, xrand.New(5))
+	_, err := s.RandomVertex()
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("expected exhaustion, got %v", err)
+	}
+	if s.Remaining() < 0 {
+		t.Fatal("overspent budget")
+	}
+}
+
+func TestRandomEdgeUniform(t *testing.T) {
+	g := path4() // 6 ordered symmetric edges
+	s := NewSession(g, 1e9, UnitCosts(), xrand.New(6))
+	counts := map[graph.Edge]int{}
+	const n = 60000
+	for i := 0; i < n; i++ {
+		e, err := s.RandomEdge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[e]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("saw %d distinct edges, want 6", len(counts))
+	}
+	for e, c := range counts {
+		if math.Abs(float64(c)/n-1.0/6) > 0.01 {
+			t.Fatalf("edge %v frequency %v", e, float64(c)/n)
+		}
+	}
+	// Each draw costs 2.
+	st := s.Stats()
+	if math.Abs(st.Spent-2*n) > 1e-6 {
+		t.Fatalf("edge cost accounting: %+v", st)
+	}
+}
+
+func TestRandomEdgeNeedsEdgeSource(t *testing.T) {
+	s := NewSession(noEdges{path4()}, 10, UnitCosts(), xrand.New(7))
+	if _, err := s.RandomEdge(); err == nil {
+		t.Fatal("expected error for non-EdgeSource")
+	}
+}
+
+// noEdges hides the EdgeSource methods of a graph.
+type noEdges struct{ g *graph.Graph }
+
+func (n noEdges) NumVertices() int         { return n.g.NumVertices() }
+func (n noEdges) SymDegree(v int) int      { return n.g.SymDegree(v) }
+func (n noEdges) SymNeighbor(v, i int) int { return n.g.SymNeighbor(v, i) }
+
+func TestSessionAccessors(t *testing.T) {
+	g := path4()
+	r := xrand.New(8)
+	s := NewSession(g, 5, UnitCosts(), r)
+	if s.Source() != Source(g) {
+		t.Fatal("Source accessor wrong")
+	}
+	if s.RNG() != r {
+		t.Fatal("RNG accessor wrong")
+	}
+	if s.Remaining() != 5 {
+		t.Fatal("Remaining wrong")
+	}
+}

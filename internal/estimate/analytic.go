@@ -1,0 +1,100 @@
+package estimate
+
+import (
+	"math"
+
+	"frontier/internal/graph"
+)
+
+// This file implements the closed-form error model of Section 3 of the
+// paper, which contrasts independent vertex and edge sampling on the
+// degree-distribution estimation problem:
+//
+//	NMSE_edge(i)   = sqrt((1/π_i − 1)/B),  π_i = i·θ_i / d̄   (eq. 3)
+//	NMSE_vertex(i) = sqrt((1/θ_i − 1)/B)                      (eq. 4)
+//
+// Since π_i/θ_i = i/d̄, edge sampling wins exactly for degrees above the
+// average — the analytical claim Figure 12 verifies empirically.
+
+// PredictedEdgeNMSE returns equation (3): the NMSE of estimating θ_i
+// from B uniformly random edge samples, where pi = i·θ_i/d̄ is the
+// probability an edge sample carries label i. NaN if pi ≤ 0 or B ≤ 0.
+func PredictedEdgeNMSE(pi, b float64) float64 {
+	if pi <= 0 || b <= 0 {
+		return math.NaN()
+	}
+	return math.Sqrt((1/pi - 1) / b)
+}
+
+// PredictedVertexNMSE returns equation (4): the NMSE of estimating θ_i
+// from B uniformly random vertex samples. NaN if theta ≤ 0 or B ≤ 0.
+func PredictedVertexNMSE(theta, b float64) float64 {
+	if theta <= 0 || b <= 0 {
+		return math.NaN()
+	}
+	return math.Sqrt((1/theta - 1) / b)
+}
+
+// DegreeNMSEModel evaluates equations (3) and (4) across a whole degree
+// distribution.
+type DegreeNMSEModel struct {
+	theta  []float64
+	avgDeg float64
+}
+
+// NewDegreeNMSEModel builds the model for a graph's kind-degree
+// distribution.
+func NewDegreeNMSEModel(g *graph.Graph, kind graph.DegreeKind) *DegreeNMSEModel {
+	theta := g.DegreeDistribution(kind)
+	var avg float64
+	for i, t := range theta {
+		avg += float64(i) * t
+	}
+	return &DegreeNMSEModel{theta: theta, avgDeg: avg}
+}
+
+// AvgDegree returns d̄, the mean of the modeled distribution.
+func (m *DegreeNMSEModel) AvgDegree() float64 { return m.avgDeg }
+
+// Len returns the number of degree labels (max degree + 1).
+func (m *DegreeNMSEModel) Len() int { return len(m.theta) }
+
+// Theta returns θ_i.
+func (m *DegreeNMSEModel) Theta(i int) float64 {
+	if i < 0 || i >= len(m.theta) {
+		return 0
+	}
+	return m.theta[i]
+}
+
+// EdgeSampleProb returns π_i = i·θ_i/d̄, the probability that a uniform
+// edge sample's endpoint has degree i.
+func (m *DegreeNMSEModel) EdgeSampleProb(i int) float64 {
+	if m.avgDeg <= 0 {
+		return math.NaN()
+	}
+	return float64(i) * m.Theta(i) / m.avgDeg
+}
+
+// EdgeNMSE returns equation (3) for degree i with budget b.
+func (m *DegreeNMSEModel) EdgeNMSE(i int, b float64) float64 {
+	return PredictedEdgeNMSE(m.EdgeSampleProb(i), b)
+}
+
+// VertexNMSE returns equation (4) for degree i with budget b.
+func (m *DegreeNMSEModel) VertexNMSE(i int, b float64) float64 {
+	return PredictedVertexNMSE(m.Theta(i), b)
+}
+
+// CrossoverDegree returns the smallest degree at which edge sampling is
+// predicted to beat vertex sampling — the first i with i > d̄ and
+// θ_i > 0 (Section 3: π_i > θ_i iff i > d̄). Returns -1 when the
+// distribution has no mass above the average.
+func (m *DegreeNMSEModel) CrossoverDegree() int {
+	for i := int(m.avgDeg) + 1; i < len(m.theta); i++ {
+		if m.theta[i] > 0 {
+			return i
+		}
+	}
+	return -1
+}

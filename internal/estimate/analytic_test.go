@@ -1,0 +1,133 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"frontier/internal/core"
+	"frontier/internal/crawl"
+	"frontier/internal/gen"
+	"frontier/internal/graph"
+	"frontier/internal/stats"
+	"frontier/internal/xrand"
+)
+
+func TestPredictedNMSEFormulas(t *testing.T) {
+	// 1/pi − 1 = 3 with B = 3 → NMSE = 1.
+	if got := PredictedEdgeNMSE(0.25, 3); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("PredictedEdgeNMSE = %v", got)
+	}
+	if got := PredictedVertexNMSE(0.25, 3); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("PredictedVertexNMSE = %v", got)
+	}
+	for _, bad := range []float64{0, -1} {
+		if !math.IsNaN(PredictedEdgeNMSE(bad, 10)) || !math.IsNaN(PredictedVertexNMSE(bad, 10)) {
+			t.Fatal("non-positive probability must give NaN")
+		}
+		if !math.IsNaN(PredictedEdgeNMSE(0.5, bad)) {
+			t.Fatal("non-positive budget must give NaN")
+		}
+	}
+}
+
+func TestDegreeNMSEModelBasics(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(1), 2000, 3)
+	m := NewDegreeNMSEModel(g, graph.SymDeg)
+	if math.Abs(m.AvgDegree()-g.AverageSymDegree()) > 1e-9 {
+		t.Fatalf("model avg degree %v != graph %v", m.AvgDegree(), g.AverageSymDegree())
+	}
+	// π must sum to 1 (it is a probability distribution over edge-sample
+	// labels).
+	var sum float64
+	for i := 0; i < m.Len(); i++ {
+		sum += m.EdgeSampleProb(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("edge sample probabilities sum to %v", sum)
+	}
+	// π_i/θ_i = i/d̄ (the paper's key identity).
+	for i := 3; i < m.Len(); i += 7 {
+		if m.Theta(i) == 0 {
+			continue
+		}
+		ratio := m.EdgeSampleProb(i) / m.Theta(i)
+		if math.Abs(ratio-float64(i)/m.AvgDegree()) > 1e-9 {
+			t.Fatalf("pi/theta ratio at %d = %v, want %v", i, ratio, float64(i)/m.AvgDegree())
+		}
+	}
+	co := m.CrossoverDegree()
+	if co <= int(m.AvgDegree()) {
+		t.Fatalf("crossover %d not above average %v", co, m.AvgDegree())
+	}
+	// Above the crossover, edge sampling must be predicted more accurate.
+	if !(m.EdgeNMSE(co, 100) < m.VertexNMSE(co, 100)) {
+		t.Fatal("edge sampling not predicted better above crossover")
+	}
+	// Below the average (where θ has mass), vertex sampling must win.
+	for i := 3; i < int(m.AvgDegree()); i++ {
+		if m.Theta(i) > 0 && !(m.VertexNMSE(i, 100) < m.EdgeNMSE(i, 100)) {
+			t.Fatalf("vertex sampling not predicted better at %d", i)
+		}
+	}
+}
+
+func TestDegreeNMSEModelOutOfRange(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(2), 200, 2)
+	m := NewDegreeNMSEModel(g, graph.SymDeg)
+	if m.Theta(-1) != 0 || m.Theta(1<<20) != 0 {
+		t.Fatal("out-of-range Theta must be 0")
+	}
+	if !math.IsNaN(m.EdgeNMSE(1<<20, 100)) {
+		t.Fatal("out-of-range EdgeNMSE must be NaN")
+	}
+}
+
+// TestModelMatchesMonteCarlo is the reproduction of Section 3's claim:
+// the measured NMSE of random vertex and random edge sampling matches
+// equations (3) and (4).
+func TestModelMatchesMonteCarlo(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(3), 3000, 3)
+	model := NewDegreeNMSEModel(g, graph.SymDeg)
+	const budget = 300
+	const runs = 3000
+
+	// Random vertex sampling, plain estimator.
+	rvErr := stats.NewVectorError(g.DegreeDistribution(graph.SymDeg))
+	rng := xrand.New(4)
+	for r := 0; r < runs; r++ {
+		est := NewPlainDegreeDist(g, graph.SymDeg)
+		sess := crawl.NewSession(g, budget, crawl.UnitCosts(), rng.Split())
+		if err := (core.RandomVertexSampler{}).RunVertices(sess, est.ObserveVertex); err != nil {
+			t.Fatal(err)
+		}
+		rvErr.Add(est.Theta())
+	}
+	// Random edge sampling, walk estimator. Edge queries cost 2, so use
+	// a doubled session budget to draw exactly `budget` edges, matching
+	// the B in equation (3).
+	reErr := stats.NewVectorError(g.DegreeDistribution(graph.SymDeg))
+	for r := 0; r < runs; r++ {
+		est := NewDegreeDist(g, graph.SymDeg)
+		sess := crawl.NewSession(g, 2*budget, crawl.UnitCosts(), rng.Split())
+		if err := (core.RandomEdgeSampler{}).Run(sess, est.Observe); err != nil {
+			t.Fatal(err)
+		}
+		reErr.Add(est.Theta())
+	}
+
+	// Compare at a few degrees with decent mass. The plain RV estimator
+	// matches eq. (4) almost exactly; the RE estimator is a ratio
+	// estimator (eq. 7), so allow a wider band.
+	for _, i := range []int{3, 4, 5, 6, 8} {
+		wantRV := model.VertexNMSE(i, budget)
+		gotRV := rvErr.NMSEAt(i)
+		if math.Abs(gotRV-wantRV)/wantRV > 0.15 {
+			t.Fatalf("RV NMSE at %d: got %v, predicted %v", i, gotRV, wantRV)
+		}
+		wantRE := model.EdgeNMSE(i, budget)
+		gotRE := reErr.NMSEAt(i)
+		if math.Abs(gotRE-wantRE)/wantRE > 0.35 {
+			t.Fatalf("RE NMSE at %d: got %v, predicted %v", i, gotRE, wantRE)
+		}
+	}
+}

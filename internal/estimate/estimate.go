@@ -1,0 +1,509 @@
+// Package estimate implements the paper's asymptotically unbiased
+// estimators of graph characteristics from sampled edges and vertices.
+//
+// The random-walk estimators all follow the recipe of Section 4.2: write
+// the characteristic as a sum over edges, then replace the edge set with
+// the sequence of edges sampled by a stationary random walk; Theorem 4.1
+// (the strong law of large numbers) gives almost-sure convergence.
+// Because stationary walks sample vertices proportionally to degree, the
+// vertex-level estimators re-weight each observation by 1/deg(v)
+// (equation (7)).
+//
+// Estimators are streaming: feed them edges via Observe (or vertices via
+// ObserveVertex for the independence-sampling variants) and read the
+// estimate at any time — the experiment harness uses that to plot
+// estimate-vs-steps sample paths (Figures 6 and 9). All estimators have a
+// Reset method so Monte Carlo loops can reuse allocations.
+package estimate
+
+import (
+	"math"
+
+	"frontier/internal/graph"
+)
+
+// View provides the vertex metadata estimators need. The paper's model
+// assumes that once a vertex is visited, its labels — including its
+// directed degrees — are known at no extra cost. *graph.Graph implements
+// View.
+type View interface {
+	SymDegree(v int) int
+	InDegree(v int) int
+	OutDegree(v int) int
+}
+
+// EdgeView extends View with the edge-level queries the assortativity
+// and clustering estimators need. *graph.Graph implements EdgeView.
+type EdgeView interface {
+	View
+	// HasDirectedEdge reports whether (u,v) ∈ Ed; the assortativity
+	// estimator only scores edges of the original directed graph.
+	HasDirectedEdge(u, v int) bool
+	// SharedNeighbors returns f(u,v), the number of common symmetric
+	// neighbors (known after querying both endpoints' adjacency).
+	SharedNeighbors(u, v int) int
+}
+
+var (
+	_ View     = (*graph.Graph)(nil)
+	_ EdgeView = (*graph.Graph)(nil)
+)
+
+// degreeOf dispatches a degree lookup by kind.
+func degreeOf(v View, kind graph.DegreeKind, vertex int) int {
+	switch kind {
+	case graph.InDeg:
+		return v.InDegree(vertex)
+	case graph.OutDeg:
+		return v.OutDegree(vertex)
+	case graph.SymDeg:
+		return v.SymDegree(vertex)
+	default:
+		panic("estimate: unknown DegreeKind")
+	}
+}
+
+// DegreeDist estimates the degree distribution θ = {θ_i} (and its CCDF)
+// from random-walk edge samples using equation (7): each sampled edge
+// contributes weight 1/deg(v_i) to the bucket of v_i's degree label,
+// normalized by S = Σ 1/deg(v_i).
+type DegreeDist struct {
+	view    View
+	kind    graph.DegreeKind
+	buckets []float64
+	s       float64
+	n       int64
+}
+
+// NewDegreeDist creates an estimator of the kind-degree distribution.
+func NewDegreeDist(view View, kind graph.DegreeKind) *DegreeDist {
+	return &DegreeDist{view: view, kind: kind}
+}
+
+// Observe consumes one sampled edge (u,v); per the paper the estimator
+// evaluates the label of the edge's second endpoint.
+func (e *DegreeDist) Observe(u, v int) {
+	d := e.view.SymDegree(v)
+	if d == 0 {
+		return // cannot occur on a walk; defensive
+	}
+	w := 1 / float64(d)
+	label := degreeOf(e.view, e.kind, v)
+	for label >= len(e.buckets) {
+		e.buckets = append(e.buckets, 0)
+	}
+	e.buckets[label] += w
+	e.s += w
+	e.n++
+}
+
+// N returns the number of observations.
+func (e *DegreeDist) N() int64 { return e.n }
+
+// Theta returns the estimated density θ̂. The slice is freshly
+// allocated; index i is the estimated fraction of vertices with degree i.
+func (e *DegreeDist) Theta() []float64 {
+	out := make([]float64, len(e.buckets))
+	if e.s == 0 {
+		return out
+	}
+	for i, b := range e.buckets {
+		out[i] = b / e.s
+	}
+	return out
+}
+
+// ThetaAt returns θ̂_i without allocating.
+func (e *DegreeDist) ThetaAt(i int) float64 {
+	if e.s == 0 || i < 0 || i >= len(e.buckets) {
+		return 0
+	}
+	return e.buckets[i] / e.s
+}
+
+// CCDF returns the estimated complementary cumulative distribution γ̂.
+func (e *DegreeDist) CCDF() []float64 { return graph.CCDF(e.Theta()) }
+
+// Reset clears the estimator for a fresh run, keeping capacity.
+func (e *DegreeDist) Reset() {
+	for i := range e.buckets {
+		e.buckets[i] = 0
+	}
+	e.buckets = e.buckets[:0]
+	e.s = 0
+	e.n = 0
+}
+
+// PlainDegreeDist estimates the degree distribution from independently,
+// uniformly sampled vertices: θ̂_i is simply the fraction of sampled
+// vertices with degree i (the "trivial" estimator of Section 6.4).
+type PlainDegreeDist struct {
+	view    View
+	kind    graph.DegreeKind
+	buckets []float64
+	n       int64
+}
+
+// NewPlainDegreeDist creates the random-vertex-sampling estimator.
+func NewPlainDegreeDist(view View, kind graph.DegreeKind) *PlainDegreeDist {
+	return &PlainDegreeDist{view: view, kind: kind}
+}
+
+// ObserveVertex consumes one uniformly sampled vertex.
+func (e *PlainDegreeDist) ObserveVertex(v int) {
+	label := degreeOf(e.view, e.kind, v)
+	for label >= len(e.buckets) {
+		e.buckets = append(e.buckets, 0)
+	}
+	e.buckets[label]++
+	e.n++
+}
+
+// N returns the number of observations.
+func (e *PlainDegreeDist) N() int64 { return e.n }
+
+// Theta returns the estimated density.
+func (e *PlainDegreeDist) Theta() []float64 {
+	out := make([]float64, len(e.buckets))
+	if e.n == 0 {
+		return out
+	}
+	for i, b := range e.buckets {
+		out[i] = b / float64(e.n)
+	}
+	return out
+}
+
+// CCDF returns the estimated complementary cumulative distribution.
+func (e *PlainDegreeDist) CCDF() []float64 { return graph.CCDF(e.Theta()) }
+
+// Reset clears the estimator, keeping capacity.
+func (e *PlainDegreeDist) Reset() {
+	e.buckets = e.buckets[:0]
+	e.n = 0
+}
+
+// GroupDensity estimates θ_l — the fraction of vertices in each group —
+// from random-walk edge samples (equation (7) with group-membership
+// labels; Section 6.5).
+type GroupDensity struct {
+	view    View
+	labels  *graph.GroupLabels
+	buckets []float64
+	s       float64
+}
+
+// NewGroupDensity creates the estimator over the given planted groups.
+func NewGroupDensity(view View, labels *graph.GroupLabels) *GroupDensity {
+	return &GroupDensity{
+		view:    view,
+		labels:  labels,
+		buckets: make([]float64, labels.NumGroups()),
+	}
+}
+
+// Observe consumes one sampled edge (u,v).
+func (e *GroupDensity) Observe(u, v int) {
+	d := e.view.SymDegree(v)
+	if d == 0 {
+		return
+	}
+	w := 1 / float64(d)
+	for _, id := range e.labels.Groups(v) {
+		e.buckets[id] += w
+	}
+	e.s += w
+}
+
+// Estimate returns θ̂_l for group l.
+func (e *GroupDensity) Estimate(l int) float64 {
+	if e.s == 0 {
+		return 0
+	}
+	return e.buckets[l] / e.s
+}
+
+// Reset clears the estimator.
+func (e *GroupDensity) Reset() {
+	for i := range e.buckets {
+		e.buckets[i] = 0
+	}
+	e.s = 0
+}
+
+// PlainGroupDensity estimates group densities from uniform vertex
+// samples: the fraction of sampled vertices in each group.
+type PlainGroupDensity struct {
+	labels  *graph.GroupLabels
+	buckets []float64
+	n       int64
+}
+
+// NewPlainGroupDensity creates the random-vertex-sampling group
+// estimator.
+func NewPlainGroupDensity(labels *graph.GroupLabels) *PlainGroupDensity {
+	return &PlainGroupDensity{
+		labels:  labels,
+		buckets: make([]float64, labels.NumGroups()),
+	}
+}
+
+// ObserveVertex consumes one uniformly sampled vertex.
+func (e *PlainGroupDensity) ObserveVertex(v int) {
+	for _, id := range e.labels.Groups(v) {
+		e.buckets[id]++
+	}
+	e.n++
+}
+
+// Estimate returns θ̂_l for group l.
+func (e *PlainGroupDensity) Estimate(l int) float64 {
+	if e.n == 0 {
+		return 0
+	}
+	return e.buckets[l] / float64(e.n)
+}
+
+// Reset clears the estimator.
+func (e *PlainGroupDensity) Reset() {
+	for i := range e.buckets {
+		e.buckets[i] = 0
+	}
+	e.n = 0
+}
+
+// EdgeDensity estimates p_l, the fraction of labeled edges carrying each
+// label (equation (5)). The label function maps a sampled edge to a
+// label id, or ok=false when the edge is unlabeled (outside E*).
+type EdgeDensity struct {
+	label   func(u, v int) (l int, ok bool)
+	buckets []float64
+	bstar   int64
+}
+
+// NewEdgeDensity creates the estimator with numLabels label ids.
+func NewEdgeDensity(numLabels int, label func(u, v int) (int, bool)) *EdgeDensity {
+	return &EdgeDensity{label: label, buckets: make([]float64, numLabels)}
+}
+
+// Observe consumes one sampled edge.
+func (e *EdgeDensity) Observe(u, v int) {
+	l, ok := e.label(u, v)
+	if !ok {
+		return
+	}
+	e.buckets[l]++
+	e.bstar++
+}
+
+// BStar returns B*, the number of labeled edges observed.
+func (e *EdgeDensity) BStar() int64 { return e.bstar }
+
+// Estimate returns p̂_l.
+func (e *EdgeDensity) Estimate(l int) float64 {
+	if e.bstar == 0 {
+		return 0
+	}
+	return e.buckets[l] / float64(e.bstar)
+}
+
+// Reset clears the estimator.
+func (e *EdgeDensity) Reset() {
+	for i := range e.buckets {
+		e.buckets[i] = 0
+	}
+	e.bstar = 0
+}
+
+// Assortativity estimates the degree assortative mixing coefficient
+// (Section 4.2.2) from sampled edges. In directed mode an edge (u,v)
+// contributes only if (u,v) ∈ Ed, with label (outdeg(u), indeg(v)); in
+// undirected mode every sampled symmetric edge contributes with label
+// (deg(u), deg(v)), which is how Section 6.1 treats the graphs. The
+// estimate is the Pearson correlation of the label pair under the
+// empirical edge distribution — exactly r̂ of the paper, computed via
+// streaming moments instead of the p̂_ij matrix.
+type Assortativity struct {
+	view     EdgeView
+	directed bool
+
+	n, si, sj, sij, sii, sjj float64
+}
+
+// NewAssortativity creates the estimator. directed selects the Ed-only
+// (out-degree, in-degree) variant.
+func NewAssortativity(view EdgeView, directed bool) *Assortativity {
+	return &Assortativity{view: view, directed: directed}
+}
+
+// Observe consumes one sampled edge.
+func (e *Assortativity) Observe(u, v int) {
+	var i, j float64
+	if e.directed {
+		if !e.view.HasDirectedEdge(u, v) {
+			return
+		}
+		i = float64(e.view.OutDegree(u))
+		j = float64(e.view.InDegree(v))
+	} else {
+		i = float64(e.view.SymDegree(u))
+		j = float64(e.view.SymDegree(v))
+	}
+	e.n++
+	e.si += i
+	e.sj += j
+	e.sij += i * j
+	e.sii += i * i
+	e.sjj += j * j
+}
+
+// BStar returns the number of labeled edges observed.
+func (e *Assortativity) BStar() int64 { return int64(e.n) }
+
+// Estimate returns r̂; NaN when no (or degenerate) observations.
+func (e *Assortativity) Estimate() float64 {
+	if e.n == 0 {
+		return math.NaN()
+	}
+	mi, mj := e.si/e.n, e.sj/e.n
+	cov := e.sij/e.n - mi*mj
+	vi := e.sii/e.n - mi*mi
+	vj := e.sjj/e.n - mj*mj
+	if vi <= 0 || vj <= 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vi*vj)
+}
+
+// Reset clears the estimator.
+func (e *Assortativity) Reset() {
+	e.n, e.si, e.sj, e.sij, e.sii, e.sjj = 0, 0, 0, 0, 0, 0
+}
+
+// Clustering estimates the global clustering coefficient C
+// (Section 4.2.4). For each sampled edge (v,u) with deg(v) ≥ 2 it
+// accumulates f(v,u) / (2·C(deg(v),2)), normalized by S = Σ 1/deg(v)
+// over the same vertices (so S → |V*|/|E|, Corollary 4.2).
+//
+// Derivation: Σ_{u~v} f(v,u) = 2Δ(v), so summing f(v,u)/(2·C(deg v,2))
+// over all edges gives Σ_v Δ(v)/C(deg v,2); by Theorem 4.1 the sample
+// average converges to that sum divided by |E|, and dividing by S yields
+// C exactly. (The paper's printed formula carries an extra 1/deg(v)
+// and omits the ½; the two discrepancies cancel only on 2-regular
+// graphs, so we implement the self-consistent version — it is exact when
+// fed every edge of E, which the tests verify.)
+type Clustering struct {
+	view EdgeView
+	sum  float64
+	s    float64
+	n    int64
+}
+
+// NewClustering creates the estimator.
+func NewClustering(view EdgeView) *Clustering {
+	return &Clustering{view: view}
+}
+
+// Observe consumes one sampled edge (u,v), treating u as the edge's
+// first coordinate (the paper's v_i).
+func (e *Clustering) Observe(u, v int) {
+	d := e.view.SymDegree(u)
+	if d < 2 {
+		// Vertices outside V* contribute neither to the numerator nor
+		// to S; including them in S would bias Ĉ toward |V|/|V*|·C.
+		return
+	}
+	pairs := float64(d) * float64(d-1) / 2
+	shared := float64(e.view.SharedNeighbors(u, v))
+	e.sum += shared / (2 * pairs)
+	e.s += 1 / float64(d)
+	e.n++
+}
+
+// Estimate returns Ĉ; NaN with no qualifying observations.
+func (e *Clustering) Estimate() float64 {
+	if e.s == 0 {
+		return math.NaN()
+	}
+	return e.sum / e.s
+}
+
+// Reset clears the estimator.
+func (e *Clustering) Reset() {
+	e.sum, e.s, e.n = 0, 0, 0
+}
+
+// ScalarDensity estimates the fraction of vertices satisfying a
+// predicate from random-walk edge samples (equation (7) with a boolean
+// label).
+type ScalarDensity struct {
+	view View
+	pred func(v int) bool
+	sum  float64
+	s    float64
+}
+
+// NewScalarDensity creates the estimator for the given predicate.
+func NewScalarDensity(view View, pred func(v int) bool) *ScalarDensity {
+	return &ScalarDensity{view: view, pred: pred}
+}
+
+// Observe consumes one sampled edge (u,v).
+func (e *ScalarDensity) Observe(u, v int) {
+	d := e.view.SymDegree(v)
+	if d == 0 {
+		return
+	}
+	w := 1 / float64(d)
+	if e.pred(v) {
+		e.sum += w
+	}
+	e.s += w
+}
+
+// Estimate returns θ̂.
+func (e *ScalarDensity) Estimate() float64 {
+	if e.s == 0 {
+		return 0
+	}
+	return e.sum / e.s
+}
+
+// Reset clears the estimator.
+func (e *ScalarDensity) Reset() { e.sum, e.s = 0, 0 }
+
+// AvgDegree estimates the average symmetric degree |E|/|V| from
+// random-walk samples as the harmonic correction 1/S̄ with
+// S̄ = (1/B) Σ 1/deg(v_i) → |V|/|E| (a direct corollary of
+// Theorem 4.1; an extension beyond the paper's four estimators).
+type AvgDegree struct {
+	view View
+	s    float64
+	n    int64
+}
+
+// NewAvgDegree creates the estimator.
+func NewAvgDegree(view View) *AvgDegree {
+	return &AvgDegree{view: view}
+}
+
+// Observe consumes one sampled edge (u,v).
+func (e *AvgDegree) Observe(u, v int) {
+	d := e.view.SymDegree(v)
+	if d == 0 {
+		return
+	}
+	e.s += 1 / float64(d)
+	e.n++
+}
+
+// Estimate returns the estimated average degree; NaN with no samples.
+func (e *AvgDegree) Estimate() float64 {
+	if e.s == 0 {
+		return math.NaN()
+	}
+	return float64(e.n) / e.s
+}
+
+// Reset clears the estimator.
+func (e *AvgDegree) Reset() { e.s, e.n = 0, 0 }

@@ -1,0 +1,386 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"frontier/internal/core"
+	"frontier/internal/crawl"
+	"frontier/internal/gen"
+	"frontier/internal/graph"
+	"frontier/internal/xrand"
+)
+
+// feedAllSymEdges feeds every ordered symmetric edge of g exactly once —
+// the infinite-sample limit of uniform edge sampling. Estimators built on
+// Theorem 4.1 must then return the exact characteristic: each vertex v
+// appears as second endpoint deg(v) times with weight 1/deg(v), i.e.
+// total weight exactly 1.
+func feedAllSymEdges(g *graph.Graph, observe func(u, v int)) {
+	g.SymEdges(func(u, v int32) { observe(int(u), int(v)) })
+}
+
+func testGraph() *graph.Graph {
+	return gen.BarabasiAlbert(xrand.New(77), 400, 3)
+}
+
+func TestDegreeDistExactOnFullEdgeSet(t *testing.T) {
+	g := testGraph()
+	e := NewDegreeDist(g, graph.SymDeg)
+	feedAllSymEdges(g, e.Observe)
+	truth := g.DegreeDistribution(graph.SymDeg)
+	got := e.Theta()
+	for i := range truth {
+		var gi float64
+		if i < len(got) {
+			gi = got[i]
+		}
+		if math.Abs(gi-truth[i]) > 1e-9 {
+			t.Fatalf("theta[%d] = %v, want %v", i, gi, truth[i])
+		}
+	}
+}
+
+func TestDegreeDistExactInOut(t *testing.T) {
+	// On a non-symmetric directed graph the in/out distributions differ;
+	// both must be recovered exactly from the full edge set.
+	r := xrand.New(3)
+	g := gen.DirectedConfigModel(r, 800, 1.9, 2, 60)
+	for _, kind := range []graph.DegreeKind{graph.InDeg, graph.OutDeg} {
+		e := NewDegreeDist(g, kind)
+		feedAllSymEdges(g, e.Observe)
+		truth := g.DegreeDistribution(kind)
+		got := e.Theta()
+		for i := range truth {
+			var gi float64
+			if i < len(got) {
+				gi = got[i]
+			}
+			if math.Abs(gi-truth[i]) > 1e-9 {
+				t.Fatalf("%v theta[%d] = %v, want %v", kind, i, gi, truth[i])
+			}
+		}
+	}
+}
+
+func TestDegreeDistConvergesOnWalk(t *testing.T) {
+	g := testGraph()
+	e := NewDegreeDist(g, graph.SymDeg)
+	sess := crawl.NewSession(g, 300000, crawl.UnitCosts(), xrand.New(4))
+	if err := (&core.FrontierSampler{M: 10}).Run(sess, e.Observe); err != nil {
+		t.Fatal(err)
+	}
+	truth := g.DegreeDistribution(graph.SymDeg)
+	got := e.Theta()
+	// θ_3 (the minimum BA degree) is the largest mass; it must be close.
+	if math.Abs(got[3]-truth[3]) > 0.02 {
+		t.Fatalf("theta[3] = %v, want %v", got[3], truth[3])
+	}
+	var l1 float64
+	for i := range truth {
+		var gi float64
+		if i < len(got) {
+			gi = got[i]
+		}
+		l1 += math.Abs(gi - truth[i])
+	}
+	if l1 > 0.1 {
+		t.Fatalf("walk estimate L1 error %v too large", l1)
+	}
+}
+
+func TestDegreeDistCCDFAndAccessors(t *testing.T) {
+	g := testGraph()
+	e := NewDegreeDist(g, graph.SymDeg)
+	feedAllSymEdges(g, e.Observe)
+	th := e.Theta()
+	cc := e.CCDF()
+	wantCC := graph.CCDF(th)
+	for i := range cc {
+		if math.Abs(cc[i]-wantCC[i]) > 1e-12 {
+			t.Fatalf("CCDF[%d] mismatch", i)
+		}
+	}
+	if e.ThetaAt(3) != th[3] {
+		t.Fatal("ThetaAt mismatch")
+	}
+	if e.ThetaAt(-1) != 0 || e.ThetaAt(1<<20) != 0 {
+		t.Fatal("ThetaAt out of range must be 0")
+	}
+	if e.N() != int64(g.NumSymEdges()) {
+		t.Fatalf("N = %d", e.N())
+	}
+	e.Reset()
+	if e.N() != 0 || len(e.Theta()) != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestPlainDegreeDistExact(t *testing.T) {
+	g := testGraph()
+	e := NewPlainDegreeDist(g, graph.SymDeg)
+	for v := 0; v < g.NumVertices(); v++ {
+		e.ObserveVertex(v)
+	}
+	truth := g.DegreeDistribution(graph.SymDeg)
+	got := e.Theta()
+	for i := range truth {
+		var gi float64
+		if i < len(got) {
+			gi = got[i]
+		}
+		if math.Abs(gi-truth[i]) > 1e-12 {
+			t.Fatalf("plain theta[%d] = %v, want %v", i, gi, truth[i])
+		}
+	}
+	if len(e.CCDF()) != len(got) {
+		t.Fatal("CCDF length")
+	}
+	e.Reset()
+	if e.N() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestGroupDensityExact(t *testing.T) {
+	r := xrand.New(5)
+	g := testGraph()
+	gl := gen.PlantGroups(r, g, 20, 200, 1.0)
+	e := NewGroupDensity(g, gl)
+	feedAllSymEdges(g, e.Observe)
+	for l := 0; l < gl.NumGroups(); l++ {
+		if math.Abs(e.Estimate(l)-gl.Density(l)) > 1e-9 {
+			t.Fatalf("group %d: %v, want %v", l, e.Estimate(l), gl.Density(l))
+		}
+	}
+	e.Reset()
+	if e.Estimate(0) != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestPlainGroupDensityExact(t *testing.T) {
+	r := xrand.New(6)
+	g := testGraph()
+	gl := gen.PlantGroups(r, g, 10, 150, 1.0)
+	e := NewPlainGroupDensity(gl)
+	for v := 0; v < g.NumVertices(); v++ {
+		e.ObserveVertex(v)
+	}
+	for l := 0; l < gl.NumGroups(); l++ {
+		if math.Abs(e.Estimate(l)-gl.Density(l)) > 1e-12 {
+			t.Fatalf("group %d: %v, want %v", l, e.Estimate(l), gl.Density(l))
+		}
+	}
+	e.Reset()
+	if e.Estimate(0) != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestEdgeDensityExact(t *testing.T) {
+	g := testGraph()
+	// Label: 1 if both endpoints have degree > 5, else 0; every sym edge
+	// labeled.
+	label := func(u, v int) (int, bool) {
+		if g.SymDegree(u) > 5 && g.SymDegree(v) > 5 {
+			return 1, true
+		}
+		return 0, true
+	}
+	e := NewEdgeDensity(2, label)
+	feedAllSymEdges(g, e.Observe)
+	// Ground truth by direct count.
+	var hot, total float64
+	g.SymEdges(func(u, v int32) {
+		total++
+		if l, _ := label(int(u), int(v)); l == 1 {
+			hot++
+		}
+	})
+	if math.Abs(e.Estimate(1)-hot/total) > 1e-12 {
+		t.Fatalf("edge density = %v, want %v", e.Estimate(1), hot/total)
+	}
+	if e.BStar() != int64(total) {
+		t.Fatalf("BStar = %d", e.BStar())
+	}
+}
+
+func TestEdgeDensitySkipsUnlabeled(t *testing.T) {
+	calls := 0
+	e := NewEdgeDensity(1, func(u, v int) (int, bool) {
+		calls++
+		return 0, false
+	})
+	e.Observe(1, 2)
+	if e.BStar() != 0 || e.Estimate(0) != 0 {
+		t.Fatal("unlabeled edges must be skipped")
+	}
+	if calls != 1 {
+		t.Fatal("label func not called")
+	}
+}
+
+func TestAssortativityExactDirected(t *testing.T) {
+	r := xrand.New(7)
+	g := gen.DirectedConfigModel(r, 600, 1.9, 2, 50)
+	e := NewAssortativity(g, true)
+	// Feed all directed edges (the E* subset); the estimator must match
+	// the exact coefficient.
+	g.DirectedEdges(func(u, v int32) { e.Observe(int(u), int(v)) })
+	want := g.Assortativity()
+	if math.Abs(e.Estimate()-want) > 1e-9 {
+		t.Fatalf("r̂ = %v, want %v", e.Estimate(), want)
+	}
+}
+
+func TestAssortativityExactUndirected(t *testing.T) {
+	g := testGraph()
+	e := NewAssortativity(g, false)
+	feedAllSymEdges(g, e.Observe)
+	want := g.AssortativityUndirected()
+	if math.Abs(e.Estimate()-want) > 1e-9 {
+		t.Fatalf("r̂ = %v, want %v", e.Estimate(), want)
+	}
+}
+
+func TestAssortativityDirectedSkipsReverseEdges(t *testing.T) {
+	// One directed edge 0→1: observing (1,0) must not count.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	e := NewAssortativity(g, true)
+	e.Observe(1, 0) // reverse of a real edge
+	if e.BStar() != 0 {
+		t.Fatal("reverse edge counted")
+	}
+	e.Observe(0, 1)
+	if e.BStar() != 1 {
+		t.Fatal("real edge not counted")
+	}
+}
+
+func TestAssortativityDegenerate(t *testing.T) {
+	g := testGraph()
+	e := NewAssortativity(g, false)
+	if !math.IsNaN(e.Estimate()) {
+		t.Fatal("empty estimator must be NaN")
+	}
+	e.Observe(0, 1)
+	// Single observation: zero variance → NaN.
+	if !math.IsNaN(e.Estimate()) {
+		t.Fatal("degenerate estimator must be NaN")
+	}
+	e.Reset()
+	if e.BStar() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestClusteringExact(t *testing.T) {
+	g := testGraph()
+	e := NewClustering(g)
+	feedAllSymEdges(g, e.Observe)
+	want := g.GlobalClustering()
+	if math.Abs(e.Estimate()-want) > 1e-9 {
+		t.Fatalf("Ĉ = %v, want %v", e.Estimate(), want)
+	}
+}
+
+func TestClusteringExactWithDegreeOneVertices(t *testing.T) {
+	// Triangle with pendant: V* excludes the pendant; the estimator must
+	// still be exact because it skips deg<2 sources.
+	b := graph.NewBuilder(4)
+	b.AddUndirected(0, 1)
+	b.AddUndirected(1, 2)
+	b.AddUndirected(0, 2)
+	b.AddUndirected(0, 3)
+	g := b.Build()
+	e := NewClustering(g)
+	feedAllSymEdges(g, e.Observe)
+	want := g.GlobalClustering()
+	if math.Abs(e.Estimate()-want) > 1e-9 {
+		t.Fatalf("Ĉ = %v, want %v", e.Estimate(), want)
+	}
+}
+
+func TestClusteringConvergesOnWalk(t *testing.T) {
+	g := testGraph()
+	e := NewClustering(g)
+	sess := crawl.NewSession(g, 200000, crawl.UnitCosts(), xrand.New(8))
+	if err := (&core.FrontierSampler{M: 10}).Run(sess, e.Observe); err != nil {
+		t.Fatal(err)
+	}
+	want := g.GlobalClustering()
+	if math.Abs(e.Estimate()-want) > 0.02 {
+		t.Fatalf("walk Ĉ = %v, want ~%v", e.Estimate(), want)
+	}
+	e.Reset()
+	if !math.IsNaN(e.Estimate()) {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestScalarDensityExact(t *testing.T) {
+	g := testGraph()
+	pred := func(v int) bool { return g.SymDegree(v) >= 10 }
+	e := NewScalarDensity(g, pred)
+	feedAllSymEdges(g, e.Observe)
+	var want float64
+	for v := 0; v < g.NumVertices(); v++ {
+		if pred(v) {
+			want++
+		}
+	}
+	want /= float64(g.NumVertices())
+	if math.Abs(e.Estimate()-want) > 1e-9 {
+		t.Fatalf("θ̂ = %v, want %v", e.Estimate(), want)
+	}
+	e.Reset()
+	if e.Estimate() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestAvgDegreeExact(t *testing.T) {
+	g := testGraph()
+	e := NewAvgDegree(g)
+	feedAllSymEdges(g, e.Observe)
+	want := g.AverageSymDegree()
+	if math.Abs(e.Estimate()-want) > 1e-9 {
+		t.Fatalf("avg degree = %v, want %v", e.Estimate(), want)
+	}
+	e.Reset()
+	if !math.IsNaN(e.Estimate()) {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestAvgDegreeConvergesOnWalk(t *testing.T) {
+	g := testGraph()
+	e := NewAvgDegree(g)
+	sess := crawl.NewSession(g, 200000, crawl.UnitCosts(), xrand.New(9))
+	if err := (&core.SingleRW{}).Run(sess, e.Observe); err != nil {
+		t.Fatal(err)
+	}
+	want := g.AverageSymDegree()
+	if math.Abs(e.Estimate()-want)/want > 0.05 {
+		t.Fatalf("walk avg degree = %v, want ~%v", e.Estimate(), want)
+	}
+}
+
+func TestAssortativityConvergesOnWalk(t *testing.T) {
+	// The GAB-style stress case from the paper, shrunk: FS must recover
+	// the undirected assortativity of a connected BA graph.
+	g := testGraph()
+	e := NewAssortativity(g, false)
+	sess := crawl.NewSession(g, 300000, crawl.UnitCosts(), xrand.New(10))
+	if err := (&core.FrontierSampler{M: 50}).Run(sess, e.Observe); err != nil {
+		t.Fatal(err)
+	}
+	want := g.AssortativityUndirected()
+	if math.Abs(e.Estimate()-want) > 0.05 {
+		t.Fatalf("walk r̂ = %v, want ~%v", e.Estimate(), want)
+	}
+}

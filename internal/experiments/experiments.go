@@ -1,0 +1,468 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 6 and Appendix B) on the synthetic stand-in
+// datasets.
+//
+// Each experiment is registered under the paper's artifact id ("table1",
+// "fig5", ...) and produces a Result: the same rows/series the paper
+// reports, plus a set of named shape checks encoding the paper's
+// qualitative claims (who wins, by roughly what factor, where the
+// crossovers fall). EXPERIMENTS.md records paper-vs-measured for each.
+//
+// Budgets follow the paper (B = |V|/100 or |V|/10 per artifact, random
+// vertex cost c = 1). Because the stand-ins are ~20–40× smaller than the
+// original snapshots, walker counts m scale with the budget so that the
+// steps-per-walker ratio matches the paper's (see WalkersFor).
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"frontier/internal/core"
+	"frontier/internal/crawl"
+	"frontier/internal/estimate"
+	"frontier/internal/gen"
+	"frontier/internal/graph"
+	"frontier/internal/stats"
+	"frontier/internal/xrand"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed makes the whole experiment deterministic.
+	Seed uint64
+	// Scale multiplies dataset sizes (1 = DESIGN.md defaults).
+	Scale gen.Scale
+	// Runs is the number of Monte Carlo runs per point (paper: 10,000
+	// for curves, 100 for Table 2).
+	Runs int
+	// Trials is the Monte Carlo trial count for Table 4's FS transient
+	// probabilities.
+	Trials int
+	// Workers bounds the Monte Carlo parallelism (0 = GOMAXPROCS).
+	// Results are independent of the worker count: every run draws its
+	// randomness from a seed derived only from Seed and the run index.
+	Workers int
+}
+
+// DefaultConfig returns the configuration the CLI uses when no flags are
+// given: laptop-sized datasets, enough runs to resolve the paper's gaps.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Scale: 1, Runs: 400, Trials: 400000}
+}
+
+// QuickConfig returns a miniature configuration for benchmarks and smoke
+// tests.
+func QuickConfig() Config {
+	return Config{Seed: 1, Scale: 0.05, Runs: 40, Trials: 4000}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Scale <= 0 {
+		c.Scale = d.Scale
+	}
+	if c.Runs <= 0 {
+		c.Runs = d.Runs
+	}
+	if c.Trials <= 0 {
+		c.Trials = d.Trials
+	}
+	return c
+}
+
+// Check is one named shape criterion from the paper with its outcome.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Result is an experiment's output: a table of rows plus shape checks.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Checks []Check
+	Notes  []string
+}
+
+// AddCheck records a shape check.
+func (r *Result) AddCheck(name string, pass bool, detail string) {
+	r.Checks = append(r.Checks, Check{Name: name, Pass: pass, Detail: detail})
+}
+
+// Passed reports whether all checks passed.
+func (r *Result) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Experiment regenerates one of the paper's artifacts.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) (*Result, error)
+}
+
+var registry = []Experiment{
+	{"table1", "Table 1: dataset summaries", runTable1},
+	{"fig1", "Figure 1: Flickr in-degree CNMSE, SingleRW vs MultipleRW(10), B=V/10", runFig1},
+	{"fig3", "Figure 3: Flickr in-degree CCDF", runFig3},
+	{"fig4", "Figure 4: LCC-of-Flickr in-degree CNMSE, FS vs baselines, B=V/100", runFig4},
+	{"fig5", "Figure 5: Flickr in-degree CNMSE, FS vs baselines, B=V/100", runFig5},
+	{"fig6", "Figure 6: Flickr sample paths of theta_1 vs steps", runFig6},
+	{"fig7", "Figure 7: LiveJournal out-degree CCDF", runFig7},
+	{"fig8", "Figure 8: LiveJournal out-degree CNMSE, FS vs baselines", runFig8},
+	{"fig9", "Figure 9: GAB sample paths of theta_10 vs steps", runFig9},
+	{"fig10", "Figure 10: GAB degree CNMSE, FS vs baselines", runFig10},
+	{"fig11", "Figure 11: Flickr in-degree CNMSE with stationary-start baselines", runFig11},
+	{"fig12", "Figure 12: Flickr in-degree NMSE, random edge vs FS vs random vertex", runFig12},
+	{"fig13", "Figure 13: LiveJournal in-degree CNMSE under sparse id spaces", runFig13},
+	{"fig14", "Figure 14: NMSE of the 200 most popular group densities", runFig14},
+	{"table2", "Table 2: assortativity bias and NMSE", runTable2},
+	{"table3", "Table 3: global clustering estimates", runTable3},
+	{"table4", "Table 4: transient vs stationary edge sampling probability", runTable4},
+	{"ext-mhrw", "Extension: RW vs Metropolis-Hastings RW", runExtMHRW},
+	{"ext-burnin", "Extension: burn-in remedy vs FS", runExtBurnIn},
+	{"ext-dimension", "Extension: FS dimension sweep", runExtDimension},
+	{"ext-communities", "Extension: SBM community-coupling sweep", runExtCommunities},
+}
+
+// All returns every registered experiment in paper order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists the registered artifact ids in paper order.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// --- dataset cache -------------------------------------------------------
+
+type dsKey struct {
+	name  string
+	scale gen.Scale
+	seed  uint64
+}
+
+var (
+	dsMu    sync.Mutex
+	dsCache = map[dsKey]gen.Dataset{}
+)
+
+// dataset builds (or retrieves) a named dataset deterministically from
+// the config. The generator stream is independent of the sampler streams.
+func dataset(name string, cfg Config) (gen.Dataset, error) {
+	key := dsKey{name, cfg.Scale, cfg.Seed}
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	if ds, ok := dsCache[key]; ok {
+		return ds, nil
+	}
+	r := xrand.New(cfg.Seed ^ 0xD5A7A5E1)
+	ds, err := gen.ByName(name, r, cfg.Scale)
+	if err != nil {
+		return gen.Dataset{}, err
+	}
+	dsCache[key] = ds
+	return ds, nil
+}
+
+// ResetDatasetCache clears the dataset cache (tests use it to bound
+// memory).
+func ResetDatasetCache() {
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	dsCache = map[dsKey]gen.Dataset{}
+}
+
+// --- shared helpers ------------------------------------------------------
+
+// WalkersFor scales the paper's walker count m to our budget. The paper
+// pairs m = 1000 with B = |V|/100 ≈ 17,152 on Flickr — about 16 walk
+// steps per walker after seeding. Keeping that ratio, m ≈ B/17.
+func WalkersFor(budget float64, paperM int) int {
+	const paperStepsPerWalker = 17.0
+	m := int(budget / paperStepsPerWalker)
+	if m > paperM {
+		m = paperM
+	}
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+// method couples a display name with a sampler factory. Factories are
+// invoked once per Monte Carlo run.
+type method struct {
+	name string
+	mk   func() core.EdgeSampler
+}
+
+func fsMethod(m int) method {
+	return method{fmt.Sprintf("FS(m=%d)", m), func() core.EdgeSampler { return &core.FrontierSampler{M: m} }}
+}
+
+func singleMethod() method {
+	return method{"SingleRW", func() core.EdgeSampler { return &core.SingleRW{} }}
+}
+
+func multipleMethod(m int) method {
+	return method{fmt.Sprintf("MultipleRW(m=%d)", m), func() core.EdgeSampler { return &core.MultipleRW{M: m} }}
+}
+
+// runSeed derives the deterministic RNG seed of one Monte Carlo run.
+// It depends only on the base seed, a per-call-site salt and the run
+// index, so results do not change with the worker count.
+func runSeed(base, salt uint64, run int) uint64 {
+	x := base ^ salt ^ (0x9E3779B97F4A7C15 * uint64(run+1))
+	x ^= x >> 29
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 32
+	return x
+}
+
+// parallelRuns executes runs Monte Carlo iterations across workers.
+// Each run's do receives its own deterministic RNG and returns an
+// estimate vector, which collect consumes under a lock (collectors must
+// be order-independent, e.g. error accumulators). The first error
+// cancels remaining work.
+func parallelRuns(runs, workers int, seed, salt uint64,
+	do func(rng *xrand.Rand) ([]float64, error), collect func([]float64)) error {
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > runs {
+		workers = runs
+	}
+	if workers <= 1 {
+		for run := 0; run < runs; run++ {
+			v, err := do(xrand.New(runSeed(seed, salt, run)))
+			if err != nil {
+				return err
+			}
+			collect(v)
+		}
+		return nil
+	}
+	var (
+		next    int64 = -1
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		failed  atomic.Bool
+		someErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				run := int(atomic.AddInt64(&next, 1))
+				if run >= runs || failed.Load() {
+					return
+				}
+				v, err := do(xrand.New(runSeed(seed, salt, run)))
+				mu.Lock()
+				if err != nil {
+					if someErr == nil {
+						someErr = err
+					}
+					failed.Store(true)
+					mu.Unlock()
+					return
+				}
+				collect(v)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return someErr
+}
+
+// runSampler executes one sampling run, treating budget exhaustion
+// during seeding as a legitimate empty run (a tiny budget may not even
+// cover the m random-vertex queries; the paper's estimator then simply
+// has nothing to work with).
+func runSampler(s core.EdgeSampler, sess *crawl.Session, emit core.EdgeFunc) error {
+	err := s.Run(sess, emit)
+	if err != nil && errors.Is(err, crawl.ErrBudgetExhausted) {
+		return nil
+	}
+	return err
+}
+
+// mcParams carries the shared Monte Carlo knobs into the error helpers.
+type mcParams struct {
+	runs    int
+	workers int
+	seed    uint64
+	salt    uint64
+}
+
+func (c Config) mc(salt uint64) mcParams {
+	return mcParams{runs: c.Runs, workers: c.Workers, seed: c.Seed, salt: salt}
+}
+
+// ccdfError runs the method runs times on g and returns the per-degree
+// CNMSE accumulator of the kind-degree CCDF estimate.
+func ccdfError(g *graph.Graph, kind graph.DegreeKind, mth method, budget float64,
+	model crawl.CostModel, p mcParams) (*stats.VectorError, error) {
+
+	truth := graph.CCDF(g.DegreeDistribution(kind))
+	ve := stats.NewVectorError(truth)
+	err := parallelRuns(p.runs, p.workers, p.seed, p.salt^hashName(mth.name),
+		func(rng *xrand.Rand) ([]float64, error) {
+			est := estimate.NewDegreeDist(g, kind)
+			sess := crawl.NewSession(g, budget, model, rng)
+			if err := runSampler(mth.mk(), sess, est.Observe); err != nil {
+				return nil, fmt.Errorf("%s: %w", mth.name, err)
+			}
+			return est.CCDF(), nil
+		}, ve.Add)
+	if err != nil {
+		return nil, err
+	}
+	return ve, nil
+}
+
+// densityError is ccdfError for the raw density θ (Figure 12 uses NMSE
+// of the density, not the CCDF).
+func densityError(g *graph.Graph, kind graph.DegreeKind, mth method, budget float64,
+	model crawl.CostModel, p mcParams) (*stats.VectorError, error) {
+
+	truth := g.DegreeDistribution(kind)
+	ve := stats.NewVectorError(truth)
+	err := parallelRuns(p.runs, p.workers, p.seed, p.salt^hashName(mth.name),
+		func(rng *xrand.Rand) ([]float64, error) {
+			est := estimate.NewDegreeDist(g, kind)
+			sess := crawl.NewSession(g, budget, model, rng)
+			if err := runSampler(mth.mk(), sess, est.Observe); err != nil {
+				return nil, fmt.Errorf("%s: %w", mth.name, err)
+			}
+			return est.Theta(), nil
+		}, ve.Add)
+	if err != nil {
+		return nil, err
+	}
+	return ve, nil
+}
+
+// vertexDensityError runs a vertex sampler (random vertex sampling) and
+// scores the plain degree-density estimator.
+func vertexDensityError(g *graph.Graph, kind graph.DegreeKind, budget float64,
+	model crawl.CostModel, p mcParams, ccdf bool) (*stats.VectorError, error) {
+
+	var truth []float64
+	if ccdf {
+		truth = graph.CCDF(g.DegreeDistribution(kind))
+	} else {
+		truth = g.DegreeDistribution(kind)
+	}
+	ve := stats.NewVectorError(truth)
+	err := parallelRuns(p.runs, p.workers, p.seed, p.salt^hashName("RandomVertex"),
+		func(rng *xrand.Rand) ([]float64, error) {
+			est := estimate.NewPlainDegreeDist(g, kind)
+			sess := crawl.NewSession(g, budget, model, rng)
+			if err := (core.RandomVertexSampler{}).RunVertices(sess, est.ObserveVertex); err != nil &&
+				!errors.Is(err, crawl.ErrBudgetExhausted) {
+				return nil, fmt.Errorf("RandomVertex: %w", err)
+			}
+			if ccdf {
+				return est.CCDF(), nil
+			}
+			return est.Theta(), nil
+		}, ve.Add)
+	if err != nil {
+		return nil, err
+	}
+	return ve, nil
+}
+
+// hashName folds a method name into a salt so different methods in the
+// same experiment draw independent randomness.
+func hashName(name string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// curveTable formats per-degree error curves into result rows thinned to
+// log-spaced degree buckets, and returns the geometric-mean summary per
+// method.
+func curveTable(res *Result, degreeCol string, curves map[string]*stats.VectorError, order []string) map[string]float64 {
+	res.Header = append([]string{degreeCol}, order...)
+	minLen := math.MaxInt32
+	for _, ve := range curves {
+		if ve.Len() < minLen {
+			minLen = ve.Len()
+		}
+	}
+	if minLen == math.MaxInt32 {
+		minLen = 0
+	}
+	for _, i := range stats.LogBuckets(minLen, 4) {
+		row := []string{fmt.Sprintf("%d", i)}
+		keep := false
+		for _, name := range order {
+			v := curves[name].NMSEAt(i)
+			if math.IsNaN(v) {
+				row = append(row, "-")
+				continue
+			}
+			keep = true
+			row = append(row, fmt.Sprintf("%.4f", v))
+		}
+		if keep {
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	gms := make(map[string]float64, len(order))
+	for _, name := range order {
+		gm, _ := stats.GeometricMeanOfValid(curves[name].NMSE())
+		gms[name] = gm
+		res.Notes = append(res.Notes, fmt.Sprintf("%s: geometric-mean error %.4f", name, gm))
+	}
+	return gms
+}
+
+// sortedCopy returns xs sorted ascending.
+func sortedCopy(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	sort.Float64s(out)
+	return out
+}

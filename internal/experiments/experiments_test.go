@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"frontier/internal/gen"
+	"frontier/internal/stats"
+	"frontier/internal/xrand"
+)
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 21 {
+		t.Fatalf("expected 21 experiments (Tables 1-4, Figures 1,3-14, 4 extensions), got %d", len(ids))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+		e, ok := ByID(id)
+		if !ok || e.ID != id || e.Run == nil || e.Title == "" {
+			t.Fatalf("broken registration for %q", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID accepted unknown id")
+	}
+	if len(All()) != len(ids) {
+		t.Fatal("All() length mismatch")
+	}
+}
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	cfg := QuickConfig()
+	for _, e := range All() {
+		res, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if res.ID != e.ID {
+			t.Fatalf("%s: result id %q", e.ID, res.ID)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("%s: no rows", e.ID)
+		}
+		if len(res.Header) == 0 {
+			t.Fatalf("%s: no header", e.ID)
+		}
+		for _, row := range res.Rows {
+			if len(row) != len(res.Header) {
+				t.Fatalf("%s: row width %d != header width %d", e.ID, len(row), len(res.Header))
+			}
+		}
+		if len(res.Checks) == 0 {
+			t.Fatalf("%s: no shape checks", e.ID)
+		}
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	cfg := QuickConfig()
+	e, _ := ByID("fig5")
+	a, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatal("row counts differ across identical runs")
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatalf("row %d col %d differs: %q vs %q", i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestWorkerCountDoesNotChangeResults(t *testing.T) {
+	// Per-run seeds derive from the run index, so 1 worker and 4 workers
+	// must produce byte-identical output.
+	base := QuickConfig()
+	for _, id := range []string{"fig5", "table2"} {
+		e, _ := ByID(id)
+		one := base
+		one.Workers = 1
+		four := base
+		four.Workers = 4
+		a, err := e.Run(one)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.Run(four)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Rows {
+			for j := range a.Rows[i] {
+				if a.Rows[i][j] != b.Rows[i][j] {
+					t.Fatalf("%s: workers changed row %d col %d: %q vs %q",
+						id, i, j, a.Rows[i][j], b.Rows[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var cfg Config
+	got := cfg.withDefaults()
+	if got.Runs <= 0 || got.Scale <= 0 || got.Trials <= 0 {
+		t.Fatalf("withDefaults left zero fields: %+v", got)
+	}
+}
+
+func TestWalkersFor(t *testing.T) {
+	if m := WalkersFor(17000, 1000); m != 1000 {
+		t.Fatalf("paper-scale budget should give paper m, got %d", m)
+	}
+	if m := WalkersFor(400, 1000); m != 23 {
+		t.Fatalf("scaled m = %d, want 23", m)
+	}
+	if m := WalkersFor(10, 1000); m != 2 {
+		t.Fatalf("floor m = %d, want 2", m)
+	}
+}
+
+func TestDatasetCache(t *testing.T) {
+	cfg := QuickConfig()
+	a, err := dataset("flickr", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dataset("flickr", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph != b.Graph {
+		t.Fatal("dataset cache miss for identical config")
+	}
+	ResetDatasetCache()
+	c, err := dataset("flickr", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph == c.Graph {
+		t.Fatal("cache not cleared")
+	}
+}
+
+func TestExactEdgeDeviationStationaryLimit(t *testing.T) {
+	// On a small non-bipartite connected graph, many steps → the walk is
+	// stationary → deviation ≈ 0.
+	g := gen.BarabasiAlbert(xrand.New(3), 60, 3)
+	dev := exactEdgeDeviation(g, 400)
+	if dev > 0.01 {
+		t.Fatalf("stationary deviation = %v, want ~0", dev)
+	}
+	// One step from a uniform start: p(u,v) = 1/(n·deg(u)); the deficit
+	// at the max-degree vertex is 1 − |E|/(n·degmax).
+	devOne := exactEdgeDeviation(g, 1)
+	maxDeg, _ := g.MaxSymDegree()
+	want := 1 - float64(g.NumSymEdges())/(float64(g.NumVertices())*float64(maxDeg))
+	if math.Abs(devOne-want) > 1e-9 {
+		t.Fatalf("one-step deviation = %v, want %v", devOne, want)
+	}
+}
+
+func TestExactEdgeDeviationMonotoneToZero(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(5), 80, 2)
+	short := exactEdgeDeviation(g, 2)
+	long := exactEdgeDeviation(g, 300)
+	if long >= short {
+		t.Fatalf("deviation did not shrink: %v -> %v", short, long)
+	}
+}
+
+func TestFSEdgeDeviationNearStationary(t *testing.T) {
+	// FS from a uniform start on a connected graph should already be
+	// close to uniform edge sampling (the point of Theorem 5.4).
+	g := gen.BarabasiAlbert(xrand.New(7), 100, 3)
+	dev := fsEdgeDeviation(g, 10, 50, 60000, 2, xrand.New(8))
+	if dev > 0.35 {
+		t.Fatalf("FS deviation = %v, want small", dev)
+	}
+	// And it should be far below a 2-step single walker's deviation.
+	srw := exactEdgeDeviation(g, 2)
+	if dev >= srw {
+		t.Fatalf("FS deviation %v not below 2-step SRW %v", dev, srw)
+	}
+}
+
+func TestMedianRatio(t *testing.T) {
+	// Truths with zero entries yield NaN NMSEs; medianRatio must skip
+	// them and return NaN when nothing valid remains.
+	a := stats.NewVectorError([]float64{0, 1, 2})
+	b := stats.NewVectorError([]float64{0, 1, 2})
+	if !math.IsNaN(medianRatio(a, b, 0, 3)) {
+		t.Fatal("medianRatio with no recorded estimates should be NaN")
+	}
+	// a estimates double the truth (NMSE 1 at valid indexes), b is exact
+	// except index 1 where it is 1.5× (NMSE 0.5).
+	a.Add([]float64{0, 2, 4})
+	b.Add([]float64{0, 1.5, 2})
+	r := medianRatio(a, b, 0, 3)
+	// Index 1: 1/0.5 = 2; index 2: 1/NaN-free... b index 2 exact → NMSE
+	// 0 → skipped. So the median ratio is 2.
+	if math.Abs(r-2) > 1e-9 {
+		t.Fatalf("medianRatio = %v, want 2", r)
+	}
+}

@@ -1,0 +1,423 @@
+// Package gen provides the synthetic graph generators used to reproduce
+// the paper's evaluation.
+//
+// The paper samples real snapshots of Flickr, LiveJournal, YouTube, a
+// router-level Internet graph and (in Appendix B) Hep-Th. Those datasets
+// are not redistributable, so this package builds synthetic stand-ins from
+// first principles: Barabási–Albert preferential attachment, Erdős–Rényi,
+// and a directed configuration model with power-law in/out degrees, plus
+// the machinery to surround a giant core with many small disconnected
+// components (the property that makes SingleRW/MultipleRW fail and
+// Frontier Sampling shine). The GAB construction of Section 6.1 — two
+// Barabási–Albert graphs with average degrees 2 and 10 joined by a single
+// edge — is reproduced exactly, scaled down.
+//
+// Every generator takes an explicit *xrand.Rand so datasets are
+// reproducible from a seed.
+package gen
+
+import (
+	"math"
+
+	"frontier/internal/graph"
+	"frontier/internal/xrand"
+)
+
+// BarabasiAlbert generates an undirected Barabási–Albert preferential
+// attachment graph with n vertices, where each new vertex attaches to m
+// existing vertices chosen proportionally to degree. The first m+1
+// vertices form a clique seed. The result is returned as a symmetric
+// directed graph (both edge directions present in Ed). Average degree
+// approaches 2m.
+func BarabasiAlbert(r *xrand.Rand, n, m int) *graph.Graph {
+	if m < 1 {
+		panic("gen: BarabasiAlbert needs m >= 1")
+	}
+	if n < m+1 {
+		panic("gen: BarabasiAlbert needs n >= m+1")
+	}
+	b := graph.NewBuilder(n)
+	// endpoints holds every edge endpoint once; sampling a uniform
+	// element of it is exactly degree-proportional sampling.
+	endpoints := make([]int32, 0, 2*m*n)
+	// Clique seed over vertices 0..m.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			b.AddUndirected(u, v)
+			endpoints = append(endpoints, int32(u), int32(v))
+		}
+	}
+	chosen := make(map[int32]bool, m)
+	targets := make([]int32, 0, m)
+	for v := m + 1; v < n; v++ {
+		for id := range chosen {
+			delete(chosen, id)
+		}
+		targets = targets[:0]
+		// Sample m distinct targets preferentially. Track insertion
+		// order in a slice so graph construction is deterministic (map
+		// iteration order is not).
+		for len(chosen) < m {
+			t := endpoints[r.Intn(len(endpoints))]
+			if !chosen[t] {
+				chosen[t] = true
+				targets = append(targets, t)
+			}
+		}
+		for _, t := range targets {
+			b.AddUndirected(v, int(t))
+			endpoints = append(endpoints, int32(v), t)
+		}
+	}
+	return b.Build()
+}
+
+// ErdosRenyiGNM generates a uniform random graph with n vertices and m
+// distinct edges. When directed is false each edge is added in both
+// directions. Self loops are excluded.
+func ErdosRenyiGNM(r *xrand.Rand, n, m int, directed bool) *graph.Graph {
+	if n < 2 {
+		panic("gen: ErdosRenyiGNM needs n >= 2")
+	}
+	maxEdges := n * (n - 1)
+	if !directed {
+		maxEdges /= 2
+	}
+	if m > maxEdges {
+		panic("gen: too many edges requested")
+	}
+	b := graph.NewBuilder(n)
+	seen := make(map[[2]int32]bool, m)
+	for len(seen) < m {
+		u := int32(r.Intn(n))
+		v := int32(r.Intn(n))
+		if u == v {
+			continue
+		}
+		key := [2]int32{u, v}
+		if !directed && u > v {
+			key = [2]int32{v, u}
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if directed {
+			b.AddEdge(int(u), int(v))
+		} else {
+			b.AddUndirected(int(u), int(v))
+		}
+	}
+	return b.Build()
+}
+
+// RandomTree generates a uniformly random labeled tree on n vertices
+// (random attachment), returned as a symmetric directed graph.
+func RandomTree(r *xrand.Rand, n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddUndirected(v, r.Intn(v))
+	}
+	return b.Build()
+}
+
+// PowerLawDegrees samples n degrees from a discrete power law
+// P(k) ∝ k^(-alpha) on [kmin, kmax] via inverse transform on the
+// continuous Pareto tail (rounded down). alpha must exceed 1.
+func PowerLawDegrees(r *xrand.Rand, n int, alpha float64, kmin, kmax int) []int {
+	if alpha <= 1 {
+		panic("gen: power law needs alpha > 1")
+	}
+	if kmin < 1 || kmax < kmin {
+		panic("gen: invalid power law support")
+	}
+	ds := make([]int, n)
+	for i := range ds {
+		u := r.Float64()
+		k := int(float64(kmin) * math.Pow(1-u, -1/(alpha-1)))
+		if k > kmax {
+			k = kmax
+		}
+		if k < kmin {
+			k = kmin
+		}
+		ds[i] = k
+	}
+	return ds
+}
+
+// DirectedConfigModel generates a directed graph with power-law in- and
+// out-degree sequences (exponent alpha, support [kmin, kmax]) wired by a
+// configuration model: degree stubs are shuffled and paired; self loops
+// are skipped and duplicate pairings collapse, so realized degrees are
+// close to (not exactly) the drawn sequence, as is standard.
+func DirectedConfigModel(r *xrand.Rand, n int, alpha float64, kmin, kmax int) *graph.Graph {
+	out := PowerLawDegrees(r, n, alpha, kmin, kmax)
+	in := PowerLawDegrees(r, n, alpha, kmin, kmax)
+	sumOut, sumIn := 0, 0
+	for i := 0; i < n; i++ {
+		sumOut += out[i]
+		sumIn += in[i]
+	}
+	// Balance the sequences by topping up the smaller side at random
+	// vertices.
+	for sumOut < sumIn {
+		out[r.Intn(n)]++
+		sumOut++
+	}
+	for sumIn < sumOut {
+		in[r.Intn(n)]++
+		sumIn++
+	}
+	outStubs := make([]int32, 0, sumOut)
+	inStubs := make([]int32, 0, sumIn)
+	for v := 0; v < n; v++ {
+		for k := 0; k < out[v]; k++ {
+			outStubs = append(outStubs, int32(v))
+		}
+		for k := 0; k < in[v]; k++ {
+			inStubs = append(inStubs, int32(v))
+		}
+	}
+	r.Shuffle(len(inStubs), func(i, j int) { inStubs[i], inStubs[j] = inStubs[j], inStubs[i] })
+	b := graph.NewBuilder(n)
+	for i := range outStubs {
+		if outStubs[i] != inStubs[i] {
+			b.AddEdge(int(outStubs[i]), int(inStubs[i]))
+		}
+	}
+	return b.Build()
+}
+
+// JoinComponents builds the disjoint union of gs and then adds one
+// undirected bridge edge between consecutive graphs, connecting the
+// minimum-degree vertex of each side (ties broken by lowest id) — the
+// construction of the paper's GAB graph. With bridge=false the union is
+// left disconnected.
+func JoinComponents(gs []*graph.Graph, bridge bool) *graph.Graph {
+	total := 0
+	for _, g := range gs {
+		total += g.NumVertices()
+	}
+	b := graph.NewBuilder(total)
+	base := 0
+	bases := make([]int, len(gs))
+	for i, g := range gs {
+		bases[i] = base
+		g.DirectedEdges(func(u, v int32) {
+			b.AddEdge(base+int(u), base+int(v))
+		})
+		base += g.NumVertices()
+	}
+	if bridge {
+		for i := 0; i+1 < len(gs); i++ {
+			u := bases[i] + minDegreeVertex(gs[i])
+			v := bases[i+1] + minDegreeVertex(gs[i+1])
+			b.AddUndirected(u, v)
+		}
+	}
+	return b.Build()
+}
+
+func minDegreeVertex(g *graph.Graph) int {
+	best, bestDeg := 0, math.MaxInt
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.SymDegree(v); d < bestDeg {
+			best, bestDeg = v, d
+		}
+	}
+	return best
+}
+
+// GAB builds the paper's two-subgraph stress test (Section 6.1): two
+// Barabási–Albert graphs GA and GB with nEach vertices each and average
+// degrees 2 (m=1) and 10 (m=5), joined by a single edge between the two
+// smallest-degree vertices. The paper uses nEach = 5×10^5; experiments
+// here default to a 10× smaller instance with identical structure.
+func GAB(r *xrand.Rand, nEach int) *graph.Graph {
+	ga := BarabasiAlbert(r, nEach, 1)
+	gb := BarabasiAlbert(r, nEach, 5)
+	return JoinComponents([]*graph.Graph{ga, gb}, true)
+}
+
+// SmallComponentsConfig controls the cloud of small disconnected
+// components added around a giant core to mimic the real OSN snapshots
+// (e.g. Flickr's LCC holds ~94.7% of vertices; the rest sit in small
+// fragments).
+type SmallComponentsConfig struct {
+	// MinSize and MaxSize bound each fragment's vertex count.
+	MinSize, MaxSize int
+	// ExtraEdgeProb is the probability a fragment gets one extra
+	// undirected edge beyond its spanning tree (creating a cycle).
+	ExtraEdgeProb float64
+}
+
+// DefaultSmallComponents returns the fragment shape used by the dataset
+// recipes: components of 2–20 vertices, mostly trees.
+func DefaultSmallComponents() SmallComponentsConfig {
+	return SmallComponentsConfig{MinSize: 2, MaxSize: 20, ExtraEdgeProb: 0.2}
+}
+
+// WithSmallComponents embeds core into a graph with n total vertices
+// (n ≥ core.NumVertices()): vertices beyond the core are partitioned into
+// small random-tree components per cfg. Vertex ids 0..coreN-1 keep their
+// identity.
+func WithSmallComponents(r *xrand.Rand, core *graph.Graph, n int, cfg SmallComponentsConfig) *graph.Graph {
+	coreN := core.NumVertices()
+	if n < coreN {
+		panic("gen: total size smaller than core")
+	}
+	if cfg.MinSize < 2 {
+		panic("gen: fragments need at least 2 vertices")
+	}
+	b := graph.NewBuilder(n)
+	core.DirectedEdges(func(u, v int32) {
+		b.AddEdge(int(u), int(v))
+	})
+	v := coreN
+	for v < n {
+		size := cfg.MinSize
+		if cfg.MaxSize > cfg.MinSize {
+			size += r.Intn(cfg.MaxSize - cfg.MinSize + 1)
+		}
+		if v+size > n {
+			size = n - v
+		}
+		if size == 1 {
+			// A singleton has no edges; the paper assumes every vertex
+			// has at least one edge, so attach it to the previous
+			// fragment instead.
+			b.AddUndirected(v, v-1)
+			v++
+			break
+		}
+		// Random attachment tree over [v, v+size).
+		for i := 1; i < size; i++ {
+			b.AddUndirected(v+i, v+r.Intn(i))
+		}
+		if size >= 3 && r.Bernoulli(cfg.ExtraEdgeProb) {
+			x := v + r.Intn(size)
+			y := v + r.Intn(size)
+			if x != y {
+				b.AddUndirected(x, y)
+			}
+		}
+		v += size
+	}
+	return b.Build()
+}
+
+// PeripheryConfig controls the low-degree periphery attached around a
+// dense core by AttachPeriphery. Real OSN snapshots are dominated by such
+// vertices (over half of Flickr's users have in-degree ≤ 1), and the long
+// chains give the graph the slow-mixing regions that trap short random
+// walks — the effect Appendix B measures.
+type PeripheryConfig struct {
+	// ChainFrac is the fraction of periphery vertices laid out as long
+	// pendant chains (paths anchored at a core vertex); the rest form
+	// small pendant trees.
+	ChainFrac float64
+	// ChainMin and ChainMax bound chain lengths.
+	ChainMin, ChainMax int
+	// TreeMax bounds pendant tree sizes (≥ 1).
+	TreeMax int
+}
+
+// DefaultPeriphery returns the periphery shape used by the dataset
+// recipes.
+func DefaultPeriphery() PeripheryConfig {
+	return PeripheryConfig{ChainFrac: 0.15, ChainMin: 10, ChainMax: 40, TreeMax: 4}
+}
+
+// AttachPeriphery embeds core into a graph with n total vertices: the
+// extra vertices are attached to uniformly random core vertices as
+// pendant chains and small pendant trees (undirected edges, so leaves
+// have in-degree 1). Vertex ids 0..core.NumVertices()-1 keep their
+// identity; the result stays connected if the core is.
+func AttachPeriphery(r *xrand.Rand, core *graph.Graph, n int, cfg PeripheryConfig) *graph.Graph {
+	coreN := core.NumVertices()
+	if n < coreN {
+		panic("gen: total size smaller than core")
+	}
+	if cfg.ChainMin < 2 || cfg.ChainMax < cfg.ChainMin || cfg.TreeMax < 1 {
+		panic("gen: invalid periphery config")
+	}
+	b := graph.NewBuilder(n)
+	core.DirectedEdges(func(u, v int32) {
+		b.AddEdge(int(u), int(v))
+	})
+	v := coreN
+	for v < n {
+		anchor := r.Intn(coreN)
+		if r.Float64() < cfg.ChainFrac {
+			length := cfg.ChainMin + r.Intn(cfg.ChainMax-cfg.ChainMin+1)
+			if v+length > n {
+				length = n - v
+			}
+			prev := anchor
+			for k := 0; k < length; k++ {
+				b.AddUndirected(v, prev)
+				prev = v
+				v++
+			}
+		} else {
+			size := 1 + r.Intn(cfg.TreeMax)
+			if v+size > n {
+				size = n - v
+			}
+			start := v
+			for k := 0; k < size; k++ {
+				if k == 0 {
+					b.AddUndirected(v, anchor)
+				} else {
+					b.AddUndirected(v, start+r.Intn(k))
+				}
+				v++
+			}
+		}
+	}
+	return b.Build()
+}
+
+// PlantGroups assigns special-interest group labels (Section 6.5) to the
+// vertices of g: numGroups groups with Zipf(s)-distributed popularity and
+// degree-proportional membership (high-degree users join more groups,
+// matching observed OSN behaviour). totalMemberships controls the overall
+// label mass; with totalMemberships ≈ 0.3·|V| roughly 21% of vertices end
+// up in at least one group, the fraction reported for Flickr.
+func PlantGroups(r *xrand.Rand, g *graph.Graph, numGroups, totalMemberships int, s float64) *graph.GroupLabels {
+	n := g.NumVertices()
+	if numGroups < 1 || n == 0 {
+		panic("gen: PlantGroups needs groups and vertices")
+	}
+	// Zipf group sizes normalized to totalMemberships, with a floor of 1.
+	weights := make([]float64, numGroups)
+	var wsum float64
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), s)
+		wsum += weights[i]
+	}
+	degrees := make([]float64, n)
+	for v := 0; v < n; v++ {
+		degrees[v] = float64(g.SymDegree(v))
+	}
+	alias, err := xrand.NewAlias(degrees)
+	if err != nil {
+		panic("gen: graph has no edges")
+	}
+	membership := make([][]int32, n)
+	for id := 0; id < numGroups; id++ {
+		size := int(math.Round(weights[id] / wsum * float64(totalMemberships)))
+		if size < 1 {
+			size = 1
+		}
+		if size > n {
+			size = n
+		}
+		for k := 0; k < size; k++ {
+			v := alias.Sample(r)
+			membership[v] = append(membership[v], int32(id))
+		}
+	}
+	return graph.NewGroupLabels(numGroups, membership)
+}

@@ -1,0 +1,321 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"frontier/internal/graph"
+	"frontier/internal/xrand"
+)
+
+func TestBarabasiAlbertBasics(t *testing.T) {
+	r := xrand.New(1)
+	g := BarabasiAlbert(r, 2000, 3)
+	if g.NumVertices() != 2000 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if !g.IsConnected() {
+		t.Fatal("BA graph must be connected")
+	}
+	avg := g.AverageSymDegree()
+	if avg < 5 || avg > 7 {
+		t.Fatalf("BA m=3 average degree = %v, want ~6", avg)
+	}
+	// Preferential attachment must produce a heavy tail: max degree far
+	// above average.
+	maxDeg, _ := g.MaxSymDegree()
+	if float64(maxDeg) < 5*avg {
+		t.Fatalf("BA max degree %d not heavy-tailed (avg %v)", maxDeg, avg)
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a := BarabasiAlbert(xrand.New(7), 500, 2)
+	b := BarabasiAlbert(xrand.New(7), 500, 2)
+	if a.NumDirectedEdges() != b.NumDirectedEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for v := 0; v < 500; v++ {
+		if a.SymDegree(v) != b.SymDegree(v) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+	}
+}
+
+func TestBarabasiAlbertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for m=0")
+		}
+	}()
+	BarabasiAlbert(xrand.New(1), 10, 0)
+}
+
+func TestErdosRenyiGNM(t *testing.T) {
+	r := xrand.New(2)
+	g := ErdosRenyiGNM(r, 100, 300, true)
+	if g.NumDirectedEdges() != 300 {
+		t.Fatalf("directed edges = %d, want 300", g.NumDirectedEdges())
+	}
+	u := ErdosRenyiGNM(r, 100, 300, false)
+	if u.NumUndirectedEdges() != 300 {
+		t.Fatalf("undirected edges = %d, want 300", u.NumUndirectedEdges())
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	r := xrand.New(3)
+	g := RandomTree(r, 500)
+	if !g.IsConnected() {
+		t.Fatal("tree must be connected")
+	}
+	if g.NumUndirectedEdges() != 499 {
+		t.Fatalf("tree edges = %d, want 499", g.NumUndirectedEdges())
+	}
+}
+
+func TestPowerLawDegrees(t *testing.T) {
+	r := xrand.New(4)
+	ds := PowerLawDegrees(r, 50000, 2.0, 3, 1000)
+	minD, maxD := ds[0], ds[0]
+	var sum float64
+	for _, d := range ds {
+		if d < minD {
+			minD = d
+		}
+		if d > maxD {
+			maxD = d
+		}
+		sum += float64(d)
+	}
+	if minD < 3 || maxD > 1000 {
+		t.Fatalf("support violated: min %d max %d", minD, maxD)
+	}
+	if maxD < 100 {
+		t.Fatalf("no heavy tail: max %d", maxD)
+	}
+	mean := sum / float64(len(ds))
+	// For alpha=2, kmin=3 the mean is roughly kmin·ln(kmax/kmin) ≈ large;
+	// just check it exceeds kmin comfortably.
+	if mean < 4 {
+		t.Fatalf("mean degree %v too small", mean)
+	}
+}
+
+func TestDirectedConfigModel(t *testing.T) {
+	r := xrand.New(5)
+	g := DirectedConfigModel(r, 5000, 1.8, 3, 200)
+	if g.NumVertices() != 5000 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// Heavy-tailed in- and out-degrees.
+	var maxIn, maxOut int
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.InDegree(v); d > maxIn {
+			maxIn = d
+		}
+		if d := g.OutDegree(v); d > maxOut {
+			maxOut = d
+		}
+	}
+	if maxIn < 50 || maxOut < 50 {
+		t.Fatalf("config model lacks tail: maxIn=%d maxOut=%d", maxIn, maxOut)
+	}
+	avg := g.AverageSymDegree()
+	if avg < 5 {
+		t.Fatalf("avg degree %v too small", avg)
+	}
+}
+
+func TestJoinComponentsBridge(t *testing.T) {
+	r := xrand.New(6)
+	ga := BarabasiAlbert(r, 200, 1)
+	gb := BarabasiAlbert(r, 200, 3)
+	joined := JoinComponents([]*graph.Graph{ga, gb}, true)
+	if joined.NumVertices() != 400 {
+		t.Fatalf("n = %d", joined.NumVertices())
+	}
+	if !joined.IsConnected() {
+		t.Fatal("bridged union must be connected")
+	}
+	// Exactly one bridge: removing it disconnects; edge count check:
+	wantUndirected := ga.NumUndirectedEdges() + gb.NumUndirectedEdges() + 1
+	if joined.NumUndirectedEdges() != wantUndirected {
+		t.Fatalf("undirected edges = %d, want %d", joined.NumUndirectedEdges(), wantUndirected)
+	}
+
+	apart := JoinComponents([]*graph.Graph{ga, gb}, false)
+	if apart.IsConnected() {
+		t.Fatal("unbridged union must be disconnected")
+	}
+	if apart.NumComponents() != 2 {
+		t.Fatalf("components = %d", apart.NumComponents())
+	}
+}
+
+func TestGAB(t *testing.T) {
+	r := xrand.New(7)
+	g := GAB(r, 2000)
+	if g.NumVertices() != 4000 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if !g.IsConnected() {
+		t.Fatal("GAB is connected by construction")
+	}
+	// The two halves have average degrees ~2 and ~10.
+	sub, _ := g.InducedSubgraph(rangeInts(0, 2000))
+	avgA := sub.AverageSymDegree()
+	sub2, _ := g.InducedSubgraph(rangeInts(2000, 4000))
+	avgB := sub2.AverageSymDegree()
+	if math.Abs(avgA-2) > 0.5 {
+		t.Fatalf("GA average degree = %v, want ~2", avgA)
+	}
+	if math.Abs(avgB-10) > 1.5 {
+		t.Fatalf("GB average degree = %v, want ~10", avgB)
+	}
+}
+
+func rangeInts(lo, hi int) []int {
+	xs := make([]int, hi-lo)
+	for i := range xs {
+		xs[i] = lo + i
+	}
+	return xs
+}
+
+func TestWithSmallComponents(t *testing.T) {
+	r := xrand.New(8)
+	core := BarabasiAlbert(r, 900, 3)
+	g := WithSmallComponents(r, core, 1000, DefaultSmallComponents())
+	if g.NumVertices() != 1000 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	comp, sizes := g.Components()
+	_ = comp
+	if len(sizes) < 5 {
+		t.Fatalf("expected several fragments, got %d components", len(sizes))
+	}
+	// LCC must be the core (900 vertices).
+	lcc := 0
+	for _, s := range sizes {
+		if s > lcc {
+			lcc = s
+		}
+	}
+	if lcc != 900 {
+		t.Fatalf("LCC = %d, want 900", lcc)
+	}
+	// Every vertex has at least one neighbor (paper's assumption).
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.SymDegree(v) == 0 {
+			t.Fatalf("vertex %d is isolated", v)
+		}
+	}
+}
+
+func TestPlantGroups(t *testing.T) {
+	r := xrand.New(9)
+	g := BarabasiAlbert(r, 3000, 3)
+	gl := PlantGroups(r, g, 100, 900, 1.1)
+	if gl.NumGroups() != 100 {
+		t.Fatalf("groups = %d", gl.NumGroups())
+	}
+	frac := gl.LabeledFraction()
+	if frac < 0.10 || frac > 0.35 {
+		t.Fatalf("labeled fraction = %v, want ~0.2", frac)
+	}
+	// Popularity must be decreasing overall: top group much larger than
+	// the median group.
+	order := gl.ByPopularity()
+	if gl.GroupSize(order[0]) < 3*gl.GroupSize(order[50]) {
+		t.Fatalf("Zipf popularity not visible: top=%d median=%d",
+			gl.GroupSize(order[0]), gl.GroupSize(order[50]))
+	}
+}
+
+func TestDatasetRecipes(t *testing.T) {
+	r := xrand.New(10)
+	small := Scale(0.05)
+	for _, name := range AllNames() {
+		ds, err := ByName(name, r, small)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g := ds.Graph
+		if g.NumVertices() == 0 || g.NumDirectedEdges() == 0 {
+			t.Fatalf("%s: empty graph", name)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if g.SymDegree(v) == 0 {
+				t.Fatalf("%s: isolated vertex %d", name, v)
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope", xrand.New(1), 1); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestFlickrLikeShape(t *testing.T) {
+	r := xrand.New(11)
+	ds := FlickrLike(r, 0.25) // 10k vertices
+	s := ds.Graph.Summarize(ds.Name)
+	lccFrac := float64(s.LCCSize) / float64(s.NumVertices)
+	if lccFrac < 0.90 || lccFrac > 0.98 {
+		t.Fatalf("flickr-like LCC fraction = %v, want ~0.947", lccFrac)
+	}
+	if s.Connected {
+		t.Fatal("flickr-like must be disconnected")
+	}
+	if s.AvgDegree < 6 {
+		t.Fatalf("flickr-like avg degree = %v, too sparse", s.AvgDegree)
+	}
+	if ds.Groups == nil {
+		t.Fatal("flickr-like must have groups")
+	}
+	if f := ds.Groups.LabeledFraction(); f < 0.08 || f > 0.40 {
+		t.Fatalf("flickr-like labeled fraction = %v", f)
+	}
+}
+
+func TestInternetRLTLikeShape(t *testing.T) {
+	r := xrand.New(12)
+	ds := InternetRLTLike(r, 0.25)
+	avg := ds.Graph.AverageSymDegree()
+	if avg < 2.5 || avg > 4.0 {
+		t.Fatalf("internet-rlt avg degree = %v, want ~3.2", avg)
+	}
+	if !ds.Graph.IsConnected() {
+		t.Fatal("internet-rlt stand-in should be connected (BA-grown)")
+	}
+}
+
+func TestHepThLikeShape(t *testing.T) {
+	r := xrand.New(13)
+	ds := HepThLike(r, 0.25)
+	if !ds.Graph.IsConnected() {
+		t.Fatal("hepth-like should have connected symmetric view")
+	}
+	// Citations: heavy-tailed in-degree.
+	maxIn := 0
+	for v := 0; v < ds.Graph.NumVertices(); v++ {
+		if d := ds.Graph.InDegree(v); d > maxIn {
+			maxIn = d
+		}
+	}
+	if maxIn < 20 {
+		t.Fatalf("citation in-degree tail too light: max %d", maxIn)
+	}
+}
+
+func TestScaleFloor(t *testing.T) {
+	// Tiny scales still produce usable graphs.
+	r := xrand.New(14)
+	ds := YouTubeLike(r, 0.0001)
+	if ds.Graph.NumVertices() < 64 {
+		t.Fatalf("scale floor violated: %d", ds.Graph.NumVertices())
+	}
+}

@@ -1,0 +1,159 @@
+package gen
+
+import (
+	"math"
+
+	"frontier/internal/graph"
+	"frontier/internal/xrand"
+)
+
+// StochasticBlockModel generates an undirected graph with k equal-sized
+// communities: each within-community pair is connected with probability
+// pIn and each cross-community pair with probability pOut. With
+// pOut ≪ pIn this produces the "loosely connected components" regime the
+// paper identifies as the hard case for single random walks (Section
+// 4.3) — the ext-communities experiment sweeps pOut to locate where FS's
+// advantage appears.
+func StochasticBlockModel(r *xrand.Rand, n, k int, pIn, pOut float64) *graph.Graph {
+	pIns := make([]float64, k)
+	for i := range pIns {
+		pIns[i] = pIn
+	}
+	return PlantedPartition(r, n, pIns, pOut)
+}
+
+// PlantedPartition is the heterogeneous block model: community j (of
+// len(pIns) equal-sized communities) wires its internal pairs with
+// probability pIns[j]; all cross-community pairs use pOut. Communities
+// with different densities reproduce the paper's GAB mechanism — a
+// walker trapped in one community sees that community's degree
+// distribution, not the graph's.
+//
+// Sampling uses the geometric skip trick with thinning, so generation is
+// O(edges) rather than O(n²).
+func PlantedPartition(r *xrand.Rand, n int, pIns []float64, pOut float64) *graph.Graph {
+	k := len(pIns)
+	if k < 1 || n < k {
+		panic("gen: planted partition needs 1 <= k <= n")
+	}
+	pSkip := pOut
+	for _, p := range pIns {
+		if p < 0 || p > 1 {
+			panic("gen: probabilities must be in [0,1]")
+		}
+		if p > pSkip {
+			pSkip = p
+		}
+	}
+	if pOut < 0 || pOut > 1 {
+		panic("gen: probabilities must be in [0,1]")
+	}
+	b := graph.NewBuilder(n)
+	if pSkip <= 0 {
+		return b.Build()
+	}
+	community := func(v int) int { return v * k / n }
+	// Iterate over ordered pairs (u,v) with u < v via geometric skips at
+	// the maximum probability, thinning each candidate to its pair's true
+	// probability — the marginals stay exact.
+	total := int64(n) * int64(n-1) / 2
+	idx := int64(-1)
+	for {
+		idx += 1 + geometricSkip(r, pSkip)
+		if idx >= total {
+			break
+		}
+		u, v := pairFromIndex(idx, n)
+		p := pOut
+		if cu := community(u); cu == community(v) {
+			p = pIns[cu]
+		}
+		if p == pSkip || r.Float64()*pSkip < p {
+			b.AddUndirected(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// geometricSkip returns the number of failures before the next success
+// of a Bernoulli(p) sequence, i.e. a Geometric(p) variate on {0,1,...}.
+func geometricSkip(r *xrand.Rand, p float64) int64 {
+	if p >= 1 {
+		return 0
+	}
+	u := r.Float64()
+	// floor(log(1-u)/log(1-p)); both logs are negative.
+	return int64(logRatio(1-u, 1-p))
+}
+
+// logRatio computes log(x)/log(y) without importing math twice — small
+// helper kept separate for testability.
+func logRatio(x, y float64) float64 {
+	return math.Log(x) / math.Log(y)
+}
+
+// pairFromIndex maps a linear index to the ordered pair (u,v), u < v,
+// enumerated row by row: index 0 → (0,1), 1 → (0,2), ..., n-2 → (0,n-1),
+// n-1 → (1,2), ...
+func pairFromIndex(idx int64, n int) (int, int) {
+	u := 0
+	rowLen := int64(n - 1)
+	for idx >= rowLen {
+		idx -= rowLen
+		u++
+		rowLen--
+	}
+	return u, u + 1 + int(idx)
+}
+
+// WattsStrogatz generates a small-world graph: a ring lattice where each
+// vertex connects to its k nearest neighbors on each side, with each
+// edge rewired to a uniform random endpoint with probability beta.
+// beta = 0 gives a (slow mixing) lattice; beta = 1 approaches a random
+// graph — a clean dial for studying how graph structure affects walk
+// estimators.
+func WattsStrogatz(r *xrand.Rand, n, k int, beta float64) *graph.Graph {
+	if k < 1 || n < 2*k+1 {
+		panic("gen: WattsStrogatz needs n > 2k")
+	}
+	if beta < 0 || beta > 1 {
+		panic("gen: beta must be in [0,1]")
+	}
+	type pair struct{ u, v int32 }
+	seen := make(map[pair]bool, n*k)
+	has := func(u, v int) bool {
+		if u > v {
+			u, v = v, u
+		}
+		return seen[pair{int32(u), int32(v)}]
+	}
+	add := func(u, v int) {
+		if u > v {
+			u, v = v, u
+		}
+		seen[pair{int32(u), int32(v)}] = true
+	}
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k; j++ {
+			v := (u + j) % n
+			if beta > 0 && r.Float64() < beta {
+				// Rewire to a uniform non-self, non-duplicate endpoint.
+				for tries := 0; tries < 32; tries++ {
+					w := r.Intn(n)
+					if w != u && !has(u, w) {
+						v = w
+						break
+					}
+				}
+			}
+			if u != v && !has(u, v) {
+				add(u, v)
+			}
+		}
+	}
+	b := graph.NewBuilder(n)
+	for p := range seen {
+		b.AddUndirected(int(p.u), int(p.v))
+	}
+	return b.Build()
+}

@@ -1,0 +1,148 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"frontier/internal/xrand"
+)
+
+func TestPairFromIndex(t *testing.T) {
+	n := 6
+	idx := int64(0)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			gu, gv := pairFromIndex(idx, n)
+			if gu != u || gv != v {
+				t.Fatalf("pairFromIndex(%d) = (%d,%d), want (%d,%d)", idx, gu, gv, u, v)
+			}
+			idx++
+		}
+	}
+}
+
+func TestPairFromIndexProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 3 + r.Intn(200)
+		total := int64(n) * int64(n-1) / 2
+		idx := int64(r.Intn(int(total)))
+		u, v := pairFromIndex(idx, n)
+		return 0 <= u && u < v && v < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometricSkipMean(t *testing.T) {
+	r := xrand.New(1)
+	const p = 0.05
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += float64(geometricSkip(r, p))
+	}
+	mean := sum / n
+	want := (1 - p) / p // mean of Geometric(p) on {0,1,...}
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("geometric skip mean = %v, want %v", mean, want)
+	}
+	if geometricSkip(r, 1) != 0 {
+		t.Fatal("p=1 must skip nothing")
+	}
+}
+
+func TestSBMEdgeCounts(t *testing.T) {
+	r := xrand.New(2)
+	n, k := 1200, 4
+	pIn, pOut := 0.02, 0.001
+	g := StochasticBlockModel(r, n, k, pIn, pOut)
+	// Expected within edges: k · C(n/k,2) · pIn; cross: (C(n,2) − k·C(n/k,2)) · pOut.
+	per := n / k
+	within := float64(k) * float64(per) * float64(per-1) / 2 * pIn
+	cross := (float64(n)*float64(n-1)/2 - float64(k)*float64(per)*float64(per-1)/2) * pOut
+	got := float64(g.NumUndirectedEdges())
+	want := within + cross
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("SBM edges = %v, want ~%v", got, want)
+	}
+	// Count realized cross edges to verify the thinning kept the right
+	// marginal.
+	community := func(v int) int { return v * k / n }
+	var gotCross float64
+	g.SymEdges(func(u, v int32) {
+		if community(int(u)) != community(int(v)) {
+			gotCross++
+		}
+	})
+	gotCross /= 2
+	if math.Abs(gotCross-cross)/cross > 0.25 {
+		t.Fatalf("SBM cross edges = %v, want ~%v", gotCross, cross)
+	}
+}
+
+func TestSBMDisconnectedAtZeroPOut(t *testing.T) {
+	r := xrand.New(3)
+	g := StochasticBlockModel(r, 400, 4, 0.1, 0)
+	if g.NumComponents() < 4 {
+		t.Fatalf("pOut=0 SBM has %d components, want >= 4", g.NumComponents())
+	}
+}
+
+func TestSBMEmpty(t *testing.T) {
+	g := StochasticBlockModel(xrand.New(4), 50, 2, 0, 0)
+	if g.NumDirectedEdges() != 0 {
+		t.Fatal("zero-probability SBM must be empty")
+	}
+}
+
+func TestSBMValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	StochasticBlockModel(xrand.New(5), 10, 0, 0.5, 0.5)
+}
+
+func TestWattsStrogatzLattice(t *testing.T) {
+	// beta = 0: pure ring lattice, every vertex has degree exactly 2k.
+	g := WattsStrogatz(xrand.New(6), 100, 3, 0)
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.SymDegree(v) != 6 {
+			t.Fatalf("lattice degree at %d = %d, want 6", v, g.SymDegree(v))
+		}
+	}
+	if !g.IsConnected() {
+		t.Fatal("ring lattice must be connected")
+	}
+	// The lattice is highly clustered.
+	if c := g.GlobalClustering(); c < 0.4 {
+		t.Fatalf("lattice clustering = %v, want high", c)
+	}
+}
+
+func TestWattsStrogatzRewiring(t *testing.T) {
+	lattice := WattsStrogatz(xrand.New(7), 500, 3, 0)
+	rewired := WattsStrogatz(xrand.New(7), 500, 3, 0.5)
+	// Rewiring destroys clustering.
+	if rewired.GlobalClustering() >= lattice.GlobalClustering()/2 {
+		t.Fatalf("rewired clustering %v not far below lattice %v",
+			rewired.GlobalClustering(), lattice.GlobalClustering())
+	}
+	// Edge count stays near n·k.
+	if d := float64(rewired.NumUndirectedEdges()) / 1500; d < 0.9 || d > 1.01 {
+		t.Fatalf("rewired edge count off: %v of n·k", d)
+	}
+}
+
+func TestWattsStrogatzValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	WattsStrogatz(xrand.New(8), 6, 3, 0.1)
+}

@@ -1,0 +1,172 @@
+package graph
+
+import "math"
+
+// This file collects classic graph algorithms on the symmetric view that
+// the experiments and diagnostics lean on: BFS distances (transient
+// depth), k-core decomposition (identifying the dense core that traps
+// degree-proportional walks), PageRank (a reference stationary measure),
+// and a double-sweep diameter lower bound.
+
+// BFSDistances returns the hop distance from source to every vertex in
+// the symmetric view; unreachable vertices get -1.
+func (g *Graph) BFSDistances(source int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[source] = 0
+	queue := make([]int32, 0, 64)
+	queue = append(queue, int32(source))
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, u := range g.SymNeighbors(int(v)) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the greatest finite BFS distance from source and
+// the vertex achieving it.
+func (g *Graph) Eccentricity(source int) (dist, vertex int) {
+	ds := g.BFSDistances(source)
+	dist, vertex = 0, source
+	for v, d := range ds {
+		if d > dist {
+			dist, vertex = d, v
+		}
+	}
+	return dist, vertex
+}
+
+// ApproxDiameter lower-bounds the diameter of the component containing
+// start by the classic double sweep: BFS to the farthest vertex, then
+// BFS again from there.
+func (g *Graph) ApproxDiameter(start int) int {
+	_, far := g.Eccentricity(start)
+	d, _ := g.Eccentricity(far)
+	return d
+}
+
+// CoreNumbers returns the k-core number of every vertex of the
+// symmetric view: the largest k such that the vertex survives in the
+// subgraph where every vertex has degree ≥ k. Computed with the linear
+// bucket algorithm of Batagelj & Zaveršnik.
+func (g *Graph) CoreNumbers() []int {
+	n := g.n
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.SymDegree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket sort vertices by degree.
+	binStart := make([]int, maxDeg+2)
+	for v := 0; v < n; v++ {
+		binStart[deg[v]+1]++
+	}
+	for d := 1; d <= maxDeg+1; d++ {
+		binStart[d] += binStart[d-1]
+	}
+	pos := make([]int, n)
+	vert := make([]int, n)
+	cursor := make([]int, maxDeg+1)
+	copy(cursor, binStart[:maxDeg+1])
+	for v := 0; v < n; v++ {
+		pos[v] = cursor[deg[v]]
+		vert[pos[v]] = v
+		cursor[deg[v]]++
+	}
+	bin := make([]int, maxDeg+1)
+	copy(bin, binStart[:maxDeg+1])
+
+	core := make([]int, n)
+	copy(core, deg)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		for _, u32 := range g.SymNeighbors(v) {
+			u := int(u32)
+			if core[u] > core[v] {
+				// Move u one bucket down: swap it with the first vertex
+				// of its current bucket.
+				du := core[u]
+				pu := pos[u]
+				pw := bin[du]
+				w := vert[pw]
+				if u != w {
+					vert[pu], vert[pw] = w, u
+					pos[u], pos[w] = pw, pu
+				}
+				bin[du]++
+				core[u]--
+			}
+		}
+	}
+	return core
+}
+
+// Degeneracy returns the graph's degeneracy: the maximum core number.
+func (g *Graph) Degeneracy() int {
+	best := 0
+	for _, c := range g.CoreNumbers() {
+		if c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// PageRank computes the PageRank vector of the symmetric view with the
+// given damping factor, iterating until the L1 change drops below tol
+// or maxIter rounds. Dangling vertices cannot occur in the paper's model
+// (every vertex has an edge) but are handled by redistributing their
+// mass uniformly.
+func (g *Graph) PageRank(damping float64, tol float64, maxIter int) []float64 {
+	n := g.n
+	if n == 0 {
+		return nil
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for v := range rank {
+		rank[v] = 1 / float64(n)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		base := (1 - damping) / float64(n)
+		var dangling float64
+		for v := 0; v < n; v++ {
+			if g.SymDegree(v) == 0 {
+				dangling += rank[v]
+			}
+		}
+		base += damping * dangling / float64(n)
+		for v := range next {
+			next[v] = base
+		}
+		for v := 0; v < n; v++ {
+			d := g.SymDegree(v)
+			if d == 0 {
+				continue
+			}
+			share := damping * rank[v] / float64(d)
+			for _, u := range g.SymNeighbors(v) {
+				next[u] += share
+			}
+		}
+		var delta float64
+		for v := range rank {
+			delta += math.Abs(next[v] - rank[v])
+		}
+		rank, next = next, rank
+		if delta < tol {
+			break
+		}
+	}
+	return rank
+}

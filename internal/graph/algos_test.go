@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"frontier/internal/xrand"
+)
+
+func TestBFSDistances(t *testing.T) {
+	g := path4() // 0–1–2–3
+	d := g.BFSDistances(0)
+	want := []int{0, 1, 2, 3}
+	for v := range want {
+		if d[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, d[v], want[v])
+		}
+	}
+	// Disconnected vertex gets -1.
+	b := NewBuilder(3)
+	b.AddUndirected(0, 1)
+	g2 := b.Build()
+	if d := g2.BFSDistances(0); d[2] != -1 {
+		t.Fatalf("unreachable distance = %d, want -1", d[2])
+	}
+}
+
+func TestEccentricityAndDiameter(t *testing.T) {
+	g := path4()
+	d, v := g.Eccentricity(1)
+	if d != 2 || (v != 3) {
+		t.Fatalf("Eccentricity(1) = (%d,%d)", d, v)
+	}
+	if got := g.ApproxDiameter(1); got != 3 {
+		t.Fatalf("ApproxDiameter = %d, want 3", got)
+	}
+	if got := triangle().ApproxDiameter(0); got != 1 {
+		t.Fatalf("triangle diameter = %d, want 1", got)
+	}
+}
+
+func TestCoreNumbers(t *testing.T) {
+	// Triangle with a pendant path: triangle vertices are 2-core, path
+	// vertices 1-core.
+	b := NewBuilder(5)
+	b.AddUndirected(0, 1)
+	b.AddUndirected(1, 2)
+	b.AddUndirected(0, 2)
+	b.AddUndirected(2, 3)
+	b.AddUndirected(3, 4)
+	g := b.Build()
+	core := g.CoreNumbers()
+	want := []int{2, 2, 2, 1, 1}
+	for v := range want {
+		if core[v] != want[v] {
+			t.Fatalf("core[%d] = %d, want %d", v, core[v], want[v])
+		}
+	}
+	if g.Degeneracy() != 2 {
+		t.Fatalf("degeneracy = %d", g.Degeneracy())
+	}
+}
+
+func TestCoreNumbersClique(t *testing.T) {
+	b := NewBuilder(5)
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			b.AddUndirected(u, v)
+		}
+	}
+	g := b.Build()
+	for v, c := range g.CoreNumbers() {
+		if c != 4 {
+			t.Fatalf("K5 core[%d] = %d, want 4", v, c)
+		}
+	}
+}
+
+func TestCoreNumbersProperty(t *testing.T) {
+	// Property: the k-core subgraph induced by {v: core(v) >= k} has
+	// minimum internal degree >= k, for the maximum k.
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 10 + r.Intn(60)
+		b := NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		g := b.Build()
+		core := g.CoreNumbers()
+		k := g.Degeneracy()
+		inCore := make(map[int]bool)
+		for v, c := range core {
+			if c >= k {
+				inCore[v] = true
+			}
+		}
+		for v := range inCore {
+			deg := 0
+			for _, u := range g.SymNeighbors(v) {
+				if inCore[int(u)] {
+					deg++
+				}
+			}
+			if deg < k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageRankUniformOnRegular(t *testing.T) {
+	// On a vertex-transitive graph (cycle), PageRank is uniform.
+	b := NewBuilder(10)
+	for v := 0; v < 10; v++ {
+		b.AddUndirected(v, (v+1)%10)
+	}
+	g := b.Build()
+	pr := g.PageRank(0.85, 1e-12, 200)
+	for v, p := range pr {
+		if math.Abs(p-0.1) > 1e-9 {
+			t.Fatalf("cycle PageRank[%d] = %v, want 0.1", v, p)
+		}
+	}
+}
+
+func TestPageRankSumsToOneAndRanksHub(t *testing.T) {
+	// Star graph: center must dominate; ranks sum to 1.
+	n := 20
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddUndirected(0, v)
+	}
+	g := b.Build()
+	pr := g.PageRank(0.85, 1e-12, 200)
+	var sum float64
+	for _, p := range pr {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PageRank sums to %v", sum)
+	}
+	for v := 1; v < n; v++ {
+		if pr[0] <= pr[v] {
+			t.Fatalf("hub not ranked above leaf: %v vs %v", pr[0], pr[v])
+		}
+	}
+}
+
+func TestPageRankEmptyAndDangling(t *testing.T) {
+	if pr := NewBuilder(0).Build().PageRank(0.85, 1e-9, 10); pr != nil {
+		t.Fatal("empty graph PageRank should be nil")
+	}
+	// A graph with an isolated vertex (dangling in the symmetric view):
+	// total mass must still be 1.
+	b := NewBuilder(3)
+	b.AddUndirected(0, 1)
+	g := b.Build()
+	pr := g.PageRank(0.85, 1e-12, 300)
+	var sum float64
+	for _, p := range pr {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("PageRank with dangling vertex sums to %v", sum)
+	}
+}

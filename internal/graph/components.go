@@ -1,0 +1,137 @@
+package graph
+
+import "sort"
+
+// Components computes the connected components of the symmetric view.
+// It returns a component id per vertex (ids are dense, 0-based, assigned
+// in discovery order) and the size of each component.
+func (g *Graph) Components() (comp []int32, sizes []int) {
+	comp = make([]int32, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []int32
+	next := int32(0)
+	for start := 0; start < g.n; start++ {
+		if comp[start] >= 0 {
+			continue
+		}
+		id := next
+		next++
+		sizes = append(sizes, 0)
+		comp[start] = id
+		queue = append(queue[:0], int32(start))
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			sizes[id]++
+			for _, u := range g.SymNeighbors(int(v)) {
+				if comp[u] < 0 {
+					comp[u] = id
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return comp, sizes
+}
+
+// NumComponents returns the number of connected components of the
+// symmetric view.
+func (g *Graph) NumComponents() int {
+	_, sizes := g.Components()
+	return len(sizes)
+}
+
+// IsConnected reports whether the symmetric view is connected.
+func (g *Graph) IsConnected() bool {
+	if g.n == 0 {
+		return true
+	}
+	return g.NumComponents() == 1
+}
+
+// LargestComponent returns the vertex set of the largest connected
+// component (ties broken by lowest component id), sorted ascending.
+func (g *Graph) LargestComponent() []int {
+	comp, sizes := g.Components()
+	if len(sizes) == 0 {
+		return nil
+	}
+	best := 0
+	for i, s := range sizes {
+		if s > sizes[best] {
+			best = i
+		}
+	}
+	verts := make([]int, 0, sizes[best])
+	for v, c := range comp {
+		if int(c) == best {
+			verts = append(verts, v)
+		}
+	}
+	return verts
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertex set
+// together with the mapping from new vertex ids to original ids
+// (newToOld[i] is the original id of new vertex i). Directed edges are
+// kept when both endpoints are in the set. The input set need not be
+// sorted; duplicates panic.
+func (g *Graph) InducedSubgraph(vertices []int) (*Graph, []int) {
+	newToOld := make([]int, len(vertices))
+	copy(newToOld, vertices)
+	sort.Ints(newToOld)
+	oldToNew := make(map[int]int32, len(newToOld))
+	for i, v := range newToOld {
+		if _, dup := oldToNew[v]; dup {
+			panic("graph: duplicate vertex in InducedSubgraph")
+		}
+		oldToNew[v] = int32(i)
+	}
+	b := NewBuilder(len(newToOld))
+	for i, v := range newToOld {
+		for _, w := range g.OutNeighbors(v) {
+			if j, ok := oldToNew[int(w)]; ok {
+				b.AddEdge(i, int(j))
+			}
+		}
+	}
+	return b.Build(), newToOld
+}
+
+// LCC returns the subgraph induced by the largest connected component and
+// the new-to-old vertex mapping. Several of the paper's experiments
+// (Figures 4, 6, 14 and Appendix B) restrict sampling to the LCC.
+func (g *Graph) LCC() (*Graph, []int) {
+	return g.InducedSubgraph(g.LargestComponent())
+}
+
+// IsBipartite reports whether the symmetric view is bipartite. A regular
+// random walk reaches a unique stationary regime only on non-bipartite
+// (connected) graphs (Section 4), so generators verify their output with
+// this.
+func (g *Graph) IsBipartite() bool {
+	color := make([]int8, g.n) // 0 unknown, 1/2 sides
+	var queue []int32
+	for start := 0; start < g.n; start++ {
+		if color[start] != 0 {
+			continue
+		}
+		color[start] = 1
+		queue = append(queue[:0], int32(start))
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, u := range g.SymNeighbors(int(v)) {
+				if color[u] == 0 {
+					color[u] = 3 - color[v]
+					queue = append(queue, u)
+				} else if color[u] == color[v] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

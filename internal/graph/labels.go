@@ -1,0 +1,128 @@
+package graph
+
+import "sort"
+
+// GroupLabels assigns each vertex a (possibly empty) set of group labels,
+// modelling the special-interest groups of Section 6.5 ("in the Flickr
+// graph 21% of the users belong to one or more special interest groups").
+// Groups are identified by dense ids 0..NumGroups-1.
+type GroupLabels struct {
+	numGroups int
+	off       []int64
+	to        []int32
+	sizes     []int
+}
+
+// NewGroupLabels builds labels from per-vertex group id lists. membership
+// must have one entry per vertex; group ids must be in [0, numGroups).
+// Duplicate ids within a vertex are removed.
+func NewGroupLabels(numGroups int, membership [][]int32) *GroupLabels {
+	gl := &GroupLabels{
+		numGroups: numGroups,
+		off:       make([]int64, len(membership)+1),
+		sizes:     make([]int, numGroups),
+	}
+	var total int
+	for _, gs := range membership {
+		total += len(gs)
+	}
+	gl.to = make([]int32, 0, total)
+	for v, gs := range membership {
+		sorted := make([]int32, len(gs))
+		copy(sorted, gs)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		prev := int32(-1)
+		for _, id := range sorted {
+			if id < 0 || int(id) >= numGroups {
+				panic("graph: group id out of range")
+			}
+			if id == prev {
+				continue
+			}
+			gl.to = append(gl.to, id)
+			gl.sizes[id]++
+			prev = id
+		}
+		gl.off[v+1] = int64(len(gl.to))
+	}
+	return gl
+}
+
+// NumGroups returns the number of distinct groups.
+func (gl *GroupLabels) NumGroups() int { return gl.numGroups }
+
+// NumVertices returns the number of vertices labels were built for.
+func (gl *GroupLabels) NumVertices() int { return len(gl.off) - 1 }
+
+// Groups returns the sorted group ids of vertex v. The slice aliases
+// internal storage and must not be modified.
+func (gl *GroupLabels) Groups(v int) []int32 {
+	return gl.to[gl.off[v]:gl.off[v+1]]
+}
+
+// Has reports whether vertex v belongs to group id.
+func (gl *GroupLabels) Has(v int, id int32) bool {
+	gs := gl.Groups(v)
+	i := sort.Search(len(gs), func(i int) bool { return gs[i] >= id })
+	return i < len(gs) && gs[i] == id
+}
+
+// GroupSize returns the number of vertices in group id.
+func (gl *GroupLabels) GroupSize(id int) int { return gl.sizes[id] }
+
+// Density returns θ_l: the exact fraction of vertices belonging to group
+// id.
+func (gl *GroupLabels) Density(id int) float64 {
+	n := gl.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	return float64(gl.sizes[id]) / float64(n)
+}
+
+// LabeledFraction returns the fraction of vertices with at least one
+// group label.
+func (gl *GroupLabels) LabeledFraction() float64 {
+	n := gl.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	labeled := 0
+	for v := 0; v < n; v++ {
+		if gl.off[v+1] > gl.off[v] {
+			labeled++
+		}
+	}
+	return float64(labeled) / float64(n)
+}
+
+// ByPopularity returns group ids sorted by decreasing size (ties by id).
+// Figure 14 reports NMSE for the 200 most popular groups.
+func (gl *GroupLabels) ByPopularity() []int {
+	ids := make([]int, gl.numGroups)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if gl.sizes[ids[i]] != gl.sizes[ids[j]] {
+			return gl.sizes[ids[i]] > gl.sizes[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// Remap returns labels for a vertex renumbering, where newToOld[i] is the
+// original id of new vertex i (as produced by InducedSubgraph). Group ids
+// and sizes are recomputed over the surviving vertices; groups left empty
+// keep their id so densities stay comparable.
+func (gl *GroupLabels) Remap(newToOld []int) *GroupLabels {
+	membership := make([][]int32, len(newToOld))
+	for i, old := range newToOld {
+		gs := gl.Groups(old)
+		cp := make([]int32, len(gs))
+		copy(cp, gs)
+		membership[i] = cp
+	}
+	return NewGroupLabels(gl.numGroups, membership)
+}

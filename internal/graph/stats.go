@@ -1,0 +1,211 @@
+package graph
+
+import "math"
+
+// DegreeKind selects which degree a distribution or label refers to.
+type DegreeKind int
+
+const (
+	// InDeg is the in-degree in the directed graph Gd.
+	InDeg DegreeKind = iota
+	// OutDeg is the out-degree in the directed graph Gd.
+	OutDeg
+	// SymDeg is deg(v) in the symmetric counterpart G.
+	SymDeg
+)
+
+func (k DegreeKind) String() string {
+	switch k {
+	case InDeg:
+		return "in"
+	case OutDeg:
+		return "out"
+	case SymDeg:
+		return "sym"
+	default:
+		return "unknown"
+	}
+}
+
+// Degree returns the degree of v of the given kind.
+func (g *Graph) Degree(kind DegreeKind, v int) int {
+	switch kind {
+	case InDeg:
+		return g.InDegree(v)
+	case OutDeg:
+		return g.OutDegree(v)
+	case SymDeg:
+		return g.SymDegree(v)
+	default:
+		panic("graph: unknown DegreeKind")
+	}
+}
+
+// DegreeDistribution returns θ = {θ_i}: θ[i] is the exact fraction of
+// vertices with degree i of the given kind. The slice has length
+// maxDegree+1.
+func (g *Graph) DegreeDistribution(kind DegreeKind) []float64 {
+	counts := g.DegreeCounts(kind)
+	theta := make([]float64, len(counts))
+	if g.n == 0 {
+		return theta
+	}
+	for i, c := range counts {
+		theta[i] = float64(c) / float64(g.n)
+	}
+	return theta
+}
+
+// DegreeCounts returns the number of vertices at each degree of the given
+// kind; index i holds the count of vertices with degree i.
+func (g *Graph) DegreeCounts(kind DegreeKind) []int {
+	var counts []int
+	for v := 0; v < g.n; v++ {
+		d := g.Degree(kind, v)
+		for d >= len(counts) {
+			counts = append(counts, 0)
+		}
+		counts[d]++
+	}
+	if counts == nil {
+		counts = []int{}
+	}
+	return counts
+}
+
+// CCDF converts a density θ into the complementary cumulative
+// distribution γ with γ[l] = Σ_{k>l} θ[k] (equation (2) of the paper).
+// The result has the same length as theta; γ[len-1] = 0.
+func CCDF(theta []float64) []float64 {
+	gamma := make([]float64, len(theta))
+	var tail float64
+	for i := len(theta) - 1; i >= 0; i-- {
+		gamma[i] = tail
+		tail += theta[i]
+	}
+	return gamma
+}
+
+// Assortativity returns the exact degree assortative mixing coefficient r
+// of the directed graph, following Section 4.2.2: every directed edge
+// (u,v) ∈ Ed carries the label (outdeg(u), indeg(v)) and
+//
+//	r = (E[ij] − E[i]E[j]) / (σ_out σ_in)
+//
+// over the uniform distribution on labeled edges. Returns NaN when either
+// marginal is degenerate (σ = 0) or the graph has no edges.
+func (g *Graph) Assortativity() float64 {
+	var n, si, sj, sij, sii, sjj float64
+	g.DirectedEdges(func(u, v int32) {
+		i := float64(g.OutDegree(int(u)))
+		j := float64(g.InDegree(int(v)))
+		n++
+		si += i
+		sj += j
+		sij += i * j
+		sii += i * i
+		sjj += j * j
+	})
+	return pearsonFromMoments(n, si, sj, sij, sii, sjj)
+}
+
+// AssortativityUndirected returns the exact degree assortativity of the
+// symmetric view: every ordered symmetric edge (u,v) carries the label
+// (deg(u), deg(v)). This is what Section 6.1 computes when it "treats the
+// graphs as undirected".
+func (g *Graph) AssortativityUndirected() float64 {
+	var n, si, sj, sij, sii, sjj float64
+	g.SymEdges(func(u, v int32) {
+		i := float64(g.SymDegree(int(u)))
+		j := float64(g.SymDegree(int(v)))
+		n++
+		si += i
+		sj += j
+		sij += i * j
+		sii += i * i
+		sjj += j * j
+	})
+	return pearsonFromMoments(n, si, sj, sij, sii, sjj)
+}
+
+// pearsonFromMoments converts streaming moments into a Pearson
+// correlation; NaN when degenerate.
+func pearsonFromMoments(n, si, sj, sij, sii, sjj float64) float64 {
+	if n == 0 {
+		return math.NaN()
+	}
+	mi, mj := si/n, sj/n
+	cov := sij/n - mi*mj
+	vi := sii/n - mi*mi
+	vj := sjj/n - mj*mj
+	if vi <= 0 || vj <= 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vi*vj)
+}
+
+// GlobalClustering returns the exact global clustering coefficient
+// (Section 4.2.4, after Schank & Wagner):
+//
+//	C = (1/|V*|) Σ_{v∈V} c(v),  c(v) = Δ(v) / C(deg(v),2) for deg ≥ 2
+//
+// where V* is the set of vertices with deg(v) > 1. Returns NaN if V* is
+// empty.
+func (g *Graph) GlobalClustering() float64 {
+	var sum float64
+	var vstar int
+	for v := 0; v < g.n; v++ {
+		d := g.SymDegree(v)
+		if d < 2 {
+			continue
+		}
+		vstar++
+		pairs := float64(d) * float64(d-1) / 2
+		sum += float64(g.Triangles(v)) / pairs
+	}
+	if vstar == 0 {
+		return math.NaN()
+	}
+	return sum / float64(vstar)
+}
+
+// Summary holds the Table-1 style dataset description.
+type Summary struct {
+	Name          string
+	NumVertices   int
+	LCCSize       int
+	NumEdges      int     // directed edges |Ed|
+	AvgDegree     float64 // average symmetric degree |E|/|V|
+	WMax          float64 // max degree / average degree (wmax in Table 1)
+	NumComponents int
+	Connected     bool
+	Bipartite     bool
+}
+
+// Summarize computes the dataset summary the paper reports in Table 1.
+func (g *Graph) Summarize(name string) Summary {
+	_, sizes := g.Components()
+	lcc := 0
+	for _, s := range sizes {
+		if s > lcc {
+			lcc = s
+		}
+	}
+	avg := g.AverageSymDegree()
+	maxDeg, _ := g.MaxSymDegree()
+	wmax := 0.0
+	if avg > 0 {
+		wmax = float64(maxDeg) / avg
+	}
+	return Summary{
+		Name:          name,
+		NumVertices:   g.n,
+		LCCSize:       lcc,
+		NumEdges:      g.NumDirectedEdges(),
+		AvgDegree:     avg,
+		WMax:          wmax,
+		NumComponents: len(sizes),
+		Connected:     len(sizes) <= 1,
+		Bipartite:     g.IsBipartite(),
+	}
+}

@@ -1,0 +1,86 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"frontier/internal/graph"
+)
+
+// FuzzReadText ensures arbitrary input never panics the text parser and
+// that anything it accepts round-trips.
+func FuzzReadText(f *testing.F) {
+	f.Add("fgraph 1 3 2\n0 1\n1 2\n")
+	f.Add("fgraph 1 0 0\n")
+	f.Add("fgraph 1 2 1\n0 1\n# trailing comment\n")
+	f.Add("not a graph")
+	f.Add("fgraph 1 3 2\n0 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		g2, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumDirectedEdges() != g.NumDirectedEdges() {
+			t.Fatal("accepted input did not round-trip")
+		}
+	})
+}
+
+// FuzzReadBinary ensures arbitrary bytes never panic the binary parser.
+func FuzzReadBinary(f *testing.F) {
+	var sample bytes.Buffer
+	g := mustGraph()
+	if err := WriteBinary(&sample, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sample.Bytes())
+	f.Add([]byte("FGRB"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		g, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := ReadBinary(&buf); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}
+
+// FuzzReadGroupsText ensures the group-label parser never panics.
+func FuzzReadGroupsText(f *testing.F) {
+	f.Add("fgroups 1 3 2\n0 0 1\n2 1\n")
+	f.Add("fgroups 1 0 0\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, input string) {
+		gl, err := ReadGroupsText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteGroupsText(&buf, gl); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+	})
+}
+
+func mustGraph() *graph.Graph {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	return b.Build()
+}

@@ -1,0 +1,215 @@
+package graphio
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"frontier/internal/gen"
+	"frontier/internal/graph"
+	"frontier/internal/xrand"
+)
+
+func sameGraph(a, b *graph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumDirectedEdges() != b.NumDirectedEdges() {
+		return false
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		x, y := a.OutNeighbors(v), b.OutNeighbors(v)
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(1), 200, 2)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, got) {
+		t.Fatal("text round trip changed the graph")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := gen.DirectedConfigModel(xrand.New(2), 300, 1.9, 2, 40)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, got) {
+		t.Fatal("binary round trip changed the graph")
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(3), 1000, 4)
+	var tb, bb bytes.Buffer
+	if err := WriteText(&tb, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bb, g); err != nil {
+		t.Fatal(err)
+	}
+	if bb.Len() >= tb.Len() {
+		t.Fatalf("binary (%d bytes) not smaller than text (%d bytes)", bb.Len(), tb.Len())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(60)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		g := b.Build()
+		var tb, bb bytes.Buffer
+		if err := WriteText(&tb, g); err != nil {
+			return false
+		}
+		if err := WriteBinary(&bb, g); err != nil {
+			return false
+		}
+		gt, err := ReadText(&tb)
+		if err != nil {
+			return false
+		}
+		gb, err := ReadBinary(&bb)
+		if err != nil {
+			return false
+		}
+		return sameGraph(g, gt) && sameGraph(g, gb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus header\n",
+		"fgraph 2 3 0\n",
+		"fgraph 1 3 1\n1\n",
+		"fgraph 1 3 1\nx y\n",
+		"fgraph 1 3 1\n0 5\n",
+		"fgraph 1 3 2\n0 1\n", // edge count mismatch
+	}
+	for _, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q did not error", in)
+		} else if in != "" && !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("input %q: error %v is not ErrBadFormat", in, err)
+		}
+	}
+}
+
+func TestReadTextSkipsComments(t *testing.T) {
+	in := "fgraph 1 3 2\n# comment\n0 1\n\n1 2\n"
+	g, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumDirectedEdges() != 2 {
+		t.Fatalf("edges = %d", g.NumDirectedEdges())
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		append([]byte("FGRB"), 0xFF), // truncated varint
+	}
+	for i, in := range cases {
+		if _, err := ReadBinary(bytes.NewReader(in)); err == nil {
+			t.Fatalf("case %d did not error", i)
+		}
+	}
+}
+
+func TestGroupsRoundTrip(t *testing.T) {
+	r := xrand.New(4)
+	g := gen.BarabasiAlbert(r, 300, 2)
+	gl := gen.PlantGroups(r, g, 25, 120, 1.0)
+	var buf bytes.Buffer
+	if err := WriteGroupsText(&buf, gl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGroupsText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != gl.NumVertices() || got.NumGroups() != gl.NumGroups() {
+		t.Fatal("sizes changed")
+	}
+	for v := 0; v < gl.NumVertices(); v++ {
+		a, b := gl.Groups(v), got.Groups(v)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d groups changed", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d group %d changed", v, i)
+			}
+		}
+	}
+}
+
+func TestGroupsReadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"nope\n",
+		"fgroups 1 2 1\n5 0\n", // vertex out of range
+		"fgroups 1 2 1\n0 3\n", // group out of range
+		"fgroups 1 2 1\n0\n",   // missing groups
+		"fgroups 9 2 1\n0 0\n", // bad version
+	}
+	for _, in := range cases {
+		if _, err := ReadGroupsText(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q did not error", in)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.BarabasiAlbert(xrand.New(5), 150, 2)
+	for _, name := range []string{"g.fg", "g.fgrb"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, g); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameGraph(g, got) {
+			t.Fatalf("%s: file round trip changed the graph", name)
+		}
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.fg")); err == nil {
+		t.Fatal("loading missing file must error")
+	}
+}

@@ -1,0 +1,184 @@
+package netgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"frontier/internal/crawl"
+	"frontier/internal/estimate"
+	"frontier/internal/graph"
+)
+
+// Client crawls a graph served by Server. It caches vertex records so
+// that a random walk revisiting a vertex does not re-query the server —
+// matching the paper's cost model, where only first-time queries cost
+// budget (the session still charges per step; the cache saves network
+// round trips, not budget).
+//
+// Client implements crawl.Source and estimate.EdgeView, so samplers and
+// estimators run against it directly. It is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+	meta Meta
+
+	mu    sync.Mutex
+	cache map[int]*VertexRecord
+
+	fetches int64
+}
+
+// Compile-time interface checks.
+var (
+	_ crawl.Source      = (*Client)(nil)
+	_ estimate.EdgeView = (*Client)(nil)
+)
+
+// Dial fetches the remote graph's metadata and returns a client.
+// baseURL is e.g. "http://localhost:8080".
+func Dial(baseURL string, hc *http.Client) (*Client, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	c := &Client{base: baseURL, hc: hc, cache: make(map[int]*VertexRecord)}
+	resp, err := hc.Get(baseURL + "/v1/meta")
+	if err != nil {
+		return nil, fmt.Errorf("netgraph: dial: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorStatus("meta", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&c.meta); err != nil {
+		return nil, fmt.Errorf("netgraph: decoding meta: %w", err)
+	}
+	return c, nil
+}
+
+// Meta returns the remote graph's metadata.
+func (c *Client) Meta() Meta { return c.meta }
+
+// Fetches returns the number of vertex records fetched over the network
+// (cache misses).
+func (c *Client) Fetches() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fetches
+}
+
+// vertex returns the cached record for v, fetching it if necessary.
+// Errors panic with a typed value recovered by RunSafely; the
+// crawl.Source interface has no error returns because in-memory sources
+// cannot fail.
+func (c *Client) vertex(v int) *VertexRecord {
+	c.mu.Lock()
+	if rec, ok := c.cache[v]; ok {
+		c.mu.Unlock()
+		return rec
+	}
+	c.mu.Unlock()
+
+	resp, err := c.hc.Get(fmt.Sprintf("%s/v1/vertex/%d", c.base, v))
+	if err != nil {
+		panic(remoteError{fmt.Errorf("netgraph: vertex %d: %w", v, err)})
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		panic(remoteError{errorStatus(fmt.Sprintf("vertex %d", v), resp.StatusCode)})
+	}
+	rec := &VertexRecord{}
+	if err := json.NewDecoder(resp.Body).Decode(rec); err != nil {
+		panic(remoteError{fmt.Errorf("netgraph: decoding vertex %d: %w", v, err)})
+	}
+
+	c.mu.Lock()
+	c.cache[v] = rec
+	c.fetches++
+	c.mu.Unlock()
+	return rec
+}
+
+// remoteError wraps network failures carried through panics inside
+// RunSafely.
+type remoteError struct{ err error }
+
+// RunSafely invokes fn, converting any network failure raised by the
+// client's query methods into an error. Wrap sampler runs with it:
+//
+//	err := client.RunSafely(func() error { return sampler.Run(sess, emit) })
+func (c *Client) RunSafely(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(remoteError); ok {
+				err = re.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn()
+}
+
+// NumVertices implements crawl.Source.
+func (c *Client) NumVertices() int { return c.meta.NumVertices }
+
+// SymDegree implements crawl.Source.
+func (c *Client) SymDegree(v int) int { return c.vertex(v).SymDegree }
+
+// SymNeighbor implements crawl.Source.
+func (c *Client) SymNeighbor(v, i int) int { return int(c.vertex(v).SymNeighbors[i]) }
+
+// InDegree implements estimate.View.
+func (c *Client) InDegree(v int) int { return c.vertex(v).InDegree }
+
+// OutDegree implements estimate.View.
+func (c *Client) OutDegree(v int) int { return c.vertex(v).OutDegree }
+
+// HasDirectedEdge implements estimate.EdgeView using u's out-adjacency.
+func (c *Client) HasDirectedEdge(u, v int) bool {
+	adj := c.vertex(u).OutNeighbors
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= int32(v) })
+	return i < len(adj) && adj[i] == int32(v)
+}
+
+// SharedNeighbors implements estimate.EdgeView by intersecting the two
+// sorted symmetric adjacency lists.
+func (c *Client) SharedNeighbors(u, v int) int {
+	a, b := c.vertex(u).SymNeighbors, c.vertex(v).SymNeighbors
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Groups returns the group labels of v (nil when the server has none).
+func (c *Client) Groups(v int) []int32 { return c.vertex(v).Groups }
+
+// GroupLabelsSnapshot reconstructs group labels for all vertices by
+// querying each one. Intended for small graphs and tests; a real crawl
+// estimates group densities from samples instead.
+func (c *Client) GroupLabelsSnapshot() (*graph.GroupLabels, error) {
+	var gl *graph.GroupLabels
+	err := c.RunSafely(func() error {
+		membership := make([][]int32, c.meta.NumVertices)
+		for v := 0; v < c.meta.NumVertices; v++ {
+			membership[v] = c.Groups(v)
+		}
+		gl = graph.NewGroupLabels(c.meta.NumGroups, membership)
+		return nil
+	})
+	return gl, err
+}

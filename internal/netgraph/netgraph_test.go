@@ -1,0 +1,186 @@
+package netgraph
+
+import (
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"frontier/internal/core"
+	"frontier/internal/crawl"
+	"frontier/internal/estimate"
+	"frontier/internal/gen"
+	"frontier/internal/graph"
+	"frontier/internal/xrand"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *graph.Graph, *graph.GroupLabels) {
+	t.Helper()
+	r := xrand.New(11)
+	g := gen.BarabasiAlbert(r, 300, 3)
+	gl := gen.PlantGroups(r, g, 10, 120, 1.0)
+	ts := httptest.NewServer(NewServer("test-graph", g, gl))
+	t.Cleanup(ts.Close)
+	return ts, g, gl
+}
+
+func TestDialMeta(t *testing.T) {
+	ts, g, gl := testServer(t)
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.Meta()
+	if m.NumVertices != g.NumVertices() {
+		t.Fatalf("meta vertices = %d", m.NumVertices)
+	}
+	if m.NumDirectedEdges != g.NumDirectedEdges() || m.NumSymEdges != g.NumSymEdges() {
+		t.Fatalf("meta edges = %+v", m)
+	}
+	if m.NumGroups != gl.NumGroups() {
+		t.Fatalf("meta groups = %d", m.NumGroups)
+	}
+	if m.Name != "test-graph" {
+		t.Fatalf("meta name = %q", m.Name)
+	}
+}
+
+func TestDialBadURL(t *testing.T) {
+	if _, err := Dial("http://127.0.0.1:1", nil); err == nil {
+		t.Fatal("expected dial failure")
+	}
+}
+
+func TestClientMatchesGraph(t *testing.T) {
+	ts, g, gl := testServer(t)
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.RunSafely(func() error {
+		for v := 0; v < g.NumVertices(); v += 17 {
+			if c.SymDegree(v) != g.SymDegree(v) {
+				t.Fatalf("SymDegree(%d) mismatch", v)
+			}
+			if c.InDegree(v) != g.InDegree(v) || c.OutDegree(v) != g.OutDegree(v) {
+				t.Fatalf("directed degrees mismatch at %d", v)
+			}
+			for i := 0; i < g.SymDegree(v); i++ {
+				if c.SymNeighbor(v, i) != g.SymNeighbor(v, i) {
+					t.Fatalf("SymNeighbor(%d,%d) mismatch", v, i)
+				}
+			}
+			u := g.SymNeighbor(v, 0)
+			if c.HasDirectedEdge(v, u) != g.HasDirectedEdge(v, u) {
+				t.Fatalf("HasDirectedEdge(%d,%d) mismatch", v, u)
+			}
+			if c.SharedNeighbors(v, u) != g.SharedNeighbors(v, u) {
+				t.Fatalf("SharedNeighbors(%d,%d) mismatch", v, u)
+			}
+			gsWant := gl.Groups(v)
+			gsGot := c.Groups(v)
+			if len(gsWant) != len(gsGot) {
+				t.Fatalf("Groups(%d) mismatch", v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientCache(t *testing.T) {
+	ts, _, _ := testServer(t)
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.RunSafely(func() error {
+		c.SymDegree(5)
+		c.SymDegree(5)
+		c.InDegree(5)
+		c.OutDegree(5)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fetches() != 1 {
+		t.Fatalf("fetches = %d, want 1 (cache)", c.Fetches())
+	}
+}
+
+func TestClientVertexNotFound(t *testing.T) {
+	ts, _, _ := testServer(t)
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.RunSafely(func() error {
+		c.SymDegree(1 << 20)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error for out-of-range vertex")
+	}
+}
+
+func TestRunSafelyPassesThroughForeignPanics(t *testing.T) {
+	ts, _, _ := testServer(t)
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign panic swallowed")
+		}
+	}()
+	_ = c.RunSafely(func() error { panic("unrelated") })
+}
+
+// TestFrontierSamplingOverHTTP is the end-to-end check: run Frontier
+// Sampling against the remote graph and verify the degree-distribution
+// estimate converges, exactly as it would in-memory.
+func TestFrontierSamplingOverHTTP(t *testing.T) {
+	ts, g, _ := testServer(t)
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := estimate.NewDegreeDist(c, graph.SymDeg)
+	sess := crawl.NewSession(c, 30000, crawl.UnitCosts(), xrand.New(42))
+	fs := &core.FrontierSampler{M: 20}
+	err = c.RunSafely(func() error { return fs.Run(sess, est.Observe) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := g.DegreeDistribution(graph.SymDeg)
+	got := est.Theta()
+	if math.Abs(got[3]-truth[3]) > 0.05 {
+		t.Fatalf("theta[3] over HTTP = %v, want ~%v", got[3], truth[3])
+	}
+	if c.Fetches() > int64(g.NumVertices()) {
+		t.Fatalf("fetched %d records for %d vertices — cache broken", c.Fetches(), g.NumVertices())
+	}
+}
+
+func TestGroupLabelsSnapshot(t *testing.T) {
+	ts, _, gl := testServer(t)
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.GroupLabelsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumGroups() != gl.NumGroups() || got.NumVertices() != gl.NumVertices() {
+		t.Fatal("snapshot sizes wrong")
+	}
+	for id := 0; id < gl.NumGroups(); id++ {
+		if got.GroupSize(id) != gl.GroupSize(id) {
+			t.Fatalf("group %d size mismatch", id)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package netgraph exposes a graph over HTTP and lets the samplers crawl
+// it across the network.
+//
+// Real deployments of the paper's methods crawl an online social
+// network's web API: each vertex query returns the user's incoming and
+// outgoing edges (the paper's access model, Section 2). This package
+// provides both halves of that interaction for experiments and examples:
+//
+//   - Server: a net/http handler serving vertex neighborhoods and graph
+//     metadata as JSON (mounted by cmd/graphd);
+//   - Client: an HTTP client with a vertex cache that implements
+//     crawl.Source and estimate.EdgeView, so every sampler and estimator
+//     in this repository runs unmodified against a remote graph.
+package netgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"frontier/internal/graph"
+)
+
+// Meta describes the served graph.
+type Meta struct {
+	NumVertices      int    `json:"num_vertices"`
+	NumDirectedEdges int    `json:"num_directed_edges"`
+	NumSymEdges      int    `json:"num_sym_edges"`
+	NumGroups        int    `json:"num_groups"`
+	Name             string `json:"name,omitempty"`
+}
+
+// VertexRecord is the response to a vertex query: everything the
+// paper's access model reveals when a vertex is crawled.
+type VertexRecord struct {
+	ID           int     `json:"id"`
+	SymDegree    int     `json:"sym_degree"`
+	InDegree     int     `json:"in_degree"`
+	OutDegree    int     `json:"out_degree"`
+	SymNeighbors []int32 `json:"sym_neighbors"`
+	OutNeighbors []int32 `json:"out_neighbors"`
+	Groups       []int32 `json:"groups,omitempty"`
+}
+
+// Server serves a graph (and optional group labels) over HTTP.
+type Server struct {
+	name   string
+	g      *graph.Graph
+	groups *graph.GroupLabels
+	mux    *http.ServeMux
+}
+
+// NewServer creates a server for g. groups may be nil.
+func NewServer(name string, g *graph.Graph, groups *graph.GroupLabels) *Server {
+	s := &Server{name: name, g: g, groups: groups, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/meta", s.handleMeta)
+	s.mux.HandleFunc("GET /v1/vertex/{id}", s.handleVertex)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
+	numGroups := 0
+	if s.groups != nil {
+		numGroups = s.groups.NumGroups()
+	}
+	writeJSON(w, Meta{
+		NumVertices:      s.g.NumVertices(),
+		NumDirectedEdges: s.g.NumDirectedEdges(),
+		NumSymEdges:      s.g.NumSymEdges(),
+		NumGroups:        numGroups,
+		Name:             s.name,
+	})
+}
+
+func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 || id >= s.g.NumVertices() {
+		http.Error(w, "no such vertex", http.StatusNotFound)
+		return
+	}
+	rec := VertexRecord{
+		ID:           id,
+		SymDegree:    s.g.SymDegree(id),
+		InDegree:     s.g.InDegree(id),
+		OutDegree:    s.g.OutDegree(id),
+		SymNeighbors: s.g.SymNeighbors(id),
+		OutNeighbors: s.g.OutNeighbors(id),
+	}
+	if s.groups != nil {
+		rec.Groups = s.groups.Groups(id)
+	}
+	writeJSON(w, rec)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Connection-level failure; response already partially written.
+		// Nothing actionable server-side.
+		_ = err
+	}
+}
+
+// errorStatus maps an HTTP status to an error.
+func errorStatus(op string, code int) error {
+	return fmt.Errorf("netgraph: %s: unexpected status %d", op, code)
+}

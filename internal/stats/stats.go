@@ -1,0 +1,249 @@
+// Package stats implements the error metrics and running statistics the
+// paper scores estimators with.
+//
+// The two headline metrics are the normalized root mean squared error of
+// a density estimate (NMSE, equation (1)) and of its complementary
+// cumulative distribution function (CNMSE, equation (2)), both computed
+// empirically over many Monte Carlo runs. The package also provides
+// Welford-style running moments and small distribution helpers shared by
+// the experiment harness.
+package stats
+
+import "math"
+
+// Welford accumulates a running mean and variance in a numerically
+// stable way. The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance (0 with fewer than 2
+// observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// ScalarError accumulates Monte Carlo estimates of a scalar quantity with
+// known truth and reports bias and NMSE.
+type ScalarError struct {
+	truth float64
+	n     int64
+	sum   float64
+	sqErr float64
+}
+
+// NewScalarError creates an accumulator for the given true value.
+func NewScalarError(truth float64) *ScalarError {
+	return &ScalarError{truth: truth}
+}
+
+// Add records one estimate.
+func (s *ScalarError) Add(estimate float64) {
+	s.n++
+	s.sum += estimate
+	d := estimate - s.truth
+	s.sqErr += d * d
+}
+
+// N returns the number of estimates recorded.
+func (s *ScalarError) N() int64 { return s.n }
+
+// Truth returns the reference value.
+func (s *ScalarError) Truth() float64 { return s.truth }
+
+// MeanEstimate returns the empirical mean of the estimates.
+func (s *ScalarError) MeanEstimate() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.sum / float64(s.n)
+}
+
+// RelativeBias returns 1 − E[θ̂]/θ, the bias measure Table 2 reports.
+// NaN when truth is zero or nothing was recorded.
+func (s *ScalarError) RelativeBias() float64 {
+	if s.n == 0 || s.truth == 0 {
+		return math.NaN()
+	}
+	return 1 - s.MeanEstimate()/s.truth
+}
+
+// NMSE returns sqrt(E[(θ̂−θ)²]) / θ (equation (1)). NaN when truth is
+// zero or nothing was recorded.
+func (s *ScalarError) NMSE() float64 {
+	if s.n == 0 || s.truth == 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(s.sqErr/float64(s.n)) / math.Abs(s.truth)
+}
+
+// VectorError accumulates Monte Carlo estimates of a vector of
+// quantities (e.g. a degree distribution or its CCDF) with known truth
+// and reports a per-index NMSE. Estimate vectors shorter than the truth
+// are treated as zero-padded (a run that never observed degree k
+// estimates θ_k = 0); entries beyond the truth's length are ignored, as
+// the paper only scores labels that exist in the graph.
+type VectorError struct {
+	truth []float64
+	n     int64
+	sqErr []float64
+	sum   []float64
+}
+
+// NewVectorError creates an accumulator for the given truth vector. The
+// slice is copied.
+func NewVectorError(truth []float64) *VectorError {
+	t := make([]float64, len(truth))
+	copy(t, truth)
+	return &VectorError{
+		truth: t,
+		sqErr: make([]float64, len(truth)),
+		sum:   make([]float64, len(truth)),
+	}
+}
+
+// Add records one estimate vector.
+func (v *VectorError) Add(estimate []float64) {
+	v.n++
+	for i := range v.truth {
+		var e float64
+		if i < len(estimate) {
+			e = estimate[i]
+		}
+		d := e - v.truth[i]
+		v.sqErr[i] += d * d
+		v.sum[i] += e
+	}
+}
+
+// N returns the number of estimate vectors recorded.
+func (v *VectorError) N() int64 { return v.n }
+
+// Len returns the truth vector's length.
+func (v *VectorError) Len() int { return len(v.truth) }
+
+// Truth returns the truth value at index i.
+func (v *VectorError) Truth(i int) float64 { return v.truth[i] }
+
+// NMSEAt returns the NMSE at index i; NaN where the truth is zero.
+func (v *VectorError) NMSEAt(i int) float64 {
+	if v.n == 0 || v.truth[i] == 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(v.sqErr[i]/float64(v.n)) / v.truth[i]
+}
+
+// NMSE returns the per-index NMSE vector (equation (1); when the truth
+// is a CCDF this is exactly the paper's CNMSE, equation (2)). Entries
+// with zero truth are NaN.
+func (v *VectorError) NMSE() []float64 {
+	out := make([]float64, len(v.truth))
+	for i := range out {
+		out[i] = v.NMSEAt(i)
+	}
+	return out
+}
+
+// MeanAt returns the empirical mean estimate at index i.
+func (v *VectorError) MeanAt(i int) float64 {
+	if v.n == 0 {
+		return math.NaN()
+	}
+	return v.sum[i] / float64(v.n)
+}
+
+// Normalize scales xs so it sums to 1. Zero-sum input is returned
+// unchanged.
+func Normalize(xs []float64) []float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	if sum == 0 {
+		return xs
+	}
+	for i := range xs {
+		xs[i] /= sum
+	}
+	return xs
+}
+
+// Mean returns the arithmetic mean of xs (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeometricMeanOfValid returns the geometric mean of the finite,
+// positive entries of xs and the number of such entries. Experiments use
+// it to condense a per-degree NMSE curve into one comparable number.
+func GeometricMeanOfValid(xs []float64) (gm float64, n int) {
+	var logSum float64
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x <= 0 {
+			continue
+		}
+		logSum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return math.NaN(), 0
+	}
+	return math.Exp(logSum / float64(n)), n
+}
+
+// LogBuckets returns up to perDecade indexes per decade from [1, n),
+// always including 1 and n-1. Experiment output uses it to thin dense
+// degree axes the way the paper's log-log plots do.
+func LogBuckets(n, perDecade int) []int {
+	if n <= 1 {
+		return nil
+	}
+	if perDecade < 1 {
+		perDecade = 1
+	}
+	var idx []int
+	seen := -1
+	for e := 0.0; ; e += 1.0 / float64(perDecade) {
+		i := int(math.Round(math.Pow(10, e)))
+		if i >= n {
+			break
+		}
+		if i != seen {
+			idx = append(idx, i)
+			seen = i
+		}
+	}
+	if idx[len(idx)-1] != n-1 {
+		idx = append(idx, n-1)
+	}
+	return idx
+}

@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"frontier/internal/xrand"
+)
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", w.Mean())
+	}
+	if math.Abs(w.Variance()-4) > 1e-12 {
+		t.Fatalf("Variance = %v, want 4", w.Variance())
+	}
+	if math.Abs(w.StdDev()-2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 2", w.StdDev())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 {
+		t.Fatal("empty Welford should be zero")
+	}
+	w.Add(3)
+	if w.Variance() != 0 {
+		t.Fatal("single-sample variance should be 0")
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(100)
+		xs := make([]float64, n)
+		var w Welford
+		var sum float64
+		for i := range xs {
+			xs[i] = r.Float64()*100 - 50
+			w.Add(xs[i])
+			sum += xs[i]
+		}
+		mean := sum / float64(n)
+		var m2 float64
+		for _, x := range xs {
+			m2 += (x - mean) * (x - mean)
+		}
+		return math.Abs(w.Mean()-mean) < 1e-9 && math.Abs(w.Variance()-m2/float64(n)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalarError(t *testing.T) {
+	s := NewScalarError(2.0)
+	s.Add(1.0)
+	s.Add(3.0)
+	// mean estimate 2 → bias 0; squared errors 1,1 → RMSE 1 → NMSE 0.5.
+	if math.Abs(s.RelativeBias()) > 1e-12 {
+		t.Fatalf("bias = %v", s.RelativeBias())
+	}
+	if math.Abs(s.NMSE()-0.5) > 1e-12 {
+		t.Fatalf("NMSE = %v, want 0.5", s.NMSE())
+	}
+	if s.N() != 2 || s.Truth() != 2.0 {
+		t.Fatal("bookkeeping wrong")
+	}
+}
+
+func TestScalarErrorDegenerate(t *testing.T) {
+	s := NewScalarError(0)
+	s.Add(1)
+	if !math.IsNaN(s.NMSE()) || !math.IsNaN(s.RelativeBias()) {
+		t.Fatal("zero truth must give NaN metrics")
+	}
+	empty := NewScalarError(1)
+	if !math.IsNaN(empty.NMSE()) || !math.IsNaN(empty.MeanEstimate()) {
+		t.Fatal("empty accumulator must give NaN")
+	}
+}
+
+func TestScalarErrorUnbiasedEstimatorConverges(t *testing.T) {
+	// NMSE of an unbiased noisy estimator must match σ/θ.
+	r := xrand.New(3)
+	s := NewScalarError(10)
+	const sigma = 2.0
+	for i := 0; i < 200000; i++ {
+		// Uniform noise on [-a,a] has σ = a/sqrt(3); choose a = 2√3.
+		noise := (r.Float64()*2 - 1) * sigma * math.Sqrt(3)
+		s.Add(10 + noise)
+	}
+	want := sigma / 10
+	if math.Abs(s.NMSE()-want) > 0.01 {
+		t.Fatalf("NMSE = %v, want ~%v", s.NMSE(), want)
+	}
+}
+
+func TestVectorError(t *testing.T) {
+	v := NewVectorError([]float64{1, 2, 0})
+	v.Add([]float64{1.5, 2})        // short: index 2 treated as 0
+	v.Add([]float64{0.5, 2, 0, 99}) // long: index 3 ignored
+	if v.N() != 2 || v.Len() != 3 {
+		t.Fatal("bookkeeping wrong")
+	}
+	// Index 0: errors ±0.5 → RMSE 0.5 → NMSE 0.5.
+	if math.Abs(v.NMSEAt(0)-0.5) > 1e-12 {
+		t.Fatalf("NMSEAt(0) = %v", v.NMSEAt(0))
+	}
+	// Index 1: exact → 0.
+	if v.NMSEAt(1) != 0 {
+		t.Fatalf("NMSEAt(1) = %v", v.NMSEAt(1))
+	}
+	// Index 2: truth 0 → NaN.
+	if !math.IsNaN(v.NMSEAt(2)) {
+		t.Fatalf("NMSEAt(2) = %v, want NaN", v.NMSEAt(2))
+	}
+	if math.Abs(v.MeanAt(0)-1.0) > 1e-12 {
+		t.Fatalf("MeanAt(0) = %v", v.MeanAt(0))
+	}
+	nm := v.NMSE()
+	if len(nm) != 3 {
+		t.Fatalf("NMSE len = %d", len(nm))
+	}
+}
+
+func TestVectorErrorTruthCopied(t *testing.T) {
+	truth := []float64{1, 2}
+	v := NewVectorError(truth)
+	truth[0] = 99
+	if v.Truth(0) != 1 {
+		t.Fatal("truth slice aliased")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	xs := Normalize([]float64{1, 3})
+	if math.Abs(xs[0]-0.25) > 1e-12 || math.Abs(xs[1]-0.75) > 1e-12 {
+		t.Fatalf("Normalize = %v", xs)
+	}
+	zero := Normalize([]float64{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatal("zero input must be unchanged")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); math.Abs(m-2) > 1e-12 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean of empty must be NaN")
+	}
+}
+
+func TestGeometricMeanOfValid(t *testing.T) {
+	gm, n := GeometricMeanOfValid([]float64{1, 4, math.NaN(), 0, -1, math.Inf(1)})
+	if n != 2 {
+		t.Fatalf("valid count = %d", n)
+	}
+	if math.Abs(gm-2) > 1e-12 {
+		t.Fatalf("gm = %v, want 2", gm)
+	}
+	if gm, n := GeometricMeanOfValid(nil); n != 0 || !math.IsNaN(gm) {
+		t.Fatal("empty input must give NaN")
+	}
+}
+
+func TestLogBuckets(t *testing.T) {
+	idx := LogBuckets(1000, 5)
+	if idx[0] != 1 {
+		t.Fatalf("first bucket = %d", idx[0])
+	}
+	if idx[len(idx)-1] != 999 {
+		t.Fatalf("last bucket = %d", idx[len(idx)-1])
+	}
+	for i := 1; i < len(idx); i++ {
+		if idx[i] <= idx[i-1] {
+			t.Fatalf("buckets not strictly increasing: %v", idx)
+		}
+	}
+	if len(idx) > 5*3+2 {
+		t.Fatalf("too many buckets: %d", len(idx))
+	}
+	if LogBuckets(1, 5) != nil {
+		t.Fatal("n=1 must give nil")
+	}
+}

@@ -1,0 +1,219 @@
+// Package walkstats provides convergence diagnostics for random-walk
+// sample sequences.
+//
+// Section 4.3 of the paper discusses the two classic failure modes of
+// walk-based estimation — non-stationary starts and walkers trapped in
+// local neighborhoods — and Section 7 notes that practitioners run
+// multiple independent walkers purely as a convergence test. This
+// package implements that toolbox so users can diagnose their own
+// crawls:
+//
+//   - GelmanRubin: the potential scale reduction factor R̂ across
+//     several independent chains (≈1 when the chains have mixed);
+//   - Geweke: the z-score comparing the mean of an early window of one
+//     chain against a late window (|z| ≲ 2 when stationary);
+//   - Autocorrelation and EffectiveSampleSize: how many independent
+//     samples a correlated walk is really worth.
+//
+// All functions operate on plain float64 series, e.g. the sequence of
+// 1/deg(v_i) weights or a label indicator along a walk.
+package walkstats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrTooShort is returned when a series is too short for the requested
+// diagnostic.
+var ErrTooShort = errors.New("walkstats: series too short")
+
+func meanVar(xs []float64) (mean, variance float64) {
+	n := float64(len(xs))
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	if len(xs) > 1 {
+		variance /= n - 1
+	}
+	return mean, variance
+}
+
+// GelmanRubin computes the potential scale reduction factor R̂ over m ≥ 2
+// chains of equal length n ≥ 2. Values near 1 indicate the chains agree
+// (mixed); values well above 1 indicate the chains are still exploring
+// different regions — exactly what happens to MultipleRW walkers caught
+// in different components.
+func GelmanRubin(chains [][]float64) (float64, error) {
+	m := len(chains)
+	if m < 2 {
+		return 0, errors.New("walkstats: GelmanRubin needs >= 2 chains")
+	}
+	n := len(chains[0])
+	if n < 2 {
+		return 0, ErrTooShort
+	}
+	for _, c := range chains {
+		if len(c) != n {
+			return 0, errors.New("walkstats: chains must have equal length")
+		}
+	}
+	means := make([]float64, m)
+	vars := make([]float64, m)
+	for i, c := range chains {
+		means[i], vars[i] = meanVar(c)
+	}
+	grand, _ := meanVar(means)
+	// Between-chain variance B/n and within-chain variance W.
+	var b float64
+	for _, mu := range means {
+		d := mu - grand
+		b += d * d
+	}
+	b *= float64(n) / float64(m-1)
+	var w float64
+	for _, v := range vars {
+		w += v
+	}
+	w /= float64(m)
+	if w == 0 {
+		if b == 0 {
+			return 1, nil // all chains identical and constant
+		}
+		return math.Inf(1), nil
+	}
+	varPlus := float64(n-1)/float64(n)*w + b/float64(n)
+	return math.Sqrt(varPlus / w), nil
+}
+
+// Geweke computes the z-score comparing the mean of the first
+// firstFrac of the series against the last lastFrac, using spectral
+// variance estimates from non-overlapping batch means. The conventional
+// windows are firstFrac=0.1, lastFrac=0.5; |z| ≲ 2 is consistent with
+// stationarity.
+func Geweke(xs []float64, firstFrac, lastFrac float64) (float64, error) {
+	if firstFrac <= 0 || lastFrac <= 0 || firstFrac+lastFrac > 1 {
+		return 0, errors.New("walkstats: invalid Geweke windows")
+	}
+	n := len(xs)
+	na := int(float64(n) * firstFrac)
+	nb := int(float64(n) * lastFrac)
+	if na < 8 || nb < 8 {
+		return 0, ErrTooShort
+	}
+	a := xs[:na]
+	b := xs[n-nb:]
+	ma, va := batchMeanVariance(a)
+	mb, vb := batchMeanVariance(b)
+	denom := math.Sqrt(va + vb)
+	if denom == 0 {
+		return 0, nil
+	}
+	return (ma - mb) / denom, nil
+}
+
+// batchMeanVariance estimates the variance of the sample mean of a
+// correlated series using sqrt(n) non-overlapping batches.
+func batchMeanVariance(xs []float64) (mean, varOfMean float64) {
+	n := len(xs)
+	bs := int(math.Sqrt(float64(n)))
+	if bs < 1 {
+		bs = 1
+	}
+	nb := n / bs
+	batch := make([]float64, 0, nb)
+	for i := 0; i+bs <= n; i += bs {
+		m, _ := meanVar(xs[i : i+bs])
+		batch = append(batch, m)
+	}
+	mean, v := meanVar(batch)
+	return mean, v / float64(len(batch))
+}
+
+// Autocorrelation returns the lag-k autocorrelation estimates of xs for
+// k = 0..maxLag (index k holds lag k; index 0 is always 1 for a
+// non-constant series).
+func Autocorrelation(xs []float64, maxLag int) ([]float64, error) {
+	n := len(xs)
+	if n < 2 || maxLag >= n {
+		return nil, ErrTooShort
+	}
+	mean, variance := meanVar(xs)
+	out := make([]float64, maxLag+1)
+	if variance == 0 {
+		out[0] = 1
+		return out, nil
+	}
+	denom := variance * float64(n-1)
+	for k := 0; k <= maxLag; k++ {
+		var s float64
+		for i := 0; i+k < n; i++ {
+			s += (xs[i] - mean) * (xs[i+k] - mean)
+		}
+		out[k] = s / denom
+	}
+	return out, nil
+}
+
+// EffectiveSampleSize estimates the number of independent samples the
+// correlated series is worth: n / (1 + 2 Σ ρ_k), truncating the
+// autocorrelation sum at the first non-positive pair (Geyer's initial
+// positive sequence rule, simplified to single lags).
+func EffectiveSampleSize(xs []float64) (float64, error) {
+	n := len(xs)
+	if n < 4 {
+		return 0, ErrTooShort
+	}
+	maxLag := n / 2
+	rho, err := Autocorrelation(xs, maxLag)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for k := 1; k <= maxLag; k++ {
+		if rho[k] <= 0 {
+			break
+		}
+		s += rho[k]
+	}
+	ess := float64(n) / (1 + 2*s)
+	if ess > float64(n) {
+		ess = float64(n)
+	}
+	return ess, nil
+}
+
+// MeanCI returns the sample mean of a correlated walk series together
+// with a ~95% confidence half-width estimated by non-overlapping batch
+// means (the standard MCMC output-analysis technique). Unlike the NMSE
+// metrics, it needs no ground truth, so a crawler can attach error bars
+// to a single run's estimate.
+func MeanCI(xs []float64) (mean, halfWidth float64, err error) {
+	if len(xs) < 16 {
+		return 0, 0, ErrTooShort
+	}
+	mean, varOfMean := batchMeanVariance(xs)
+	return mean, 1.96 * math.Sqrt(varOfMean), nil
+}
+
+// ChainsFromWalk splits a single series into m equal chains (discarding
+// the remainder), a common way to feed a single walk into GelmanRubin.
+func ChainsFromWalk(xs []float64, m int) ([][]float64, error) {
+	if m < 2 {
+		return nil, errors.New("walkstats: need >= 2 chains")
+	}
+	n := len(xs) / m
+	if n < 2 {
+		return nil, ErrTooShort
+	}
+	chains := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		chains[i] = xs[i*n : (i+1)*n]
+	}
+	return chains, nil
+}

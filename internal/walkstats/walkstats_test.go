@@ -1,0 +1,291 @@
+package walkstats
+
+import (
+	"math"
+	"testing"
+
+	"frontier/internal/core"
+	"frontier/internal/crawl"
+	"frontier/internal/gen"
+	"frontier/internal/graph"
+	"frontier/internal/xrand"
+)
+
+// iidSeries returns n iid uniform values.
+func iidSeries(seed uint64, n int) []float64 {
+	r := xrand.New(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	return xs
+}
+
+// ar1Series returns a strongly autocorrelated AR(1) series.
+func ar1Series(seed uint64, n int, phi float64) []float64 {
+	r := xrand.New(seed)
+	xs := make([]float64, n)
+	x := 0.0
+	for i := range xs {
+		x = phi*x + (r.Float64() - 0.5)
+		xs[i] = x
+	}
+	return xs
+}
+
+func TestGelmanRubinMixedChains(t *testing.T) {
+	chains := [][]float64{iidSeries(1, 2000), iidSeries(2, 2000), iidSeries(3, 2000)}
+	r, err := GelmanRubin(chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.98 || r > 1.05 {
+		t.Fatalf("R-hat for iid chains = %v, want ~1", r)
+	}
+}
+
+func TestGelmanRubinSeparatedChains(t *testing.T) {
+	// Chains with different means (walkers trapped in different
+	// components) must give R-hat >> 1.
+	a := iidSeries(4, 1000)
+	b := iidSeries(5, 1000)
+	for i := range b {
+		b[i] += 10
+	}
+	r, err := GelmanRubin([][]float64{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 3 {
+		t.Fatalf("R-hat for separated chains = %v, want >> 1", r)
+	}
+}
+
+func TestGelmanRubinErrors(t *testing.T) {
+	if _, err := GelmanRubin([][]float64{{1, 2}}); err == nil {
+		t.Fatal("one chain must error")
+	}
+	if _, err := GelmanRubin([][]float64{{1}, {2}}); err == nil {
+		t.Fatal("length-1 chains must error")
+	}
+	if _, err := GelmanRubin([][]float64{{1, 2}, {1, 2, 3}}); err == nil {
+		t.Fatal("unequal chains must error")
+	}
+	// Constant identical chains: R-hat defined as 1.
+	r, err := GelmanRubin([][]float64{{5, 5, 5}, {5, 5, 5}})
+	if err != nil || r != 1 {
+		t.Fatalf("constant chains: %v, %v", r, err)
+	}
+}
+
+func TestGewekeStationary(t *testing.T) {
+	z, err := Geweke(iidSeries(6, 5000), 0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z) > 3 {
+		t.Fatalf("Geweke z for stationary series = %v", z)
+	}
+}
+
+func TestGewekeDrift(t *testing.T) {
+	// A strongly drifting series must fail the diagnostic.
+	xs := make([]float64, 5000)
+	r := xrand.New(7)
+	for i := range xs {
+		xs[i] = float64(i)/1000 + 0.1*r.Float64()
+	}
+	z, err := Geweke(xs, 0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z) < 5 {
+		t.Fatalf("Geweke z for drifting series = %v, want large", z)
+	}
+}
+
+func TestGewekeErrors(t *testing.T) {
+	if _, err := Geweke(iidSeries(8, 100), 0, 0.5); err == nil {
+		t.Fatal("zero window must error")
+	}
+	if _, err := Geweke(iidSeries(9, 100), 0.6, 0.6); err == nil {
+		t.Fatal("overlapping windows must error")
+	}
+	if _, err := Geweke(iidSeries(10, 20), 0.1, 0.5); err != ErrTooShort {
+		t.Fatal("short series must return ErrTooShort")
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	rho, err := Autocorrelation(iidSeries(11, 20000), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho[0]-1) > 1e-9 {
+		t.Fatalf("rho[0] = %v", rho[0])
+	}
+	for k := 1; k <= 5; k++ {
+		if math.Abs(rho[k]) > 0.05 {
+			t.Fatalf("iid rho[%d] = %v", k, rho[k])
+		}
+	}
+	ar := ar1Series(12, 20000, 0.9)
+	rhoAR, err := Autocorrelation(ar, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rhoAR[1] < 0.8 {
+		t.Fatalf("AR(1) rho[1] = %v, want ~0.9", rhoAR[1])
+	}
+	if rhoAR[2] >= rhoAR[1] {
+		t.Fatal("autocorrelation must decay")
+	}
+	if _, err := Autocorrelation([]float64{1}, 1); err == nil {
+		t.Fatal("short series must error")
+	}
+}
+
+func TestEffectiveSampleSize(t *testing.T) {
+	iid := iidSeries(13, 5000)
+	essIID, err := EffectiveSampleSize(iid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if essIID < 2500 {
+		t.Fatalf("iid ESS = %v of 5000, want near n", essIID)
+	}
+	ar := ar1Series(14, 5000, 0.95)
+	essAR, err := EffectiveSampleSize(ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AR(1) with phi=0.95 has ESS ≈ n(1-phi)/(1+phi) ≈ n/39.
+	if essAR > essIID/5 {
+		t.Fatalf("AR ESS = %v not much below iid %v", essAR, essIID)
+	}
+	if _, err := EffectiveSampleSize([]float64{1, 2}); err == nil {
+		t.Fatal("short series must error")
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	// iid uniform: mean 0.5, CI should cover it and shrink like 1/sqrt(n).
+	xs := iidSeries(40, 10000)
+	mean, hw, err := MeanCI(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-0.5) > hw {
+		t.Fatalf("CI [%v ± %v] misses 0.5", mean, hw)
+	}
+	// For n=10000 iid uniform, σ/√n ≈ 0.0029, so hw ≈ 0.0057.
+	if hw < 0.002 || hw > 0.02 {
+		t.Fatalf("half-width %v implausible", hw)
+	}
+	// Correlated series must get a wider CI than an iid one of equal
+	// length (batch means absorb the autocorrelation).
+	_, hwAR, err := MeanCI(ar1Series(41, 10000, 0.95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hwAR < 2*hw {
+		t.Fatalf("AR half-width %v not much wider than iid %v", hwAR, hw)
+	}
+	if _, _, err := MeanCI(make([]float64, 5)); err != ErrTooShort {
+		t.Fatal("short series must return ErrTooShort")
+	}
+}
+
+func TestChainsFromWalk(t *testing.T) {
+	xs := iidSeries(15, 103)
+	chains, err := ChainsFromWalk(xs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != 4 || len(chains[0]) != 25 {
+		t.Fatalf("chains shape wrong: %d x %d", len(chains), len(chains[0]))
+	}
+	if _, err := ChainsFromWalk(xs, 1); err == nil {
+		t.Fatal("m=1 must error")
+	}
+	if _, err := ChainsFromWalk(xs[:3], 4); err != ErrTooShort {
+		t.Fatal("short walk must return ErrTooShort")
+	}
+}
+
+// TestDiagnosticsOnRealWalks ties the package to the paper's setting:
+// on a connected graph, independent walkers agree (R̂ ≈ 1); on the GAB
+// graph, walkers trapped in the two halves disagree loudly.
+func TestDiagnosticsOnRealWalks(t *testing.T) {
+	collect := func(g interface {
+		NumVertices() int
+		SymDegree(v int) int
+		SymNeighbor(v, i int) int
+	}, seed uint64, steps int) []float64 {
+		sess := crawl.NewSession(g, float64(steps+1), crawl.UnitCosts(), xrand.New(seed))
+		var series []float64
+		rw := &core.SingleRW{}
+		if err := rw.Run(sess, func(u, v int) {
+			series = append(series, float64(g.SymDegree(v)))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return series
+	}
+
+	// Connected BA graph: chains from independent walkers mix.
+	ba := gen.BarabasiAlbert(xrand.New(30), 3000, 3)
+	const steps = 4000
+	chains := [][]float64{
+		collect(ba, 31, steps), collect(ba, 32, steps), collect(ba, 33, steps),
+	}
+	rHat, err := GelmanRubin(chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rHat > 1.2 {
+		t.Fatalf("connected-graph R-hat = %v, want ~1", rHat)
+	}
+
+	// Disconnected two-BA union (the GAB construction without its
+	// bridge): walkers can never leave their half. Track a bounded
+	// statistic — the indicator of visiting a degree ≤ 2 vertex — whose
+	// mean differs strongly between the sparse GA and the dense GB
+	// (heavy-tailed raw degrees would drown the between-chain variance).
+	r34 := xrand.New(34)
+	gab := gen.JoinComponents([]*graph.Graph{
+		gen.BarabasiAlbert(r34, 5000, 1),
+		gen.BarabasiAlbert(r34, 5000, 5),
+	}, false)
+	collectFrom := func(start int, seed uint64) []float64 {
+		sess := crawl.NewSession(gab, steps+1, crawl.UnitCosts(), xrand.New(seed))
+		var series []float64
+		rw := &core.SingleRW{Seeder: core.FixedSeeder{Vertices: []int{start}}}
+		if err := rw.Run(sess, func(u, v int) {
+			if gab.SymDegree(v) <= 2 {
+				series = append(series, 1)
+			} else {
+				series = append(series, 0)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return series
+	}
+	a := collectFrom(10, 35)      // seeded in GA
+	b := collectFrom(5000+10, 36) // seeded in GB
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	rHatGAB, err := GelmanRubin([][]float64{a[:n], b[:n]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For two chains with a bounded indicator (within-variance ≈ p(1−p))
+	// the statistic saturates near sqrt(2): 1.3 is already a loud alarm
+	// next to the ~1.0–1.05 of mixed chains.
+	if rHatGAB < 1.3 {
+		t.Fatalf("GAB R-hat = %v, want >> 1 (trapped walkers)", rHatGAB)
+	}
+}

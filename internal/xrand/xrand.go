@@ -1,0 +1,388 @@
+// Package xrand provides the deterministic pseudo-random toolkit used by
+// every sampler and generator in this repository.
+//
+// All Monte Carlo code in the repo draws randomness through xrand.Rand so
+// that experiments are exactly reproducible from an integer seed. The
+// generator is xoshiro256**, seeded through splitmix64, which is the
+// combination recommended by Blackman & Vigna. The package also provides
+// the specialized sampling structures the Frontier Sampling implementation
+// needs: a Fenwick (binary indexed) tree for O(log m) weighted walker
+// selection, Walker's alias method for O(1) degree-proportional vertex
+// seeding, exponential variates for the distributed-FS event clocks, and a
+// bounded Zipf sampler for planted group sizes.
+package xrand
+
+import (
+	"errors"
+	"math"
+)
+
+// splitMix64 advances a splitmix64 state and returns the next value.
+// It is used to expand a single user seed into the 256-bit xoshiro state.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a deterministic pseudo-random number generator.
+//
+// The zero value is not valid; construct with New. Rand is not safe for
+// concurrent use; give each goroutine its own instance (Split derives
+// independent streams).
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed. Two generators constructed
+// with the same seed produce identical streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state as if it had been freshly constructed
+// with New(seed).
+func (r *Rand) Seed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// A pathological all-zero state cannot occur because splitmix64 is a
+	// bijection with no fixed zero run, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits (xoshiro256**).
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split derives a new generator whose stream is independent from the
+// parent's subsequent output. It is used to hand child seeds to parallel
+// Monte Carlo runs without correlating them.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64())
+}
+
+// Float64 returns a uniform float64 in [0,1) with 53 random bits.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0,n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0,n) using Lemire's unbiased
+// multiply-shift rejection method. It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Lemire rejection sampling.
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= n || lo >= -n%n {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aLo * bLo
+	lo32 := t & mask32
+	carry := t >> 32
+	t = aHi*bLo + carry
+	mid1 := t & mask32
+	hi1 := t >> 32
+	t = aLo*bHi + mid1
+	mid2 := t >> 32
+	hi = aHi*bHi + hi1 + mid2
+	lo = t<<32 | lo32
+	return hi, lo
+}
+
+// Exp returns an exponentially distributed variate with the given rate
+// parameter (mean 1/rate). It panics if rate <= 0. Distributed Frontier
+// Sampling uses Exp(deg(v)) holding times (Theorem 5.5 of the paper).
+func (r *Rand) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("xrand: Exp with non-positive rate")
+	}
+	u := r.Float64()
+	// 1-u is in (0,1], so Log never sees zero.
+	return -math.Log(1-u) / rate
+}
+
+// Perm returns a uniformly random permutation of [0,n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes xs uniformly at random in place.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bernoulli returns true with probability p.
+func (r *Rand) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// ErrEmptyWeights is returned by the weighted samplers when constructed
+// with no positive weight.
+var ErrEmptyWeights = errors.New("xrand: no positive weights")
+
+// Fenwick is a binary indexed tree over non-negative float64 weights
+// supporting point updates and sampling an index with probability
+// proportional to its weight, both in O(log n).
+//
+// The Frontier Sampling inner loop selects the walker to advance with
+// probability deg(u) / Σ deg(v); Fenwick makes that selection O(log m)
+// rather than O(m).
+type Fenwick struct {
+	tree []float64 // 1-based
+	w    []float64 // raw weights, 0-based
+}
+
+// NewFenwick builds a tree over the given weights. Weights must be
+// non-negative; the slice is copied.
+func NewFenwick(weights []float64) *Fenwick {
+	f := &Fenwick{
+		tree: make([]float64, len(weights)+1),
+		w:    make([]float64, len(weights)),
+	}
+	copy(f.w, weights)
+	for i, wt := range weights {
+		if wt < 0 {
+			panic("xrand: negative weight")
+		}
+		f.add(i+1, wt)
+	}
+	return f
+}
+
+func (f *Fenwick) add(i int, delta float64) {
+	for ; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// Len returns the number of weights in the tree.
+func (f *Fenwick) Len() int { return len(f.w) }
+
+// Weight returns the current weight of index i.
+func (f *Fenwick) Weight(i int) float64 { return f.w[i] }
+
+// Total returns the sum of all weights.
+func (f *Fenwick) Total() float64 {
+	// tree[high bit span] prefix: compute prefix over the whole range.
+	return f.prefix(len(f.w))
+}
+
+// prefix returns the sum of weights [0, n).
+func (f *Fenwick) prefix(n int) float64 {
+	var s float64
+	for ; n > 0; n -= n & (-n) {
+		s += f.tree[n]
+	}
+	return s
+}
+
+// Update sets the weight of index i to w (non-negative).
+func (f *Fenwick) Update(i int, w float64) {
+	if w < 0 {
+		panic("xrand: negative weight")
+	}
+	delta := w - f.w[i]
+	f.w[i] = w
+	f.add(i+1, delta)
+}
+
+// Sample draws an index with probability proportional to its weight.
+// It returns ErrEmptyWeights if the total weight is zero.
+func (f *Fenwick) Sample(r *Rand) (int, error) {
+	total := f.Total()
+	if total <= 0 {
+		return 0, ErrEmptyWeights
+	}
+	x := r.Float64() * total
+	// Descend the implicit tree: classic Fenwick lower_bound.
+	idx := 0
+	bit := 1
+	for bit<<1 <= len(f.w) {
+		bit <<= 1
+	}
+	for ; bit > 0; bit >>= 1 {
+		next := idx + bit
+		if next <= len(f.w) && f.tree[next] < x {
+			x -= f.tree[next]
+			idx = next
+		}
+	}
+	// idx is the count of prefix entries whose cumulative sum < x, i.e.
+	// the 0-based index of the selected element, clamped for safety
+	// against floating point drift at the top end.
+	if idx >= len(f.w) {
+		idx = len(f.w) - 1
+	}
+	// Skip trailing zero-weight entries that floating point error might
+	// land on.
+	for idx > 0 && f.w[idx] == 0 {
+		idx--
+	}
+	return idx, nil
+}
+
+// Alias implements Walker's alias method: O(n) construction, O(1)
+// sampling from a fixed discrete distribution. The samplers use it to
+// seed walkers degree-proportionally (the "stationary start" variants in
+// Section 6.3 of the paper).
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds an alias table for the given non-negative weights.
+// It returns ErrEmptyWeights if no weight is positive.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("xrand: negative weight")
+		}
+		total += w
+	}
+	if total <= 0 || n == 0 {
+		return nil, ErrEmptyWeights
+	}
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, l := range large {
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	for _, s := range small {
+		a.prob[s] = 1 // numerical residue; treat as certain
+		a.alias[s] = s
+	}
+	return a, nil
+}
+
+// Len returns the size of the distribution's support.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Sample draws an index according to the table's distribution.
+func (a *Alias) Sample(r *Rand) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
+// Zipf samples integers in [1, n] with P(k) proportional to 1/k^s via
+// inverse-transform over a precomputed CDF. It is small-n exact (used for
+// planted group popularity, n ≤ a few thousand).
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds the sampler for exponent s > 0 over support [1, n].
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: Zipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	var total float64
+	for k := 1; k <= n; k++ {
+		total += 1 / math.Pow(float64(k), s)
+		cdf[k-1] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	cdf[n-1] = 1
+	return &Zipf{cdf: cdf}
+}
+
+// Sample draws a value in [1, n].
+func (z *Zipf) Sample(r *Rand) int {
+	x := r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}

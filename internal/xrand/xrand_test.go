@@ -1,0 +1,455 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestSeedResets(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Seed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("after re-seed, output %d = %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(5)
+	const buckets = 10
+	const n = 100000
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates too far from %v", b, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPowerOfTwo(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint64n(64); v >= 64 {
+			t.Fatalf("Uint64n(64) = %d", v)
+		}
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(13)
+	for _, n := range []uint64{1, 2, 3, 7, 1000, 1 << 40, math.MaxUint64} {
+		for i := 0; i < 200; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func TestMul64Property(t *testing.T) {
+	// Check against big-int-free identity using 32-bit operands where the
+	// product fits in 64 bits.
+	f := func(a, b uint32) bool {
+		hi, lo := mul64(uint64(a), uint64(b))
+		return hi == 0 && lo == uint64(a)*uint64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(17)
+	const rate = 4.0
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp(rate)
+		if v < 0 {
+			t.Fatalf("Exp produced negative value %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("Exp(%v) mean = %v, want %v", rate, mean, 1/rate)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(19)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(23)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, v := range xs {
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(29)
+	child := r.Split()
+	// The child stream must not equal the parent's subsequent stream.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if r.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split stream tracks parent (%d/64 equal)", same)
+	}
+}
+
+func TestFenwickBasic(t *testing.T) {
+	f := NewFenwick([]float64{1, 2, 3, 4})
+	if got := f.Total(); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("Total = %v, want 10", got)
+	}
+	f.Update(0, 5)
+	if got := f.Total(); math.Abs(got-14) > 1e-12 {
+		t.Fatalf("Total after update = %v, want 14", got)
+	}
+	if got := f.Weight(0); got != 5 {
+		t.Fatalf("Weight(0) = %v, want 5", got)
+	}
+}
+
+func TestFenwickSampleDistribution(t *testing.T) {
+	weights := []float64{1, 0, 3, 6}
+	f := NewFenwick(weights)
+	r := New(31)
+	const n = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		idx, err := f.Sample(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("sampled zero-weight index %d times", counts[1])
+	}
+	total := 10.0
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		want := float64(n) * w / total
+		if math.Abs(float64(counts[i])-want) > 6*math.Sqrt(want) {
+			t.Fatalf("index %d sampled %d times, want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestFenwickEmpty(t *testing.T) {
+	f := NewFenwick([]float64{0, 0})
+	if _, err := f.Sample(New(1)); err != ErrEmptyWeights {
+		t.Fatalf("expected ErrEmptyWeights, got %v", err)
+	}
+}
+
+func TestFenwickUpdateSampling(t *testing.T) {
+	// After zeroing a weight, it must never be sampled again.
+	f := NewFenwick([]float64{5, 5})
+	f.Update(0, 0)
+	r := New(37)
+	for i := 0; i < 1000; i++ {
+		idx, err := f.Sample(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx == 0 {
+			t.Fatal("sampled zeroed index")
+		}
+	}
+}
+
+func TestFenwickPrefixProperty(t *testing.T) {
+	// Property: prefix sums match a naive accumulation for random weights.
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ws := make([]float64, len(raw))
+		for i, b := range raw {
+			ws[i] = float64(b)
+		}
+		fw := NewFenwick(ws)
+		var acc float64
+		for i := range ws {
+			acc += ws[i]
+			if math.Abs(fw.prefix(i+1)-acc) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAliasDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4, 0}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(41)
+	const n = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[a.Sample(r)]++
+	}
+	if counts[4] > n/1000 {
+		t.Fatalf("zero-weight index sampled %d times", counts[4])
+	}
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		want := float64(n) * w / 10
+		if math.Abs(float64(counts[i])-want) > 6*math.Sqrt(want) {
+			t.Fatalf("index %d sampled %d, want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestAliasEmpty(t *testing.T) {
+	if _, err := NewAlias([]float64{0, 0}); err != ErrEmptyWeights {
+		t.Fatalf("expected ErrEmptyWeights, got %v", err)
+	}
+	if _, err := NewAlias(nil); err != ErrEmptyWeights {
+		t.Fatalf("expected ErrEmptyWeights for nil, got %v", err)
+	}
+}
+
+func TestAliasSingle(t *testing.T) {
+	a, err := NewAlias([]float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(43)
+	for i := 0; i < 100; i++ {
+		if a.Sample(r) != 0 {
+			t.Fatal("single-element alias sampled wrong index")
+		}
+	}
+}
+
+func TestAliasMatchesFenwick(t *testing.T) {
+	// Property: alias and Fenwick draw from the same distribution. Compare
+	// empirical frequencies on a random weight vector.
+	weights := []float64{0.5, 4, 2, 2, 8, 1, 0.25}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFenwick(weights)
+	ra, rf := New(47), New(47)
+	const n = 300000
+	ca := make([]float64, len(weights))
+	cf := make([]float64, len(weights))
+	for i := 0; i < n; i++ {
+		ca[a.Sample(ra)]++
+		idx, err := f.Sample(rf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cf[idx]++
+	}
+	for i := range weights {
+		pa, pf := ca[i]/n, cf[i]/n
+		want := weights[i] / total
+		if math.Abs(pa-want) > 0.01 || math.Abs(pf-want) > 0.01 {
+			t.Fatalf("index %d: alias %.4f fenwick %.4f want %.4f", i, pa, pf, want)
+		}
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	z := NewZipf(100, 1.2)
+	r := New(53)
+	for i := 0; i < 10000; i++ {
+		v := z.Sample(r)
+		if v < 1 || v > 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+	}
+}
+
+func TestZipfMonotoneFrequencies(t *testing.T) {
+	z := NewZipf(10, 1.0)
+	r := New(59)
+	counts := make([]int, 11)
+	for i := 0; i < 200000; i++ {
+		counts[z.Sample(r)]++
+	}
+	// Rank-1 must dominate rank-2, which must dominate rank-5 etc.
+	if !(counts[1] > counts[2] && counts[2] > counts[5] && counts[5] > counts[10]) {
+		t.Fatalf("Zipf frequencies not decreasing: %v", counts[1:])
+	}
+	// P(1)/P(2) should be near 2 for s=1.
+	ratio := float64(counts[1]) / float64(counts[2])
+	if math.Abs(ratio-2) > 0.2 {
+		t.Fatalf("Zipf(s=1) rank1/rank2 ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(61)
+	hit := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hit++
+		}
+	}
+	p := float64(hit) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate %v", p)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkFenwickSample1000(b *testing.B) {
+	ws := make([]float64, 1000)
+	for i := range ws {
+		ws[i] = float64(i%17 + 1)
+	}
+	f := NewFenwick(ws)
+	r := New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Sample(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	ws := make([]float64, 100000)
+	for i := range ws {
+		ws[i] = float64(i%31 + 1)
+	}
+	a, err := NewAlias(ws)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Sample(r)
+	}
+}
