@@ -4,7 +4,7 @@
 // Each BenchmarkTableN / BenchmarkFigN runs the corresponding experiment
 // end to end (dataset generation is cached across iterations) at the
 // quick configuration; run `cmd/fsexp -exp all` for the full-scale
-// numbers recorded in EXPERIMENTS.md. The Ablation benchmarks measure
+// numbers. The Ablation benchmarks measure
 // the design choices: Fenwick-tree vs linear walker selection, FS vs
 // distributed FS, alias vs rejection seeding, CSR vs map adjacency, and
 // the effect of the FS dimension m on estimation error.
@@ -13,7 +13,9 @@ package frontier_test
 import (
 	"fmt"
 	"math"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	"frontier"
 	"frontier/internal/experiments"
@@ -194,6 +196,56 @@ func BenchmarkAblationAdjacency(b *testing.B) {
 			b.Fatal(err)
 		}
 	})
+}
+
+// BenchmarkRemoteCrawl measures a frontier crawl of a remote graph
+// through the HTTP stack with injected per-request latency (the paper's
+// access regime: every query is a slow OSN API round trip). It compares
+// the per-vertex baseline — batch size 1, no prefetch advice — against
+// the batched client with frontier prefetching, and reports the HTTP
+// round trips per crawl alongside time/op. The sampled edge sequence is
+// identical in both modes (prefetching never touches the RNG); only the
+// network schedule changes.
+func BenchmarkRemoteCrawl(b *testing.B) {
+	g := frontier.BarabasiAlbert(frontier.NewRand(33), 3000, 3)
+	const latency = 2 * time.Millisecond
+	for _, bc := range []struct {
+		name    string
+		batched bool
+	}{
+		{"pervertex", false},
+		{"batched", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			srv := httptest.NewServer(frontier.NewGraphServer("bench", g, nil,
+				frontier.WithServerLatency(latency)))
+			defer srv.Close()
+			var roundtrips int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var opts []frontier.GraphClientOption
+				if !bc.batched {
+					opts = append(opts, frontier.WithBatchSize(1))
+				}
+				c, err := frontier.DialGraph(srv.URL, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fs := &frontier.FrontierSampler{M: 50}
+				if bc.batched {
+					fs.PrefetchEvery = 8
+				}
+				sess := frontier.NewSession(c, 400, frontier.UnitCosts(), frontier.NewRand(77))
+				if err := c.RunSafely(func() error {
+					return fs.Run(sess, func(u, v int) {})
+				}); err != nil {
+					b.Fatal(err)
+				}
+				roundtrips += c.Roundtrips()
+			}
+			b.ReportMetric(float64(roundtrips)/float64(b.N), "roundtrips")
+		})
+	}
 }
 
 // BenchmarkAblationDimension measures how the FS dimension m affects

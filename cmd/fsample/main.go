@@ -10,6 +10,10 @@
 // Methods: fs, dfs, single, multiple, mhrw, rv, re.
 // Estimates: degree (CCDF of the in/out/sym distribution), clustering,
 // assortativity, avgdegree.
+//
+// Remote crawls are batched: -cache-cap bounds the client's vertex LRU,
+// -batch sets the prefetch batch size, and -prefetch controls how often
+// FS prefetches its frontier's neighborhoods (default m/2 when remote).
 package main
 
 import (
@@ -41,6 +45,9 @@ func main() {
 		kindStr   = flag.String("kind", "sym", "degree kind: in | out | sym")
 		hitRatio  = flag.Float64("hit-ratio", 1, "random-vertex hit ratio h")
 		diagnose  = flag.Bool("diagnose", false, "report convergence diagnostics (Geweke z, ESS) on the walk")
+		cacheCap  = flag.Int("cache-cap", netgraph.DefaultCacheCapacity, "remote client vertex-cache capacity (LRU records; <= 0 unbounded)")
+		batchSize = flag.Int("batch", netgraph.DefaultBatchSize, "remote client prefetch batch size")
+		prefetch  = flag.Int("prefetch", -1, "FS frontier-prefetch interval in steps (0 off, -1 auto: m/2 when remote)")
 	)
 	flag.Parse()
 
@@ -75,7 +82,9 @@ func main() {
 		src, view = g, g
 		runSafe = func(fn func() error) error { return fn() }
 	case *url != "":
-		c, err := netgraph.Dial(*url, nil)
+		c, err := netgraph.Dial(*url, nil,
+			netgraph.WithCacheCapacity(*cacheCap),
+			netgraph.WithBatchSize(*batchSize))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
 			os.Exit(1)
@@ -92,11 +101,25 @@ func main() {
 	model.VertexHitRatio = *hitRatio
 	sess := crawl.NewSession(src, *budget, model, xrand.New(*seed))
 
+	// -prefetch -1 resolves to m/2 on remote graphs (batch the frontier's
+	// neighborhoods to hide round-trip latency) and off for local files,
+	// where prefetch advice is a no-op that still costs enumeration. A
+	// cache too small to hold the frontier working set makes prefetching
+	// counterproductive (each round evicts what the last one fetched), so
+	// auto mode also stays off there; -prefetch N forces it regardless.
+	prefetchEvery := *prefetch
+	if prefetchEvery < 0 {
+		prefetchEvery = 0
+		if isRemote && (*cacheCap <= 0 || *cacheCap >= 4**m) {
+			prefetchEvery = *m / 2
+		}
+	}
+
 	var sampler core.EdgeSampler
 	var vsampler core.VertexSampler
 	switch *methodStr {
 	case "fs":
-		sampler = &core.FrontierSampler{M: *m}
+		sampler = &core.FrontierSampler{M: *m, PrefetchEvery: prefetchEvery}
 	case "dfs":
 		sampler = &core.DistributedFS{M: *m}
 	case "single":
@@ -171,7 +194,9 @@ func main() {
 	fmt.Printf("budget spent: %.0f (steps %d, vertex queries %d, misses %d)\n",
 		st.Spent, st.Steps, st.VertexQueries, st.VertexMisses)
 	if isRemote {
-		fmt.Printf("remote fetches: %d\n", src.(*netgraph.Client).Fetches())
+		c := src.(*netgraph.Client)
+		fmt.Printf("remote fetches: %d records in %d round trips (cache %d/%d)\n",
+			c.Fetches(), c.Roundtrips(), c.CacheLen(), c.CacheCapacity())
 	}
 
 	if *diagnose && sampler != nil {

@@ -10,8 +10,13 @@
 //
 // Endpoints:
 //
-//	GET /v1/meta        — graph metadata
-//	GET /v1/vertex/{id} — a vertex's degrees, neighbors and groups
+//	GET  /v1/meta        — graph metadata
+//	GET  /v1/vertex/{id} — a vertex's degrees, neighbors and groups
+//	POST /v1/vertices    — batch vertex fetch, body {"ids": [...]}
+//	GET  /v1/stats       — request counters
+//
+// Responses are gzip-compressed when the client accepts it. -latency
+// injects a fixed per-request delay to model a slow OSN API.
 package main
 
 import (
@@ -37,6 +42,7 @@ func main() {
 		scale      = flag.Float64("scale", 1, "dataset scale factor")
 		seed       = flag.Uint64("seed", 1, "dataset seed")
 		addr       = flag.String("addr", ":8080", "listen address")
+		latency    = flag.Duration("latency", 0, "injected per-request latency (models a slow OSN API, e.g. 5ms)")
 	)
 	flag.Parse()
 
@@ -79,14 +85,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	var opts []netgraph.ServerOption
+	if *latency > 0 {
+		opts = append(opts, netgraph.WithLatency(*latency))
+	}
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      netgraph.NewServer(name, g, gl),
+		Handler:      netgraph.NewServer(name, g, gl, opts...),
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 10 * time.Second,
 	}
-	log.Printf("graphd: serving %q (%d vertices, %d edges) on %s",
-		name, g.NumVertices(), g.NumDirectedEdges(), *addr)
+	log.Printf("graphd: serving %q (%d vertices, %d edges) on %s (latency %s)",
+		name, g.NumVertices(), g.NumDirectedEdges(), *addr, *latency)
 	if err := srv.ListenAndServe(); err != nil {
 		log.Fatalf("graphd: %v", err)
 	}

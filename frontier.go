@@ -25,6 +25,8 @@
 package frontier
 
 import (
+	"time"
+
 	"frontier/internal/core"
 	"frontier/internal/crawl"
 	"frontier/internal/estimate"
@@ -88,6 +90,9 @@ type (
 	CostModel = crawl.CostModel
 	// Source is the minimal neighborhood-query interface walks need.
 	Source = crawl.Source
+	// BatchSource is the optional batched-prefetch extension of Source
+	// (implemented by GraphClient; a no-op on in-memory graphs).
+	BatchSource = crawl.BatchSource
 	// CrawlStats counts what a session actually did.
 	CrawlStats = crawl.Stats
 )
@@ -287,20 +292,38 @@ func LoadGraph(path string) (*Graph, error) { return graphio.LoadFile(path) }
 type (
 	// GraphServer serves a graph over HTTP (see cmd/graphd).
 	GraphServer = netgraph.Server
-	// GraphClient crawls a remote graph; it implements Source and
-	// EdgeView so samplers and estimators run against it unmodified.
+	// GraphServerOption configures a GraphServer.
+	GraphServerOption = netgraph.ServerOption
+	// GraphClient crawls a remote graph; it implements Source,
+	// BatchSource and EdgeView so samplers and estimators run against it
+	// unmodified. Its vertex cache is a bounded LRU and concurrent
+	// fetches of one vertex are deduplicated.
 	GraphClient = netgraph.Client
+	// GraphClientOption configures a GraphClient.
+	GraphClientOption = netgraph.Option
+	// GraphServerStats are the counters served at GET /v1/stats.
+	GraphServerStats = netgraph.ServerStats
 )
 
 // NewGraphServer creates an HTTP handler serving g (groups may be nil).
-func NewGraphServer(name string, g *Graph, groups *GroupLabels) *GraphServer {
-	return netgraph.NewServer(name, g, groups)
+func NewGraphServer(name string, g *Graph, groups *GroupLabels, opts ...GraphServerOption) *GraphServer {
+	return netgraph.NewServer(name, g, groups, opts...)
 }
 
+// WithServerLatency injects a fixed per-request latency, modeling a slow
+// OSN API.
+func WithServerLatency(d time.Duration) GraphServerOption { return netgraph.WithLatency(d) }
+
 // DialGraph connects to a graph served at baseURL.
-func DialGraph(baseURL string) (*GraphClient, error) {
-	return netgraph.Dial(baseURL, nil)
+func DialGraph(baseURL string, opts ...GraphClientOption) (*GraphClient, error) {
+	return netgraph.Dial(baseURL, nil, opts...)
 }
+
+// WithCacheCapacity bounds the client's vertex LRU cache.
+func WithCacheCapacity(n int) GraphClientOption { return netgraph.WithCacheCapacity(n) }
+
+// WithBatchSize sets the client's prefetch batch size.
+func WithBatchSize(n int) GraphClientOption { return netgraph.WithBatchSize(n) }
 
 // Error metrics (internal/stats).
 type (

@@ -1,0 +1,3 @@
+module frontier
+
+go 1.22

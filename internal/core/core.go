@@ -156,6 +156,20 @@ type FrontierSampler struct {
 	// Fenwick tree to an O(M) linear scan. Exposed for the ablation
 	// bench; results are statistically identical.
 	LinearSelection bool
+	// PrefetchEvery, when positive, issues batched prefetch advice every
+	// PrefetchEvery steps: the current frontier positions plus their
+	// one-hop neighborhoods (the only vertices the next steps can land
+	// on). On a crawl.BatchSource such as the netgraph client this
+	// collapses many single-vertex round trips into a few batches —
+	// exploiting FS's defining asset, that it always knows all M frontier
+	// positions, to hide network latency. Zero disables prefetching
+	// (advice would be a no-op on in-memory graphs but still costs the
+	// enumeration); leave it zero when the source's cache cannot hold at
+	// least the M frontier positions, where enumerating evicted
+	// neighborhoods costs more round trips than it saves. Prefetching
+	// never touches the RNG, so the sampled edge sequence is identical
+	// with or without it.
+	PrefetchEvery int
 }
 
 // Name implements EdgeSampler.
@@ -177,6 +191,10 @@ func (f *FrontierSampler) Run(sess *crawl.Session, emit EdgeFunc) error {
 	if err != nil {
 		return err
 	}
+	// One batched round trip for all M seed records instead of M misses.
+	// Prefetching is pure advice: on failure the walk falls back to
+	// per-vertex fetches, which surface any real network fault.
+	_ = sess.Prefetch(walkers)
 	src := sess.Source()
 	weights := make([]float64, f.M)
 	for i, v := range walkers {
@@ -187,7 +205,11 @@ func (f *FrontierSampler) Run(sess *crawl.Session, emit EdgeFunc) error {
 	}
 	fen := xrand.NewFenwick(weights)
 	rng := sess.RNG()
-	for sess.CanStep() {
+	var ids []int
+	for steps := 0; sess.CanStep(); steps++ {
+		if f.PrefetchEvery > 0 && steps%f.PrefetchEvery == 0 {
+			ids = f.prefetchFrontier(sess, src, walkers, ids)
+		}
 		i, err := fen.Sample(rng)
 		if err != nil {
 			// All walkers on zero-degree vertices: impossible in the
@@ -209,6 +231,29 @@ func (f *FrontierSampler) Run(sess *crawl.Session, emit EdgeFunc) error {
 	return nil
 }
 
+// prefetchFrontier hands the source the current frontier positions and
+// their one-hop neighborhoods as batch-prefetch advice. Positions are
+// batch-restored first: they are normally still cached (each was fetched
+// when its walker arrived there), but a cache smaller than the working
+// set may have evicted some, and without the restore the neighbor
+// enumeration below would refetch them one serial round trip at a time.
+// Advice failures are ignored: the walk falls back to per-vertex
+// fetches. ids is the reusable scratch buffer, returned for the next
+// call.
+func (f *FrontierSampler) prefetchFrontier(sess *crawl.Session, src crawl.Source, walkers, ids []int) []int {
+	_ = sess.Prefetch(walkers)
+	ids = ids[:0]
+	for _, u := range walkers {
+		ids = append(ids, u)
+		d := src.SymDegree(u)
+		for j := 0; j < d; j++ {
+			ids = append(ids, src.SymNeighbor(u, j))
+		}
+	}
+	_ = sess.Prefetch(ids)
+	return ids
+}
+
 // runLinear is Run's body with O(M) walker selection, for the ablation
 // benchmark.
 func (f *FrontierSampler) runLinear(sess *crawl.Session, walkers []int, weights []float64, emit EdgeFunc) error {
@@ -218,7 +263,11 @@ func (f *FrontierSampler) runLinear(sess *crawl.Session, walkers []int, weights 
 	for _, w := range weights {
 		total += w
 	}
-	for sess.CanStep() {
+	var ids []int
+	for steps := 0; sess.CanStep(); steps++ {
+		if f.PrefetchEvery > 0 && steps%f.PrefetchEvery == 0 {
+			ids = f.prefetchFrontier(sess, src, walkers, ids)
+		}
 		if total <= 0 {
 			return errors.New("core: frontier stalled")
 		}
@@ -308,9 +357,20 @@ func (m *MultipleRW) Run(sess *crawl.Session, emit EdgeFunc) error {
 	if err != nil {
 		return err
 	}
+	// One batched round trip for all M seed records instead of M misses;
+	// advice only, so failures fall back to per-vertex fetches.
+	_ = sess.Prefetch(walkers)
 	// Each walker takes an equal share of the post-seeding step budget
-	// (the paper's ⌊B/m − c⌋ steps per walker).
-	total := int(sess.Remaining())
+	// (the paper's ⌊B/m − c⌋ steps per walker). The remaining budget is
+	// converted to steps through the model's StepCost — dividing raw
+	// budget by M would let the first walkers overdraw whenever
+	// StepCost ≠ 1, starving the rest.
+	stepCost := sess.Model().StepCost
+	if stepCost <= 0 {
+		// Free steps: any share terminates; keep the paper's B/m split.
+		stepCost = 1
+	}
+	total := int(sess.Remaining() / stepCost)
 	share := total / m.M
 	for _, start := range walkers {
 		u := start
@@ -383,6 +443,9 @@ func (d *DistributedFS) Run(sess *crawl.Session, emit EdgeFunc) error {
 	if err != nil {
 		return err
 	}
+	// One batched round trip for all M seed records instead of M misses;
+	// advice only, so failures fall back to per-vertex fetches.
+	_ = sess.Prefetch(walkers)
 	src := sess.Source()
 	rng := sess.RNG()
 	h := make(eventHeap, 0, d.M)

@@ -194,6 +194,45 @@ func TestMultipleRWBudgetSplit(t *testing.T) {
 	}
 }
 
+func TestMultipleRWBudgetSplitNonUnitStepCost(t *testing.T) {
+	// Regression: the per-walker share must be computed in *steps*, not
+	// raw budget. With StepCost = 2 the old `int(Remaining()) / M` split
+	// let the first walker overdraw the whole budget, starving the rest —
+	// observable on a disconnected graph, where the starved walker's
+	// component is never sampled.
+	b := graph.NewBuilder(6)
+	b.AddUndirected(0, 1)
+	b.AddUndirected(1, 2)
+	b.AddUndirected(0, 2)
+	b.AddUndirected(3, 4)
+	b.AddUndirected(4, 5)
+	b.AddUndirected(3, 5)
+	g := b.Build()
+
+	model := crawl.UnitCosts()
+	model.StepCost = 2
+	sess := crawl.NewSession(g, 100, model, xrand.New(7))
+	mrw := &MultipleRW{M: 2, Seeder: FixedSeeder{Vertices: []int{0, 3}}}
+	var compA, compB int
+	if err := mrw.Run(sess, func(u, v int) {
+		if u < 3 {
+			compA++
+		} else {
+			compB++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// 100 budget at StepCost 2 buys 50 steps (FixedSeeder is free): 25
+	// per walker, one confined to each triangle.
+	if compA != 25 || compB != 25 {
+		t.Fatalf("steps per component = %d/%d, want 25/25", compA, compB)
+	}
+	if got := sess.Stats().Spent; got != 100 {
+		t.Fatalf("spent = %v, want 100", got)
+	}
+}
+
 func TestSingleRWEdgesAreWalk(t *testing.T) {
 	// Consecutive edges must chain: v_i == u_{i+1}, and every emitted
 	// pair must be a real edge.
@@ -427,5 +466,25 @@ func TestFSvsDFSEquivalence(t *testing.T) {
 	}
 	if l1DFS > 0.04 {
 		t.Fatalf("DFS visit distribution off truth: L1 = %v", l1DFS)
+	}
+}
+
+func TestMultipleRWFreeSteps(t *testing.T) {
+	// StepCost = 0 is a legal model (only vertex/edge queries priced);
+	// the share computation must not divide by zero and must terminate.
+	model := crawl.UnitCosts()
+	model.StepCost = 0
+	g := lollipop()
+	sess := crawl.NewSession(g, 10, model, xrand.New(3))
+	mrw := &MultipleRW{M: 2, Seeder: FixedSeeder{Vertices: []int{0, 1}}}
+	steps := 0
+	if err := mrw.Run(sess, func(u, v int) { steps++ }); err != nil {
+		t.Fatal(err)
+	}
+	if steps != 10 {
+		t.Fatalf("steps = %d, want 10 (B/m per walker at the B/m fallback)", steps)
+	}
+	if got := sess.Stats().Spent; got != 0 {
+		t.Fatalf("spent = %v, want 0 (free steps)", got)
 	}
 }

@@ -49,6 +49,12 @@ func (p *ParallelDFS) Run(sess *crawl.Session, emit EdgeFunc) error {
 	if err != nil {
 		return err
 	}
+	// One batched round trip for all M seed records; without it the M
+	// walker goroutines race to fetch their seeds one by one (the
+	// netgraph client's single-flight would still deduplicate collisions,
+	// but distinct seeds would cost M round trips). Advice only: on
+	// failure the walkers fetch per vertex.
+	_ = sess.Prefetch(seeds)
 	src := sess.Source()
 	window := sess.Remaining()
 

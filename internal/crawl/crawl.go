@@ -40,10 +40,28 @@ type EdgeSource interface {
 	SymEdgeAt(i int) graph.Edge
 }
 
+// BatchSource is an optional extension for sources that can fetch many
+// vertex neighborhoods in one round trip (e.g. the HTTP client in
+// internal/netgraph). Samplers that know several future positions — FS
+// always knows all M frontier positions — hand them to PrefetchVertices
+// so the source can hide network latency behind a single batched query.
+//
+// Prefetching is pure advice: it never charges budget, never touches the
+// session RNG (sampled edges are identical with or without it), and a
+// source is free to ignore it. In-memory graphs implement it as a no-op.
+type BatchSource interface {
+	Source
+	// PrefetchVertices warms the source's cache for the given vertex ids
+	// (duplicates and already-cached ids are fine). It returns the first
+	// error encountered; the ids remain fetchable one by one afterwards.
+	PrefetchVertices(ids []int) error
+}
+
 // Statically ensure the in-memory graph satisfies the interfaces.
 var (
-	_ Source     = (*graph.Graph)(nil)
-	_ EdgeSource = (*graph.Graph)(nil)
+	_ Source      = (*graph.Graph)(nil)
+	_ EdgeSource  = (*graph.Graph)(nil)
+	_ BatchSource = (*graph.Graph)(nil)
 )
 
 // CostModel prices each query type.
@@ -109,6 +127,23 @@ func NewSession(src Source, budget float64, model CostModel, rng *xrand.Rand) *S
 // Source returns the underlying source (for label lookups that the
 // paper's model treats as free once a vertex has been visited).
 func (s *Session) Source() Source { return s.src }
+
+// Model returns the session's cost model, so samplers can convert the
+// remaining budget into affordable query counts (e.g. MultipleRW's
+// per-walker step share at StepCost ≠ 1).
+func (s *Session) Model() CostModel { return s.model }
+
+// Prefetch forwards prefetch advice to the source when it supports
+// batching and is a no-op otherwise. It charges no budget: the paper's
+// cost model prices queries for vertices the sampler commits to, while
+// prefetching merely overlaps the network round trips of fetches the
+// walk would perform anyway.
+func (s *Session) Prefetch(ids []int) error {
+	if bs, ok := s.src.(BatchSource); ok {
+		return bs.PrefetchVertices(ids)
+	}
+	return nil
+}
 
 // RNG returns the session's random stream.
 func (s *Session) RNG() *xrand.Rand { return s.rng }

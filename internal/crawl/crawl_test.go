@@ -173,3 +173,37 @@ func TestSessionAccessors(t *testing.T) {
 		t.Fatal("Remaining wrong")
 	}
 }
+
+// bareSource implements Source but not BatchSource.
+type bareSource struct{ g *graph.Graph }
+
+func (s bareSource) NumVertices() int         { return s.g.NumVertices() }
+func (s bareSource) SymDegree(v int) int      { return s.g.SymDegree(v) }
+func (s bareSource) SymNeighbor(v, i int) int { return s.g.SymNeighbor(v, i) }
+
+func TestSessionModel(t *testing.T) {
+	model := UnitCosts()
+	model.StepCost = 2.5
+	sess := NewSession(path4(), 10, model, xrand.New(1))
+	if got := sess.Model(); got != model {
+		t.Fatalf("Model() = %+v, want %+v", got, model)
+	}
+}
+
+func TestSessionPrefetch(t *testing.T) {
+	g := path4()
+	// BatchSource path: the in-memory graph's no-op accepts any advice.
+	sess := NewSession(g, 10, UnitCosts(), xrand.New(1))
+	if err := sess.Prefetch([]int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Non-batch sources silently ignore the advice.
+	sess = NewSession(bareSource{g}, 10, UnitCosts(), xrand.New(1))
+	if err := sess.Prefetch([]int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Prefetching never charges budget.
+	if got := sess.Remaining(); got != 10 {
+		t.Fatalf("remaining = %v, want 10", got)
+	}
+}

@@ -6,7 +6,7 @@
 // "fig5", ...) and produces a Result: the same rows/series the paper
 // reports, plus a set of named shape checks encoding the paper's
 // qualitative claims (who wins, by roughly what factor, where the
-// crossovers fall). EXPERIMENTS.md records paper-vs-measured for each.
+// crossovers fall).
 //
 // Budgets follow the paper (B = |V|/100 or |V|/10 per artifact, random
 // vertex cost c = 1). Because the stand-ins are ~20–40× smaller than the
@@ -36,7 +36,8 @@ import (
 type Config struct {
 	// Seed makes the whole experiment deterministic.
 	Seed uint64
-	// Scale multiplies dataset sizes (1 = DESIGN.md defaults).
+	// Scale multiplies dataset sizes (1 = the paper-shaped defaults in
+	// internal/gen/datasets.go).
 	Scale gen.Scale
 	// Runs is the number of Monte Carlo runs per point (paper: 10,000
 	// for curves, 100 for Table 2).

@@ -81,6 +81,10 @@ func (g *Graph) SymNeighbor(v, i int) int {
 	return int(g.symTo[g.symOff[v]+int64(i)])
 }
 
+// PrefetchVertices implements crawl.BatchSource as a no-op: the whole
+// graph is already in memory, so there is no latency to hide.
+func (g *Graph) PrefetchVertices([]int) error { return nil }
+
 // SymNeighbors returns the symmetric adjacency list of v. The returned
 // slice aliases internal storage and must not be modified.
 func (g *Graph) SymNeighbors(v int) []int32 {

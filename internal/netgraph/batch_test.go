@@ -1,0 +1,444 @@
+package netgraph
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"frontier/internal/core"
+	"frontier/internal/crawl"
+	"frontier/internal/gen"
+	"frontier/internal/xrand"
+)
+
+// dialOpts dials the test server with client options.
+func dialOpts(t *testing.T, ts *httptest.Server, opts ...Option) *Client {
+	t.Helper()
+	c, err := Dial(ts.URL, ts.Client(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBatchEndpointRoundTrip(t *testing.T) {
+	ts, g, gl := testServer(t)
+	body, _ := json.Marshal(BatchRequest{IDs: []int{4, 7, 4, 0}})
+	resp, err := http.Post(ts.URL+"/v1/vertices", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicates collapse to the first occurrence.
+	wantIDs := []int{4, 7, 0}
+	if len(br.Vertices) != len(wantIDs) {
+		t.Fatalf("got %d records, want %d", len(br.Vertices), len(wantIDs))
+	}
+	for i, rec := range br.Vertices {
+		v := wantIDs[i]
+		if rec.ID != v || rec.SymDegree != g.SymDegree(v) ||
+			rec.InDegree != g.InDegree(v) || rec.OutDegree != g.OutDegree(v) {
+			t.Fatalf("record %d = %+v, want vertex %d", i, rec, v)
+		}
+		if len(rec.SymNeighbors) != g.SymDegree(v) {
+			t.Fatalf("vertex %d: %d neighbors, want %d", v, len(rec.SymNeighbors), g.SymDegree(v))
+		}
+		if len(rec.Groups) != len(gl.Groups(v)) {
+			t.Fatalf("vertex %d groups mismatch", v)
+		}
+	}
+}
+
+func TestBatchEndpointRejectsBadRequests(t *testing.T) {
+	ts, g, _ := testServer(t)
+	post := func(body []byte) int {
+		resp, err := http.Post(ts.URL+"/v1/vertices", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post([]byte("{not json")); code != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d", code)
+	}
+	bad, _ := json.Marshal(BatchRequest{IDs: []int{0, g.NumVertices()}})
+	if code := post(bad); code != http.StatusNotFound {
+		t.Fatalf("out-of-range id: status %d", code)
+	}
+	huge, _ := json.Marshal(BatchRequest{IDs: make([]int, MaxBatchIDs+1)})
+	if code := post(huge); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: status %d", code)
+	}
+}
+
+func TestPrefetchVerticesBatchesAndCaches(t *testing.T) {
+	ts, g, _ := testServer(t)
+	c := dialOpts(t, ts)
+	ids := []int{1, 2, 3, 4, 5, 2, 1, -1, g.NumVertices() + 5}
+	if err := c.PrefetchVertices(ids); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Roundtrips(); got != 1 {
+		t.Fatalf("roundtrips = %d, want 1 (single batch)", got)
+	}
+	if got := c.Fetches(); got != 5 {
+		t.Fatalf("fetches = %d, want 5 records", got)
+	}
+	// Everything prefetched is now a cache hit.
+	for v := 1; v <= 5; v++ {
+		if c.SymDegree(v) != g.SymDegree(v) {
+			t.Fatalf("SymDegree(%d) mismatch after prefetch", v)
+		}
+	}
+	if got := c.Roundtrips(); got != 1 {
+		t.Fatalf("roundtrips after cached reads = %d, want 1", got)
+	}
+	// Re-prefetching cached ids is free.
+	if err := c.PrefetchVertices(ids); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Roundtrips(); got != 1 {
+		t.Fatalf("roundtrips after re-prefetch = %d, want 1", got)
+	}
+}
+
+func TestPrefetchVerticesChunksByBatchSize(t *testing.T) {
+	ts, _, _ := testServer(t)
+	c := dialOpts(t, ts, WithBatchSize(4))
+	ids := make([]int, 10)
+	for i := range ids {
+		ids[i] = i
+	}
+	if err := c.PrefetchVertices(ids); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Roundtrips(); got != 3 {
+		t.Fatalf("roundtrips = %d, want 3 (10 ids at batch size 4)", got)
+	}
+	if got := c.Fetches(); got != 10 {
+		t.Fatalf("fetches = %d, want 10", got)
+	}
+}
+
+func TestLRUEvictionAndRefetchAccounting(t *testing.T) {
+	ts, g, _ := testServer(t)
+	const capacity = 32
+	c := dialOpts(t, ts, WithCacheCapacity(capacity))
+	n := g.NumVertices()
+
+	// First pass touches every vertex: n fetches, cache pinned at cap.
+	for v := 0; v < n; v++ {
+		if _, err := c.Vertex(v); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.CacheLen(); got > capacity {
+			t.Fatalf("cache grew to %d records, capacity %d", got, capacity)
+		}
+	}
+	if got := c.Fetches(); got != int64(n) {
+		t.Fatalf("fetches after first pass = %d, want %d", got, n)
+	}
+	if got := c.CacheLen(); got != capacity {
+		t.Fatalf("cache len = %d, want %d", got, capacity)
+	}
+
+	// Vertex 0 was evicted long ago: reading it again must refetch.
+	before := c.Fetches()
+	if _, err := c.Vertex(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Fetches(); got != before+1 {
+		t.Fatalf("fetches after evicted re-read = %d, want %d", got, before+1)
+	}
+	// The most recently used vertex is still cached: no refetch.
+	before = c.Fetches()
+	if _, err := c.Vertex(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Fetches(); got != before {
+		t.Fatalf("hot vertex refetched: fetches %d, want %d", got, before)
+	}
+}
+
+// TestCrawlMemoryBounded is the bounded-memory acceptance check: a crawl
+// visiting far more vertices than the cache capacity never holds more
+// than capacity records.
+func TestCrawlMemoryBounded(t *testing.T) {
+	r := xrand.New(3)
+	g := gen.BarabasiAlbert(r, 1200, 3)
+	ts := httptest.NewServer(NewServer("big", g, nil))
+	t.Cleanup(ts.Close)
+	const capacity = 48
+	c := dialOpts(t, ts, WithCacheCapacity(capacity))
+
+	sess := crawl.NewSession(c, 1500, crawl.UnitCosts(), xrand.New(9))
+	fs := &core.FrontierSampler{M: 32, PrefetchEvery: 32}
+	err := c.RunSafely(func() error {
+		return fs.Run(sess, func(u, v int) {
+			if got := c.CacheLen(); got > capacity {
+				t.Fatalf("cache holds %d records mid-crawl, capacity %d", got, capacity)
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CacheLen(); got > capacity {
+		t.Fatalf("cache holds %d records after crawl, capacity %d", got, capacity)
+	}
+	if c.Fetches() <= int64(capacity) {
+		t.Fatalf("fetches = %d — crawl never exceeded the cache", c.Fetches())
+	}
+}
+
+func TestSingleFlightDeduplicatesConcurrentFetches(t *testing.T) {
+	r := xrand.New(11)
+	g := gen.BarabasiAlbert(r, 100, 3)
+	// Enough injected latency that all goroutines pile onto the same
+	// in-flight fetch instead of winning sequential cache hits.
+	ts := httptest.NewServer(NewServer("slow", g, nil, WithLatency(30*time.Millisecond)))
+	t.Cleanup(ts.Close)
+	c := dialOpts(t, ts)
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Vertex(7)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Fetches(); got != 1 {
+		t.Fatalf("fetches = %d, want 1 (single-flight)", got)
+	}
+	if got := c.Roundtrips(); got != 1 {
+		t.Fatalf("roundtrips = %d, want 1", got)
+	}
+}
+
+func TestGzipNegotiation(t *testing.T) {
+	ts, g, _ := testServer(t)
+	// A transport with compression disabled sends no Accept-Encoding and
+	// performs no transparent decompression, exposing the raw exchange.
+	raw := &http.Client{Transport: &http.Transport{DisableCompression: true}}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/vertex/3", nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err := raw.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Encoding"); got != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", got)
+	}
+	gz, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec VertexRecord
+	if err := json.NewDecoder(gz).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID != 3 || rec.SymDegree != g.SymDegree(3) {
+		t.Fatalf("gzip record = %+v", rec)
+	}
+
+	// Without Accept-Encoding the response must be identity-coded.
+	req2, _ := http.NewRequest("GET", ts.URL+"/v1/vertex/3", nil)
+	resp2, err := raw.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if got := resp2.Header.Get("Content-Encoding"); got != "" {
+		t.Fatalf("Content-Encoding without negotiation = %q, want none", got)
+	}
+	var plain VertexRecord
+	if err := json.NewDecoder(resp2.Body).Decode(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.ID != 3 {
+		t.Fatalf("plain record = %+v", plain)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, _, _ := testServer(t)
+	c := dialOpts(t, ts)
+	if _, err := c.Vertex(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PrefetchVertices([]int{2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st ServerStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.MetaRequests != 1 || st.VertexRequests != 1 || st.BatchRequests != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.VerticesServed != 4 {
+		t.Fatalf("vertices served = %d, want 4", st.VerticesServed)
+	}
+	if st.Requests < 4 {
+		t.Fatalf("requests = %d, want >= 4", st.Requests)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	r := xrand.New(5)
+	g := gen.BarabasiAlbert(r, 50, 2)
+	const lat = 40 * time.Millisecond
+	ts := httptest.NewServer(NewServer("lagged", g, nil, WithLatency(lat)))
+	t.Cleanup(ts.Close)
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/v1/meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if took := time.Since(start); took < lat {
+		t.Fatalf("request took %v, injected latency %v", took, lat)
+	}
+}
+
+// TestBatchedCrawlFewerRoundTrips is the tentpole acceptance check: an
+// identical frontier crawl (same seed, same emitted edges) through the
+// batching/prefetching client must need at least 3x fewer HTTP round
+// trips than the per-vertex baseline.
+func TestBatchedCrawlFewerRoundTrips(t *testing.T) {
+	r := xrand.New(21)
+	g := gen.BarabasiAlbert(r, 800, 3)
+	ts := httptest.NewServer(NewServer("crawl", g, nil))
+	t.Cleanup(ts.Close)
+
+	type edge struct{ u, v int }
+	run := func(c *Client, prefetchEvery int) []edge {
+		t.Helper()
+		sess := crawl.NewSession(c, 500, crawl.UnitCosts(), xrand.New(77))
+		fs := &core.FrontierSampler{M: 50, PrefetchEvery: prefetchEvery}
+		var edges []edge
+		err := c.RunSafely(func() error {
+			return fs.Run(sess, func(u, v int) { edges = append(edges, edge{u, v}) })
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return edges
+	}
+
+	// Per-vertex baseline: batch size 1 degrades every prefetch to a
+	// single-vertex round trip and the walk fetches one record per miss.
+	base := dialOpts(t, ts, WithBatchSize(1))
+	baseEdges := run(base, 0)
+
+	batched := dialOpts(t, ts)
+	batchedEdges := run(batched, 16)
+
+	if len(baseEdges) == 0 || len(baseEdges) != len(batchedEdges) {
+		t.Fatalf("edge counts differ: %d vs %d", len(baseEdges), len(batchedEdges))
+	}
+	for i := range baseEdges {
+		if baseEdges[i] != batchedEdges[i] {
+			t.Fatalf("edge %d differs: %v vs %v — prefetching must not change the walk", i, baseEdges[i], batchedEdges[i])
+		}
+	}
+
+	br, pr := base.Roundtrips(), batched.Roundtrips()
+	t.Logf("roundtrips: per-vertex %d, batched %d (%.1fx)", br, pr, float64(br)/float64(pr))
+	if pr*3 > br {
+		t.Fatalf("batched crawl used %d round trips vs %d baseline — want >= 3x fewer", pr, br)
+	}
+}
+
+func TestBatchSizeClampedToServerLimit(t *testing.T) {
+	ts, _, _ := testServer(t)
+	c := dialOpts(t, ts, WithBatchSize(MaxBatchIDs+100))
+	if c.batchSize != MaxBatchIDs {
+		t.Fatalf("batchSize = %d, want clamped to %d", c.batchSize, MaxBatchIDs)
+	}
+	// A large prefetch must succeed rather than trip the server's 413.
+	ids := make([]int, c.meta.NumVertices)
+	for i := range ids {
+		ids[i] = i
+	}
+	if err := c.PrefetchVertices(ids); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefetchCappedAtCacheCapacity(t *testing.T) {
+	ts, g, _ := testServer(t)
+	c := dialOpts(t, ts, WithCacheCapacity(4))
+	ids := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if err := c.PrefetchVertices(ids); err != nil {
+		t.Fatal(err)
+	}
+	// Only capacity-many records are fetched: the rest would have evicted
+	// them within the same call.
+	if got := c.Fetches(); got != 4 {
+		t.Fatalf("fetches = %d, want 4 (capped at capacity)", got)
+	}
+	if got := c.CacheLen(); got != 4 {
+		t.Fatalf("cache len = %d, want 4", got)
+	}
+	// Dropped ids remain fetchable one by one.
+	rec, err := c.Vertex(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil || rec.SymDegree != g.SymDegree(9) {
+		t.Fatalf("dropped id refetch = %+v", rec)
+	}
+}
+
+func TestGzipRefusedWithZeroQValue(t *testing.T) {
+	ts, _, _ := testServer(t)
+	raw := &http.Client{Transport: &http.Transport{DisableCompression: true}}
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/vertex/3", nil)
+	// RFC 9110: q=0 means "not acceptable" — the server must not gzip.
+	req.Header.Set("Accept-Encoding", "gzip;q=0, identity")
+	resp, err := raw.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Encoding"); got != "" {
+		t.Fatalf("Content-Encoding = %q despite gzip;q=0", got)
+	}
+	var rec VertexRecord
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID != 3 {
+		t.Fatalf("record = %+v", rec)
+	}
+}

@@ -1,6 +1,8 @@
 package netgraph
 
 import (
+	"bytes"
+	"container/list"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -12,38 +14,101 @@ import (
 	"frontier/internal/graph"
 )
 
+// DefaultCacheCapacity bounds the vertex cache when no explicit capacity
+// is configured: enough for every experiment graph in this repository
+// while still guaranteeing bounded memory on an arbitrarily large crawl.
+const DefaultCacheCapacity = 1 << 20
+
+// DefaultBatchSize is the number of vertex ids sent per batch round trip
+// when no explicit size is configured.
+const DefaultBatchSize = 256
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithCacheCapacity bounds the client's vertex cache to at most n
+// records, evicting least-recently-used entries. n <= 0 means unbounded
+// (the pre-LRU behavior; use only for small graphs).
+func WithCacheCapacity(n int) Option {
+	return func(c *Client) { c.cache.cap = n }
+}
+
+// WithBatchSize sets how many vertex ids PrefetchVertices packs into one
+// POST /v1/vertices round trip, clamped to the server's MaxBatchIDs (a
+// larger batch would be rejected with 413).
+func WithBatchSize(n int) Option {
+	return func(c *Client) {
+		if n > MaxBatchIDs {
+			n = MaxBatchIDs
+		}
+		if n > 0 {
+			c.batchSize = n
+		}
+	}
+}
+
 // Client crawls a graph served by Server. It caches vertex records so
 // that a random walk revisiting a vertex does not re-query the server —
 // matching the paper's cost model, where only first-time queries cost
 // budget (the session still charges per step; the cache saves network
 // round trips, not budget).
 //
-// Client implements crawl.Source and estimate.EdgeView, so samplers and
-// estimators run against it directly. It is safe for concurrent use.
+// The cache is a capacity-bounded LRU, so crawling a graph larger than
+// memory is safe: at most CacheCapacity records are retained and evicted
+// vertices are transparently refetched. Concurrent fetches of the same
+// vertex (e.g. ParallelDFS walkers colliding) are deduplicated into a
+// single round trip, and PrefetchVertices implements crawl.BatchSource
+// with one POST per batch of ids.
+//
+// Client implements crawl.Source, crawl.BatchSource and
+// estimate.EdgeView, so samplers and estimators run against it directly.
+// It is safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
-	meta Meta
+	base      string
+	hc        *http.Client
+	meta      Meta
+	batchSize int
 
-	mu    sync.Mutex
-	cache map[int]*VertexRecord
+	mu       sync.Mutex
+	cache    lruCache
+	inflight map[int]*inflightFetch
 
-	fetches int64
+	fetches    int64 // vertex records fetched over the network
+	roundtrips int64 // HTTP round trips carrying vertex data (single + batch)
+}
+
+// inflightFetch is a single-flight slot: the first goroutine to miss the
+// cache performs the fetch; later goroutines wait on done and share the
+// result instead of issuing a duplicate request.
+type inflightFetch struct {
+	done chan struct{}
+	rec  *VertexRecord
+	err  error
 }
 
 // Compile-time interface checks.
 var (
 	_ crawl.Source      = (*Client)(nil)
+	_ crawl.BatchSource = (*Client)(nil)
 	_ estimate.EdgeView = (*Client)(nil)
 )
 
 // Dial fetches the remote graph's metadata and returns a client.
 // baseURL is e.g. "http://localhost:8080".
-func Dial(baseURL string, hc *http.Client) (*Client, error) {
+func Dial(baseURL string, hc *http.Client, opts ...Option) (*Client, error) {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	c := &Client{base: baseURL, hc: hc, cache: make(map[int]*VertexRecord)}
+	c := &Client{
+		base:      baseURL,
+		hc:        hc,
+		batchSize: DefaultBatchSize,
+		cache:     newLRUCache(DefaultCacheCapacity),
+		inflight:  make(map[int]*inflightFetch),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
 	resp, err := hc.Get(baseURL + "/v1/meta")
 	if err != nil {
 		return nil, fmt.Errorf("netgraph: dial: %w", err)
@@ -62,42 +127,234 @@ func Dial(baseURL string, hc *http.Client) (*Client, error) {
 func (c *Client) Meta() Meta { return c.meta }
 
 // Fetches returns the number of vertex records fetched over the network
-// (cache misses).
+// (cache misses, including records arriving via batch prefetch).
 func (c *Client) Fetches() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.fetches
 }
 
-// vertex returns the cached record for v, fetching it if necessary.
-// Errors panic with a typed value recovered by RunSafely; the
-// crawl.Source interface has no error returns because in-memory sources
-// cannot fail.
-func (c *Client) vertex(v int) *VertexRecord {
+// Roundtrips returns the number of HTTP round trips that carried vertex
+// data: one per single-vertex fetch and one per batch, regardless of how
+// many records the batch held. This is the latency-bound quantity a
+// crawler of a slow OSN API minimizes.
+func (c *Client) Roundtrips() int64 {
 	c.mu.Lock()
-	if rec, ok := c.cache[v]; ok {
+	defer c.mu.Unlock()
+	return c.roundtrips
+}
+
+// CacheLen returns the number of vertex records currently cached (at
+// most the configured capacity).
+func (c *Client) CacheLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cache.len()
+}
+
+// CacheCapacity returns the cache bound (<= 0 means unbounded).
+func (c *Client) CacheCapacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cache.cap
+}
+
+// Vertex returns the record for v, fetching it over the network on a
+// cache miss. This is the error-returning access path; the panicking
+// crawl.Source methods wrap it for samplers that cannot thread errors.
+func (c *Client) Vertex(v int) (*VertexRecord, error) {
+	var fl *inflightFetch
+	for {
+		c.mu.Lock()
+		if rec := c.cache.get(v); rec != nil {
+			c.mu.Unlock()
+			return rec, nil
+		}
+		other, busy := c.inflight[v]
+		if !busy {
+			fl = &inflightFetch{done: make(chan struct{})}
+			c.inflight[v] = fl
+			c.mu.Unlock()
+			break
+		}
+		// Another goroutine is already fetching v: wait for it instead of
+		// issuing a duplicate round trip.
 		c.mu.Unlock()
-		return rec
+		<-other.done
+		if other.rec != nil || other.err != nil {
+			return other.rec, other.err
+		}
+		// The flight was abandoned (capacity-capped prefetch): retry,
+		// fetching it ourselves if nobody else picked it up.
 	}
+
+	rec, err := c.fetchOne(v)
+
+	c.mu.Lock()
+	delete(c.inflight, v)
+	if err == nil {
+		c.cache.add(v, rec)
+		c.fetches++
+	}
+	c.roundtrips++
 	c.mu.Unlock()
 
+	fl.rec, fl.err = rec, err
+	close(fl.done)
+	return rec, err
+}
+
+// fetchOne performs the single-vertex GET.
+func (c *Client) fetchOne(v int) (*VertexRecord, error) {
 	resp, err := c.hc.Get(fmt.Sprintf("%s/v1/vertex/%d", c.base, v))
 	if err != nil {
-		panic(remoteError{fmt.Errorf("netgraph: vertex %d: %w", v, err)})
+		return nil, fmt.Errorf("netgraph: vertex %d: %w", v, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		panic(remoteError{errorStatus(fmt.Sprintf("vertex %d", v), resp.StatusCode)})
+		return nil, errorStatus(fmt.Sprintf("vertex %d", v), resp.StatusCode)
 	}
 	rec := &VertexRecord{}
 	if err := json.NewDecoder(resp.Body).Decode(rec); err != nil {
-		panic(remoteError{fmt.Errorf("netgraph: decoding vertex %d: %w", v, err)})
+		return nil, fmt.Errorf("netgraph: decoding vertex %d: %w", v, err)
 	}
+	return rec, nil
+}
 
+// PrefetchVertices implements crawl.BatchSource: it fetches every
+// not-yet-cached id in batched POST /v1/vertices round trips, warming
+// the cache so subsequent Source queries are hits. Duplicate, cached,
+// already-inflight and out-of-range ids are skipped. Concurrent
+// single-vertex fetches of the same ids wait for the batch rather than
+// double-fetching.
+func (c *Client) PrefetchVertices(ids []int) error {
 	c.mu.Lock()
-	c.cache[v] = rec
-	c.fetches++
+	need := make([]int, 0, len(ids))
+	flights := make(map[int]*inflightFetch, len(ids))
+	cachedSeen := make(map[int]bool)
+	for _, v := range ids {
+		if v < 0 || v >= c.meta.NumVertices {
+			continue // advice only: drop ids the server would 404
+		}
+		if _, dup := flights[v]; dup {
+			continue
+		}
+		if c.cache.get(v) != nil {
+			cachedSeen[v] = true
+			continue
+		}
+		if _, busy := c.inflight[v]; busy {
+			continue // someone else is on it; advice, not obligation
+		}
+		fl := &inflightFetch{done: make(chan struct{})}
+		c.inflight[v] = fl
+		flights[v] = fl
+		need = append(need, v)
+	}
+	// Budget the fetch so this advice set never evicts itself: the cache
+	// can retain at most cap records, and cachedSeen of them are members
+	// of this very set (e.g. the frontier positions a sampler listed
+	// ahead of their neighborhoods). Fetching past the budget would evict
+	// those — or records fetched moments earlier in this call — burning
+	// round trips on data that cannot be retained. The dropped ids stay
+	// fetchable one by one, per the BatchSource contract.
+	if c.cache.cap > 0 {
+		budget := c.cache.cap - len(cachedSeen)
+		if budget < 0 {
+			budget = 0
+		}
+		if len(need) > budget {
+			c.abandonFlights(flights, need[budget:])
+			need = need[:budget]
+		}
+	}
 	c.mu.Unlock()
+
+	for start := 0; start < len(need); start += c.batchSize {
+		end := start + c.batchSize
+		if end > len(need) {
+			end = len(need)
+		}
+		chunk := need[start:end]
+		recs, err := c.fetchBatch(chunk)
+
+		c.mu.Lock()
+		c.roundtrips++
+		if err != nil {
+			// Advice, not obligation: don't burn the remaining chunks
+			// against a server that is already failing. Abandoned waiters
+			// fall back to per-vertex fetches.
+			c.abandonFlights(flights, need[start:])
+			c.mu.Unlock()
+			return err
+		}
+		for _, v := range chunk {
+			fl := flights[v]
+			delete(c.inflight, v)
+			fl.rec = recs[v]
+			c.cache.add(v, recs[v])
+			c.fetches++
+			close(fl.done)
+		}
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// abandonFlights releases the given prefetch flights without a result;
+// waiters observe rec == nil, err == nil and retry with their own
+// single-vertex fetch. Callers must hold the client mutex.
+func (c *Client) abandonFlights(flights map[int]*inflightFetch, ids []int) {
+	for _, v := range ids {
+		fl := flights[v]
+		delete(c.inflight, v)
+		close(fl.done)
+	}
+}
+
+// fetchBatch performs one POST /v1/vertices round trip and returns the
+// records keyed by id.
+func (c *Client) fetchBatch(ids []int) (map[int]*VertexRecord, error) {
+	body, err := json.Marshal(BatchRequest{IDs: ids})
+	if err != nil {
+		return nil, fmt.Errorf("netgraph: encoding batch: %w", err)
+	}
+	resp, err := c.hc.Post(c.base+"/v1/vertices", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("netgraph: batch of %d: %w", len(ids), err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorStatus(fmt.Sprintf("batch of %d", len(ids)), resp.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return nil, fmt.Errorf("netgraph: decoding batch: %w", err)
+	}
+	recs := make(map[int]*VertexRecord, len(br.Vertices))
+	for i := range br.Vertices {
+		// Copy out of the decoded slice: a pointer into br.Vertices would
+		// keep the whole batch's backing array reachable for as long as
+		// any one record stays cached, unbounding the LRU's byte size.
+		rec := br.Vertices[i]
+		recs[rec.ID] = &rec
+	}
+	for _, v := range ids {
+		if recs[v] == nil {
+			return nil, fmt.Errorf("netgraph: batch response missing vertex %d", v)
+		}
+	}
+	return recs, nil
+}
+
+// vertex is the panicking variant of Vertex backing the crawl.Source
+// methods, whose interface has no error returns because in-memory
+// sources cannot fail. RunSafely converts the panic back to an error.
+func (c *Client) vertex(v int) *VertexRecord {
+	rec, err := c.Vertex(v)
+	if err != nil {
+		panic(remoteError{err})
+	}
 	return rec
 }
 
@@ -168,17 +425,85 @@ func (c *Client) SharedNeighbors(u, v int) int {
 func (c *Client) Groups(v int) []int32 { return c.vertex(v).Groups }
 
 // GroupLabelsSnapshot reconstructs group labels for all vertices by
-// querying each one. Intended for small graphs and tests; a real crawl
-// estimates group densities from samples instead.
+// querying each one (batched). Intended for small graphs and tests; a
+// real crawl estimates group densities from samples instead.
 func (c *Client) GroupLabelsSnapshot() (*graph.GroupLabels, error) {
-	var gl *graph.GroupLabels
-	err := c.RunSafely(func() error {
-		membership := make([][]int32, c.meta.NumVertices)
-		for v := 0; v < c.meta.NumVertices; v++ {
-			membership[v] = c.Groups(v)
+	n := c.meta.NumVertices
+	// Prefetch and consume in cache-sized windows: prefetching all n ids
+	// up front would evict the early ones before the read loop reached
+	// them whenever n exceeds the cache capacity, fetching the graph
+	// nearly twice.
+	window := c.batchSize
+	if cp := c.CacheCapacity(); cp > 0 && cp < window {
+		window = cp
+	}
+	membership := make([][]int32, n)
+	ids := make([]int, 0, window)
+	for start := 0; start < n; start += window {
+		end := start + window
+		if end > n {
+			end = n
 		}
-		gl = graph.NewGroupLabels(c.meta.NumGroups, membership)
+		ids = ids[:0]
+		for v := start; v < end; v++ {
+			ids = append(ids, v)
+		}
+		if err := c.PrefetchVertices(ids); err != nil {
+			return nil, err
+		}
+		for v := start; v < end; v++ {
+			rec, err := c.Vertex(v)
+			if err != nil {
+				return nil, err
+			}
+			membership[v] = rec.Groups
+		}
+	}
+	return graph.NewGroupLabels(c.meta.NumGroups, membership), nil
+}
+
+// lruCache is a capacity-bounded least-recently-used vertex cache.
+// Callers must hold the client mutex.
+type lruCache struct {
+	cap   int // <= 0 means unbounded
+	ll    *list.List
+	items map[int]*list.Element
+}
+
+type lruEntry struct {
+	key int
+	rec *VertexRecord
+}
+
+func newLRUCache(capacity int) lruCache {
+	return lruCache{cap: capacity, ll: list.New(), items: make(map[int]*list.Element)}
+}
+
+func (l *lruCache) len() int { return len(l.items) }
+
+// get returns the cached record for key (nil on miss) and marks it most
+// recently used.
+func (l *lruCache) get(key int) *VertexRecord {
+	el, ok := l.items[key]
+	if !ok {
 		return nil
-	})
-	return gl, err
+	}
+	l.ll.MoveToFront(el)
+	return el.Value.(lruEntry).rec
+}
+
+// add inserts (or refreshes) key, evicting the least recently used entry
+// when over capacity.
+func (l *lruCache) add(key int, rec *VertexRecord) {
+	if el, ok := l.items[key]; ok {
+		el.Value = lruEntry{key: key, rec: rec}
+		l.ll.MoveToFront(el)
+		return
+	}
+	l.items[key] = l.ll.PushFront(lruEntry{key: key, rec: rec})
+	if l.cap > 0 && len(l.items) > l.cap {
+		back := l.ll.Back()
+		l.ll.Remove(back)
+		delete(l.items, back.Value.(lruEntry).key)
+	}
 }

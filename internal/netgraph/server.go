@@ -7,17 +7,26 @@
 // provides both halves of that interaction for experiments and examples:
 //
 //   - Server: a net/http handler serving vertex neighborhoods and graph
-//     metadata as JSON (mounted by cmd/graphd);
-//   - Client: an HTTP client with a vertex cache that implements
-//     crawl.Source and estimate.EdgeView, so every sampler and estimator
-//     in this repository runs unmodified against a remote graph.
+//     metadata as JSON (mounted by cmd/graphd), with gzip response
+//     compression, a batch vertex endpoint, request counters, and
+//     optional injected per-request latency to model slow OSN APIs;
+//   - Client: an HTTP client with a bounded LRU vertex cache,
+//     single-flight fetch deduplication and batched prefetch; it
+//     implements crawl.Source, crawl.BatchSource and estimate.EdgeView,
+//     so every sampler and estimator in this repository runs unmodified
+//     against a remote graph.
 package netgraph
 
 import (
+	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
 
 	"frontier/internal/graph"
 )
@@ -43,33 +52,107 @@ type VertexRecord struct {
 	Groups       []int32 `json:"groups,omitempty"`
 }
 
-// Server serves a graph (and optional group labels) over HTTP.
+// BatchRequest is the body of POST /v1/vertices: the ids to fetch in one
+// round trip.
+type BatchRequest struct {
+	IDs []int `json:"ids"`
+}
+
+// BatchResponse is the reply to a batch request. Records appear in the
+// order of the requested ids, with duplicates collapsed to their first
+// occurrence.
+type BatchResponse struct {
+	Vertices []VertexRecord `json:"vertices"`
+}
+
+// ServerStats are the monotonically increasing request counters exposed
+// at GET /v1/stats.
+type ServerStats struct {
+	Requests       int64 `json:"requests"`        // all requests, any endpoint
+	MetaRequests   int64 `json:"meta_requests"`   // GET /v1/meta
+	VertexRequests int64 `json:"vertex_requests"` // GET /v1/vertex/{id}
+	BatchRequests  int64 `json:"batch_requests"`  // POST /v1/vertices
+	VerticesServed int64 `json:"vertices_served"` // vertex records sent (single + batched)
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithLatency injects a fixed sleep before every request is handled,
+// modeling the response time of a real OSN API (the regime the paper's
+// cost model abstracts: each query is a slow network round trip).
+// Experiments use it to measure how well batching hides latency.
+func WithLatency(d time.Duration) ServerOption {
+	return func(s *Server) { s.latency = d }
+}
+
+// MaxBatchIDs bounds the number of ids one batch request may ask for,
+// keeping a single request from holding the handler for an unbounded
+// amount of work.
+const MaxBatchIDs = 4096
+
+// maxBatchBodyBytes bounds the batch request body so the id-count check
+// cannot be bypassed by streaming an enormous JSON array: MaxBatchIDs
+// ids at ~20 digits each fit comfortably in 1 MiB.
+const maxBatchBodyBytes = 1 << 20
+
+// Server serves a graph (and optional group labels) over HTTP. All
+// responses are gzip-compressed when the client accepts it. Safe for
+// concurrent use.
 type Server struct {
-	name   string
-	g      *graph.Graph
-	groups *graph.GroupLabels
-	mux    *http.ServeMux
+	name    string
+	g       *graph.Graph
+	groups  *graph.GroupLabels
+	mux     *http.ServeMux
+	latency time.Duration
+
+	requests       atomic.Int64
+	metaRequests   atomic.Int64
+	vertexRequests atomic.Int64
+	batchRequests  atomic.Int64
+	verticesServed atomic.Int64
 }
 
 // NewServer creates a server for g. groups may be nil.
-func NewServer(name string, g *graph.Graph, groups *graph.GroupLabels) *Server {
+func NewServer(name string, g *graph.Graph, groups *graph.GroupLabels, opts ...ServerOption) *Server {
 	s := &Server{name: name, g: g, groups: groups, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("GET /v1/meta", s.handleMeta)
 	s.mux.HandleFunc("GET /v1/vertex/{id}", s.handleVertex)
+	s.mux.HandleFunc("POST /v1/vertices", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
+}
+
+// Stats returns a snapshot of the request counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Requests:       s.requests.Load(),
+		MetaRequests:   s.metaRequests.Load(),
+		VertexRequests: s.vertexRequests.Load(),
+		BatchRequests:  s.batchRequests.Load(),
+		VerticesServed: s.verticesServed.Load(),
+	}
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if s.latency > 0 {
+		time.Sleep(s.latency)
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
-func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	s.metaRequests.Add(1)
 	numGroups := 0
 	if s.groups != nil {
 		numGroups = s.groups.NumGroups()
 	}
-	writeJSON(w, Meta{
+	writeJSON(w, r, Meta{
 		NumVertices:      s.g.NumVertices(),
 		NumDirectedEdges: s.g.NumDirectedEdges(),
 		NumSymEdges:      s.g.NumSymEdges(),
@@ -78,12 +161,8 @@ func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
-	id, err := strconv.Atoi(r.PathValue("id"))
-	if err != nil || id < 0 || id >= s.g.NumVertices() {
-		http.Error(w, "no such vertex", http.StatusNotFound)
-		return
-	}
+// record builds the VertexRecord for a valid id.
+func (s *Server) record(id int) VertexRecord {
 	rec := VertexRecord{
 		ID:           id,
 		SymDegree:    s.g.SymDegree(id),
@@ -95,14 +174,96 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 	if s.groups != nil {
 		rec.Groups = s.groups.Groups(id)
 	}
-	writeJSON(w, rec)
+	return rec
 }
 
-func writeJSON(w http.ResponseWriter, v interface{}) {
+func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+	s.vertexRequests.Add(1)
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 || id >= s.g.NumVertices() {
+		http.Error(w, "no such vertex", http.StatusNotFound)
+		return
+	}
+	s.verticesServed.Add(1)
+	writeJSON(w, r, s.record(id))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.batchRequests.Add(1)
+	var req BatchRequest
+	body := http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("batch body exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "bad batch request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.IDs) > MaxBatchIDs {
+		http.Error(w, fmt.Sprintf("batch of %d exceeds limit %d", len(req.IDs), MaxBatchIDs), http.StatusRequestEntityTooLarge)
+		return
+	}
+	resp := BatchResponse{Vertices: make([]VertexRecord, 0, len(req.IDs))}
+	seen := make(map[int]bool, len(req.IDs))
+	for _, id := range req.IDs {
+		if id < 0 || id >= s.g.NumVertices() {
+			http.Error(w, fmt.Sprintf("no such vertex %d", id), http.StatusNotFound)
+			return
+		}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		resp.Vertices = append(resp.Vertices, s.record(id))
+	}
+	s.verticesServed.Add(int64(len(resp.Vertices)))
+	writeJSON(w, r, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, r, s.Stats())
+}
+
+// acceptsGzip reports whether the Accept-Encoding header allows a gzip
+// response, honoring q-values ("gzip;q=0" explicitly refuses it).
+func acceptsGzip(header string) bool {
+	for _, part := range strings.Split(header, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(fields[0]) != "gzip" {
+			continue
+		}
+		for _, p := range fields[1:] {
+			if q, ok := strings.CutPrefix(strings.TrimSpace(p), "q="); ok {
+				if f, err := strconv.ParseFloat(q, 64); err == nil && f == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// writeJSON encodes v, gzip-compressing when the request advertises
+// support (Go's default HTTP transport does, and transparently inflates
+// the response, so clients need no special handling). Adjacency-list
+// JSON compresses several-fold, which matters at OSN degrees.
+func writeJSON(w http.ResponseWriter, r *http.Request, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
+	if r != nil && acceptsGzip(r.Header.Get("Accept-Encoding")) {
+		w.Header().Set("Content-Encoding", "gzip")
+		gz := gzip.NewWriter(w)
+		if err := json.NewEncoder(gz).Encode(v); err != nil {
+			// Connection-level failure; nothing actionable server-side.
+			_ = err
+		}
+		_ = gz.Close()
+		return
+	}
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		// Connection-level failure; response already partially written.
-		// Nothing actionable server-side.
 		_ = err
 	}
 }
