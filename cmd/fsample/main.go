@@ -14,19 +14,32 @@
 // Remote crawls are batched: -cache-cap bounds the client's vertex LRU,
 // -batch sets the prefetch batch size, and -prefetch controls how often
 // FS prefetches its frontier's neighborhoods (default m/2 when remote).
+//
+// -remote-job submits the run to the graphd job service instead of
+// crawling client-side: the server samples its local graph in a worker
+// pool and fsample polls the job until it finishes. Only -method, -m,
+// -budget, -seed and -estimate apply in this mode (the client-crawl
+// flags -cache-cap/-batch/-prefetch/-kind/-diagnose are meaningless
+// server-side, and -hit-ratio is rejected rather than ignored).
+// -timeout bounds the whole run (local or remote) through a context; on
+// expiry, in-flight HTTP requests abort and local sampling unwinds at
+// the next budget charge.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"frontier/internal/core"
 	"frontier/internal/crawl"
 	"frontier/internal/estimate"
 	"frontier/internal/graph"
 	"frontier/internal/graphio"
+	"frontier/internal/jobs"
 	"frontier/internal/netgraph"
 	"frontier/internal/stats"
 	"frontier/internal/walkstats"
@@ -48,8 +61,33 @@ func main() {
 		cacheCap  = flag.Int("cache-cap", netgraph.DefaultCacheCapacity, "remote client vertex-cache capacity (LRU records; <= 0 unbounded)")
 		batchSize = flag.Int("batch", netgraph.DefaultBatchSize, "remote client prefetch batch size")
 		prefetch  = flag.Int("prefetch", -1, "FS frontier-prefetch interval in steps (0 off, -1 auto: m/2 when remote)")
+		remoteJob = flag.Bool("remote-job", false, "submit the run to graphd's job service (-url) and poll it instead of crawling client-side")
+		timeout   = flag.Duration("timeout", 0, "overall run timeout (0 = none); cancels in-flight requests and unwinds sampling")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *remoteJob {
+		if *url == "" {
+			fmt.Fprintln(os.Stderr, "fsample: -remote-job needs -url")
+			os.Exit(2)
+		}
+		// The job service runs the paper's unit cost model server-side;
+		// silently dropping a non-default -hit-ratio would make the
+		// remote result incomparable to the local run it names.
+		if *hitRatio != 1 {
+			fmt.Fprintln(os.Stderr, "fsample: -hit-ratio is not supported by -remote-job (the job service runs unit costs)")
+			os.Exit(2)
+		}
+		runRemoteJob(ctx, *url, *methodStr, *m, *budget, *seed, *est)
+		return
+	}
 
 	var kind graph.DegreeKind
 	switch *kindStr {
@@ -84,7 +122,8 @@ func main() {
 	case *url != "":
 		c, err := netgraph.Dial(*url, nil,
 			netgraph.WithCacheCapacity(*cacheCap),
-			netgraph.WithBatchSize(*batchSize))
+			netgraph.WithBatchSize(*batchSize),
+			netgraph.WithContext(ctx))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
 			os.Exit(1)
@@ -99,7 +138,7 @@ func main() {
 
 	model := crawl.UnitCosts()
 	model.VertexHitRatio = *hitRatio
-	sess := crawl.NewSession(src, *budget, model, xrand.New(*seed))
+	sess := crawl.NewSessionContext(ctx, src, *budget, model, xrand.New(*seed))
 
 	// -prefetch -1 resolves to m/2 on remote graphs (batch the frontier's
 	// neighborhoods to hide round-trip latency) and off for local files,
@@ -202,7 +241,7 @@ func main() {
 	if *diagnose && sampler != nil {
 		// Re-run the same walk (same seed) collecting the 1/deg series
 		// the estimators weight by, and report stationarity diagnostics.
-		dsess := crawl.NewSession(src, *budget, model, xrand.New(*seed))
+		dsess := crawl.NewSessionContext(ctx, src, *budget, model, xrand.New(*seed))
 		var series []float64
 		err := runSafe(func() error {
 			return ignoreExhaustion(sampler.Run(dsess, func(u, v int) {
@@ -226,6 +265,45 @@ func main() {
 			fmt.Printf("effective sample size: %.0f of %d walk samples\n", ess, len(series))
 		}
 	}
+}
+
+// runRemoteJob submits the run as a server-side sampling job, polls it
+// to completion and prints the final status.
+func runRemoteJob(ctx context.Context, url, method string, m int, budget float64, seed uint64, est string) {
+	c, err := netgraph.Dial(url, nil, netgraph.WithContext(ctx))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
+		os.Exit(1)
+	}
+	if est == "degree" {
+		// The job service computes scalar estimates; default to the
+		// average-degree one rather than rejecting fsample's default.
+		est = "avgdegree"
+	}
+	st, err := c.SubmitJob(ctx, jobs.Spec{Method: method, M: m, Budget: budget, Seed: seed, Estimate: est})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("submitted %s (%s, m=%d, budget %.0f)\n", st.ID, method, m, budget)
+	final, err := c.WaitJob(ctx, st.ID, 100*time.Millisecond)
+	if err != nil {
+		// The run is bounded by -timeout: tell the server to stop too.
+		if _, cerr := c.CancelJob(context.Background(), st.ID); cerr == nil {
+			fmt.Fprintf(os.Stderr, "fsample: %v (job %s cancelled)\n", err, st.ID)
+		} else {
+			fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
+		}
+		os.Exit(1)
+	}
+	if final.State != jobs.StateDone {
+		fmt.Fprintf(os.Stderr, "fsample: job %s ended %s: %s\n", final.ID, final.State, final.Error)
+		os.Exit(1)
+	}
+	if final.Estimate != nil {
+		fmt.Printf("%s estimate: %.5f\n", final.Spec.Estimate, *final.Estimate)
+	}
+	fmt.Printf("budget spent: %.0f (%d edges sampled, edge hash %s)\n", final.Spent, final.Edges, final.EdgeHash)
 }
 
 func requireEdgeSampler(s core.EdgeSampler, name string) {

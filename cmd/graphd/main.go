@@ -1,35 +1,49 @@
 // Command graphd serves a graph over HTTP so that samplers can crawl it
 // across the network, mimicking an online social network's API (the
 // paper's access model: querying a vertex reveals its incoming and
-// outgoing edges).
+// outgoing edges), and runs a concurrent sampling-job service over the
+// served graph.
 //
 // Usage:
 //
 //	graphd -graph flickr.fgrb -groups flickr.fgrb.groups -addr :8080
 //	graphd -dataset flickr -scale 0.2 -addr :8080   # generate in memory
+//	graphd -dataset lj -workers 8 -checkpoint-dir /var/lib/graphd/jobs
 //
 // Endpoints:
 //
-//	GET  /v1/meta        — graph metadata
-//	GET  /v1/vertex/{id} — a vertex's degrees, neighbors and groups
-//	POST /v1/vertices    — batch vertex fetch, body {"ids": [...]}
-//	GET  /v1/stats       — request counters
+//	GET  /v1/meta             — graph metadata
+//	GET  /v1/vertex/{id}      — a vertex's degrees, neighbors and groups
+//	POST /v1/vertices         — batch vertex fetch, body {"ids": [...]}
+//	GET  /v1/stats            — request counters
+//	GET  /healthz             — liveness: vertex count, uptime, active jobs
+//	POST /v1/jobs             — submit a sampling job (body: job spec)
+//	GET  /v1/jobs/{id}        — job status and partial estimates
+//	POST /v1/jobs/{id}/cancel — cancel a job
 //
 // Responses are gzip-compressed when the client accepts it. -latency
-// injects a fixed per-request delay to model a slow OSN API.
+// injects a fixed per-request delay to model a slow OSN API. -workers
+// sizes the job worker pool (0 disables the job service). With
+// -checkpoint-dir, jobs checkpoint to disk and resume across restarts:
+// on SIGINT/SIGTERM running jobs are paused at their next step boundary
+// and a restarted graphd picks them up where they left off.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"frontier/internal/gen"
 	"frontier/internal/graph"
 	"frontier/internal/graphio"
+	"frontier/internal/jobs"
 	"frontier/internal/netgraph"
 	"frontier/internal/xrand"
 )
@@ -43,6 +57,8 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "dataset seed")
 		addr       = flag.String("addr", ":8080", "listen address")
 		latency    = flag.Duration("latency", 0, "injected per-request latency (models a slow OSN API, e.g. 5ms)")
+		workers    = flag.Int("workers", 4, "sampling-job worker pool size (0 disables the job service)")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for job checkpoints; jobs resume across restarts")
 	)
 	flag.Parse()
 
@@ -89,6 +105,21 @@ func main() {
 	if *latency > 0 {
 		opts = append(opts, netgraph.WithLatency(*latency))
 	}
+	var mgr *jobs.Manager
+	if *workers > 0 {
+		mopts := []jobs.Option{jobs.WithWorkers(*workers)}
+		if *ckptDir != "" {
+			mopts = append(mopts, jobs.WithCheckpointDir(*ckptDir))
+		}
+		mgr, err = jobs.NewManager(g, mopts...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphd: %v\n", err)
+			os.Exit(1)
+		}
+		opts = append(opts, netgraph.WithJobs(mgr))
+		log.Printf("graphd: job service: %d workers, %d jobs resumed (checkpoint dir %q)",
+			*workers, mgr.ActiveJobs(), *ckptDir)
+	}
 	srv := &http.Server{
 		Addr:         *addr,
 		Handler:      netgraph.NewServer(name, g, gl, opts...),
@@ -97,7 +128,25 @@ func main() {
 	}
 	log.Printf("graphd: serving %q (%d vertices, %d edges) on %s (latency %s)",
 		name, g.NumVertices(), g.NumDirectedEdges(), *addr, *latency)
-	if err := srv.ListenAndServe(); err != nil {
+
+	// Graceful shutdown: pause and checkpoint running jobs, then drain
+	// the listener.
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("graphd: shutting down")
+		if mgr != nil {
+			mgr.Stop()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		close(done)
+	}()
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("graphd: %v", err)
 	}
+	<-done
 }

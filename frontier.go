@@ -25,6 +25,7 @@
 package frontier
 
 import (
+	"context"
 	"time"
 
 	"frontier/internal/core"
@@ -33,6 +34,7 @@ import (
 	"frontier/internal/gen"
 	"frontier/internal/graph"
 	"frontier/internal/graphio"
+	"frontier/internal/jobs"
 	"frontier/internal/netgraph"
 	"frontier/internal/stats"
 	"frontier/internal/walkstats"
@@ -85,6 +87,9 @@ func NewRand(seed uint64) *Rand { return xrand.New(seed) }
 type (
 	// Session mediates budgeted graph access for one sampling run.
 	Session = crawl.Session
+	// SessionCheckpoint is a session's serializable mid-run state
+	// (budget, cost model, stats, RNG); see ResumeSession.
+	SessionCheckpoint = crawl.SessionCheckpoint
 	// CostModel prices each query type (steps, vertex and edge queries,
 	// hit ratios).
 	CostModel = crawl.CostModel
@@ -110,6 +115,19 @@ func NewSession(src Source, budget float64, model CostModel, rng *Rand) *Session
 	return crawl.NewSession(src, budget, model, rng)
 }
 
+// NewSessionContext creates a session that cancels cooperatively with
+// ctx: every budget charge checks it, so a running sampler unwinds at
+// its next query.
+func NewSessionContext(ctx context.Context, src Source, budget float64, model CostModel, rng *Rand) *Session {
+	return crawl.NewSessionContext(ctx, src, budget, model, rng)
+}
+
+// ResumeSession rebuilds a session from a checkpoint, continuing
+// byte-identically where the checkpointed session stopped.
+func ResumeSession(ctx context.Context, src Source, cp SessionCheckpoint) (*Session, error) {
+	return crawl.ResumeSession(ctx, src, cp)
+}
+
 // Samplers (internal/core — the paper's contribution and baselines).
 type (
 	// FrontierSampler is Algorithm 1: the m-dimensional random walk.
@@ -133,6 +151,10 @@ type (
 	RandomEdgeSampler = core.RandomEdgeSampler
 	// EdgeSampler is the interface all edge-emitting samplers satisfy.
 	EdgeSampler = core.EdgeSampler
+	// Resumable is an EdgeSampler whose run can be snapshotted at a step
+	// boundary and continued byte-identically (FrontierSampler,
+	// DistributedFS, SingleRW and MultipleRW implement it).
+	Resumable = core.Resumable
 	// VertexSampler is the interface vertex-emitting samplers satisfy.
 	VertexSampler = core.VertexSampler
 	// Seeder chooses initial walker positions.
@@ -303,7 +325,58 @@ type (
 	GraphClientOption = netgraph.Option
 	// GraphServerStats are the counters served at GET /v1/stats.
 	GraphServerStats = netgraph.ServerStats
+	// GraphHealth is the GET /healthz liveness summary.
+	GraphHealth = netgraph.Health
 )
+
+// Sampling-job service (internal/jobs): run many concurrent,
+// cancellable, checkpoint-resumable sampling jobs over one shared graph.
+// Mount it into a GraphServer with WithServerJobs; drive it remotely
+// through GraphClient.SubmitJob / Job / CancelJob / WaitJob.
+type (
+	// JobManager owns the job table, bounded queue and worker pool.
+	JobManager = jobs.Manager
+	// JobSpec describes one sampling job (method, walkers, budget, seed,
+	// estimate, checkpoint interval).
+	JobSpec = jobs.Spec
+	// JobStatus is a job's externally visible snapshot.
+	JobStatus = jobs.Status
+	// JobState is a job's lifecycle state.
+	JobState = jobs.State
+	// JobOption configures a JobManager.
+	JobOption = jobs.Option
+)
+
+// Job lifecycle states.
+const (
+	JobQueued    = jobs.StateQueued
+	JobRunning   = jobs.StateRunning
+	JobPaused    = jobs.StatePaused
+	JobDone      = jobs.StateDone
+	JobFailed    = jobs.StateFailed
+	JobCancelled = jobs.StateCancelled
+)
+
+// NewJobManager creates a sampling-job manager over src and starts its
+// worker pool. Stop it with (*JobManager).Stop, which checkpoints
+// running jobs.
+func NewJobManager(src Source, opts ...JobOption) (*JobManager, error) {
+	return jobs.NewManager(src, opts...)
+}
+
+// WithJobWorkers sizes the job worker pool (default 4).
+func WithJobWorkers(n int) JobOption { return jobs.WithWorkers(n) }
+
+// WithJobQueueCapacity bounds the submitted-but-not-running queue.
+func WithJobQueueCapacity(n int) JobOption { return jobs.WithQueueCapacity(n) }
+
+// WithJobCheckpointDir persists job checkpoints under dir so jobs
+// survive a restart and resume byte-identically.
+func WithJobCheckpointDir(dir string) JobOption { return jobs.WithCheckpointDir(dir) }
+
+// WithServerJobs mounts the job endpoints (POST /v1/jobs et al.) backed
+// by m into a GraphServer.
+func WithServerJobs(m *JobManager) GraphServerOption { return netgraph.WithJobs(m) }
 
 // NewGraphServer creates an HTTP handler serving g (groups may be nil).
 func NewGraphServer(name string, g *Graph, groups *GroupLabels, opts ...GraphServerOption) *GraphServer {
@@ -324,6 +397,10 @@ func WithCacheCapacity(n int) GraphClientOption { return netgraph.WithCacheCapac
 
 // WithBatchSize sets the client's prefetch batch size.
 func WithBatchSize(n int) GraphClientOption { return netgraph.WithBatchSize(n) }
+
+// WithClientContext attaches ctx to every HTTP request the client
+// issues; cancelling it aborts in-flight vertex fetches.
+func WithClientContext(ctx context.Context) GraphClientOption { return netgraph.WithContext(ctx) }
 
 // Error metrics (internal/stats).
 type (

@@ -3,10 +3,12 @@
 package frontier_test
 
 import (
+	"context"
 	"errors"
 	"math"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"frontier"
 )
@@ -253,5 +255,79 @@ func TestPublicAPISummaryAndStats(t *testing.T) {
 	w.Add(3)
 	if w.Mean() != 2 {
 		t.Fatal("welford wrong")
+	}
+}
+
+// TestPublicAPIJobService round-trips the sampling-job service through
+// the facade: serve a graph with a job manager mounted, submit a remote
+// job, poll it to completion, and check the estimate matches an
+// in-process run with the same seed.
+func TestPublicAPIJobService(t *testing.T) {
+	g := frontier.BarabasiAlbert(frontier.NewRand(30), 2000, 3)
+	mgr, err := frontier.NewJobManager(g, frontier.WithJobWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+	ts := httptest.NewServer(frontier.NewGraphServer("jobs", g, nil, frontier.WithServerJobs(mgr)))
+	defer ts.Close()
+
+	c, err := frontier.DialGraph(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Workers != 2 {
+		t.Fatalf("health = %+v", h)
+	}
+
+	spec := frontier.JobSpec{Method: "fs", M: 32, Budget: 4000, Seed: 123, Estimate: "avgdegree"}
+	st, err := c.SubmitJob(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitJob(ctx, st.ID, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != frontier.JobDone {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+	if final.Estimate == nil {
+		t.Fatal("no estimate on done job")
+	}
+
+	// The same run in-process through the facade estimator must agree.
+	sess := frontier.NewSession(g, spec.Budget, frontier.UnitCosts(), frontier.NewRand(spec.Seed))
+	est := frontier.NewAvgDegree(g)
+	fs := &frontier.FrontierSampler{M: spec.M}
+	if err := fs.Run(sess, est.Observe); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := *final.Estimate, est.Estimate(); got != want {
+		t.Fatalf("remote job estimate %v, in-process %v", got, want)
+	}
+	if final.Edges != sess.Stats().Steps {
+		t.Fatalf("remote job sampled %d edges, in-process %d", final.Edges, sess.Stats().Steps)
+	}
+
+	// Resumable is part of the public API: a sampler snapshot taken
+	// mid-run restores into a fresh value.
+	var r frontier.Resumable = &frontier.FrontierSampler{M: 4}
+	sess2 := frontier.NewSession(g, 100, frontier.UnitCosts(), frontier.NewRand(1))
+	if err := r.Run(sess2, func(u, v int) {}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := &frontier.FrontierSampler{M: 4}
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatal(err)
 	}
 }

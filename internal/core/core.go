@@ -27,6 +27,7 @@ package core
 
 import (
 	"container/heap"
+	"encoding/json"
 	"errors"
 	"fmt"
 
@@ -56,6 +57,48 @@ type VertexSampler interface {
 	Name() string
 	RunVertices(sess *crawl.Session, emit VertexFunc) error
 }
+
+// Resumable is an EdgeSampler whose run can be checkpointed at a step
+// boundary and continued later, byte-identically: pairing a Snapshot
+// with the matching crawl.SessionCheckpoint (taken at the same emit) and
+// feeding both to a fresh sampler + ResumeSession reproduces exactly the
+// edge sequence an uninterrupted run would have emitted from that point.
+//
+// Contract:
+//
+//   - Run always starts a fresh run (seeding walkers anew), exactly as
+//     before this interface existed.
+//   - Resume continues from the state installed by Restore — or from the
+//     state left behind by a previous Run on the same value that was
+//     interrupted between steps (e.g. by session-context cancellation
+//     observed at a step boundary).
+//   - Snapshot serializes the walker state (positions, and for the
+//     event-clock variant the pending events). It is consistent at step
+//     boundaries: from inside the emit callback, or after a run returned.
+//     Walker selection weights are not stored — they are recomputed from
+//     the source's degrees, which are immutable.
+//   - The checkpointed RNG lives in the session, not the sampler; resume
+//     both or neither.
+type Resumable interface {
+	EdgeSampler
+	// Snapshot returns the sampler's serialized mid-run state (JSON).
+	// It errors if no run has started.
+	Snapshot() ([]byte, error)
+	// Restore installs a state previously returned by Snapshot, to be
+	// continued by Resume.
+	Restore(data []byte) error
+	// Resume continues the run from the current state. It errors if
+	// there is no state to resume.
+	Resume(sess *crawl.Session, emit EdgeFunc) error
+}
+
+// The four walk samplers the job service schedules are resumable.
+var (
+	_ Resumable = (*FrontierSampler)(nil)
+	_ Resumable = (*SingleRW)(nil)
+	_ Resumable = (*MultipleRW)(nil)
+	_ Resumable = (*DistributedFS)(nil)
+)
 
 // Seeder chooses the initial positions of the walkers. The paper's
 // default initializes all walkers at independently, uniformly sampled
@@ -170,6 +213,17 @@ type FrontierSampler struct {
 	// never touches the RNG, so the sampled edge sequence is identical
 	// with or without it.
 	PrefetchEvery int
+
+	// st is the live run state: walker positions. Run resets it; Restore
+	// installs a snapshot for Resume to continue from.
+	st *fsState
+}
+
+// fsState is the serializable mid-run state of a FrontierSampler. The
+// Fenwick selection weights are not stored: they are the walkers'
+// current degrees, recomputed from the (immutable) source on resume.
+type fsState struct {
+	Walkers []int `json:"walkers"`
 }
 
 // Name implements EdgeSampler.
@@ -182,15 +236,58 @@ func (f *FrontierSampler) seeder() Seeder {
 	return f.Seeder
 }
 
-// Run implements EdgeSampler.
+// Run implements EdgeSampler, starting a fresh run (any previous or
+// restored state is discarded, preserving the historical semantics of
+// one Run per sampler value).
 func (f *FrontierSampler) Run(sess *crawl.Session, emit EdgeFunc) error {
+	f.st = nil
+	return f.run(sess, emit)
+}
+
+// Resume implements Resumable, continuing from restored (or interrupted)
+// state.
+func (f *FrontierSampler) Resume(sess *crawl.Session, emit EdgeFunc) error {
+	if f.st == nil {
+		return errors.New("core: FrontierSampler.Resume without state (call Restore first)")
+	}
+	return f.run(sess, emit)
+}
+
+// Snapshot implements Resumable.
+func (f *FrontierSampler) Snapshot() ([]byte, error) {
+	if f.st == nil {
+		return nil, errors.New("core: FrontierSampler.Snapshot before any run")
+	}
+	return json.Marshal(f.st)
+}
+
+// Restore implements Resumable.
+func (f *FrontierSampler) Restore(data []byte) error {
+	st := &fsState{}
+	if err := json.Unmarshal(data, st); err != nil {
+		return fmt.Errorf("core: restoring FrontierSampler: %w", err)
+	}
+	if len(st.Walkers) == 0 {
+		return errors.New("core: restoring FrontierSampler: no walkers")
+	}
+	f.st = st
+	return nil
+}
+
+func (f *FrontierSampler) run(sess *crawl.Session, emit EdgeFunc) error {
 	if f.M < 1 {
 		return errors.New("core: FrontierSampler needs M >= 1")
 	}
-	walkers, err := f.seeder().Seed(sess, f.M)
-	if err != nil {
-		return err
+	if f.st == nil {
+		walkers, err := f.seeder().Seed(sess, f.M)
+		if err != nil {
+			return err
+		}
+		f.st = &fsState{Walkers: walkers}
+	} else if len(f.st.Walkers) != f.M {
+		return fmt.Errorf("core: FrontierSampler state has %d walkers, config wants M=%d", len(f.st.Walkers), f.M)
 	}
+	walkers := f.st.Walkers
 	// One batched round trip for all M seed records instead of M misses.
 	// Prefetching is pure advice: on failure the walk falls back to
 	// per-vertex fetches, which surface any real network fault.
@@ -207,6 +304,11 @@ func (f *FrontierSampler) Run(sess *crawl.Session, emit EdgeFunc) error {
 	rng := sess.RNG()
 	var ids []int
 	for steps := 0; sess.CanStep(); steps++ {
+		// Cancellation is checked before the step's first RNG draw so an
+		// interrupt between steps leaves the state resumable.
+		if err := sess.Cancelled(); err != nil {
+			return err
+		}
 		if f.PrefetchEvery > 0 && steps%f.PrefetchEvery == 0 {
 			ids = f.prefetchFrontier(sess, src, walkers, ids)
 		}
@@ -224,9 +326,11 @@ func (f *FrontierSampler) Run(sess *crawl.Session, emit EdgeFunc) error {
 			}
 			return err
 		}
-		emit(u, v)
+		// State advances before emit so a Snapshot taken inside the
+		// callback is consistent at this step boundary.
 		walkers[i] = v
 		fen.Update(i, float64(src.SymDegree(v)))
+		emit(u, v)
 	}
 	return nil
 }
@@ -265,6 +369,9 @@ func (f *FrontierSampler) runLinear(sess *crawl.Session, walkers []int, weights 
 	}
 	var ids []int
 	for steps := 0; sess.CanStep(); steps++ {
+		if err := sess.Cancelled(); err != nil {
+			return err
+		}
 		if f.PrefetchEvery > 0 && steps%f.PrefetchEvery == 0 {
 			ids = f.prefetchFrontier(sess, src, walkers, ids)
 		}
@@ -287,11 +394,11 @@ func (f *FrontierSampler) runLinear(sess *crawl.Session, walkers []int, weights 
 			}
 			return err
 		}
-		emit(u, v)
 		walkers[i] = v
 		nw := float64(src.SymDegree(v))
 		total += nw - weights[i]
 		weights[i] = nw
+		emit(u, v)
 	}
 	return nil
 }
@@ -301,23 +408,67 @@ func (f *FrontierSampler) runLinear(sess *crawl.Session, walkers []int, weights 
 type SingleRW struct {
 	// Seeder positions the walker; nil means UniformSeeder.
 	Seeder Seeder
+
+	st *rwState
+}
+
+// rwState is the serializable mid-run state of a SingleRW.
+type rwState struct {
+	U int `json:"u"` // current walker position
 }
 
 // Name implements EdgeSampler.
 func (s *SingleRW) Name() string { return "SingleRW" }
 
-// Run implements EdgeSampler.
+// Run implements EdgeSampler, starting a fresh run.
 func (s *SingleRW) Run(sess *crawl.Session, emit EdgeFunc) error {
-	sd := s.Seeder
-	if sd == nil {
-		sd = UniformSeeder{}
+	s.st = nil
+	return s.run(sess, emit)
+}
+
+// Resume implements Resumable.
+func (s *SingleRW) Resume(sess *crawl.Session, emit EdgeFunc) error {
+	if s.st == nil {
+		return errors.New("core: SingleRW.Resume without state (call Restore first)")
 	}
-	seeds, err := sd.Seed(sess, 1)
-	if err != nil {
-		return err
+	return s.run(sess, emit)
+}
+
+// Snapshot implements Resumable.
+func (s *SingleRW) Snapshot() ([]byte, error) {
+	if s.st == nil {
+		return nil, errors.New("core: SingleRW.Snapshot before any run")
 	}
-	u := seeds[0]
+	return json.Marshal(s.st)
+}
+
+// Restore implements Resumable.
+func (s *SingleRW) Restore(data []byte) error {
+	st := &rwState{}
+	if err := json.Unmarshal(data, st); err != nil {
+		return fmt.Errorf("core: restoring SingleRW: %w", err)
+	}
+	s.st = st
+	return nil
+}
+
+func (s *SingleRW) run(sess *crawl.Session, emit EdgeFunc) error {
+	if s.st == nil {
+		sd := s.Seeder
+		if sd == nil {
+			sd = UniformSeeder{}
+		}
+		seeds, err := sd.Seed(sess, 1)
+		if err != nil {
+			return err
+		}
+		s.st = &rwState{U: seeds[0]}
+	}
 	for sess.CanStep() {
+		if err := sess.Cancelled(); err != nil {
+			return err
+		}
+		u := s.st.U
 		v, err := sess.Step(u)
 		if err != nil {
 			if errors.Is(err, crawl.ErrBudgetExhausted) {
@@ -325,8 +476,8 @@ func (s *SingleRW) Run(sess *crawl.Session, emit EdgeFunc) error {
 			}
 			return err
 		}
+		s.st.U = v
 		emit(u, v)
-		u = v
 	}
 	return nil
 }
@@ -339,42 +490,97 @@ type MultipleRW struct {
 	M int
 	// Seeder positions the walkers; nil means UniformSeeder.
 	Seeder Seeder
+
+	st *mrwState
+}
+
+// mrwState is the serializable mid-run state of a MultipleRW. The
+// per-walker step share is fixed at seeding time and stored, so a
+// resumed run keeps the original split rather than recomputing it from
+// the (smaller) remaining budget.
+type mrwState struct {
+	Walkers []int `json:"walkers"`
+	Cur     int   `json:"cur"`   // index of the walker currently advancing
+	Done    int   `json:"done"`  // steps already taken by walker Cur
+	Share   int   `json:"share"` // steps per walker, fixed at seed time
 }
 
 // Name implements EdgeSampler.
 func (m *MultipleRW) Name() string { return fmt.Sprintf("MultipleRW(m=%d)", m.M) }
 
-// Run implements EdgeSampler.
+// Run implements EdgeSampler, starting a fresh run.
 func (m *MultipleRW) Run(sess *crawl.Session, emit EdgeFunc) error {
+	m.st = nil
+	return m.run(sess, emit)
+}
+
+// Resume implements Resumable.
+func (m *MultipleRW) Resume(sess *crawl.Session, emit EdgeFunc) error {
+	if m.st == nil {
+		return errors.New("core: MultipleRW.Resume without state (call Restore first)")
+	}
+	return m.run(sess, emit)
+}
+
+// Snapshot implements Resumable.
+func (m *MultipleRW) Snapshot() ([]byte, error) {
+	if m.st == nil {
+		return nil, errors.New("core: MultipleRW.Snapshot before any run")
+	}
+	return json.Marshal(m.st)
+}
+
+// Restore implements Resumable.
+func (m *MultipleRW) Restore(data []byte) error {
+	st := &mrwState{}
+	if err := json.Unmarshal(data, st); err != nil {
+		return fmt.Errorf("core: restoring MultipleRW: %w", err)
+	}
+	if len(st.Walkers) == 0 {
+		return errors.New("core: restoring MultipleRW: no walkers")
+	}
+	m.st = st
+	return nil
+}
+
+func (m *MultipleRW) run(sess *crawl.Session, emit EdgeFunc) error {
 	if m.M < 1 {
 		return errors.New("core: MultipleRW needs M >= 1")
 	}
-	sd := m.Seeder
-	if sd == nil {
-		sd = UniformSeeder{}
+	if m.st == nil {
+		sd := m.Seeder
+		if sd == nil {
+			sd = UniformSeeder{}
+		}
+		walkers, err := sd.Seed(sess, m.M)
+		if err != nil {
+			return err
+		}
+		// Each walker takes an equal share of the post-seeding step budget
+		// (the paper's ⌊B/m − c⌋ steps per walker). The remaining budget is
+		// converted to steps through the model's StepCost — dividing raw
+		// budget by M would let the first walkers overdraw whenever
+		// StepCost ≠ 1, starving the rest.
+		stepCost := sess.Model().StepCost
+		if stepCost <= 0 {
+			// Free steps: any share terminates; keep the paper's B/m split.
+			stepCost = 1
+		}
+		total := int(sess.Remaining() / stepCost)
+		m.st = &mrwState{Walkers: walkers, Share: total / m.M}
+	} else if len(m.st.Walkers) != m.M {
+		return fmt.Errorf("core: MultipleRW state has %d walkers, config wants M=%d", len(m.st.Walkers), m.M)
 	}
-	walkers, err := sd.Seed(sess, m.M)
-	if err != nil {
-		return err
-	}
+	st := m.st
 	// One batched round trip for all M seed records instead of M misses;
 	// advice only, so failures fall back to per-vertex fetches.
-	_ = sess.Prefetch(walkers)
-	// Each walker takes an equal share of the post-seeding step budget
-	// (the paper's ⌊B/m − c⌋ steps per walker). The remaining budget is
-	// converted to steps through the model's StepCost — dividing raw
-	// budget by M would let the first walkers overdraw whenever
-	// StepCost ≠ 1, starving the rest.
-	stepCost := sess.Model().StepCost
-	if stepCost <= 0 {
-		// Free steps: any share terminates; keep the paper's B/m split.
-		stepCost = 1
-	}
-	total := int(sess.Remaining() / stepCost)
-	share := total / m.M
-	for _, start := range walkers {
-		u := start
-		for s := 0; s < share; s++ {
+	_ = sess.Prefetch(st.Walkers)
+	for ; st.Cur < len(st.Walkers); st.Cur++ {
+		for st.Done < st.Share {
+			if err := sess.Cancelled(); err != nil {
+				return err
+			}
+			u := st.Walkers[st.Cur]
 			v, err := sess.Step(u)
 			if err != nil {
 				if errors.Is(err, crawl.ErrBudgetExhausted) {
@@ -382,9 +588,11 @@ func (m *MultipleRW) Run(sess *crawl.Session, emit EdgeFunc) error {
 				}
 				return err
 			}
+			st.Walkers[st.Cur] = v
+			st.Done++
 			emit(u, v)
-			u = v
 		}
+		st.Done = 0
 	}
 	return nil
 }
@@ -403,24 +611,38 @@ type DistributedFS struct {
 	M int
 	// Seeder positions the walkers; nil means UniformSeeder.
 	Seeder Seeder
+
+	st *dfsState
+}
+
+// dfsState is the serializable mid-run state of a DistributedFS: walker
+// positions, the event clock, and the pending event heap (stored in heap
+// order; re-heapified defensively on resume). Event times round-trip
+// losslessly through JSON (shortest-round-trip float encoding), so a
+// resumed run emits byte-identical edges.
+type dfsState struct {
+	Walkers []int   `json:"walkers"`
+	Now     float64 `json:"now"`
+	Events  []event `json:"events"`
 }
 
 // Name implements EdgeSampler.
 func (d *DistributedFS) Name() string { return fmt.Sprintf("DFS(m=%d)", d.M) }
 
-// event is a scheduled walker transition.
+// event is a scheduled walker transition. Fields are exported for the
+// checkpoint JSON.
 type event struct {
-	at     float64
-	walker int32
+	At     float64 `json:"at"`
+	Walker int32   `json:"walker"`
 }
 
 type eventHeap []event
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].At < h[j].At }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]
@@ -428,51 +650,100 @@ func (h *eventHeap) Pop() interface{} {
 	return x
 }
 
-// Run implements EdgeSampler. Edges are emitted in event-time order
-// across all walkers, which is the order the equivalent FS process would
-// emit them.
+// Run implements EdgeSampler, starting a fresh run. Edges are emitted in
+// event-time order across all walkers, which is the order the equivalent
+// FS process would emit them.
 func (d *DistributedFS) Run(sess *crawl.Session, emit EdgeFunc) error {
+	d.st = nil
+	return d.run(sess, emit)
+}
+
+// Resume implements Resumable.
+func (d *DistributedFS) Resume(sess *crawl.Session, emit EdgeFunc) error {
+	if d.st == nil {
+		return errors.New("core: DistributedFS.Resume without state (call Restore first)")
+	}
+	return d.run(sess, emit)
+}
+
+// Snapshot implements Resumable.
+func (d *DistributedFS) Snapshot() ([]byte, error) {
+	if d.st == nil {
+		return nil, errors.New("core: DistributedFS.Snapshot before any run")
+	}
+	return json.Marshal(d.st)
+}
+
+// Restore implements Resumable.
+func (d *DistributedFS) Restore(data []byte) error {
+	st := &dfsState{}
+	if err := json.Unmarshal(data, st); err != nil {
+		return fmt.Errorf("core: restoring DistributedFS: %w", err)
+	}
+	if len(st.Walkers) == 0 || len(st.Events) != len(st.Walkers) {
+		return errors.New("core: restoring DistributedFS: inconsistent state")
+	}
+	d.st = st
+	return nil
+}
+
+func (d *DistributedFS) run(sess *crawl.Session, emit EdgeFunc) error {
 	if d.M < 1 {
 		return errors.New("core: DistributedFS needs M >= 1")
 	}
-	sd := d.Seeder
-	if sd == nil {
-		sd = UniformSeeder{}
-	}
-	walkers, err := sd.Seed(sess, d.M)
-	if err != nil {
-		return err
-	}
-	// One batched round trip for all M seed records instead of M misses;
-	// advice only, so failures fall back to per-vertex fetches.
-	_ = sess.Prefetch(walkers)
 	src := sess.Source()
 	rng := sess.RNG()
-	h := make(eventHeap, 0, d.M)
-	now := 0.0
-	for i, v := range walkers {
-		deg := src.SymDegree(v)
-		if deg == 0 {
-			return errors.New("core: walker seeded on isolated vertex")
+	if d.st == nil {
+		sd := d.Seeder
+		if sd == nil {
+			sd = UniformSeeder{}
 		}
-		h = append(h, event{at: rng.Exp(float64(deg)), walker: int32(i)})
+		walkers, err := sd.Seed(sess, d.M)
+		if err != nil {
+			return err
+		}
+		// One batched round trip for all M seed records instead of M
+		// misses; advice only, so failures fall back to per-vertex fetches.
+		_ = sess.Prefetch(walkers)
+		events := make([]event, 0, d.M)
+		for i, v := range walkers {
+			deg := src.SymDegree(v)
+			if deg == 0 {
+				return errors.New("core: walker seeded on isolated vertex")
+			}
+			events = append(events, event{At: rng.Exp(float64(deg)), Walker: int32(i)})
+		}
+		d.st = &dfsState{Walkers: walkers, Events: events}
+	} else if len(d.st.Walkers) != d.M {
+		return fmt.Errorf("core: DistributedFS state has %d walkers, config wants M=%d", len(d.st.Walkers), d.M)
+	} else {
+		_ = sess.Prefetch(d.st.Walkers)
 	}
+	st := d.st
+	h := eventHeap(st.Events)
 	heap.Init(&h)
 	for len(h) > 0 {
-		ev := h[0]
-		dt := ev.at - now
-		if err := sess.Charge(dt); err != nil {
-			// Clock ran past the observation window [0, B]: normal end.
-			return nil
+		if err := sess.Cancelled(); err != nil {
+			return err
 		}
-		now = ev.at
-		u := walkers[ev.walker]
+		ev := h[0]
+		dt := ev.At - st.Now
+		if err := sess.Charge(dt); err != nil {
+			if errors.Is(err, crawl.ErrBudgetExhausted) {
+				// Clock ran past the observation window [0, B]: normal end.
+				return nil
+			}
+			return err
+		}
+		st.Now = ev.At
+		u := st.Walkers[ev.Walker]
 		deg := src.SymDegree(u)
 		v := src.SymNeighbor(u, rng.Intn(deg))
-		emit(u, v)
-		walkers[ev.walker] = v
-		h[0] = event{at: now + rng.Exp(float64(src.SymDegree(v))), walker: ev.walker}
+		st.Walkers[ev.Walker] = v
+		h[0] = event{At: st.Now + rng.Exp(float64(src.SymDegree(v))), Walker: ev.Walker}
 		heap.Fix(&h, 0)
+		st.Events = h
+		emit(u, v)
 	}
 	return nil
 }

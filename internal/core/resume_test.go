@@ -1,0 +1,209 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"frontier/internal/crawl"
+	"frontier/internal/gen"
+	"frontier/internal/graph"
+	"frontier/internal/xrand"
+)
+
+// resumableCase builds a fresh sampler of each resumable kind. A new
+// value per run: Run's fresh-start contract is also exercised, but the
+// split test needs independent values for the two halves.
+var resumableCases = []struct {
+	name  string
+	build func() Resumable
+}{
+	{"fs", func() Resumable { return &FrontierSampler{M: 16} }},
+	{"fs-linear", func() Resumable { return &FrontierSampler{M: 16, LinearSelection: true} }},
+	{"single", func() Resumable { return &SingleRW{} }},
+	{"multiple", func() Resumable { return &MultipleRW{M: 8} }},
+	{"dfs", func() Resumable { return &DistributedFS{M: 16} }},
+}
+
+type edgePair struct{ u, v int }
+
+func collectRun(t *testing.T, g *graph.Graph, s EdgeSampler, seed uint64, budget float64) []edgePair {
+	t.Helper()
+	sess := crawl.NewSession(g, budget, crawl.UnitCosts(), xrand.New(seed))
+	var out []edgePair
+	if err := s.Run(sess, func(u, v int) { out = append(out, edgePair{u, v}) }); err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+	return out
+}
+
+// TestSplitRunDeterminism is the tentpole acceptance test: a run
+// interrupted at an arbitrary step boundary — snapshotting the sampler
+// and session from inside the emit callback, then cancelling — and
+// resumed into fresh sampler and session values emits exactly the edge
+// sequence of an uninterrupted run with the same seed.
+func TestSplitRunDeterminism(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(1), 2000, 3)
+	const budget = 600
+	for _, tc := range resumableCases {
+		for _, split := range []int{1, 7, 100, 350} {
+			t.Run(fmt.Sprintf("%s/split=%d", tc.name, split), func(t *testing.T) {
+				want := collectRun(t, g, tc.build(), 42, budget)
+				if len(want) <= split {
+					t.Fatalf("budget too small: only %d edges, split %d", len(want), split)
+				}
+
+				// First half: cancel the run right after edge #split,
+				// snapshotting sampler + session at that emit boundary.
+				ctx, cancel := context.WithCancel(context.Background())
+				sess := crawl.NewSessionContext(ctx, g, budget, crawl.UnitCosts(), xrand.New(42))
+				first := tc.build()
+				var got []edgePair
+				var snap []byte
+				var cp crawl.SessionCheckpoint
+				err := first.Run(sess, func(u, v int) {
+					got = append(got, edgePair{u, v})
+					if len(got) == split {
+						var serr error
+						snap, serr = first.Snapshot()
+						if serr != nil {
+							t.Errorf("snapshot: %v", serr)
+						}
+						cp = sess.Checkpoint()
+						cancel()
+					}
+				})
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+				}
+				if len(got) != split {
+					t.Fatalf("interrupted run emitted %d edges past the cancel point", len(got)-split)
+				}
+
+				// Second half: fresh sampler + session rebuilt purely from
+				// the serialized checkpoint.
+				second := tc.build()
+				if err := second.Restore(snap); err != nil {
+					t.Fatal(err)
+				}
+				rsess, err := crawl.ResumeSession(context.Background(), g, cp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := second.Resume(rsess, func(u, v int) { got = append(got, edgePair{u, v}) }); err != nil {
+					t.Fatalf("resumed run: %v", err)
+				}
+
+				if len(got) != len(want) {
+					t.Fatalf("split run emitted %d edges, uninterrupted %d", len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("edge %d diverged: %v != %v", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRunIsAlwaysFresh pins the historical contract: calling Run twice
+// on one sampler value reseeds from scratch, so two Runs with identical
+// sessions produce identical output (no state bleeds between runs).
+func TestRunIsAlwaysFresh(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(2), 1000, 3)
+	for _, tc := range resumableCases {
+		s := tc.build()
+		a := func() []edgePair {
+			sess := crawl.NewSession(g, 300, crawl.UnitCosts(), xrand.New(9))
+			var out []edgePair
+			if err := s.Run(sess, func(u, v int) { out = append(out, edgePair{u, v}) }); err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			return out
+		}
+		x, y := a(), a()
+		if len(x) == 0 || len(x) != len(y) {
+			t.Fatalf("%s: runs emitted %d and %d edges", tc.name, len(x), len(y))
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("%s: second Run diverged at %d — state leaked between runs", tc.name, i)
+			}
+		}
+	}
+}
+
+// TestResumableErrors pins the error paths of the Resumable contract.
+func TestResumableErrors(t *testing.T) {
+	for _, tc := range resumableCases {
+		s := tc.build()
+		if _, err := s.Snapshot(); err == nil {
+			t.Fatalf("%s: Snapshot before any run must error", tc.name)
+		}
+		if err := s.Resume(nil, nil); err == nil {
+			t.Fatalf("%s: Resume without state must error", tc.name)
+		}
+		if err := s.Restore([]byte("{nonsense")); err == nil {
+			t.Fatalf("%s: Restore of bad JSON must error", tc.name)
+		}
+	}
+	// Structurally invalid states must be rejected too.
+	if err := (&FrontierSampler{M: 4}).Restore([]byte(`{"walkers":[]}`)); err == nil {
+		t.Fatal("FS restore with no walkers must error")
+	}
+	if err := (&DistributedFS{M: 4}).Restore([]byte(`{"walkers":[1,2],"events":[{"at":1,"walker":0}]}`)); err == nil {
+		t.Fatal("DFS restore with walker/event mismatch must error")
+	}
+	// A state/config mismatch surfaces at Resume time.
+	fs := &FrontierSampler{M: 4}
+	if err := fs.Restore([]byte(`{"walkers":[1,2]}`)); err != nil {
+		t.Fatal(err)
+	}
+	g := gen.BarabasiAlbert(xrand.New(3), 100, 2)
+	sess := crawl.NewSession(g, 50, crawl.UnitCosts(), xrand.New(4))
+	if err := fs.Resume(sess, func(u, v int) {}); err == nil {
+		t.Fatal("FS resume with mismatched M must error")
+	}
+}
+
+// TestCancelledRunKeepsStateResumable exercises the in-place variant:
+// after a cancelled Run, the same value's Resume (no Restore) continues
+// to the identical final sequence.
+func TestCancelledRunKeepsStateResumable(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(5), 1500, 3)
+	const budget = 400
+	want := collectRun(t, g, &FrontierSampler{M: 10}, 11, budget)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sess := crawl.NewSessionContext(ctx, g, budget, crawl.UnitCosts(), xrand.New(11))
+	fs := &FrontierSampler{M: 10}
+	var got []edgePair
+	var cp crawl.SessionCheckpoint
+	err := fs.Run(sess, func(u, v int) {
+		got = append(got, edgePair{u, v})
+		if len(got) == 123 {
+			cp = sess.Checkpoint()
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	rsess, err := crawl.ResumeSession(context.Background(), g, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Resume(rsess, func(u, v int) { got = append(got, edgePair{u, v}) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d edges, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d diverged", i)
+		}
+	}
+}

@@ -13,7 +13,9 @@
 package crawl
 
 import (
+	"context"
 	"errors"
+	"fmt"
 
 	"frontier/internal/graph"
 	"frontier/internal/xrand"
@@ -68,17 +70,17 @@ var (
 type CostModel struct {
 	// StepCost is the cost of one random-walk step (querying a known
 	// vertex's neighborhood). The paper sets it to 1.
-	StepCost float64
+	StepCost float64 `json:"step_cost"`
 	// VertexQueryCost is c: the cost of one random-vertex query attempt.
-	VertexQueryCost float64
+	VertexQueryCost float64 `json:"vertex_query_cost"`
 	// VertexHitRatio is h ∈ (0,1]: the probability a random-vertex query
 	// attempt returns a valid vertex (1 = dense id space).
-	VertexHitRatio float64
+	VertexHitRatio float64 `json:"vertex_hit_ratio"`
 	// EdgeQueryCost is the cost of one random-edge query attempt
 	// (paper: 2, an edge samples two vertices).
-	EdgeQueryCost float64
+	EdgeQueryCost float64 `json:"edge_query_cost"`
 	// EdgeHitRatio is the probability a random-edge query attempt hits.
-	EdgeHitRatio float64
+	EdgeHitRatio float64 `json:"edge_hit_ratio"`
 }
 
 // UnitCosts returns the paper's default accounting: every query costs 1
@@ -99,18 +101,25 @@ var ErrBudgetExhausted = errors.New("crawl: budget exhausted")
 
 // Stats counts what a session actually did.
 type Stats struct {
-	Steps         int64 // neighbor-walk steps taken
-	VertexQueries int64 // random-vertex attempts (hits + misses)
-	VertexMisses  int64 // attempts that hit an invalid id
-	EdgeQueries   int64 // random-edge attempts
-	EdgeMisses    int64
-	Spent         float64
+	Steps         int64   `json:"steps"`          // neighbor-walk steps taken
+	VertexQueries int64   `json:"vertex_queries"` // random-vertex attempts (hits + misses)
+	VertexMisses  int64   `json:"vertex_misses"`  // attempts that hit an invalid id
+	EdgeQueries   int64   `json:"edge_queries"`   // random-edge attempts
+	EdgeMisses    int64   `json:"edge_misses"`
+	Spent         float64 `json:"spent"`
 }
 
 // Session mediates all graph access for one sampling run: it enforces the
 // budget, applies the cost model, and records stats. Not safe for
 // concurrent use.
+//
+// A session carries a context.Context for cooperative cancellation:
+// every budget charge checks it, so a sampler spending from a cancelled
+// session unwinds within one query. Checkpoint captures everything a run
+// needs to continue later — spent budget, stats and the RNG state — and
+// ResumeSession rebuilds the session from it, byte-identically.
 type Session struct {
+	ctx    context.Context
 	src    Source
 	model  CostModel
 	budget float64
@@ -119,9 +128,70 @@ type Session struct {
 }
 
 // NewSession creates a session over src with the given budget and cost
-// model, drawing randomness from rng.
+// model, drawing randomness from rng. The session is never cancelled;
+// use NewSessionContext for cancellable runs.
 func NewSession(src Source, budget float64, model CostModel, rng *xrand.Rand) *Session {
-	return &Session{src: src, model: model, budget: budget, rng: rng}
+	return NewSessionContext(context.Background(), src, budget, model, rng)
+}
+
+// NewSessionContext creates a session whose budget charges fail once ctx
+// is cancelled, unwinding the sampler cooperatively at the next query.
+func NewSessionContext(ctx context.Context, src Source, budget float64, model CostModel, rng *xrand.Rand) *Session {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Session{ctx: ctx, src: src, model: model, budget: budget, rng: rng}
+}
+
+// SessionCheckpoint is the serializable mid-run state of a Session. All
+// fields round-trip losslessly through JSON (float64 marshals in
+// shortest-round-trip form; the RNG words are integers), so a resumed
+// session is byte-identical to the one checkpointed.
+type SessionCheckpoint struct {
+	Budget float64   `json:"budget"`
+	Model  CostModel `json:"model"`
+	Stats  Stats     `json:"stats"`
+	RNG    [4]uint64 `json:"rng"`
+}
+
+// Checkpoint captures the session's current state. It is valid at any
+// point where the sampler's own state is consistent — in practice, at
+// step boundaries (from inside an emit callback, or between runs).
+func (s *Session) Checkpoint() SessionCheckpoint {
+	return SessionCheckpoint{
+		Budget: s.budget,
+		Model:  s.model,
+		Stats:  s.stats,
+		RNG:    s.rng.State(),
+	}
+}
+
+// ResumeSession rebuilds a session over src from a checkpoint: same
+// budget and cost model, stats and spent budget as recorded, and the RNG
+// mid-stream exactly where the checkpointed session left it.
+func ResumeSession(ctx context.Context, src Source, cp SessionCheckpoint) (*Session, error) {
+	rng := xrand.New(0)
+	if err := rng.Restore(cp.RNG); err != nil {
+		return nil, fmt.Errorf("crawl: resuming session: %w", err)
+	}
+	s := NewSessionContext(ctx, src, cp.Budget, cp.Model, rng)
+	s.stats = cp.Stats
+	return s, nil
+}
+
+// Context returns the session's context.
+func (s *Session) Context() context.Context { return s.ctx }
+
+// Cancelled returns a non-nil error (wrapping the context's error, so
+// errors.Is(err, context.Canceled) works) once the session's context is
+// done. Samplers check it at every step boundary, before consuming any
+// randomness, so that a run interrupted between steps can resume
+// byte-identically.
+func (s *Session) Cancelled() error {
+	if err := s.ctx.Err(); err != nil {
+		return fmt.Errorf("crawl: cancelled: %w", err)
+	}
+	return nil
 }
 
 // Source returns the underlying source (for label lookups that the
@@ -158,6 +228,9 @@ func (s *Session) Remaining() float64 { return s.budget - s.stats.Spent }
 func (s *Session) CanStep() bool { return s.Remaining() >= s.model.StepCost }
 
 func (s *Session) spend(c float64) error {
+	if err := s.Cancelled(); err != nil {
+		return err
+	}
 	if s.stats.Spent+c > s.budget {
 		return ErrBudgetExhausted
 	}

@@ -1,10 +1,13 @@
 package crawl
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"math"
 	"testing"
 
+	"frontier/internal/gen"
 	"frontier/internal/graph"
 	"frontier/internal/xrand"
 )
@@ -205,5 +208,98 @@ func TestSessionPrefetch(t *testing.T) {
 	// Prefetching never charges budget.
 	if got := sess.Remaining(); got != 10 {
 		t.Fatalf("remaining = %v, want 10", got)
+	}
+}
+
+func TestSessionCancellation(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(1), 200, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	sess := NewSessionContext(ctx, g, 1000, UnitCosts(), xrand.New(2))
+	if _, err := sess.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := sess.Cancelled(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Cancelled() = %v, want context.Canceled", err)
+	}
+	spent := sess.Stats().Spent
+	if _, err := sess.Step(0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Step after cancel = %v, want context.Canceled", err)
+	}
+	if _, err := sess.RandomVertex(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RandomVertex after cancel = %v, want context.Canceled", err)
+	}
+	if err := sess.Charge(1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Charge after cancel = %v, want context.Canceled", err)
+	}
+	if sess.Stats().Spent != spent {
+		t.Fatal("cancelled charges must not spend budget")
+	}
+}
+
+func TestSessionCheckpointResume(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(3), 500, 3)
+	run := func(sess *Session, n int) []int {
+		out := make([]int, 0, n)
+		v := 0
+		for i := 0; i < n; i++ {
+			w, err := sess.Step(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, w)
+			v = w
+		}
+		return out
+	}
+
+	full := NewSession(g, 100, UnitCosts(), xrand.New(4))
+	want := run(full, 60)
+
+	half := NewSession(g, 100, UnitCosts(), xrand.New(4))
+	got := run(half, 25)
+	cp := half.Checkpoint()
+
+	// The checkpoint must survive a JSON round trip losslessly.
+	data, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp2 SessionCheckpoint
+	if err := json.Unmarshal(data, &cp2); err != nil {
+		t.Fatal(err)
+	}
+	if cp2 != cp {
+		t.Fatalf("checkpoint changed over JSON: %+v != %+v", cp2, cp)
+	}
+
+	resumed, err := ResumeSession(context.Background(), g, cp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Stats() != half.Stats() {
+		t.Fatalf("resumed stats %+v != %+v", resumed.Stats(), half.Stats())
+	}
+	// Continue from the last visited vertex with the restored RNG; the
+	// combined step sequence must equal the uninterrupted run's.
+	v := got[len(got)-1]
+	for i := 0; i < 35; i++ {
+		w, err := resumed.Step(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, w)
+		v = w
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: resumed walk diverged (%d != %d)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestResumeSessionRejectsZeroRNG(t *testing.T) {
+	if _, err := ResumeSession(context.Background(), gen.BarabasiAlbert(xrand.New(1), 50, 2), SessionCheckpoint{Budget: 1, Model: UnitCosts()}); err == nil {
+		t.Fatal("zero RNG state must be rejected")
 	}
 }

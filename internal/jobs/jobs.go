@@ -1,0 +1,865 @@
+// Package jobs runs many sampling jobs concurrently over one shared
+// graph: a bounded worker pool drains a queue of job specs, each job
+// drives a resumable sampler (internal/core) through its own budgeted,
+// cancellable session (internal/crawl), and every job checkpoints its
+// full state — session, sampler, estimator and edge hash — as JSON at
+// step boundaries, so jobs survive a process restart and continue
+// byte-identically.
+//
+// This is the regime the paper's cost model abstracts: crawling a
+// rate-limited OSN API is slow, gets interrupted, and is multiplexed
+// across many consumers. The state machine is
+//
+//	queued → running → done | failed | cancelled
+//	            ↘ paused (checkpointed) → queued → running → ...
+//
+// Cancellation and pausing are cooperative through the session context:
+// the sampler unwinds at the next budget charge, freeing the worker
+// without affecting other jobs. Determinism is end to end: a job's final
+// edge-sequence hash, edge count and estimate are identical whether it
+// ran straight through or was paused, checkpointed to disk, and resumed
+// by a different manager in a different process (see the package tests).
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"frontier/internal/core"
+	"frontier/internal/crawl"
+	"frontier/internal/estimate"
+	"frontier/internal/xrand"
+)
+
+// State is a job's position in the lifecycle state machine.
+type State string
+
+// Job states. Done, Failed and Cancelled are terminal.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StatePaused    State = "paused"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// DefaultCheckpointEvery is the number of emitted edges between
+// checkpoints when the spec does not say otherwise.
+const DefaultCheckpointEvery = 256
+
+// Spec describes one sampling job. The zero hit-ratio/cost fields mean
+// the paper's unit cost model.
+type Spec struct {
+	// Method selects the sampler: "fs", "dfs", "single" or "multiple" —
+	// the resumable walk samplers.
+	Method string `json:"method"`
+	// M is the walker count (fs, dfs, multiple); default 1.
+	M int `json:"m,omitempty"`
+	// Budget is the sampling budget B (continuous time for dfs).
+	Budget float64 `json:"budget"`
+	// Seed is the deterministic RNG seed; two jobs with equal specs
+	// produce identical samples.
+	Seed uint64 `json:"seed"`
+	// Estimate selects what the job estimates from its edge stream:
+	// "avgdegree" (default) or "clustering" (needs an EdgeView source).
+	Estimate string `json:"estimate,omitempty"`
+	// CheckpointEvery is the number of emitted edges between checkpoints
+	// (0 = DefaultCheckpointEvery).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+func (sp *Spec) normalize() {
+	if sp.M < 1 {
+		sp.M = 1
+	}
+	if sp.Estimate == "" {
+		sp.Estimate = "avgdegree"
+	}
+	if sp.CheckpointEvery <= 0 {
+		sp.CheckpointEvery = DefaultCheckpointEvery
+	}
+}
+
+func (sp Spec) validate(view estimate.EdgeView) error {
+	switch sp.Method {
+	case "fs", "dfs", "single", "multiple":
+	default:
+		return fmt.Errorf("jobs: unknown method %q (want fs, dfs, single or multiple)", sp.Method)
+	}
+	switch sp.Estimate {
+	case "", "avgdegree":
+	case "clustering":
+		if view == nil {
+			return errors.New("jobs: clustering estimate needs an EdgeView source")
+		}
+	default:
+		return fmt.Errorf("jobs: unknown estimate %q (want avgdegree or clustering)", sp.Estimate)
+	}
+	if sp.Budget <= 0 {
+		return errors.New("jobs: budget must be positive")
+	}
+	return nil
+}
+
+// newSampler builds the resumable sampler a spec asks for.
+func newSampler(sp Spec) core.Resumable {
+	switch sp.Method {
+	case "fs":
+		return &core.FrontierSampler{M: sp.M}
+	case "dfs":
+		return &core.DistributedFS{M: sp.M}
+	case "multiple":
+		return &core.MultipleRW{M: sp.M}
+	default: // "single"; validate rejected everything else
+		return &core.SingleRW{}
+	}
+}
+
+// Status is the externally visible snapshot of a job, served verbatim
+// by the graphd job endpoints.
+type Status struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	Spec  Spec   `json:"spec"`
+	// Edges is the number of edges sampled so far (partial while
+	// running, final when done).
+	Edges int64 `json:"edges"`
+	// Spent is the budget consumed so far.
+	Spent float64 `json:"spent"`
+	// Estimate is the current (partial or final) estimate; omitted until
+	// the job has observed enough to form one.
+	Estimate *float64 `json:"estimate,omitempty"`
+	// EdgeHash is the FNV-1a hash of the emitted edge sequence — equal
+	// runs have equal hashes, which is how the determinism tests compare
+	// interrupted and uninterrupted runs without shipping every edge.
+	EdgeHash string `json:"edge_hash"`
+	Error    string `json:"error,omitempty"`
+}
+
+// checkpoint is the on-disk (and in-memory) serialized form of a job.
+// For queued jobs only ID/Spec/State are set; once the runner has
+// reached a step boundary the full runtime state is present.
+type checkpoint struct {
+	ID       string                   `json:"id"`
+	Spec     Spec                     `json:"spec"`
+	State    State                    `json:"state"`
+	Session  *crawl.SessionCheckpoint `json:"session,omitempty"`
+	Sampler  json.RawMessage          `json:"sampler,omitempty"`
+	Acc      json.RawMessage          `json:"acc,omitempty"`
+	Edges    int64                    `json:"edges"`
+	EdgeHash uint64                   `json:"edge_hash"`
+	Spent    float64                  `json:"spent"`
+	Estimate *float64                 `json:"estimate,omitempty"`
+	Error    string                   `json:"error,omitempty"`
+}
+
+// Job is one sampling job tracked by a Manager.
+type Job struct {
+	id   string
+	spec Spec
+
+	// persistMu serializes checkpoint-file writes for this job. It is
+	// held across the state snapshot AND the write+rename, so concurrent
+	// persists (worker checkpoint vs. an HTTP cancel) cannot interleave
+	// on the shared tmp file, and the last write always reflects the
+	// latest state — without it a cancel's stale "running" record could
+	// land after the worker's terminal one and resurrect the job on
+	// restart.
+	persistMu sync.Mutex
+
+	mu       sync.Mutex
+	state    State
+	err      error
+	cancel   context.CancelCauseFunc // non-nil while running
+	edges    int64
+	spent    float64
+	estimate float64 // NaN until meaningful
+	hash     uint64
+	cp       *checkpoint // last step-boundary checkpoint, nil before the first
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Status returns a snapshot of the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:       j.id,
+		State:    j.state,
+		Spec:     j.spec,
+		Edges:    j.edges,
+		Spent:    j.spent,
+		EdgeHash: fmt.Sprintf("%016x", j.hash),
+	}
+	if !math.IsNaN(j.estimate) {
+		e := j.estimate
+		st.Estimate = &e
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// errPaused is the cancellation cause distinguishing a pause (resume
+// later from the last checkpoint) from a cancel (terminal).
+var errPaused = errors.New("jobs: paused")
+
+// ErrQueueFull is returned by Submit when the bounded queue is at
+// capacity.
+var ErrQueueFull = errors.New("jobs: queue full")
+
+// ErrStopped is returned by Submit after the manager has been stopped.
+var ErrStopped = errors.New("jobs: manager stopped")
+
+// ErrUnknownJob is returned for operations on ids the manager does not
+// track.
+var ErrUnknownJob = errors.New("jobs: unknown job")
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithWorkers sets the worker pool size (default 4, minimum 1).
+func WithWorkers(n int) Option {
+	return func(m *Manager) {
+		if n > 0 {
+			m.workers = n
+		}
+	}
+}
+
+// WithQueueCapacity bounds how many submitted-but-not-running jobs the
+// manager holds before Submit returns ErrQueueFull (default 1024).
+func WithQueueCapacity(n int) Option {
+	return func(m *Manager) {
+		if n > 0 {
+			m.queueCap = n
+		}
+	}
+}
+
+// WithCheckpointDir persists every job's checkpoints under dir (one
+// JSON file per job, written atomically). A new Manager over the same
+// dir reloads them: terminal jobs stay queryable, interrupted ones are
+// requeued and resume from their last step boundary.
+func WithCheckpointDir(dir string) Option {
+	return func(m *Manager) { m.dir = dir }
+}
+
+// Manager owns the job table, the bounded queue and the worker pool.
+// All methods are safe for concurrent use.
+type Manager struct {
+	src      crawl.Source
+	view     estimate.EdgeView // nil when src has no edge-level queries
+	workers  int
+	queueCap int
+	dir      string
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	nextID int
+	closed bool
+
+	queue          chan string
+	stopCh         chan struct{}
+	wg             sync.WaitGroup
+	persistErrOnce sync.Once
+}
+
+// NewManager creates a manager sampling from src and starts its worker
+// pool. When src also implements estimate.EdgeView (both *graph.Graph
+// and the netgraph client do), edge-level estimates are available. With
+// WithCheckpointDir, previously persisted jobs are loaded and
+// non-terminal ones requeued before the workers start.
+func NewManager(src crawl.Source, opts ...Option) (*Manager, error) {
+	m := &Manager{
+		src:      src,
+		workers:  4,
+		queueCap: 1024,
+		jobs:     make(map[string]*Job),
+	}
+	if v, ok := src.(estimate.EdgeView); ok {
+		m.view = v
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	m.queue = make(chan string, m.queueCap)
+	m.stopCh = make(chan struct{})
+	if m.dir != "" {
+		if err := m.loadCheckpoints(); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < m.workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// Workers returns the worker pool size.
+func (m *Manager) Workers() int { return m.workers }
+
+// ActiveJobs returns the number of jobs currently queued, running or
+// paused (i.e. not in a terminal state).
+func (m *Manager) ActiveJobs() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if !j.state.Terminal() {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
+// Submit validates sp, assigns an id and enqueues the job.
+func (m *Manager) Submit(sp Spec) (*Job, error) {
+	sp.normalize()
+	if err := sp.validate(m.view); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrStopped
+	}
+	m.nextID++
+	j := &Job{id: fmt.Sprintf("job-%06d", m.nextID), spec: sp, state: StateQueued, estimate: math.NaN()}
+	select {
+	case m.queue <- j.id:
+	default:
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	m.mu.Unlock()
+	m.persist(j)
+	return j, nil
+}
+
+// Get returns the job with the given id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all tracked jobs in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
+	return out
+}
+
+// Cancel moves a job to the cancelled state. Queued and paused jobs
+// cancel immediately; a running job's session context is cancelled and
+// the worker frees up at the sampler's next budget charge. Cancelling a
+// terminal job is a no-op.
+func (m *Manager) Cancel(id string) error {
+	j, ok := m.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued, StatePaused:
+		j.state = StateCancelled
+	case StateRunning:
+		j.cancel(context.Canceled)
+	}
+	j.mu.Unlock()
+	m.persist(j)
+	return nil
+}
+
+// Pause checkpoints a running job and returns it to the paused state;
+// the last step-boundary checkpoint (written every CheckpointEvery
+// edges) is what a later resume continues from. Pausing a queued job
+// parks it; pausing a terminal job is an error.
+func (m *Manager) Pause(id string) error {
+	j, ok := m.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateRunning:
+		j.cancel(errPaused)
+		return nil
+	case StateQueued:
+		j.state = StatePaused
+		return nil
+	case StatePaused:
+		return nil
+	default:
+		return fmt.Errorf("jobs: cannot pause %s job %s", j.state, id)
+	}
+}
+
+// Resume requeues a paused job.
+func (m *Manager) Resume(id string) error {
+	j, ok := m.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	j.mu.Lock()
+	if j.state != StatePaused {
+		j.mu.Unlock()
+		return fmt.Errorf("jobs: cannot resume %s job %s", j.state, id)
+	}
+	j.state = StateQueued
+	j.mu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrStopped
+	}
+	select {
+	case m.queue <- id:
+		return nil
+	default:
+		j.mu.Lock()
+		j.state = StatePaused
+		j.mu.Unlock()
+		return ErrQueueFull
+	}
+}
+
+// Stop pauses every running job (checkpointing it at its next step
+// boundary), waits for the workers to drain, and rejects further
+// submissions. Queued jobs stay queued on disk; a new manager over the
+// same checkpoint directory picks everything up again.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.state == StateRunning {
+			j.cancel(errPaused)
+		}
+		j.mu.Unlock()
+	}
+	close(m.stopCh)
+	m.wg.Wait()
+}
+
+func (m *Manager) stopped() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.stopCh:
+			return
+		case id := <-m.queue:
+			if m.stopped() {
+				// Leave the job queued (it is persisted as such); a new
+				// manager over the checkpoint dir picks it up.
+				return
+			}
+			j, ok := m.Get(id)
+			if !ok {
+				continue
+			}
+			j.mu.Lock()
+			if j.state != StateQueued {
+				// Cancelled or paused while waiting in the queue.
+				j.mu.Unlock()
+				continue
+			}
+			ctx, cancel := context.WithCancelCause(context.Background())
+			j.state = StateRunning
+			j.cancel = cancel
+			j.mu.Unlock()
+			m.runJob(ctx, j)
+			cancel(nil)
+		}
+	}
+}
+
+// runJob drives one job from its spec or last checkpoint to the next
+// terminal or paused state.
+func (m *Manager) runJob(ctx context.Context, j *Job) {
+	j.mu.Lock()
+	cp := j.cp
+	spec := j.spec
+	j.mu.Unlock()
+
+	acc := newAccumulator(spec.Estimate, m.src, m.view)
+	sampler := newSampler(spec)
+	var sess *crawl.Session
+	var edges int64
+	var hash uint64 = fnvOffset
+	resume := cp != nil && cp.Session != nil
+	if resume {
+		var err error
+		sess, err = crawl.ResumeSession(ctx, m.src, *cp.Session)
+		if err == nil {
+			err = sampler.Restore(cp.Sampler)
+		}
+		if err == nil {
+			err = acc.restore(cp.Acc)
+		}
+		if err != nil {
+			m.finish(j, StateFailed, fmt.Errorf("jobs: restoring checkpoint: %w", err))
+			return
+		}
+		edges, hash = cp.Edges, cp.EdgeHash
+	} else {
+		model := crawl.UnitCosts()
+		sess = crawl.NewSessionContext(ctx, m.src, spec.Budget, model, xrand.New(spec.Seed))
+	}
+
+	emit := func(u, v int) {
+		hash = hashEdge(hash, u, v)
+		edges++
+		acc.observe(u, v)
+		if edges%int64(spec.CheckpointEvery) == 0 {
+			m.checkpointNow(j, sess, sampler, acc, edges, hash)
+		}
+	}
+
+	var err error
+	if runSafe, ok := m.src.(interface{ RunSafely(func() error) error }); ok {
+		// Network sources surface fetch failures through panics; convert
+		// them to job failures instead of killing the worker.
+		err = runSafe.RunSafely(func() error {
+			if resume {
+				return sampler.Resume(sess, emit)
+			}
+			return sampler.Run(sess, emit)
+		})
+	} else if resume {
+		err = sampler.Resume(sess, emit)
+	} else {
+		err = sampler.Run(sess, emit)
+	}
+
+	switch {
+	case err == nil:
+		// Budget exhausted: the job is done. Record the final state.
+		m.checkpointNow(j, sess, sampler, acc, edges, hash)
+		m.finish(j, StateDone, nil)
+	case errors.Is(err, context.Canceled) && errors.Is(context.Cause(ctx), errPaused):
+		// Paused: keep the last step-boundary checkpoint for resume. The
+		// edges emitted since then will be re-run identically.
+		m.finish(j, StatePaused, nil)
+	case errors.Is(err, context.Canceled):
+		m.finish(j, StateCancelled, nil)
+	default:
+		m.finish(j, StateFailed, err)
+	}
+}
+
+// checkpointNow records the job's full runtime state at a step boundary
+// (called from inside emit, where sampler and session are consistent)
+// and persists it when a checkpoint directory is configured.
+func (m *Manager) checkpointNow(j *Job, sess *crawl.Session, sampler core.Resumable, acc accumulator, edges int64, hash uint64) {
+	snap, err := sampler.Snapshot()
+	if err != nil {
+		return // not started; nothing worth recording yet
+	}
+	accState, err := acc.state()
+	if err != nil {
+		return
+	}
+	scp := sess.Checkpoint()
+	est := acc.estimate()
+	cp := &checkpoint{
+		ID:       j.id,
+		Spec:     j.spec,
+		Session:  &scp,
+		Sampler:  snap,
+		Acc:      accState,
+		Edges:    edges,
+		EdgeHash: hash,
+		Spent:    scp.Stats.Spent,
+	}
+	if !math.IsNaN(est) {
+		e := est
+		cp.Estimate = &e
+	}
+	j.mu.Lock()
+	cp.State = j.state
+	j.cp = cp
+	j.edges = edges
+	j.spent = scp.Stats.Spent
+	j.estimate = est
+	j.hash = hash
+	j.mu.Unlock()
+	m.persist(j)
+}
+
+// finish moves a job to its post-run state.
+func (m *Manager) finish(j *Job, state State, err error) {
+	j.mu.Lock()
+	// A cancel that raced the final step wins over "done": the caller
+	// asked for the job to stop and was told so.
+	if !(state == StateDone && j.state == StateCancelled) {
+		j.state = state
+	}
+	j.err = err
+	j.cancel = nil
+	j.mu.Unlock()
+	m.persist(j)
+}
+
+// persist writes the job's current checkpoint file atomically. A no-op
+// without a checkpoint directory. Write failures are logged once per
+// manager — checkpointing is best-effort durability, but losing it
+// silently would let an operator believe jobs are resumable when they
+// are not.
+func (m *Manager) persist(j *Job) {
+	if m.dir == "" {
+		return
+	}
+	j.persistMu.Lock()
+	defer j.persistMu.Unlock()
+	j.mu.Lock()
+	// The live counters (j.edges, j.hash, j.spent) are only advanced at
+	// checkpoint boundaries, so they always agree with the serialized
+	// session/sampler state below; for terminal jobs they are the final
+	// numbers.
+	cp := checkpoint{ID: j.id, Spec: j.spec, State: j.state, Edges: j.edges, EdgeHash: j.hash, Spent: j.spent}
+	if j.cp != nil {
+		cp.Session = j.cp.Session
+		cp.Sampler = j.cp.Sampler
+		cp.Acc = j.cp.Acc
+	}
+	if !math.IsNaN(j.estimate) {
+		e := j.estimate
+		cp.Estimate = &e
+	}
+	if j.err != nil {
+		cp.Error = j.err.Error()
+	}
+	j.mu.Unlock()
+
+	data, err := json.Marshal(cp)
+	if err != nil {
+		m.persistErr(cp.ID, err)
+		return
+	}
+	path := filepath.Join(m.dir, cp.ID+".json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		m.persistErr(cp.ID, err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		m.persistErr(cp.ID, err)
+	}
+}
+
+// persistErr reports the first checkpoint-write failure (subsequent
+// ones are almost always the same full-disk/permissions condition).
+func (m *Manager) persistErr(id string, err error) {
+	m.persistErrOnce.Do(func() {
+		log.Printf("jobs: persisting %s to %s failed (further failures suppressed): %v", id, m.dir, err)
+	})
+}
+
+// loadCheckpoints restores the job table from the checkpoint directory,
+// requeuing every non-terminal job. Called before the workers start, so
+// no locking subtleties.
+func (m *Manager) loadCheckpoints() error {
+	if err := os.MkdirAll(m.dir, 0o755); err != nil {
+		return fmt.Errorf("jobs: checkpoint dir: %w", err)
+	}
+	entries, err := os.ReadDir(m.dir)
+	if err != nil {
+		return fmt.Errorf("jobs: checkpoint dir: %w", err)
+	}
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(m.dir, ent.Name()))
+		if err != nil {
+			return fmt.Errorf("jobs: reading checkpoint %s: %w", ent.Name(), err)
+		}
+		var cp checkpoint
+		if err := json.Unmarshal(data, &cp); err != nil {
+			return fmt.Errorf("jobs: decoding checkpoint %s: %w", ent.Name(), err)
+		}
+		cp.Spec.normalize()
+		if err := cp.Spec.validate(m.view); err != nil {
+			return fmt.Errorf("jobs: checkpoint %s: %w", ent.Name(), err)
+		}
+		j := &Job{id: cp.ID, spec: cp.Spec, edges: cp.Edges, spent: cp.Spent, hash: cp.EdgeHash, estimate: math.NaN()}
+		if cp.Estimate != nil {
+			j.estimate = *cp.Estimate
+		}
+		if cp.Error != "" {
+			j.err = errors.New(cp.Error)
+		}
+		if cp.Session != nil {
+			c := cp
+			j.cp = &c
+		}
+		if cp.State.Terminal() {
+			j.state = cp.State
+		} else {
+			// Interrupted mid-flight (queued, running at crash time, or
+			// paused): requeue from the last step boundary.
+			j.state = StateQueued
+		}
+		m.jobs[cp.ID] = j
+		if n := idNumber(cp.ID); n > m.nextID {
+			m.nextID = n
+		}
+		if j.state == StateQueued {
+			select {
+			case m.queue <- j.id:
+			default:
+				return ErrQueueFull
+			}
+		}
+	}
+	return nil
+}
+
+// idNumber extracts the numeric suffix of a "job-%06d" id (0 if the id
+// was produced elsewhere).
+func idNumber(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// FNV-1a over the edge sequence: order-sensitive, deterministic, and
+// cheap enough to run per edge.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashEdge(h uint64, u, v int) uint64 {
+	for _, x := range [2]uint64{uint64(u), uint64(v)} {
+		for i := 0; i < 8; i++ {
+			h ^= (x >> (8 * i)) & 0xff
+			h *= fnvPrime
+		}
+	}
+	return h
+}
+
+// accumulator is a serializable streaming estimator over the job's edge
+// stream. The formulas mirror internal/estimate (Theorem 4.1 with the
+// 1/deg re-weighting); they are re-implemented here in checkpointable
+// form so a resumed job's estimate continues exactly.
+type accumulator interface {
+	observe(u, v int)
+	// estimate returns the current estimate (NaN before any qualifying
+	// observation).
+	estimate() float64
+	state() ([]byte, error)
+	restore(data []byte) error
+}
+
+func newAccumulator(kind string, src crawl.Source, view estimate.EdgeView) accumulator {
+	if kind == "clustering" {
+		return &clusteringAcc{view: view}
+	}
+	return &avgDegreeAcc{src: src}
+}
+
+// avgDegreeAcc estimates the average symmetric degree as n/Σ(1/deg(v)),
+// mirroring estimate.AvgDegree.
+type avgDegreeAcc struct {
+	src crawl.Source
+	S   float64 `json:"s"`
+	N   int64   `json:"n"`
+}
+
+func (a *avgDegreeAcc) observe(u, v int) {
+	d := a.src.SymDegree(v)
+	if d == 0 {
+		return
+	}
+	a.S += 1 / float64(d)
+	a.N++
+}
+
+func (a *avgDegreeAcc) estimate() float64 {
+	if a.S == 0 {
+		return math.NaN()
+	}
+	return float64(a.N) / a.S
+}
+
+func (a *avgDegreeAcc) state() ([]byte, error)    { return json.Marshal(a) }
+func (a *avgDegreeAcc) restore(data []byte) error { return json.Unmarshal(data, a) }
+
+// clusteringAcc estimates the global clustering coefficient, mirroring
+// estimate.Clustering.
+type clusteringAcc struct {
+	view estimate.EdgeView
+	Sum  float64 `json:"sum"`
+	S    float64 `json:"s"`
+}
+
+func (a *clusteringAcc) observe(u, v int) {
+	d := a.view.SymDegree(u)
+	if d < 2 {
+		return
+	}
+	pairs := float64(d) * float64(d-1) / 2
+	shared := float64(a.view.SharedNeighbors(u, v))
+	a.Sum += shared / (2 * pairs)
+	a.S += 1 / float64(d)
+}
+
+func (a *clusteringAcc) estimate() float64 {
+	if a.S == 0 {
+		return math.NaN()
+	}
+	return a.Sum / a.S
+}
+
+func (a *clusteringAcc) state() ([]byte, error)    { return json.Marshal(a) }
+func (a *clusteringAcc) restore(data []byte) error { return json.Unmarshal(data, a) }

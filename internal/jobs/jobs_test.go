@@ -1,0 +1,359 @@
+package jobs
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"frontier/internal/core"
+	"frontier/internal/crawl"
+	"frontier/internal/estimate"
+	"frontier/internal/gen"
+	"frontier/internal/graph"
+	"frontier/internal/xrand"
+)
+
+func testGraph(seed uint64) *graph.Graph {
+	return gen.BarabasiAlbert(xrand.New(seed), 2000, 3)
+}
+
+// waitStatus polls until pred holds or the deadline passes.
+func waitStatus(t *testing.T, j *Job, pred func(Status) bool, what string) Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := j.Status()
+		if pred(st) {
+			return st
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s; last status %+v", what, j.Status())
+	return Status{}
+}
+
+func waitDone(t *testing.T, j *Job) Status {
+	t.Helper()
+	st := waitStatus(t, j, func(s Status) bool { return s.State.Terminal() }, "terminal state")
+	if st.State != StateDone {
+		t.Fatalf("job %s ended %s (%s), want done", st.ID, st.State, st.Error)
+	}
+	return st
+}
+
+// directRun reproduces a job's exact computation in-process: same
+// sampler, same session, same accumulator arithmetic, same hash.
+func directRun(t *testing.T, g *graph.Graph, sp Spec) Status {
+	t.Helper()
+	sp.normalize()
+	sampler := newSampler(sp)
+	sess := crawl.NewSession(g, sp.Budget, crawl.UnitCosts(), xrand.New(sp.Seed))
+	acc := newAccumulator(sp.Estimate, g, g)
+	var edges int64
+	var hash uint64 = fnvOffset
+	if err := sampler.Run(sess, func(u, v int) {
+		hash = hashEdge(hash, u, v)
+		edges++
+		acc.observe(u, v)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	est := acc.estimate()
+	st := Status{Edges: edges, EdgeHash: fmt.Sprintf("%016x", hash), Spent: sess.Stats().Spent}
+	if !math.IsNaN(est) {
+		st.Estimate = &est
+	}
+	return st
+}
+
+// TestConcurrentJobsIndependentEstimates is the acceptance test: 8
+// concurrent jobs through a 4-worker pool over one shared graph, all
+// finishing with correct, independent estimates — each identical to an
+// uninterrupted in-process run with the same seed.
+func TestConcurrentJobsIndependentEstimates(t *testing.T) {
+	g := testGraph(1)
+	m, err := NewManager(g, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+
+	specs := make([]Spec, 8)
+	js := make([]*Job, 8)
+	for i := range specs {
+		method := []string{"fs", "dfs", "single", "multiple"}[i%4]
+		est := "avgdegree"
+		if i%2 == 1 {
+			est = "clustering"
+		}
+		specs[i] = Spec{Method: method, M: 8, Budget: 3000, Seed: uint64(100 + i), Estimate: est}
+		j, err := m.Submit(specs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		js[i] = j
+	}
+	for i, j := range js {
+		got := waitDone(t, j)
+		want := directRun(t, g, specs[i])
+		if got.Edges != want.Edges || got.EdgeHash != want.EdgeHash {
+			t.Fatalf("job %d (%s): %d edges hash %s, direct run %d edges hash %s",
+				i, specs[i].Method, got.Edges, got.EdgeHash, want.Edges, want.EdgeHash)
+		}
+		if got.Estimate == nil || want.Estimate == nil {
+			t.Fatalf("job %d: missing estimate (%v vs %v)", i, got.Estimate, want.Estimate)
+		}
+		if *got.Estimate != *want.Estimate {
+			t.Fatalf("job %d: estimate %v, direct run %v", i, *got.Estimate, *want.Estimate)
+		}
+		if got.Spent != want.Spent {
+			t.Fatalf("job %d: spent %v, direct run %v", i, got.Spent, want.Spent)
+		}
+	}
+	if n := m.ActiveJobs(); n != 0 {
+		t.Fatalf("ActiveJobs = %d after all jobs finished", n)
+	}
+}
+
+// slowSource wraps a Source, throttling neighbor queries so tests can
+// interrupt a run mid-flight deterministically. It deliberately does
+// not implement BatchSource or EdgeView.
+type slowSource struct {
+	g     crawl.Source
+	delay time.Duration
+}
+
+func (s *slowSource) NumVertices() int    { return s.g.NumVertices() }
+func (s *slowSource) SymDegree(v int) int { return s.g.SymDegree(v) }
+func (s *slowSource) SymNeighbor(v, i int) int {
+	time.Sleep(s.delay)
+	return s.g.SymNeighbor(v, i)
+}
+
+// TestCancelFreesWorker cancels a long job on a single-worker pool and
+// checks the worker promptly picks up the next job, unaffected.
+func TestCancelFreesWorker(t *testing.T) {
+	g := testGraph(2)
+	slow := &slowSource{g: g, delay: 500 * time.Microsecond}
+	m, err := NewManager(slow, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+
+	long, err := m.Submit(Spec{Method: "single", Budget: 1e6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quick, err := m.Submit(Spec{Method: "single", Budget: 50, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, long, func(s Status) bool { return s.State == StateRunning }, "long job running")
+	if err := m.Cancel(long.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, long, func(s Status) bool { return s.State == StateCancelled }, "long job cancelled")
+	st := waitDone(t, quick)
+	want := directRun(t, g, Spec{Method: "single", Budget: 50, Seed: 4})
+	if st.EdgeHash != want.EdgeHash {
+		t.Fatalf("quick job after cancel: hash %s, want %s", st.EdgeHash, want.EdgeHash)
+	}
+}
+
+// TestPauseRestartResumeDeterminism is the acceptance test for the
+// checkpoint path: a job paused mid-run, its manager stopped, and a new
+// manager started over the same checkpoint directory (a graphd restart)
+// finishes with exactly the edge count, sequence hash, budget and
+// estimate of an uninterrupted run.
+func TestPauseRestartResumeDeterminism(t *testing.T) {
+	g := testGraph(5)
+	spec := Spec{Method: "fs", M: 16, Budget: 4000, Seed: 9, CheckpointEvery: 64}
+	want := directRun(t, g, spec)
+
+	dir := t.TempDir()
+	slow := &slowSource{g: g, delay: 100 * time.Microsecond}
+	m1, err := NewManager(slow, WithWorkers(1), WithCheckpointDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let it pass at least one checkpoint, then pause and shut down.
+	waitStatus(t, j, func(s Status) bool { return s.Edges >= 64 }, "first checkpoint")
+	if err := m1.Pause(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, j, func(s Status) bool { return s.State == StatePaused }, "paused")
+	mid := j.Status()
+	if mid.Edges >= want.Edges {
+		t.Fatalf("job already finished (%d edges) before pause; can't test resume", mid.Edges)
+	}
+	m1.Stop()
+
+	// "Restart graphd": a fresh manager over the same directory requeues
+	// the paused job automatically and runs it to completion.
+	m2, err := NewManager(slow, WithWorkers(1), WithCheckpointDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Stop()
+	j2, ok := m2.Get(j.ID())
+	if !ok {
+		t.Fatalf("job %s not reloaded from %s", j.ID(), dir)
+	}
+	got := waitDone(t, j2)
+	if got.Edges != want.Edges || got.EdgeHash != want.EdgeHash {
+		t.Fatalf("resumed run: %d edges hash %s; uninterrupted: %d edges hash %s",
+			got.Edges, got.EdgeHash, want.Edges, want.EdgeHash)
+	}
+	if *got.Estimate != *want.Estimate {
+		t.Fatalf("resumed estimate %v, uninterrupted %v", *got.Estimate, *want.Estimate)
+	}
+	if got.Spent != want.Spent {
+		t.Fatalf("resumed spent %v, uninterrupted %v", got.Spent, want.Spent)
+	}
+}
+
+// TestStopRequeuesRunningJobs: stopping a manager checkpoints running
+// jobs; a successor finishes them correctly.
+func TestStopRequeuesRunningJobs(t *testing.T) {
+	g := testGraph(6)
+	spec := Spec{Method: "multiple", M: 4, Budget: 3000, Seed: 11, CheckpointEvery: 32}
+	want := directRun(t, g, spec)
+
+	dir := t.TempDir()
+	slow := &slowSource{g: g, delay: 100 * time.Microsecond}
+	m1, err := NewManager(slow, WithWorkers(2), WithCheckpointDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, j, func(s Status) bool { return s.Edges >= 32 }, "first checkpoint")
+	m1.Stop() // pauses the running job at its next step boundary
+
+	m2, err := NewManager(slow, WithWorkers(2), WithCheckpointDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Stop()
+	j2, ok := m2.Get(j.ID())
+	if !ok {
+		t.Fatal("job lost across restart")
+	}
+	got := waitDone(t, j2)
+	if got.EdgeHash != want.EdgeHash || got.Edges != want.Edges {
+		t.Fatalf("restart run diverged: %d edges %s vs %d edges %s",
+			got.Edges, got.EdgeHash, want.Edges, want.EdgeHash)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	g := testGraph(7)
+	m, err := NewManager(g, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	for _, sp := range []Spec{
+		{Method: "bogus", Budget: 10},
+		{Method: "fs", Budget: 0},
+		{Method: "fs", Budget: 10, Estimate: "nonsense"},
+	} {
+		if _, err := m.Submit(sp); err == nil {
+			t.Fatalf("spec %+v must be rejected", sp)
+		}
+	}
+	// Clustering needs an EdgeView; a bare Source cannot serve it.
+	bare, err := NewManager(&slowSource{g: g}, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Stop()
+	if _, err := bare.Submit(Spec{Method: "fs", Budget: 10, Estimate: "clustering"}); err == nil {
+		t.Fatal("clustering over a bare Source must be rejected")
+	}
+}
+
+func TestStateMachineEdges(t *testing.T) {
+	g := testGraph(8)
+	m, err := NewManager(g, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cancel("job-999999"); err == nil {
+		t.Fatal("cancelling an unknown job must error")
+	}
+	j, err := m.Submit(Spec{Method: "single", Budget: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, j)
+	// Terminal jobs: cancel is a no-op, pause/resume are errors.
+	if err := m.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Status(); got.State != StateDone {
+		t.Fatalf("cancel of done job changed state to %s", got.State)
+	}
+	if err := m.Pause(j.ID()); err == nil {
+		t.Fatal("pausing a done job must error")
+	}
+	if err := m.Resume(j.ID()); err == nil {
+		t.Fatal("resuming a done job must error")
+	}
+	if st.Edges == 0 {
+		t.Fatal("done job sampled nothing")
+	}
+	m.Stop()
+	if _, err := m.Submit(Spec{Method: "single", Budget: 10}); err != ErrStopped {
+		t.Fatalf("Submit after Stop = %v, want ErrStopped", err)
+	}
+}
+
+// TestJobsAreResumableSamplersOnly pins that every method the service
+// accepts is actually core.Resumable (compile-time via newSampler's
+// return type, runtime via a snapshot round trip mid-run).
+func TestJobsAreResumableSamplersOnly(t *testing.T) {
+	for _, method := range []string{"fs", "dfs", "single", "multiple"} {
+		var s core.Resumable = newSampler(Spec{Method: method, M: 2})
+		if s == nil {
+			t.Fatalf("%s: no sampler", method)
+		}
+	}
+}
+
+// TestAccumulatorsMatchEstimatePackage guards the duplicated formulas:
+// the jobs accumulators must agree exactly with internal/estimate on
+// the same edge stream, so a job-service estimate never drifts from an
+// in-process one.
+func TestAccumulatorsMatchEstimatePackage(t *testing.T) {
+	g := testGraph(9)
+	refAvg := estimate.NewAvgDegree(g)
+	refClus := estimate.NewClustering(g)
+	jobAvg := newAccumulator("avgdegree", g, g)
+	jobClus := newAccumulator("clustering", g, g)
+
+	sess := crawl.NewSession(g, 5000, crawl.UnitCosts(), xrand.New(31))
+	fs := newSampler(Spec{Method: "fs", M: 16})
+	if err := fs.Run(sess, func(u, v int) {
+		refAvg.Observe(u, v)
+		refClus.Observe(u, v)
+		jobAvg.observe(u, v)
+		jobClus.observe(u, v)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := jobAvg.estimate(), refAvg.Estimate(); got != want {
+		t.Fatalf("avgdegree: jobs %v, estimate pkg %v", got, want)
+	}
+	if got, want := jobClus.estimate(), refClus.Estimate(); got != want {
+		t.Fatalf("clustering: jobs %v, estimate pkg %v", got, want)
+	}
+}

@@ -3,15 +3,19 @@ package netgraph
 import (
 	"bytes"
 	"container/list"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
 	"frontier/internal/crawl"
 	"frontier/internal/estimate"
 	"frontier/internal/graph"
+	"frontier/internal/jobs"
 )
 
 // DefaultCacheCapacity bounds the vertex cache when no explicit capacity
@@ -47,6 +51,19 @@ func WithBatchSize(n int) Option {
 	}
 }
 
+// WithContext attaches ctx to every HTTP request the client issues —
+// Dial's metadata fetch, vertex and batch fetches, and the job calls
+// that take no explicit context. Cancelling it aborts in-flight round
+// trips, which is how cancelling a sampling run over a remote graph
+// unwinds promptly instead of waiting out a slow response.
+func WithContext(ctx context.Context) Option {
+	return func(c *Client) {
+		if ctx != nil {
+			c.ctx = ctx
+		}
+	}
+}
+
 // Client crawls a graph served by Server. It caches vertex records so
 // that a random walk revisiting a vertex does not re-query the server —
 // matching the paper's cost model, where only first-time queries cost
@@ -66,6 +83,7 @@ func WithBatchSize(n int) Option {
 type Client struct {
 	base      string
 	hc        *http.Client
+	ctx       context.Context // base context for every request
 	meta      Meta
 	batchSize int
 
@@ -102,6 +120,7 @@ func Dial(baseURL string, hc *http.Client, opts ...Option) (*Client, error) {
 	c := &Client{
 		base:      baseURL,
 		hc:        hc,
+		ctx:       context.Background(),
 		batchSize: DefaultBatchSize,
 		cache:     newLRUCache(DefaultCacheCapacity),
 		inflight:  make(map[int]*inflightFetch),
@@ -109,7 +128,7 @@ func Dial(baseURL string, hc *http.Client, opts ...Option) (*Client, error) {
 	for _, opt := range opts {
 		opt(c)
 	}
-	resp, err := hc.Get(baseURL + "/v1/meta")
+	resp, err := c.get(c.ctx, "/v1/meta")
 	if err != nil {
 		return nil, fmt.Errorf("netgraph: dial: %w", err)
 	}
@@ -204,9 +223,28 @@ func (c *Client) Vertex(v int) (*VertexRecord, error) {
 	return rec, err
 }
 
+// get performs a context-bound GET of the given path.
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.hc.Do(req)
+}
+
+// post performs a context-bound JSON POST of the given path.
+func (c *Client) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.hc.Do(req)
+}
+
 // fetchOne performs the single-vertex GET.
 func (c *Client) fetchOne(v int) (*VertexRecord, error) {
-	resp, err := c.hc.Get(fmt.Sprintf("%s/v1/vertex/%d", c.base, v))
+	resp, err := c.get(c.ctx, fmt.Sprintf("/v1/vertex/%d", v))
 	if err != nil {
 		return nil, fmt.Errorf("netgraph: vertex %d: %w", v, err)
 	}
@@ -319,7 +357,7 @@ func (c *Client) fetchBatch(ids []int) (map[int]*VertexRecord, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netgraph: encoding batch: %w", err)
 	}
-	resp, err := c.hc.Post(c.base+"/v1/vertices", "application/json", bytes.NewReader(body))
+	resp, err := c.post(c.ctx, "/v1/vertices", body)
 	if err != nil {
 		return nil, fmt.Errorf("netgraph: batch of %d: %w", len(ids), err)
 	}
@@ -460,6 +498,96 @@ func (c *Client) GroupLabelsSnapshot() (*graph.GroupLabels, error) {
 		}
 	}
 	return graph.NewGroupLabels(c.meta.NumGroups, membership), nil
+}
+
+// decodeStatus reads a job Status response, surfacing the server's
+// error text on non-2xx statuses.
+func decodeStatus(op string, resp *http.Response) (jobs.Status, error) {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return jobs.Status{}, fmt.Errorf("netgraph: %s: status %d: %s", op, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var st jobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return jobs.Status{}, fmt.Errorf("netgraph: decoding %s: %w", op, err)
+	}
+	return st, nil
+}
+
+// SubmitJob submits a sampling job to the server's job service
+// (POST /v1/jobs) and returns its initial status.
+func (c *Client) SubmitJob(ctx context.Context, spec jobs.Spec) (jobs.Status, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return jobs.Status{}, fmt.Errorf("netgraph: encoding job spec: %w", err)
+	}
+	resp, err := c.post(ctx, "/v1/jobs", body)
+	if err != nil {
+		return jobs.Status{}, fmt.Errorf("netgraph: submitting job: %w", err)
+	}
+	return decodeStatus("job submit", resp)
+}
+
+// Job returns the status (including partial estimates) of a job
+// (GET /v1/jobs/{id}).
+func (c *Client) Job(ctx context.Context, id string) (jobs.Status, error) {
+	resp, err := c.get(ctx, "/v1/jobs/"+id)
+	if err != nil {
+		return jobs.Status{}, fmt.Errorf("netgraph: job %s: %w", id, err)
+	}
+	return decodeStatus("job "+id, resp)
+}
+
+// CancelJob cancels a job (POST /v1/jobs/{id}/cancel) and returns its
+// status after the cancel was recorded.
+func (c *Client) CancelJob(ctx context.Context, id string) (jobs.Status, error) {
+	resp, err := c.post(ctx, "/v1/jobs/"+id+"/cancel", nil)
+	if err != nil {
+		return jobs.Status{}, fmt.Errorf("netgraph: cancelling job %s: %w", id, err)
+	}
+	return decodeStatus("job cancel "+id, resp)
+}
+
+// WaitJob polls a job until it reaches a terminal state (or ctx ends),
+// returning its final status. poll <= 0 means 50ms.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (jobs.Status, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Health fetches the server's liveness summary (GET /healthz).
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	resp, err := c.get(ctx, "/healthz")
+	if err != nil {
+		return Health{}, fmt.Errorf("netgraph: health: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Health{}, errorStatus("health", resp.StatusCode)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return Health{}, fmt.Errorf("netgraph: decoding health: %w", err)
+	}
+	return h, nil
 }
 
 // lruCache is a capacity-bounded least-recently-used vertex cache.

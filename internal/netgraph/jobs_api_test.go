@@ -1,0 +1,228 @@
+package netgraph
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"frontier/internal/core"
+	"frontier/internal/crawl"
+	"frontier/internal/gen"
+	"frontier/internal/graph"
+	"frontier/internal/jobs"
+	"frontier/internal/xrand"
+)
+
+// jobServer spins up a graphd-shaped server with the job service
+// mounted.
+func jobServer(t *testing.T, opts ...ServerOption) (*httptest.Server, *graph.Graph, *jobs.Manager) {
+	t.Helper()
+	g := gen.BarabasiAlbert(xrand.New(21), 1500, 3)
+	mgr, err := jobs.NewManager(g, jobs.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Stop)
+	ts := httptest.NewServer(NewServer("job-graph", g, nil, append(opts, WithJobs(mgr))...))
+	t.Cleanup(ts.Close)
+	return ts, g, mgr
+}
+
+func TestHealthz(t *testing.T) {
+	ts, g, _ := jobServer(t)
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.NumVertices != g.NumVertices() {
+		t.Fatalf("health = %+v", h)
+	}
+	if h.Workers != 2 {
+		t.Fatalf("health workers = %d, want 2", h.Workers)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Fatalf("negative uptime %v", h.UptimeSeconds)
+	}
+	// Health must be mounted even without a job manager.
+	bare := httptest.NewServer(NewServer("bare", g, nil))
+	defer bare.Close()
+	resp, err := http.Get(bare.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bare /healthz status %d", resp.StatusCode)
+	}
+}
+
+// TestHealthzSkipsInjectedLatency: liveness probes stay fast even when
+// the API models a slow OSN.
+func TestHealthzSkipsInjectedLatency(t *testing.T) {
+	ts, _, _ := jobServer(t, WithLatency(200*time.Millisecond))
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("/healthz took %v under injected latency", d)
+	}
+}
+
+// TestRemoteJobRoundTrip drives the full HTTP job lifecycle: submit,
+// poll with partial status, finish, and match an in-process run.
+func TestRemoteJobRoundTrip(t *testing.T) {
+	ts, g, _ := jobServer(t)
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	spec := jobs.Spec{Method: "fs", M: 16, Budget: 3000, Seed: 77}
+	st, err := c.SubmitJob(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.State.Terminal() {
+		t.Fatalf("submit status %+v", st)
+	}
+	final, err := c.WaitJob(ctx, st.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != jobs.StateDone {
+		t.Fatalf("job ended %s (%s)", final.State, final.Error)
+	}
+	if final.Estimate == nil {
+		t.Fatal("done job has no estimate")
+	}
+	// The remote estimate must match the same run done in-process.
+	sess := crawl.NewSession(g, spec.Budget, crawl.UnitCosts(), xrand.New(spec.Seed))
+	fs := &core.FrontierSampler{M: spec.M}
+	var s float64
+	var n int64
+	if err := fs.Run(sess, func(u, v int) {
+		if d := g.SymDegree(v); d > 0 {
+			s += 1 / float64(d)
+			n++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(n) / s; *final.Estimate != want {
+		t.Fatalf("remote estimate %v, in-process %v", *final.Estimate, want)
+	}
+	if final.Edges != sess.Stats().Steps {
+		t.Fatalf("remote edges %d, in-process steps %d", final.Edges, sess.Stats().Steps)
+	}
+}
+
+func TestRemoteJobCancel(t *testing.T) {
+	ts, _, _ := jobServer(t, WithLatency(time.Millisecond))
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// A huge budget over a latency-injected server: runs for minutes
+	// unless cancelled. (The job samples the server's local graph, so
+	// latency does not slow it — use a big budget instead.)
+	st, err := c.SubmitJob(ctx, jobs.Spec{Method: "single", Budget: 5e7, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.CancelJob(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != jobs.StateCancelled && got.State != jobs.StateRunning && got.State != jobs.StateQueued {
+		t.Fatalf("post-cancel state %s", got.State)
+	}
+	final, err := c.WaitJob(ctx, st.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != jobs.StateCancelled {
+		t.Fatalf("job ended %s, want cancelled", final.State)
+	}
+}
+
+func TestRemoteJobErrors(t *testing.T) {
+	ts, _, _ := jobServer(t)
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := c.SubmitJob(ctx, jobs.Spec{Method: "bogus", Budget: 10}); err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Fatalf("bad spec error = %v", err)
+	}
+	if _, err := c.Job(ctx, "job-999999"); err == nil {
+		t.Fatal("unknown job must error")
+	}
+	if _, err := c.CancelJob(ctx, "job-999999"); err == nil {
+		t.Fatal("cancelling unknown job must error")
+	}
+	// Without a job manager the endpoints are absent.
+	g := gen.BarabasiAlbert(xrand.New(22), 100, 2)
+	bare := httptest.NewServer(NewServer("bare", g, nil))
+	defer bare.Close()
+	bc, err := Dial(bare.URL, bare.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bc.SubmitJob(ctx, jobs.Spec{Method: "fs", Budget: 10}); err == nil {
+		t.Fatal("job submit without job service must error")
+	}
+}
+
+// TestClientContextCancelsInflightFetch: the satellite acceptance —
+// cancelling the client's context aborts an in-flight vertex fetch
+// instead of waiting out the server.
+func TestClientContextCancelsInflightFetch(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(23), 200, 3)
+	release := make(chan struct{})
+	var once sync.Once
+	defer once.Do(func() { close(release) })
+	inner := NewServer("slow", g, nil)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/vertex/") {
+			<-release // hold vertex fetches until released
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c, err := Dial(ts.URL, ts.Client(), WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Vertex(7)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the fetch reach the server
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("in-flight fetch returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled fetch did not abort")
+	}
+	once.Do(func() { close(release) })
+}

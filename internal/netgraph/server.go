@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"frontier/internal/graph"
+	"frontier/internal/jobs"
 )
 
 // Meta describes the served graph.
@@ -86,6 +87,13 @@ func WithLatency(d time.Duration) ServerOption {
 	return func(s *Server) { s.latency = d }
 }
 
+// WithJobs mounts the sampling-job endpoints (POST /v1/jobs,
+// GET /v1/jobs/{id}, POST /v1/jobs/{id}/cancel) backed by m, which the
+// caller owns: the server does not stop the manager on shutdown.
+func WithJobs(m *jobs.Manager) ServerOption {
+	return func(s *Server) { s.jobs = m }
+}
+
 // MaxBatchIDs bounds the number of ids one batch request may ask for,
 // keeping a single request from holding the handler for an unbounded
 // amount of work.
@@ -105,6 +113,8 @@ type Server struct {
 	groups  *graph.GroupLabels
 	mux     *http.ServeMux
 	latency time.Duration
+	jobs    *jobs.Manager
+	started time.Time
 
 	requests       atomic.Int64
 	metaRequests   atomic.Int64
@@ -115,7 +125,7 @@ type Server struct {
 
 // NewServer creates a server for g. groups may be nil.
 func NewServer(name string, g *graph.Graph, groups *graph.GroupLabels, opts ...ServerOption) *Server {
-	s := &Server{name: name, g: g, groups: groups, mux: http.NewServeMux()}
+	s := &Server{name: name, g: g, groups: groups, mux: http.NewServeMux(), started: time.Now()}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -123,6 +133,12 @@ func NewServer(name string, g *graph.Graph, groups *graph.GroupLabels, opts ...S
 	s.mux.HandleFunc("GET /v1/vertex/{id}", s.handleVertex)
 	s.mux.HandleFunc("POST /v1/vertices", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	if s.jobs != nil {
+		s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+		s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+		s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancelJob)
+	}
 	return s
 }
 
@@ -137,10 +153,12 @@ func (s *Server) Stats() ServerStats {
 	}
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. The injected latency does not
+// apply to /healthz: liveness probes must stay cheap even when the
+// served API is modeled as slow.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	if s.latency > 0 {
+	if s.latency > 0 && r.URL.Path != "/healthz" {
 		time.Sleep(s.latency)
 	}
 	s.mux.ServeHTTP(w, r)
@@ -226,6 +244,78 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, r, s.Stats())
 }
 
+// Health is the GET /healthz response: a cheap liveness summary.
+type Health struct {
+	Status        string  `json:"status"`
+	Name          string  `json:"name,omitempty"`
+	NumVertices   int     `json:"num_vertices"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Workers and ActiveJobs are zero when the job service is disabled.
+	Workers    int `json:"workers"`
+	ActiveJobs int `json:"active_jobs"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := Health{
+		Status:        "ok",
+		Name:          s.name,
+		NumVertices:   s.g.NumVertices(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	}
+	if s.jobs != nil {
+		h.Workers = s.jobs.Workers()
+		h.ActiveJobs = s.jobs.ActiveJobs()
+	}
+	writeJSON(w, r, h)
+}
+
+// maxJobBodyBytes bounds the POST /v1/jobs body; a Spec is a handful of
+// scalars.
+const maxJobBodyBytes = 1 << 16
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var spec jobs.Spec
+	body := http.MaxBytesReader(w, r.Body, maxJobBodyBytes)
+	if err := json.NewDecoder(body).Decode(&spec); err != nil {
+		http.Error(w, "bad job spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	j, err := s.jobs.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
+			code = http.StatusServiceUnavailable
+		case errors.Is(err, jobs.ErrStopped):
+			code = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(j.Status())
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, r, j.Status())
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.jobs.Cancel(id); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	j, _ := s.jobs.Get(id)
+	writeJSON(w, r, j.Status())
+}
+
 // acceptsGzip reports whether the Accept-Encoding header allows a gzip
 // response, honoring q-values ("gzip;q=0" explicitly refuses it).
 func acceptsGzip(header string) bool {
@@ -250,7 +340,7 @@ func acceptsGzip(header string) bool {
 // support (Go's default HTTP transport does, and transparently inflates
 // the response, so clients need no special handling). Adjacency-list
 // JSON compresses several-fold, which matters at OSN degrees.
-func writeJSON(w http.ResponseWriter, r *http.Request, v interface{}) {
+func writeJSON(w http.ResponseWriter, r *http.Request, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if r != nil && acceptsGzip(r.Header.Get("Accept-Encoding")) {
 		w.Header().Set("Content-Encoding", "gzip")

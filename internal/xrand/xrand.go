@@ -58,6 +58,25 @@ func (r *Rand) Seed(seed uint64) {
 	}
 }
 
+// State returns a snapshot of the generator's 256-bit internal state.
+// Together with Restore it makes a mid-stream generator checkpointable:
+// a generator restored from a snapshot produces exactly the stream the
+// snapshotted generator would have produced next. The four words
+// round-trip losslessly through JSON (integers, never floats), which the
+// job-checkpoint machinery relies on.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// Restore sets the generator's internal state to a snapshot previously
+// obtained from State. The all-zero state is the one fixed point of
+// xoshiro256** (it would emit zeros forever) and is rejected.
+func (r *Rand) Restore(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return errors.New("xrand: cannot restore all-zero state")
+	}
+	r.s = s
+	return nil
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits (xoshiro256**).
