@@ -6,24 +6,32 @@
 //	fsample -graph g.fgrb -method fs -m 100 -budget 5000 -estimate degree
 //	fsample -url http://localhost:8080 -method fs -m 64 -budget 2000 -estimate clustering
 //	fsample -graph g.fg -method single -budget 1000 -estimate assortativity
+//	fsample -url http://localhost:8080 -graph web -remote-job -follow \
+//	    -method fs -m 64 -budget 100000 -estimate avgdegree
 //
 // Methods: fs, dfs, single, multiple, mhrw, rv, re.
 // Estimates: degree (CCDF of the in/out/sym distribution), clustering,
 // assortativity, avgdegree.
+//
+// With -url, -graph names a hosted graph on a multi-graph graphd (empty
+// selects the server's default graph); without -url it is a local file
+// path.
 //
 // Remote crawls are batched: -cache-cap bounds the client's vertex LRU,
 // -batch sets the prefetch batch size, and -prefetch controls how often
 // FS prefetches its frontier's neighborhoods (default m/2 when remote).
 //
 // -remote-job submits the run to the graphd job service instead of
-// crawling client-side: the server samples its local graph in a worker
-// pool and fsample polls the job until it finishes. Only -method, -m,
-// -budget, -seed and -estimate apply in this mode (the client-crawl
-// flags -cache-cap/-batch/-prefetch/-kind/-diagnose are meaningless
-// server-side, and -hit-ratio is rejected rather than ignored).
-// -timeout bounds the whole run (local or remote) through a context; on
-// expiry, in-flight HTTP requests abort and local sampling unwinds at
-// the next budget charge.
+// crawling client-side: the server samples the selected hosted graph in
+// a worker pool and fsample waits for the job — streaming progress over
+// SSE with -follow (one line per state change or checkpoint), otherwise
+// waiting silently (SSE when available, else polling every -poll).
+// Only -method, -m, -budget, -seed, -estimate and -graph apply in this
+// mode (the client-crawl flags -cache-cap/-batch/-prefetch/-kind/
+// -diagnose are meaningless server-side, and -hit-ratio is rejected
+// rather than ignored). -timeout bounds the whole run (local or remote)
+// through a context; on expiry, in-flight HTTP requests abort and local
+// sampling unwinds at the next budget charge.
 package main
 
 import (
@@ -48,7 +56,7 @@ import (
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "local graph file")
+		graphPath = flag.String("graph", "", "local graph file, or hosted graph name with -url (empty = server default)")
 		url       = flag.String("url", "", "remote graphd base URL")
 		methodStr = flag.String("method", "fs", "fs | dfs | single | multiple | mhrw | rv | re")
 		m         = flag.Int("m", 100, "walkers (fs, dfs, multiple)")
@@ -61,7 +69,9 @@ func main() {
 		cacheCap  = flag.Int("cache-cap", netgraph.DefaultCacheCapacity, "remote client vertex-cache capacity (LRU records; <= 0 unbounded)")
 		batchSize = flag.Int("batch", netgraph.DefaultBatchSize, "remote client prefetch batch size")
 		prefetch  = flag.Int("prefetch", -1, "FS frontier-prefetch interval in steps (0 off, -1 auto: m/2 when remote)")
-		remoteJob = flag.Bool("remote-job", false, "submit the run to graphd's job service (-url) and poll it instead of crawling client-side")
+		remoteJob = flag.Bool("remote-job", false, "submit the run to graphd's job service (-url) and wait for it instead of crawling client-side")
+		follow    = flag.Bool("follow", false, "with -remote-job, stream job progress over SSE and print each update")
+		poll      = flag.Duration("poll", 0, "with -remote-job, polling interval when SSE is unavailable (0 = client default)")
 		timeout   = flag.Duration("timeout", 0, "overall run timeout (0 = none); cancels in-flight requests and unwinds sampling")
 	)
 	flag.Parse()
@@ -85,7 +95,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fsample: -hit-ratio is not supported by -remote-job (the job service runs unit costs)")
 			os.Exit(2)
 		}
-		runRemoteJob(ctx, *url, *methodStr, *m, *budget, *seed, *est)
+		runRemoteJob(ctx, remoteJobConfig{
+			url: *url, graph: *graphPath, method: *methodStr,
+			m: *m, budget: *budget, seed: *seed, est: *est,
+			follow: *follow, poll: *poll,
+		})
 		return
 	}
 
@@ -111,18 +125,13 @@ func main() {
 		isRemote bool
 	)
 	switch {
-	case *graphPath != "":
-		g, err := graphio.LoadFile(*graphPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
-			os.Exit(1)
-		}
-		src, view = g, g
-		runSafe = func(fn func() error) error { return fn() }
 	case *url != "":
+		// With -url, -graph selects a hosted graph by name rather than a
+		// local file.
 		c, err := netgraph.Dial(*url, nil,
 			netgraph.WithCacheCapacity(*cacheCap),
 			netgraph.WithBatchSize(*batchSize),
+			netgraph.WithGraph(*graphPath),
 			netgraph.WithContext(ctx))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
@@ -131,6 +140,14 @@ func main() {
 		src, view = c, c
 		runSafe = c.RunSafely
 		isRemote = true
+	case *graphPath != "":
+		g, err := graphio.LoadFile(*graphPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
+			os.Exit(1)
+		}
+		src, view = g, g
+		runSafe = func(fn func() error) error { return fn() }
 	default:
 		fmt.Fprintln(os.Stderr, "fsample: need -graph or -url")
 		os.Exit(2)
@@ -234,8 +251,13 @@ func main() {
 		st.Spent, st.Steps, st.VertexQueries, st.VertexMisses)
 	if isRemote {
 		c := src.(*netgraph.Client)
-		fmt.Printf("remote fetches: %d records in %d round trips (cache %d/%d)\n",
-			c.Fetches(), c.Roundtrips(), c.CacheLen(), c.CacheCapacity())
+		hits, misses := c.CacheStats()
+		ratio := 0.0
+		if hits+misses > 0 {
+			ratio = float64(hits) / float64(hits+misses)
+		}
+		fmt.Printf("remote fetches: %d records in %d round trips (cache %d/%d, hit ratio %.2f)\n",
+			c.Fetches(), c.Roundtrips(), c.CacheLen(), c.CacheCapacity(), ratio)
 	}
 
 	if *diagnose && sampler != nil {
@@ -267,26 +289,67 @@ func main() {
 	}
 }
 
-// runRemoteJob submits the run as a server-side sampling job, polls it
-// to completion and prints the final status.
-func runRemoteJob(ctx context.Context, url, method string, m int, budget float64, seed uint64, est string) {
-	c, err := netgraph.Dial(url, nil, netgraph.WithContext(ctx))
+// remoteJobConfig carries the flags that apply to a server-side job
+// run.
+type remoteJobConfig struct {
+	url    string
+	graph  string // hosted graph name ("" = server default)
+	method string
+	m      int
+	budget float64
+	seed   uint64
+	est    string
+	follow bool
+	poll   time.Duration
+}
+
+// runRemoteJob submits the run as a server-side sampling job, waits for
+// it (streaming progress with -follow) and prints the final status.
+func runRemoteJob(ctx context.Context, cfg remoteJobConfig) {
+	c, err := netgraph.Dial(cfg.url, nil,
+		netgraph.WithContext(ctx),
+		netgraph.WithGraph(cfg.graph),
+		netgraph.WithPollInterval(cfg.poll))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
 		os.Exit(1)
 	}
-	if est == "degree" {
+	if cfg.est == "degree" {
 		// The job service computes scalar estimates; default to the
 		// average-degree one rather than rejecting fsample's default.
-		est = "avgdegree"
+		cfg.est = "avgdegree"
 	}
-	st, err := c.SubmitJob(ctx, jobs.Spec{Method: method, M: m, Budget: budget, Seed: seed, Estimate: est})
+	st, err := c.SubmitJob(ctx, jobs.Spec{
+		Graph: cfg.graph, Method: cfg.method, M: cfg.m,
+		Budget: cfg.budget, Seed: cfg.seed, Estimate: cfg.est,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("submitted %s (%s, m=%d, budget %.0f)\n", st.ID, method, m, budget)
-	final, err := c.WaitJob(ctx, st.ID, 100*time.Millisecond)
+	fmt.Printf("submitted %s (%s on %q, m=%d, budget %.0f)\n",
+		st.ID, cfg.method, st.Spec.Graph, cfg.m, cfg.budget)
+
+	var final jobs.Status
+	if cfg.follow {
+		final, err = c.FollowJob(ctx, st.ID, func(s jobs.Status) {
+			line := fmt.Sprintf("%s: %s  spent %.0f/%.0f  edges %d",
+				s.ID, s.State, s.Spent, s.Spec.Budget, s.Edges)
+			if s.Estimate != nil {
+				line += fmt.Sprintf("  estimate %.5f", *s.Estimate)
+			}
+			fmt.Println(line)
+		})
+		if err != nil && ctx.Err() == nil {
+			// The stream broke without our context expiring (old server,
+			// proxy): fall back to waiting quietly. PollJob, not WaitJob —
+			// the SSE path just failed, don't try it a second time.
+			fmt.Fprintf(os.Stderr, "fsample: event stream unavailable (%v); polling\n", err)
+			final, err = c.PollJob(ctx, st.ID, cfg.poll)
+		}
+	} else {
+		final, err = c.WaitJob(ctx, st.ID, cfg.poll)
+	}
 	if err != nil {
 		// The run is bounded by -timeout: tell the server to stop too.
 		if _, cerr := c.CancelJob(context.Background(), st.ID); cerr == nil {

@@ -1,32 +1,35 @@
-// Command graphd serves a graph over HTTP so that samplers can crawl it
-// across the network, mimicking an online social network's API (the
-// paper's access model: querying a vertex reveals its incoming and
-// outgoing edges), and runs a concurrent sampling-job service over the
-// served graph.
+// Command graphd serves a catalog of graphs over HTTP so that samplers
+// can crawl them across the network, mimicking an online social
+// network's API (the paper's access model: querying a vertex reveals
+// its incoming and outgoing edges), and runs a concurrent sampling-job
+// service routing jobs to any hosted graph.
 //
 // Usage:
 //
 //	graphd -graph flickr.fgrb -groups flickr.fgrb.groups -addr :8080
 //	graphd -dataset flickr -scale 0.2 -addr :8080   # generate in memory
 //	graphd -dataset lj -workers 8 -checkpoint-dir /var/lib/graphd/jobs
+//	graphd -graphs 'web=web.fgrb,social=gen:flickr:0.2'   # multi-graph
+//	graphd -empty                                   # hot-load via POST /v1/graphs
 //
-// Endpoints:
+// -graphs hosts several named graphs in one process: a comma-separated
+// list of name=spec entries, where spec is a graph file path or
+// "gen:dataset[:scale]" for an in-memory synthetic dataset. The first
+// graph defined (by -graph/-dataset, else the first -graphs entry)
+// becomes the default that unqualified requests route to. More graphs
+// can be hot-loaded at runtime via POST /v1/graphs and evicted via
+// DELETE /v1/graphs/{name} (refused with 409 while running jobs pin
+// them).
 //
-//	GET  /v1/meta             — graph metadata
-//	GET  /v1/vertex/{id}      — a vertex's degrees, neighbors and groups
-//	POST /v1/vertices         — batch vertex fetch, body {"ids": [...]}
-//	GET  /v1/stats            — request counters
-//	GET  /healthz             — liveness: vertex count, uptime, active jobs
-//	POST /v1/jobs             — submit a sampling job (body: job spec)
-//	GET  /v1/jobs/{id}        — job status and partial estimates
-//	POST /v1/jobs/{id}/cancel — cancel a job
-//
-// Responses are gzip-compressed when the client accepts it. -latency
-// injects a fixed per-request delay to model a slow OSN API. -workers
-// sizes the job worker pool (0 disables the job service). With
-// -checkpoint-dir, jobs checkpoint to disk and resume across restarts:
-// on SIGINT/SIGTERM running jobs are paused at their next step boundary
-// and a restarted graphd picks them up where they left off.
+// See docs/API.md for the complete endpoint reference. Responses are
+// gzip-compressed when the client accepts it. -latency injects a fixed
+// per-request delay to model a slow OSN API (the observability
+// endpoints /healthz and /metrics, and the SSE job-event stream, are
+// exempt). -workers sizes the job worker pool (0 disables the job
+// service). With -checkpoint-dir, jobs checkpoint to disk and resume
+// across restarts: on SIGINT/SIGTERM running jobs are paused at their
+// next step boundary and a restarted graphd picks them up where they
+// left off.
 package main
 
 import (
@@ -37,6 +40,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,11 +55,13 @@ import (
 
 func main() {
 	var (
-		graphPath  = flag.String("graph", "", "graph file to serve")
-		groupsPath = flag.String("groups", "", "optional group labels file")
+		graphPath  = flag.String("graph", "", "graph file to serve as the default graph")
+		groupsPath = flag.String("groups", "", "optional group labels file for the default graph")
 		dataset    = flag.String("dataset", "", "generate and serve a dataset instead of loading a file")
 		scale      = flag.Float64("scale", 1, "dataset scale factor")
 		seed       = flag.Uint64("seed", 1, "dataset seed")
+		graphsFlag = flag.String("graphs", "", "additional named graphs: name=path or name=gen:dataset[:scale], comma-separated")
+		empty      = flag.Bool("empty", false, "start with an empty catalog (hot-load graphs via POST /v1/graphs)")
 		addr       = flag.String("addr", ":8080", "listen address")
 		latency    = flag.Duration("latency", 0, "injected per-request latency (models a slow OSN API, e.g. 5ms)")
 		workers    = flag.Int("workers", 4, "sampling-job worker pool size (0 disables the job service)")
@@ -62,42 +69,44 @@ func main() {
 	)
 	flag.Parse()
 
-	var (
-		g    *graph.Graph
-		gl   *graph.GroupLabels
-		name string
-		err  error
-	)
+	cat := netgraph.NewCatalog()
+
+	// The default graph, when configured, is added first so unqualified
+	// requests route to it.
 	switch {
 	case *dataset != "":
 		ds, derr := gen.ByName(*dataset, xrand.New(*seed), gen.Scale(*scale))
 		if derr != nil {
-			fmt.Fprintf(os.Stderr, "graphd: %v\n", derr)
-			os.Exit(2)
+			fatal(derr)
 		}
-		g, gl, name = ds.Graph, ds.Groups, ds.Name
+		mustAdd(cat, ds.Name, ds.Graph, ds.Groups)
 	case *graphPath != "":
-		name = *graphPath
-		g, err = graphio.LoadFile(*graphPath)
+		g, err := graphio.LoadFile(*graphPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "graphd: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
+		var gl *graph.GroupLabels
 		if *groupsPath != "" {
 			f, ferr := os.Open(*groupsPath)
 			if ferr != nil {
-				fmt.Fprintf(os.Stderr, "graphd: %v\n", ferr)
-				os.Exit(1)
+				fatal(ferr)
 			}
 			gl, err = graphio.ReadGroupsText(f)
 			f.Close()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "graphd: %v\n", err)
-				os.Exit(1)
+				fatal(err)
 			}
 		}
-	default:
-		fmt.Fprintln(os.Stderr, "graphd: need -graph or -dataset")
+		mustAdd(cat, *graphPath, g, gl)
+	}
+
+	if *graphsFlag != "" {
+		if err := loadGraphsFlag(cat, *graphsFlag, *seed); err != nil {
+			fatal(err)
+		}
+	}
+	if cat.Len() == 0 && !*empty {
+		fmt.Fprintln(os.Stderr, "graphd: need -graph, -dataset or -graphs (or -empty to start with no graphs)")
 		os.Exit(2)
 	}
 
@@ -107,27 +116,40 @@ func main() {
 	}
 	var mgr *jobs.Manager
 	if *workers > 0 {
-		mopts := []jobs.Option{jobs.WithWorkers(*workers)}
+		mopts := []jobs.Option{jobs.WithWorkers(*workers), jobs.WithResolver(cat)}
 		if *ckptDir != "" {
 			mopts = append(mopts, jobs.WithCheckpointDir(*ckptDir))
 		}
-		mgr, err = jobs.NewManager(g, mopts...)
+		var err error
+		mgr, err = jobs.NewManager(nil, mopts...)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "graphd: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		opts = append(opts, netgraph.WithJobs(mgr))
 		log.Printf("graphd: job service: %d workers, %d jobs resumed (checkpoint dir %q)",
 			*workers, mgr.ActiveJobs(), *ckptDir)
 	}
 	srv := &http.Server{
-		Addr:         *addr,
-		Handler:      netgraph.NewServer(name, g, gl, opts...),
-		ReadTimeout:  10 * time.Second,
-		WriteTimeout: 10 * time.Second,
+		Addr:    *addr,
+		Handler: netgraph.NewCatalogServer(cat, opts...),
+		// ReadHeaderTimeout (not ReadTimeout) keeps slow-loris
+		// protection without arming a whole-connection read deadline:
+		// ReadTimeout would sever the long-lived SSE stream at
+		// GET /v1/jobs/{id}/events after 10s and cut off large
+		// POST /v1/graphs bodies on slow links. WriteTimeout stays off
+		// for the same streaming reason; the SSE handler additionally
+		// clears per-request deadlines for servers configured otherwise.
+		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("graphd: serving %q (%d vertices, %d edges) on %s (latency %s)",
-		name, g.NumVertices(), g.NumDirectedEdges(), *addr, *latency)
+	for _, info := range cat.List() {
+		def := ""
+		if info.Default {
+			def = " (default)"
+		}
+		log.Printf("graphd: hosting %q%s (%d vertices, %d directed edges)",
+			info.Name, def, info.NumVertices, info.NumDirectedEdges)
+	}
+	log.Printf("graphd: serving %d graph(s) on %s (latency %s)", cat.Len(), *addr, *latency)
 
 	// Graceful shutdown: pause and checkpoint running jobs, then drain
 	// the listener.
@@ -149,4 +171,58 @@ func main() {
 		log.Fatalf("graphd: %v", err)
 	}
 	<-done
+}
+
+// loadGraphsFlag parses the -graphs value: comma-separated name=spec
+// entries, spec being a graph file path or "gen:dataset[:scale]".
+func loadGraphsFlag(cat *netgraph.Catalog, flagVal string, seed uint64) error {
+	for _, entry := range strings.Split(flagVal, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(entry, "=")
+		if !ok || name == "" || spec == "" {
+			return fmt.Errorf("graphd: bad -graphs entry %q (want name=path or name=gen:dataset[:scale])", entry)
+		}
+		if dsSpec, isGen := strings.CutPrefix(spec, "gen:"); isGen {
+			dsName, scaleStr, hasScale := strings.Cut(dsSpec, ":")
+			sc := 1.0
+			if hasScale {
+				var err error
+				if sc, err = strconv.ParseFloat(scaleStr, 64); err != nil {
+					return fmt.Errorf("graphd: bad scale in -graphs entry %q: %v", entry, err)
+				}
+			}
+			ds, err := gen.ByName(dsName, xrand.New(seed), gen.Scale(sc))
+			if err != nil {
+				return fmt.Errorf("graphd: -graphs entry %q: %w", entry, err)
+			}
+			if err := cat.Add(name, ds.Graph, ds.Groups); err != nil {
+				return err
+			}
+			continue
+		}
+		g, err := graphio.LoadFile(spec)
+		if err != nil {
+			return fmt.Errorf("graphd: -graphs entry %q: %w", entry, err)
+		}
+		if err := cat.Add(name, g, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mustAdd adds a graph to the catalog or exits.
+func mustAdd(cat *netgraph.Catalog, name string, g *graph.Graph, gl *graph.GroupLabels) {
+	if err := cat.Add(name, g, gl); err != nil {
+		fatal(err)
+	}
+}
+
+// fatal prints err and exits 1.
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "graphd: %v\n", err)
+	os.Exit(1)
 }

@@ -312,8 +312,14 @@ func LoadGraph(path string) (*Graph, error) { return graphio.LoadFile(path) }
 
 // Networked crawling (internal/netgraph).
 type (
-	// GraphServer serves a graph over HTTP (see cmd/graphd).
+	// GraphServer serves a catalog of graphs over HTTP (see cmd/graphd).
 	GraphServer = netgraph.Server
+	// GraphCatalog is a concurrent registry of named hosted graphs; it
+	// implements JobResolver so one job worker pool can serve every
+	// hosted graph, pinning a graph while jobs run on it.
+	GraphCatalog = netgraph.Catalog
+	// GraphInfo describes one hosted graph (the GET /v1/graphs entry).
+	GraphInfo = netgraph.GraphInfo
 	// GraphServerOption configures a GraphServer.
 	GraphServerOption = netgraph.ServerOption
 	// GraphClient crawls a remote graph; it implements Source,
@@ -328,6 +334,27 @@ type (
 	// GraphHealth is the GET /healthz liveness summary.
 	GraphHealth = netgraph.Health
 )
+
+// Catalog errors, mapped to HTTP statuses by the server (404, 409).
+var (
+	// ErrUnknownGraph reports a name the catalog does not host.
+	ErrUnknownGraph = netgraph.ErrUnknownGraph
+	// ErrGraphBusy reports an eviction refused while jobs pin the graph.
+	ErrGraphBusy = netgraph.ErrGraphBusy
+	// ErrDuplicateGraph reports an Add under an already-hosted name.
+	ErrDuplicateGraph = netgraph.ErrDuplicateGraph
+)
+
+// NewGraphCatalog returns an empty catalog of named graphs; the first
+// graph added becomes the default for unqualified requests.
+func NewGraphCatalog() *GraphCatalog { return netgraph.NewCatalog() }
+
+// NewCatalogGraphServer creates an HTTP handler over an existing
+// catalog, for multi-graph deployments (single-graph callers use
+// NewGraphServer).
+func NewCatalogGraphServer(cat *GraphCatalog, opts ...GraphServerOption) *GraphServer {
+	return netgraph.NewCatalogServer(cat, opts...)
+}
 
 // Sampling-job service (internal/jobs): run many concurrent,
 // cancellable, checkpoint-resumable sampling jobs over one shared graph.
@@ -345,6 +372,9 @@ type (
 	JobState = jobs.State
 	// JobOption configures a JobManager.
 	JobOption = jobs.Option
+	// JobResolver maps a JobSpec's Graph name to its sampling source
+	// (GraphCatalog implements it).
+	JobResolver = jobs.Resolver
 )
 
 // Job lifecycle states.
@@ -374,6 +404,10 @@ func WithJobQueueCapacity(n int) JobOption { return jobs.WithQueueCapacity(n) }
 // survive a restart and resume byte-identically.
 func WithJobCheckpointDir(dir string) JobOption { return jobs.WithCheckpointDir(dir) }
 
+// WithJobResolver routes each job's Graph name through r — typically a
+// GraphCatalog — so one worker pool serves many hosted graphs.
+func WithJobResolver(r JobResolver) JobOption { return jobs.WithResolver(r) }
+
 // WithServerJobs mounts the job endpoints (POST /v1/jobs et al.) backed
 // by m into a GraphServer.
 func WithServerJobs(m *JobManager) GraphServerOption { return netgraph.WithJobs(m) }
@@ -401,6 +435,16 @@ func WithBatchSize(n int) GraphClientOption { return netgraph.WithBatchSize(n) }
 // WithClientContext attaches ctx to every HTTP request the client
 // issues; cancelling it aborts in-flight vertex fetches.
 func WithClientContext(ctx context.Context) GraphClientOption { return netgraph.WithContext(ctx) }
+
+// WithClientGraph targets the named hosted graph on a multi-graph
+// server ("" = the server's default graph).
+func WithClientGraph(name string) GraphClientOption { return netgraph.WithGraph(name) }
+
+// WithClientPollInterval sets WaitJob's polling interval for servers
+// without SSE job-event streaming.
+func WithClientPollInterval(d time.Duration) GraphClientOption {
+	return netgraph.WithPollInterval(d)
+}
 
 // Error metrics (internal/stats).
 type (

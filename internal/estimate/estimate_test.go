@@ -384,3 +384,40 @@ func TestAssortativityConvergesOnWalk(t *testing.T) {
 		t.Fatalf("walk r̂ = %v, want ~%v", e.Estimate(), want)
 	}
 }
+
+// TestAssortativityDirectedVsSymmetricEdgeView feeds the identical
+// symmetric edge stream to a directed-mode and an undirected-mode
+// estimator over the same view. The directed one must score only the
+// E_d subset with (out-degree, in-degree) labels — matching the exact
+// directed coefficient — while the undirected one scores every ordered
+// symmetric edge with (deg, deg) labels and matches the exact
+// undirected coefficient; on an asymmetric graph the two answers
+// differ.
+func TestAssortativityDirectedVsSymmetricEdgeView(t *testing.T) {
+	g := gen.DirectedConfigModel(xrand.New(13), 500, 2.1, 2, 40)
+
+	dir := NewAssortativity(g, true)
+	sym := NewAssortativity(g, false)
+	feedAllSymEdges(g, dir.Observe)
+	feedAllSymEdges(g, sym.Observe)
+
+	// The symmetric stream contains every directed edge once (plus its
+	// reverse); directed mode must have scored exactly |Ed| of the
+	// 2·|E| observations the undirected mode scored.
+	if dir.BStar() != int64(g.NumDirectedEdges()) {
+		t.Fatalf("directed mode scored %d edges, want |Ed| = %d", dir.BStar(), g.NumDirectedEdges())
+	}
+	if sym.BStar() != int64(g.NumSymEdges()) {
+		t.Fatalf("undirected mode scored %d edges, want |E| ordered = %d", sym.BStar(), g.NumSymEdges())
+	}
+
+	if want := g.Assortativity(); math.Abs(dir.Estimate()-want) > 1e-9 {
+		t.Fatalf("directed r̂ = %v, want %v", dir.Estimate(), want)
+	}
+	if want := g.AssortativityUndirected(); math.Abs(sym.Estimate()-want) > 1e-9 {
+		t.Fatalf("undirected r̂ = %v, want %v", sym.Estimate(), want)
+	}
+	if math.Abs(dir.Estimate()-sym.Estimate()) < 1e-6 {
+		t.Fatalf("directed and undirected views coincide (%v); the test graph is too symmetric", dir.Estimate())
+	}
+}

@@ -1,0 +1,218 @@
+// Package godoclint is the repository's missing-godoc linter: it parses
+// Go source with go/ast and reports every exported identifier that
+// lacks a documentation comment, plus packages without a package
+// comment. CI runs it over internal/... (see TestInternalAPIDocumented
+// and .github/workflows/ci.yml), so the public surface of every
+// internal package stays documented to the standard set by
+// internal/graph.
+//
+// The rules follow godoc convention rather than maximal pedantry:
+//
+//   - every package needs a package comment on one of its files;
+//   - every exported type, function, const and var declaration needs a
+//     doc comment — for grouped const/var declarations a single comment
+//     on the group suffices;
+//   - exported methods need doc comments when their receiver type is
+//     exported (interface-satisfaction methods on unexported types are
+//     implementation detail);
+//   - struct fields and interface methods are exempt (their enclosing
+//     declaration's comment covers them), as are test files and
+//     generated files.
+package godoclint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Violation is one undocumented exported identifier.
+type Violation struct {
+	// Pos is the identifier's position, file:line.
+	Pos string
+	// Name is the undocumented identifier (method names are prefixed
+	// with their receiver type).
+	Name string
+	// Kind says what kind of declaration it is ("type", "func", ...).
+	Kind string
+}
+
+// String renders the violation as a compiler-style diagnostic.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: undocumented exported %s %s", v.Pos, v.Kind, v.Name)
+}
+
+// CheckDir lints every non-test Go file directly inside dir (one
+// package) and returns the violations sorted by position.
+func CheckDir(dir string) ([]Violation, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []Violation
+	for _, pkg := range pkgs {
+		out = append(out, checkPackage(fset, dir, pkg)...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Pos < out[b].Pos })
+	return out, nil
+}
+
+// CheckTree lints every package under root (skipping testdata and
+// hidden directories) and returns all violations.
+func CheckTree(root string) ([]Violation, error) {
+	var out []Violation
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+			return filepath.SkipDir
+		}
+		hasGo, gerr := dirHasGoFiles(path)
+		if gerr != nil {
+			return gerr
+		}
+		if !hasGo {
+			return nil
+		}
+		vs, cerr := CheckDir(path)
+		if cerr != nil {
+			return cerr
+		}
+		out = append(out, vs...)
+		return nil
+	})
+	return out, err
+}
+
+// dirHasGoFiles reports whether dir directly contains non-test Go
+// files.
+func dirHasGoFiles(dir string) (bool, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return false, err
+	}
+	for _, m := range matches {
+		if !strings.HasSuffix(m, "_test.go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// checkPackage lints one parsed package.
+func checkPackage(fset *token.FileSet, dir string, pkg *ast.Package) []Violation {
+	var out []Violation
+	hasPkgDoc := false
+	for _, f := range pkg.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			hasPkgDoc = true
+		}
+	}
+	if !hasPkgDoc && pkg.Name != "main" {
+		// Commands document themselves through their main-file comment
+		// checked below like any other package would be; but a library
+		// package must carry a package comment.
+		out = append(out, Violation{
+			Pos:  dir,
+			Name: pkg.Name,
+			Kind: "package (missing package comment)",
+		})
+	}
+	for _, f := range pkg.Files {
+		out = append(out, checkFile(fset, f)...)
+	}
+	return out
+}
+
+// checkFile lints one file's top-level declarations.
+func checkFile(fset *token.FileSet, f *ast.File) []Violation {
+	var out []Violation
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		out = append(out, Violation{
+			Pos:  fmt.Sprintf("%s:%d", p.Filename, p.Line),
+			Name: name,
+			Kind: kind,
+		})
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() {
+				continue
+			}
+			recv, exportedRecv := receiverType(d)
+			if d.Recv != nil && !exportedRecv {
+				continue
+			}
+			if d.Doc == nil {
+				name := d.Name.Name
+				if recv != "" {
+					name = recv + "." + name
+				}
+				report(d.Name.Pos(), "func", name)
+			}
+		case *ast.GenDecl:
+			groupDoc := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					// A spec is documented by its own comment or by the
+					// declaration's (which covers free-standing types and
+					// deliberately-grouped blocks alike).
+					if sp.Name.IsExported() && sp.Doc == nil && sp.Comment == nil && !groupDoc {
+						report(sp.Name.Pos(), "type", sp.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if sp.Doc != nil || sp.Comment != nil || groupDoc {
+						continue
+					}
+					kind := "var"
+					if d.Tok == token.CONST {
+						kind = "const"
+					}
+					for _, n := range sp.Names {
+						if n.IsExported() {
+							report(n.Pos(), kind, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverType returns the name of a method's receiver type and whether
+// it is exported ("" and false for plain functions).
+func receiverType(d *ast.FuncDecl) (string, bool) {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return "", false
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name, tt.IsExported()
+		default:
+			return "", false
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package godoclint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// repoRoot walks up from the working directory to the directory holding
+// go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestInternalAPIDocumented fails on any exported identifier in
+// internal/... without a godoc comment, and on any internal package
+// without a package comment. This is the lint step CI runs: the
+// documentation pass is enforced, not aspirational.
+func TestInternalAPIDocumented(t *testing.T) {
+	root := repoRoot(t)
+	vs, err := CheckTree(filepath.Join(root, "internal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Errorf("%s", v)
+	}
+	if len(vs) > 0 {
+		t.Errorf("%d undocumented exported identifiers under internal/", len(vs))
+	}
+}
+
+// TestFacadeDocumented holds the public facade package to the same
+// standard.
+func TestFacadeDocumented(t *testing.T) {
+	root := repoRoot(t)
+	vs, err := CheckDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Errorf("%s", v)
+	}
+}

@@ -14,6 +14,7 @@ const (
 	SymDeg
 )
 
+// String names the kind as used in CLI flags: "in", "out" or "sym".
 func (k DegreeKind) String() string {
 	switch k {
 	case InDeg:

@@ -1,0 +1,169 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"frontier/internal/graph"
+)
+
+// codecs enumerates the three formats through their writer and the Read
+// dispatcher, exactly as an HTTP upload exercises them.
+var codecs = []struct {
+	format string
+	write  func(*bytes.Buffer, *graph.Graph) error
+}{
+	{FormatText, func(b *bytes.Buffer, g *graph.Graph) error { return WriteText(b, g) }},
+	{FormatBinary, func(b *bytes.Buffer, g *graph.Graph) error { return WriteBinary(b, g) }},
+	{FormatJSON, func(b *bytes.Buffer, g *graph.Graph) error { return WriteJSON(b, g) }},
+}
+
+// assertSameGraph asserts two graphs have identical vertex counts and
+// directed edge sets.
+func assertSameGraph(t *testing.T, got, want *graph.Graph) {
+	t.Helper()
+	if got.NumVertices() != want.NumVertices() {
+		t.Fatalf("vertices = %d, want %d", got.NumVertices(), want.NumVertices())
+	}
+	if got.NumDirectedEdges() != want.NumDirectedEdges() {
+		t.Fatalf("directed edges = %d, want %d", got.NumDirectedEdges(), want.NumDirectedEdges())
+	}
+	var gotEdges, wantEdges []graph.Edge
+	got.DirectedEdges(func(u, v int32) { gotEdges = append(gotEdges, graph.Edge{U: u, V: v}) })
+	want.DirectedEdges(func(u, v int32) { wantEdges = append(wantEdges, graph.Edge{U: u, V: v}) })
+	for i := range wantEdges {
+		if gotEdges[i] != wantEdges[i] {
+			t.Fatalf("edge %d = %v, want %v", i, gotEdges[i], wantEdges[i])
+		}
+	}
+}
+
+// roundTrip pushes g through every format.
+func roundTrip(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	for _, c := range codecs {
+		var buf bytes.Buffer
+		if err := c.write(&buf, g); err != nil {
+			t.Fatalf("%s write: %v", c.format, err)
+		}
+		got, err := Read(&buf, c.format)
+		if err != nil {
+			t.Fatalf("%s read: %v", c.format, err)
+		}
+		assertSameGraph(t, got, g)
+	}
+}
+
+// TestRoundTripEmptyGraph: the smallest upload the catalog accepts — no
+// vertices, no edges.
+func TestRoundTripEmptyGraph(t *testing.T) {
+	roundTrip(t, graph.NewBuilder(0).Build())
+	// And a graph with vertices but no edges.
+	roundTrip(t, graph.NewBuilder(17).Build())
+}
+
+// TestSelfLoopsNormalized: inputs containing self-loops are accepted in
+// every upload format and the loops are dropped by the builder, so a
+// round trip of the parsed graph is exact.
+func TestSelfLoopsNormalized(t *testing.T) {
+	text := "fgraph 1 4 4\n0 1\n1 1\n2 2\n2 3\n"
+	g, err := Read(strings.NewReader(text), FormatText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumDirectedEdges() != 2 {
+		t.Fatalf("directed edges = %d, want 2 (self-loops dropped)", g.NumDirectedEdges())
+	}
+	jsonDoc := `{"num_vertices":4,"edges":[[0,1],[1,1],[2,2],[2,3]]}`
+	gj, err := Read(strings.NewReader(jsonDoc), FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, gj, g)
+	roundTrip(t, g)
+}
+
+// TestDuplicateEdgesCollapse: duplicated edges in the input collapse to
+// one, in both the text and JSON upload formats.
+func TestDuplicateEdgesCollapse(t *testing.T) {
+	text := "fgraph 1 3 5\n0 1\n0 1\n1 2\n0 1\n1 2\n"
+	g, err := Read(strings.NewReader(text), FormatText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumDirectedEdges() != 2 {
+		t.Fatalf("directed edges = %d, want 2 (duplicates collapsed)", g.NumDirectedEdges())
+	}
+	jsonDoc := `{"num_vertices":3,"edges":[[0,1],[0,1],[1,2],[0,1],[1,2]]}`
+	gj, err := Read(strings.NewReader(jsonDoc), FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, gj, g)
+	roundTrip(t, g)
+}
+
+// TestRoundTripLargeVertexSpace: >64k vertices exercises multi-byte
+// varints in the binary format and the delta encoding across large id
+// gaps.
+func TestRoundTripLargeVertexSpace(t *testing.T) {
+	const n = 70000
+	b := graph.NewBuilder(n)
+	// A ring plus long chords spanning the id space, so deltas of both
+	// 1 and tens of thousands appear.
+	for v := 0; v < n; v++ {
+		b.AddEdge(v, (v+1)%n)
+	}
+	for v := 0; v < n; v += 997 {
+		b.AddEdge(v, (v+65537)%n)
+	}
+	g := b.Build()
+	if g.NumVertices() <= 1<<16 {
+		t.Fatalf("graph not larger than 64k vertices")
+	}
+	roundTrip(t, g)
+}
+
+// TestReadDispatchErrors: unknown formats and malformed bodies fail
+// with ErrBadFormat rather than panicking — these are the errors the
+// upload endpoint maps to 400.
+func TestReadDispatchErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader(""), "yaml"); err == nil {
+		t.Fatal("unknown format must error")
+	}
+	for _, c := range []struct{ format, body string }{
+		{FormatText, "not a graph"},
+		{FormatBinary, "XXXX"},
+		{FormatJSON, `{"num_vertices":-1}`},
+		{FormatJSON, `{"num_vertices":2,"edges":[[0,5]]}`},
+		{FormatJSON, `{`},
+	} {
+		_, err := Read(strings.NewReader(c.body), c.format)
+		if err == nil {
+			t.Fatalf("%s: malformed body %q must error", c.format, c.body)
+		}
+	}
+}
+
+// TestJSONWriteRead exercises WriteJSON output shape directly: a
+// decoded document re-encodes to the same edge list.
+func TestJSONWriteRead(t *testing.T) {
+	b := graph.NewBuilder(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {3, 4}, {4, 0}} {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"num_vertices":5`) {
+		t.Fatalf("unexpected JSON shape: %s", buf.String())
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, got, g)
+}

@@ -1,10 +1,17 @@
-// Package jobs runs many sampling jobs concurrently over one shared
-// graph: a bounded worker pool drains a queue of job specs, each job
-// drives a resumable sampler (internal/core) through its own budgeted,
-// cancellable session (internal/crawl), and every job checkpoints its
-// full state — session, sampler, estimator and edge hash — as JSON at
-// step boundaries, so jobs survive a process restart and continue
-// byte-identically.
+// Package jobs runs many sampling jobs concurrently over one or more
+// shared graphs: a bounded worker pool drains a queue of job specs, each
+// job drives a resumable sampler (internal/core) through its own
+// budgeted, cancellable session (internal/crawl), and every job
+// checkpoints its full state — session, sampler, estimator and edge
+// hash — as JSON at step boundaries, so jobs survive a process restart
+// and continue byte-identically.
+//
+// A manager samples either a single source (NewManager's src argument)
+// or, with WithResolver, any of several named graphs: each Spec carries
+// a Graph name, the Resolver maps it to a source, and the release
+// callback it returns pins the graph for exactly as long as the job is
+// running on a worker — which is how the netgraph catalog refuses to
+// evict a graph mid-run.
 //
 // This is the regime the paper's cost model abstracts: crawling a
 // rate-limited OSN API is slow, gets interrupted, and is multiplexed
@@ -33,6 +40,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"frontier/internal/core"
 	"frontier/internal/crawl"
@@ -65,6 +74,11 @@ const DefaultCheckpointEvery = 256
 // Spec describes one sampling job. The zero hit-ratio/cost fields mean
 // the paper's unit cost model.
 type Spec struct {
+	// Graph names the hosted graph the job samples. Empty means the
+	// manager's default graph, which is also what specs written before
+	// multi-graph hosting deserialize to — old checkpoints resume
+	// unchanged.
+	Graph string `json:"graph,omitempty"`
 	// Method selects the sampler: "fs", "dfs", "single" or "multiple" —
 	// the resumable walk samplers.
 	Method string `json:"method"`
@@ -112,6 +126,15 @@ func (sp Spec) validate(view estimate.EdgeView) error {
 	}
 	if sp.Budget <= 0 {
 		return errors.New("jobs: budget must be positive")
+	}
+	return nil
+}
+
+// edgeView returns src's estimate.EdgeView facet, or nil when the
+// source has no edge-level queries.
+func edgeView(src crawl.Source) estimate.EdgeView {
+	if v, ok := src.(estimate.EdgeView); ok {
+		return v
 	}
 	return nil
 }
@@ -191,6 +214,56 @@ type Job struct {
 	estimate float64 // NaN until meaningful
 	hash     uint64
 	cp       *checkpoint // last step-boundary checkpoint, nil before the first
+
+	version  int64 // bumped on every state change and checkpoint
+	nextSub  int
+	watchers map[int]chan struct{} // coalescing wake channels, one per Watch
+}
+
+// notifyLocked bumps the job's version and wakes every watcher. The
+// wake channels have capacity 1 and the send never blocks: a watcher
+// that has not yet consumed the previous wake-up coalesces this one into
+// it, then reads the latest status — progress is level-triggered, so no
+// update is lost, only intermediate ones are skipped. Callers must hold
+// j.mu.
+func (j *Job) notifyLocked() {
+	j.version++
+	for _, ch := range j.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Watch registers for change notifications: the returned channel
+// receives (coalesced) wake-ups whenever the job's state or progress
+// changes; read the fresh snapshot with StatusVersion after each one.
+// stop unregisters the watcher and must be called exactly once.
+func (j *Job) Watch() (wake <-chan struct{}, stop func()) {
+	ch := make(chan struct{}, 1)
+	j.mu.Lock()
+	if j.watchers == nil {
+		j.watchers = make(map[int]chan struct{})
+	}
+	id := j.nextSub
+	j.nextSub++
+	j.watchers[id] = ch
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		delete(j.watchers, id)
+		j.mu.Unlock()
+	}
+}
+
+// StatusVersion returns the job's status snapshot together with a
+// monotonically increasing version, letting a Watch loop skip writes
+// when nothing changed between wake-ups.
+func (j *Job) StatusVersion() (Status, int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked(), j.version
 }
 
 // ID returns the job's identifier.
@@ -200,6 +273,11 @@ func (j *Job) ID() string { return j.id }
 func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+// statusLocked builds the snapshot; callers must hold j.mu.
+func (j *Job) statusLocked() Status {
 	st := Status{
 		ID:       j.id,
 		State:    j.state,
@@ -233,8 +311,38 @@ var ErrStopped = errors.New("jobs: manager stopped")
 // track.
 var ErrUnknownJob = errors.New("jobs: unknown job")
 
+// Resolver maps a Spec's Graph name to the source the job samples.
+// Implementations are the bridge between the manager's worker pool and a
+// catalog of hosted graphs (netgraph.Catalog implements Resolver).
+type Resolver interface {
+	// Resolve returns the source serving name ("" means the default
+	// graph) together with a release callback. The source stays pinned —
+	// protected from eviction — until release is called; the manager
+	// calls it when the job leaves a worker (done, failed, cancelled or
+	// paused). release is never nil on success and is safe to call once.
+	Resolve(name string) (src crawl.Source, release func(), err error)
+}
+
+// staticResolver serves a single fixed source under the default name,
+// preserving the one-graph NewManager contract.
+type staticResolver struct{ src crawl.Source }
+
+func (r staticResolver) Resolve(name string) (crawl.Source, func(), error) {
+	if name != "" {
+		return nil, nil, fmt.Errorf("jobs: unknown graph %q (manager hosts a single unnamed graph)", name)
+	}
+	return r.src, func() {}, nil
+}
+
 // Option configures a Manager.
 type Option func(*Manager)
+
+// WithResolver routes each job's Graph name through r instead of the
+// single source passed to NewManager (which may then be nil). Use it to
+// run one worker pool over a catalog of named graphs.
+func WithResolver(r Resolver) Option {
+	return func(m *Manager) { m.resolver = r }
+}
 
 // WithWorkers sets the worker pool size (default 4, minimum 1).
 func WithWorkers(n int) Option {
@@ -266,8 +374,7 @@ func WithCheckpointDir(dir string) Option {
 // Manager owns the job table, the bounded queue and the worker pool.
 // All methods are safe for concurrent use.
 type Manager struct {
-	src      crawl.Source
-	view     estimate.EdgeView // nil when src has no edge-level queries
+	resolver Resolver
 	workers  int
 	queueCap int
 	dir      string
@@ -276,6 +383,9 @@ type Manager struct {
 	jobs   map[string]*Job
 	nextID int
 	closed bool
+
+	busy           atomic.Int64 // workers currently running a job
+	lastCheckpoint atomic.Int64 // unix nanos of the newest checkpoint, 0 = none
 
 	queue          chan string
 	stopCh         chan struct{}
@@ -286,20 +396,24 @@ type Manager struct {
 // NewManager creates a manager sampling from src and starts its worker
 // pool. When src also implements estimate.EdgeView (both *graph.Graph
 // and the netgraph client do), edge-level estimates are available. With
-// WithCheckpointDir, previously persisted jobs are loaded and
-// non-terminal ones requeued before the workers start.
+// WithResolver, src is ignored (pass nil) and every job's Graph name is
+// resolved through the resolver instead. With WithCheckpointDir,
+// previously persisted jobs are loaded and non-terminal ones requeued
+// before the workers start.
 func NewManager(src crawl.Source, opts ...Option) (*Manager, error) {
 	m := &Manager{
-		src:      src,
 		workers:  4,
 		queueCap: 1024,
 		jobs:     make(map[string]*Job),
 	}
-	if v, ok := src.(estimate.EdgeView); ok {
-		m.view = v
-	}
 	for _, opt := range opts {
 		opt(m)
+	}
+	if m.resolver == nil {
+		if src == nil {
+			return nil, errors.New("jobs: NewManager needs a source or WithResolver")
+		}
+		m.resolver = staticResolver{src: src}
 	}
 	m.queue = make(chan string, m.queueCap)
 	m.stopCh = make(chan struct{})
@@ -318,6 +432,25 @@ func NewManager(src crawl.Source, opts ...Option) (*Manager, error) {
 // Workers returns the worker pool size.
 func (m *Manager) Workers() int { return m.workers }
 
+// BusyWorkers returns how many workers are currently running a job —
+// the worker-pool occupancy exposed at /metrics.
+func (m *Manager) BusyWorkers() int { return int(m.busy.Load()) }
+
+// QueueDepth returns the number of submitted jobs waiting for a worker.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// LastCheckpoint returns the time of the newest step-boundary checkpoint
+// taken by any job (zero if none has been taken yet). Operators alert on
+// its age: a stalling checkpoint clock under running jobs means progress
+// has stopped.
+func (m *Manager) LastCheckpoint() time.Time {
+	ns := m.lastCheckpoint.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
 // ActiveJobs returns the number of jobs currently queued, running or
 // paused (i.e. not in a terminal state).
 func (m *Manager) ActiveJobs() int {
@@ -334,10 +467,16 @@ func (m *Manager) ActiveJobs() int {
 	return n
 }
 
-// Submit validates sp, assigns an id and enqueues the job.
+// Submit validates sp — including that its Graph name resolves and
+// supports the requested estimate — assigns an id and enqueues the job.
 func (m *Manager) Submit(sp Spec) (*Job, error) {
 	sp.normalize()
-	if err := sp.validate(m.view); err != nil {
+	src, release, err := m.resolver.Resolve(sp.Graph)
+	if err != nil {
+		return nil, err
+	}
+	release() // validation only; the job pins the graph when it runs
+	if err := sp.validate(edgeView(src)); err != nil {
 		return nil, err
 	}
 	m.mu.Lock()
@@ -392,6 +531,7 @@ func (m *Manager) Cancel(id string) error {
 	switch j.state {
 	case StateQueued, StatePaused:
 		j.state = StateCancelled
+		j.notifyLocked()
 	case StateRunning:
 		j.cancel(context.Canceled)
 	}
@@ -417,6 +557,7 @@ func (m *Manager) Pause(id string) error {
 		return nil
 	case StateQueued:
 		j.state = StatePaused
+		j.notifyLocked()
 		return nil
 	case StatePaused:
 		return nil
@@ -437,6 +578,7 @@ func (m *Manager) Resume(id string) error {
 		return fmt.Errorf("jobs: cannot resume %s job %s", j.state, id)
 	}
 	j.state = StateQueued
+	j.notifyLocked()
 	j.mu.Unlock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -512,22 +654,33 @@ func (m *Manager) worker() {
 			ctx, cancel := context.WithCancelCause(context.Background())
 			j.state = StateRunning
 			j.cancel = cancel
+			j.notifyLocked()
 			j.mu.Unlock()
+			m.busy.Add(1)
 			m.runJob(ctx, j)
+			m.busy.Add(-1)
 			cancel(nil)
 		}
 	}
 }
 
 // runJob drives one job from its spec or last checkpoint to the next
-// terminal or paused state.
+// terminal or paused state. The job's graph stays pinned — the resolver
+// refuses to evict it — for exactly the duration of this call.
 func (m *Manager) runJob(ctx context.Context, j *Job) {
 	j.mu.Lock()
 	cp := j.cp
 	spec := j.spec
 	j.mu.Unlock()
 
-	acc := newAccumulator(spec.Estimate, m.src, m.view)
+	src, release, err := m.resolver.Resolve(spec.Graph)
+	if err != nil {
+		m.finish(j, StateFailed, fmt.Errorf("jobs: resolving graph %q: %w", spec.Graph, err))
+		return
+	}
+	defer release()
+
+	acc := newAccumulator(spec.Estimate, src, edgeView(src))
 	sampler := newSampler(spec)
 	var sess *crawl.Session
 	var edges int64
@@ -535,7 +688,7 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 	resume := cp != nil && cp.Session != nil
 	if resume {
 		var err error
-		sess, err = crawl.ResumeSession(ctx, m.src, *cp.Session)
+		sess, err = crawl.ResumeSession(ctx, src, *cp.Session)
 		if err == nil {
 			err = sampler.Restore(cp.Sampler)
 		}
@@ -549,7 +702,7 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 		edges, hash = cp.Edges, cp.EdgeHash
 	} else {
 		model := crawl.UnitCosts()
-		sess = crawl.NewSessionContext(ctx, m.src, spec.Budget, model, xrand.New(spec.Seed))
+		sess = crawl.NewSessionContext(ctx, src, spec.Budget, model, xrand.New(spec.Seed))
 	}
 
 	emit := func(u, v int) {
@@ -561,8 +714,7 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 		}
 	}
 
-	var err error
-	if runSafe, ok := m.src.(interface{ RunSafely(func() error) error }); ok {
+	if runSafe, ok := src.(interface{ RunSafely(func() error) error }); ok {
 		// Network sources surface fetch failures through panics; convert
 		// them to job failures instead of killing the worker.
 		err = runSafe.RunSafely(func() error {
@@ -628,7 +780,9 @@ func (m *Manager) checkpointNow(j *Job, sess *crawl.Session, sampler core.Resuma
 	j.spent = scp.Stats.Spent
 	j.estimate = est
 	j.hash = hash
+	j.notifyLocked()
 	j.mu.Unlock()
+	m.lastCheckpoint.Store(time.Now().UnixNano())
 	m.persist(j)
 }
 
@@ -642,6 +796,7 @@ func (m *Manager) finish(j *Job, state State, err error) {
 	}
 	j.err = err
 	j.cancel = nil
+	j.notifyLocked()
 	j.mu.Unlock()
 	m.persist(j)
 }
@@ -725,8 +880,16 @@ func (m *Manager) loadCheckpoints() error {
 			return fmt.Errorf("jobs: decoding checkpoint %s: %w", ent.Name(), err)
 		}
 		cp.Spec.normalize()
-		if err := cp.Spec.validate(m.view); err != nil {
-			return fmt.Errorf("jobs: checkpoint %s: %w", ent.Name(), err)
+		// A checkpoint whose graph no longer resolves (e.g. a hot-loaded
+		// graph evicted before the restart) or whose spec fails validation
+		// marks its job failed instead of aborting the reload: one stale
+		// checkpoint must not take down the whole manager.
+		var invalid error
+		if src, release, rerr := m.resolver.Resolve(cp.Spec.Graph); rerr != nil {
+			invalid = rerr
+		} else {
+			invalid = cp.Spec.validate(edgeView(src))
+			release()
 		}
 		j := &Job{id: cp.ID, spec: cp.Spec, edges: cp.Edges, spent: cp.Spent, hash: cp.EdgeHash, estimate: math.NaN()}
 		if cp.Estimate != nil {
@@ -739,9 +902,13 @@ func (m *Manager) loadCheckpoints() error {
 			c := cp
 			j.cp = &c
 		}
-		if cp.State.Terminal() {
+		switch {
+		case invalid != nil && !cp.State.Terminal():
+			j.state = StateFailed
+			j.err = fmt.Errorf("jobs: checkpoint %s: %w", ent.Name(), invalid)
+		case cp.State.Terminal():
 			j.state = cp.State
-		} else {
+		default:
 			// Interrupted mid-flight (queued, running at crash time, or
 			// paused): requeue from the last step boundary.
 			j.state = StateQueued

@@ -1,0 +1,235 @@
+package netgraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"frontier/internal/crawl"
+	"frontier/internal/graph"
+	"frontier/internal/jobs"
+)
+
+// ErrUnknownGraph is returned when a request names a graph the catalog
+// does not host (or names no graph while no default is set).
+var ErrUnknownGraph = errors.New("netgraph: unknown graph")
+
+// ErrGraphBusy is returned by Catalog.Remove while running jobs pin the
+// graph; retry after they finish (the server maps it to 409 Conflict).
+var ErrGraphBusy = errors.New("netgraph: graph busy")
+
+// ErrDuplicateGraph is returned by Catalog.Add for a name already
+// hosted.
+var ErrDuplicateGraph = errors.New("netgraph: duplicate graph")
+
+// GraphInfo describes one hosted graph: the GET /v1/graphs listing
+// entry.
+type GraphInfo struct {
+	// Name is the catalog key requests select the graph by.
+	Name string `json:"name"`
+	// NumVertices is |V|.
+	NumVertices int `json:"num_vertices"`
+	// NumDirectedEdges is |Ed|, the directed edge count.
+	NumDirectedEdges int `json:"num_directed_edges"`
+	// NumSymEdges is |E|, the symmetric (undirected) edge count.
+	NumSymEdges int `json:"num_sym_edges"`
+	// NumGroups is the number of group labels (0 when unlabeled).
+	NumGroups int `json:"num_groups"`
+	// Default reports whether unqualified requests (no graph name) route
+	// to this graph.
+	Default bool `json:"default,omitempty"`
+	// Pins is the number of running jobs currently pinning the graph;
+	// DELETE is refused while it is non-zero.
+	Pins int `json:"pins"`
+}
+
+// hostedGraph is one catalog entry: the immutable graph, its labels,
+// the pin count protecting it from eviction, and its request counters.
+type hostedGraph struct {
+	name   string
+	g      *graph.Graph
+	groups *graph.GroupLabels
+
+	// Per-graph request counters, aggregated into /metrics.
+	vertexRequests atomic.Int64
+	batchRequests  atomic.Int64
+	verticesServed atomic.Int64
+}
+
+// Catalog is a concurrent registry of named graphs hosted by one
+// server: the multi-tenant heart of graphd. Graphs are added at startup
+// (cmd/graphd -graphs) or hot-loaded over HTTP (POST /v1/graphs), listed
+// with their sizes, and evicted when no longer needed — except while
+// running sampling jobs pin them, because evicting a graph mid-walk
+// would crash the walk.
+//
+// Catalog implements jobs.Resolver: a jobs.Manager built with
+// jobs.WithResolver routes every job's Graph name through it, so one
+// worker pool serves concurrent jobs against any number of hosted
+// graphs. Resolving pins the graph until the job's release callback
+// runs. All methods are safe for concurrent use.
+type Catalog struct {
+	mu          sync.Mutex
+	defaultName string
+	graphs      map[string]*hostedGraph
+	pins        map[string]int
+}
+
+// Compile-time check: the catalog routes jobs.
+var _ jobs.Resolver = (*Catalog)(nil)
+
+// NewCatalog returns an empty catalog. The first graph added becomes
+// the default that unqualified requests route to.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		graphs: make(map[string]*hostedGraph),
+		pins:   make(map[string]int),
+	}
+}
+
+// Add hosts g (groups may be nil) under name. The first graph added
+// becomes the default. Empty names and duplicates are rejected.
+func (c *Catalog) Add(name string, g *graph.Graph, groups *graph.GroupLabels) error {
+	if name == "" {
+		return errors.New("netgraph: graph name must not be empty")
+	}
+	if g == nil {
+		return errors.New("netgraph: nil graph")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.graphs[name]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateGraph, name)
+	}
+	c.graphs[name] = &hostedGraph{name: name, g: g, groups: groups}
+	if c.defaultName == "" {
+		c.defaultName = name
+	}
+	return nil
+}
+
+// Remove evicts the named graph. It fails with ErrGraphBusy while
+// running jobs pin the graph and ErrUnknownGraph when the name is not
+// hosted. Removing the default graph leaves the catalog without one
+// until the next Add: unqualified requests then fail.
+func (c *Catalog) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.graphs[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownGraph, name)
+	}
+	if n := c.pins[name]; n > 0 {
+		return fmt.Errorf("%w: %s pinned by %d running job(s)", ErrGraphBusy, name, n)
+	}
+	delete(c.graphs, name)
+	if c.defaultName == name {
+		c.defaultName = ""
+	}
+	return nil
+}
+
+// DefaultName returns the name unqualified requests route to ("" when
+// the catalog has none).
+func (c *Catalog) DefaultName() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.defaultName
+}
+
+// Len returns the number of hosted graphs.
+func (c *Catalog) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.graphs)
+}
+
+// lookupLocked resolves name ("" = default) to its entry and resolved
+// name. Callers must hold c.mu.
+func (c *Catalog) lookupLocked(name string) (*hostedGraph, string, error) {
+	if name == "" {
+		name = c.defaultName
+		if name == "" {
+			return nil, "", fmt.Errorf("%w: no default graph", ErrUnknownGraph)
+		}
+	}
+	hg, ok := c.graphs[name]
+	if !ok {
+		return nil, "", fmt.Errorf("%w: %s", ErrUnknownGraph, name)
+	}
+	return hg, name, nil
+}
+
+// lookup resolves name ("" = default) to its entry.
+func (c *Catalog) lookup(name string) (*hostedGraph, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hg, _, err := c.lookupLocked(name)
+	return hg, err
+}
+
+// Graph returns the named graph and its group labels ("" = default).
+// The returned graph is immutable and stays valid even if it is later
+// removed from the catalog.
+func (c *Catalog) Graph(name string) (*graph.Graph, *graph.GroupLabels, error) {
+	hg, err := c.lookup(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return hg.g, hg.groups, nil
+}
+
+// List returns the hosted graphs sorted by name.
+func (c *Catalog) List() []GraphInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]GraphInfo, 0, len(c.graphs))
+	for name, hg := range c.graphs {
+		numGroups := 0
+		if hg.groups != nil {
+			numGroups = hg.groups.NumGroups()
+		}
+		out = append(out, GraphInfo{
+			Name:             name,
+			NumVertices:      hg.g.NumVertices(),
+			NumDirectedEdges: hg.g.NumDirectedEdges(),
+			NumSymEdges:      hg.g.NumSymEdges(),
+			NumGroups:        numGroups,
+			Default:          name == c.defaultName,
+			Pins:             c.pins[name],
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+// Resolve implements jobs.Resolver: it returns the named graph as a
+// sampling source and pins it until the release callback runs, so a
+// graph cannot be evicted out from under a running job. The pin is
+// keyed by name, not entry: a graph re-added under the same name shares
+// the name's pin count, which only errs on the side of refusing an
+// eviction.
+func (c *Catalog) Resolve(name string) (crawl.Source, func(), error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hg, resolved, err := c.lookupLocked(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.pins[resolved]++
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			if c.pins[resolved] > 0 {
+				c.pins[resolved]--
+				if c.pins[resolved] == 0 {
+					delete(c.pins, resolved)
+				}
+			}
+		})
+	}
+	return hg.g, release, nil
+}

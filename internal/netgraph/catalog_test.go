@@ -1,0 +1,613 @@
+package netgraph
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"frontier/internal/gen"
+	"frontier/internal/graph"
+	"frontier/internal/graphio"
+	"frontier/internal/jobs"
+	"frontier/internal/xrand"
+)
+
+// multiServer hosts two named graphs ("alpha" is the default) behind
+// one job worker pool resolving through the catalog.
+func multiServer(t *testing.T, workers int, opts ...ServerOption) (*httptest.Server, *Catalog, *graph.Graph, *graph.Graph) {
+	t.Helper()
+	gA := gen.BarabasiAlbert(xrand.New(5), 1200, 3)
+	gB := gen.BarabasiAlbert(xrand.New(9), 800, 4)
+	cat := NewCatalog()
+	if err := cat.Add("alpha", gA, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Add("beta", gB, nil); err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := jobs.NewManager(nil, jobs.WithResolver(cat), jobs.WithWorkers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Stop)
+	ts := httptest.NewServer(NewCatalogServer(cat, append(opts, WithJobs(mgr))...))
+	t.Cleanup(ts.Close)
+	return ts, cat, gA, gB
+}
+
+func TestCatalogAddRemove(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(1), 50, 2)
+	cat := NewCatalog()
+	if err := cat.Add("", g, nil); err == nil {
+		t.Fatal("empty name must be rejected")
+	}
+	if err := cat.Add("a", g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Add("a", g, nil); !errors.Is(err, ErrDuplicateGraph) {
+		t.Fatalf("duplicate add error = %v", err)
+	}
+	if cat.DefaultName() != "a" {
+		t.Fatalf("default = %q, want a", cat.DefaultName())
+	}
+	if err := cat.Remove("missing"); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("remove missing error = %v", err)
+	}
+	if err := cat.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if cat.Len() != 0 || cat.DefaultName() != "" {
+		t.Fatalf("catalog not empty after remove: len %d default %q", cat.Len(), cat.DefaultName())
+	}
+	if _, _, err := cat.Graph(""); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("default lookup on empty catalog = %v", err)
+	}
+}
+
+func TestCatalogResolvePinsGraph(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(2), 50, 2)
+	cat := NewCatalog()
+	if err := cat.Add("g", g, nil); err != nil {
+		t.Fatal(err)
+	}
+	src, release, err := cat.Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.NumVertices() != g.NumVertices() {
+		t.Fatalf("resolved wrong source")
+	}
+	if err := cat.Remove("g"); !errors.Is(err, ErrGraphBusy) {
+		t.Fatalf("remove while pinned = %v, want ErrGraphBusy", err)
+	}
+	release()
+	release() // idempotent: a second call must not unpin someone else
+	if err := cat.Remove("g"); err != nil {
+		t.Fatalf("remove after release = %v", err)
+	}
+	if _, _, err := cat.Resolve("g"); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("resolve after remove = %v", err)
+	}
+}
+
+// TestMultiGraphRouting: the same vertex id returns different records
+// from differently named graphs, listing reports both, and unknown
+// names 404.
+func TestMultiGraphRouting(t *testing.T) {
+	ts, _, gA, gB := multiServer(t, 1)
+
+	cA, err := Dial(ts.URL, ts.Client()) // default = alpha
+	if err != nil {
+		t.Fatal(err)
+	}
+	cB, err := Dial(ts.URL, ts.Client(), WithGraph("beta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cA.Meta().NumVertices != gA.NumVertices() || cA.Meta().Name != "alpha" {
+		t.Fatalf("alpha meta = %+v", cA.Meta())
+	}
+	if cB.Meta().NumVertices != gB.NumVertices() || cB.Meta().Name != "beta" {
+		t.Fatalf("beta meta = %+v", cB.Meta())
+	}
+	for v := 0; v < 100; v += 13 {
+		ra, err := cA.Vertex(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := cB.Vertex(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.SymDegree != gA.SymDegree(v) || rb.SymDegree != gB.SymDegree(v) {
+			t.Fatalf("vertex %d routed wrong: alpha %d/%d beta %d/%d",
+				v, ra.SymDegree, gA.SymDegree(v), rb.SymDegree, gB.SymDegree(v))
+		}
+	}
+	// Batch fetches route too.
+	if err := cB.PrefetchVertices([]int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := cB.Vertex(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.SymDegree != gB.SymDegree(2) {
+		t.Fatal("batch prefetch hit the wrong graph")
+	}
+
+	if _, err := Dial(ts.URL, ts.Client(), WithGraph("nope")); err == nil {
+		t.Fatal("dialing an unknown graph must fail")
+	}
+	resp, err := http.Get(ts.URL + "/v1/vertex/0?graph=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown graph vertex status = %d, want 404", resp.StatusCode)
+	}
+
+	// Listing reports both graphs with their sizes.
+	resp, err = http.Get(ts.URL + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list GraphList
+	if err := jsonDecode(resp, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Graphs) != 2 || list.Default != "alpha" {
+		t.Fatalf("graph list = %+v", list)
+	}
+	if list.Graphs[0].Name != "alpha" || list.Graphs[0].NumVertices != gA.NumVertices() || !list.Graphs[0].Default {
+		t.Fatalf("alpha entry = %+v", list.Graphs[0])
+	}
+	if list.Graphs[1].Name != "beta" || list.Graphs[1].NumSymEdges != gB.NumSymEdges() {
+		t.Fatalf("beta entry = %+v", list.Graphs[1])
+	}
+}
+
+// jsonDecode decodes a JSON response body and closes it.
+func jsonDecode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// TestHotLoadAndEvictGraph uploads a graph over HTTP, crawls it, and
+// evicts it.
+func TestHotLoadAndEvictGraph(t *testing.T) {
+	ts, cat, _, _ := multiServer(t, 1)
+
+	g := gen.BarabasiAlbert(xrand.New(31), 300, 2)
+	var buf bytes.Buffer
+	if err := graphio.WriteJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/graphs?name=hot&format=json", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status = %d: %s", resp.StatusCode, body)
+	}
+	if cat.Len() != 3 {
+		t.Fatalf("catalog len = %d after upload", cat.Len())
+	}
+
+	c, err := Dial(ts.URL, ts.Client(), WithGraph("hot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Meta().NumVertices != g.NumVertices() || c.Meta().NumDirectedEdges != g.NumDirectedEdges() {
+		t.Fatalf("uploaded meta = %+v", c.Meta())
+	}
+	rec, err := c.Vertex(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SymDegree != g.SymDegree(5) {
+		t.Fatal("uploaded graph serves wrong records")
+	}
+
+	// Duplicate upload conflicts; text-format upload round-trips too.
+	var buf2 bytes.Buffer
+	if err := graphio.WriteJSON(&buf2, g); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/graphs?name=hot&format=json", "application/json", &buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate upload status = %d, want 409", resp.StatusCode)
+	}
+	var tbuf bytes.Buffer
+	if err := graphio.WriteText(&tbuf, g); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/graphs?name=hot-text&format=text", "text/plain", &tbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("text upload status = %d", resp.StatusCode)
+	}
+
+	for _, name := range []string{"hot", "hot-text"} {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/graphs/"+name, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err = http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("delete %s status = %d, want 204", name, resp.StatusCode)
+		}
+	}
+	if cat.Len() != 2 {
+		t.Fatalf("catalog len = %d after evictions", cat.Len())
+	}
+}
+
+// TestConcurrentJobsAcrossGraphsMatchSingleGraphRuns is the tentpole
+// acceptance test: jobs routed to two different hosted graphs through
+// one shared worker pool produce estimates, edge counts and edge hashes
+// byte-identical to the same specs run on dedicated single-graph
+// managers.
+func TestConcurrentJobsAcrossGraphsMatchSingleGraphRuns(t *testing.T) {
+	ts, _, gA, gB := multiServer(t, 4)
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	type tc struct {
+		graph string
+		g     *graph.Graph
+		spec  jobs.Spec
+	}
+	var cases []tc
+	for i, method := range []string{"fs", "single", "multiple", "fs"} {
+		for _, gr := range []struct {
+			name string
+			g    *graph.Graph
+		}{{"alpha", gA}, {"beta", gB}} {
+			cases = append(cases, tc{
+				graph: gr.name,
+				g:     gr.g,
+				spec:  jobs.Spec{Graph: gr.name, Method: method, M: 8, Budget: 2500, Seed: uint64(40 + i)},
+			})
+		}
+	}
+
+	// Submit everything up front so jobs from both graphs share the
+	// pool concurrently.
+	ids := make([]string, len(cases))
+	for i, tcase := range cases {
+		st, err := c.SubmitJob(ctx, tcase.spec)
+		if err != nil {
+			t.Fatalf("submit %+v: %v", tcase.spec, err)
+		}
+		if st.Spec.Graph != tcase.graph {
+			t.Fatalf("submitted spec lost its graph: %+v", st.Spec)
+		}
+		ids[i] = st.ID
+	}
+
+	for i, tcase := range cases {
+		final, err := c.WaitJob(ctx, ids[i], time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.State != jobs.StateDone {
+			t.Fatalf("job %s on %s ended %s: %s", final.ID, tcase.graph, final.State, final.Error)
+		}
+
+		// Reference: the same spec on a dedicated single-graph manager.
+		ref, err := jobs.NewManager(tcase.g, jobs.WithWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := tcase.spec
+		sp.Graph = "" // single-graph managers host one unnamed graph
+		rj, err := ref.Submit(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		var want jobs.Status
+		for {
+			want = rj.Status()
+			if want.State.Terminal() {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("reference job for %+v timed out", sp)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		ref.Stop()
+		if want.State != jobs.StateDone {
+			t.Fatalf("reference job ended %s", want.State)
+		}
+
+		if final.EdgeHash != want.EdgeHash {
+			t.Fatalf("job %s on %s: edge hash %s, single-graph run %s",
+				final.ID, tcase.graph, final.EdgeHash, want.EdgeHash)
+		}
+		if final.Edges != want.Edges || final.Spent != want.Spent {
+			t.Fatalf("job %s on %s: edges/spent %d/%.0f, want %d/%.0f",
+				final.ID, tcase.graph, final.Edges, final.Spent, want.Edges, want.Spent)
+		}
+		if (final.Estimate == nil) != (want.Estimate == nil) {
+			t.Fatalf("estimate presence mismatch: %v vs %v", final.Estimate, want.Estimate)
+		}
+		if final.Estimate != nil && *final.Estimate != *want.Estimate {
+			t.Fatalf("job %s on %s: estimate %v, single-graph run %v",
+				final.ID, tcase.graph, *final.Estimate, *want.Estimate)
+		}
+	}
+}
+
+// TestDeleteBusyGraphRefused: evicting a graph with a running job is
+// refused with 409 Conflict until the job finishes.
+func TestDeleteBusyGraphRefused(t *testing.T) {
+	ts, _, _, _ := multiServer(t, 2)
+	c, err := Dial(ts.URL, ts.Client(), WithGraph("beta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// A job big enough to run for minutes unless cancelled.
+	st, err := c.SubmitJob(ctx, jobs.Spec{Method: "single", Budget: 5e7, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for it to actually occupy a worker (the pin exists only
+	// while running).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got, err := c.Job(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State == jobs.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started running: %+v", got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	del := func() int {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/graphs/beta", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := del(); code != http.StatusConflict {
+		t.Fatalf("delete of busy graph = %d, want 409", code)
+	}
+
+	if _, err := c.CancelJob(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitJob(ctx, st.ID, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// The pin is released just after the job's terminal state becomes
+	// visible; allow a moment for the worker to unwind.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if code := del(); code == http.StatusNoContent {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("delete still refused after job finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJobEventsStreamProgress: the SSE endpoint streams at least three
+// progress events for a long job — the acceptance criterion that
+// clients can stop polling.
+func TestJobEventsStreamProgress(t *testing.T) {
+	ts, _, _, _ := multiServer(t, 1)
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	st, err := c.SubmitJob(ctx, jobs.Spec{Method: "single", Budget: 5e7, Seed: 8, CheckpointEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var events []jobs.Status
+	var cancelOnce sync.Once
+	final, err := c.FollowJob(ctx, st.ID, func(s jobs.Status) {
+		mu.Lock()
+		events = append(events, s)
+		n := len(events)
+		mu.Unlock()
+		if n >= 4 {
+			cancelOnce.Do(func() {
+				if _, cerr := c.CancelJob(ctx, st.ID); cerr != nil {
+					t.Errorf("cancel: %v", cerr)
+				}
+			})
+		}
+	})
+	if err != nil {
+		t.Fatalf("follow: %v", err)
+	}
+	if final.State != jobs.StateCancelled {
+		t.Fatalf("final state %s, want cancelled", final.State)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) < 3 {
+		t.Fatalf("streamed %d events, want >= 3", len(events))
+	}
+	// Progress must be visible across events: budget spent advances.
+	if !(events[len(events)-1].Spent >= events[0].Spent) {
+		t.Fatalf("spent went backwards: %v -> %v", events[0].Spent, events[len(events)-1].Spent)
+	}
+	last := events[len(events)-1]
+	if !last.State.Terminal() {
+		t.Fatalf("last event state %s, want terminal", last.State)
+	}
+}
+
+// TestWaitJobFallsBackToPolling: against a server without the SSE
+// endpoint (simulated by a proxy that 404s it), WaitJob still completes
+// via polling.
+func TestWaitJobFallsBackToPolling(t *testing.T) {
+	inner, _, _, _ := multiServer(t, 1)
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/events") {
+			http.Error(w, "no SSE here", http.StatusNotFound)
+			return
+		}
+		resp, err := http.Get(inner.URL + r.URL.String())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	defer proxy.Close()
+
+	c, err := Dial(proxy.URL, proxy.Client(), WithPollInterval(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Submit directly against the real server (the GET-only proxy can't
+	// carry a POST), then wait through the proxy.
+	cDirect, err := Dial(inner.URL, inner.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	st, err := cDirect.SubmitJob(ctx, jobs.Spec{Method: "fs", M: 8, Budget: 2000, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitJob(ctx, st.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != jobs.StateDone {
+		t.Fatalf("job ended %s", final.State)
+	}
+}
+
+// TestMetricsEndpoint: /metrics exposes aggregate counters, per-graph
+// counters and job-pool gauges in the Prometheus text format.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _, _, _ := multiServer(t, 2)
+	c, err := Dial(ts.URL, ts.Client(), WithGraph("beta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := c.Vertex(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PrefetchVertices([]int{10, 11, 12}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.SubmitJob(ctx, jobs.Spec{Method: "fs", M: 4, Budget: 1000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitJob(ctx, st.ID, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"graphd_requests_total ",
+		`graphd_graph_vertices{graph="alpha"} 1200`,
+		`graphd_graph_vertices{graph="beta"} 800`,
+		`graphd_graph_vertex_requests_total{graph="beta"} `,
+		`graphd_graph_batch_requests_total{graph="beta"} `,
+		"graphd_graphs 2",
+		"graphd_job_workers 2",
+		"graphd_job_workers_busy ",
+		"graphd_job_queue_depth ",
+		`graphd_jobs{graph="beta",state="done"} 1`,
+		"graphd_job_checkpoint_age_seconds ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The vertex request above must be attributed to beta, not alpha.
+	if strings.Contains(text, `graphd_graph_vertex_requests_total{graph="alpha"} 1`) {
+		t.Error("vertex request attributed to the wrong graph")
+	}
+}
+
+// TestMetricsAndEventsSkipInjectedLatency: observability stays fast
+// when the served API is modeled as slow.
+func TestMetricsAndEventsSkipInjectedLatency(t *testing.T) {
+	ts, _, _, _ := multiServer(t, 1, WithLatency(200*time.Millisecond))
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("/metrics took %v under injected latency", d)
+	}
+}

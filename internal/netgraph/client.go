@@ -1,6 +1,7 @@
 package netgraph
 
 import (
+	"bufio"
 	"bytes"
 	"container/list"
 	"context"
@@ -8,7 +9,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -26,6 +29,11 @@ const DefaultCacheCapacity = 1 << 20
 // DefaultBatchSize is the number of vertex ids sent per batch round trip
 // when no explicit size is configured.
 const DefaultBatchSize = 256
+
+// DefaultPollInterval is how often WaitJob polls a job's status when the
+// server does not support SSE streaming and no WithPollInterval was
+// configured.
+const DefaultPollInterval = 50 * time.Millisecond
 
 // Option configures a Client.
 type Option func(*Client)
@@ -47,6 +55,28 @@ func WithBatchSize(n int) Option {
 		}
 		if n > 0 {
 			c.batchSize = n
+		}
+	}
+}
+
+// WithGraph selects the named graph on a multi-graph server: every
+// metadata, vertex and batch request carries ?graph=name, and job specs
+// submitted without an explicit Graph are routed to it. The zero value
+// targets the server's default graph, which is what single-graph
+// deployments serve.
+func WithGraph(name string) Option {
+	return func(c *Client) { c.graph = name }
+}
+
+// WithPollInterval sets how often WaitJob polls a job's status when it
+// has to fall back from SSE streaming to polling (default
+// DefaultPollInterval). Raise it for long-running jobs against a busy
+// server — each poll is a full HTTP round trip — and lower it only in
+// tests that need tight completion latency. d <= 0 keeps the default.
+func WithPollInterval(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.pollInterval = d
 		}
 	}
 }
@@ -81,18 +111,22 @@ func WithContext(ctx context.Context) Option {
 // estimate.EdgeView, so samplers and estimators run against it directly.
 // It is safe for concurrent use.
 type Client struct {
-	base      string
-	hc        *http.Client
-	ctx       context.Context // base context for every request
-	meta      Meta
-	batchSize int
+	base         string
+	hc           *http.Client
+	ctx          context.Context // base context for every request
+	graph        string          // named graph on a multi-graph server ("" = default)
+	meta         Meta
+	batchSize    int
+	pollInterval time.Duration
 
 	mu       sync.Mutex
 	cache    lruCache
 	inflight map[int]*inflightFetch
 
-	fetches    int64 // vertex records fetched over the network
-	roundtrips int64 // HTTP round trips carrying vertex data (single + batch)
+	fetches     int64 // vertex records fetched over the network
+	roundtrips  int64 // HTTP round trips carrying vertex data (single + batch)
+	cacheHits   int64 // Vertex() calls answered from the cache
+	cacheMisses int64 // Vertex() calls that had to fetch
 }
 
 // inflightFetch is a single-flight slot: the first goroutine to miss the
@@ -118,17 +152,18 @@ func Dial(baseURL string, hc *http.Client, opts ...Option) (*Client, error) {
 		hc = http.DefaultClient
 	}
 	c := &Client{
-		base:      baseURL,
-		hc:        hc,
-		ctx:       context.Background(),
-		batchSize: DefaultBatchSize,
-		cache:     newLRUCache(DefaultCacheCapacity),
-		inflight:  make(map[int]*inflightFetch),
+		base:         baseURL,
+		hc:           hc,
+		ctx:          context.Background(),
+		batchSize:    DefaultBatchSize,
+		pollInterval: DefaultPollInterval,
+		cache:        newLRUCache(DefaultCacheCapacity),
+		inflight:     make(map[int]*inflightFetch),
 	}
 	for _, opt := range opts {
 		opt(c)
 	}
-	resp, err := c.get(c.ctx, "/v1/meta")
+	resp, err := c.get(c.ctx, c.gpath("/v1/meta"))
 	if err != nil {
 		return nil, fmt.Errorf("netgraph: dial: %w", err)
 	}
@@ -144,6 +179,23 @@ func Dial(baseURL string, hc *http.Client, opts ...Option) (*Client, error) {
 
 // Meta returns the remote graph's metadata.
 func (c *Client) Meta() Meta { return c.meta }
+
+// GraphName returns the name of the served graph this client targets
+// ("" = the server's default graph).
+func (c *Client) GraphName() string { return c.graph }
+
+// gpath appends the client's graph selector to an API path, routing the
+// request to the named graph on a multi-graph server.
+func (c *Client) gpath(p string) string {
+	if c.graph == "" {
+		return p
+	}
+	sep := "?"
+	if strings.Contains(p, "?") {
+		sep = "&"
+	}
+	return p + sep + "graph=" + url.QueryEscape(c.graph)
+}
 
 // Fetches returns the number of vertex records fetched over the network
 // (cache misses, including records arriving via batch prefetch).
@@ -161,6 +213,17 @@ func (c *Client) Roundtrips() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.roundtrips
+}
+
+// CacheStats returns how many Vertex calls were answered without a
+// dedicated round trip (hits: cached records plus results shared from
+// another goroutine's in-flight fetch) and how many had to fetch
+// (misses). The ratio hits/(hits+misses) is the cache hit ratio fsample
+// reports after a remote crawl.
+func (c *Client) CacheStats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cacheHits, c.cacheMisses
 }
 
 // CacheLen returns the number of vertex records currently cached (at
@@ -186,6 +249,7 @@ func (c *Client) Vertex(v int) (*VertexRecord, error) {
 	for {
 		c.mu.Lock()
 		if rec := c.cache.get(v); rec != nil {
+			c.cacheHits++
 			c.mu.Unlock()
 			return rec, nil
 		}
@@ -201,6 +265,12 @@ func (c *Client) Vertex(v int) (*VertexRecord, error) {
 		c.mu.Unlock()
 		<-other.done
 		if other.rec != nil || other.err != nil {
+			// Served by someone else's round trip: a hit for this caller.
+			if other.rec != nil {
+				c.mu.Lock()
+				c.cacheHits++
+				c.mu.Unlock()
+			}
 			return other.rec, other.err
 		}
 		// The flight was abandoned (capacity-capped prefetch): retry,
@@ -216,6 +286,7 @@ func (c *Client) Vertex(v int) (*VertexRecord, error) {
 		c.fetches++
 	}
 	c.roundtrips++
+	c.cacheMisses++
 	c.mu.Unlock()
 
 	fl.rec, fl.err = rec, err
@@ -244,7 +315,7 @@ func (c *Client) post(ctx context.Context, path string, body []byte) (*http.Resp
 
 // fetchOne performs the single-vertex GET.
 func (c *Client) fetchOne(v int) (*VertexRecord, error) {
-	resp, err := c.get(c.ctx, fmt.Sprintf("/v1/vertex/%d", v))
+	resp, err := c.get(c.ctx, c.gpath(fmt.Sprintf("/v1/vertex/%d", v)))
 	if err != nil {
 		return nil, fmt.Errorf("netgraph: vertex %d: %w", v, err)
 	}
@@ -357,7 +428,7 @@ func (c *Client) fetchBatch(ids []int) (map[int]*VertexRecord, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netgraph: encoding batch: %w", err)
 	}
-	resp, err := c.post(c.ctx, "/v1/vertices", body)
+	resp, err := c.post(c.ctx, c.gpath("/v1/vertices"), body)
 	if err != nil {
 		return nil, fmt.Errorf("netgraph: batch of %d: %w", len(ids), err)
 	}
@@ -516,8 +587,13 @@ func decodeStatus(op string, resp *http.Response) (jobs.Status, error) {
 }
 
 // SubmitJob submits a sampling job to the server's job service
-// (POST /v1/jobs) and returns its initial status.
+// (POST /v1/jobs) and returns its initial status. A spec without a
+// Graph name inherits the client's WithGraph target, so a client dialed
+// against one hosted graph submits jobs against that same graph.
 func (c *Client) SubmitJob(ctx context.Context, spec jobs.Spec) (jobs.Status, error) {
+	if spec.Graph == "" {
+		spec.Graph = c.graph
+	}
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return jobs.Status{}, fmt.Errorf("netgraph: encoding job spec: %w", err)
@@ -549,11 +625,34 @@ func (c *Client) CancelJob(ctx context.Context, id string) (jobs.Status, error) 
 	return decodeStatus("job cancel "+id, resp)
 }
 
-// WaitJob polls a job until it reaches a terminal state (or ctx ends),
-// returning its final status. poll <= 0 means 50ms.
+// WaitJob waits for a job to reach a terminal state (or ctx to end) and
+// returns its final status. It prefers the server's SSE event stream
+// (GET /v1/jobs/{id}/events) — one long-lived connection instead of a
+// poll per interval — and falls back to polling every poll (<= 0 means
+// the WithPollInterval setting, default DefaultPollInterval) against
+// servers without the stream.
 func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (jobs.Status, error) {
+	if st, err := c.FollowJob(ctx, id, nil); err == nil {
+		return st, nil
+	} else if ctx.Err() != nil {
+		return st, err
+	}
+	// The stream failed for a reason other than our own cancellation
+	// (old server, proxy buffering, mid-stream disconnect): poll.
+	return c.PollJob(ctx, id, poll)
+}
+
+// PollJob is the polling half of WaitJob: it re-fetches the job's
+// status every poll interval (<= 0 means the WithPollInterval setting)
+// until a terminal state. Callers that already know SSE is unavailable
+// — e.g. after their own FollowJob attempt failed — use it directly to
+// avoid WaitJob's redundant second stream attempt.
+func (c *Client) PollJob(ctx context.Context, id string, poll time.Duration) (jobs.Status, error) {
 	if poll <= 0 {
-		poll = 50 * time.Millisecond
+		poll = c.pollInterval
+	}
+	if poll <= 0 {
+		poll = DefaultPollInterval
 	}
 	t := time.NewTicker(poll)
 	defer t.Stop()
@@ -571,6 +670,74 @@ func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (jo
 		case <-t.C:
 		}
 	}
+}
+
+// FollowJob subscribes to a job's SSE progress stream
+// (GET /v1/jobs/{id}/events), invoking fn (which may be nil) for every
+// status event — state transitions and step-boundary checkpoints, each
+// carrying budget spent, edges sampled and the current partial
+// estimate — and returns the terminal status. The error is non-nil when
+// the stream could not be opened or broke before a terminal event;
+// callers wanting the polling fallback use WaitJob.
+func (c *Client) FollowJob(ctx context.Context, id string, fn func(jobs.Status)) (jobs.Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return jobs.Status{}, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return jobs.Status{}, fmt.Errorf("netgraph: job events %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return jobs.Status{}, fmt.Errorf("netgraph: job events %s: status %d: %s",
+			id, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		return jobs.Status{}, fmt.Errorf("netgraph: job events %s: not an event stream (%s)", id, ct)
+	}
+
+	var last jobs.Status
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<14), 1<<20)
+	var data []byte
+	flush := func() error {
+		if len(data) == 0 {
+			return nil
+		}
+		var st jobs.Status
+		if err := json.Unmarshal(data, &st); err != nil {
+			return fmt.Errorf("netgraph: decoding job event: %w", err)
+		}
+		data = nil
+		last = st
+		if fn != nil {
+			fn(st)
+		}
+		return nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return last, err
+			}
+			if last.State.Terminal() {
+				return last, nil
+			}
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		default:
+			// "event:" tags, comments and ids carry no payload we need.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return last, fmt.Errorf("netgraph: job events %s: %w", id, err)
+	}
+	return last, fmt.Errorf("netgraph: job events %s: stream ended before a terminal state", id)
 }
 
 // Health fetches the server's liveness summary (GET /healthz).

@@ -1,0 +1,59 @@
+package netgraph
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"frontier/internal/gen"
+	"frontier/internal/jobs"
+	"frontier/internal/xrand"
+)
+
+// routeSpan matches a backticked method-qualified route in the docs,
+// e.g. `GET /v1/meta`.
+var routeSpan = regexp.MustCompile("`(GET|POST|PUT|PATCH|DELETE) (/[^` ]*)`")
+
+// TestAPIDocCoversEveryRoute diffs the server's registered route table
+// against docs/API.md in both directions: every route must be
+// documented, and every documented route must exist. This is the
+// acceptance criterion keeping the API reference honest.
+func TestAPIDocCoversEveryRoute(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "docs", "API.md"))
+	if err != nil {
+		t.Fatalf("docs/API.md must exist: %v", err)
+	}
+
+	g := gen.BarabasiAlbert(xrand.New(1), 50, 2)
+	mgr, err := jobs.NewManager(g, jobs.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+	srv := NewServer("doc", g, nil, WithJobs(mgr))
+
+	registered := make(map[string]bool)
+	for _, route := range srv.Routes() {
+		registered[route] = true
+	}
+
+	documented := make(map[string]bool)
+	for _, m := range routeSpan.FindAllStringSubmatch(string(doc), -1) {
+		documented[m[1]+" "+m[2]] = true
+	}
+
+	for route := range registered {
+		if !documented[route] {
+			t.Errorf("route %q is registered but not documented in docs/API.md", route)
+		}
+	}
+	for route := range documented {
+		if !registered[route] {
+			t.Errorf("docs/API.md documents %q, which is not a registered route", route)
+		}
+	}
+	if len(registered) == 0 {
+		t.Fatal("route table is empty")
+	}
+}

@@ -1,5 +1,5 @@
-// Package netgraph exposes a graph over HTTP and lets the samplers crawl
-// it across the network.
+// Package netgraph exposes graphs over HTTP and lets the samplers crawl
+// them across the network.
 //
 // Real deployments of the paper's methods crawl an online social
 // network's web API: each vertex query returns the user's incoming and
@@ -8,13 +8,20 @@
 //
 //   - Server: a net/http handler serving vertex neighborhoods and graph
 //     metadata as JSON (mounted by cmd/graphd), with gzip response
-//     compression, a batch vertex endpoint, request counters, and
-//     optional injected per-request latency to model slow OSN APIs;
+//     compression, a batch vertex endpoint, request counters, Prometheus
+//     /metrics, and optional injected per-request latency to model slow
+//     OSN APIs. A server hosts a whole Catalog of named graphs: graphs
+//     can be listed, hot-loaded and evicted over HTTP, every data
+//     endpoint routes by graph name (with a default-graph fallback for
+//     single-graph deployments), and the sampling-job endpoints stream
+//     progress over SSE;
 //   - Client: an HTTP client with a bounded LRU vertex cache,
 //     single-flight fetch deduplication and batched prefetch; it
 //     implements crawl.Source, crawl.BatchSource and estimate.EdgeView,
 //     so every sampler and estimator in this repository runs unmodified
 //     against a remote graph.
+//
+// See docs/API.md for the complete HTTP API reference.
 package netgraph
 
 import (
@@ -23,39 +30,54 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"frontier/internal/graph"
+	"frontier/internal/graphio"
 	"frontier/internal/jobs"
 )
 
-// Meta describes the served graph.
+// Meta describes one served graph.
 type Meta struct {
-	NumVertices      int    `json:"num_vertices"`
-	NumDirectedEdges int    `json:"num_directed_edges"`
-	NumSymEdges      int    `json:"num_sym_edges"`
-	NumGroups        int    `json:"num_groups"`
-	Name             string `json:"name,omitempty"`
+	// NumVertices is |V|.
+	NumVertices int `json:"num_vertices"`
+	// NumDirectedEdges is |Ed|.
+	NumDirectedEdges int `json:"num_directed_edges"`
+	// NumSymEdges is |E|, the symmetric edge count.
+	NumSymEdges int `json:"num_sym_edges"`
+	// NumGroups is the number of group labels (0 when unlabeled).
+	NumGroups int `json:"num_groups"`
+	// Name is the graph's catalog name.
+	Name string `json:"name,omitempty"`
 }
 
 // VertexRecord is the response to a vertex query: everything the
 // paper's access model reveals when a vertex is crawled.
 type VertexRecord struct {
-	ID           int     `json:"id"`
-	SymDegree    int     `json:"sym_degree"`
-	InDegree     int     `json:"in_degree"`
-	OutDegree    int     `json:"out_degree"`
+	// ID is the queried vertex id.
+	ID int `json:"id"`
+	// SymDegree is the vertex's degree in the symmetric view.
+	SymDegree int `json:"sym_degree"`
+	// InDegree is the directed in-degree.
+	InDegree int `json:"in_degree"`
+	// OutDegree is the directed out-degree.
+	OutDegree int `json:"out_degree"`
+	// SymNeighbors lists the symmetric neighbors, ascending.
 	SymNeighbors []int32 `json:"sym_neighbors"`
+	// OutNeighbors lists the directed out-neighbors, ascending.
 	OutNeighbors []int32 `json:"out_neighbors"`
-	Groups       []int32 `json:"groups,omitempty"`
+	// Groups lists the vertex's group labels, when the graph has any.
+	Groups []int32 `json:"groups,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/vertices: the ids to fetch in one
 // round trip.
 type BatchRequest struct {
+	// IDs are the vertex ids to fetch.
 	IDs []int `json:"ids"`
 }
 
@@ -63,17 +85,33 @@ type BatchRequest struct {
 // order of the requested ids, with duplicates collapsed to their first
 // occurrence.
 type BatchResponse struct {
+	// Vertices holds one record per distinct requested id.
 	Vertices []VertexRecord `json:"vertices"`
 }
 
+// GraphList is the GET /v1/graphs response.
+type GraphList struct {
+	// Graphs lists the hosted graphs sorted by name.
+	Graphs []GraphInfo `json:"graphs"`
+	// Default names the graph unqualified requests route to ("" when
+	// none is set).
+	Default string `json:"default,omitempty"`
+}
+
 // ServerStats are the monotonically increasing request counters exposed
-// at GET /v1/stats.
+// at GET /v1/stats, aggregated over all hosted graphs (per-graph
+// breakdowns live at GET /metrics).
 type ServerStats struct {
-	Requests       int64 `json:"requests"`        // all requests, any endpoint
-	MetaRequests   int64 `json:"meta_requests"`   // GET /v1/meta
-	VertexRequests int64 `json:"vertex_requests"` // GET /v1/vertex/{id}
-	BatchRequests  int64 `json:"batch_requests"`  // POST /v1/vertices
-	VerticesServed int64 `json:"vertices_served"` // vertex records sent (single + batched)
+	// Requests counts all requests on any endpoint.
+	Requests int64 `json:"requests"`
+	// MetaRequests counts GET /v1/meta.
+	MetaRequests int64 `json:"meta_requests"`
+	// VertexRequests counts GET /v1/vertex/{id}.
+	VertexRequests int64 `json:"vertex_requests"`
+	// BatchRequests counts POST /v1/vertices.
+	BatchRequests int64 `json:"batch_requests"`
+	// VerticesServed counts vertex records sent (single + batched).
+	VerticesServed int64 `json:"vertices_served"`
 }
 
 // ServerOption configures a Server.
@@ -82,14 +120,19 @@ type ServerOption func(*Server)
 // WithLatency injects a fixed sleep before every request is handled,
 // modeling the response time of a real OSN API (the regime the paper's
 // cost model abstracts: each query is a slow network round trip).
-// Experiments use it to measure how well batching hides latency.
+// Experiments use it to measure how well batching hides latency. The
+// observability endpoints (/healthz, /metrics) and the SSE job-event
+// stream are exempt: probes and dashboards must stay cheap even when
+// the served API is modeled as slow.
 func WithLatency(d time.Duration) ServerOption {
 	return func(s *Server) { s.latency = d }
 }
 
 // WithJobs mounts the sampling-job endpoints (POST /v1/jobs,
-// GET /v1/jobs/{id}, POST /v1/jobs/{id}/cancel) backed by m, which the
-// caller owns: the server does not stop the manager on shutdown.
+// GET /v1/jobs/{id}, GET /v1/jobs/{id}/events, POST /v1/jobs/{id}/cancel)
+// backed by m, which the caller owns: the server does not stop the
+// manager on shutdown. Build the manager with jobs.WithResolver over the
+// server's Catalog so job specs can name any hosted graph.
 func WithJobs(m *jobs.Manager) ServerOption {
 	return func(s *Server) { s.jobs = m }
 }
@@ -104,14 +147,18 @@ const MaxBatchIDs = 4096
 // ids at ~20 digits each fit comfortably in 1 MiB.
 const maxBatchBodyBytes = 1 << 20
 
-// Server serves a graph (and optional group labels) over HTTP. All
-// responses are gzip-compressed when the client accepts it. Safe for
-// concurrent use.
+// MaxGraphUploadBytes bounds the POST /v1/graphs body. 256 MiB of edge
+// list is far beyond anything the in-memory catalog should be asked to
+// hold per request, while still fitting every experiment dataset.
+const MaxGraphUploadBytes = 256 << 20
+
+// Server serves a catalog of graphs (and optional group labels) over
+// HTTP. All JSON responses are gzip-compressed when the client accepts
+// it. Safe for concurrent use.
 type Server struct {
-	name    string
-	g       *graph.Graph
-	groups  *graph.GroupLabels
+	cat     *Catalog
 	mux     *http.ServeMux
+	routes  []string
 	latency time.Duration
 	jobs    *jobs.Manager
 	started time.Time
@@ -123,26 +170,73 @@ type Server struct {
 	verticesServed atomic.Int64
 }
 
-// NewServer creates a server for g. groups may be nil.
+// NewServer creates a single-graph server: a catalog hosting g (groups
+// may be nil) under name, which becomes the default graph. More graphs
+// can be added later through the catalog or POST /v1/graphs. An empty
+// name is hosted as "default".
 func NewServer(name string, g *graph.Graph, groups *graph.GroupLabels, opts ...ServerOption) *Server {
-	s := &Server{name: name, g: g, groups: groups, mux: http.NewServeMux(), started: time.Now()}
+	if name == "" {
+		name = "default"
+	}
+	cat := NewCatalog()
+	if err := cat.Add(name, g, groups); err != nil {
+		// Reachable only for a nil graph: fail loudly rather than serve
+		// an empty catalog under a constructor that promises one graph.
+		panic(err)
+	}
+	return NewCatalogServer(cat, opts...)
+}
+
+// NewCatalogServer creates a server over an existing catalog (which may
+// be empty, to be filled via POST /v1/graphs). The caller may keep
+// adding and removing graphs concurrently; cmd/graphd uses this with a
+// jobs.Manager resolving through the same catalog.
+func NewCatalogServer(cat *Catalog, opts ...ServerOption) *Server {
+	s := &Server{cat: cat, mux: http.NewServeMux(), started: time.Now()}
 	for _, opt := range opts {
 		opt(s)
 	}
-	s.mux.HandleFunc("GET /v1/meta", s.handleMeta)
-	s.mux.HandleFunc("GET /v1/vertex/{id}", s.handleVertex)
-	s.mux.HandleFunc("POST /v1/vertices", s.handleBatch)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.handle("GET /v1/meta", s.handleMeta)
+	s.handle("GET /v1/vertex/{id}", s.handleVertex)
+	s.handle("POST /v1/vertices", s.handleBatch)
+	s.handle("GET /v1/graphs", s.handleListGraphs)
+	s.handle("POST /v1/graphs", s.handleLoadGraph)
+	s.handle("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
+	s.handle("GET /v1/stats", s.handleStats)
+	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("GET /healthz", s.handleHealth)
 	if s.jobs != nil {
-		s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
-		s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
-		s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancelJob)
+		s.handle("POST /v1/jobs", s.handleSubmitJob)
+		s.handle("GET /v1/jobs", s.handleListJobs)
+		s.handle("GET /v1/jobs/{id}", s.handleGetJob)
+		s.handle("GET /v1/jobs/{id}/events", s.handleJobEvents)
+		s.handle("POST /v1/jobs/{id}/cancel", s.handleCancelJob)
 	}
 	return s
 }
 
-// Stats returns a snapshot of the request counters.
+// handle registers a handler and records its pattern in the route
+// table.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.routes = append(s.routes, pattern)
+	s.mux.HandleFunc(pattern, h)
+}
+
+// Routes returns the method-qualified route patterns the server
+// registered (e.g. "GET /v1/meta"), sorted. The docs test diffs this
+// table against docs/API.md so the reference cannot silently drift from
+// the code.
+func (s *Server) Routes() []string {
+	out := make([]string, len(s.routes))
+	copy(out, s.routes)
+	sort.Strings(out)
+	return out
+}
+
+// Catalog returns the server's graph catalog.
+func (s *Server) Catalog() *Catalog { return s.cat }
+
+// Stats returns a snapshot of the aggregate request counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
 		Requests:       s.requests.Load(),
@@ -153,61 +247,105 @@ func (s *Server) Stats() ServerStats {
 	}
 }
 
-// ServeHTTP implements http.Handler. The injected latency does not
-// apply to /healthz: liveness probes must stay cheap even when the
-// served API is modeled as slow.
+// latencyExempt reports whether a path skips the injected latency:
+// liveness probes, metrics scrapes and the SSE event stream must stay
+// cheap even when the served API is modeled as slow.
+func latencyExempt(r *http.Request) bool {
+	return r.URL.Path == "/healthz" || r.URL.Path == "/metrics" ||
+		strings.HasSuffix(r.URL.Path, "/events")
+}
+
+// ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	if s.latency > 0 && r.URL.Path != "/healthz" {
+	if s.latency > 0 && !latencyExempt(r) {
 		time.Sleep(s.latency)
 	}
 	s.mux.ServeHTTP(w, r)
 }
 
+// graphFor resolves the request's ?graph= parameter (empty = default
+// graph) against the catalog.
+func (s *Server) graphFor(r *http.Request) (*hostedGraph, error) {
+	return s.cat.lookup(r.URL.Query().Get("graph"))
+}
+
+// catalogError writes the HTTP mapping of a catalog lookup failure.
+func catalogError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownGraph):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrGraphBusy):
+		code = http.StatusConflict
+	case errors.Is(err, ErrDuplicateGraph):
+		code = http.StatusConflict
+	}
+	http.Error(w, err.Error(), code)
+}
+
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	s.metaRequests.Add(1)
+	hg, err := s.graphFor(r)
+	if err != nil {
+		catalogError(w, err)
+		return
+	}
 	numGroups := 0
-	if s.groups != nil {
-		numGroups = s.groups.NumGroups()
+	if hg.groups != nil {
+		numGroups = hg.groups.NumGroups()
 	}
 	writeJSON(w, r, Meta{
-		NumVertices:      s.g.NumVertices(),
-		NumDirectedEdges: s.g.NumDirectedEdges(),
-		NumSymEdges:      s.g.NumSymEdges(),
+		NumVertices:      hg.g.NumVertices(),
+		NumDirectedEdges: hg.g.NumDirectedEdges(),
+		NumSymEdges:      hg.g.NumSymEdges(),
 		NumGroups:        numGroups,
-		Name:             s.name,
+		Name:             hg.name,
 	})
 }
 
-// record builds the VertexRecord for a valid id.
-func (s *Server) record(id int) VertexRecord {
+// record builds the VertexRecord for a valid id of hg.
+func record(hg *hostedGraph, id int) VertexRecord {
 	rec := VertexRecord{
 		ID:           id,
-		SymDegree:    s.g.SymDegree(id),
-		InDegree:     s.g.InDegree(id),
-		OutDegree:    s.g.OutDegree(id),
-		SymNeighbors: s.g.SymNeighbors(id),
-		OutNeighbors: s.g.OutNeighbors(id),
+		SymDegree:    hg.g.SymDegree(id),
+		InDegree:     hg.g.InDegree(id),
+		OutDegree:    hg.g.OutDegree(id),
+		SymNeighbors: hg.g.SymNeighbors(id),
+		OutNeighbors: hg.g.OutNeighbors(id),
 	}
-	if s.groups != nil {
-		rec.Groups = s.groups.Groups(id)
+	if hg.groups != nil {
+		rec.Groups = hg.groups.Groups(id)
 	}
 	return rec
 }
 
 func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 	s.vertexRequests.Add(1)
+	hg, err := s.graphFor(r)
+	if err != nil {
+		catalogError(w, err)
+		return
+	}
+	hg.vertexRequests.Add(1)
 	id, err := strconv.Atoi(r.PathValue("id"))
-	if err != nil || id < 0 || id >= s.g.NumVertices() {
+	if err != nil || id < 0 || id >= hg.g.NumVertices() {
 		http.Error(w, "no such vertex", http.StatusNotFound)
 		return
 	}
 	s.verticesServed.Add(1)
-	writeJSON(w, r, s.record(id))
+	hg.verticesServed.Add(1)
+	writeJSON(w, r, record(hg, id))
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.batchRequests.Add(1)
+	hg, err := s.graphFor(r)
+	if err != nil {
+		catalogError(w, err)
+		return
+	}
+	hg.batchRequests.Add(1)
 	var req BatchRequest
 	body := http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -226,7 +364,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	resp := BatchResponse{Vertices: make([]VertexRecord, 0, len(req.IDs))}
 	seen := make(map[int]bool, len(req.IDs))
 	for _, id := range req.IDs {
-		if id < 0 || id >= s.g.NumVertices() {
+		if id < 0 || id >= hg.g.NumVertices() {
 			http.Error(w, fmt.Sprintf("no such vertex %d", id), http.StatusNotFound)
 			return
 		}
@@ -234,10 +372,71 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		seen[id] = true
-		resp.Vertices = append(resp.Vertices, s.record(id))
+		resp.Vertices = append(resp.Vertices, record(hg, id))
 	}
 	s.verticesServed.Add(int64(len(resp.Vertices)))
+	hg.verticesServed.Add(int64(len(resp.Vertices)))
 	writeJSON(w, r, resp)
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, r, GraphList{Graphs: s.cat.List(), Default: s.cat.DefaultName()})
+}
+
+// handleLoadGraph hot-loads a graph into the catalog:
+//
+//	POST /v1/graphs?name={name}&format={text|binary|json}
+//
+// with the graph file as the request body, parsed by internal/graphio
+// (the same readers the CLI tools use). Responds 201 with the new
+// graph's GraphInfo.
+func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		http.Error(w, "missing ?name=", http.StatusBadRequest)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = graphio.FormatText
+	}
+	body := http.MaxBytesReader(w, r.Body, MaxGraphUploadBytes)
+	g, err := graphio.Read(body, format)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("graph body exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "bad graph upload: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.cat.Add(name, g, nil); err != nil {
+		catalogError(w, err)
+		return
+	}
+	// Build the response from the graph just added, not a catalog scan:
+	// a concurrent DELETE must not leave this 201 without a body.
+	info := GraphInfo{
+		Name:             name,
+		NumVertices:      g.NumVertices(),
+		NumDirectedEdges: g.NumDirectedEdges(),
+		NumSymEdges:      g.NumSymEdges(),
+		Default:          s.cat.DefaultName() == name,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	_ = json.NewEncoder(w).Encode(info)
+}
+
+// handleDeleteGraph evicts a graph. 409 Conflict while running jobs pin
+// it; 404 for unknown names; 204 on success.
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	if err := s.cat.Remove(r.PathValue("name")); err != nil {
+		catalogError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -246,21 +445,32 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // Health is the GET /healthz response: a cheap liveness summary.
 type Health struct {
-	Status        string  `json:"status"`
-	Name          string  `json:"name,omitempty"`
-	NumVertices   int     `json:"num_vertices"`
+	// Status is "ok" whenever the handler answers.
+	Status string `json:"status"`
+	// Name is the default graph's name ("" when the catalog has none).
+	Name string `json:"name,omitempty"`
+	// NumVertices is the default graph's vertex count (0 when the
+	// catalog has no default graph).
+	NumVertices int `json:"num_vertices"`
+	// Graphs is the number of hosted graphs.
+	Graphs int `json:"graphs"`
+	// UptimeSeconds is the time since the server was created.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Workers and ActiveJobs are zero when the job service is disabled.
-	Workers    int `json:"workers"`
+	Workers int `json:"workers"`
+	// ActiveJobs counts jobs not yet in a terminal state.
 	ActiveJobs int `json:"active_jobs"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	h := Health{
 		Status:        "ok",
-		Name:          s.name,
-		NumVertices:   s.g.NumVertices(),
+		Graphs:        s.cat.Len(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
+	}
+	if g, _, err := s.cat.Graph(""); err == nil {
+		h.Name = s.cat.DefaultName()
+		h.NumVertices = g.NumVertices()
 	}
 	if s.jobs != nil {
 		h.Workers = s.jobs.Workers()
@@ -288,6 +498,8 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusServiceUnavailable
 		case errors.Is(err, jobs.ErrStopped):
 			code = http.StatusServiceUnavailable
+		case errors.Is(err, ErrUnknownGraph):
+			code = http.StatusNotFound
 		}
 		http.Error(w, err.Error(), code)
 		return
@@ -295,6 +507,21 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	_ = json.NewEncoder(w).Encode(j.Status())
+}
+
+// JobList is the GET /v1/jobs response.
+type JobList struct {
+	// Jobs holds every tracked job's status in submission order.
+	Jobs []jobs.Status `json:"jobs"`
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	all := s.jobs.Jobs()
+	out := JobList{Jobs: make([]jobs.Status, 0, len(all))}
+	for _, j := range all {
+		out.Jobs = append(out.Jobs, j.Status())
+	}
+	writeJSON(w, r, out)
 }
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
@@ -306,6 +533,61 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, r, j.Status())
 }
 
+// handleJobEvents streams a job's progress as Server-Sent Events: one
+// "status" event (data: the job's Status JSON) per observed change —
+// state transitions and step-boundary checkpoints — starting with the
+// current status and ending after the terminal one. Clients consume it
+// instead of polling GET /v1/jobs/{id}; the netgraph client's WaitJob
+// prefers this path and falls back to polling when it is unavailable.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	// The stream outlives any server read or write deadline; clear both
+	// so slow jobs are not cut off mid-stream — a server ReadTimeout
+	// would otherwise fire its whole-connection deadline ~10s in and
+	// cancel the request context (ignored where unsupported).
+	rc := http.NewResponseController(w)
+	_ = rc.SetWriteDeadline(time.Time{})
+	_ = rc.SetReadDeadline(time.Time{})
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	wake, stop := j.Watch()
+	defer stop()
+	last := int64(-1)
+	for {
+		st, v := j.StatusVersion()
+		if v != last {
+			last = v
+			data, err := json.Marshal(st)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: status\ndata: %s\n\n", data); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+		if st.State.Terminal() {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-wake:
+		}
+	}
+}
+
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if err := s.jobs.Cancel(id); err != nil {
@@ -314,6 +596,103 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	}
 	j, _ := s.jobs.Get(id)
 	writeJSON(w, r, j.Status())
+}
+
+// promEscape escapes a Prometheus label value (backslash, quote,
+// newline).
+func promEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// handleMetrics serves the Prometheus text exposition format: aggregate
+// request counters, per-graph traffic and size gauges, and — when the
+// job service is mounted — worker-pool occupancy, queue depth, per-graph
+// per-state job counts and the age of the newest checkpoint.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("graphd_requests_total", "Requests on any endpoint.", s.requests.Load())
+	counter("graphd_meta_requests_total", "GET /v1/meta requests.", s.metaRequests.Load())
+	counter("graphd_vertex_requests_total", "GET /v1/vertex/{id} requests.", s.vertexRequests.Load())
+	counter("graphd_batch_requests_total", "POST /v1/vertices requests.", s.batchRequests.Load())
+	counter("graphd_vertices_served_total", "Vertex records sent (single + batched).", s.verticesServed.Load())
+
+	fmt.Fprintf(&b, "# HELP graphd_uptime_seconds Time since the server started.\n# TYPE graphd_uptime_seconds gauge\ngraphd_uptime_seconds %g\n",
+		time.Since(s.started).Seconds())
+	fmt.Fprintf(&b, "# HELP graphd_graphs Hosted graphs in the catalog.\n# TYPE graphd_graphs gauge\ngraphd_graphs %d\n", s.cat.Len())
+
+	infos := s.cat.List()
+	perGraph := func(name, help, typ string, value func(GraphInfo) string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, info := range infos {
+			fmt.Fprintf(&b, "%s{graph=%q} %s\n", name, promEscape(info.Name), value(info))
+		}
+	}
+	if len(infos) > 0 {
+		perGraph("graphd_graph_vertices", "Vertices per hosted graph.", "gauge",
+			func(i GraphInfo) string { return strconv.Itoa(i.NumVertices) })
+		perGraph("graphd_graph_sym_edges", "Symmetric edges per hosted graph.", "gauge",
+			func(i GraphInfo) string { return strconv.Itoa(i.NumSymEdges) })
+		perGraph("graphd_graph_pins", "Running jobs pinning each graph.", "gauge",
+			func(i GraphInfo) string { return strconv.Itoa(i.Pins) })
+		s.cat.mu.Lock()
+		type counts struct{ vertex, batch, served int64 }
+		byName := make(map[string]counts, len(s.cat.graphs))
+		for name, hg := range s.cat.graphs {
+			byName[name] = counts{hg.vertexRequests.Load(), hg.batchRequests.Load(), hg.verticesServed.Load()}
+		}
+		s.cat.mu.Unlock()
+		perGraph("graphd_graph_vertex_requests_total", "Vertex requests per graph.", "counter",
+			func(i GraphInfo) string { return strconv.FormatInt(byName[i.Name].vertex, 10) })
+		perGraph("graphd_graph_batch_requests_total", "Batch requests per graph.", "counter",
+			func(i GraphInfo) string { return strconv.FormatInt(byName[i.Name].batch, 10) })
+		perGraph("graphd_graph_vertices_served_total", "Vertex records served per graph.", "counter",
+			func(i GraphInfo) string { return strconv.FormatInt(byName[i.Name].served, 10) })
+	}
+
+	if s.jobs != nil {
+		fmt.Fprintf(&b, "# HELP graphd_job_workers Job worker pool size.\n# TYPE graphd_job_workers gauge\ngraphd_job_workers %d\n", s.jobs.Workers())
+		fmt.Fprintf(&b, "# HELP graphd_job_workers_busy Workers currently running a job.\n# TYPE graphd_job_workers_busy gauge\ngraphd_job_workers_busy %d\n", s.jobs.BusyWorkers())
+		fmt.Fprintf(&b, "# HELP graphd_job_queue_depth Jobs waiting for a worker.\n# TYPE graphd_job_queue_depth gauge\ngraphd_job_queue_depth %d\n", s.jobs.QueueDepth())
+		if last := s.jobs.LastCheckpoint(); !last.IsZero() {
+			fmt.Fprintf(&b, "# HELP graphd_job_checkpoint_age_seconds Age of the newest job checkpoint.\n# TYPE graphd_job_checkpoint_age_seconds gauge\ngraphd_job_checkpoint_age_seconds %g\n",
+				time.Since(last).Seconds())
+		}
+		type key struct {
+			graph string
+			state jobs.State
+		}
+		jc := make(map[key]int)
+		for _, j := range s.jobs.Jobs() {
+			st := j.Status()
+			g := st.Spec.Graph
+			if g == "" {
+				g = s.cat.DefaultName()
+			}
+			jc[key{g, st.State}]++
+		}
+		fmt.Fprintf(&b, "# HELP graphd_jobs Jobs per graph and state.\n# TYPE graphd_jobs gauge\n")
+		keys := make([]key, 0, len(jc))
+		for k := range jc {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a].graph != keys[b].graph {
+				return keys[a].graph < keys[b].graph
+			}
+			return keys[a].state < keys[b].state
+		})
+		for _, k := range keys {
+			fmt.Fprintf(&b, "graphd_jobs{graph=%q,state=%q} %d\n", promEscape(k.graph), k.state, jc[k])
+		}
+	}
+
+	_, _ = w.Write([]byte(b.String()))
 }
 
 // acceptsGzip reports whether the Accept-Encoding header allows a gzip
