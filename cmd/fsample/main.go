@@ -6,8 +6,9 @@
 //	fsample -graph g.fgrb -method fs -m 100 -budget 5000 -estimate degree
 //	fsample -url http://localhost:8080 -method fs -m 64 -budget 2000 -estimate clustering
 //	fsample -graph g.fg -method single -budget 1000 -estimate assortativity
+//	fsample -graph g.fg -method fs -m 64 -budget 1e6 -estimate avgdegree -stop-ci 0.01 -json
 //	fsample -url http://localhost:8080 -graph web -remote-job -follow \
-//	    -method fs -m 64 -budget 100000 -estimate avgdegree
+//	    -method fs -m 64 -budget 100000 -estimate avgdegree -stop-ci 0.05
 //
 // Methods: fs, dfs, single, multiple, mhrw, rv, re.
 // Estimates: degree (CCDF of the in/out/sym distribution), clustering,
@@ -21,21 +22,37 @@
 // -batch sets the prefetch batch size, and -prefetch controls how often
 // FS prefetches its frontier's neighborhoods (default m/2 when remote).
 //
+// Adaptive stopping: -stop-ci ε attaches the live estimation subsystem
+// (internal/live) to the run and halts it as soon as the estimate's
+// ~95% confidence half-width is at most ε — locally by cancelling the
+// session, remotely by submitting the job with a
+// "ci_halfwidth<=ε" stop rule. The result then reports a "converged:"
+// stop reason instead of "budget". -stop-ci and -json need an
+// edge-sampling method (fs, dfs, single, multiple, re) and, for the
+// degree estimate, -kind sym.
+//
+// -json prints the final result — estimate, confidence interval, steps
+// used, stop reason, cache hit ratio — as a single machine-readable
+// JSON object on stdout (human-readable progress still goes to the
+// usual streams).
+//
 // -remote-job submits the run to the graphd job service instead of
 // crawling client-side: the server samples the selected hosted graph in
-// a worker pool and fsample waits for the job — streaming progress over
-// SSE with -follow (one line per state change or checkpoint), otherwise
-// waiting silently (SSE when available, else polling every -poll).
-// Only -method, -m, -budget, -seed, -estimate and -graph apply in this
-// mode (the client-crawl flags -cache-cap/-batch/-prefetch/-kind/
-// -diagnose are meaningless server-side, and -hit-ratio is rejected
-// rather than ignored). -timeout bounds the whole run (local or remote)
-// through a context; on expiry, in-flight HTTP requests abort and local
-// sampling unwinds at the next budget charge.
+// a worker pool and fsample waits for the job — with -follow streaming
+// the live estimate frames over SSE (one line per report: value, CI,
+// ESS, R-hat), otherwise waiting silently (SSE when available, else
+// polling every -poll). Only -method, -m, -budget, -seed, -estimate,
+// -stop-ci and -graph apply in this mode (the client-crawl flags
+// -cache-cap/-batch/-prefetch/-kind/-diagnose are meaningless
+// server-side, and -hit-ratio is rejected rather than ignored).
+// -timeout bounds the whole run (local or remote) through a context; on
+// expiry, in-flight HTTP requests abort and local sampling unwinds at
+// the next budget charge.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -48,6 +65,7 @@ import (
 	"frontier/internal/graph"
 	"frontier/internal/graphio"
 	"frontier/internal/jobs"
+	"frontier/internal/live"
 	"frontier/internal/netgraph"
 	"frontier/internal/stats"
 	"frontier/internal/walkstats"
@@ -66,11 +84,13 @@ func main() {
 		kindStr   = flag.String("kind", "sym", "degree kind: in | out | sym")
 		hitRatio  = flag.Float64("hit-ratio", 1, "random-vertex hit ratio h")
 		diagnose  = flag.Bool("diagnose", false, "report convergence diagnostics (Geweke z, ESS) on the walk")
+		stopCI    = flag.Float64("stop-ci", 0, "adaptive stop: halt once the estimate's ~95% CI half-width is <= this (0 = run to budget)")
+		jsonOut   = flag.Bool("json", false, "print the final result as one machine-readable JSON object on stdout")
 		cacheCap  = flag.Int("cache-cap", netgraph.DefaultCacheCapacity, "remote client vertex-cache capacity (LRU records; <= 0 unbounded)")
 		batchSize = flag.Int("batch", netgraph.DefaultBatchSize, "remote client prefetch batch size")
 		prefetch  = flag.Int("prefetch", -1, "FS frontier-prefetch interval in steps (0 off, -1 auto: m/2 when remote)")
 		remoteJob = flag.Bool("remote-job", false, "submit the run to graphd's job service (-url) and wait for it instead of crawling client-side")
-		follow    = flag.Bool("follow", false, "with -remote-job, stream job progress over SSE and print each update")
+		follow    = flag.Bool("follow", false, "with -remote-job, stream live estimate frames over SSE and print each update")
 		poll      = flag.Duration("poll", 0, "with -remote-job, polling interval when SSE is unavailable (0 = client default)")
 		timeout   = flag.Duration("timeout", 0, "overall run timeout (0 = none); cancels in-flight requests and unwinds sampling")
 	)
@@ -98,6 +118,7 @@ func main() {
 		runRemoteJob(ctx, remoteJobConfig{
 			url: *url, graph: *graphPath, method: *methodStr,
 			m: *m, budget: *budget, seed: *seed, est: *est,
+			stopCI: *stopCI, jsonOut: *jsonOut,
 			follow: *follow, poll: *poll,
 		})
 		return
@@ -155,7 +176,6 @@ func main() {
 
 	model := crawl.UnitCosts()
 	model.VertexHitRatio = *hitRatio
-	sess := crawl.NewSessionContext(ctx, src, *budget, model, xrand.New(*seed))
 
 	// -prefetch -1 resolves to m/2 on remote graphs (batch the frontier's
 	// neighborhoods to hide round-trip latency) and off for local files,
@@ -192,6 +212,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fsample: unknown method %q\n", *methodStr)
 		os.Exit(2)
 	}
+
+	// The live path (adaptive stopping and/or JSON results) routes the
+	// run through internal/live so every estimate gains a confidence
+	// interval and a stop verdict; the classic path below is unchanged.
+	if *stopCI > 0 || *jsonOut {
+		if sampler == nil {
+			fmt.Fprintf(os.Stderr, "fsample: -stop-ci/-json need an edge-sampling method (fs, dfs, single, multiple or re), not %q\n", *methodStr)
+			os.Exit(2)
+		}
+		if *est == "degree" && kind != graph.SymDeg {
+			fmt.Fprintln(os.Stderr, "fsample: the live degree estimator tracks sym degrees; use -kind sym (or drop -stop-ci/-json)")
+			os.Exit(2)
+		}
+		runLocalLive(ctx, localLiveConfig{
+			src: src, method: *methodStr, sampler: sampler, runSafe: runSafe,
+			model: model, budget: *budget, seed: *seed,
+			est: *est, stopCI: *stopCI, jsonOut: *jsonOut,
+			isRemote: isRemote,
+		})
+		return
+	}
+
+	sess := crawl.NewSessionContext(ctx, src, *budget, model, xrand.New(*seed))
 
 	ignoreExhaustion := func(err error) error {
 		if errors.Is(err, crawl.ErrBudgetExhausted) {
@@ -250,14 +293,7 @@ func main() {
 	fmt.Printf("budget spent: %.0f (steps %d, vertex queries %d, misses %d)\n",
 		st.Spent, st.Steps, st.VertexQueries, st.VertexMisses)
 	if isRemote {
-		c := src.(*netgraph.Client)
-		hits, misses := c.CacheStats()
-		ratio := 0.0
-		if hits+misses > 0 {
-			ratio = float64(hits) / float64(hits+misses)
-		}
-		fmt.Printf("remote fetches: %d records in %d round trips (cache %d/%d, hit ratio %.2f)\n",
-			c.Fetches(), c.Roundtrips(), c.CacheLen(), c.CacheCapacity(), ratio)
+		printCacheLine(src.(*netgraph.Client))
 	}
 
 	if *diagnose && sampler != nil {
@@ -289,22 +325,197 @@ func main() {
 	}
 }
 
+// liveEstimateName maps fsample's -estimate vocabulary to the live
+// registry's.
+func liveEstimateName(est string) (string, error) {
+	switch est {
+	case "degree":
+		return "degreedist", nil
+	case "clustering", "assortativity", "avgdegree":
+		return est, nil
+	default:
+		return "", fmt.Errorf("fsample: unknown estimate %q", est)
+	}
+}
+
+// jsonResult is the -json output: one machine-readable object holding
+// the final estimate, its confidence interval, the work done and why
+// the run stopped.
+type jsonResult struct {
+	Method        string             `json:"method"`
+	Estimate      string             `json:"estimate"`
+	Value         *float64           `json:"value,omitempty"`
+	CI            *live.Interval     `json:"ci,omitempty"`
+	Vector        *live.VectorResult `json:"vector,omitempty"`
+	Diagnostics   *live.Diagnostics  `json:"diagnostics,omitempty"`
+	Edges         int64              `json:"edges"`
+	BudgetSpent   float64            `json:"budget_spent"`
+	Budget        float64            `json:"budget"`
+	StopReason    string             `json:"stop_reason"`
+	CacheHitRatio *float64           `json:"cache_hit_ratio,omitempty"`
+	JobID         string             `json:"job_id,omitempty"`
+	EdgeHash      string             `json:"edge_hash,omitempty"`
+}
+
+// emitJSON prints the result object on stdout.
+func emitJSON(res jsonResult) {
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(res); err != nil {
+		fmt.Fprintf(os.Stderr, "fsample: encoding result: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// cacheHitRatio returns the client's hit ratio (nil before any lookup).
+func cacheHitRatio(c *netgraph.Client) *float64 {
+	hits, misses := c.CacheStats()
+	if hits+misses == 0 {
+		return nil
+	}
+	r := float64(hits) / float64(hits+misses)
+	return &r
+}
+
+// printCacheLine reports the remote client's fetch/cache counters.
+func printCacheLine(c *netgraph.Client) {
+	ratio := 0.0
+	if r := cacheHitRatio(c); r != nil {
+		ratio = *r
+	}
+	fmt.Printf("remote fetches: %d records in %d round trips (cache %d/%d, hit ratio %.2f)\n",
+		c.Fetches(), c.Roundtrips(), c.CacheLen(), c.CacheCapacity(), ratio)
+}
+
+// localLiveConfig carries the flags of a client-side live-estimation
+// run.
+type localLiveConfig struct {
+	src      crawl.Source
+	method   string // the -method flag value, used verbatim in -json output
+	sampler  core.EdgeSampler
+	runSafe  func(func() error) error
+	model    crawl.CostModel
+	budget   float64
+	seed     uint64
+	est      string
+	stopCI   float64
+	jsonOut  bool
+	isRemote bool
+}
+
+// runLocalLive drives the sampler through a live estimation runtime:
+// the estimate gains a confidence interval, and with a stop-ci bound
+// the session is cancelled the moment the CI is tight enough.
+func runLocalLive(ctx context.Context, cfg localLiveConfig) {
+	name, err := liveEstimateName(cfg.est)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	est, err := live.Default().New(name, cfg.src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
+		os.Exit(1)
+	}
+	var rule *live.StopRule
+	if cfg.stopCI > 0 {
+		rule, err = live.ParseStopRule(fmt.Sprintf("ci_halfwidth<=%g", cfg.stopCI))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	rt := live.NewRuntime(est, live.NewMonitor(live.MonitorConfig{}), rule)
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sess := crawl.NewSessionContext(runCtx, cfg.src, cfg.budget, cfg.model, xrand.New(cfg.seed))
+	tracker, _ := cfg.sampler.(core.WalkerTracker)
+	err = cfg.runSafe(func() error {
+		return cfg.sampler.Run(sess, func(u, v int) {
+			walker := 0
+			if tracker != nil {
+				walker = tracker.LastWalker()
+			}
+			if rep := rt.Observe(walker, u, v); rep != nil && rep.Converged {
+				cancel() // adaptive stop: unwind at the next budget charge
+			}
+		})
+	})
+	converged, reason := rt.Converged()
+	switch {
+	case err == nil || errors.Is(err, crawl.ErrBudgetExhausted):
+	case errors.Is(err, context.Canceled) && converged:
+		// Our own adaptive stop, not an external cancellation.
+	default:
+		fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
+		os.Exit(1)
+	}
+	stopReason := jobs.StopReasonBudget
+	if converged {
+		stopReason = reason
+	}
+
+	rep := rt.Report()
+	st := sess.Stats()
+	if cfg.jsonOut {
+		// Method is the flag vocabulary ("fs"), not the sampler's display
+		// name, so local and remote -json outputs of one spec compare
+		// equal field by field.
+		res := jsonResult{
+			Method:      cfg.method,
+			Estimate:    name,
+			Value:       rep.Value,
+			CI:          rep.CI,
+			Vector:      rep.Vector,
+			Diagnostics: &rep.Diagnostics,
+			Edges:       st.Steps,
+			BudgetSpent: st.Spent,
+			Budget:      cfg.budget,
+			StopReason:  stopReason,
+		}
+		if cfg.isRemote {
+			res.CacheHitRatio = cacheHitRatio(cfg.src.(*netgraph.Client))
+		}
+		emitJSON(res)
+		return
+	}
+	if rep.Vector != nil && rep.Vector.Kind == "degree_ccdf" {
+		printCCDF(rep.Vector.Values)
+	}
+	if rep.Value != nil {
+		line := fmt.Sprintf("%s estimate: %.5f", cfg.est, *rep.Value)
+		if rep.CI != nil {
+			line += fmt.Sprintf(" ± %.5f (95%% CI)", rep.CI.HalfWidth)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("stop reason: %s\n", stopReason)
+	fmt.Printf("budget spent: %.0f of %.0f (steps %d, vertex queries %d, misses %d)\n",
+		st.Spent, cfg.budget, st.Steps, st.VertexQueries, st.VertexMisses)
+	if cfg.isRemote {
+		printCacheLine(cfg.src.(*netgraph.Client))
+	}
+}
+
 // remoteJobConfig carries the flags that apply to a server-side job
 // run.
 type remoteJobConfig struct {
-	url    string
-	graph  string // hosted graph name ("" = server default)
-	method string
-	m      int
-	budget float64
-	seed   uint64
-	est    string
-	follow bool
-	poll   time.Duration
+	url     string
+	graph   string // hosted graph name ("" = server default)
+	method  string
+	m       int
+	budget  float64
+	seed    uint64
+	est     string
+	stopCI  float64
+	jsonOut bool
+	follow  bool
+	poll    time.Duration
 }
 
 // runRemoteJob submits the run as a server-side sampling job, waits for
-// it (streaming progress with -follow) and prints the final status.
+// it (streaming live estimate frames with -follow) and prints the final
+// status.
 func runRemoteJob(ctx context.Context, cfg remoteJobConfig) {
 	c, err := netgraph.Dial(cfg.url, nil,
 		netgraph.WithContext(ctx),
@@ -314,31 +525,46 @@ func runRemoteJob(ctx context.Context, cfg remoteJobConfig) {
 		fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
 		os.Exit(1)
 	}
-	if cfg.est == "degree" {
-		// The job service computes scalar estimates; default to the
-		// average-degree one rather than rejecting fsample's default.
-		cfg.est = "avgdegree"
+	estName, err := liveEstimateName(cfg.est)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	st, err := c.SubmitJob(ctx, jobs.Spec{
+	spec := jobs.Spec{
 		Graph: cfg.graph, Method: cfg.method, M: cfg.m,
-		Budget: cfg.budget, Seed: cfg.seed, Estimate: cfg.est,
-	})
+		Budget: cfg.budget, Seed: cfg.seed, Estimate: estName,
+	}
+	if cfg.stopCI > 0 {
+		spec.StopRule = fmt.Sprintf("ci_halfwidth<=%g", cfg.stopCI)
+	}
+	st, err := c.SubmitJob(ctx, spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("submitted %s (%s on %q, m=%d, budget %.0f)\n",
-		st.ID, cfg.method, st.Spec.Graph, cfg.m, cfg.budget)
+	fmt.Fprintf(os.Stderr, "submitted %s (%s on %q, m=%d, budget %.0f, stop rule %q)\n",
+		st.ID, cfg.method, st.Spec.Graph, cfg.m, cfg.budget, spec.StopRule)
 
 	var final jobs.Status
 	if cfg.follow {
-		final, err = c.FollowJob(ctx, st.ID, func(s jobs.Status) {
-			line := fmt.Sprintf("%s: %s  spent %.0f/%.0f  edges %d",
-				s.ID, s.State, s.Spent, s.Spec.Budget, s.Edges)
-			if s.Estimate != nil {
-				line += fmt.Sprintf("  estimate %.5f", *s.Estimate)
+		final, err = c.FollowEstimates(ctx, st.ID, func(rep live.Report) {
+			line := fmt.Sprintf("%s: n=%d", rep.Estimator, rep.Observations)
+			if rep.Value != nil {
+				line += fmt.Sprintf("  estimate %.5f", *rep.Value)
 			}
-			fmt.Println(line)
+			if rep.CI != nil {
+				line += fmt.Sprintf(" ± %.5f", rep.CI.HalfWidth)
+			}
+			if rep.Diagnostics.ESS != nil {
+				line += fmt.Sprintf("  ess %.0f", *rep.Diagnostics.ESS)
+			}
+			if rep.Diagnostics.RHat != nil {
+				line += fmt.Sprintf("  rhat %.3f", *rep.Diagnostics.RHat)
+			}
+			if rep.Converged {
+				line += "  [converged]"
+			}
+			fmt.Fprintln(os.Stderr, line)
 		})
 		if err != nil && ctx.Err() == nil {
 			// The stream broke without our context expiring (old server,
@@ -363,8 +589,42 @@ func runRemoteJob(ctx context.Context, cfg remoteJobConfig) {
 		fmt.Fprintf(os.Stderr, "fsample: job %s ended %s: %s\n", final.ID, final.State, final.Error)
 		os.Exit(1)
 	}
+	// The estimates endpoint has the CI and diagnostics the status
+	// lacks; best-effort — old servers without it still print the
+	// status-level result.
+	var rep *live.Report
+	if r, rerr := c.JobEstimates(ctx, final.ID); rerr == nil {
+		rep = &r
+	}
+	if cfg.jsonOut {
+		res := jsonResult{
+			Method:      cfg.method,
+			Estimate:    estName,
+			Value:       final.Estimate,
+			Edges:       final.Edges,
+			BudgetSpent: final.Spent,
+			Budget:      cfg.budget,
+			StopReason:  final.StopReason,
+			JobID:       final.ID,
+			EdgeHash:    final.EdgeHash,
+		}
+		if rep != nil {
+			res.CI = rep.CI
+			res.Vector = rep.Vector
+			res.Diagnostics = &rep.Diagnostics
+		}
+		emitJSON(res)
+		return
+	}
 	if final.Estimate != nil {
-		fmt.Printf("%s estimate: %.5f\n", final.Spec.Estimate, *final.Estimate)
+		line := fmt.Sprintf("%s estimate: %.5f", final.Spec.Estimate, *final.Estimate)
+		if rep != nil && rep.CI != nil {
+			line += fmt.Sprintf(" ± %.5f (95%% CI)", rep.CI.HalfWidth)
+		}
+		fmt.Println(line)
+	}
+	if final.StopReason != "" {
+		fmt.Printf("stop reason: %s\n", final.StopReason)
 	}
 	fmt.Printf("budget spent: %.0f (%d edges sampled, edge hash %s)\n", final.Spent, final.Edges, final.EdgeHash)
 }

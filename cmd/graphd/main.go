@@ -30,6 +30,14 @@
 // across restarts: on SIGINT/SIGTERM running jobs are paused at their
 // next step boundary and a restarted graphd picks them up where they
 // left off.
+//
+// Every job carries a live estimation runtime (internal/live): its
+// current estimate, confidence interval and convergence diagnostics
+// are served at GET /v1/jobs/{id}/estimates and streamed as "estimate"
+// frames on the job's SSE event stream, and a job spec with a
+// stop_rule (e.g. "ci_halfwidth<=0.01") halts adaptively the moment
+// its estimate converges — estimator and monitor state ride the same
+// checkpoints, so adaptive jobs also pause and resume losslessly.
 package main
 
 import (

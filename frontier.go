@@ -35,6 +35,7 @@ import (
 	"frontier/internal/graph"
 	"frontier/internal/graphio"
 	"frontier/internal/jobs"
+	"frontier/internal/live"
 	"frontier/internal/netgraph"
 	"frontier/internal/stats"
 	"frontier/internal/walkstats"
@@ -155,6 +156,11 @@ type (
 	// boundary and continued byte-identically (FrontierSampler,
 	// DistributedFS, SingleRW and MultipleRW implement it).
 	Resumable = core.Resumable
+	// WalkerTracker is implemented by samplers that report which walker
+	// emitted the most recent edge — what feeds the live convergence
+	// monitor's per-walker chains (all four resumable samplers implement
+	// it).
+	WalkerTracker = core.WalkerTracker
 	// VertexSampler is the interface vertex-emitting samplers satisfy.
 	VertexSampler = core.VertexSampler
 	// Seeder chooses initial walker positions.
@@ -386,6 +392,89 @@ const (
 	JobFailed    = jobs.StateFailed
 	JobCancelled = jobs.StateCancelled
 )
+
+// JobStopBudget is the StopReason of a done job that ran its full
+// budget (no stop rule, or one that never fired).
+const JobStopBudget = jobs.StopReasonBudget
+
+// Live estimation subsystem (internal/live): attach registered
+// streaming estimators, an online convergence monitor (CI half-width,
+// effective sample size, Gelman-Rubin across walkers) and adaptive
+// stop rules to any sampling run. Jobs carry one automatically; local
+// runs drive a LiveRuntime from the sampler's emit callback.
+type (
+	// LiveEstimator is one streaming estimator built by an
+	// EstimatorRegistry: a moment kernel plus cumulative sufficient
+	// statistics, serializable for checkpoints.
+	LiveEstimator = live.Estimator
+	// EstimatorRegistry is a named catalog of estimator builders
+	// ("avgdegree", "clustering", "assortativity", "degreedist",
+	// "groupdensity", plus custom registrations).
+	EstimatorRegistry = live.Registry
+	// EstimatorBuilder constructs an estimator bound to a source.
+	EstimatorBuilder = live.Builder
+	// ConvergenceMonitor attaches batch-means confidence intervals and
+	// walkstats mixing diagnostics to an estimator's stream.
+	ConvergenceMonitor = live.Monitor
+	// MonitorConfig sizes a ConvergenceMonitor's bounded state.
+	MonitorConfig = live.MonitorConfig
+	// LiveRuntime ties estimator + monitor + stop rule into the unit a
+	// sampling run drives; it serializes whole for lossless resume.
+	LiveRuntime = live.Runtime
+	// StopRule is a parsed adaptive-stopping condition (nil =
+	// budget-only).
+	StopRule = live.StopRule
+	// StopMetric names a monitor quantity a StopRule thresholds.
+	StopMetric = live.Metric
+	// EstimateReport is a point-in-time view of a live estimation:
+	// value, CI, diagnostics, stop verdict.
+	EstimateReport = live.Report
+	// EstimateInterval is a confidence interval around an estimate.
+	EstimateInterval = live.Interval
+	// EstimateDiagnostics are a monitor's convergence diagnostics.
+	EstimateDiagnostics = live.Diagnostics
+	// EstimateVector is the vector-valued part of an estimate (degree
+	// CCDF, group densities).
+	EstimateVector = live.VectorResult
+	// GroupSource is the source facet the group-density estimator
+	// needs (per-vertex group labels).
+	GroupSource = live.GroupSource
+)
+
+// Stop-rule metrics.
+const (
+	StopMetricCIHalfWidth = live.MetricCIHalfWidth
+	StopMetricCIRel       = live.MetricCIRel
+	StopMetricESS         = live.MetricESS
+	StopMetricRHat        = live.MetricRHat
+)
+
+// DefaultEstimators returns the process-wide estimator registry
+// holding the built-in live estimators.
+func DefaultEstimators() *EstimatorRegistry { return live.Default() }
+
+// NewEstimatorRegistry returns a fresh registry pre-populated with the
+// built-in estimators; Register adds custom ones.
+func NewEstimatorRegistry() *EstimatorRegistry { return live.NewRegistry() }
+
+// ParseStopRule parses an adaptive-stopping rule such as
+// "ci_halfwidth<=0.01", "ci_rel<=0.005", "ess>=5000" or "rhat<=1.05".
+// The empty string parses to nil: budget-only.
+func ParseStopRule(s string) (*StopRule, error) { return live.ParseStopRule(s) }
+
+// NewConvergenceMonitor creates a convergence monitor (zero config
+// fields take defaults).
+func NewConvergenceMonitor(cfg MonitorConfig) *ConvergenceMonitor { return live.NewMonitor(cfg) }
+
+// NewLiveRuntime binds an estimator and monitor with an optional stop
+// rule; drive it with Observe from a sampler's emit callback.
+func NewLiveRuntime(est *LiveEstimator, mon *ConvergenceMonitor, rule *StopRule) *LiveRuntime {
+	return live.NewRuntime(est, mon, rule)
+}
+
+// WithJobEstimators routes a JobManager's Spec.Estimate validation and
+// construction through reg instead of DefaultEstimators().
+func WithJobEstimators(reg *EstimatorRegistry) JobOption { return jobs.WithEstimators(reg) }
 
 // NewJobManager creates a sampling-job manager over src and starts its
 // worker pool. Stop it with (*JobManager).Stop, which checkpoints

@@ -331,3 +331,92 @@ func TestPublicAPIJobService(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPublicAPILiveEstimation drives the live estimation subsystem
+// through the facade: registry, runtime, adaptive stop, and the
+// job-spec stop rule.
+func TestPublicAPILiveEstimation(t *testing.T) {
+	g := frontier.BarabasiAlbert(frontier.NewRand(70), 2500, 3)
+
+	// Registry enumerates the built-ins.
+	reg := frontier.DefaultEstimators()
+	if len(reg.Names()) < 5 {
+		t.Fatalf("default registry names = %v", reg.Names())
+	}
+	est, err := reg.New("avgdegree", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule, err := frontier.ParseStopRule("ci_halfwidth<=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rule.Metric != frontier.StopMetricCIHalfWidth {
+		t.Fatalf("rule metric = %v", rule.Metric)
+	}
+	rt := frontier.NewLiveRuntime(est, frontier.NewConvergenceMonitor(frontier.MonitorConfig{}), rule)
+
+	fs := &frontier.FrontierSampler{M: 16}
+	var tracker frontier.WalkerTracker = fs
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sess := frontier.NewSessionContext(ctx, g, 80000, frontier.UnitCosts(), frontier.NewRand(71))
+	err = fs.Run(sess, func(u, v int) {
+		if rep := rt.Observe(tracker.LastWalker(), u, v); rep != nil && rep.Converged {
+			cancel()
+		}
+	})
+	conv, reason := rt.Converged()
+	if !conv {
+		t.Fatalf("runtime never converged (run err %v)", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("adaptive stop should cancel the run, got %v", err)
+	}
+	rep := rt.Report()
+	if rep.Value == nil || rep.CI == nil || rep.CI.HalfWidth > 0.25 {
+		t.Fatalf("report = %+v (reason %s)", rep, reason)
+	}
+	if sess.Stats().Spent >= 80000 {
+		t.Fatal("adaptive stop spent the whole budget")
+	}
+
+	// The job service honors the same rule via Spec.StopRule, and the
+	// manager's estimate validation enumerates the registry.
+	mgr, err := frontier.NewJobManager(g, frontier.WithJobWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+	if _, err := mgr.Submit(frontier.JobSpec{Method: "fs", Budget: 10, Estimate: "nope"}); err == nil {
+		t.Fatal("unknown estimate must be rejected")
+	}
+	j, err := mgr.Submit(frontier.JobSpec{
+		Method: "fs", M: 16, Budget: 80000, Seed: 72,
+		Estimate: "avgdegree", StopRule: "ci_halfwidth<=0.25",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	var st frontier.JobStatus
+	for {
+		st = j.Status()
+		if st.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.State != frontier.JobDone || st.StopReason == frontier.JobStopBudget {
+		t.Fatalf("adaptive job ended %s with stop reason %q", st.State, st.StopReason)
+	}
+	if st.Spent >= 80000 {
+		t.Fatal("adaptive job spent its whole budget")
+	}
+	if _, _, ok := j.EstimateReport(); !ok {
+		t.Fatal("done adaptive job has no estimate report")
+	}
+}

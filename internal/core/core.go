@@ -92,12 +92,30 @@ type Resumable interface {
 	Resume(sess *crawl.Session, emit EdgeFunc) error
 }
 
-// The four walk samplers the job service schedules are resumable.
+// WalkerTracker is implemented by samplers that can report which of
+// their walkers emitted the most recent edge. Consumers (the live
+// convergence monitor) read it from inside the emit callback to
+// maintain per-walker observation chains — the multi-chain layout
+// Gelman-Rubin needs to notice walkers trapped in different components.
+// The value is transient run state, not part of the resumable snapshot:
+// it is freshly set before every emit, including after a resume.
+type WalkerTracker interface {
+	// LastWalker returns the index (0..M-1) of the walker that emitted
+	// the most recent edge; 0 before any edge has been emitted.
+	LastWalker() int
+}
+
+// The four walk samplers the job service schedules are resumable, and
+// all of them report which walker moved.
 var (
-	_ Resumable = (*FrontierSampler)(nil)
-	_ Resumable = (*SingleRW)(nil)
-	_ Resumable = (*MultipleRW)(nil)
-	_ Resumable = (*DistributedFS)(nil)
+	_ Resumable     = (*FrontierSampler)(nil)
+	_ Resumable     = (*SingleRW)(nil)
+	_ Resumable     = (*MultipleRW)(nil)
+	_ Resumable     = (*DistributedFS)(nil)
+	_ WalkerTracker = (*FrontierSampler)(nil)
+	_ WalkerTracker = (*SingleRW)(nil)
+	_ WalkerTracker = (*MultipleRW)(nil)
+	_ WalkerTracker = (*DistributedFS)(nil)
 )
 
 // Seeder chooses the initial positions of the walkers. The paper's
@@ -217,7 +235,13 @@ type FrontierSampler struct {
 	// st is the live run state: walker positions. Run resets it; Restore
 	// installs a snapshot for Resume to continue from.
 	st *fsState
+	// lastWalker is the index of the walker that emitted the most recent
+	// edge (see WalkerTracker); transient, set before each emit.
+	lastWalker int
 }
+
+// LastWalker implements WalkerTracker.
+func (f *FrontierSampler) LastWalker() int { return f.lastWalker }
 
 // fsState is the serializable mid-run state of a FrontierSampler. The
 // Fenwick selection weights are not stored: they are the walkers'
@@ -330,6 +354,7 @@ func (f *FrontierSampler) run(sess *crawl.Session, emit EdgeFunc) error {
 		// callback is consistent at this step boundary.
 		walkers[i] = v
 		fen.Update(i, float64(src.SymDegree(v)))
+		f.lastWalker = i
 		emit(u, v)
 	}
 	return nil
@@ -398,6 +423,7 @@ func (f *FrontierSampler) runLinear(sess *crawl.Session, walkers []int, weights 
 		nw := float64(src.SymDegree(v))
 		total += nw - weights[i]
 		weights[i] = nw
+		f.lastWalker = i
 		emit(u, v)
 	}
 	return nil
@@ -411,6 +437,9 @@ type SingleRW struct {
 
 	st *rwState
 }
+
+// LastWalker implements WalkerTracker: a single walk has one walker.
+func (s *SingleRW) LastWalker() int { return 0 }
 
 // rwState is the serializable mid-run state of a SingleRW.
 type rwState struct {
@@ -492,6 +521,15 @@ type MultipleRW struct {
 	Seeder Seeder
 
 	st *mrwState
+}
+
+// LastWalker implements WalkerTracker: the walker currently spending
+// its budget share (walkers advance one after another).
+func (m *MultipleRW) LastWalker() int {
+	if m.st == nil || m.st.Cur >= len(m.st.Walkers) {
+		return 0
+	}
+	return m.st.Cur
 }
 
 // mrwState is the serializable mid-run state of a MultipleRW. The
@@ -613,7 +651,13 @@ type DistributedFS struct {
 	Seeder Seeder
 
 	st *dfsState
+	// lastWalker is the walker whose event fired most recently (see
+	// WalkerTracker); transient, set before each emit.
+	lastWalker int
 }
+
+// LastWalker implements WalkerTracker.
+func (d *DistributedFS) LastWalker() int { return d.lastWalker }
 
 // dfsState is the serializable mid-run state of a DistributedFS: walker
 // positions, the event clock, and the pending event heap (stored in heap
@@ -743,6 +787,7 @@ func (d *DistributedFS) run(sess *crawl.Session, emit EdgeFunc) error {
 		h[0] = event{At: st.Now + rng.Exp(float64(src.SymDegree(v))), Walker: ev.Walker}
 		heap.Fix(&h, 0)
 		st.Events = h
+		d.lastWalker = int(ev.Walker)
 		emit(u, v)
 	}
 	return nil

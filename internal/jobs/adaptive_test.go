@@ -1,0 +1,171 @@
+package jobs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// adaptiveSpec is the shared acceptance-test spec: a generous budget
+// with a CI-half-width stop rule loose enough to fire long before the
+// budget is gone on a well-connected graph.
+func adaptiveSpec() Spec {
+	return Spec{
+		Method: "fs", M: 16, Budget: 60000, Seed: 41,
+		Estimate: "avgdegree", StopRule: "ci_halfwidth<=0.25",
+		CheckpointEvery: 64,
+	}
+}
+
+// TestAdaptiveStopHaltsBeforeBudget is the tentpole acceptance test: a
+// job with a ci_halfwidth stop rule on a generated graph halts before
+// its step budget is exhausted with a correct stop reason, while the
+// same job without a stop rule runs to budget.
+func TestAdaptiveStopHaltsBeforeBudget(t *testing.T) {
+	g := testGraph(40)
+	m, err := NewManager(g, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+
+	adaptive := adaptiveSpec()
+	j, err := m.Submit(adaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitDone(t, j)
+	if !strings.Contains(got.StopReason, "converged") || !strings.Contains(got.StopReason, "ci_halfwidth") {
+		t.Fatalf("adaptive job stop reason = %q, want a ci_halfwidth convergence reason", got.StopReason)
+	}
+	if got.Spent >= adaptive.Budget {
+		t.Fatalf("adaptive job spent its whole budget (%v of %v) despite converging", got.Spent, adaptive.Budget)
+	}
+	if got.Estimate == nil {
+		t.Fatal("adaptive job finished without an estimate")
+	}
+	if got.EstimateUpdates == 0 {
+		t.Fatal("adaptive job published no estimate updates")
+	}
+	rep, seq, ok := j.EstimateReport()
+	if !ok || seq != got.EstimateUpdates {
+		t.Fatalf("EstimateReport = (%+v, %d, %v)", rep, seq, ok)
+	}
+	if !rep.Converged || rep.CI == nil || rep.CI.HalfWidth > 0.25 {
+		t.Fatalf("final report = %+v, want converged with half-width <= 0.25", rep)
+	}
+	// The estimate should be near the truth — stopping early must not
+	// mean stopping wrong. (±0.5 is ~2x the certified CI.)
+	truth := float64(g.NumSymEdges()) / float64(g.NumVertices())
+	if *got.Estimate < truth-0.5 || *got.Estimate > truth+0.5 {
+		t.Fatalf("adaptive estimate %v far from truth %v", *got.Estimate, truth)
+	}
+
+	// Same spec, no stop rule: runs to budget.
+	budgetOnly := adaptive
+	budgetOnly.StopRule = ""
+	jb, err := m.Submit(budgetOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB := waitDone(t, jb)
+	if gotB.StopReason != StopReasonBudget {
+		t.Fatalf("budget-only job stop reason = %q, want %q", gotB.StopReason, StopReasonBudget)
+	}
+	want := directRun(t, g, budgetOnly)
+	if gotB.Edges != want.Edges || gotB.Spent != want.Spent {
+		t.Fatalf("budget-only job: %d edges spent %v; direct run %d edges spent %v",
+			gotB.Edges, gotB.Spent, want.Edges, want.Spent)
+	}
+	if gotB.Edges <= got.Edges {
+		t.Fatalf("budget-only run (%d edges) not longer than adaptive run (%d edges)", gotB.Edges, got.Edges)
+	}
+}
+
+// finalLiveState returns a done job's checkpointed live-runtime bytes.
+func finalLiveState(t *testing.T, j *Job) []byte {
+	t.Helper()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cp == nil || len(j.cp.Live) == 0 {
+		t.Fatalf("job %s has no live checkpoint state", j.id)
+	}
+	return append([]byte(nil), j.cp.Live...)
+}
+
+// TestAdaptivePauseResumeByteIdenticalLiveState extends the
+// checkpoint-hash determinism test to the live subsystem: an adaptive
+// job paused mid-run, reloaded by a fresh manager (a graphd restart)
+// and run to its convergence stop reports byte-identical estimator and
+// monitor state — and the same hash, edges, estimate and stop reason —
+// as the same job run uninterrupted.
+func TestAdaptivePauseResumeByteIdenticalLiveState(t *testing.T) {
+	g := testGraph(42)
+	spec := adaptiveSpec()
+	spec.Seed = 43
+
+	// Uninterrupted reference run through a manager of its own.
+	mRef, err := NewManager(g, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mRef.Stop()
+	jRef, err := mRef.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := waitDone(t, jRef)
+	if !strings.Contains(want.StopReason, "converged") {
+		t.Fatalf("reference run stop reason %q; the rule must fire for this test to bite", want.StopReason)
+	}
+	wantLive := finalLiveState(t, jRef)
+
+	// Interrupted run: pause after the first checkpoint, restart the
+	// manager over the same directory, let it resume to convergence.
+	dir := t.TempDir()
+	slow := &slowSource{g: g, delay: 50 * time.Microsecond}
+	m1, err := NewManager(slow, WithWorkers(1), WithCheckpointDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, j, func(s Status) bool { return s.Edges >= 64 }, "first checkpoint")
+	if err := m1.Pause(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, j, func(s Status) bool { return s.State == StatePaused }, "paused")
+	if mid := j.Status(); mid.State != StatePaused || mid.Edges >= want.Edges {
+		t.Fatalf("paused too late (%d edges, reference stopped at %d)", mid.Edges, want.Edges)
+	}
+	m1.Stop()
+
+	m2, err := NewManager(slow, WithWorkers(1), WithCheckpointDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Stop()
+	j2, ok := m2.Get(j.ID())
+	if !ok {
+		t.Fatalf("job %s not reloaded from %s", j.ID(), dir)
+	}
+	got := waitDone(t, j2)
+
+	if got.Edges != want.Edges || got.EdgeHash != want.EdgeHash {
+		t.Fatalf("resumed adaptive run: %d edges hash %s; uninterrupted: %d edges hash %s",
+			got.Edges, got.EdgeHash, want.Edges, want.EdgeHash)
+	}
+	if *got.Estimate != *want.Estimate {
+		t.Fatalf("resumed estimate %v, uninterrupted %v", *got.Estimate, *want.Estimate)
+	}
+	if got.StopReason != want.StopReason {
+		t.Fatalf("resumed stop reason %q, uninterrupted %q", got.StopReason, want.StopReason)
+	}
+	gotLive := finalLiveState(t, j2)
+	if !bytes.Equal(gotLive, wantLive) {
+		t.Fatalf("live state diverged across pause/resume:\n resumed %s\n direct  %s", gotLive, wantLive)
+	}
+}

@@ -2,9 +2,17 @@
 // shared graphs: a bounded worker pool drains a queue of job specs, each
 // job drives a resumable sampler (internal/core) through its own
 // budgeted, cancellable session (internal/crawl), and every job
-// checkpoints its full state — session, sampler, estimator and edge
-// hash — as JSON at step boundaries, so jobs survive a process restart
-// and continue byte-identically.
+// checkpoints its full state — session, sampler, live estimation
+// runtime and edge hash — as JSON at step boundaries, so jobs survive a
+// process restart and continue byte-identically.
+//
+// Estimation is live (internal/live): each job attaches a registered
+// estimator plus a convergence monitor to its edge stream, publishing
+// estimate reports — value, confidence interval, mixing diagnostics —
+// while running. A Spec may carry a StopRule ("ci_halfwidth<=0.01",
+// "ess>=5000", "rhat<=1.05"): the job then stops the moment its monitor
+// certifies convergence, reporting a done state whose StopReason says
+// why, instead of burning the rest of its budget.
 //
 // A manager samples either a single source (NewManager's src argument)
 // or, with WithResolver, any of several named graphs: each Spec carries
@@ -45,7 +53,7 @@ import (
 
 	"frontier/internal/core"
 	"frontier/internal/crawl"
-	"frontier/internal/estimate"
+	"frontier/internal/live"
 	"frontier/internal/xrand"
 )
 
@@ -89,9 +97,19 @@ type Spec struct {
 	// Seed is the deterministic RNG seed; two jobs with equal specs
 	// produce identical samples.
 	Seed uint64 `json:"seed"`
-	// Estimate selects what the job estimates from its edge stream:
-	// "avgdegree" (default) or "clustering" (needs an EdgeView source).
+	// Estimate selects what the job estimates from its edge stream by
+	// live-estimator registry name: "avgdegree" (default), "clustering",
+	// "assortativity", "degreedist" or "groupdensity" (some need source
+	// facets — edge-level queries, group labels — and are rejected at
+	// submission when the graph lacks them). Custom estimators appear
+	// here once registered.
 	Estimate string `json:"estimate,omitempty"`
+	// StopRule is an optional adaptive-stopping condition (see
+	// live.ParseStopRule), e.g. "ci_halfwidth<=0.01", "ess>=5000" or
+	// "rhat<=1.05": the job halts as soon as its live convergence
+	// monitor satisfies the rule instead of burning the full budget.
+	// Empty means budget-only, the historical behavior.
+	StopRule string `json:"stop_rule,omitempty"`
 	// CheckpointEvery is the number of emitted edges between checkpoints
 	// (0 = DefaultCheckpointEvery).
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
@@ -109,20 +127,20 @@ func (sp *Spec) normalize() {
 	}
 }
 
-func (sp Spec) validate(view estimate.EdgeView) error {
+// validate checks sp against a resolved source and the estimator
+// registry. Unknown estimates fail with the registry's full name list,
+// so the error teaches the caller what the service can estimate.
+func (sp Spec) validate(src crawl.Source, reg *live.Registry) error {
 	switch sp.Method {
 	case "fs", "dfs", "single", "multiple":
 	default:
 		return fmt.Errorf("jobs: unknown method %q (want fs, dfs, single or multiple)", sp.Method)
 	}
-	switch sp.Estimate {
-	case "", "avgdegree":
-	case "clustering":
-		if view == nil {
-			return errors.New("jobs: clustering estimate needs an EdgeView source")
-		}
-	default:
-		return fmt.Errorf("jobs: unknown estimate %q (want avgdegree or clustering)", sp.Estimate)
+	if err := reg.Supports(sp.Estimate, src); err != nil {
+		return fmt.Errorf("jobs: estimate: %w", err)
+	}
+	if _, err := live.ParseStopRule(sp.StopRule); err != nil {
+		return fmt.Errorf("jobs: %w", err)
 	}
 	if sp.Budget <= 0 {
 		return errors.New("jobs: budget must be positive")
@@ -130,13 +148,29 @@ func (sp Spec) validate(view estimate.EdgeView) error {
 	return nil
 }
 
-// edgeView returns src's estimate.EdgeView facet, or nil when the
-// source has no edge-level queries.
-func edgeView(src crawl.Source) estimate.EdgeView {
-	if v, ok := src.(estimate.EdgeView); ok {
-		return v
+// newRuntime builds the live estimation runtime a spec asks for:
+// estimator from the registry, a convergence monitor with one chain per
+// walker (capped — Gelman-Rubin needs a few long chains, not many
+// stubs), and the parsed stop rule. Construction is a pure function of
+// the spec, which is what makes a resumed job's runtime identical to
+// the interrupted one's.
+func newRuntime(reg *live.Registry, sp Spec, src crawl.Source) (*live.Runtime, error) {
+	est, err := reg.New(sp.Estimate, src)
+	if err != nil {
+		return nil, err
 	}
-	return nil
+	rule, err := live.ParseStopRule(sp.StopRule)
+	if err != nil {
+		return nil, err
+	}
+	chains := sp.M
+	if chains < 2 {
+		chains = 2
+	}
+	if chains > 8 {
+		chains = 8
+	}
+	return live.NewRuntime(est, live.NewMonitor(live.MonitorConfig{Chains: chains}), rule), nil
 }
 
 // newSampler builds the resumable sampler a spec asks for.
@@ -171,24 +205,37 @@ type Status struct {
 	// runs have equal hashes, which is how the determinism tests compare
 	// interrupted and uninterrupted runs without shipping every edge.
 	EdgeHash string `json:"edge_hash"`
-	Error    string `json:"error,omitempty"`
+	// StopReason explains why a done job stopped: "budget" when it ran
+	// its full budget, or the stop rule's convergence reason (e.g.
+	// "converged: ci_halfwidth<=0.01 (...)"). Empty for non-done states.
+	StopReason string `json:"stop_reason,omitempty"`
+	// EstimateUpdates counts live estimation report refreshes — the
+	// per-job counter /metrics exports as
+	// graphd_job_estimate_updates_total.
+	EstimateUpdates int64  `json:"estimate_updates,omitempty"`
+	Error           string `json:"error,omitempty"`
 }
 
 // checkpoint is the on-disk (and in-memory) serialized form of a job.
 // For queued jobs only ID/Spec/State are set; once the runner has
 // reached a step boundary the full runtime state is present.
 type checkpoint struct {
-	ID       string                   `json:"id"`
-	Spec     Spec                     `json:"spec"`
-	State    State                    `json:"state"`
-	Session  *crawl.SessionCheckpoint `json:"session,omitempty"`
-	Sampler  json.RawMessage          `json:"sampler,omitempty"`
-	Acc      json.RawMessage          `json:"acc,omitempty"`
-	Edges    int64                    `json:"edges"`
-	EdgeHash uint64                   `json:"edge_hash"`
-	Spent    float64                  `json:"spent"`
-	Estimate *float64                 `json:"estimate,omitempty"`
-	Error    string                   `json:"error,omitempty"`
+	ID      string                   `json:"id"`
+	Spec    Spec                     `json:"spec"`
+	State   State                    `json:"state"`
+	Session *crawl.SessionCheckpoint `json:"session,omitempty"`
+	Sampler json.RawMessage          `json:"sampler,omitempty"`
+	// Live is the serialized live.Runtime: estimator sufficient
+	// statistics plus the convergence monitor's bounded rings, so a
+	// resumed job's estimate, CI and diagnostics continue losslessly.
+	Live            json.RawMessage `json:"live,omitempty"`
+	Edges           int64           `json:"edges"`
+	EdgeHash        uint64          `json:"edge_hash"`
+	Spent           float64         `json:"spent"`
+	Estimate        *float64        `json:"estimate,omitempty"`
+	StopReason      string          `json:"stop_reason,omitempty"`
+	EstimateUpdates int64           `json:"estimate_updates,omitempty"`
+	Error           string          `json:"error,omitempty"`
 }
 
 // Job is one sampling job tracked by a Manager.
@@ -205,15 +252,18 @@ type Job struct {
 	// restart.
 	persistMu sync.Mutex
 
-	mu       sync.Mutex
-	state    State
-	err      error
-	cancel   context.CancelCauseFunc // non-nil while running
-	edges    int64
-	spent    float64
-	estimate float64 // NaN until meaningful
-	hash     uint64
-	cp       *checkpoint // last step-boundary checkpoint, nil before the first
+	mu         sync.Mutex
+	state      State
+	err        error
+	cancel     context.CancelCauseFunc // non-nil while running
+	edges      int64
+	spent      float64
+	estimate   float64 // NaN until meaningful
+	hash       uint64
+	stopReason string       // why a done job stopped ("budget" or a convergence reason)
+	report     *live.Report // latest live estimation report, nil before the first
+	estUpdates int64        // report refreshes, the /metrics counter
+	cp         *checkpoint  // last step-boundary checkpoint, nil before the first
 
 	version  int64 // bumped on every state change and checkpoint
 	nextSub  int
@@ -290,15 +340,51 @@ func (j *Job) statusLocked() Status {
 		e := j.estimate
 		st.Estimate = &e
 	}
+	if j.state == StateDone {
+		st.StopReason = j.stopReason
+	}
+	st.EstimateUpdates = j.estUpdates
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}
 	return st
 }
 
+// setReport installs a fresh live estimation report, bumping the
+// estimate-update counter and waking watchers (the SSE stream sends an
+// "estimate" frame per refresh it observes).
+func (j *Job) setReport(rep *live.Report) {
+	j.mu.Lock()
+	j.report = rep
+	j.estUpdates++
+	j.notifyLocked()
+	j.mu.Unlock()
+}
+
+// EstimateReport returns the job's latest live estimation report, its
+// refresh sequence number (monotone; the estimate-update counter), and
+// whether a report exists yet.
+func (j *Job) EstimateReport() (live.Report, int64, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.report == nil {
+		return live.Report{}, j.estUpdates, false
+	}
+	return *j.report, j.estUpdates, true
+}
+
 // errPaused is the cancellation cause distinguishing a pause (resume
 // later from the last checkpoint) from a cancel (terminal).
 var errPaused = errors.New("jobs: paused")
+
+// errConverged is the cancellation cause for adaptive stopping: the
+// job's stop rule is satisfied, so the sampler is unwound early and the
+// job finishes done — with the convergence reason, not "budget".
+var errConverged = errors.New("jobs: estimate converged")
+
+// StopReasonBudget is the Status.StopReason of a done job that ran its
+// full budget (no stop rule, or a rule that never fired).
+const StopReasonBudget = "budget"
 
 // ErrQueueFull is returned by Submit when the bounded queue is at
 // capacity.
@@ -371,10 +457,22 @@ func WithCheckpointDir(dir string) Option {
 	return func(m *Manager) { m.dir = dir }
 }
 
+// WithEstimators validates and builds every job's Estimate through reg
+// instead of the process-wide live.Default() registry. Use it to host
+// custom estimators on one manager without registering them globally.
+func WithEstimators(reg *live.Registry) Option {
+	return func(m *Manager) {
+		if reg != nil {
+			m.registry = reg
+		}
+	}
+}
+
 // Manager owns the job table, the bounded queue and the worker pool.
 // All methods are safe for concurrent use.
 type Manager struct {
 	resolver Resolver
+	registry *live.Registry
 	workers  int
 	queueCap int
 	dir      string
@@ -402,6 +500,7 @@ type Manager struct {
 // before the workers start.
 func NewManager(src crawl.Source, opts ...Option) (*Manager, error) {
 	m := &Manager{
+		registry: live.Default(),
 		workers:  4,
 		queueCap: 1024,
 		jobs:     make(map[string]*Job),
@@ -476,7 +575,7 @@ func (m *Manager) Submit(sp Spec) (*Job, error) {
 		return nil, err
 	}
 	release() // validation only; the job pins the graph when it runs
-	if err := sp.validate(edgeView(src)); err != nil {
+	if err := sp.validate(src, m.registry); err != nil {
 		return nil, err
 	}
 	m.mu.Lock()
@@ -680,7 +779,11 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 	}
 	defer release()
 
-	acc := newAccumulator(spec.Estimate, src, edgeView(src))
+	rt, err := newRuntime(m.registry, spec, src)
+	if err != nil {
+		m.finish(j, StateFailed, fmt.Errorf("jobs: building estimator: %w", err))
+		return
+	}
 	sampler := newSampler(spec)
 	var sess *crawl.Session
 	var edges int64
@@ -693,7 +796,7 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 			err = sampler.Restore(cp.Sampler)
 		}
 		if err == nil {
-			err = acc.restore(cp.Acc)
+			err = rt.Restore(cp.Live)
 		}
 		if err != nil {
 			m.finish(j, StateFailed, fmt.Errorf("jobs: restoring checkpoint: %w", err))
@@ -705,12 +808,34 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 		sess = crawl.NewSessionContext(ctx, src, spec.Budget, model, xrand.New(spec.Seed))
 	}
 
+	// All four job samplers report which walker moved; the assertion is
+	// defensive against future non-tracking methods (chain 0 then takes
+	// every observation, degrading R-hat but nothing else).
+	tracker, _ := sampler.(core.WalkerTracker)
+	stopIssued := false
 	emit := func(u, v int) {
 		hash = hashEdge(hash, u, v)
 		edges++
-		acc.observe(u, v)
+		walker := 0
+		if tracker != nil {
+			walker = tracker.LastWalker()
+		}
+		if rep := rt.Observe(walker, u, v); rep != nil {
+			j.setReport(rep)
+			if rep.Converged && !stopIssued {
+				// Adaptive stop: unwind the sampler at its next budget
+				// charge. The cancellation cause marks this "done", not
+				// "cancelled".
+				stopIssued = true
+				j.mu.Lock()
+				if j.cancel != nil {
+					j.cancel(errConverged)
+				}
+				j.mu.Unlock()
+			}
+		}
 		if edges%int64(spec.CheckpointEvery) == 0 {
-			m.checkpointNow(j, sess, sampler, acc, edges, hash)
+			m.checkpointNow(j, sess, sampler, rt, edges, hash)
 		}
 	}
 
@@ -729,11 +854,26 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 		err = sampler.Run(sess, emit)
 	}
 
+	// finishDone records the final live report and state for the two
+	// successful endings (budget exhausted, estimate converged).
+	finishDone := func(reason string) {
+		j.mu.Lock()
+		j.stopReason = reason
+		j.mu.Unlock()
+		final := rt.Report()
+		j.setReport(&final)
+		m.checkpointNow(j, sess, sampler, rt, edges, hash)
+		m.finish(j, StateDone, nil)
+	}
+
 	switch {
 	case err == nil:
 		// Budget exhausted: the job is done. Record the final state.
-		m.checkpointNow(j, sess, sampler, acc, edges, hash)
-		m.finish(j, StateDone, nil)
+		finishDone(StopReasonBudget)
+	case errors.Is(err, context.Canceled) && errors.Is(context.Cause(ctx), errConverged):
+		// The stop rule fired: done early, with the convergence reason.
+		_, reason := rt.Converged()
+		finishDone(reason)
 	case errors.Is(err, context.Canceled) && errors.Is(context.Cause(ctx), errPaused):
 		// Paused: keep the last step-boundary checkpoint for resume. The
 		// edges emitted since then will be re-run identically.
@@ -746,25 +886,26 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 }
 
 // checkpointNow records the job's full runtime state at a step boundary
-// (called from inside emit, where sampler and session are consistent)
-// and persists it when a checkpoint directory is configured.
-func (m *Manager) checkpointNow(j *Job, sess *crawl.Session, sampler core.Resumable, acc accumulator, edges int64, hash uint64) {
+// (called from inside emit, where sampler, session and live runtime are
+// consistent) and persists it when a checkpoint directory is
+// configured.
+func (m *Manager) checkpointNow(j *Job, sess *crawl.Session, sampler core.Resumable, rt *live.Runtime, edges int64, hash uint64) {
 	snap, err := sampler.Snapshot()
 	if err != nil {
 		return // not started; nothing worth recording yet
 	}
-	accState, err := acc.state()
+	liveState, err := rt.State()
 	if err != nil {
 		return
 	}
 	scp := sess.Checkpoint()
-	est := acc.estimate()
+	est := rt.Estimator().Value()
 	cp := &checkpoint{
 		ID:       j.id,
 		Spec:     j.spec,
 		Session:  &scp,
 		Sampler:  snap,
-		Acc:      accState,
+		Live:     liveState,
 		Edges:    edges,
 		EdgeHash: hash,
 		Spent:    scp.Stats.Spent,
@@ -775,6 +916,8 @@ func (m *Manager) checkpointNow(j *Job, sess *crawl.Session, sampler core.Resuma
 	}
 	j.mu.Lock()
 	cp.State = j.state
+	cp.StopReason = j.stopReason
+	cp.EstimateUpdates = j.estUpdates
 	j.cp = cp
 	j.edges = edges
 	j.spent = scp.Stats.Spent
@@ -817,11 +960,21 @@ func (m *Manager) persist(j *Job) {
 	// checkpoint boundaries, so they always agree with the serialized
 	// session/sampler state below; for terminal jobs they are the final
 	// numbers.
-	cp := checkpoint{ID: j.id, Spec: j.spec, State: j.state, Edges: j.edges, EdgeHash: j.hash, Spent: j.spent}
+	cp := checkpoint{
+		ID: j.id, Spec: j.spec, State: j.state,
+		Edges: j.edges, EdgeHash: j.hash, Spent: j.spent,
+		StopReason: j.stopReason, EstimateUpdates: j.estUpdates,
+	}
 	if j.cp != nil {
 		cp.Session = j.cp.Session
 		cp.Sampler = j.cp.Sampler
-		cp.Acc = j.cp.Acc
+		cp.Live = j.cp.Live
+		// The persisted estimate-update counter must agree with the
+		// persisted live state, exactly like edges/hash/spent: reports
+		// published after the last step boundary will be re-published
+		// identically on resume, and persisting the live counter would
+		// double-count them across a pause/restart.
+		cp.EstimateUpdates = j.cp.EstimateUpdates
 	}
 	if !math.IsNaN(j.estimate) {
 		e := j.estimate
@@ -888,10 +1041,14 @@ func (m *Manager) loadCheckpoints() error {
 		if src, release, rerr := m.resolver.Resolve(cp.Spec.Graph); rerr != nil {
 			invalid = rerr
 		} else {
-			invalid = cp.Spec.validate(edgeView(src))
+			invalid = cp.Spec.validate(src, m.registry)
 			release()
 		}
-		j := &Job{id: cp.ID, spec: cp.Spec, edges: cp.Edges, spent: cp.Spent, hash: cp.EdgeHash, estimate: math.NaN()}
+		j := &Job{
+			id: cp.ID, spec: cp.Spec, edges: cp.Edges, spent: cp.Spent,
+			hash: cp.EdgeHash, estimate: math.NaN(),
+			stopReason: cp.StopReason, estUpdates: cp.EstimateUpdates,
+		}
 		if cp.Estimate != nil {
 			j.estimate = *cp.Estimate
 		}
@@ -954,79 +1111,3 @@ func hashEdge(h uint64, u, v int) uint64 {
 	}
 	return h
 }
-
-// accumulator is a serializable streaming estimator over the job's edge
-// stream. The formulas mirror internal/estimate (Theorem 4.1 with the
-// 1/deg re-weighting); they are re-implemented here in checkpointable
-// form so a resumed job's estimate continues exactly.
-type accumulator interface {
-	observe(u, v int)
-	// estimate returns the current estimate (NaN before any qualifying
-	// observation).
-	estimate() float64
-	state() ([]byte, error)
-	restore(data []byte) error
-}
-
-func newAccumulator(kind string, src crawl.Source, view estimate.EdgeView) accumulator {
-	if kind == "clustering" {
-		return &clusteringAcc{view: view}
-	}
-	return &avgDegreeAcc{src: src}
-}
-
-// avgDegreeAcc estimates the average symmetric degree as n/Σ(1/deg(v)),
-// mirroring estimate.AvgDegree.
-type avgDegreeAcc struct {
-	src crawl.Source
-	S   float64 `json:"s"`
-	N   int64   `json:"n"`
-}
-
-func (a *avgDegreeAcc) observe(u, v int) {
-	d := a.src.SymDegree(v)
-	if d == 0 {
-		return
-	}
-	a.S += 1 / float64(d)
-	a.N++
-}
-
-func (a *avgDegreeAcc) estimate() float64 {
-	if a.S == 0 {
-		return math.NaN()
-	}
-	return float64(a.N) / a.S
-}
-
-func (a *avgDegreeAcc) state() ([]byte, error)    { return json.Marshal(a) }
-func (a *avgDegreeAcc) restore(data []byte) error { return json.Unmarshal(data, a) }
-
-// clusteringAcc estimates the global clustering coefficient, mirroring
-// estimate.Clustering.
-type clusteringAcc struct {
-	view estimate.EdgeView
-	Sum  float64 `json:"sum"`
-	S    float64 `json:"s"`
-}
-
-func (a *clusteringAcc) observe(u, v int) {
-	d := a.view.SymDegree(u)
-	if d < 2 {
-		return
-	}
-	pairs := float64(d) * float64(d-1) / 2
-	shared := float64(a.view.SharedNeighbors(u, v))
-	a.Sum += shared / (2 * pairs)
-	a.S += 1 / float64(d)
-}
-
-func (a *clusteringAcc) estimate() float64 {
-	if a.S == 0 {
-		return math.NaN()
-	}
-	return a.Sum / a.S
-}
-
-func (a *clusteringAcc) state() ([]byte, error)    { return json.Marshal(a) }
-func (a *clusteringAcc) restore(data []byte) error { return json.Unmarshal(data, a) }

@@ -3,14 +3,15 @@ package jobs
 import (
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
 	"frontier/internal/core"
 	"frontier/internal/crawl"
-	"frontier/internal/estimate"
 	"frontier/internal/gen"
 	"frontier/internal/graph"
+	"frontier/internal/live"
 	"frontier/internal/xrand"
 )
 
@@ -43,23 +44,31 @@ func waitDone(t *testing.T, j *Job) Status {
 }
 
 // directRun reproduces a job's exact computation in-process: same
-// sampler, same session, same accumulator arithmetic, same hash.
+// sampler, same session, same live-runtime arithmetic, same hash.
 func directRun(t *testing.T, g *graph.Graph, sp Spec) Status {
 	t.Helper()
 	sp.normalize()
 	sampler := newSampler(sp)
 	sess := crawl.NewSession(g, sp.Budget, crawl.UnitCosts(), xrand.New(sp.Seed))
-	acc := newAccumulator(sp.Estimate, g, g)
+	rt, err := newRuntime(live.Default(), sp, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker, _ := sampler.(core.WalkerTracker)
 	var edges int64
 	var hash uint64 = fnvOffset
 	if err := sampler.Run(sess, func(u, v int) {
 		hash = hashEdge(hash, u, v)
 		edges++
-		acc.observe(u, v)
+		walker := 0
+		if tracker != nil {
+			walker = tracker.LastWalker()
+		}
+		rt.Observe(walker, u, v)
 	}); err != nil {
 		t.Fatal(err)
 	}
-	est := acc.estimate()
+	est := rt.Estimator().Value()
 	st := Status{Edges: edges, EdgeHash: fmt.Sprintf("%016x", hash), Spent: sess.Stats().Spent}
 	if !math.IsNaN(est) {
 		st.Estimate = &est
@@ -329,31 +338,26 @@ func TestJobsAreResumableSamplersOnly(t *testing.T) {
 	}
 }
 
-// TestAccumulatorsMatchEstimatePackage guards the duplicated formulas:
-// the jobs accumulators must agree exactly with internal/estimate on
-// the same edge stream, so a job-service estimate never drifts from an
-// in-process one.
-func TestAccumulatorsMatchEstimatePackage(t *testing.T) {
+// TestSubmitValidationEnumeratesEstimators: the unknown-estimate error
+// is driven by the live registry and names every registered estimator.
+func TestSubmitValidationEnumeratesEstimators(t *testing.T) {
 	g := testGraph(9)
-	refAvg := estimate.NewAvgDegree(g)
-	refClus := estimate.NewClustering(g)
-	jobAvg := newAccumulator("avgdegree", g, g)
-	jobClus := newAccumulator("clustering", g, g)
-
-	sess := crawl.NewSession(g, 5000, crawl.UnitCosts(), xrand.New(31))
-	fs := newSampler(Spec{Method: "fs", M: 16})
-	if err := fs.Run(sess, func(u, v int) {
-		refAvg.Observe(u, v)
-		refClus.Observe(u, v)
-		jobAvg.observe(u, v)
-		jobClus.observe(u, v)
-	}); err != nil {
+	m, err := NewManager(g, WithWorkers(1))
+	if err != nil {
 		t.Fatal(err)
 	}
-	if got, want := jobAvg.estimate(), refAvg.Estimate(); got != want {
-		t.Fatalf("avgdegree: jobs %v, estimate pkg %v", got, want)
+	defer m.Stop()
+	_, err = m.Submit(Spec{Method: "fs", Budget: 10, Estimate: "nonsense"})
+	if err == nil {
+		t.Fatal("unknown estimate must be rejected")
 	}
-	if got, want := jobClus.estimate(), refClus.Estimate(); got != want {
-		t.Fatalf("clustering: jobs %v, estimate pkg %v", got, want)
+	for _, name := range live.Default().Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("estimate error %q does not enumerate %q", err, name)
+		}
+	}
+	// A bad stop rule is rejected at submission too.
+	if _, err := m.Submit(Spec{Method: "fs", Budget: 10, StopRule: "ess<=1"}); err == nil {
+		t.Fatal("wrong-direction stop rule must be rejected")
 	}
 }

@@ -1,0 +1,534 @@
+// Package live is the streaming estimation subsystem: it attaches any
+// registered estimator to a running sampling job's edge stream,
+// maintains the per-walker observation chains an online convergence
+// monitor needs, and decides — while the walk is still running — when
+// the estimate is good enough to stop.
+//
+// The paper's MSE analysis (Section 4, Figures 6 and 9) answers the
+// practitioner question "how many steps until my estimate is good?"
+// offline, with ground truth in hand. This package answers it online,
+// without ground truth, the way an operator of a crawl actually needs
+// it: every estimator is written as a moment kernel (per-observation
+// increments to a small vector of sufficient statistics, plus a map
+// from summed statistics to the estimate), so one Monitor can attach
+// batch-means confidence intervals, effective-sample-size and
+// Gelman-Rubin diagnostics (internal/walkstats) to any of them, and a
+// StopRule turns a diagnostic threshold into adaptive stopping.
+//
+// The pieces compose as
+//
+//	est, _ := live.Default().New("avgdegree", src)
+//	rt := live.NewRuntime(est, live.NewMonitor(live.MonitorConfig{}), rule)
+//	sampler.Run(sess, func(u, v int) { rt.Observe(tracker.LastWalker(), u, v) })
+//
+// and the whole Runtime — estimator sums, monitor rings, convergence
+// verdict — serializes to JSON, which is how internal/jobs checkpoints
+// it: a paused-and-resumed job reproduces the exact estimator and
+// monitor state of an uninterrupted run.
+package live
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"frontier/internal/crawl"
+	"frontier/internal/estimate"
+	"frontier/internal/graph"
+)
+
+// GroupSource is the source facet the group-density estimator needs:
+// per-vertex group labels, as the paper's access model reveals them
+// when a vertex is crawled. The netgraph client and the catalog's
+// labeled sources implement it; plain *graph.Graph does not (labels
+// live in a separate GroupLabels there).
+type GroupSource interface {
+	// Groups returns the sorted group ids of vertex v.
+	Groups(v int) []int32
+	// NumGroups returns the number of distinct groups.
+	NumGroups() int
+}
+
+// VectorResult is the vector-valued part of an estimate, for estimators
+// whose answer is a distribution rather than a scalar.
+type VectorResult struct {
+	// Kind names the vector's semantics: "degree_ccdf" (index i is the
+	// estimated fraction of vertices with symmetric degree > i) or
+	// "group_density" (index l is the estimated fraction of vertices in
+	// group l).
+	Kind string `json:"kind"`
+	// Values holds the vector.
+	Values []float64 `json:"values"`
+}
+
+// kernel is the moment form of one estimand: per-observation increments
+// to a fixed-dimension vector of sufficient statistics, and the map
+// from summed statistics to the estimate. Writing estimators this way
+// is what lets the monitor compute batch estimates — the same map
+// applied to per-batch sums — for any estimator without knowing its
+// formula.
+type kernel interface {
+	// dim is the number of sufficient statistics.
+	dim() int
+	// observe fills inc (length dim) with the increments for sampled
+	// edge (u, v) and returns the scalar mixing statistic fed to the
+	// chain diagnostics; ok=false means the edge does not qualify and
+	// contributes nothing.
+	observe(u, v int, inc []float64) (stat float64, ok bool)
+	// estimate maps summed increments to the estimate (NaN when the
+	// sums are degenerate).
+	estimate(sums []float64) float64
+}
+
+// vectorKernel is the optional kernel extension for estimators that
+// also accumulate a vector result (buckets beyond the fixed-dimension
+// moment sums). Its state serializes separately into the estimator
+// checkpoint.
+type vectorKernel interface {
+	kernel
+	vector() *VectorResult
+	vectorState() (json.RawMessage, error)
+	vectorRestore(json.RawMessage) error
+}
+
+// Estimator is one live streaming estimator: a moment kernel plus its
+// cumulative sufficient statistics. Estimators are built by a Registry
+// for a concrete source and are not safe for concurrent use (drive one
+// per sampling run, from the run's emit callback).
+type Estimator struct {
+	name    string
+	k       kernel
+	sums    []float64
+	n       int64
+	scratch []float64
+}
+
+// newEstimator wraps a kernel.
+func newEstimator(name string, k kernel) *Estimator {
+	d := k.dim()
+	return &Estimator{name: name, k: k, sums: make([]float64, d), scratch: make([]float64, d)}
+}
+
+// Name returns the registry name the estimator was built under.
+func (e *Estimator) Name() string { return e.name }
+
+// N returns the number of qualifying observations consumed.
+func (e *Estimator) N() int64 { return e.n }
+
+// Observe consumes one sampled edge, returning the scalar mixing
+// statistic and whether the edge qualified. Callers normally go through
+// Runtime.Observe, which also feeds the monitor.
+func (e *Estimator) Observe(u, v int) (stat float64, ok bool) {
+	stat, ok = e.k.observe(u, v, e.scratch)
+	if !ok {
+		return 0, false
+	}
+	for i, x := range e.scratch {
+		e.sums[i] += x
+	}
+	e.n++
+	return stat, true
+}
+
+// Value returns the current scalar estimate (NaN until the estimator
+// has observed enough to form one).
+func (e *Estimator) Value() float64 {
+	if e.n == 0 {
+		return math.NaN()
+	}
+	return e.k.estimate(e.sums)
+}
+
+// Vector returns the vector-valued part of the estimate, or nil for
+// purely scalar estimators.
+func (e *Estimator) Vector() *VectorResult {
+	if vk, ok := e.k.(vectorKernel); ok {
+		return vk.vector()
+	}
+	return nil
+}
+
+// estimatorState is the serialized form of an Estimator.
+type estimatorState struct {
+	Name   string          `json:"name"`
+	Sums   []float64       `json:"sums"`
+	N      int64           `json:"n"`
+	Vector json.RawMessage `json:"vector,omitempty"`
+}
+
+// state serializes the estimator's cumulative state.
+func (e *Estimator) state() (estimatorState, error) {
+	st := estimatorState{Name: e.name, Sums: append([]float64(nil), e.sums...), N: e.n}
+	if vk, ok := e.k.(vectorKernel); ok {
+		raw, err := vk.vectorState()
+		if err != nil {
+			return estimatorState{}, err
+		}
+		st.Vector = raw
+	}
+	return st, nil
+}
+
+// restore installs a state previously produced by state. The estimator
+// must have been built under the same name and source kind.
+func (e *Estimator) restore(st estimatorState) error {
+	if st.Name != e.name {
+		return fmt.Errorf("live: checkpoint is for estimator %q, not %q", st.Name, e.name)
+	}
+	if len(st.Sums) != len(e.sums) {
+		return fmt.Errorf("live: checkpoint has %d moments, estimator %q wants %d", len(st.Sums), e.name, len(e.sums))
+	}
+	copy(e.sums, st.Sums)
+	e.n = st.N
+	if vk, ok := e.k.(vectorKernel); ok {
+		if err := vk.vectorRestore(st.Vector); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Builder constructs an estimator bound to a source, failing when the
+// source lacks a facet the estimand needs (edge-level queries, group
+// labels).
+type Builder func(src crawl.Source) (*Estimator, error)
+
+// Registry is a named set of estimator builders: the catalog of what a
+// job service can estimate. The zero value is unusable; NewRegistry
+// returns one pre-populated with the built-in estimators. Safe for
+// concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	builders map[string]Builder
+}
+
+// defaultRegistry backs Default.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry holding the built-in
+// estimators ("avgdegree", "clustering", "assortativity", "degreedist",
+// "groupdensity"). internal/jobs validates and builds job estimators
+// against it unless configured otherwise.
+func Default() *Registry { return defaultRegistry }
+
+// NewRegistry returns a registry pre-populated with the built-in
+// estimators. Register adds custom ones.
+func NewRegistry() *Registry {
+	r := &Registry{builders: make(map[string]Builder)}
+	must := func(name string, b Builder) {
+		if err := r.Register(name, b); err != nil {
+			panic(err)
+		}
+	}
+	must("avgdegree", func(src crawl.Source) (*Estimator, error) {
+		return newEstimator("avgdegree", &avgDegreeKernel{src: src}), nil
+	})
+	must("clustering", func(src crawl.Source) (*Estimator, error) {
+		view, ok := src.(estimate.EdgeView)
+		if !ok {
+			return nil, errors.New("live: clustering needs a source with edge-level queries (estimate.EdgeView)")
+		}
+		return newEstimator("clustering", &clusteringKernel{view: view}), nil
+	})
+	must("assortativity", func(src crawl.Source) (*Estimator, error) {
+		view, ok := src.(estimate.EdgeView)
+		if !ok {
+			return nil, errors.New("live: assortativity needs a source with edge-level queries (estimate.EdgeView)")
+		}
+		return newEstimator("assortativity", &assortativityKernel{view: view}), nil
+	})
+	must("degreedist", func(src crawl.Source) (*Estimator, error) {
+		return newEstimator("degreedist", &degreeDistKernel{src: src}), nil
+	})
+	must("groupdensity", func(src crawl.Source) (*Estimator, error) {
+		gs, ok := src.(GroupSource)
+		if !ok || gs.NumGroups() == 0 {
+			return nil, errors.New("live: groupdensity needs a source with group labels")
+		}
+		return newEstimator("groupdensity", newGroupDensityKernel(src, gs)), nil
+	})
+	return r
+}
+
+// Register adds a named builder. Duplicate and empty names are
+// rejected.
+func (r *Registry) Register(name string, b Builder) error {
+	if name == "" {
+		return errors.New("live: estimator name must not be empty")
+	}
+	if b == nil {
+		return errors.New("live: nil estimator builder")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.builders[name]; dup {
+		return fmt.Errorf("live: estimator %q already registered", name)
+	}
+	r.builders[name] = b
+	return nil
+}
+
+// Names returns the registered estimator names, sorted — what a
+// validation error enumerates.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.builders))
+	for name := range r.builders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New builds the named estimator over src. Unknown names list every
+// registered alternative; a known name still fails when src lacks a
+// required facet.
+func (r *Registry) New(name string, src crawl.Source) (*Estimator, error) {
+	r.mu.RLock()
+	b, ok := r.builders[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("live: unknown estimator %q (registered: %s)", name, strings.Join(r.Names(), ", "))
+	}
+	return b(src)
+}
+
+// Supports reports (as an error) whether the named estimator can be
+// built over src — what job submission validates without keeping the
+// estimator.
+func (r *Registry) Supports(name string, src crawl.Source) error {
+	_, err := r.New(name, src)
+	return err
+}
+
+// avgDegreeKernel estimates the average symmetric degree as n/Σ(1/deg)
+// (the harmonic correction of Theorem 4.1; mirrors estimate.AvgDegree).
+type avgDegreeKernel struct{ src crawl.Source }
+
+func (k *avgDegreeKernel) dim() int { return 2 }
+
+func (k *avgDegreeKernel) observe(u, v int, inc []float64) (float64, bool) {
+	d := k.src.SymDegree(v)
+	if d == 0 {
+		return 0, false
+	}
+	w := 1 / float64(d)
+	inc[0], inc[1] = 1, w
+	return w, true
+}
+
+func (k *avgDegreeKernel) estimate(s []float64) float64 {
+	if s[1] == 0 {
+		return math.NaN()
+	}
+	return s[0] / s[1]
+}
+
+// clusteringKernel estimates the global clustering coefficient
+// (mirrors estimate.Clustering: f(u,v)/(2·C(deg u,2)) over Σ 1/deg(u)).
+type clusteringKernel struct{ view estimate.EdgeView }
+
+func (k *clusteringKernel) dim() int { return 2 }
+
+func (k *clusteringKernel) observe(u, v int, inc []float64) (float64, bool) {
+	d := k.view.SymDegree(u)
+	if d < 2 {
+		return 0, false
+	}
+	pairs := float64(d) * float64(d-1) / 2
+	shared := float64(k.view.SharedNeighbors(u, v))
+	inc[0] = shared / (2 * pairs)
+	inc[1] = 1 / float64(d)
+	return inc[0], true
+}
+
+func (k *clusteringKernel) estimate(s []float64) float64 {
+	if s[1] == 0 {
+		return math.NaN()
+	}
+	return s[0] / s[1]
+}
+
+// assortativityKernel estimates the undirected assortative mixing
+// coefficient from streaming moments (mirrors estimate.Assortativity in
+// undirected mode): the Pearson correlation of the endpoint degrees
+// under the sampled-edge distribution.
+type assortativityKernel struct{ view estimate.EdgeView }
+
+func (k *assortativityKernel) dim() int { return 6 }
+
+func (k *assortativityKernel) observe(u, v int, inc []float64) (float64, bool) {
+	i := float64(k.view.SymDegree(u))
+	j := float64(k.view.SymDegree(v))
+	inc[0], inc[1], inc[2], inc[3], inc[4], inc[5] = 1, i, j, i*j, i*i, j*j
+	return i * j, true
+}
+
+func (k *assortativityKernel) estimate(s []float64) float64 {
+	n := s[0]
+	if n == 0 {
+		return math.NaN()
+	}
+	mi, mj := s[1]/n, s[2]/n
+	cov := s[3]/n - mi*mj
+	vi := s[4]/n - mi*mi
+	vj := s[5]/n - mj*mj
+	if vi <= 0 || vj <= 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vi*vj)
+}
+
+// degreeDistKernel estimates the symmetric degree distribution (and its
+// CCDF) per equation (7), mirroring estimate.DegreeDist; its scalar
+// summary — what the monitor's CI and stop rules apply to — is the
+// estimated average degree, whose convergence tracks the common
+// 1/deg re-weighting denominator every bucket shares.
+type degreeDistKernel struct {
+	src     crawl.Source
+	buckets []float64
+	s       float64
+}
+
+func (k *degreeDistKernel) dim() int { return 2 }
+
+func (k *degreeDistKernel) observe(u, v int, inc []float64) (float64, bool) {
+	d := k.src.SymDegree(v)
+	if d == 0 {
+		return 0, false
+	}
+	w := 1 / float64(d)
+	for d >= len(k.buckets) {
+		k.buckets = append(k.buckets, 0)
+	}
+	k.buckets[d] += w
+	k.s += w
+	inc[0], inc[1] = 1, w
+	return w, true
+}
+
+func (k *degreeDistKernel) estimate(s []float64) float64 {
+	if s[1] == 0 {
+		return math.NaN()
+	}
+	return s[0] / s[1]
+}
+
+func (k *degreeDistKernel) vector() *VectorResult {
+	theta := make([]float64, len(k.buckets))
+	if k.s > 0 {
+		for i, b := range k.buckets {
+			theta[i] = b / k.s
+		}
+	}
+	return &VectorResult{Kind: "degree_ccdf", Values: graph.CCDF(theta)}
+}
+
+// degreeDistState is the serialized bucket state of a degreeDistKernel.
+type degreeDistState struct {
+	Buckets []float64 `json:"buckets"`
+	S       float64   `json:"s"`
+}
+
+func (k *degreeDistKernel) vectorState() (json.RawMessage, error) {
+	return json.Marshal(degreeDistState{Buckets: k.buckets, S: k.s})
+}
+
+func (k *degreeDistKernel) vectorRestore(raw json.RawMessage) error {
+	if len(raw) == 0 {
+		k.buckets, k.s = nil, 0
+		return nil
+	}
+	var st degreeDistState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("live: restoring degreedist buckets: %w", err)
+	}
+	k.buckets, k.s = st.Buckets, st.S
+	return nil
+}
+
+// groupDensityKernel estimates the per-group vertex densities θ_l
+// (equation (7) with group-membership labels, mirroring
+// estimate.GroupDensity); its scalar summary is the density of group 0.
+type groupDensityKernel struct {
+	src     crawl.Source
+	gs      GroupSource
+	buckets []float64
+	s       float64
+}
+
+func newGroupDensityKernel(src crawl.Source, gs GroupSource) *groupDensityKernel {
+	return &groupDensityKernel{src: src, gs: gs, buckets: make([]float64, gs.NumGroups())}
+}
+
+func (k *groupDensityKernel) dim() int { return 2 }
+
+func (k *groupDensityKernel) observe(u, v int, inc []float64) (float64, bool) {
+	d := k.src.SymDegree(v)
+	if d == 0 {
+		return 0, false
+	}
+	w := 1 / float64(d)
+	inc[0], inc[1] = 0, w
+	for _, id := range k.gs.Groups(v) {
+		k.buckets[id] += w
+		if id == 0 {
+			inc[0] = w
+		}
+	}
+	k.s += w
+	return w, true
+}
+
+func (k *groupDensityKernel) estimate(s []float64) float64 {
+	if s[1] == 0 {
+		return math.NaN()
+	}
+	return s[0] / s[1]
+}
+
+func (k *groupDensityKernel) vector() *VectorResult {
+	out := make([]float64, len(k.buckets))
+	if k.s > 0 {
+		for i, b := range k.buckets {
+			out[i] = b / k.s
+		}
+	}
+	return &VectorResult{Kind: "group_density", Values: out}
+}
+
+// groupDensityState is the serialized bucket state of a
+// groupDensityKernel.
+type groupDensityState struct {
+	Buckets []float64 `json:"buckets"`
+	S       float64   `json:"s"`
+}
+
+func (k *groupDensityKernel) vectorState() (json.RawMessage, error) {
+	return json.Marshal(groupDensityState{Buckets: k.buckets, S: k.s})
+}
+
+func (k *groupDensityKernel) vectorRestore(raw json.RawMessage) error {
+	if len(raw) == 0 {
+		for i := range k.buckets {
+			k.buckets[i] = 0
+		}
+		k.s = 0
+		return nil
+	}
+	var st groupDensityState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("live: restoring groupdensity buckets: %w", err)
+	}
+	if len(st.Buckets) != len(k.buckets) {
+		return fmt.Errorf("live: checkpoint has %d groups, source has %d", len(st.Buckets), len(k.buckets))
+	}
+	copy(k.buckets, st.Buckets)
+	k.s = st.S
+	return nil
+}

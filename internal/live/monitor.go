@@ -1,0 +1,393 @@
+package live
+
+import (
+	"math"
+
+	"frontier/internal/walkstats"
+)
+
+// MonitorConfig sizes the convergence monitor's bounded state. The zero
+// value means every default; all state the config sizes serializes into
+// checkpoints, so a resumed monitor keeps the configuration it started
+// with.
+type MonitorConfig struct {
+	// BatchSize is the initial number of qualifying observations per
+	// batch; the monitor computes one batch estimate (the kernel
+	// applied to the batch's own moment sums) per full batch. Default
+	// 64.
+	BatchSize int `json:"batch_size,omitempty"`
+	// MaxBatches bounds the retained batch sums the CI is computed
+	// over. When the bound is reached, adjacent batches merge pairwise
+	// and the batch size doubles (the standard MCMC batch-doubling
+	// scheme): memory stays bounded, no observation is ever dropped,
+	// and the CI half-width keeps shrinking ~1/√N instead of flooring
+	// at a window-limited constant. Rounded up to even; default 256.
+	MaxBatches int `json:"max_batches,omitempty"`
+	// Chains is the number of per-walker observation chains kept for
+	// Gelman-Rubin (walker i feeds chain i mod Chains). Default 4.
+	Chains int `json:"chains,omitempty"`
+	// ChainWindow bounds each chain's ring. Default 512.
+	ChainWindow int `json:"chain_window,omitempty"`
+	// Window bounds the in-order ring of recent mixing statistics that
+	// ESS and Geweke are computed over. Default 4096.
+	Window int `json:"window,omitempty"`
+	// ESSMaxLag caps the autocorrelation sum in the windowed ESS
+	// (walkstats.EffectiveSampleSizeMaxLag). Default 128.
+	ESSMaxLag int `json:"ess_max_lag,omitempty"`
+}
+
+// Monitor defaults.
+const (
+	DefaultBatchSize   = 64
+	DefaultMaxBatches  = 256
+	DefaultChains      = 4
+	DefaultChainWindow = 512
+	DefaultWindow      = 4096
+	DefaultESSMaxLag   = 128
+)
+
+// normalize fills zero fields with defaults and floors the rest.
+func (c *MonitorConfig) normalize() {
+	if c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.MaxBatches < 16 {
+		if c.MaxBatches <= 0 {
+			c.MaxBatches = DefaultMaxBatches
+		} else {
+			c.MaxBatches = 16 // walkstats.MeanCI needs >= 16 points
+		}
+	}
+	if c.MaxBatches%2 != 0 {
+		c.MaxBatches++ // pairwise merging needs an even bound
+	}
+	if c.Chains < 2 {
+		if c.Chains <= 0 {
+			c.Chains = DefaultChains
+		} else {
+			c.Chains = 2
+		}
+	}
+	if c.ChainWindow <= 1 {
+		c.ChainWindow = DefaultChainWindow
+	}
+	if c.Window <= 16 {
+		c.Window = DefaultWindow
+	}
+	if c.ESSMaxLag <= 0 {
+		c.ESSMaxLag = DefaultESSMaxLag
+	}
+}
+
+// ring is a bounded FIFO of float64 with deterministic JSON form: Buf
+// is circular, Head indexes the oldest element once full.
+type ring struct {
+	Cap  int       `json:"cap"`
+	Buf  []float64 `json:"buf"`
+	Head int       `json:"head"`
+}
+
+func newRing(capacity int) *ring { return &ring{Cap: capacity} }
+
+func (r *ring) push(x float64) {
+	if len(r.Buf) < r.Cap {
+		r.Buf = append(r.Buf, x)
+		return
+	}
+	r.Buf[r.Head] = x
+	r.Head = (r.Head + 1) % r.Cap
+}
+
+func (r *ring) len() int { return len(r.Buf) }
+
+// ordered materializes the ring oldest-first into dst (reused when big
+// enough).
+func (r *ring) ordered(dst []float64) []float64 {
+	n := len(r.Buf)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		dst[i] = r.Buf[(r.Head+i)%n]
+	}
+	return dst
+}
+
+// monitorState is the serialized form of a Monitor: the config plus
+// every bounded accumulation.
+type monitorState struct {
+	Config MonitorConfig `json:"config"`
+	N      int64         `json:"n"`
+	// BatchSize is the current (doubling) batch size; Config.BatchSize
+	// is only the initial one.
+	BatchSize int         `json:"batch_size"`
+	BatchSums []float64   `json:"batch_sums"`
+	BatchN    int         `json:"batch_n"`
+	Batches   [][]float64 `json:"batches"`
+	Window    *ring       `json:"window"`
+	Chains    []*ring     `json:"chains"`
+}
+
+// Monitor is the online convergence monitor: bounded batch-means state
+// for confidence intervals plus bounded per-walker chains and an
+// in-order window for the walkstats mixing diagnostics. A Monitor is
+// bound to one Estimator by NewRuntime and driven from the sampling
+// run's emit callback; it is not safe for concurrent use (Runtime's
+// owner snapshots Reports for concurrent readers).
+type Monitor struct {
+	cfg MonitorConfig
+	est *Estimator // bound by Runtime
+
+	n         int64
+	batchSize int // current batch size; doubles when the bound fills
+	batchSums []float64
+	batchN    int
+	batches   [][]float64 // completed batch moment sums, oldest first
+	window    *ring
+	chains    []*ring
+
+	scratch []float64 // reused ordered()/batch-estimate buffer
+}
+
+// NewMonitor creates a monitor with the given configuration (zero
+// fields take defaults).
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	cfg.normalize()
+	m := &Monitor{
+		cfg:       cfg,
+		batchSize: cfg.BatchSize,
+		window:    newRing(cfg.Window),
+		chains:    make([]*ring, cfg.Chains),
+	}
+	for i := range m.chains {
+		m.chains[i] = newRing(cfg.ChainWindow)
+	}
+	return m
+}
+
+// Config returns the monitor's normalized configuration.
+func (m *Monitor) Config() MonitorConfig { return m.cfg }
+
+// bind attaches the estimator whose kernel the batch estimates use.
+func (m *Monitor) bind(e *Estimator) {
+	m.est = e
+	if m.batchSums == nil {
+		m.batchSums = make([]float64, e.k.dim())
+	}
+}
+
+// observe records one qualifying observation: the walker's mixing
+// statistic into its chain and the in-order window, and the moment
+// increments into the current batch. Called by Runtime with the
+// estimator's scratch increments still valid.
+func (m *Monitor) observe(walker int, stat float64, inc []float64) {
+	m.n++
+	m.window.push(stat)
+	if walker < 0 {
+		walker = 0
+	}
+	m.chains[walker%len(m.chains)].push(stat)
+	for i, x := range inc {
+		m.batchSums[i] += x
+	}
+	m.batchN++
+	if m.batchN >= m.batchSize {
+		m.batches = append(m.batches, append([]float64(nil), m.batchSums...))
+		for i := range m.batchSums {
+			m.batchSums[i] = 0
+		}
+		m.batchN = 0
+		if len(m.batches) >= m.cfg.MaxBatches {
+			m.mergeBatches()
+		}
+	}
+}
+
+// mergeBatches halves the retained batch list by summing adjacent
+// pairs and doubles the batch size. Sums — not estimates — are merged,
+// so the combined batch is exactly what a single batch of the doubled
+// size would have accumulated; no observation is lost.
+func (m *Monitor) mergeBatches() {
+	merged := make([][]float64, 0, len(m.batches)/2)
+	for i := 0; i+1 < len(m.batches); i += 2 {
+		a, b := m.batches[i], m.batches[i+1]
+		c := make([]float64, len(a))
+		for k := range a {
+			c[k] = a[k] + b[k]
+		}
+		merged = append(merged, c)
+	}
+	m.batches = merged
+	m.batchSize *= 2
+}
+
+// Interval is a confidence interval around an estimate.
+type Interval struct {
+	// Lo and Hi bound the ~95% interval.
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+	// HalfWidth is the interval's half-width — what the
+	// "ci_halfwidth<=ε" stop rule thresholds.
+	HalfWidth float64 `json:"half_width"`
+}
+
+// Diagnostics are the monitor's current convergence diagnostics.
+// Pointer fields are nil while the corresponding diagnostic is not yet
+// computable (too few observations, or a degenerate constant window —
+// see walkstats.ErrConstantSeries).
+type Diagnostics struct {
+	// ESS is the effective sample size of the whole run, extrapolated
+	// from the windowed estimate (n_window / (1+2Σρ) scaled by N/window).
+	ESS *float64 `json:"ess,omitempty"`
+	// RHat is the Gelman-Rubin potential scale reduction factor across
+	// the per-walker chains (≈1 when the walkers have mixed).
+	RHat *float64 `json:"rhat,omitempty"`
+	// GewekeZ is the early-vs-late stationarity z-score over the window.
+	GewekeZ *float64 `json:"geweke_z,omitempty"`
+	// Batches is the number of completed batch estimates retained.
+	Batches int `json:"batches"`
+	// BatchSize is observations per batch.
+	BatchSize int `json:"batch_size"`
+	// Window is the current mixing-statistic window length.
+	Window int `json:"window"`
+	// Chains is the number of per-walker chains.
+	Chains int `json:"chains"`
+}
+
+// ci computes the batch-means confidence interval around the
+// estimator's cumulative estimate: point estimate from all data, width
+// from the spread of the per-batch estimates (kernel applied to each
+// retained batch's own sums). Returns nil until at least 16
+// non-degenerate batches completed (or on a flat batch series).
+func (m *Monitor) ci() *Interval {
+	if len(m.batches) < 16 {
+		return nil
+	}
+	if cap(m.scratch) < len(m.batches) {
+		m.scratch = make([]float64, 0, len(m.batches))
+	}
+	m.scratch = m.scratch[:0]
+	for _, sums := range m.batches {
+		if e := m.est.k.estimate(sums); !math.IsNaN(e) {
+			m.scratch = append(m.scratch, e)
+		}
+	}
+	if len(m.scratch) < 16 {
+		return nil
+	}
+	_, hw, err := walkstats.MeanCI(m.scratch)
+	if err != nil {
+		return nil
+	}
+	v := m.est.Value()
+	if finite(v) == nil || finite(hw) == nil {
+		return nil
+	}
+	return &Interval{Lo: v - hw, Hi: v + hw, HalfWidth: hw}
+}
+
+// finite returns &x, or nil when x is NaN or ±Inf. Reports are JSON —
+// which cannot carry non-finite numbers (json.Marshal errors, which
+// would kill the estimates endpoint and the SSE stream) — so
+// non-finite diagnostics are published as "absent". GelmanRubin's +Inf
+// (flat chains at different levels) still does the right thing through
+// this lens: an absent R̂ can never satisfy an rhat<= stop rule.
+func finite(x float64) *float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return nil
+	}
+	return &x
+}
+
+// diagnostics computes the current mixing diagnostics. O(window ×
+// ESSMaxLag); callers (Runtime) invoke it at eval points, not per
+// observation.
+func (m *Monitor) diagnostics() Diagnostics {
+	d := Diagnostics{
+		Batches:   len(m.batches),
+		BatchSize: m.batchSize,
+		Window:    m.window.len(),
+		Chains:    len(m.chains),
+	}
+	if m.window.len() >= 4 {
+		m.scratch = m.window.ordered(m.scratch)
+		if ess, err := walkstats.EffectiveSampleSizeMaxLag(m.scratch, m.cfg.ESSMaxLag); err == nil {
+			if w := m.window.len(); int64(w) < m.n {
+				ess *= float64(m.n) / float64(w)
+			}
+			d.ESS = finite(ess)
+		}
+		if z, err := walkstats.Geweke(m.scratch, 0.1, 0.5); err == nil {
+			d.GewekeZ = finite(z)
+		}
+	}
+	if rhat, ok := m.rhat(); ok {
+		d.RHat = finite(rhat)
+	}
+	return d
+}
+
+// rhat computes Gelman-Rubin over equal-length suffixes of the
+// per-walker chains.
+func (m *Monitor) rhat() (float64, bool) {
+	minLen := -1
+	for _, c := range m.chains {
+		if n := c.len(); minLen < 0 || n < minLen {
+			minLen = n
+		}
+	}
+	if minLen < 2 {
+		return 0, false
+	}
+	chains := make([][]float64, len(m.chains))
+	for i, c := range m.chains {
+		full := c.ordered(nil)
+		chains[i] = full[len(full)-minLen:]
+	}
+	rhat, err := walkstats.GelmanRubin(chains)
+	if err != nil {
+		return 0, false
+	}
+	return rhat, true
+}
+
+// state serializes the monitor.
+func (m *Monitor) state() monitorState {
+	return monitorState{
+		Config:    m.cfg,
+		N:         m.n,
+		BatchSize: m.batchSize,
+		BatchSums: append([]float64(nil), m.batchSums...),
+		BatchN:    m.batchN,
+		Batches:   m.batches,
+		Window:    m.window,
+		Chains:    m.chains,
+	}
+}
+
+// restoreState installs a serialized monitor state, including the
+// configuration it was produced under.
+func (m *Monitor) restoreState(st monitorState) error {
+	cfg := st.Config
+	cfg.normalize()
+	m.cfg = cfg
+	m.n = st.N
+	if st.BatchSize > 0 {
+		m.batchSize = st.BatchSize
+	} else {
+		m.batchSize = cfg.BatchSize
+	}
+	m.batchN = st.BatchN
+	if st.BatchSums != nil {
+		m.batchSums = st.BatchSums
+	}
+	m.batches = st.Batches
+	if st.Window != nil {
+		m.window = st.Window
+	}
+	if len(st.Chains) > 0 {
+		m.chains = st.Chains
+	}
+	return nil
+}

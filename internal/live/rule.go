@@ -1,0 +1,147 @@
+package live
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Metric names a monitor quantity a stop rule can threshold.
+type Metric string
+
+// The metrics stop rules understand.
+const (
+	// MetricCIHalfWidth is the batch-means ~95% CI half-width of the
+	// estimate (absolute; rule form "ci_halfwidth<=ε").
+	MetricCIHalfWidth Metric = "ci_halfwidth"
+	// MetricCIRel is the CI half-width divided by |estimate| (rule form
+	// "ci_rel<=ε").
+	MetricCIRel Metric = "ci_rel"
+	// MetricESS is the extrapolated effective sample size (rule form
+	// "ess>=n").
+	MetricESS Metric = "ess"
+	// MetricRHat is the Gelman-Rubin factor across walker chains (rule
+	// form "rhat<=x").
+	MetricRHat Metric = "rhat"
+)
+
+// StopRule is a parsed adaptive-stopping condition: a monitor metric
+// compared against a threshold. The zero value is invalid; build one
+// with ParseStopRule. A nil *StopRule means budget-only (never stop
+// early).
+type StopRule struct {
+	// Metric is the thresholded quantity.
+	Metric Metric
+	// Threshold is the bound: an upper bound for ci_halfwidth/ci_rel/
+	// rhat, a lower bound for ess.
+	Threshold float64
+	// MinObservations is the number of qualifying observations before
+	// the rule may fire, guarding against a lucky early window. 0 means
+	// DefaultMinObservations.
+	MinObservations int64
+}
+
+// DefaultMinObservations is the observation floor before any stop rule
+// may fire.
+const DefaultMinObservations = 1024
+
+// ParseStopRule parses a spec-level stop rule string:
+//
+//	ci_halfwidth<=0.01   stop when the CI half-width is at most 0.01
+//	ci_rel<=0.005        ... relative to the estimate's magnitude
+//	ess>=5000            stop at 5000 effective samples
+//	rhat<=1.05           stop when the walker chains agree
+//
+// The empty string parses to nil: budget-only, the historical behavior.
+// The comparison operator must match the metric's direction — a rule
+// like "ess<=10" would stop immediately on the worst possible run.
+func ParseStopRule(s string) (*StopRule, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var metric, valStr string
+	var wantGE bool
+	if i := strings.Index(s, "<="); i >= 0 {
+		metric, valStr = s[:i], s[i+2:]
+	} else if i := strings.Index(s, ">="); i >= 0 {
+		metric, valStr, wantGE = s[:i], s[i+2:], true
+	} else {
+		return nil, fmt.Errorf("live: stop rule %q has no <= or >= comparison", s)
+	}
+	metric = strings.TrimSpace(metric)
+	v, err := strconv.ParseFloat(strings.TrimSpace(valStr), 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil, fmt.Errorf("live: stop rule %q has a bad threshold", s)
+	}
+	r := &StopRule{Metric: Metric(metric), Threshold: v}
+	switch r.Metric {
+	case MetricCIHalfWidth, MetricCIRel, MetricRHat:
+		if wantGE {
+			return nil, fmt.Errorf("live: stop rule metric %q takes <= (got >=)", metric)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("live: stop rule %q needs a positive threshold", s)
+		}
+	case MetricESS:
+		if !wantGE {
+			return nil, fmt.Errorf("live: stop rule metric %q takes >= (got <=)", metric)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("live: stop rule %q needs a threshold >= 1", s)
+		}
+	default:
+		return nil, fmt.Errorf("live: unknown stop rule metric %q (want ci_halfwidth, ci_rel, ess or rhat)", metric)
+	}
+	return r, nil
+}
+
+// String renders the rule in its parseable form.
+func (r *StopRule) String() string {
+	if r == nil {
+		return ""
+	}
+	op := "<="
+	if r.Metric == MetricESS {
+		op = ">="
+	}
+	return fmt.Sprintf("%s%s%g", r.Metric, op, r.Threshold)
+}
+
+// minObs returns the rule's observation floor.
+func (r *StopRule) minObs() int64 {
+	if r.MinObservations > 0 {
+		return r.MinObservations
+	}
+	return DefaultMinObservations
+}
+
+// evaluate checks the rule against the current interval and
+// diagnostics; when satisfied it returns a human-readable reason.
+func (r *StopRule) evaluate(n int64, value float64, ci *Interval, d Diagnostics) (bool, string) {
+	if r == nil || n < r.minObs() {
+		return false, ""
+	}
+	switch r.Metric {
+	case MetricCIHalfWidth:
+		if ci != nil && ci.HalfWidth <= r.Threshold {
+			return true, fmt.Sprintf("converged: %s (half-width %.6g after %d observations)", r, ci.HalfWidth, n)
+		}
+	case MetricCIRel:
+		if ci != nil && !math.IsNaN(value) && value != 0 {
+			if rel := ci.HalfWidth / math.Abs(value); rel <= r.Threshold {
+				return true, fmt.Sprintf("converged: %s (relative half-width %.6g after %d observations)", r, rel, n)
+			}
+		}
+	case MetricESS:
+		if d.ESS != nil && *d.ESS >= r.Threshold {
+			return true, fmt.Sprintf("converged: %s (ess %.6g after %d observations)", r, *d.ESS, n)
+		}
+	case MetricRHat:
+		if d.RHat != nil && *d.RHat <= r.Threshold {
+			return true, fmt.Sprintf("converged: %s (rhat %.6g after %d observations)", r, *d.RHat, n)
+		}
+	}
+	return false, ""
+}

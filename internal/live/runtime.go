@@ -1,0 +1,177 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Report is a point-in-time view of a live estimation: the estimate,
+// its confidence interval, the mixing diagnostics and the stop-rule
+// verdict. It is what GET /v1/jobs/{id}/estimates serves and what the
+// SSE "estimate" frames carry.
+type Report struct {
+	// Estimator is the registry name of the running estimator.
+	Estimator string `json:"estimator"`
+	// Observations is the number of qualifying observations consumed.
+	Observations int64 `json:"observations"`
+	// Value is the current scalar estimate; omitted until the estimator
+	// has observed enough to form one.
+	Value *float64 `json:"value,omitempty"`
+	// CI is the batch-means ~95% confidence interval around Value;
+	// omitted until enough batches completed.
+	CI *Interval `json:"ci,omitempty"`
+	// Vector is the vector-valued result (degree CCDF, group
+	// densities); nil for scalar estimators.
+	Vector *VectorResult `json:"vector,omitempty"`
+	// Diagnostics are the monitor's mixing diagnostics.
+	Diagnostics Diagnostics `json:"diagnostics"`
+	// StopRule is the active rule in parseable form ("" = budget-only).
+	StopRule string `json:"stop_rule,omitempty"`
+	// Converged reports whether the stop rule has been satisfied.
+	Converged bool `json:"converged"`
+	// StopReason explains the convergence verdict when Converged.
+	StopReason string `json:"stop_reason,omitempty"`
+}
+
+// Runtime ties one estimator, one monitor and an optional stop rule
+// into the unit a sampling job drives: feed it every sampled edge and
+// it keeps the estimate, the diagnostics and the convergence verdict
+// current, re-evaluating the rule every EvalEvery qualifying
+// observations. The whole runtime serializes to JSON for job
+// checkpoints. Not safe for concurrent use.
+type Runtime struct {
+	est  *Estimator
+	mon  *Monitor
+	rule *StopRule
+
+	// EvalEvery is the evaluation cadence in qualifying observations;
+	// set before the first Observe (default DefaultEvalEvery). The
+	// cadence is part of the deterministic replay contract: a resumed
+	// run re-evaluates at the same observation counts.
+	EvalEvery int64
+
+	converged bool
+	reason    string
+}
+
+// DefaultEvalEvery is the default rule-evaluation (and report-refresh)
+// cadence in qualifying observations.
+const DefaultEvalEvery = 512
+
+// NewRuntime binds est and mon (both required) with an optional rule
+// (nil = budget-only).
+func NewRuntime(est *Estimator, mon *Monitor, rule *StopRule) *Runtime {
+	mon.bind(est)
+	return &Runtime{est: est, mon: mon, rule: rule, EvalEvery: DefaultEvalEvery}
+}
+
+// Estimator returns the bound estimator.
+func (rt *Runtime) Estimator() *Estimator { return rt.est }
+
+// Observe consumes one sampled edge emitted by walker (the sampler's
+// core.WalkerTracker index; pass 0 when unknown). At every EvalEvery-th
+// qualifying observation it re-evaluates the stop rule and returns a
+// fresh Report; otherwise it returns nil. Diagnostics cost O(window ×
+// lag), so the cadence — not the caller — bounds the overhead.
+func (rt *Runtime) Observe(walker, u, v int) *Report {
+	stat, ok := rt.est.Observe(u, v)
+	if !ok {
+		return nil
+	}
+	rt.mon.observe(walker, stat, rt.est.scratch)
+	if rt.est.n%rt.evalEvery() != 0 {
+		return nil
+	}
+	rep := rt.buildReport(true)
+	return &rep
+}
+
+func (rt *Runtime) evalEvery() int64 {
+	if rt.EvalEvery > 0 {
+		return rt.EvalEvery
+	}
+	return DefaultEvalEvery
+}
+
+// Converged reports whether the stop rule has been satisfied, with the
+// reason.
+func (rt *Runtime) Converged() (bool, string) { return rt.converged, rt.reason }
+
+// Report computes a fresh report now (diagnostics included) without
+// advancing the evaluation schedule or the convergence verdict: the
+// verdict only moves at Observe's eval points, so a report built after
+// the run (e.g. for a budget-exhausted job) can never contradict the
+// run's recorded stop reason.
+func (rt *Runtime) Report() Report { return rt.buildReport(false) }
+
+// buildReport assembles the report; with evaluate it also updates the
+// convergence verdict (a verdict, once reached, is sticky: the job is
+// already stopping).
+func (rt *Runtime) buildReport(evaluate bool) Report {
+	d := rt.mon.diagnostics()
+	ci := rt.mon.ci()
+	value := rt.est.Value()
+	if evaluate && !rt.converged {
+		if ok, reason := rt.rule.evaluate(rt.est.n, value, ci, d); ok {
+			rt.converged, rt.reason = true, reason
+		}
+	}
+	rep := Report{
+		Estimator:    rt.est.Name(),
+		Observations: rt.est.n,
+		CI:           ci,
+		Vector:       rt.est.Vector(),
+		Diagnostics:  d,
+		StopRule:     rt.rule.String(),
+		Converged:    rt.converged,
+		StopReason:   rt.reason,
+	}
+	rep.Value = finite(value)
+	return rep
+}
+
+// runtimeState is the serialized form of a Runtime.
+type runtimeState struct {
+	Estimator estimatorState `json:"estimator"`
+	Monitor   monitorState   `json:"monitor"`
+	EvalEvery int64          `json:"eval_every"`
+	Converged bool           `json:"converged,omitempty"`
+	Reason    string         `json:"reason,omitempty"`
+}
+
+// State serializes the runtime — estimator sums, monitor rings,
+// convergence verdict — for a job checkpoint.
+func (rt *Runtime) State() ([]byte, error) {
+	est, err := rt.est.state()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(runtimeState{
+		Estimator: est,
+		Monitor:   rt.mon.state(),
+		EvalEvery: rt.evalEvery(),
+		Converged: rt.converged,
+		Reason:    rt.reason,
+	})
+}
+
+// Restore installs a state previously produced by State. The runtime
+// must have been built over the same estimator name and source kind.
+func (rt *Runtime) Restore(data []byte) error {
+	var st runtimeState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("live: decoding runtime state: %w", err)
+	}
+	if err := rt.est.restore(st.Estimator); err != nil {
+		return err
+	}
+	if err := rt.mon.restoreState(st.Monitor); err != nil {
+		return err
+	}
+	if st.EvalEvery > 0 {
+		rt.EvalEvery = st.EvalEvery
+	}
+	rt.converged = st.Converged
+	rt.reason = st.Reason
+	return nil
+}

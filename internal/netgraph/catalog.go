@@ -10,6 +10,7 @@ import (
 	"frontier/internal/crawl"
 	"frontier/internal/graph"
 	"frontier/internal/jobs"
+	"frontier/internal/live"
 )
 
 // ErrUnknownGraph is returned when a request names a graph the catalog
@@ -204,12 +205,32 @@ func (c *Catalog) List() []GraphInfo {
 	return out
 }
 
+// labeledSource pairs a hosted graph with its group labels, so jobs
+// resolved through the catalog can run the group-density estimator.
+// Embedding keeps the graph's full method set — crawl.Source,
+// estimate.EdgeView — and adds the live.GroupSource facet.
+type labeledSource struct {
+	*graph.Graph
+	gl *graph.GroupLabels
+}
+
+// Groups implements live.GroupSource.
+func (s labeledSource) Groups(v int) []int32 { return s.gl.Groups(v) }
+
+// NumGroups implements live.GroupSource.
+func (s labeledSource) NumGroups() int { return s.gl.NumGroups() }
+
+// Compile-time check: labeled sources expose group labels to live
+// estimators.
+var _ live.GroupSource = labeledSource{}
+
 // Resolve implements jobs.Resolver: it returns the named graph as a
-// sampling source and pins it until the release callback runs, so a
-// graph cannot be evicted out from under a running job. The pin is
-// keyed by name, not entry: a graph re-added under the same name shares
-// the name's pin count, which only errs on the side of refusing an
-// eviction.
+// sampling source — wrapped with its group labels when it has any, so
+// label-dependent estimators resolve — and pins it until the release
+// callback runs, so a graph cannot be evicted out from under a running
+// job. The pin is keyed by name, not entry: a graph re-added under the
+// same name shares the name's pin count, which only errs on the side of
+// refusing an eviction.
 func (c *Catalog) Resolve(name string) (crawl.Source, func(), error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -230,6 +251,9 @@ func (c *Catalog) Resolve(name string) (crawl.Source, func(), error) {
 				}
 			}
 		})
+	}
+	if hg.groups != nil {
+		return labeledSource{Graph: hg.g, gl: hg.groups}, release, nil
 	}
 	return hg.g, release, nil
 }

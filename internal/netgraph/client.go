@@ -19,6 +19,7 @@ import (
 	"frontier/internal/estimate"
 	"frontier/internal/graph"
 	"frontier/internal/jobs"
+	"frontier/internal/live"
 )
 
 // DefaultCacheCapacity bounds the vertex cache when no explicit capacity
@@ -143,6 +144,7 @@ var (
 	_ crawl.Source      = (*Client)(nil)
 	_ crawl.BatchSource = (*Client)(nil)
 	_ estimate.EdgeView = (*Client)(nil)
+	_ live.GroupSource  = (*Client)(nil)
 )
 
 // Dial fetches the remote graph's metadata and returns a client.
@@ -531,7 +533,12 @@ func (c *Client) SharedNeighbors(u, v int) int {
 }
 
 // Groups returns the group labels of v (nil when the server has none).
+// Together with NumGroups it implements live.GroupSource, so the
+// group-density live estimator runs against a remote graph.
 func (c *Client) Groups(v int) []int32 { return c.vertex(v).Groups }
+
+// NumGroups implements live.GroupSource from the dialed metadata.
+func (c *Client) NumGroups() int { return c.meta.NumGroups }
 
 // GroupLabelsSnapshot reconstructs group labels for all vertices by
 // querying each one (batched). Intended for small graphs and tests; a
@@ -615,6 +622,28 @@ func (c *Client) Job(ctx context.Context, id string) (jobs.Status, error) {
 	return decodeStatus("job "+id, resp)
 }
 
+// JobEstimates fetches a job's latest live estimation report
+// (GET /v1/jobs/{id}/estimates): current estimate, confidence interval,
+// mixing diagnostics and stop-rule verdict. It errors while the job has
+// not yet published a report (the server answers 404).
+func (c *Client) JobEstimates(ctx context.Context, id string) (live.Report, error) {
+	resp, err := c.get(ctx, "/v1/jobs/"+id+"/estimates")
+	if err != nil {
+		return live.Report{}, fmt.Errorf("netgraph: job estimates %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return live.Report{}, fmt.Errorf("netgraph: job estimates %s: status %d: %s",
+			id, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var rep live.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return live.Report{}, fmt.Errorf("netgraph: decoding job estimates %s: %w", id, err)
+	}
+	return rep, nil
+}
+
 // CancelJob cancels a job (POST /v1/jobs/{id}/cancel) and returns its
 // status after the cancel was recorded.
 func (c *Client) CancelJob(ctx context.Context, id string) (jobs.Status, error) {
@@ -680,6 +709,23 @@ func (c *Client) PollJob(ctx context.Context, id string, poll time.Duration) (jo
 // the stream could not be opened or broke before a terminal event;
 // callers wanting the polling fallback use WaitJob.
 func (c *Client) FollowJob(ctx context.Context, id string, fn func(jobs.Status)) (jobs.Status, error) {
+	return c.followEvents(ctx, id, fn, nil)
+}
+
+// FollowEstimates subscribes to the same SSE stream but dispatches the
+// "estimate" frames: fn (which may be nil) receives every observed live
+// estimation report — estimate, confidence interval, diagnostics,
+// stop-rule verdict — and the call returns the job's terminal status.
+// Intermediate reports may coalesce under load; the last one observed
+// is always the job's final report.
+func (c *Client) FollowEstimates(ctx context.Context, id string, fn func(live.Report)) (jobs.Status, error) {
+	return c.followEvents(ctx, id, nil, fn)
+}
+
+// followEvents consumes a job's SSE stream, dispatching "status" frames
+// to onStatus and "estimate" frames to onEstimate (either may be nil),
+// until the terminal status event.
+func (c *Client) followEvents(ctx context.Context, id string, onStatus func(jobs.Status), onEstimate func(live.Report)) (jobs.Status, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return jobs.Status{}, err
@@ -703,18 +749,36 @@ func (c *Client) FollowJob(ctx context.Context, id string, fn func(jobs.Status))
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<14), 1<<20)
 	var data []byte
+	// Servers older than the estimates endpoint only ever send status
+	// frames, some without an explicit "event:" tag — default to status.
+	event := "status"
 	flush := func() error {
 		if len(data) == 0 {
+			event = "status"
 			return nil
 		}
-		var st jobs.Status
-		if err := json.Unmarshal(data, &st); err != nil {
-			return fmt.Errorf("netgraph: decoding job event: %w", err)
-		}
-		data = nil
-		last = st
-		if fn != nil {
-			fn(st)
+		defer func() { data, event = nil, "status" }()
+		switch event {
+		case "estimate":
+			var rep live.Report
+			if err := json.Unmarshal(data, &rep); err != nil {
+				return fmt.Errorf("netgraph: decoding estimate event: %w", err)
+			}
+			if onEstimate != nil {
+				onEstimate(rep)
+			}
+		case "status":
+			var st jobs.Status
+			if err := json.Unmarshal(data, &st); err != nil {
+				return fmt.Errorf("netgraph: decoding job event: %w", err)
+			}
+			last = st
+			if onStatus != nil {
+				onStatus(st)
+			}
+		default:
+			// Unknown event types are skipped: the stream may grow new
+			// frame kinds without breaking old clients.
 		}
 		return nil
 	}
@@ -728,10 +792,12 @@ func (c *Client) FollowJob(ctx context.Context, id string, fn func(jobs.Status))
 			if last.State.Terminal() {
 				return last, nil
 			}
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
 		case strings.HasPrefix(line, "data:"):
 			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
 		default:
-			// "event:" tags, comments and ids carry no payload we need.
+			// Comments and ids carry no payload we need.
 		}
 	}
 	if err := sc.Err(); err != nil {

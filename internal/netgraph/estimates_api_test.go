@@ -1,0 +1,204 @@
+package netgraph
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"frontier/internal/gen"
+	"frontier/internal/jobs"
+	"frontier/internal/live"
+	"frontier/internal/xrand"
+)
+
+// adaptiveJobSpec is a spec whose stop rule fires well before its
+// budget on the jobServer graph.
+func adaptiveJobSpec() jobs.Spec {
+	return jobs.Spec{
+		Method: "fs", M: 16, Budget: 60000, Seed: 61,
+		Estimate: "avgdegree", StopRule: "ci_halfwidth<=0.3",
+	}
+}
+
+// TestJobEstimatesEndpoint drives the full live-estimation HTTP
+// surface: an adaptive job converges early, its estimates endpoint
+// serves value + CI + diagnostics, and /metrics exports the per-job
+// estimate-update counter.
+func TestJobEstimatesEndpoint(t *testing.T) {
+	ts, g, _ := jobServer(t)
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// No estimates for unknown jobs.
+	if _, err := c.JobEstimates(ctx, "job-999999"); err == nil {
+		t.Fatal("estimates of unknown job must error")
+	}
+
+	spec := adaptiveJobSpec()
+	st, err := c.SubmitJob(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitJob(ctx, st.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != jobs.StateDone {
+		t.Fatalf("job ended %s (%s)", final.State, final.Error)
+	}
+	if !strings.Contains(final.StopReason, "converged") {
+		t.Fatalf("stop reason %q, want convergence", final.StopReason)
+	}
+	if final.Spent >= spec.Budget {
+		t.Fatalf("adaptive job spent full budget %v", final.Spent)
+	}
+
+	rep, err := c.JobEstimates(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Estimator != "avgdegree" || rep.Value == nil || rep.CI == nil || !rep.Converged {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.CI.HalfWidth > 0.3 {
+		t.Fatalf("converged with half-width %v > 0.3", rep.CI.HalfWidth)
+	}
+	truth := float64(g.NumSymEdges()) / float64(g.NumVertices())
+	if *rep.Value < truth-1 || *rep.Value > truth+1 {
+		t.Fatalf("estimate %v far from truth %v", *rep.Value, truth)
+	}
+	if rep.Diagnostics.ESS == nil || rep.Diagnostics.RHat == nil {
+		t.Fatalf("diagnostics incomplete: %+v", rep.Diagnostics)
+	}
+
+	// /metrics exports the per-job estimate-update counter.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(body)
+	want := `graphd_job_estimate_updates_total{job="` + st.ID + `"}`
+	if !strings.Contains(metrics, want) {
+		t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+	}
+}
+
+// TestFollowEstimatesStreamsReports: the SSE stream interleaves
+// estimate frames with status frames, the estimate-following client
+// observes at least one report, and the last one it sees is the job's
+// final (converged) report.
+func TestFollowEstimatesStreamsReports(t *testing.T) {
+	ts, _, _ := jobServer(t)
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	st, err := c.SubmitJob(ctx, adaptiveJobSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []live.Report
+	final, err := c.FollowEstimates(ctx, st.ID, func(r live.Report) {
+		reports = append(reports, r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != jobs.StateDone {
+		t.Fatalf("job ended %s (%s)", final.State, final.Error)
+	}
+	if len(reports) == 0 {
+		t.Fatal("no estimate frames observed")
+	}
+	last := reports[len(reports)-1]
+	if !last.Converged || last.Value == nil {
+		t.Fatalf("final streamed report = %+v, want converged with a value", last)
+	}
+	// Observation counts are monotone across frames.
+	for i := 1; i < len(reports); i++ {
+		if reports[i].Observations < reports[i-1].Observations {
+			t.Fatalf("report observations went backwards: %d then %d",
+				reports[i-1].Observations, reports[i].Observations)
+		}
+	}
+	// FollowJob on the same (terminal) job still works and ignores the
+	// estimate frames.
+	fin2, err := c.FollowJob(ctx, st.ID, nil)
+	if err != nil || fin2.State != jobs.StateDone {
+		t.Fatalf("FollowJob after estimates: %+v, %v", fin2, err)
+	}
+}
+
+// TestGroupDensityJobOverLabeledGraph: the catalog resolves a labeled
+// graph to a group-aware source, so a groupdensity job runs end to end
+// over HTTP — and is rejected on a graph without labels.
+func TestGroupDensityJobOverLabeledGraph(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(62), 1200, 3)
+	gl := gen.PlantGroups(xrand.New(63), g, 6, 2400, 1.2)
+	cat := NewCatalog()
+	if err := cat.Add("labeled", g, gl); err != nil {
+		t.Fatal(err)
+	}
+	plain := gen.BarabasiAlbert(xrand.New(64), 300, 2)
+	if err := cat.Add("plain", plain, nil); err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := jobs.NewManager(nil, jobs.WithWorkers(1), jobs.WithResolver(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+	ts := httptest.NewServer(NewCatalogServer(cat, WithJobs(mgr)))
+	defer ts.Close()
+
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	spec := jobs.Spec{Graph: "labeled", Method: "fs", M: 8, Budget: 4000, Seed: 65, Estimate: "groupdensity"}
+	st, err := c.SubmitJob(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitJob(ctx, st.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != jobs.StateDone {
+		t.Fatalf("groupdensity job ended %s (%s)", final.State, final.Error)
+	}
+	rep, err := c.JobEstimates(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Vector == nil || rep.Vector.Kind != "group_density" || len(rep.Vector.Values) != gl.NumGroups() {
+		t.Fatalf("groupdensity vector = %+v", rep.Vector)
+	}
+	// The group-0 density estimate should be in the same ballpark as
+	// the exact planted density.
+	if v := rep.Vector.Values[0]; v < gl.Density(0)/3 || v > gl.Density(0)*3 {
+		t.Fatalf("group-0 density estimate %v, exact %v", v, gl.Density(0))
+	}
+
+	// The unlabeled graph rejects the estimator at submission, naming
+	// the registry's estimators in the error.
+	_, err = c.SubmitJob(ctx, jobs.Spec{Graph: "plain", Method: "fs", Budget: 100, Estimate: "groupdensity"})
+	if err == nil || !strings.Contains(err.Error(), "group labels") {
+		t.Fatalf("groupdensity on unlabeled graph = %v, want a group-labels rejection", err)
+	}
+	_, err = c.SubmitJob(ctx, jobs.Spec{Graph: "plain", Method: "fs", Budget: 100, Estimate: "bogus"})
+	if err == nil || !strings.Contains(err.Error(), "degreedist") {
+		t.Fatalf("unknown estimate error must enumerate the registry, got %v", err)
+	}
+}

@@ -209,6 +209,7 @@ func NewCatalogServer(cat *Catalog, opts ...ServerOption) *Server {
 		s.handle("POST /v1/jobs", s.handleSubmitJob)
 		s.handle("GET /v1/jobs", s.handleListJobs)
 		s.handle("GET /v1/jobs/{id}", s.handleGetJob)
+		s.handle("GET /v1/jobs/{id}/estimates", s.handleJobEstimates)
 		s.handle("GET /v1/jobs/{id}/events", s.handleJobEvents)
 		s.handle("POST /v1/jobs/{id}/cancel", s.handleCancelJob)
 	}
@@ -533,12 +534,34 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, r, j.Status())
 }
 
+// handleJobEstimates serves the job's latest live estimation report —
+// current estimate, confidence interval, mixing diagnostics, stop-rule
+// verdict, and the vector result for distribution estimators. 404 until
+// the job has published its first report (queued jobs, and running ones
+// still inside their first evaluation window).
+func (s *Server) handleJobEstimates(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	rep, _, ok := j.EstimateReport()
+	if !ok {
+		http.Error(w, "no estimates yet", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, r, rep)
+}
+
 // handleJobEvents streams a job's progress as Server-Sent Events: one
 // "status" event (data: the job's Status JSON) per observed change —
-// state transitions and step-boundary checkpoints — starting with the
-// current status and ending after the terminal one. Clients consume it
-// instead of polling GET /v1/jobs/{id}; the netgraph client's WaitJob
-// prefers this path and falls back to polling when it is unavailable.
+// state transitions and step-boundary checkpoints — interleaved with
+// one "estimate" event (data: the live.Report JSON) per estimate-report
+// refresh the stream observes, starting with the current status and
+// ending after the terminal one. Clients consume it instead of polling
+// GET /v1/jobs/{id}; the netgraph client's WaitJob prefers this path
+// and falls back to polling when it is unavailable, and FollowEstimates
+// consumes the estimate frames.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
@@ -564,8 +587,26 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	wake, stop := j.Watch()
 	defer stop()
 	last := int64(-1)
+	lastEst := int64(0)
 	for {
 		st, v := j.StatusVersion()
+		// Estimate frames ride the same wake channel: one frame per
+		// report refresh the stream observes (intermediate refreshes
+		// coalesce, like status updates — the stream is level-triggered).
+		// They are written before the status frame because clients stop
+		// reading at the terminal status event: the final report must
+		// already be on the wire by then.
+		if rep, seq, ok := j.EstimateReport(); ok && seq != lastEst {
+			lastEst = seq
+			data, err := json.Marshal(rep)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: estimate\ndata: %s\n\n", data); err != nil {
+				return
+			}
+			fl.Flush()
+		}
 		if v != last {
 			last = v
 			data, err := json.Marshal(st)
@@ -668,8 +709,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			state jobs.State
 		}
 		jc := make(map[key]int)
-		for _, j := range s.jobs.Jobs() {
+		all := s.jobs.Jobs()
+		statuses := make([]jobs.Status, 0, len(all))
+		for _, j := range all {
 			st := j.Status()
+			statuses = append(statuses, st)
 			g := st.Spec.Graph
 			if g == "" {
 				g = s.cat.DefaultName()
@@ -689,6 +733,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		})
 		for _, k := range keys {
 			fmt.Fprintf(&b, "graphd_jobs{graph=%q,state=%q} %d\n", promEscape(k.graph), k.state, jc[k])
+		}
+		// Per-job live estimate-update counters (Jobs() returns
+		// submission order, which is already stable for scrapes).
+		emitted := false
+		for _, st := range statuses {
+			if st.EstimateUpdates == 0 {
+				continue
+			}
+			if !emitted {
+				fmt.Fprintf(&b, "# HELP graphd_job_estimate_updates_total Live estimate report refreshes per job.\n# TYPE graphd_job_estimate_updates_total counter\n")
+				emitted = true
+			}
+			fmt.Fprintf(&b, "graphd_job_estimate_updates_total{job=%q} %d\n", promEscape(st.ID), st.EstimateUpdates)
 		}
 	}
 

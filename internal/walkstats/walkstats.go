@@ -28,6 +28,24 @@ import (
 // diagnostic.
 var ErrTooShort = errors.New("walkstats: series too short")
 
+// ErrConstantSeries is returned when a series (or every chain) has zero
+// variance: a flat window carries no information about mixing, so a
+// diagnostic computed from it would either divide by zero or — worse
+// for an adaptive-stopping caller — report perfect convergence from a
+// degenerate sample. Callers running online monitors treat it as "not
+// yet diagnosable" and keep sampling.
+var ErrConstantSeries = errors.New("walkstats: constant series")
+
+// isConstant reports whether every element of xs equals the first.
+func isConstant(xs []float64) bool {
+	for _, x := range xs[1:] {
+		if x != xs[0] {
+			return false
+		}
+	}
+	return true
+}
+
 func meanVar(xs []float64) (mean, variance float64) {
 	n := float64(len(xs))
 	for _, x := range xs {
@@ -83,7 +101,9 @@ func GelmanRubin(chains [][]float64) (float64, error) {
 	w /= float64(m)
 	if w == 0 {
 		if b == 0 {
-			return 1, nil // all chains identical and constant
+			// Every chain flat at the same value: nothing mixed, nothing
+			// diverged — there is no evidence either way.
+			return 0, ErrConstantSeries
 		}
 		return math.Inf(1), nil
 	}
@@ -106,13 +126,18 @@ func Geweke(xs []float64, firstFrac, lastFrac float64) (float64, error) {
 	if na < 8 || nb < 8 {
 		return 0, ErrTooShort
 	}
+	if isConstant(xs) {
+		return 0, ErrConstantSeries
+	}
 	a := xs[:na]
 	b := xs[n-nb:]
 	ma, va := batchMeanVariance(a)
 	mb, vb := batchMeanVariance(b)
 	denom := math.Sqrt(va + vb)
 	if denom == 0 {
-		return 0, nil
+		// Both windows internally flat but at different levels (e.g. a
+		// step series): zero spectral variance, not zero drift.
+		return 0, ErrConstantSeries
 	}
 	return (ma - mb) / denom, nil
 }
@@ -165,11 +190,31 @@ func Autocorrelation(xs []float64, maxLag int) ([]float64, error) {
 // autocorrelation sum at the first non-positive pair (Geyer's initial
 // positive sequence rule, simplified to single lags).
 func EffectiveSampleSize(xs []float64) (float64, error) {
+	return EffectiveSampleSizeMaxLag(xs, len(xs)/2)
+}
+
+// EffectiveSampleSizeMaxLag is EffectiveSampleSize with the
+// autocorrelation sum bounded at maxLag. Computing all n/2 lags costs
+// O(n²); an online monitor re-evaluating ESS every few hundred
+// observations caps the lag instead (autocorrelations past a modest lag
+// are noise for any walk mixing well enough to stop on). maxLag is
+// clamped to [1, n-1].
+func EffectiveSampleSizeMaxLag(xs []float64, maxLag int) (float64, error) {
 	n := len(xs)
 	if n < 4 {
 		return 0, ErrTooShort
 	}
-	maxLag := n / 2
+	if isConstant(xs) {
+		// A flat series has no definable ESS: 0/0 autocorrelations would
+		// certify n independent samples from zero information.
+		return 0, ErrConstantSeries
+	}
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 1 {
+		maxLag = 1
+	}
 	rho, err := Autocorrelation(xs, maxLag)
 	if err != nil {
 		return 0, err
@@ -196,6 +241,11 @@ func EffectiveSampleSize(xs []float64) (float64, error) {
 func MeanCI(xs []float64) (mean, halfWidth float64, err error) {
 	if len(xs) < 16 {
 		return 0, 0, ErrTooShort
+	}
+	if isConstant(xs) {
+		// A zero-width interval from a flat window would let an adaptive
+		// stop rule fire on no information at all.
+		return xs[0], 0, ErrConstantSeries
 	}
 	mean, varOfMean := batchMeanVariance(xs)
 	return mean, 1.96 * math.Sqrt(varOfMean), nil

@@ -71,10 +71,101 @@ func TestGelmanRubinErrors(t *testing.T) {
 	if _, err := GelmanRubin([][]float64{{1, 2}, {1, 2, 3}}); err == nil {
 		t.Fatal("unequal chains must error")
 	}
-	// Constant identical chains: R-hat defined as 1.
-	r, err := GelmanRubin([][]float64{{5, 5, 5}, {5, 5, 5}})
-	if err != nil || r != 1 {
-		t.Fatalf("constant chains: %v, %v", r, err)
+	// Constant identical chains carry no mixing information: an online
+	// monitor must not read them as convergence.
+	if _, err := GelmanRubin([][]float64{{5, 5, 5}, {5, 5, 5}}); err != ErrConstantSeries {
+		t.Fatalf("constant chains: err = %v, want ErrConstantSeries", err)
+	}
+	// Constant but *different* chains are loud disagreement, not noise.
+	r, err := GelmanRubin([][]float64{{5, 5, 5}, {7, 7, 7}})
+	if err != nil || !math.IsInf(r, 1) {
+		t.Fatalf("separated constant chains: %v, %v, want +Inf", r, err)
+	}
+}
+
+// TestEdgeCasesReturnErrors pins the degenerate-input contract for the
+// live convergence monitor: constant series, series shorter than each
+// diagnostic's minimum, and MeanCI on a length-1 input all return
+// errors — never NaN, never a panic, and never a spurious "converged"
+// verdict.
+func TestEdgeCasesReturnErrors(t *testing.T) {
+	constant := make([]float64, 1000)
+	for i := range constant {
+		constant[i] = 3.5
+	}
+
+	if z, err := Geweke(constant, 0.1, 0.5); err != ErrConstantSeries || math.IsNaN(z) {
+		t.Fatalf("Geweke(constant) = %v, %v, want ErrConstantSeries", z, err)
+	}
+	if ess, err := EffectiveSampleSize(constant); err != ErrConstantSeries || math.IsNaN(ess) {
+		t.Fatalf("ESS(constant) = %v, %v, want ErrConstantSeries", ess, err)
+	}
+	if _, hw, err := MeanCI(constant); err != ErrConstantSeries || math.IsNaN(hw) {
+		t.Fatalf("MeanCI(constant) hw = %v, err = %v, want ErrConstantSeries", hw, err)
+	}
+	if _, err := GelmanRubin([][]float64{constant[:100], constant[100:200]}); err != ErrConstantSeries {
+		t.Fatalf("GelmanRubin(constant chains) err = %v, want ErrConstantSeries", err)
+	}
+
+	// Series shorter than each diagnostic's documented minimum.
+	short := []float64{1, 2, 3}
+	if _, err := Geweke(short, 0.1, 0.5); err != ErrTooShort {
+		t.Fatalf("Geweke(short) err = %v, want ErrTooShort", err)
+	}
+	if _, err := EffectiveSampleSize(short); err != ErrTooShort {
+		t.Fatalf("ESS(short) err = %v, want ErrTooShort", err)
+	}
+	if _, err := EffectiveSampleSizeMaxLag(short, 1); err != ErrTooShort {
+		t.Fatalf("ESSMaxLag(short) err = %v, want ErrTooShort", err)
+	}
+	if _, err := GelmanRubin([][]float64{{1}, {2}}); err != ErrTooShort {
+		t.Fatalf("GelmanRubin(length-1 chains) err = %v, want ErrTooShort", err)
+	}
+
+	// MeanCI on a single observation.
+	if _, _, err := MeanCI([]float64{42}); err != ErrTooShort {
+		t.Fatalf("MeanCI(length-1) err = %v, want ErrTooShort", err)
+	}
+	// Empty inputs must not panic either.
+	if _, _, err := MeanCI(nil); err != ErrTooShort {
+		t.Fatalf("MeanCI(nil) err = %v, want ErrTooShort", err)
+	}
+	if _, err := EffectiveSampleSize(nil); err != ErrTooShort {
+		t.Fatalf("ESS(nil) err = %v, want ErrTooShort", err)
+	}
+}
+
+// TestEffectiveSampleSizeMaxLagMatches: bounding the lag cannot change
+// the verdict on a well-mixed series, and must stay close on a
+// correlated one whose autocorrelation dies before the cap.
+func TestEffectiveSampleSizeMaxLagMatches(t *testing.T) {
+	iid := iidSeries(50, 4000)
+	full, err := EffectiveSampleSize(iid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := EffectiveSampleSizeMaxLag(iid, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Geyer truncation stops at the first non-positive lag, which for an
+	// iid series is almost immediately — the cap must not matter.
+	if math.Abs(full-capped) > 1e-9 {
+		t.Fatalf("iid ESS full %v vs capped %v", full, capped)
+	}
+	ar := ar1Series(51, 4000, 0.9)
+	fullAR, err := EffectiveSampleSize(ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cappedAR, err := EffectiveSampleSizeMaxLag(ar, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// phi=0.9 autocorrelation is negligible past lag ~100 (0.9^100), so
+	// a 256-lag cap sees the whole positive sequence.
+	if rel := math.Abs(fullAR-cappedAR) / fullAR; rel > 0.05 {
+		t.Fatalf("AR ESS full %v vs capped %v (rel %v)", fullAR, cappedAR, rel)
 	}
 }
 
