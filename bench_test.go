@@ -248,6 +248,31 @@ func BenchmarkRemoteCrawl(b *testing.B) {
 	}
 }
 
+// BenchmarkMethodObservations measures the observation throughput of
+// every job-service sampling method on the shared in-memory graph —
+// the sampler-runtime hot path the CI benchmark-regression gate
+// watches. dfs is excluded: its budget is continuous time, so its
+// event count does not scale with b.N like the others.
+func BenchmarkMethodObservations(b *testing.B) {
+	g := benchGraph(b)
+	for _, name := range []string{"fs", "single", "multiple", "mhrw", "rv", "re", "jump"} {
+		b.Run(name, func(b *testing.B) {
+			method, ok := frontier.DefaultJobMethods().Get(name)
+			if !ok {
+				b.Fatalf("method %s not registered", name)
+			}
+			s := method.Build(frontier.JobSpec{Method: name, M: 16, JumpProb: 0.1})
+			// Budget 2·b.N+64 covers seeding and the 2-unit edge-query
+			// cost of re; the work still scales linearly with b.N.
+			sess := frontier.NewSession(g, 2*float64(b.N)+64, frontier.UnitCosts(), frontier.NewRand(10))
+			b.ResetTimer()
+			if err := s.RunObs(sess, func(o frontier.Observation) {}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // BenchmarkAblationDimension measures how the FS dimension m affects
 // estimation error at a fixed budget: it reports the geometric-mean
 // CNMSE of the degree CCDF (lower is better) as "cnmse" alongside the

@@ -1,0 +1,111 @@
+// Command benchgate parses `go test -bench` output into a committed
+// JSON form and gates CI on benchmark regressions against a baseline.
+//
+// Parse mode — convert a bench run's text output into JSON:
+//
+//	go test -bench . -benchtime=20000x -count=5 . | tee bench.txt
+//	benchgate -parse bench.txt -out BENCH_5.json
+//
+// Compare mode — fail (exit 1) when any gated benchmark's median
+// ns/op regressed more than -max-regress over the committed baseline:
+//
+//	benchgate -baseline BENCH_baseline.json -current BENCH_5.json \
+//	    -gate '^BenchmarkMethodObservations|^BenchmarkAblation' -max-regress 0.20
+//
+// Emit mode — render a JSON file back into go-bench text (so
+// benchstat can print its comparison table against a fresh run):
+//
+//	benchgate -emit-text BENCH_baseline.json > baseline.txt
+//
+// Medians over -count=5 samples make the gate robust to scheduler
+// noise; the baseline is refreshed by committing a fresh BENCH_5.json
+// artifact as BENCH_baseline.json whenever the benchmarks or the CI
+// hardware legitimately change.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"frontier/internal/benchfmt"
+)
+
+func main() {
+	var (
+		parse      = flag.String("parse", "", "bench text file to parse into JSON")
+		out        = flag.String("out", "", "with -parse: JSON output path (default stdout)")
+		baseline   = flag.String("baseline", "", "baseline JSON for compare mode")
+		current    = flag.String("current", "", "current JSON for compare mode")
+		gate       = flag.String("gate", ".", "regexp of benchmark names the regression gate applies to")
+		maxRegress = flag.Float64("max-regress", 0.20, "maximum allowed median ns/op regression (0.20 = +20%)")
+		emitText   = flag.String("emit-text", "", "JSON file to render back into go-bench text on stdout")
+	)
+	flag.Parse()
+
+	switch {
+	case *parse != "":
+		set, err := benchfmt.ParseFile(*parse)
+		if err != nil {
+			fatal(err)
+		}
+		if len(set.Benchmarks) == 0 {
+			fatal(fmt.Errorf("benchgate: no benchmark results in %s", *parse))
+		}
+		data, err := set.Marshal()
+		if err != nil {
+			fatal(err)
+		}
+		if *out == "" {
+			fmt.Print(string(data))
+			return
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(set.Benchmarks), *out)
+
+	case *emitText != "":
+		set, err := benchfmt.LoadFile(*emitText)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(set.GoBenchText())
+
+	case *baseline != "" && *current != "":
+		base, err := benchfmt.LoadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		cur, err := benchfmt.LoadFile(*current)
+		if err != nil {
+			fatal(err)
+		}
+		report, err := benchfmt.Compare(base, cur, *gate, *maxRegress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report.Table())
+		if len(report.Regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed more than %.0f%%\n",
+				len(report.Regressions), *maxRegress*100)
+			os.Exit(1)
+		}
+		if len(report.Missing) > 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: %d gated baseline benchmark(s) missing from the current run\n",
+				len(report.Missing))
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: %d gated benchmarks within %.0f%% of baseline\n",
+			len(report.Compared), *maxRegress*100)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

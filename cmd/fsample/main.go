@@ -10,9 +10,14 @@
 //	fsample -url http://localhost:8080 -graph web -remote-job -follow \
 //	    -method fs -m 64 -budget 100000 -estimate avgdegree -stop-ci 0.05
 //
-// Methods: fs, dfs, single, multiple, mhrw, rv, re.
+// Methods: fs, dfs, single, multiple, mhrw, rv, re, jump (a single
+// random walk restarting at a uniform vertex, tuned by -jump-prob).
 // Estimates: degree (CCDF of the in/out/sym distribution), clustering,
-// assortativity, avgdegree.
+// assortativity, avgdegree. Every method feeds one weighted-observation
+// estimation pipeline, so the uniform-vertex methods (mhrw, rv) and the
+// jump walk estimate the same quantities as the edge samplers —
+// clustering and assortativity excepted, which need edge observations
+// that mhrw and rv do not emit.
 //
 // With -url, -graph names a hosted graph on a multi-graph graphd (empty
 // selects the server's default graph); without -url it is a local file
@@ -27,9 +32,8 @@
 // ~95% confidence half-width is at most ε — locally by cancelling the
 // session, remotely by submitting the job with a
 // "ci_halfwidth<=ε" stop rule. The result then reports a "converged:"
-// stop reason instead of "budget". -stop-ci and -json need an
-// edge-sampling method (fs, dfs, single, multiple, re) and, for the
-// degree estimate, -kind sym.
+// stop reason instead of "budget". For the degree estimate, -stop-ci
+// and -json need -kind sym.
 //
 // -json prints the final result — estimate, confidence interval, steps
 // used, stop reason, cache hit ratio — as a single machine-readable
@@ -76,8 +80,9 @@ func main() {
 	var (
 		graphPath = flag.String("graph", "", "local graph file, or hosted graph name with -url (empty = server default)")
 		url       = flag.String("url", "", "remote graphd base URL")
-		methodStr = flag.String("method", "fs", "fs | dfs | single | multiple | mhrw | rv | re")
+		methodStr = flag.String("method", "fs", "fs | dfs | single | multiple | mhrw | rv | re | jump")
 		m         = flag.Int("m", 100, "walkers (fs, dfs, multiple)")
+		jumpProb  = flag.Float64("jump-prob", 0.1, "uniform-restart probability α for -method jump (0 <= α < 1)")
 		budget    = flag.Float64("budget", 1000, "sampling budget B")
 		seed      = flag.Uint64("seed", 1, "deterministic seed")
 		est       = flag.String("estimate", "degree", "degree | clustering | assortativity | avgdegree")
@@ -115,12 +120,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fsample: -hit-ratio is not supported by -remote-job (the job service runs unit costs)")
 			os.Exit(2)
 		}
-		runRemoteJob(ctx, remoteJobConfig{
+		cfg := remoteJobConfig{
 			url: *url, graph: *graphPath, method: *methodStr,
 			m: *m, budget: *budget, seed: *seed, est: *est,
 			stopCI: *stopCI, jsonOut: *jsonOut,
 			follow: *follow, poll: *poll,
-		})
+		}
+		if *methodStr == "jump" {
+			// Only the jump method carries the restart probability; the
+			// server rejects a non-zero jump_prob on any other method, so
+			// the flag's default must not leak into other specs.
+			cfg.jumpProb = *jumpProb
+		}
+		runRemoteJob(ctx, cfg)
 		return
 	}
 
@@ -191,42 +203,62 @@ func main() {
 		}
 	}
 
+	// Every method is an ObservationSampler (the live estimation path);
+	// the edge/vertex sampler variables additionally select the classic
+	// estimate-package paths below.
 	var sampler core.EdgeSampler
 	var vsampler core.VertexSampler
+	var obsSampler core.ObservationSampler
 	switch *methodStr {
 	case "fs":
-		sampler = &core.FrontierSampler{M: *m, PrefetchEvery: prefetchEvery}
+		fs := &core.FrontierSampler{M: *m, PrefetchEvery: prefetchEvery}
+		sampler, obsSampler = fs, fs
 	case "dfs":
-		sampler = &core.DistributedFS{M: *m}
+		d := &core.DistributedFS{M: *m}
+		sampler, obsSampler = d, d
 	case "single":
-		sampler = &core.SingleRW{}
+		s := &core.SingleRW{}
+		sampler, obsSampler = s, s
 	case "multiple":
-		sampler = &core.MultipleRW{M: *m}
+		mr := &core.MultipleRW{M: *m}
+		sampler, obsSampler = mr, mr
 	case "mhrw":
-		vsampler = &core.MetropolisRW{}
+		mh := &core.MetropolisRW{}
+		vsampler, obsSampler = mh, mh
 	case "rv":
-		vsampler = core.RandomVertexSampler{}
+		rv := &core.RandomVertexSampler{}
+		vsampler, obsSampler = rv, rv
 	case "re":
-		sampler = core.RandomEdgeSampler{}
+		re := &core.RandomEdgeSampler{}
+		sampler, obsSampler = re, re
+	case "jump":
+		if *jumpProb < 0 || *jumpProb >= 1 {
+			fmt.Fprintf(os.Stderr, "fsample: -jump-prob must be in [0,1), got %g\n", *jumpProb)
+			os.Exit(2)
+		}
+		obsSampler = &core.JumpRW{JumpProb: *jumpProb}
 	default:
 		fmt.Fprintf(os.Stderr, "fsample: unknown method %q\n", *methodStr)
 		os.Exit(2)
 	}
 
-	// The live path (adaptive stopping and/or JSON results) routes the
-	// run through internal/live so every estimate gains a confidence
-	// interval and a stop verdict; the classic path below is unchanged.
-	if *stopCI > 0 || *jsonOut {
-		if sampler == nil {
-			fmt.Fprintf(os.Stderr, "fsample: -stop-ci/-json need an edge-sampling method (fs, dfs, single, multiple or re), not %q\n", *methodStr)
-			os.Exit(2)
-		}
+	// The live path (adaptive stopping, JSON results, and every run of
+	// the weighted-observation-only jump method) routes the run through
+	// internal/live so every estimate gains a confidence interval and a
+	// stop verdict; the classic paths below are unchanged.
+	if *stopCI > 0 || *jsonOut || *methodStr == "jump" {
 		if *est == "degree" && kind != graph.SymDeg {
-			fmt.Fprintln(os.Stderr, "fsample: the live degree estimator tracks sym degrees; use -kind sym (or drop -stop-ci/-json)")
+			if *methodStr == "jump" {
+				// jump has no classic path to fall back to: its weighted
+				// stream only exists on the live surface.
+				fmt.Fprintln(os.Stderr, "fsample: the live degree estimator tracks sym degrees; method jump supports -kind sym only")
+			} else {
+				fmt.Fprintln(os.Stderr, "fsample: the live degree estimator tracks sym degrees; use -kind sym (or drop -stop-ci/-json)")
+			}
 			os.Exit(2)
 		}
 		runLocalLive(ctx, localLiveConfig{
-			src: src, method: *methodStr, sampler: sampler, runSafe: runSafe,
+			src: src, method: *methodStr, sampler: obsSampler, runSafe: runSafe,
 			model: model, budget: *budget, seed: *seed,
 			est: *est, stopCI: *stopCI, jsonOut: *jsonOut,
 			isRemote: isRemote,
@@ -391,7 +423,7 @@ func printCacheLine(c *netgraph.Client) {
 type localLiveConfig struct {
 	src      crawl.Source
 	method   string // the -method flag value, used verbatim in -json output
-	sampler  core.EdgeSampler
+	sampler  core.ObservationSampler
 	runSafe  func(func() error) error
 	model    crawl.CostModel
 	budget   float64
@@ -402,9 +434,13 @@ type localLiveConfig struct {
 	isRemote bool
 }
 
-// runLocalLive drives the sampler through a live estimation runtime:
-// the estimate gains a confidence interval, and with a stop-ci bound
-// the session is cancelled the moment the CI is tight enough.
+// runLocalLive drives the sampler's weighted observation stream
+// through a live estimation runtime: the estimate gains a confidence
+// interval, and with a stop-ci bound the session is cancelled the
+// moment the CI is tight enough. If the estimate needs edge
+// observations the method does not emit (clustering over mhrw), the
+// registry-built estimator never qualifies an observation and the run
+// is rejected up front instead.
 func runLocalLive(ctx context.Context, cfg localLiveConfig) {
 	name, err := liveEstimateName(cfg.est)
 	if err != nil {
@@ -415,6 +451,13 @@ func runLocalLive(ctx context.Context, cfg localLiveConfig) {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
 		os.Exit(1)
+	}
+	// The method registry knows which streams carry edge observations;
+	// methods fsample builds outside the registry vocabulary would skip
+	// the check, but -method only accepts registered names.
+	if method, ok := jobs.DefaultMethods().Get(cfg.method); ok && est.NeedsEdges() && !method.EmitsEdges {
+		fmt.Fprintf(os.Stderr, "fsample: estimate %q needs edge observations, which method %q does not emit\n", name, cfg.method)
+		os.Exit(2)
 	}
 	var rule *live.StopRule
 	if cfg.stopCI > 0 {
@@ -430,13 +473,15 @@ func runLocalLive(ctx context.Context, cfg localLiveConfig) {
 	defer cancel()
 	sess := crawl.NewSessionContext(runCtx, cfg.src, cfg.budget, cfg.model, xrand.New(cfg.seed))
 	tracker, _ := cfg.sampler.(core.WalkerTracker)
+	var observations int64
 	err = cfg.runSafe(func() error {
-		return cfg.sampler.Run(sess, func(u, v int) {
+		return cfg.sampler.RunObs(sess, func(o core.Observation) {
+			observations++
 			walker := 0
 			if tracker != nil {
 				walker = tracker.LastWalker()
 			}
-			if rep := rt.Observe(walker, u, v); rep != nil && rep.Converged {
+			if rep := rt.ObserveSample(walker, o); rep != nil && rep.Converged {
 				cancel() // adaptive stop: unwind at the next budget charge
 			}
 		})
@@ -468,7 +513,7 @@ func runLocalLive(ctx context.Context, cfg localLiveConfig) {
 			CI:          rep.CI,
 			Vector:      rep.Vector,
 			Diagnostics: &rep.Diagnostics,
-			Edges:       st.Steps,
+			Edges:       observations,
 			BudgetSpent: st.Spent,
 			Budget:      cfg.budget,
 			StopReason:  stopReason,
@@ -500,17 +545,18 @@ func runLocalLive(ctx context.Context, cfg localLiveConfig) {
 // remoteJobConfig carries the flags that apply to a server-side job
 // run.
 type remoteJobConfig struct {
-	url     string
-	graph   string // hosted graph name ("" = server default)
-	method  string
-	m       int
-	budget  float64
-	seed    uint64
-	est     string
-	stopCI  float64
-	jsonOut bool
-	follow  bool
-	poll    time.Duration
+	url      string
+	graph    string // hosted graph name ("" = server default)
+	method   string
+	m        int
+	jumpProb float64 // restart probability (method "jump" only)
+	budget   float64
+	seed     uint64
+	est      string
+	stopCI   float64
+	jsonOut  bool
+	follow   bool
+	poll     time.Duration
 }
 
 // runRemoteJob submits the run as a server-side sampling job, waits for
@@ -531,7 +577,7 @@ func runRemoteJob(ctx context.Context, cfg remoteJobConfig) {
 		os.Exit(2)
 	}
 	spec := jobs.Spec{
-		Graph: cfg.graph, Method: cfg.method, M: cfg.m,
+		Graph: cfg.graph, Method: cfg.method, M: cfg.m, JumpProb: cfg.jumpProb,
 		Budget: cfg.budget, Seed: cfg.seed, Estimate: estName,
 	}
 	if cfg.stopCI > 0 {

@@ -150,16 +150,30 @@ type (
 	RandomVertexSampler = core.RandomVertexSampler
 	// RandomEdgeSampler draws uniform edges with replacement.
 	RandomEdgeSampler = core.RandomEdgeSampler
+	// JumpRW is a single random walk with uniform restarts — the
+	// paper's hybrid between RW and random vertex sampling (restart
+	// probability w/(w+deg(v)), stationary law ∝ deg(v)+w).
+	JumpRW = core.JumpRW
 	// EdgeSampler is the interface all edge-emitting samplers satisfy.
 	EdgeSampler = core.EdgeSampler
 	// Resumable is an EdgeSampler whose run can be snapshotted at a step
 	// boundary and continued byte-identically (FrontierSampler,
 	// DistributedFS, SingleRW and MultipleRW implement it).
 	Resumable = core.Resumable
+	// Observation is one weighted sample: an edge or vertex observation
+	// with the importance weight that maps it back to the uniform-vertex
+	// measure — the unified currency of the sampler runtime.
+	Observation = core.Observation
+	// ObservationFunc receives weighted observations.
+	ObservationFunc = core.ObsFunc
+	// ObservationSampler is the weighted-observation sampling process
+	// every job method implements: a resumable run emitting
+	// Observations (all eight built-in methods implement it).
+	ObservationSampler = core.ObservationSampler
 	// WalkerTracker is implemented by samplers that report which walker
-	// emitted the most recent edge — what feeds the live convergence
-	// monitor's per-walker chains (all four resumable samplers implement
-	// it).
+	// emitted the most recent observation — what feeds the live
+	// convergence monitor's per-walker chains (all built-in samplers
+	// implement it).
 	WalkerTracker = core.WalkerTracker
 	// VertexSampler is the interface vertex-emitting samplers satisfy.
 	VertexSampler = core.VertexSampler
@@ -176,6 +190,13 @@ type (
 	// VertexFunc receives sampled vertices.
 	VertexFunc = core.VertexFunc
 )
+
+// EdgeObservation builds the degree-proportional edge observation for
+// a sampled edge (u,v): Weight 1/SymDegree(v), the stationary-walk
+// importance weight of equation (7).
+func EdgeObservation(src Source, u, v int) Observation {
+	return core.EdgeObservation(src, u, v)
+}
 
 // NewStationarySeeder precomputes degree-proportional seeding for src.
 func NewStationarySeeder(src Source) (*StationarySeeder, error) {
@@ -203,6 +224,15 @@ type (
 	ScalarDensity = estimate.ScalarDensity
 	// AvgDegree estimates the average degree.
 	AvgDegree = estimate.AvgDegree
+	// WeightedAvgDegree estimates the average degree from importance-
+	// weighted vertex observations (Σ w·deg / Σ w).
+	WeightedAvgDegree = estimate.WeightedAvgDegree
+	// WeightedDegreeDist estimates the degree distribution from
+	// importance-weighted vertex observations.
+	WeightedDegreeDist = estimate.WeightedDegreeDist
+	// WeightedGroupDensity estimates group densities from importance-
+	// weighted vertex observations.
+	WeightedGroupDensity = estimate.WeightedGroupDensity
 	// View provides the vertex metadata estimators need.
 	View = estimate.View
 	// EdgeView adds the edge-level queries some estimators need.
@@ -252,6 +282,24 @@ func NewScalarDensity(view View, pred func(v int) bool) *ScalarDensity {
 // NewAvgDegree creates an average-degree estimator.
 func NewAvgDegree(view View) *AvgDegree {
 	return estimate.NewAvgDegree(view)
+}
+
+// NewWeightedAvgDegree creates an importance-weighted average-degree
+// estimator.
+func NewWeightedAvgDegree(view View) *WeightedAvgDegree {
+	return estimate.NewWeightedAvgDegree(view)
+}
+
+// NewWeightedDegreeDist creates an importance-weighted degree-
+// distribution estimator.
+func NewWeightedDegreeDist(view View, kind DegreeKind) *WeightedDegreeDist {
+	return estimate.NewWeightedDegreeDist(view, kind)
+}
+
+// NewWeightedGroupDensity creates an importance-weighted group-density
+// estimator.
+func NewWeightedGroupDensity(labels *GroupLabels) *WeightedGroupDensity {
+	return estimate.NewWeightedGroupDensity(labels)
 }
 
 // Generators (internal/gen).
@@ -381,7 +429,26 @@ type (
 	// JobResolver maps a JobSpec's Graph name to its sampling source
 	// (GraphCatalog implements it).
 	JobResolver = jobs.Resolver
+	// JobMethod describes one registered sampling method: builder,
+	// required source facets and emitted observation kinds.
+	JobMethod = jobs.Method
+	// JobMethodRegistry is a named catalog of sampling methods ("fs",
+	// "dfs", "single", "multiple", "mhrw", "rv", "re", "jump", plus
+	// custom registrations).
+	JobMethodRegistry = jobs.MethodRegistry
 )
+
+// DefaultJobMethods returns the process-wide method registry holding
+// the paper's comparison set of sampling methods.
+func DefaultJobMethods() *JobMethodRegistry { return jobs.DefaultMethods() }
+
+// NewJobMethodRegistry returns a fresh method registry pre-populated
+// with the built-in methods; Register adds custom ones.
+func NewJobMethodRegistry() *JobMethodRegistry { return jobs.NewMethodRegistry() }
+
+// WithJobMethods routes a JobManager's Spec.Method validation and
+// construction through reg instead of DefaultJobMethods().
+func WithJobMethods(reg *JobMethodRegistry) JobOption { return jobs.WithMethods(reg) }
 
 // Job lifecycle states.
 const (

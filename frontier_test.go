@@ -36,7 +36,7 @@ func TestPublicAPIAllSamplers(t *testing.T) {
 		&frontier.ParallelDFS{M: 10},
 		&frontier.SingleRW{},
 		&frontier.MultipleRW{M: 10},
-		frontier.RandomEdgeSampler{},
+		&frontier.RandomEdgeSampler{},
 		&frontier.BurnIn{Sampler: &frontier.SingleRW{}, W: 5},
 	}
 	for _, s := range edgeSamplers {
@@ -56,7 +56,7 @@ func TestPublicAPIAllSamplers(t *testing.T) {
 	}
 	vertexSamplers := []frontier.VertexSampler{
 		&frontier.MetropolisRW{},
-		frontier.RandomVertexSampler{},
+		&frontier.RandomVertexSampler{},
 	}
 	for _, s := range vertexSamplers {
 		sess := frontier.NewSession(g, 200, frontier.UnitCosts(), frontier.NewRand(5))
@@ -66,6 +66,35 @@ func TestPublicAPIAllSamplers(t *testing.T) {
 		}
 		if count == 0 {
 			t.Fatalf("%s emitted nothing", s.Name())
+		}
+	}
+	// Every built-in job method is an ObservationSampler emitting
+	// positively weighted observations.
+	for _, name := range frontier.DefaultJobMethods().Names() {
+		method, ok := frontier.DefaultJobMethods().Get(name)
+		if !ok {
+			t.Fatalf("method %s not registered", name)
+		}
+		s := method.Build(frontier.JobSpec{Method: name, M: 4, JumpProb: 0.2})
+		sess := frontier.NewSession(g, 200, frontier.UnitCosts(), frontier.NewRand(6))
+		count := 0
+		err := s.RunObs(sess, func(o frontier.Observation) {
+			count++
+			if !(o.Weight > 0) {
+				t.Fatalf("%s emitted non-positive weight: %+v", name, o)
+			}
+			if o.Edge && !g.HasSymEdge(o.U, o.V) {
+				t.Fatalf("%s emitted a non-edge: %+v", name, o)
+			}
+			if !o.Edge && o.U != o.V {
+				t.Fatalf("%s emitted a vertex observation with U != V: %+v", name, o)
+			}
+		})
+		if err != nil && !errors.Is(err, frontier.ErrBudgetExhausted) {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if count == 0 {
+			t.Fatalf("%s emitted nothing", name)
 		}
 	}
 }

@@ -1,0 +1,209 @@
+// Package benchfmt parses `go test -bench` text output into a stable
+// JSON form and compares two such result sets for the CI
+// benchmark-regression gate (cmd/benchgate). It understands the
+// standard bench line shape
+//
+//	BenchmarkName/sub-8   20000   244.3 ns/op   12 B/op   0 allocs/op
+//
+// collecting every ns/op sample per benchmark name (the -cpu suffix is
+// stripped, so -count=N runs yield N samples) and gating on the median
+// — the robust center CI schedulers' noise cannot easily shift.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result holds every ns/op sample collected for one benchmark.
+type Result struct {
+	// NsPerOp is the time-per-operation sample list in run order.
+	NsPerOp []float64 `json:"ns_per_op"`
+}
+
+// Median returns the median ns/op sample (0 with no samples).
+func (r Result) Median() float64 {
+	if len(r.NsPerOp) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), r.NsPerOp...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Set is a parsed benchmark result set — what BENCH_baseline.json and
+// the BENCH_5.json artifact hold.
+type Set struct {
+	// FormatVersion guards future shape changes.
+	FormatVersion int `json:"format_version"`
+	// Benchmarks maps benchmark name (CPU suffix stripped) to samples.
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// benchLine matches one result line of `go test -bench` output.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.e+]+) ns/op`)
+
+// Parse reads go-bench text and collects the per-benchmark samples.
+func Parse(r *bufio.Scanner) (*Set, error) {
+	set := &Set{FormatVersion: 1, Benchmarks: make(map[string]Result)}
+	for r.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(r.Text()))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchfmt: bad ns/op %q for %s: %w", m[3], m[1], err)
+		}
+		res := set.Benchmarks[m[1]]
+		res.NsPerOp = append(res.NsPerOp, ns)
+		set.Benchmarks[m[1]] = res
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: reading bench output: %w", err)
+	}
+	return set, nil
+}
+
+// ParseFile parses a go-bench text file.
+func ParseFile(path string) (*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return Parse(sc)
+}
+
+// Marshal renders the set as deterministic, indented JSON.
+func (s *Set) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// LoadFile reads a JSON result set.
+func LoadFile(path string) (*Set, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	set := &Set{}
+	if err := json.Unmarshal(data, set); err != nil {
+		return nil, fmt.Errorf("benchfmt: decoding %s: %w", path, err)
+	}
+	if set.Benchmarks == nil {
+		return nil, fmt.Errorf("benchfmt: %s holds no benchmarks", path)
+	}
+	return set, nil
+}
+
+// GoBenchText renders the set back into go-bench text (one line per
+// sample, names sorted) — the form benchstat consumes.
+func (s *Set) GoBenchText() string {
+	names := make([]string, 0, len(s.Benchmarks))
+	for name := range s.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		for _, ns := range s.Benchmarks[name].NsPerOp {
+			fmt.Fprintf(&b, "%s 1 %g ns/op\n", name, ns)
+		}
+	}
+	return b.String()
+}
+
+// Comparison is one gated benchmark's baseline-vs-current medians.
+type Comparison struct {
+	// Name is the benchmark name.
+	Name string
+	// BaseMedian and CurMedian are the median ns/op of each set.
+	BaseMedian, CurMedian float64
+	// Delta is the relative change ((cur-base)/base; +0.25 = 25% slower).
+	Delta float64
+	// Regressed marks comparisons beyond the allowed regression.
+	Regressed bool
+}
+
+// Report is the outcome of comparing two sets under a gate.
+type Report struct {
+	// Compared lists every gated benchmark present in both sets,
+	// sorted by name.
+	Compared []Comparison
+	// Regressions is the subset of Compared beyond the threshold.
+	Regressions []Comparison
+	// Missing lists gated baseline benchmarks absent from the current
+	// set — a silently dropped benchmark must fail the gate, not pass
+	// it.
+	Missing []string
+}
+
+// Compare gates cur against base: every baseline benchmark matching
+// the gate regexp must be present in cur with a median ns/op no more
+// than maxRegress above the baseline median.
+func Compare(base, cur *Set, gate string, maxRegress float64) (*Report, error) {
+	re, err := regexp.Compile(gate)
+	if err != nil {
+		return nil, fmt.Errorf("benchfmt: bad gate regexp: %w", err)
+	}
+	rep := &Report{}
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		if re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		curRes, ok := cur.Benchmarks[name]
+		if !ok {
+			rep.Missing = append(rep.Missing, name)
+			continue
+		}
+		baseMed, curMed := base.Benchmarks[name].Median(), curRes.Median()
+		c := Comparison{Name: name, BaseMedian: baseMed, CurMedian: curMed}
+		if baseMed > 0 {
+			c.Delta = (curMed - baseMed) / baseMed
+		}
+		c.Regressed = c.Delta > maxRegress
+		rep.Compared = append(rep.Compared, c)
+		if c.Regressed {
+			rep.Regressions = append(rep.Regressions, c)
+		}
+	}
+	return rep, nil
+}
+
+// Table renders the comparison as an aligned text table for the CI
+// log.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-55s %14s %14s %8s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
+	for _, c := range r.Compared {
+		mark := ""
+		if c.Regressed {
+			mark = "  REGRESSED"
+		}
+		fmt.Fprintf(&b, "%-55s %14.1f %14.1f %+7.1f%%%s\n", c.Name, c.BaseMedian, c.CurMedian, c.Delta*100, mark)
+	}
+	for _, name := range r.Missing {
+		fmt.Fprintf(&b, "%-55s %14s %14s %8s\n", name, "-", "MISSING", "")
+	}
+	return b.String()
+}

@@ -1,0 +1,132 @@
+package benchfmt
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: frontier
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMethodObservations/fs-8         	   20000	       244.3 ns/op
+BenchmarkMethodObservations/fs-8         	   20000	       250.1 ns/op
+BenchmarkMethodObservations/fs-8         	   20000	       241.0 ns/op
+BenchmarkMethodObservations/rv-8         	   20000	        24.94 ns/op
+BenchmarkMethodObservations/rv-8         	   20000	        26.02 ns/op
+BenchmarkAblationAdjacency/csr-8         	   20000	       150.0 ns/op
+some unrelated line
+PASS
+ok  	frontier	12.269s
+`
+
+func parseSample(t *testing.T) *Set {
+	t.Helper()
+	set, err := Parse(bufio.NewScanner(strings.NewReader(sampleOutput)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestParseCollectsSamplesAndStripsCPUSuffix(t *testing.T) {
+	set := parseSample(t)
+	if len(set.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(set.Benchmarks), set.Benchmarks)
+	}
+	fs := set.Benchmarks["BenchmarkMethodObservations/fs"]
+	if len(fs.NsPerOp) != 3 {
+		t.Fatalf("fs samples = %v, want 3", fs.NsPerOp)
+	}
+	if med := fs.Median(); med != 244.3 {
+		t.Fatalf("fs median = %v, want 244.3", med)
+	}
+	rv := set.Benchmarks["BenchmarkMethodObservations/rv"]
+	if med := rv.Median(); med != (24.94+26.02)/2 {
+		t.Fatalf("rv even-count median = %v", med)
+	}
+}
+
+func TestJSONRoundTripAndText(t *testing.T) {
+	set := parseSample(t)
+	data, err := set.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != len(set.Benchmarks) {
+		t.Fatalf("round trip lost benchmarks: %d != %d", len(got.Benchmarks), len(set.Benchmarks))
+	}
+	text := got.GoBenchText()
+	if !strings.Contains(text, "BenchmarkMethodObservations/fs 1 244.3 ns/op") {
+		t.Fatalf("GoBenchText missing sample line:\n%s", text)
+	}
+	// Re-parsing the emitted text reproduces the sample lists.
+	again, err := Parse(bufio.NewScanner(strings.NewReader(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Benchmarks["BenchmarkMethodObservations/fs"].Median() != 244.3 {
+		t.Fatal("text emission does not round-trip")
+	}
+}
+
+func TestCompareGatesRegressions(t *testing.T) {
+	base := &Set{Benchmarks: map[string]Result{
+		"BenchmarkA/x": {NsPerOp: []float64{100, 100, 100}},
+		"BenchmarkA/y": {NsPerOp: []float64{100, 100, 100}},
+		"BenchmarkA/z": {NsPerOp: []float64{100, 100, 100}},
+		"BenchmarkB":   {NsPerOp: []float64{100}},
+	}}
+	cur := &Set{Benchmarks: map[string]Result{
+		"BenchmarkA/x": {NsPerOp: []float64{115, 110, 112}}, // +12%: fine
+		"BenchmarkA/y": {NsPerOp: []float64{125, 130, 121}}, // +25%: regressed
+		// BenchmarkA/z missing: must fail the gate
+		"BenchmarkB": {NsPerOp: []float64{900}}, // outside the gate regexp
+	}}
+	rep, err := Compare(base, cur, "^BenchmarkA/", 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Compared) != 2 {
+		t.Fatalf("compared %d, want 2", len(rep.Compared))
+	}
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Name != "BenchmarkA/y" {
+		t.Fatalf("regressions = %+v", rep.Regressions)
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != "BenchmarkA/z" {
+		t.Fatalf("missing = %+v", rep.Missing)
+	}
+	table := rep.Table()
+	if !strings.Contains(table, "REGRESSED") || !strings.Contains(table, "MISSING") {
+		t.Fatalf("table does not flag failures:\n%s", table)
+	}
+
+	// An improvement never trips the gate.
+	fast := &Set{Benchmarks: map[string]Result{
+		"BenchmarkA/x": {NsPerOp: []float64{50}},
+		"BenchmarkA/y": {NsPerOp: []float64{50}},
+		"BenchmarkA/z": {NsPerOp: []float64{50}},
+	}}
+	rep, err = Compare(base, fast, "^BenchmarkA/", 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 0 || len(rep.Missing) != 0 {
+		t.Fatalf("improvement flagged: %+v", rep)
+	}
+
+	if _, err := Compare(base, cur, "([", 0.2); err == nil {
+		t.Fatal("bad gate regexp must error")
+	}
+}

@@ -21,8 +21,16 @@
 //   - MultipleRW        — m independent walkers splitting the budget.
 //   - MetropolisRW      — Metropolis–Hastings walk that samples vertices
 //     uniformly (the related-work comparator; emits vertices).
+//   - JumpRW            — single random walk with uniform restarts, the
+//     paper's hybrid between RW and random vertex sampling (stationary
+//     law ∝ deg(v)+w, inverted by the emitted observation weights).
 //   - RandomVertexSampler / RandomEdgeSampler — independent uniform
 //     sampling with the paper's cost + hit-ratio accounting.
+//
+// Beyond the classic EdgeSampler/VertexSampler surfaces, every one of
+// these implements ObservationSampler — the weighted observation
+// stream (see Observation) that makes all eight methods first-class,
+// resumable job-service methods feeding one estimation pipeline.
 package core
 
 import (
@@ -798,30 +806,91 @@ func (d *DistributedFS) run(sess *crawl.Session, emit EdgeFunc) error {
 // favors; Sections 4 and 7 note RW-based estimators beat it in
 // practice). A proposed move to a uniform neighbor w of v is accepted
 // with probability min(1, deg(v)/deg(w)).
+//
+// As an ObservationSampler it emits one vertex observation (U == V,
+// Weight 1) per budgeted step — its stationary vertex law is already
+// uniform, so no reweighting is needed.
 type MetropolisRW struct {
 	// Seeder positions the walker; nil means UniformSeeder.
 	Seeder Seeder
+
+	st *mhrwState
+}
+
+// mhrwState is the serializable mid-run state of a MetropolisRW: the
+// walker's position after the last (possibly rejected) move.
+type mhrwState struct {
+	V int `json:"v"`
 }
 
 // Name implements VertexSampler.
 func (m *MetropolisRW) Name() string { return "MetropolisRW" }
 
-// RunVertices implements VertexSampler. Each budgeted step emits the
-// walker's position after the (possibly rejected) move; rejected moves
-// still consume budget, as they still query the proposed neighbor.
+// LastWalker implements WalkerTracker: a single walk has one walker.
+func (m *MetropolisRW) LastWalker() int { return 0 }
+
+// RunVertices implements VertexSampler, starting a fresh run. Each
+// budgeted step emits the walker's position after the (possibly
+// rejected) move; rejected moves still consume budget, as they still
+// query the proposed neighbor.
 func (m *MetropolisRW) RunVertices(sess *crawl.Session, emit VertexFunc) error {
-	sd := m.Seeder
-	if sd == nil {
-		sd = UniformSeeder{}
+	m.st = nil
+	return m.run(sess, func(o Observation) { emit(o.V) })
+}
+
+// RunObs implements ObservationSampler, starting a fresh run.
+func (m *MetropolisRW) RunObs(sess *crawl.Session, emit ObsFunc) error {
+	m.st = nil
+	return m.run(sess, emit)
+}
+
+// ResumeObs implements ObservationSampler.
+func (m *MetropolisRW) ResumeObs(sess *crawl.Session, emit ObsFunc) error {
+	if m.st == nil {
+		return errors.New("core: MetropolisRW.ResumeObs without state (call Restore first)")
 	}
-	seeds, err := sd.Seed(sess, 1)
-	if err != nil {
-		return err
+	return m.run(sess, emit)
+}
+
+// Snapshot implements ObservationSampler.
+func (m *MetropolisRW) Snapshot() ([]byte, error) {
+	if m.st == nil {
+		return nil, errors.New("core: MetropolisRW.Snapshot before any run")
+	}
+	return json.Marshal(m.st)
+}
+
+// Restore implements ObservationSampler.
+func (m *MetropolisRW) Restore(data []byte) error {
+	st := &mhrwState{}
+	if err := json.Unmarshal(data, st); err != nil {
+		return fmt.Errorf("core: restoring MetropolisRW: %w", err)
+	}
+	m.st = st
+	return nil
+}
+
+func (m *MetropolisRW) run(sess *crawl.Session, emit ObsFunc) error {
+	if m.st == nil {
+		sd := m.Seeder
+		if sd == nil {
+			sd = UniformSeeder{}
+		}
+		seeds, err := sd.Seed(sess, 1)
+		if err != nil {
+			return err
+		}
+		m.st = &mhrwState{V: seeds[0]}
 	}
 	src := sess.Source()
 	rng := sess.RNG()
-	v := seeds[0]
 	for sess.CanStep() {
+		// Cancellation is checked before the step's first RNG draw so an
+		// interrupt between steps leaves the state resumable.
+		if err := sess.Cancelled(); err != nil {
+			return err
+		}
+		v := m.st.V
 		w, err := sess.Step(v)
 		if err != nil {
 			if errors.Is(err, crawl.ErrBudgetExhausted) {
@@ -833,7 +902,10 @@ func (m *MetropolisRW) RunVertices(sess *crawl.Session, emit VertexFunc) error {
 		if dw <= dv || rng.Float64() < float64(dv)/float64(dw) {
 			v = w
 		}
-		emit(v)
+		// State advances before emit so a Snapshot taken inside the
+		// callback is consistent at this step boundary.
+		m.st.V = v
+		emit(Observation{U: v, V: v, Weight: 1})
 	}
 	return nil
 }
@@ -841,13 +913,65 @@ func (m *MetropolisRW) RunVertices(sess *crawl.Session, emit VertexFunc) error {
 // RandomVertexSampler emits independently, uniformly sampled vertices
 // (with replacement) until the budget is exhausted, honoring the
 // session's vertex query cost and hit ratio.
-type RandomVertexSampler struct{}
+//
+// As an ObservationSampler it emits vertex observations (U == V,
+// Weight 1). The process is memoryless — all resumable state lives in
+// the session (budget and RNG) — so its snapshot is an empty marker
+// whose only job is distinguishing "mid-run" from "never started".
+type RandomVertexSampler struct {
+	st *markerState
+}
+
+// markerState is the serialized state of the memoryless independence
+// samplers: an empty object marking that a run has started.
+type markerState struct{}
 
 // Name implements VertexSampler.
-func (RandomVertexSampler) Name() string { return "RandomVertex" }
+func (s *RandomVertexSampler) Name() string { return "RandomVertex" }
 
-// RunVertices implements VertexSampler.
-func (RandomVertexSampler) RunVertices(sess *crawl.Session, emit VertexFunc) error {
+// LastWalker implements WalkerTracker: independent draws have one
+// logical walker.
+func (s *RandomVertexSampler) LastWalker() int { return 0 }
+
+// RunVertices implements VertexSampler, starting a fresh run.
+func (s *RandomVertexSampler) RunVertices(sess *crawl.Session, emit VertexFunc) error {
+	s.st = &markerState{}
+	return s.run(sess, func(o Observation) { emit(o.V) })
+}
+
+// RunObs implements ObservationSampler, starting a fresh run.
+func (s *RandomVertexSampler) RunObs(sess *crawl.Session, emit ObsFunc) error {
+	s.st = &markerState{}
+	return s.run(sess, emit)
+}
+
+// ResumeObs implements ObservationSampler.
+func (s *RandomVertexSampler) ResumeObs(sess *crawl.Session, emit ObsFunc) error {
+	if s.st == nil {
+		return errors.New("core: RandomVertexSampler.ResumeObs without state (call Restore first)")
+	}
+	return s.run(sess, emit)
+}
+
+// Snapshot implements ObservationSampler.
+func (s *RandomVertexSampler) Snapshot() ([]byte, error) {
+	if s.st == nil {
+		return nil, errors.New("core: RandomVertexSampler.Snapshot before any run")
+	}
+	return json.Marshal(s.st)
+}
+
+// Restore implements ObservationSampler.
+func (s *RandomVertexSampler) Restore(data []byte) error {
+	st := &markerState{}
+	if err := json.Unmarshal(data, st); err != nil {
+		return fmt.Errorf("core: restoring RandomVertexSampler: %w", err)
+	}
+	s.st = st
+	return nil
+}
+
+func (s *RandomVertexSampler) run(sess *crawl.Session, emit ObsFunc) error {
 	for {
 		v, err := sess.RandomVertex()
 		if err != nil {
@@ -856,7 +980,7 @@ func (RandomVertexSampler) RunVertices(sess *crawl.Session, emit VertexFunc) err
 			}
 			return err
 		}
-		emit(v)
+		emit(Observation{U: v, V: v, Weight: 1})
 	}
 }
 
@@ -864,13 +988,62 @@ func (RandomVertexSampler) RunVertices(sess *crawl.Session, emit VertexFunc) err
 // edges (with replacement) until the budget is exhausted, honoring the
 // session's edge query cost and hit ratio. The session source must be a
 // crawl.EdgeSource.
-type RandomEdgeSampler struct{}
+//
+// As an ObservationSampler it emits edge observations with the same
+// Weight = 1/SymDegree(V) as the stationary walk samplers: a uniform
+// edge shows its endpoint V proportionally to deg(V). Like
+// RandomVertexSampler it is memoryless, with a marker snapshot.
+type RandomEdgeSampler struct {
+	st *markerState
+}
 
 // Name implements EdgeSampler.
-func (RandomEdgeSampler) Name() string { return "RandomEdge" }
+func (s *RandomEdgeSampler) Name() string { return "RandomEdge" }
 
-// Run implements EdgeSampler.
-func (RandomEdgeSampler) Run(sess *crawl.Session, emit EdgeFunc) error {
+// LastWalker implements WalkerTracker: independent draws have one
+// logical walker.
+func (s *RandomEdgeSampler) LastWalker() int { return 0 }
+
+// Run implements EdgeSampler, starting a fresh run.
+func (s *RandomEdgeSampler) Run(sess *crawl.Session, emit EdgeFunc) error {
+	s.st = &markerState{}
+	return s.run(sess, func(o Observation) { emit(o.U, o.V) })
+}
+
+// RunObs implements ObservationSampler, starting a fresh run.
+func (s *RandomEdgeSampler) RunObs(sess *crawl.Session, emit ObsFunc) error {
+	s.st = &markerState{}
+	return s.run(sess, emit)
+}
+
+// ResumeObs implements ObservationSampler.
+func (s *RandomEdgeSampler) ResumeObs(sess *crawl.Session, emit ObsFunc) error {
+	if s.st == nil {
+		return errors.New("core: RandomEdgeSampler.ResumeObs without state (call Restore first)")
+	}
+	return s.run(sess, emit)
+}
+
+// Snapshot implements ObservationSampler.
+func (s *RandomEdgeSampler) Snapshot() ([]byte, error) {
+	if s.st == nil {
+		return nil, errors.New("core: RandomEdgeSampler.Snapshot before any run")
+	}
+	return json.Marshal(s.st)
+}
+
+// Restore implements ObservationSampler.
+func (s *RandomEdgeSampler) Restore(data []byte) error {
+	st := &markerState{}
+	if err := json.Unmarshal(data, st); err != nil {
+		return fmt.Errorf("core: restoring RandomEdgeSampler: %w", err)
+	}
+	s.st = st
+	return nil
+}
+
+func (s *RandomEdgeSampler) run(sess *crawl.Session, emit ObsFunc) error {
+	src := sess.Source()
 	for {
 		e, err := sess.RandomEdge()
 		if err != nil {
@@ -879,6 +1052,6 @@ func (RandomEdgeSampler) Run(sess *crawl.Session, emit EdgeFunc) error {
 			}
 			return err
 		}
-		emit(int(e.U), int(e.V))
+		emit(EdgeObservation(src, int(e.U), int(e.V)))
 	}
 }

@@ -289,7 +289,7 @@ func TestRandomVertexSampler(t *testing.T) {
 	counts := make([]float64, g.NumVertices())
 	var total float64
 	sess := newSession(g, 200000, 13)
-	if err := (RandomVertexSampler{}).RunVertices(sess, func(v int) {
+	if err := (&RandomVertexSampler{}).RunVertices(sess, func(v int) {
 		counts[v]++
 		total++
 	}); err != nil {
@@ -309,7 +309,7 @@ func TestRandomEdgeSampler(t *testing.T) {
 	g := lollipop()
 	var total float64
 	sess := newSession(g, 10000, 14)
-	if err := (RandomEdgeSampler{}).Run(sess, func(u, v int) {
+	if err := (&RandomEdgeSampler{}).Run(sess, func(u, v int) {
 		if !g.HasSymEdge(u, v) {
 			t.Fatalf("non-edge (%d,%d)", u, v)
 		}
@@ -369,7 +369,7 @@ func TestNames(t *testing.T) {
 	if (&MetropolisRW{}).Name() != "MetropolisRW" {
 		t.Fatal("MetropolisRW name")
 	}
-	if (RandomVertexSampler{}).Name() != "RandomVertex" || (RandomEdgeSampler{}).Name() != "RandomEdge" {
+	if (&RandomVertexSampler{}).Name() != "RandomVertex" || (&RandomEdgeSampler{}).Name() != "RandomEdge" {
 		t.Fatal("independent sampler names")
 	}
 }

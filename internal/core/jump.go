@@ -1,0 +1,151 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"frontier/internal/crawl"
+)
+
+// JumpRW is a single random walk with uniform restarts — the hybrid
+// between a pure random walk and random vertex sampling the paper's
+// related-work analysis builds on (Avrachenkov, Ribeiro & Towsley,
+// "Improving Random Walk Estimation Accuracy with Uniform Restarts").
+//
+// JumpProb α ∈ [0,1) sets the jump weight w = α/(1−α): the walker
+// behaves exactly like a random walk on the graph augmented with w
+// units of uniform-jump edge weight at every vertex, so from vertex v
+// it restarts at a uniformly random vertex with probability
+// w/(w+deg(v)) — α itself at a unit-degree vertex — and otherwise
+// walks to a uniform neighbor. That augmented-chain form is what makes
+// the method exactly invertible: the stationary vertex law is
+// ∝ deg(v)+w, so every landed vertex is emitted with importance
+// weight 1/(deg(v)+w), and the walk steps traverse real edges
+// uniformly (each directed symmetric edge with probability 1/Z), so
+// edge-level estimators consume them unweighted, like any stationary
+// walk's.
+//
+// Restarts pay the session's random-vertex query cost (and are subject
+// to its hit ratio); walk steps pay the step cost — the paper's
+// accounting for the "RW with jumps" trade-off. Restarts also rescue
+// the walker from isolated vertices and escape rare components, which
+// is the design's whole point: with α = 0 it degrades to SingleRW
+// (with identical sampling law, though the emitted weights are then
+// 1/deg(v)).
+type JumpRW struct {
+	// JumpProb is α, the uniform-restart probability at a unit-degree
+	// vertex; the restart probability at vertex v is w/(w+deg(v)) with
+	// w = α/(1−α). Must be in [0, 1).
+	JumpProb float64
+	// Seeder positions the walker; nil means UniformSeeder.
+	Seeder Seeder
+
+	st *jumpState
+}
+
+// jumpState is the serializable mid-run state of a JumpRW: the
+// walker's current position.
+type jumpState struct {
+	V int `json:"v"`
+}
+
+// Name implements ObservationSampler.
+func (s *JumpRW) Name() string { return fmt.Sprintf("JumpRW(p=%g)", s.JumpProb) }
+
+// LastWalker implements WalkerTracker: a single walk has one walker.
+func (s *JumpRW) LastWalker() int { return 0 }
+
+// RunObs implements ObservationSampler, starting a fresh run.
+func (s *JumpRW) RunObs(sess *crawl.Session, emit ObsFunc) error {
+	s.st = nil
+	return s.run(sess, emit)
+}
+
+// ResumeObs implements ObservationSampler.
+func (s *JumpRW) ResumeObs(sess *crawl.Session, emit ObsFunc) error {
+	if s.st == nil {
+		return errors.New("core: JumpRW.ResumeObs without state (call Restore first)")
+	}
+	return s.run(sess, emit)
+}
+
+// Snapshot implements ObservationSampler.
+func (s *JumpRW) Snapshot() ([]byte, error) {
+	if s.st == nil {
+		return nil, errors.New("core: JumpRW.Snapshot before any run")
+	}
+	return json.Marshal(s.st)
+}
+
+// Restore implements ObservationSampler.
+func (s *JumpRW) Restore(data []byte) error {
+	st := &jumpState{}
+	if err := json.Unmarshal(data, st); err != nil {
+		return fmt.Errorf("core: restoring JumpRW: %w", err)
+	}
+	s.st = st
+	return nil
+}
+
+func (s *JumpRW) run(sess *crawl.Session, emit ObsFunc) error {
+	if s.JumpProb < 0 || s.JumpProb >= 1 {
+		return fmt.Errorf("core: JumpRW needs JumpProb in [0,1), got %g", s.JumpProb)
+	}
+	w := s.JumpProb / (1 - s.JumpProb)
+	if s.st == nil {
+		sd := s.Seeder
+		if sd == nil {
+			sd = UniformSeeder{}
+		}
+		seeds, err := sd.Seed(sess, 1)
+		if err != nil {
+			return err
+		}
+		s.st = &jumpState{V: seeds[0]}
+	}
+	src := sess.Source()
+	rng := sess.RNG()
+	for {
+		// Cancellation is checked before the step's first RNG draw so an
+		// interrupt between steps leaves the state resumable.
+		if err := sess.Cancelled(); err != nil {
+			return err
+		}
+		u := s.st.V
+		d := src.SymDegree(u)
+		// Restart with probability w/(w+deg(u)). An isolated vertex
+		// forces a restart without touching the RNG (the only escape it
+		// has); with w = 0 that is a dead end, as for any pure walk.
+		jump := false
+		switch {
+		case d == 0 && w == 0:
+			return errors.New("core: JumpRW stuck on isolated vertex (JumpProb 0)")
+		case d == 0:
+			jump = true
+		case w > 0:
+			jump = rng.Float64()*(w+float64(d)) < w
+		}
+		var v int
+		var err error
+		if jump {
+			v, err = sess.RandomVertex()
+		} else {
+			v, err = sess.Step(u)
+		}
+		if err != nil {
+			if errors.Is(err, crawl.ErrBudgetExhausted) {
+				return nil
+			}
+			return err
+		}
+		// State advances before emit so a Snapshot taken inside the
+		// callback is consistent at this step boundary.
+		s.st.V = v
+		o := Observation{U: u, V: v, Weight: 1 / (float64(src.SymDegree(v)) + w), Edge: !jump}
+		if jump {
+			o.U = v // a restart observes a vertex, not an edge
+		}
+		emit(o)
+	}
+}

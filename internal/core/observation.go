@@ -1,0 +1,158 @@
+package core
+
+import "frontier/internal/crawl"
+
+// Observation is one weighted sample emitted by a sampling process —
+// the unified currency of the sampler runtime. Every method in the
+// paper's comparison set reduces to a stream of these:
+//
+//   - The stationary walk samplers (FS, DFS, SingleRW, MultipleRW)
+//     emit edge observations (U,V) with Weight = 1/SymDegree(V): edges
+//     are uniform in steady state, so vertex V is seen proportionally
+//     to its degree and 1/deg(V) is the importance weight that maps
+//     the stream back to the uniform-vertex measure (equation (7)).
+//   - MetropolisRW and RandomVertexSampler emit vertex observations
+//     (U == V) with Weight = 1: their vertices are already uniform.
+//   - RandomEdgeSampler emits uniform edges, so its endpoint weights
+//     equal the walk samplers' 1/SymDegree(V).
+//   - JumpRW emits observations with Weight = 1/(SymDegree(V)+w),
+//     inverting its deg+w stationary law (w the jump weight).
+//
+// Estimators of vertex-level quantities therefore compute the
+// self-normalized form Σ Weight·f(V) / Σ Weight regardless of which
+// sampler produced the stream; weights need only be correct up to one
+// common scale factor. Edge-level estimators (clustering,
+// assortativity) consume only observations with Edge set — and since
+// every method above emits its real edges uniformly at stationarity,
+// they reweight internally by endpoint degree exactly as before.
+type Observation struct {
+	// U and V are the endpoints of the sampled edge, in walk order
+	// (U before the step, V after). For vertex observations U == V.
+	U int
+	// V is the observed vertex — the endpoint estimators evaluate.
+	V int
+	// Weight is the vertex-level importance weight, proportional to
+	// 1/Pr[observing V]. Always positive for qualifying observations.
+	Weight float64
+	// Edge reports whether (U,V) is a sampled edge of the graph —
+	// what edge-level estimators require. Vertex observations (MHRW,
+	// RV, JumpRW restarts) leave it false.
+	Edge bool
+}
+
+// ObsFunc receives each weighted observation in order.
+type ObsFunc func(Observation)
+
+// ObservationSampler is a sampling process that emits a weighted
+// observation stream and can be checkpointed at observation
+// boundaries — the contract every job-service method implements. It
+// generalizes Resumable from "degree-weighted edge stream" to
+// arbitrary weighted observations, which is what makes MHRW, random
+// vertex/edge sampling and the jump walk first-class job methods.
+//
+// The Resumable contract carries over verbatim: RunObs always starts
+// fresh; ResumeObs continues from the state installed by Restore (or
+// left behind by an interrupted RunObs on the same value); Snapshot is
+// consistent at observation boundaries — from inside the emit
+// callback, or after a run returned — and the RNG lives in the
+// session, so resume both or neither.
+type ObservationSampler interface {
+	// Name identifies the method in experiment and job output.
+	Name() string
+	// RunObs starts a fresh run, calling emit for every observation
+	// until the session budget is exhausted (nil on normal exhaustion).
+	RunObs(sess *crawl.Session, emit ObsFunc) error
+	// ResumeObs continues the run from the current state. It errors if
+	// there is no state to resume.
+	ResumeObs(sess *crawl.Session, emit ObsFunc) error
+	// Snapshot returns the sampler's serialized mid-run state (JSON).
+	// It errors if no run has started.
+	Snapshot() ([]byte, error)
+	// Restore installs a state previously returned by Snapshot, to be
+	// continued by ResumeObs.
+	Restore(data []byte) error
+}
+
+// Every job-service method implements ObservationSampler and
+// WalkerTracker.
+var (
+	_ ObservationSampler = (*FrontierSampler)(nil)
+	_ ObservationSampler = (*SingleRW)(nil)
+	_ ObservationSampler = (*MultipleRW)(nil)
+	_ ObservationSampler = (*DistributedFS)(nil)
+	_ ObservationSampler = (*MetropolisRW)(nil)
+	_ ObservationSampler = (*RandomVertexSampler)(nil)
+	_ ObservationSampler = (*RandomEdgeSampler)(nil)
+	_ ObservationSampler = (*JumpRW)(nil)
+	_ WalkerTracker      = (*MetropolisRW)(nil)
+	_ WalkerTracker      = (*RandomVertexSampler)(nil)
+	_ WalkerTracker      = (*RandomEdgeSampler)(nil)
+	_ WalkerTracker      = (*JumpRW)(nil)
+)
+
+// EdgeObservation builds the degree-proportional edge observation for
+// a sampled edge (u,v): Weight 1/SymDegree(v), the stationary-walk
+// importance weight of equation (7). It is the bridge between the
+// classic EdgeFunc surface and the weighted stream: the four walk
+// samplers' RunObs is exactly Run with every emitted edge wrapped this
+// way.
+func EdgeObservation(src crawl.Source, u, v int) Observation {
+	w := 0.0
+	if d := src.SymDegree(v); d > 0 {
+		w = 1 / float64(d)
+	}
+	return Observation{U: u, V: v, Weight: w, Edge: true}
+}
+
+// edgeObsFunc adapts an ObsFunc into the EdgeFunc the edge samplers
+// emit through, attaching the stationary-walk weight to every edge.
+// The source is read inside the closure so that building the adapter
+// never touches the session — Run/Resume validate their own state (and
+// reject a nil session) before the first edge can possibly be emitted.
+func edgeObsFunc(sess *crawl.Session, emit ObsFunc) EdgeFunc {
+	return func(u, v int) { emit(EdgeObservation(sess.Source(), u, v)) }
+}
+
+// RunObs implements ObservationSampler: Run with degree-weighted edge
+// observations.
+func (f *FrontierSampler) RunObs(sess *crawl.Session, emit ObsFunc) error {
+	return f.Run(sess, edgeObsFunc(sess, emit))
+}
+
+// ResumeObs implements ObservationSampler.
+func (f *FrontierSampler) ResumeObs(sess *crawl.Session, emit ObsFunc) error {
+	return f.Resume(sess, edgeObsFunc(sess, emit))
+}
+
+// RunObs implements ObservationSampler: Run with degree-weighted edge
+// observations.
+func (s *SingleRW) RunObs(sess *crawl.Session, emit ObsFunc) error {
+	return s.Run(sess, edgeObsFunc(sess, emit))
+}
+
+// ResumeObs implements ObservationSampler.
+func (s *SingleRW) ResumeObs(sess *crawl.Session, emit ObsFunc) error {
+	return s.Resume(sess, edgeObsFunc(sess, emit))
+}
+
+// RunObs implements ObservationSampler: Run with degree-weighted edge
+// observations.
+func (m *MultipleRW) RunObs(sess *crawl.Session, emit ObsFunc) error {
+	return m.Run(sess, edgeObsFunc(sess, emit))
+}
+
+// ResumeObs implements ObservationSampler.
+func (m *MultipleRW) ResumeObs(sess *crawl.Session, emit ObsFunc) error {
+	return m.Resume(sess, edgeObsFunc(sess, emit))
+}
+
+// RunObs implements ObservationSampler: Run with degree-weighted edge
+// observations.
+func (d *DistributedFS) RunObs(sess *crawl.Session, emit ObsFunc) error {
+	return d.Run(sess, edgeObsFunc(sess, emit))
+}
+
+// ResumeObs implements ObservationSampler.
+func (d *DistributedFS) ResumeObs(sess *crawl.Session, emit ObsFunc) error {
+	return d.Resume(sess, edgeObsFunc(sess, emit))
+}

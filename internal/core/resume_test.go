@@ -168,6 +168,155 @@ func TestResumableErrors(t *testing.T) {
 	}
 }
 
+// obsResumableCases builds a fresh sampler of every observation-stream
+// method kind — the full job-service roster, including the methods
+// that only exist on the weighted-observation surface.
+var obsResumableCases = []struct {
+	name  string
+	build func() ObservationSampler
+}{
+	{"fs", func() ObservationSampler { return &FrontierSampler{M: 16} }},
+	{"single", func() ObservationSampler { return &SingleRW{} }},
+	{"multiple", func() ObservationSampler { return &MultipleRW{M: 8} }},
+	{"dfs", func() ObservationSampler { return &DistributedFS{M: 16} }},
+	{"mhrw", func() ObservationSampler { return &MetropolisRW{} }},
+	{"rv", func() ObservationSampler { return &RandomVertexSampler{} }},
+	{"re", func() ObservationSampler { return &RandomEdgeSampler{} }},
+	{"jump", func() ObservationSampler { return &JumpRW{JumpProb: 0.2} }},
+	{"jump-norestart", func() ObservationSampler { return &JumpRW{} }},
+}
+
+func collectObsRun(t *testing.T, g *graph.Graph, s ObservationSampler, seed uint64, budget float64) []Observation {
+	t.Helper()
+	sess := crawl.NewSession(g, budget, crawl.UnitCosts(), xrand.New(seed))
+	var out []Observation
+	if err := s.RunObs(sess, func(o Observation) { out = append(out, o) }); err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+	return out
+}
+
+// TestObsSplitRunDeterminism mirrors TestSplitRunDeterminism on the
+// weighted observation stream: every job method — including the newly
+// resumable MHRW, RV, RE and JumpRW — interrupted at an arbitrary
+// observation boundary and resumed from the serialized checkpoint
+// emits exactly the observation sequence (endpoints, weights and edge
+// flags) of an uninterrupted run with the same seed.
+func TestObsSplitRunDeterminism(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(21), 2000, 3)
+	const budget = 600
+	for _, tc := range obsResumableCases {
+		for _, split := range []int{1, 7, 100, 250} {
+			t.Run(fmt.Sprintf("%s/split=%d", tc.name, split), func(t *testing.T) {
+				want := collectObsRun(t, g, tc.build(), 42, budget)
+				if len(want) <= split {
+					t.Fatalf("budget too small: only %d observations, split %d", len(want), split)
+				}
+
+				ctx, cancel := context.WithCancel(context.Background())
+				sess := crawl.NewSessionContext(ctx, g, budget, crawl.UnitCosts(), xrand.New(42))
+				first := tc.build()
+				var got []Observation
+				var snap []byte
+				var cp crawl.SessionCheckpoint
+				err := first.RunObs(sess, func(o Observation) {
+					got = append(got, o)
+					if len(got) == split {
+						var serr error
+						snap, serr = first.Snapshot()
+						if serr != nil {
+							t.Errorf("snapshot: %v", serr)
+						}
+						cp = sess.Checkpoint()
+						cancel()
+					}
+				})
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+				}
+				if len(got) != split {
+					t.Fatalf("interrupted run emitted %d observations past the cancel point", len(got)-split)
+				}
+
+				second := tc.build()
+				if err := second.Restore(snap); err != nil {
+					t.Fatal(err)
+				}
+				rsess, err := crawl.ResumeSession(context.Background(), g, cp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := second.ResumeObs(rsess, func(o Observation) { got = append(got, o) }); err != nil {
+					t.Fatalf("resumed run: %v", err)
+				}
+
+				if len(got) != len(want) {
+					t.Fatalf("split run emitted %d observations, uninterrupted %d", len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("observation %d diverged: %+v != %+v", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestObsRunMatchesClassicRun pins that the observation surface is the
+// classic edge surface plus weights: for each edge sampler, RunObs
+// emits exactly Run's edges wrapped as degree-weighted, edge-flagged
+// observations.
+func TestObsRunMatchesClassicRun(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(22), 1500, 3)
+	for _, tc := range resumableCases {
+		edges := collectRun(t, g, tc.build(), 33, 400)
+		sess := crawl.NewSession(g, 400, crawl.UnitCosts(), xrand.New(33))
+		sampler := tc.build().(ObservationSampler)
+		var obs []Observation
+		if err := sampler.RunObs(sess, func(o Observation) { obs = append(obs, o) }); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(obs) != len(edges) {
+			t.Fatalf("%s: %d observations, %d edges", tc.name, len(obs), len(edges))
+		}
+		for i, e := range edges {
+			want := EdgeObservation(g, e.u, e.v)
+			if obs[i] != want {
+				t.Fatalf("%s: observation %d = %+v, want %+v", tc.name, i, obs[i], want)
+			}
+			if !obs[i].Edge || obs[i].Weight != 1/float64(g.SymDegree(e.v)) {
+				t.Fatalf("%s: observation %d badly weighted: %+v", tc.name, i, obs[i])
+			}
+		}
+	}
+}
+
+// TestObsResumableErrors pins the error paths of the new methods'
+// ObservationSampler contract, mirroring TestResumableErrors.
+func TestObsResumableErrors(t *testing.T) {
+	for _, tc := range obsResumableCases {
+		s := tc.build()
+		if _, err := s.Snapshot(); err == nil {
+			t.Fatalf("%s: Snapshot before any run must error", tc.name)
+		}
+		if err := s.ResumeObs(nil, nil); err == nil {
+			t.Fatalf("%s: ResumeObs without state must error", tc.name)
+		}
+		if err := s.Restore([]byte("{nonsense")); err == nil {
+			t.Fatalf("%s: Restore of bad JSON must error", tc.name)
+		}
+	}
+	// Out-of-range restart probabilities fail at run time.
+	g := gen.BarabasiAlbert(xrand.New(23), 100, 2)
+	sess := crawl.NewSession(g, 50, crawl.UnitCosts(), xrand.New(4))
+	for _, p := range []float64{-0.1, 1, 1.5} {
+		if err := (&JumpRW{JumpProb: p}).RunObs(sess, func(Observation) {}); err == nil {
+			t.Fatalf("JumpProb %g must error", p)
+		}
+	}
+}
+
 // TestCancelledRunKeepsStateResumable exercises the in-place variant:
 // after a cancelled Run, the same value's Resume (no Restore) continues
 // to the identical final sequence.

@@ -97,7 +97,7 @@ func TestModelMatchesMonteCarlo(t *testing.T) {
 	for r := 0; r < runs; r++ {
 		est := NewPlainDegreeDist(g, graph.SymDeg)
 		sess := crawl.NewSession(g, budget, crawl.UnitCosts(), rng.Split())
-		if err := (core.RandomVertexSampler{}).RunVertices(sess, est.ObserveVertex); err != nil {
+		if err := (&core.RandomVertexSampler{}).RunVertices(sess, est.ObserveVertex); err != nil {
 			t.Fatal(err)
 		}
 		rvErr.Add(est.Theta())
@@ -109,7 +109,7 @@ func TestModelMatchesMonteCarlo(t *testing.T) {
 	for r := 0; r < runs; r++ {
 		est := NewDegreeDist(g, graph.SymDeg)
 		sess := crawl.NewSession(g, 2*budget, crawl.UnitCosts(), rng.Split())
-		if err := (core.RandomEdgeSampler{}).Run(sess, est.Observe); err != nil {
+		if err := (&core.RandomEdgeSampler{}).Run(sess, est.Observe); err != nil {
 			t.Fatal(err)
 		}
 		reErr.Add(est.Theta())

@@ -1,0 +1,162 @@
+package estimate
+
+import (
+	"math"
+
+	"frontier/internal/graph"
+)
+
+// This file holds the importance-weighted generalizations of the
+// vertex-level estimators: feed each observed vertex v with a weight
+// w ∝ 1/Pr[observing v] and every estimator computes the
+// self-normalized form Σ w·f(v) / Σ w. The classic estimators are the
+// two ends of the weighting spectrum — the stationary-walk estimators
+// (DegreeDist, GroupDensity, AvgDegree) are the w = 1/deg(v) instance
+// of these, and the Plain* estimators the w = 1 instance — while a
+// random walk with uniform restarts sits in between with
+// w = 1/(deg(v)+jumpweight). The live moment kernels (internal/live)
+// mirror this arithmetic operation for operation, which is what the
+// exactness tests pin.
+
+// WeightedAvgDegree estimates the average symmetric degree from
+// importance-weighted vertex observations as Σ w·deg(v) / Σ w.
+type WeightedAvgDegree struct {
+	view View
+	num  float64
+	den  float64
+	n    int64
+}
+
+// NewWeightedAvgDegree creates the estimator.
+func NewWeightedAvgDegree(view View) *WeightedAvgDegree {
+	return &WeightedAvgDegree{view: view}
+}
+
+// Observe consumes one observed vertex with its importance weight.
+// Non-positive weights are ignored.
+func (e *WeightedAvgDegree) Observe(v int, w float64) {
+	if !(w > 0) {
+		return
+	}
+	e.num += w * float64(e.view.SymDegree(v))
+	e.den += w
+	e.n++
+}
+
+// N returns the number of qualifying observations.
+func (e *WeightedAvgDegree) N() int64 { return e.n }
+
+// Estimate returns the estimated average degree; NaN with no samples.
+func (e *WeightedAvgDegree) Estimate() float64 {
+	if e.den == 0 {
+		return math.NaN()
+	}
+	return e.num / e.den
+}
+
+// Reset clears the estimator.
+func (e *WeightedAvgDegree) Reset() { e.num, e.den, e.n = 0, 0, 0 }
+
+// WeightedDegreeDist estimates the degree distribution θ (and its
+// CCDF) from importance-weighted vertex observations: each observation
+// adds weight w to the bucket of v's degree label, normalized by
+// S = Σ w. With w = 1/deg(v) on walk samples this is exactly
+// DegreeDist (equation (7)); with w = 1 on uniform vertex samples it
+// is exactly PlainDegreeDist.
+type WeightedDegreeDist struct {
+	view    View
+	kind    graph.DegreeKind
+	buckets []float64
+	s       float64
+	n       int64
+}
+
+// NewWeightedDegreeDist creates an estimator of the kind-degree
+// distribution.
+func NewWeightedDegreeDist(view View, kind graph.DegreeKind) *WeightedDegreeDist {
+	return &WeightedDegreeDist{view: view, kind: kind}
+}
+
+// Observe consumes one observed vertex with its importance weight.
+func (e *WeightedDegreeDist) Observe(v int, w float64) {
+	if !(w > 0) {
+		return
+	}
+	label := degreeOf(e.view, e.kind, v)
+	for label >= len(e.buckets) {
+		e.buckets = append(e.buckets, 0)
+	}
+	e.buckets[label] += w
+	e.s += w
+	e.n++
+}
+
+// N returns the number of qualifying observations.
+func (e *WeightedDegreeDist) N() int64 { return e.n }
+
+// Theta returns the estimated density θ̂ (freshly allocated).
+func (e *WeightedDegreeDist) Theta() []float64 {
+	out := make([]float64, len(e.buckets))
+	if e.s == 0 {
+		return out
+	}
+	for i, b := range e.buckets {
+		out[i] = b / e.s
+	}
+	return out
+}
+
+// CCDF returns the estimated complementary cumulative distribution.
+func (e *WeightedDegreeDist) CCDF() []float64 { return graph.CCDF(e.Theta()) }
+
+// Reset clears the estimator, keeping capacity.
+func (e *WeightedDegreeDist) Reset() {
+	e.buckets = e.buckets[:0]
+	e.s = 0
+	e.n = 0
+}
+
+// WeightedGroupDensity estimates the per-group vertex densities θ_l
+// from importance-weighted vertex observations. With w = 1/deg(v) it
+// is exactly GroupDensity; with w = 1, PlainGroupDensity.
+type WeightedGroupDensity struct {
+	labels  *graph.GroupLabels
+	buckets []float64
+	s       float64
+}
+
+// NewWeightedGroupDensity creates the estimator over the given
+// planted groups.
+func NewWeightedGroupDensity(labels *graph.GroupLabels) *WeightedGroupDensity {
+	return &WeightedGroupDensity{
+		labels:  labels,
+		buckets: make([]float64, labels.NumGroups()),
+	}
+}
+
+// Observe consumes one observed vertex with its importance weight.
+func (e *WeightedGroupDensity) Observe(v int, w float64) {
+	if !(w > 0) {
+		return
+	}
+	for _, id := range e.labels.Groups(v) {
+		e.buckets[id] += w
+	}
+	e.s += w
+}
+
+// Estimate returns θ̂_l for group l.
+func (e *WeightedGroupDensity) Estimate(l int) float64 {
+	if e.s == 0 {
+		return 0
+	}
+	return e.buckets[l] / e.s
+}
+
+// Reset clears the estimator.
+func (e *WeightedGroupDensity) Reset() {
+	for i := range e.buckets {
+		e.buckets[i] = 0
+	}
+	e.s = 0
+}

@@ -348,7 +348,7 @@ func runFig12(cfg Config) (*Result, error) {
 	budget := float64(g.NumVertices()) / 100
 	m := WalkersFor(budget, 1000)
 
-	reMethod := method{"RandomEdge", func() core.EdgeSampler { return core.RandomEdgeSampler{} }}
+	reMethod := method{"RandomEdge", func() core.EdgeSampler { return &core.RandomEdgeSampler{} }}
 	fsM := fsMethod(m)
 
 	reVE, err := densityError(g, graph.InDeg, reMethod, budget, crawl.UnitCosts(), cfg.mc(0xF1612))
@@ -419,7 +419,7 @@ func runFig13(cfg Config) (*Result, error) {
 	reModel := crawl.UnitCosts()
 	reModel.EdgeHitRatio = 0.01
 	reVE, err := ccdfError(g, graph.InDeg,
-		method{"RandomEdge", func() core.EdgeSampler { return core.RandomEdgeSampler{} }},
+		method{"RandomEdge", func() core.EdgeSampler { return &core.RandomEdgeSampler{} }},
 		budget, reModel, cfg.mc(0xF1613))
 	if err != nil {
 		return nil, err

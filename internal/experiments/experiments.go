@@ -395,7 +395,7 @@ func vertexDensityError(g *graph.Graph, kind graph.DegreeKind, budget float64,
 		func(rng *xrand.Rand) ([]float64, error) {
 			est := estimate.NewPlainDegreeDist(g, kind)
 			sess := crawl.NewSession(g, budget, model, rng)
-			if err := (core.RandomVertexSampler{}).RunVertices(sess, est.ObserveVertex); err != nil &&
+			if err := (&core.RandomVertexSampler{}).RunVertices(sess, est.ObserveVertex); err != nil &&
 				!errors.Is(err, crawl.ErrBudgetExhausted) {
 				return nil, fmt.Errorf("RandomVertex: %w", err)
 			}

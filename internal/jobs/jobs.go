@@ -3,8 +3,16 @@
 // job drives a resumable sampler (internal/core) through its own
 // budgeted, cancellable session (internal/crawl), and every job
 // checkpoints its full state — session, sampler, live estimation
-// runtime and edge hash — as JSON at step boundaries, so jobs survive a
-// process restart and continue byte-identically.
+// runtime and observation hash — as JSON at step boundaries, so jobs
+// survive a process restart and continue byte-identically.
+//
+// Methods come from a MethodRegistry (name → builder + required source
+// facets): the built-in set is the paper's full comparison roster —
+// the degree-proportional walk samplers (fs, dfs, single, multiple),
+// the uniform-vertex samplers (mhrw, rv), uniform edge sampling (re)
+// and the random walk with uniform restarts (jump) — all emitting one
+// weighted observation stream (core.Observation), which is what lets
+// a single estimation pipeline serve every method.
 //
 // Estimation is live (internal/live): each job attaches a registered
 // estimator plus a convergence monitor to its edge stream, publishing
@@ -87,11 +95,20 @@ type Spec struct {
 	// multi-graph hosting deserialize to — old checkpoints resume
 	// unchanged.
 	Graph string `json:"graph,omitempty"`
-	// Method selects the sampler: "fs", "dfs", "single" or "multiple" —
-	// the resumable walk samplers.
+	// Method selects the sampler by method-registry name. The built-in
+	// set is the paper's full comparison roster: "fs", "dfs", "single",
+	// "multiple" (the degree-proportional walk samplers), "mhrw" and
+	// "rv" (uniform-vertex samplers), "re" (uniform edges; needs a
+	// graph with edge-level queries) and "jump" (random walk with
+	// uniform restarts, tuned by JumpProb). Custom methods appear here
+	// once registered (WithMethods).
 	Method string `json:"method"`
 	// M is the walker count (fs, dfs, multiple); default 1.
 	M int `json:"m,omitempty"`
+	// JumpProb is the uniform-restart probability α ∈ [0,1) for method
+	// "jump" (see core.JumpRW: the restart probability at vertex v is
+	// w/(w+deg(v)) with w = α/(1−α)). Rejected on any other method.
+	JumpProb float64 `json:"jump_prob,omitempty"`
 	// Budget is the sampling budget B (continuous time for dfs).
 	Budget float64 `json:"budget"`
 	// Seed is the deterministic RNG seed; two jobs with equal specs
@@ -127,17 +144,26 @@ func (sp *Spec) normalize() {
 	}
 }
 
-// validate checks sp against a resolved source and the estimator
-// registry. Unknown estimates fail with the registry's full name list,
-// so the error teaches the caller what the service can estimate.
-func (sp Spec) validate(src crawl.Source, reg *live.Registry) error {
-	switch sp.Method {
-	case "fs", "dfs", "single", "multiple":
-	default:
-		return fmt.Errorf("jobs: unknown method %q (want fs, dfs, single or multiple)", sp.Method)
+// validate checks sp against a resolved source, the method registry
+// and the estimator registry. Unknown methods and estimates fail with
+// the registries' full name lists, so the error teaches the caller
+// what the service can run and estimate; method/estimator mismatches
+// (a vertex sampler driving an edge-level estimand) are caught here
+// too, before the job ever queues.
+func (sp Spec) validate(src crawl.Source, reg *live.Registry, methods *MethodRegistry) error {
+	m, err := methods.resolve(sp.Method)
+	if err != nil {
+		return err
 	}
-	if err := reg.Supports(sp.Estimate, src); err != nil {
+	if err := m.validateSpec(sp, src); err != nil {
+		return err
+	}
+	est, err := reg.New(sp.Estimate, src)
+	if err != nil {
 		return fmt.Errorf("jobs: estimate: %w", err)
+	}
+	if est.NeedsEdges() && !m.EmitsEdges {
+		return fmt.Errorf("jobs: estimate %q needs edge observations, which method %q does not emit", sp.Estimate, sp.Method)
 	}
 	if _, err := live.ParseStopRule(sp.StopRule); err != nil {
 		return fmt.Errorf("jobs: %w", err)
@@ -173,18 +199,14 @@ func newRuntime(reg *live.Registry, sp Spec, src crawl.Source) (*live.Runtime, e
 	return live.NewRuntime(est, live.NewMonitor(live.MonitorConfig{Chains: chains}), rule), nil
 }
 
-// newSampler builds the resumable sampler a spec asks for.
-func newSampler(sp Spec) core.Resumable {
-	switch sp.Method {
-	case "fs":
-		return &core.FrontierSampler{M: sp.M}
-	case "dfs":
-		return &core.DistributedFS{M: sp.M}
-	case "multiple":
-		return &core.MultipleRW{M: sp.M}
-	default: // "single"; validate rejected everything else
-		return &core.SingleRW{}
+// newSampler builds the resumable sampler a spec asks for through the
+// method registry; validate already guaranteed the method exists.
+func (m *Manager) newSampler(sp Spec) (core.ObservationSampler, error) {
+	method, err := m.methods.resolve(sp.Method)
+	if err != nil {
+		return nil, err
 	}
+	return method.Build(sp), nil
 }
 
 // Status is the externally visible snapshot of a job, served verbatim
@@ -193,17 +215,21 @@ type Status struct {
 	ID    string `json:"id"`
 	State State  `json:"state"`
 	Spec  Spec   `json:"spec"`
-	// Edges is the number of edges sampled so far (partial while
-	// running, final when done).
+	// Edges is the number of observations sampled so far (partial while
+	// running, final when done). The field predates the weighted
+	// observation stream: for edge-emitting methods it counts edges,
+	// for vertex-emitting ones (mhrw, rv) sampled vertices.
 	Edges int64 `json:"edges"`
 	// Spent is the budget consumed so far.
 	Spent float64 `json:"spent"`
 	// Estimate is the current (partial or final) estimate; omitted until
 	// the job has observed enough to form one.
 	Estimate *float64 `json:"estimate,omitempty"`
-	// EdgeHash is the FNV-1a hash of the emitted edge sequence — equal
-	// runs have equal hashes, which is how the determinism tests compare
-	// interrupted and uninterrupted runs without shipping every edge.
+	// EdgeHash is the FNV-1a hash of the emitted observation sequence
+	// (vertex observations hash as their (v,v) self-pair) — equal runs
+	// have equal hashes, which is how the determinism tests compare
+	// interrupted and uninterrupted runs without shipping every
+	// observation.
 	EdgeHash string `json:"edge_hash"`
 	// StopReason explains why a done job stopped: "budget" when it ran
 	// its full budget, or the stop rule's convergence reason (e.g.
@@ -468,11 +494,24 @@ func WithEstimators(reg *live.Registry) Option {
 	}
 }
 
+// WithMethods validates and builds every job's Method through reg
+// instead of the process-wide DefaultMethods() registry. Use it to
+// host custom sampling methods on one manager without registering
+// them globally.
+func WithMethods(reg *MethodRegistry) Option {
+	return func(m *Manager) {
+		if reg != nil {
+			m.methods = reg
+		}
+	}
+}
+
 // Manager owns the job table, the bounded queue and the worker pool.
 // All methods are safe for concurrent use.
 type Manager struct {
 	resolver Resolver
 	registry *live.Registry
+	methods  *MethodRegistry
 	workers  int
 	queueCap int
 	dir      string
@@ -501,6 +540,7 @@ type Manager struct {
 func NewManager(src crawl.Source, opts ...Option) (*Manager, error) {
 	m := &Manager{
 		registry: live.Default(),
+		methods:  DefaultMethods(),
 		workers:  4,
 		queueCap: 1024,
 		jobs:     make(map[string]*Job),
@@ -575,7 +615,7 @@ func (m *Manager) Submit(sp Spec) (*Job, error) {
 		return nil, err
 	}
 	release() // validation only; the job pins the graph when it runs
-	if err := sp.validate(src, m.registry); err != nil {
+	if err := sp.validate(src, m.registry, m.methods); err != nil {
 		return nil, err
 	}
 	m.mu.Lock()
@@ -784,7 +824,11 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 		m.finish(j, StateFailed, fmt.Errorf("jobs: building estimator: %w", err))
 		return
 	}
-	sampler := newSampler(spec)
+	sampler, err := m.newSampler(spec)
+	if err != nil {
+		m.finish(j, StateFailed, err)
+		return
+	}
 	var sess *crawl.Session
 	var edges int64
 	var hash uint64 = fnvOffset
@@ -808,19 +852,19 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 		sess = crawl.NewSessionContext(ctx, src, spec.Budget, model, xrand.New(spec.Seed))
 	}
 
-	// All four job samplers report which walker moved; the assertion is
-	// defensive against future non-tracking methods (chain 0 then takes
-	// every observation, degrading R-hat but nothing else).
+	// All built-in job samplers report which walker moved; the assertion
+	// is defensive against custom non-tracking methods (chain 0 then
+	// takes every observation, degrading R-hat but nothing else).
 	tracker, _ := sampler.(core.WalkerTracker)
 	stopIssued := false
-	emit := func(u, v int) {
-		hash = hashEdge(hash, u, v)
+	emit := func(o core.Observation) {
+		hash = hashEdge(hash, o.U, o.V)
 		edges++
 		walker := 0
 		if tracker != nil {
 			walker = tracker.LastWalker()
 		}
-		if rep := rt.Observe(walker, u, v); rep != nil {
+		if rep := rt.ObserveSample(walker, o); rep != nil {
 			j.setReport(rep)
 			if rep.Converged && !stopIssued {
 				// Adaptive stop: unwind the sampler at its next budget
@@ -844,14 +888,14 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 		// them to job failures instead of killing the worker.
 		err = runSafe.RunSafely(func() error {
 			if resume {
-				return sampler.Resume(sess, emit)
+				return sampler.ResumeObs(sess, emit)
 			}
-			return sampler.Run(sess, emit)
+			return sampler.RunObs(sess, emit)
 		})
 	} else if resume {
-		err = sampler.Resume(sess, emit)
+		err = sampler.ResumeObs(sess, emit)
 	} else {
-		err = sampler.Run(sess, emit)
+		err = sampler.RunObs(sess, emit)
 	}
 
 	// finishDone records the final live report and state for the two
@@ -889,7 +933,7 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 // (called from inside emit, where sampler, session and live runtime are
 // consistent) and persists it when a checkpoint directory is
 // configured.
-func (m *Manager) checkpointNow(j *Job, sess *crawl.Session, sampler core.Resumable, rt *live.Runtime, edges int64, hash uint64) {
+func (m *Manager) checkpointNow(j *Job, sess *crawl.Session, sampler core.ObservationSampler, rt *live.Runtime, edges int64, hash uint64) {
 	snap, err := sampler.Snapshot()
 	if err != nil {
 		return // not started; nothing worth recording yet
@@ -1041,7 +1085,7 @@ func (m *Manager) loadCheckpoints() error {
 		if src, release, rerr := m.resolver.Resolve(cp.Spec.Graph); rerr != nil {
 			invalid = rerr
 		} else {
-			invalid = cp.Spec.validate(src, m.registry)
+			invalid = cp.Spec.validate(src, m.registry, m.methods)
 			release()
 		}
 		j := &Job{

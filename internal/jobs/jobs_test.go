@@ -48,7 +48,11 @@ func waitDone(t *testing.T, j *Job) Status {
 func directRun(t *testing.T, g *graph.Graph, sp Spec) Status {
 	t.Helper()
 	sp.normalize()
-	sampler := newSampler(sp)
+	method, err := DefaultMethods().resolve(sp.Method)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := method.Build(sp)
 	sess := crawl.NewSession(g, sp.Budget, crawl.UnitCosts(), xrand.New(sp.Seed))
 	rt, err := newRuntime(live.Default(), sp, g)
 	if err != nil {
@@ -57,14 +61,14 @@ func directRun(t *testing.T, g *graph.Graph, sp Spec) Status {
 	tracker, _ := sampler.(core.WalkerTracker)
 	var edges int64
 	var hash uint64 = fnvOffset
-	if err := sampler.Run(sess, func(u, v int) {
-		hash = hashEdge(hash, u, v)
+	if err := sampler.RunObs(sess, func(o core.Observation) {
+		hash = hashEdge(hash, o.U, o.V)
 		edges++
 		walker := 0
 		if tracker != nil {
 			walker = tracker.LastWalker()
 		}
-		rt.Observe(walker, u, v)
+		rt.ObserveSample(walker, o)
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -326,12 +330,27 @@ func TestStateMachineEdges(t *testing.T) {
 	}
 }
 
-// TestJobsAreResumableSamplersOnly pins that every method the service
-// accepts is actually core.Resumable (compile-time via newSampler's
-// return type, runtime via a snapshot round trip mid-run).
+// TestJobsAreResumableSamplersOnly pins that every registered method
+// builds a core.ObservationSampler (compile-time via Method.Build's
+// return type) and that the default registry carries the paper's full
+// comparison set.
 func TestJobsAreResumableSamplersOnly(t *testing.T) {
-	for _, method := range []string{"fs", "dfs", "single", "multiple"} {
-		var s core.Resumable = newSampler(Spec{Method: method, M: 2})
+	want := []string{"dfs", "fs", "jump", "mhrw", "multiple", "re", "rv", "single"}
+	got := DefaultMethods().Names()
+	if len(got) != len(want) {
+		t.Fatalf("DefaultMethods().Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DefaultMethods().Names() = %v, want %v", got, want)
+		}
+	}
+	for _, method := range got {
+		m, ok := DefaultMethods().Get(method)
+		if !ok {
+			t.Fatalf("%s: not registered", method)
+		}
+		var s core.ObservationSampler = m.Build(Spec{Method: method, M: 2, JumpProb: 0.1})
 		if s == nil {
 			t.Fatalf("%s: no sampler", method)
 		}

@@ -1,0 +1,179 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"frontier/internal/core"
+	"frontier/internal/crawl"
+)
+
+// Method describes one registered sampling method: how to build its
+// resumable sampler from a spec, plus the source facets it requires
+// and the observation kinds it emits — what spec validation checks a
+// submission against. The built-in methods are the paper's full
+// comparison set; Register adds custom ones.
+type Method struct {
+	// Name is the Spec.Method string that selects the method.
+	Name string
+	// Build constructs a fresh sampler for a normalized spec. The
+	// sampler's Snapshot/Restore state rides the job checkpoint, so a
+	// method is resumable by construction.
+	Build func(sp Spec) core.ObservationSampler
+	// EmitsEdges reports whether the method's observation stream
+	// contains edge observations. Edge-level estimands (clustering,
+	// assortativity) are rejected at submission on methods that emit
+	// none.
+	EmitsEdges bool
+	// NeedsEdgeSource marks methods that draw uniform random edges and
+	// therefore need a source implementing crawl.EdgeSource.
+	NeedsEdgeSource bool
+	// UsesWalkers reports whether Spec.M (the walker count) applies.
+	UsesWalkers bool
+	// UsesJumpProb reports whether Spec.JumpProb applies; submissions
+	// carrying a non-zero JumpProb for any other method are rejected
+	// rather than silently ignored.
+	UsesJumpProb bool
+}
+
+// MethodRegistry is a named set of sampling methods: the catalog of
+// what a job service can run. The zero value is unusable; build one
+// with NewMethodRegistry. Safe for concurrent use.
+type MethodRegistry struct {
+	mu      sync.RWMutex
+	methods map[string]Method
+}
+
+// defaultMethods backs DefaultMethods.
+var defaultMethods = NewMethodRegistry()
+
+// DefaultMethods returns the process-wide method registry holding the
+// paper's comparison set: "fs", "dfs", "single", "multiple", "mhrw",
+// "rv", "re" and "jump". Managers validate and build job samplers
+// against it unless configured otherwise (WithMethods).
+func DefaultMethods() *MethodRegistry { return defaultMethods }
+
+// NewMethodRegistry returns a registry pre-populated with the built-in
+// methods. Register adds custom ones.
+func NewMethodRegistry() *MethodRegistry {
+	r := &MethodRegistry{methods: make(map[string]Method)}
+	must := func(m Method) {
+		if err := r.Register(m); err != nil {
+			panic(err)
+		}
+	}
+	must(Method{
+		Name:        "fs",
+		Build:       func(sp Spec) core.ObservationSampler { return &core.FrontierSampler{M: sp.M} },
+		EmitsEdges:  true,
+		UsesWalkers: true,
+	})
+	must(Method{
+		Name:        "dfs",
+		Build:       func(sp Spec) core.ObservationSampler { return &core.DistributedFS{M: sp.M} },
+		EmitsEdges:  true,
+		UsesWalkers: true,
+	})
+	must(Method{
+		Name:       "single",
+		Build:      func(sp Spec) core.ObservationSampler { return &core.SingleRW{} },
+		EmitsEdges: true,
+	})
+	must(Method{
+		Name:        "multiple",
+		Build:       func(sp Spec) core.ObservationSampler { return &core.MultipleRW{M: sp.M} },
+		EmitsEdges:  true,
+		UsesWalkers: true,
+	})
+	must(Method{
+		Name:  "mhrw",
+		Build: func(sp Spec) core.ObservationSampler { return &core.MetropolisRW{} },
+	})
+	must(Method{
+		Name:  "rv",
+		Build: func(sp Spec) core.ObservationSampler { return &core.RandomVertexSampler{} },
+	})
+	must(Method{
+		Name:            "re",
+		Build:           func(sp Spec) core.ObservationSampler { return &core.RandomEdgeSampler{} },
+		EmitsEdges:      true,
+		NeedsEdgeSource: true,
+	})
+	must(Method{
+		Name:         "jump",
+		Build:        func(sp Spec) core.ObservationSampler { return &core.JumpRW{JumpProb: sp.JumpProb} },
+		EmitsEdges:   true,
+		UsesJumpProb: true,
+	})
+	return r
+}
+
+// Register adds a method. Duplicate and empty names, and nil builders,
+// are rejected.
+func (r *MethodRegistry) Register(m Method) error {
+	if m.Name == "" {
+		return errors.New("jobs: method name must not be empty")
+	}
+	if m.Build == nil {
+		return fmt.Errorf("jobs: method %q has no builder", m.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.methods[m.Name]; dup {
+		return fmt.Errorf("jobs: method %q already registered", m.Name)
+	}
+	r.methods[m.Name] = m
+	return nil
+}
+
+// Names returns the registered method names, sorted — what a
+// validation error enumerates.
+func (r *MethodRegistry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.methods))
+	for name := range r.methods {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the named method.
+func (r *MethodRegistry) Get(name string) (Method, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.methods[name]
+	return m, ok
+}
+
+// resolve returns the named method or the teaching error every bad
+// submission gets: the full list of what the service can run.
+func (r *MethodRegistry) resolve(name string) (Method, error) {
+	m, ok := r.Get(name)
+	if !ok {
+		return Method{}, fmt.Errorf("jobs: unknown method %q (registered: %s)", name, strings.Join(r.Names(), ", "))
+	}
+	return m, nil
+}
+
+// validateSpec checks the method-specific parts of a spec against a
+// resolved source.
+func (m Method) validateSpec(sp Spec, src crawl.Source) error {
+	if m.NeedsEdgeSource {
+		if _, ok := src.(crawl.EdgeSource); !ok {
+			return fmt.Errorf("jobs: method %q needs uniform edge queries (crawl.EdgeSource), which the graph does not support", m.Name)
+		}
+	}
+	if m.UsesJumpProb {
+		if sp.JumpProb < 0 || sp.JumpProb >= 1 {
+			return fmt.Errorf("jobs: method %q needs jump_prob in [0,1), got %g", m.Name, sp.JumpProb)
+		}
+	} else if sp.JumpProb != 0 {
+		return fmt.Errorf("jobs: jump_prob does not apply to method %q", m.Name)
+	}
+	return nil
+}

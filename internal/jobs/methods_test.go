@@ -1,0 +1,259 @@
+package jobs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"frontier/internal/core"
+	"frontier/internal/graph"
+)
+
+// TestAllMethodsRunAsJobs submits one job per registered method over a
+// shared graph and checks every one finishes done with exactly the
+// edges, hash, estimate and spend of an uninterrupted in-process run —
+// the determinism contract now covers the whole comparison set.
+func TestAllMethodsRunAsJobs(t *testing.T) {
+	g := testGraph(50)
+	m, err := NewManager(g, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+
+	specs := []Spec{
+		{Method: "fs", M: 8, Budget: 3000, Seed: 501},
+		{Method: "dfs", M: 8, Budget: 300, Seed: 502},
+		{Method: "single", Budget: 3000, Seed: 503},
+		{Method: "multiple", M: 4, Budget: 3000, Seed: 504},
+		{Method: "mhrw", Budget: 3000, Seed: 505},
+		{Method: "rv", Budget: 3000, Seed: 506, Estimate: "degreedist"},
+		{Method: "re", Budget: 3000, Seed: 507, Estimate: "clustering"},
+		{Method: "jump", JumpProb: 0.2, Budget: 3000, Seed: 508},
+	}
+	js := make([]*Job, len(specs))
+	for i, sp := range specs {
+		j, err := m.Submit(sp)
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Method, err)
+		}
+		js[i] = j
+	}
+	for i, j := range js {
+		got := waitDone(t, j)
+		want := directRun(t, g, specs[i])
+		if got.Edges != want.Edges || got.EdgeHash != want.EdgeHash {
+			t.Fatalf("%s: %d obs hash %s, direct run %d obs hash %s",
+				specs[i].Method, got.Edges, got.EdgeHash, want.Edges, want.EdgeHash)
+		}
+		if got.Estimate == nil || want.Estimate == nil || *got.Estimate != *want.Estimate {
+			t.Fatalf("%s: estimate %v, direct run %v", specs[i].Method, got.Estimate, want.Estimate)
+		}
+		if got.Spent != want.Spent {
+			t.Fatalf("%s: spent %v, direct run %v", specs[i].Method, got.Spent, want.Spent)
+		}
+	}
+}
+
+// TestMethodValidation pins the method registry's teaching errors:
+// unknown methods enumerate the roster, vertex methods reject
+// edge-level estimands, re demands edge queries, and jump_prob is
+// range-checked and method-gated.
+func TestMethodValidation(t *testing.T) {
+	g := testGraph(51)
+	m, err := NewManager(g, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+
+	_, err = m.Submit(Spec{Method: "bogus", Budget: 10})
+	if err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Fatalf("unknown method error = %v", err)
+	}
+	for _, name := range DefaultMethods().Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("method error %q does not enumerate %q", err, name)
+		}
+	}
+
+	// Vertex-emitting methods cannot feed edge-level estimands.
+	for _, method := range []string{"mhrw", "rv"} {
+		for _, est := range []string{"clustering", "assortativity"} {
+			_, err := m.Submit(Spec{Method: method, Budget: 10, Estimate: est})
+			if err == nil || !strings.Contains(err.Error(), "edge observations") {
+				t.Fatalf("%s+%s: error = %v, want edge-observations rejection", method, est, err)
+			}
+		}
+		// The same methods are fine with vertex-level estimands.
+		if _, err := m.Submit(Spec{Method: method, Budget: 10, Estimate: "degreedist"}); err != nil {
+			t.Fatalf("%s+degreedist: %v", method, err)
+		}
+	}
+
+	// jump_prob: range-checked on jump, rejected elsewhere.
+	if _, err := m.Submit(Spec{Method: "jump", JumpProb: 1.0, Budget: 10}); err == nil {
+		t.Fatal("jump_prob 1.0 must be rejected")
+	}
+	if _, err := m.Submit(Spec{Method: "jump", JumpProb: -0.1, Budget: 10}); err == nil {
+		t.Fatal("negative jump_prob must be rejected")
+	}
+	if _, err := m.Submit(Spec{Method: "fs", JumpProb: 0.3, Budget: 10}); err == nil ||
+		!strings.Contains(err.Error(), "jump_prob") {
+		t.Fatalf("jump_prob on fs: error = %v, want rejection", err)
+	}
+	if _, err := m.Submit(Spec{Method: "jump", JumpProb: 0.3, Budget: 10}); err != nil {
+		t.Fatalf("valid jump spec rejected: %v", err)
+	}
+}
+
+// bareNoEdgeSource strips a graph down to crawl.Source, hiding the
+// uniform edge queries re needs.
+type bareNoEdgeSource struct{ g *graph.Graph }
+
+func (b bareNoEdgeSource) NumVertices() int         { return b.g.NumVertices() }
+func (b bareNoEdgeSource) SymDegree(v int) int      { return b.g.SymDegree(v) }
+func (b bareNoEdgeSource) SymNeighbor(v, i int) int { return b.g.SymNeighbor(v, i) }
+
+// TestRandomEdgeNeedsEdgeSource: submitting re over a source without
+// uniform edge queries is rejected at validation, not at run time.
+func TestRandomEdgeNeedsEdgeSource(t *testing.T) {
+	g := testGraph(52)
+	m, err := NewManager(bareNoEdgeSource{g: g}, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	_, err = m.Submit(Spec{Method: "re", Budget: 10})
+	if err == nil || !strings.Contains(err.Error(), "EdgeSource") {
+		t.Fatalf("re over bare source: error = %v, want EdgeSource rejection", err)
+	}
+	// The walk methods still run over the bare source.
+	if _, err := m.Submit(Spec{Method: "single", Budget: 10}); err != nil {
+		t.Fatalf("single over bare source: %v", err)
+	}
+}
+
+// TestCustomMethodRegistration hosts a custom method on one manager
+// via WithMethods without touching the process-wide registry.
+func TestCustomMethodRegistration(t *testing.T) {
+	reg := NewMethodRegistry()
+	dupe := Method{Name: "jump", Build: func(sp Spec) core.ObservationSampler { return &core.SingleRW{} }}
+	if err := reg.Register(dupe); err == nil {
+		t.Fatal("duplicate method registration must error")
+	}
+	if err := reg.Register(Method{Name: ""}); err == nil {
+		t.Fatal("empty method name must error")
+	}
+	if err := reg.Register(Method{Name: "nobuilder"}); err == nil {
+		t.Fatal("nil builder must error")
+	}
+	custom := Method{
+		Name:       "lazy-rw",
+		Build:      func(sp Spec) core.ObservationSampler { return &core.SingleRW{} },
+		EmitsEdges: true,
+	}
+	if err := reg.Register(custom); err != nil {
+		t.Fatal(err)
+	}
+
+	g := testGraph(53)
+	m, err := NewManager(g, WithWorkers(1), WithMethods(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	j, err := m.Submit(Spec{Method: "lazy-rw", Budget: 500, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitDone(t, j)
+	// The custom name builds a SingleRW, so it must match a "single" run.
+	want := directRun(t, g, Spec{Method: "single", Budget: 500, Seed: 9})
+	if got.EdgeHash != want.EdgeHash || got.Edges != want.Edges {
+		t.Fatalf("custom method: %d obs hash %s; single: %d obs hash %s",
+			got.Edges, got.EdgeHash, want.Edges, want.EdgeHash)
+	}
+	// The process-wide registry is untouched.
+	if _, ok := DefaultMethods().Get("lazy-rw"); ok {
+		t.Fatal("custom method leaked into DefaultMethods")
+	}
+}
+
+// TestMHRWAndJumpPauseResumeByteIdenticalLiveState is the acceptance
+// test for the newly-resumable methods: an adaptive MHRW (and jump)
+// job paused mid-run, reloaded by a fresh manager and run to
+// completion reports byte-identical estimator and monitor state — and
+// the same hash, observation count, estimate and stop reason — as the
+// same job run uninterrupted.
+func TestMHRWAndJumpPauseResumeByteIdenticalLiveState(t *testing.T) {
+	for _, spec := range []Spec{
+		{Method: "mhrw", Budget: 60000, Seed: 61, Estimate: "avgdegree",
+			StopRule: "ci_halfwidth<=0.25", CheckpointEvery: 64},
+		{Method: "jump", JumpProb: 0.15, Budget: 60000, Seed: 62, Estimate: "avgdegree",
+			StopRule: "ci_halfwidth<=0.25", CheckpointEvery: 64},
+	} {
+		t.Run(spec.Method, func(t *testing.T) {
+			g := testGraph(60)
+
+			mRef, err := NewManager(g, WithWorkers(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mRef.Stop()
+			jRef, err := mRef.Submit(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := waitDone(t, jRef)
+			if !strings.Contains(want.StopReason, "converged") {
+				t.Fatalf("reference run stop reason %q; the rule must fire for this test to bite", want.StopReason)
+			}
+			wantLive := finalLiveState(t, jRef)
+
+			dir := t.TempDir()
+			slow := &slowSource{g: g, delay: 50 * time.Microsecond}
+			m1, err := NewManager(slow, WithWorkers(1), WithCheckpointDir(dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			j, err := m1.Submit(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			waitStatus(t, j, func(s Status) bool { return s.Edges >= 64 }, "first checkpoint")
+			if err := m1.Pause(j.ID()); err != nil {
+				t.Fatal(err)
+			}
+			waitStatus(t, j, func(s Status) bool { return s.State == StatePaused }, "paused")
+			m1.Stop()
+
+			m2, err := NewManager(slow, WithWorkers(1), WithCheckpointDir(dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m2.Stop()
+			j2, ok := m2.Get(j.ID())
+			if !ok {
+				t.Fatalf("job %s not reloaded", j.ID())
+			}
+			got := waitDone(t, j2)
+
+			if got.Edges != want.Edges || got.EdgeHash != want.EdgeHash {
+				t.Fatalf("resumed: %d obs hash %s; uninterrupted: %d obs hash %s",
+					got.Edges, got.EdgeHash, want.Edges, want.EdgeHash)
+			}
+			if *got.Estimate != *want.Estimate {
+				t.Fatalf("resumed estimate %v, uninterrupted %v", *got.Estimate, *want.Estimate)
+			}
+			if got.StopReason != want.StopReason {
+				t.Fatalf("resumed stop reason %q, uninterrupted %q", got.StopReason, want.StopReason)
+			}
+			gotLive := finalLiveState(t, j2)
+			if !bytes.Equal(gotLive, wantLive) {
+				t.Fatalf("live state diverged across pause/resume:\n resumed %s\n direct  %s", gotLive, wantLive)
+			}
+		})
+	}
+}

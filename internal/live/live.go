@@ -15,11 +15,20 @@
 // Gelman-Rubin diagnostics (internal/walkstats) to any of them, and a
 // StopRule turns a diagnostic threshold into adaptive stopping.
 //
+// Estimators consume weighted observations (core.Observation): the
+// kernels reweight each sample by its importance weight, so the
+// degree-proportional walk streams (FS, DFS, SingleRW, MultipleRW,
+// RandomEdge), the uniform-vertex streams (MetropolisRW, RandomVertex)
+// and the jump-walk stream (JumpRW) all estimate the same quantities
+// through one pipeline.
+//
 // The pieces compose as
 //
 //	est, _ := live.Default().New("avgdegree", src)
 //	rt := live.NewRuntime(est, live.NewMonitor(live.MonitorConfig{}), rule)
-//	sampler.Run(sess, func(u, v int) { rt.Observe(tracker.LastWalker(), u, v) })
+//	sampler.RunObs(sess, func(o core.Observation) {
+//		rt.ObserveSample(tracker.LastWalker(), o)
+//	})
 //
 // and the whole Runtime — estimator sums, monitor rings, convergence
 // verdict — serializes to JSON, which is how internal/jobs checkpoints
@@ -36,6 +45,7 @@ import (
 	"strings"
 	"sync"
 
+	"frontier/internal/core"
 	"frontier/internal/crawl"
 	"frontier/internal/estimate"
 	"frontier/internal/graph"
@@ -71,14 +81,29 @@ type VectorResult struct {
 // is what lets the monitor compute batch estimates — the same map
 // applied to per-batch sums — for any estimator without knowing its
 // formula.
+//
+// Weighting contract: kernels of vertex-level estimands accumulate the
+// self-normalized form Σ Weight·f(V) / Σ Weight, taking the importance
+// weight from the observation — 1/deg(V) on stationary-walk and
+// uniform-edge streams, 1 on uniform-vertex streams (MHRW, RV),
+// 1/(deg(V)+w) on jump-walk streams — so every sampling method feeds
+// the same estimand. Kernels of edge-level estimands (clustering,
+// assortativity) instead consume only observations with Edge set and
+// reweight internally by endpoint degree: every method's edge
+// observations are uniform over symmetric edges at stationarity, so
+// the observation weight (a vertex-level quantity) does not apply.
 type kernel interface {
 	// dim is the number of sufficient statistics.
 	dim() int
-	// observe fills inc (length dim) with the increments for sampled
-	// edge (u, v) and returns the scalar mixing statistic fed to the
-	// chain diagnostics; ok=false means the edge does not qualify and
-	// contributes nothing.
-	observe(u, v int, inc []float64) (stat float64, ok bool)
+	// needsEdges reports whether the kernel consumes only edge
+	// observations — what job validation checks against the method's
+	// stream (a vertex sampler cannot feed an edge-level estimand).
+	needsEdges() bool
+	// observe fills inc (length dim) with the increments for the
+	// observation and returns the scalar mixing statistic fed to the
+	// chain diagnostics; ok=false means the observation does not
+	// qualify and contributes nothing.
+	observe(o core.Observation, inc []float64) (stat float64, ok bool)
 	// estimate maps summed increments to the estimate (NaN when the
 	// sums are degenerate).
 	estimate(sums []float64) float64
@@ -101,16 +126,18 @@ type vectorKernel interface {
 // per sampling run, from the run's emit callback).
 type Estimator struct {
 	name    string
+	src     crawl.Source
 	k       kernel
 	sums    []float64
 	n       int64
 	scratch []float64
 }
 
-// newEstimator wraps a kernel.
-func newEstimator(name string, k kernel) *Estimator {
+// newEstimator wraps a kernel over its source (kept for the classic
+// degree-weighted Observe shorthand).
+func newEstimator(name string, src crawl.Source, k kernel) *Estimator {
 	d := k.dim()
-	return &Estimator{name: name, k: k, sums: make([]float64, d), scratch: make([]float64, d)}
+	return &Estimator{name: name, src: src, k: k, sums: make([]float64, d), scratch: make([]float64, d)}
 }
 
 // Name returns the registry name the estimator was built under.
@@ -119,11 +146,25 @@ func (e *Estimator) Name() string { return e.name }
 // N returns the number of qualifying observations consumed.
 func (e *Estimator) N() int64 { return e.n }
 
-// Observe consumes one sampled edge, returning the scalar mixing
-// statistic and whether the edge qualified. Callers normally go through
-// Runtime.Observe, which also feeds the monitor.
+// NeedsEdges reports whether the estimator consumes only edge
+// observations — true for the edge-level estimands (clustering,
+// assortativity), which a vertex-emitting method (mhrw, rv) cannot
+// feed. Job submission validates Spec.Method against it.
+func (e *Estimator) NeedsEdges() bool { return e.k.needsEdges() }
+
+// Observe consumes one degree-proportional sampled edge — the classic
+// stationary-walk stream. Shorthand for
+// ObserveSample(core.EdgeObservation(src, u, v)).
 func (e *Estimator) Observe(u, v int) (stat float64, ok bool) {
-	stat, ok = e.k.observe(u, v, e.scratch)
+	return e.ObserveSample(core.EdgeObservation(e.src, u, v))
+}
+
+// ObserveSample consumes one weighted observation, returning the
+// scalar mixing statistic and whether the observation qualified.
+// Callers normally go through Runtime.ObserveSample, which also feeds
+// the monitor.
+func (e *Estimator) ObserveSample(o core.Observation) (stat float64, ok bool) {
+	stat, ok = e.k.observe(o, e.scratch)
 	if !ok {
 		return 0, false
 	}
@@ -225,31 +266,31 @@ func NewRegistry() *Registry {
 		}
 	}
 	must("avgdegree", func(src crawl.Source) (*Estimator, error) {
-		return newEstimator("avgdegree", &avgDegreeKernel{src: src}), nil
+		return newEstimator("avgdegree", src, &avgDegreeKernel{src: src}), nil
 	})
 	must("clustering", func(src crawl.Source) (*Estimator, error) {
 		view, ok := src.(estimate.EdgeView)
 		if !ok {
 			return nil, errors.New("live: clustering needs a source with edge-level queries (estimate.EdgeView)")
 		}
-		return newEstimator("clustering", &clusteringKernel{view: view}), nil
+		return newEstimator("clustering", src, &clusteringKernel{view: view}), nil
 	})
 	must("assortativity", func(src crawl.Source) (*Estimator, error) {
 		view, ok := src.(estimate.EdgeView)
 		if !ok {
 			return nil, errors.New("live: assortativity needs a source with edge-level queries (estimate.EdgeView)")
 		}
-		return newEstimator("assortativity", &assortativityKernel{view: view}), nil
+		return newEstimator("assortativity", src, &assortativityKernel{view: view}), nil
 	})
 	must("degreedist", func(src crawl.Source) (*Estimator, error) {
-		return newEstimator("degreedist", &degreeDistKernel{src: src}), nil
+		return newEstimator("degreedist", src, &degreeDistKernel{src: src}), nil
 	})
 	must("groupdensity", func(src crawl.Source) (*Estimator, error) {
 		gs, ok := src.(GroupSource)
 		if !ok || gs.NumGroups() == 0 {
 			return nil, errors.New("live: groupdensity needs a source with group labels")
 		}
-		return newEstimator("groupdensity", newGroupDensityKernel(src, gs)), nil
+		return newEstimator("groupdensity", src, newGroupDensityKernel(src, gs)), nil
 	})
 	return r
 }
@@ -306,20 +347,28 @@ func (r *Registry) Supports(name string, src crawl.Source) error {
 	return err
 }
 
-// avgDegreeKernel estimates the average symmetric degree as n/Σ(1/deg)
-// (the harmonic correction of Theorem 4.1; mirrors estimate.AvgDegree).
+// avgDegreeKernel estimates the average symmetric degree as the
+// importance-weighted mean Σ w·deg(V) / Σ w (mirrors
+// estimate.WeightedAvgDegree): on walk streams with w = 1/deg this is
+// the harmonic correction of Theorem 4.1, on uniform-vertex streams
+// with w = 1 the plain mean.
 type avgDegreeKernel struct{ src crawl.Source }
 
 func (k *avgDegreeKernel) dim() int { return 2 }
 
-func (k *avgDegreeKernel) observe(u, v int, inc []float64) (float64, bool) {
-	d := k.src.SymDegree(v)
-	if d == 0 {
+func (k *avgDegreeKernel) needsEdges() bool { return false }
+
+func (k *avgDegreeKernel) observe(o core.Observation, inc []float64) (float64, bool) {
+	if !(o.Weight > 0) {
 		return 0, false
 	}
-	w := 1 / float64(d)
-	inc[0], inc[1] = 1, w
-	return w, true
+	inc[0] = o.Weight * float64(k.src.SymDegree(o.V))
+	inc[1] = o.Weight
+	// The mixing statistic is the sum of both moment increments:
+	// whichever of the numerator (uniform streams) and denominator
+	// (walk streams) varies, the series reflects the walk's mixing
+	// without ever being constant by construction.
+	return inc[0] + inc[1], true
 }
 
 func (k *avgDegreeKernel) estimate(s []float64) float64 {
@@ -335,7 +384,13 @@ type clusteringKernel struct{ view estimate.EdgeView }
 
 func (k *clusteringKernel) dim() int { return 2 }
 
-func (k *clusteringKernel) observe(u, v int, inc []float64) (float64, bool) {
+func (k *clusteringKernel) needsEdges() bool { return true }
+
+func (k *clusteringKernel) observe(o core.Observation, inc []float64) (float64, bool) {
+	if !o.Edge {
+		return 0, false
+	}
+	u, v := o.U, o.V
 	d := k.view.SymDegree(u)
 	if d < 2 {
 		return 0, false
@@ -362,9 +417,14 @@ type assortativityKernel struct{ view estimate.EdgeView }
 
 func (k *assortativityKernel) dim() int { return 6 }
 
-func (k *assortativityKernel) observe(u, v int, inc []float64) (float64, bool) {
-	i := float64(k.view.SymDegree(u))
-	j := float64(k.view.SymDegree(v))
+func (k *assortativityKernel) needsEdges() bool { return true }
+
+func (k *assortativityKernel) observe(o core.Observation, inc []float64) (float64, bool) {
+	if !o.Edge {
+		return 0, false
+	}
+	i := float64(k.view.SymDegree(o.U))
+	j := float64(k.view.SymDegree(o.V))
 	inc[0], inc[1], inc[2], inc[3], inc[4], inc[5] = 1, i, j, i*j, i*i, j*j
 	return i * j, true
 }
@@ -385,10 +445,12 @@ func (k *assortativityKernel) estimate(s []float64) float64 {
 }
 
 // degreeDistKernel estimates the symmetric degree distribution (and its
-// CCDF) per equation (7), mirroring estimate.DegreeDist; its scalar
-// summary — what the monitor's CI and stop rules apply to — is the
-// estimated average degree, whose convergence tracks the common
-// 1/deg re-weighting denominator every bucket shares.
+// CCDF) from importance-weighted observations (equation (7) on walk
+// streams, the plain empirical distribution on uniform-vertex streams;
+// mirrors estimate.WeightedDegreeDist). Its scalar summary — what the
+// monitor's CI and stop rules apply to — is the estimated average
+// degree, whose convergence tracks the common re-weighting denominator
+// every bucket shares.
 type degreeDistKernel struct {
 	src     crawl.Source
 	buckets []float64
@@ -397,19 +459,22 @@ type degreeDistKernel struct {
 
 func (k *degreeDistKernel) dim() int { return 2 }
 
-func (k *degreeDistKernel) observe(u, v int, inc []float64) (float64, bool) {
-	d := k.src.SymDegree(v)
-	if d == 0 {
+func (k *degreeDistKernel) needsEdges() bool { return false }
+
+func (k *degreeDistKernel) observe(o core.Observation, inc []float64) (float64, bool) {
+	if !(o.Weight > 0) {
 		return 0, false
 	}
-	w := 1 / float64(d)
+	d := k.src.SymDegree(o.V)
+	w := o.Weight
 	for d >= len(k.buckets) {
 		k.buckets = append(k.buckets, 0)
 	}
 	k.buckets[d] += w
 	k.s += w
-	inc[0], inc[1] = 1, w
-	return w, true
+	inc[0] = w * float64(d)
+	inc[1] = w
+	return inc[0] + inc[1], true
 }
 
 func (k *degreeDistKernel) estimate(s []float64) float64 {
@@ -452,9 +517,11 @@ func (k *degreeDistKernel) vectorRestore(raw json.RawMessage) error {
 	return nil
 }
 
-// groupDensityKernel estimates the per-group vertex densities θ_l
-// (equation (7) with group-membership labels, mirroring
-// estimate.GroupDensity); its scalar summary is the density of group 0.
+// groupDensityKernel estimates the per-group vertex densities θ_l from
+// importance-weighted observations (equation (7) with group-membership
+// labels on walk streams, the plain membership fractions on
+// uniform-vertex streams; mirrors estimate.WeightedGroupDensity). Its
+// scalar summary is the density of group 0.
 type groupDensityKernel struct {
 	src     crawl.Source
 	gs      GroupSource
@@ -468,21 +535,22 @@ func newGroupDensityKernel(src crawl.Source, gs GroupSource) *groupDensityKernel
 
 func (k *groupDensityKernel) dim() int { return 2 }
 
-func (k *groupDensityKernel) observe(u, v int, inc []float64) (float64, bool) {
-	d := k.src.SymDegree(v)
-	if d == 0 {
+func (k *groupDensityKernel) needsEdges() bool { return false }
+
+func (k *groupDensityKernel) observe(o core.Observation, inc []float64) (float64, bool) {
+	if !(o.Weight > 0) {
 		return 0, false
 	}
-	w := 1 / float64(d)
+	w := o.Weight
 	inc[0], inc[1] = 0, w
-	for _, id := range k.gs.Groups(v) {
+	for _, id := range k.gs.Groups(o.V) {
 		k.buckets[id] += w
 		if id == 0 {
 			inc[0] = w
 		}
 	}
 	k.s += w
-	return w, true
+	return inc[0] + inc[1], true
 }
 
 func (k *groupDensityKernel) estimate(s []float64) float64 {

@@ -70,7 +70,7 @@ func TestRegistryNamesAndErrors(t *testing.T) {
 		t.Fatal("duplicate registration must error")
 	}
 	if err := fresh.Register("custom", func(src crawl.Source) (*Estimator, error) {
-		return newEstimator("custom", &avgDegreeKernel{src: src}), nil
+		return newEstimator("custom", src, &avgDegreeKernel{src: src}), nil
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -329,6 +329,16 @@ func TestRuntimeStateRoundTrip(t *testing.T) {
 	wrong, _ := Default().New("avgdegree", g)
 	if err := NewRuntime(wrong, NewMonitor(MonitorConfig{}), nil).Restore(snap); err == nil {
 		t.Fatal("restore into a different estimator must error")
+	}
+	// Version-less (pre-weighted-observation) state is rejected loudly:
+	// its mixing-stat windows live on a different scale.
+	old := bytes.Replace(snap, []byte(`"version":2,`), nil, 1)
+	if bytes.Equal(old, snap) {
+		t.Fatal("snapshot does not carry the state version")
+	}
+	fresh := build()
+	if err := fresh.Restore(old); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version-less live state restore = %v, want a version rejection", err)
 	}
 }
 

@@ -3,6 +3,8 @@ package live
 import (
 	"encoding/json"
 	"fmt"
+
+	"frontier/internal/core"
 )
 
 // Report is a point-in-time view of a live estimation: the estimate,
@@ -68,13 +70,21 @@ func NewRuntime(est *Estimator, mon *Monitor, rule *StopRule) *Runtime {
 // Estimator returns the bound estimator.
 func (rt *Runtime) Estimator() *Estimator { return rt.est }
 
-// Observe consumes one sampled edge emitted by walker (the sampler's
-// core.WalkerTracker index; pass 0 when unknown). At every EvalEvery-th
-// qualifying observation it re-evaluates the stop rule and returns a
-// fresh Report; otherwise it returns nil. Diagnostics cost O(window ×
-// lag), so the cadence — not the caller — bounds the overhead.
+// Observe consumes one degree-proportional sampled edge emitted by
+// walker — the classic stationary-walk stream. Shorthand for
+// ObserveSample(walker, core.EdgeObservation(src, u, v)).
 func (rt *Runtime) Observe(walker, u, v int) *Report {
-	stat, ok := rt.est.Observe(u, v)
+	return rt.ObserveSample(walker, core.EdgeObservation(rt.est.src, u, v))
+}
+
+// ObserveSample consumes one weighted observation emitted by walker
+// (the sampler's core.WalkerTracker index; pass 0 when unknown). At
+// every EvalEvery-th qualifying observation it re-evaluates the stop
+// rule and returns a fresh Report; otherwise it returns nil.
+// Diagnostics cost O(window × lag), so the cadence — not the caller —
+// bounds the overhead.
+func (rt *Runtime) ObserveSample(walker int, o core.Observation) *Report {
+	stat, ok := rt.est.ObserveSample(o)
 	if !ok {
 		return nil
 	}
@@ -130,8 +140,18 @@ func (rt *Runtime) buildReport(evaluate bool) Report {
 	return rep
 }
 
+// runtimeStateVersion identifies the serialized Runtime layout and
+// the kernels' mixing-statistic convention. Version 2 is the
+// weighted-observation contract (mixing stat = sum of the moment
+// increments); the version-1 degree-weighted stat lives on a different
+// scale, and restoring its diagnostic windows under the new convention
+// would silently corrupt ESS, Geweke and R-hat with a step change in
+// the series — so cross-version state fails loudly instead.
+const runtimeStateVersion = 2
+
 // runtimeState is the serialized form of a Runtime.
 type runtimeState struct {
+	Version   int            `json:"version"`
 	Estimator estimatorState `json:"estimator"`
 	Monitor   monitorState   `json:"monitor"`
 	EvalEvery int64          `json:"eval_every"`
@@ -147,6 +167,7 @@ func (rt *Runtime) State() ([]byte, error) {
 		return nil, err
 	}
 	return json.Marshal(runtimeState{
+		Version:   runtimeStateVersion,
 		Estimator: est,
 		Monitor:   rt.mon.state(),
 		EvalEvery: rt.evalEvery(),
@@ -156,11 +177,15 @@ func (rt *Runtime) State() ([]byte, error) {
 }
 
 // Restore installs a state previously produced by State. The runtime
-// must have been built over the same estimator name and source kind.
+// must have been built over the same estimator name and source kind,
+// by the same state version.
 func (rt *Runtime) Restore(data []byte) error {
 	var st runtimeState
 	if err := json.Unmarshal(data, &st); err != nil {
 		return fmt.Errorf("live: decoding runtime state: %w", err)
+	}
+	if st.Version != runtimeStateVersion {
+		return fmt.Errorf("live: checkpoint live state is version %d, this build writes %d (pre-weighted-observation state does not resume across this version; resubmit the job)", st.Version, runtimeStateVersion)
 	}
 	if err := rt.est.restore(st.Estimator); err != nil {
 		return err

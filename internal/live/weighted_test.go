@@ -1,0 +1,279 @@
+package live
+
+import (
+	"math"
+	"testing"
+
+	"frontier/internal/core"
+	"frontier/internal/crawl"
+	"frontier/internal/estimate"
+	"frontier/internal/gen"
+	"frontier/internal/graph"
+	"frontier/internal/xrand"
+)
+
+// obsStream runs any observation sampler and records its stream.
+func obsStream(t *testing.T, src crawl.Source, s core.ObservationSampler, budget float64, seed uint64) []core.Observation {
+	t.Helper()
+	sess := crawl.NewSession(src, budget, crawl.UnitCosts(), xrand.New(seed))
+	var out []core.Observation
+	if err := s.RunObs(sess, func(o core.Observation) { out = append(out, o) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("sampler emitted nothing")
+	}
+	return out
+}
+
+// testSource bundles the labeled graph the weighted tests share.
+func weightedTestSource(t *testing.T) (labeledGraph, *graph.Graph, *graph.GroupLabels) {
+	t.Helper()
+	g := gen.BarabasiAlbert(xrand.New(31), 1200, 3)
+	gl := gen.PlantGroups(xrand.New(32), g, 6, 2400, 1.2)
+	return labeledGraph{Graph: g, gl: gl}, g, gl
+}
+
+// feedKernels builds the vertex-level estimators and the matching
+// estimate-package references, feeds both the same stream and checks
+// exact agreement — the weighted-observation contract: one arithmetic,
+// any method.
+func verifyVertexKernelsExact(t *testing.T, src labeledGraph, stream []core.Observation) {
+	t.Helper()
+	r := Default()
+	avg, err := r.New("avgdegree", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := r.New("degreedist", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grp, err := r.New("groupdensity", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refAvg := estimate.NewWeightedAvgDegree(src.Graph)
+	refDeg := estimate.NewWeightedDegreeDist(src.Graph, graph.SymDeg)
+	refGrp := estimate.NewWeightedGroupDensity(src.gl)
+	for _, o := range stream {
+		avg.ObserveSample(o)
+		deg.ObserveSample(o)
+		grp.ObserveSample(o)
+		refAvg.Observe(o.V, o.Weight)
+		refDeg.Observe(o.V, o.Weight)
+		refGrp.Observe(o.V, o.Weight)
+	}
+	if got, want := avg.Value(), refAvg.Estimate(); got != want {
+		t.Fatalf("avgdegree kernel %v, estimate.WeightedAvgDegree %v", got, want)
+	}
+	vec := deg.Vector()
+	refCCDF := refDeg.CCDF()
+	if vec == nil || len(vec.Values) != len(refCCDF) {
+		t.Fatalf("degreedist CCDF length %d, reference %d", len(vec.Values), len(refCCDF))
+	}
+	for i := range refCCDF {
+		if vec.Values[i] != refCCDF[i] {
+			t.Fatalf("degreedist CCDF[%d] = %v, reference %v", i, vec.Values[i], refCCDF[i])
+		}
+	}
+	gvec := grp.Vector()
+	for l := 0; l < src.gl.NumGroups(); l++ {
+		if gvec.Values[l] != refGrp.Estimate(l) {
+			t.Fatalf("groupdensity[%d] = %v, reference %v", l, gvec.Values[l], refGrp.Estimate(l))
+		}
+	}
+}
+
+// TestWeightedKernelsMatchEstimateAcrossStreams drives each kind of
+// observation stream — degree-proportional walk (FS), uniform vertex
+// (MHRW, RV), uniform edge (RE) and jump walk — through the live
+// kernels and pins exact agreement with the internal/estimate
+// references fed the identical weighted stream.
+func TestWeightedKernelsMatchEstimateAcrossStreams(t *testing.T) {
+	src, _, _ := weightedTestSource(t)
+	streams := map[string]core.ObservationSampler{
+		"fs":   &core.FrontierSampler{M: 16},
+		"mhrw": &core.MetropolisRW{},
+		"rv":   &core.RandomVertexSampler{},
+		"re":   &core.RandomEdgeSampler{},
+		"jump": &core.JumpRW{JumpProb: 0.25},
+	}
+	for name, sampler := range streams {
+		t.Run(name, func(t *testing.T) {
+			stream := obsStream(t, src, sampler, 4000, 71)
+			verifyVertexKernelsExact(t, src, stream)
+		})
+	}
+}
+
+// TestUniformStreamsMatchPlainEstimators pins the weighting semantics
+// at the uniform end of the spectrum: on MHRW and RV streams (weight
+// 1) the live degreedist and groupdensity kernels agree exactly with
+// the paper's Plain* estimators for uniform vertex samples — the
+// reweighting really does map every method to the same estimand.
+func TestUniformStreamsMatchPlainEstimators(t *testing.T) {
+	src, g, gl := weightedTestSource(t)
+	for name, sampler := range map[string]core.ObservationSampler{
+		"mhrw": &core.MetropolisRW{},
+		"rv":   &core.RandomVertexSampler{},
+	} {
+		t.Run(name, func(t *testing.T) {
+			stream := obsStream(t, src, sampler, 3000, 77)
+			r := Default()
+			deg, err := r.New("degreedist", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			grp, err := r.New("groupdensity", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refDeg := estimate.NewPlainDegreeDist(g, graph.SymDeg)
+			refGrp := estimate.NewPlainGroupDensity(gl)
+			var sumDeg float64
+			for _, o := range stream {
+				if o.Weight != 1 || o.Edge || o.U != o.V {
+					t.Fatalf("%s emitted a non-uniform observation: %+v", name, o)
+				}
+				deg.ObserveSample(o)
+				grp.ObserveSample(o)
+				refDeg.ObserveVertex(o.V)
+				refGrp.ObserveVertex(o.V)
+				sumDeg += float64(g.SymDegree(o.V))
+			}
+			refCCDF := refDeg.CCDF()
+			vec := deg.Vector()
+			for i := range refCCDF {
+				if vec.Values[i] != refCCDF[i] {
+					t.Fatalf("degreedist CCDF[%d] = %v, PlainDegreeDist %v", i, vec.Values[i], refCCDF[i])
+				}
+			}
+			gvec := grp.Vector()
+			for l := 0; l < gl.NumGroups(); l++ {
+				if gvec.Values[l] != refGrp.Estimate(l) {
+					t.Fatalf("groupdensity[%d] = %v, PlainGroupDensity %v", l, gvec.Values[l], refGrp.Estimate(l))
+				}
+			}
+			// The avgdegree kernel on a uniform stream is the plain mean.
+			avg, err := r.New("avgdegree", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range stream {
+				avg.ObserveSample(o)
+			}
+			if got, want := avg.Value(), sumDeg/float64(len(stream)); got != want {
+				t.Fatalf("uniform avgdegree = %v, plain mean %v", got, want)
+			}
+		})
+	}
+}
+
+// TestEdgeKernelsAcrossEdgeEmittingStreams: clustering and
+// assortativity consume only edge observations and agree exactly with
+// internal/estimate fed the same edges — on the walk stream, the
+// uniform-edge stream and the jump walk's walk-step edges alike —
+// while vertex observations mixed into the stream are skipped.
+func TestEdgeKernelsAcrossEdgeEmittingStreams(t *testing.T) {
+	src, g, _ := weightedTestSource(t)
+	for name, sampler := range map[string]core.ObservationSampler{
+		"fs":   &core.FrontierSampler{M: 8},
+		"re":   &core.RandomEdgeSampler{},
+		"jump": &core.JumpRW{JumpProb: 0.3},
+	} {
+		t.Run(name, func(t *testing.T) {
+			stream := obsStream(t, src, sampler, 4000, 79)
+			r := Default()
+			clus, err := r.New("clustering", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			asst, err := r.New("assortativity", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refClus := estimate.NewClustering(g)
+			refAsst := estimate.NewAssortativity(g, false)
+			edges := 0
+			for _, o := range stream {
+				clus.ObserveSample(o)
+				asst.ObserveSample(o)
+				if o.Edge {
+					refClus.Observe(o.U, o.V)
+					refAsst.Observe(o.U, o.V)
+					edges++
+					if !g.HasSymEdge(o.U, o.V) {
+						t.Fatalf("edge observation is not an edge: %+v", o)
+					}
+				}
+			}
+			if edges == 0 {
+				t.Fatalf("%s emitted no edge observations", name)
+			}
+			if got, want := clus.Value(), refClus.Estimate(); got != want {
+				t.Fatalf("clustering %v, estimate pkg %v", got, want)
+			}
+			if got, want := asst.Value(), refAsst.Estimate(); got != want {
+				t.Fatalf("assortativity %v, estimate pkg %v", got, want)
+			}
+		})
+	}
+}
+
+// TestAllMethodsAgreeOnTheEstimand is the statistical heart of the
+// unification: every method of the paper's comparison set — walk,
+// uniform-vertex, uniform-edge and jump sampling — estimates the same
+// average degree, and lands near the truth, each through its own
+// weighting.
+func TestAllMethodsAgreeOnTheEstimand(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(35), 3000, 4)
+	truth := g.AverageSymDegree()
+	for name, sampler := range map[string]core.ObservationSampler{
+		"fs":       &core.FrontierSampler{M: 32},
+		"single":   &core.SingleRW{},
+		"multiple": &core.MultipleRW{M: 32},
+		"mhrw":     &core.MetropolisRW{},
+		"rv":       &core.RandomVertexSampler{},
+		"re":       &core.RandomEdgeSampler{},
+		"jump":     &core.JumpRW{JumpProb: 0.2},
+	} {
+		t.Run(name, func(t *testing.T) {
+			est, err := Default().New("avgdegree", g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess := crawl.NewSession(g, 60000, crawl.UnitCosts(), xrand.New(91))
+			if err := sampler.RunObs(sess, func(o core.Observation) { est.ObserveSample(o) }); err != nil {
+				t.Fatal(err)
+			}
+			got := est.Value()
+			if math.IsNaN(got) || math.Abs(got-truth)/truth > 0.10 {
+				t.Fatalf("%s avgdegree = %v, truth %v (>10%% off)", name, got, truth)
+			}
+		})
+	}
+}
+
+// TestNeedsEdgesFlags pins which estimators demand edge observations —
+// the flag job validation uses to reject vertex methods driving
+// edge-level estimands.
+func TestNeedsEdgesFlags(t *testing.T) {
+	src, _, _ := weightedTestSource(t)
+	want := map[string]bool{
+		"avgdegree":     false,
+		"degreedist":    false,
+		"groupdensity":  false,
+		"clustering":    true,
+		"assortativity": true,
+	}
+	for name, needs := range want {
+		e, err := Default().New(name, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.NeedsEdges() != needs {
+			t.Fatalf("%s.NeedsEdges() = %v, want %v", name, e.NeedsEdges(), needs)
+		}
+	}
+}

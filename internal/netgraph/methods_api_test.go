@@ -1,0 +1,141 @@
+package netgraph
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"frontier/internal/jobs"
+	"frontier/internal/live"
+)
+
+// TestWeightedMethodsRemoteJobs is the acceptance test for the
+// unified sampler runtime over HTTP: mhrw and jump jobs — the methods
+// that only exist on the weighted-observation surface — submitted with
+// an adaptive stop rule run end to end against graphd (submit → SSE
+// estimate frames → converged stop), exactly what
+// `fsample -remote-job -method mhrw -stop-ci ...` drives.
+func TestWeightedMethodsRemoteJobs(t *testing.T) {
+	ts, g, _ := jobServer(t)
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	truth := g.AverageSymDegree()
+
+	for _, spec := range []jobs.Spec{
+		{Method: "mhrw", Budget: 120000, Seed: 71,
+			Estimate: "avgdegree", StopRule: "ci_halfwidth<=0.3"},
+		{Method: "jump", JumpProb: 0.15, Budget: 120000, Seed: 72,
+			Estimate: "avgdegree", StopRule: "ci_halfwidth<=0.3"},
+	} {
+		t.Run(spec.Method, func(t *testing.T) {
+			st, err := c.SubmitJob(ctx, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Spec.JumpProb != spec.JumpProb {
+				t.Fatalf("jump_prob did not round-trip: %v != %v", st.Spec.JumpProb, spec.JumpProb)
+			}
+			var reports []live.Report
+			final, err := c.FollowEstimates(ctx, st.ID, func(r live.Report) {
+				reports = append(reports, r)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if final.State != jobs.StateDone {
+				t.Fatalf("job ended %s (%s)", final.State, final.Error)
+			}
+			if !strings.Contains(final.StopReason, "converged") {
+				t.Fatalf("stop reason %q, want ci_halfwidth convergence", final.StopReason)
+			}
+			if final.Spent >= spec.Budget {
+				t.Fatalf("adaptive %s job spent its whole budget", spec.Method)
+			}
+			if len(reports) == 0 {
+				t.Fatal("no SSE estimate frames observed")
+			}
+			last := reports[len(reports)-1]
+			if !last.Converged || last.Value == nil || last.CI == nil {
+				t.Fatalf("final streamed report = %+v", last)
+			}
+			// Uniform-vertex and jump weighting both target the same
+			// estimand: the plain average degree.
+			if *last.Value < truth-1 || *last.Value > truth+1 {
+				t.Fatalf("%s estimate %v far from truth %v", spec.Method, *last.Value, truth)
+			}
+		})
+	}
+
+	// A bad method over HTTP surfaces the registry's teaching error.
+	_, err = c.SubmitJob(ctx, jobs.Spec{Method: "mhrw", Budget: 100, Estimate: "clustering"})
+	if err == nil || !strings.Contains(err.Error(), "edge observations") {
+		t.Fatalf("mhrw+clustering over HTTP = %v, want edge-observations rejection", err)
+	}
+	_, err = c.SubmitJob(ctx, jobs.Spec{Method: "fs", JumpProb: 0.2, Budget: 100})
+	if err == nil || !strings.Contains(err.Error(), "jump_prob") {
+		t.Fatalf("jump_prob on fs over HTTP = %v, want rejection", err)
+	}
+}
+
+// TestRemoteMethodMatchesLocalRun pins the cross-process determinism
+// of the new methods: a remote re job's hash and estimate equal the
+// same spec's in-process run (the server samples the identical
+// stream).
+func TestRemoteMethodMatchesLocalRun(t *testing.T) {
+	ts, g, _ := jobServer(t)
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	spec := jobs.Spec{Method: "re", Budget: 5000, Seed: 73, Estimate: "avgdegree"}
+	st, err := c.SubmitJob(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitJob(ctx, st.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != jobs.StateDone {
+		t.Fatalf("job ended %s (%s)", final.State, final.Error)
+	}
+
+	// Replay the same spec on a second manager over the same graph: the
+	// observation stream, hash and estimate must match exactly.
+	m2, err := jobs.NewManager(g, jobs.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Stop()
+	j2, err := m2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	var got jobs.Status
+	for {
+		got = j2.Status()
+		if got.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("local replay timed out: %+v", got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got.State != jobs.StateDone {
+		t.Fatalf("local replay ended %s (%s)", got.State, got.Error)
+	}
+	if got.EdgeHash != final.EdgeHash || got.Edges != final.Edges {
+		t.Fatalf("remote %d obs hash %s, local %d obs hash %s",
+			final.Edges, final.EdgeHash, got.Edges, got.EdgeHash)
+	}
+	if *got.Estimate != *final.Estimate {
+		t.Fatalf("remote estimate %v, local %v", *final.Estimate, *got.Estimate)
+	}
+}
