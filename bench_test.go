@@ -11,9 +11,12 @@
 package frontier_test
 
 import (
+	"flag"
 	"fmt"
 	"math"
 	"net/http/httptest"
+	"os"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -71,13 +74,10 @@ func benchGraph(b *testing.B) *frontier.Graph {
 func BenchmarkAblationWalkerSelection(b *testing.B) {
 	g := benchGraph(b)
 	for _, m := range []int{10, 100, 1000} {
-		for _, linear := range []bool{false, true} {
-			name := fmt.Sprintf("m=%d/fenwick", m)
-			if linear {
-				name = fmt.Sprintf("m=%d/linear", m)
-			}
+		for _, sel := range []frontier.Selection{frontier.SelectFenwick, frontier.SelectLinear} {
+			name := fmt.Sprintf("m=%d/%s", m, sel)
 			b.Run(name, func(b *testing.B) {
-				fs := &frontier.FrontierSampler{M: m, LinearSelection: linear}
+				fs := &frontier.FrontierSampler{M: m, Selection: sel}
 				sess := frontier.NewSession(g, float64(b.N+m), frontier.UnitCosts(), frontier.NewRand(1))
 				b.ResetTimer()
 				if err := fs.Run(sess, func(u, v int) {}); err != nil {
@@ -251,22 +251,94 @@ func BenchmarkRemoteCrawl(b *testing.B) {
 // BenchmarkMethodObservations measures the observation throughput of
 // every job-service sampling method on the shared in-memory graph —
 // the sampler-runtime hot path the CI benchmark-regression gate
-// watches. dfs is excluded: its budget is continuous time, so its
-// event count does not scale with b.N like the others.
+// watches — on both emission surfaces: the classic per-observation
+// callback and the slab-batched hot path (the "/batch" variants),
+// which iterates the CSR adjacency by index and recycles fixed
+// 512-observation slabs through a pool. Both must report 0 allocs/op
+// under -benchmem; the batch gap is the per-observation dispatch cost
+// the slab loop eliminates. dfs is excluded: its budget is continuous
+// time, so its event count does not scale with b.N like the others.
 func BenchmarkMethodObservations(b *testing.B) {
 	g := benchGraph(b)
 	for _, name := range []string{"fs", "single", "multiple", "mhrw", "rv", "re", "jump"} {
+		method, ok := frontier.DefaultJobMethods().Get(name)
+		if !ok {
+			b.Fatalf("method %s not registered", name)
+		}
+		newRun := func(b *testing.B) (frontier.ObservationSampler, *frontier.Session) {
+			s := method.Build(frontier.JobSpec{Method: name, M: 16, JumpProb: 0.1})
+			// Budget 2·b.N+64 covers seeding and the 2-unit edge-query
+			// cost of re; the work still scales linearly with b.N.
+			sess := frontier.NewSession(g, 2*float64(b.N)+64, frontier.UnitCosts(), frontier.NewRand(10))
+			return s, sess
+		}
+		b.Run(name, func(b *testing.B) {
+			s, sess := newRun(b)
+			b.ResetTimer()
+			if err := s.RunObs(sess, func(o frontier.Observation) {}); err != nil {
+				b.Fatal(err)
+			}
+		})
+		b.Run(name+"/batch", func(b *testing.B) {
+			s, sess := newRun(b)
+			b.ResetTimer()
+			if err := s.RunObsBatch(sess, func(batch []frontier.Observation) {}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// pipelineCPUProfile captures a CPU profile of BenchmarkPipeline — the
+// whole sampler → estimator → monitor pipeline — so CI can upload it
+// as an artifact:
+//
+//	go test -run - -bench BenchmarkPipeline -benchtime=200000x \
+//	    -pipeline.cpuprofile pipeline.pprof .
+var pipelineCPUProfile = flag.String("pipeline.cpuprofile", "", "write a CPU profile of BenchmarkPipeline to this file")
+
+// BenchmarkPipeline measures the end-to-end estimation hot path: a
+// batch-driven sampler feeding a live estimator and convergence
+// monitor one slab at a time, exactly as the job service drives
+// UsesWalkers-free methods. The cost per observation is sampler step +
+// kernel update + monitor update (+ the amortized every-512th
+// stop-rule evaluation).
+func BenchmarkPipeline(b *testing.B) {
+	g := benchGraph(b)
+	if *pipelineCPUProfile != "" {
+		f, err := os.Create(*pipelineCPUProfile)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			b.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	for _, name := range []string{"single", "mhrw", "jump"} {
 		b.Run(name, func(b *testing.B) {
 			method, ok := frontier.DefaultJobMethods().Get(name)
 			if !ok {
 				b.Fatalf("method %s not registered", name)
 			}
-			s := method.Build(frontier.JobSpec{Method: name, M: 16, JumpProb: 0.1})
-			// Budget 2·b.N+64 covers seeding and the 2-unit edge-query
-			// cost of re; the work still scales linearly with b.N.
-			sess := frontier.NewSession(g, 2*float64(b.N)+64, frontier.UnitCosts(), frontier.NewRand(10))
+			est, err := frontier.DefaultEstimators().New("avgdegree", g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rule, err := frontier.ParseStopRule("ess>=1e18") // never fires; keeps rule evaluation live
+			if err != nil {
+				b.Fatal(err)
+			}
+			rt := frontier.NewLiveRuntime(est, frontier.NewConvergenceMonitor(frontier.MonitorConfig{}), rule)
+			s := method.Build(frontier.JobSpec{Method: name, JumpProb: 0.1})
+			sess := frontier.NewSession(g, float64(b.N)+64, frontier.UnitCosts(), frontier.NewRand(11))
 			b.ResetTimer()
-			if err := s.RunObs(sess, func(o frontier.Observation) {}); err != nil {
+			if err := s.RunObsBatch(sess, func(batch []frontier.Observation) {
+				rt.ObserveBatch(0, batch)
+			}); err != nil {
 				b.Fatal(err)
 			}
 		})

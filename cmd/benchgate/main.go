@@ -1,13 +1,18 @@
 // Command benchgate parses `go test -bench` output into a committed
 // JSON form and gates CI on benchmark regressions against a baseline.
 //
-// Parse mode — convert a bench run's text output into JSON:
+// Parse mode — convert a bench run's text output into JSON (run with
+// -benchmem so the B/op and allocs/op columns are captured too):
 //
-//	go test -bench . -benchtime=20000x -count=5 . | tee bench.txt
+//	go test -bench . -benchtime=20000x -count=5 -benchmem . | tee bench.txt
 //	benchgate -parse bench.txt -out BENCH_5.json
 //
 // Compare mode — fail (exit 1) when any gated benchmark's median
-// ns/op regressed more than -max-regress over the committed baseline:
+// regressed more than -max-regress over the committed baseline, on
+// any metric both sets sampled: ns/op always, B/op and allocs/op when
+// both came from -benchmem runs (a format-version-1 baseline without
+// allocation samples gates time only). An allocation-free baseline
+// that starts allocating regresses unconditionally:
 //
 //	benchgate -baseline BENCH_baseline.json -current BENCH_5.json \
 //	    -gate '^BenchmarkMethodObservations|^BenchmarkAblation' -max-regress 0.20
@@ -38,7 +43,7 @@ func main() {
 		baseline   = flag.String("baseline", "", "baseline JSON for compare mode")
 		current    = flag.String("current", "", "current JSON for compare mode")
 		gate       = flag.String("gate", ".", "regexp of benchmark names the regression gate applies to")
-		maxRegress = flag.Float64("max-regress", 0.20, "maximum allowed median ns/op regression (0.20 = +20%)")
+		maxRegress = flag.Float64("max-regress", 0.20, "maximum allowed median regression per metric (0.20 = +20%)")
 		emitText   = flag.String("emit-text", "", "JSON file to render back into go-bench text on stdout")
 	)
 	flag.Parse()

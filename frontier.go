@@ -99,6 +99,10 @@ type (
 	// BatchSource is the optional batched-prefetch extension of Source
 	// (implemented by GraphClient; a no-op on in-memory graphs).
 	BatchSource = crawl.BatchSource
+	// IndexedSource is the optional contiguous-adjacency (CSR) extension
+	// of Source that the allocation-free batched sampler loops walk
+	// (implemented by Graph).
+	IndexedSource = crawl.IndexedSource
 	// CrawlStats counts what a session actually did.
 	CrawlStats = crawl.Stats
 )
@@ -166,6 +170,15 @@ type (
 	Observation = core.Observation
 	// ObservationFunc receives weighted observations.
 	ObservationFunc = core.ObsFunc
+	// BatchObservationFunc receives weighted observations in pooled
+	// slabs of up to SlabSize — the allocation-free hot-path surface.
+	// Consumers must not retain a slab (or any subslice) past the
+	// callback; it is recycled the moment the callback returns.
+	BatchObservationFunc = core.BatchObsFunc
+	// Selection names a Frontier Sampling walker-selection algorithm
+	// (SelectAuto resolves linear vs Fenwick from M at the measured
+	// crossover).
+	Selection = core.Selection
 	// ObservationSampler is the weighted-observation sampling process
 	// every job method implements: a resumable run emitting
 	// Observations (all eight built-in methods implement it).
@@ -190,6 +203,26 @@ type (
 	// VertexFunc receives sampled vertices.
 	VertexFunc = core.VertexFunc
 )
+
+// Walker-selection algorithms for FrontierSampler.Selection.
+const (
+	// SelectAuto resolves adaptively from M: linear scan up to
+	// LinearSelectionMaxM walkers, Fenwick tree above.
+	SelectAuto = core.SelectAuto
+	// SelectFenwick pins the O(log M) Fenwick-tree selection.
+	SelectFenwick = core.SelectFenwick
+	// SelectLinear pins the O(M) linear-scan selection.
+	SelectLinear = core.SelectLinear
+)
+
+// LinearSelectionMaxM is the largest frontier dimension for which
+// SelectAuto resolves to the linear scan (the crossover measured by
+// BenchmarkAblationWalkerSelection).
+const LinearSelectionMaxM = core.LinearSelectionMaxM
+
+// SlabSize is the capacity of the pooled observation slabs batched
+// runs emit through (see BatchObservationFunc).
+const SlabSize = core.SlabSize
 
 // EdgeObservation builds the degree-proportional edge observation for
 // a sampled edge (u,v): Weight 1/SymDegree(v), the stationary-walk

@@ -5,15 +5,22 @@
 //
 //	BenchmarkName/sub-8   20000   244.3 ns/op   12 B/op   0 allocs/op
 //
-// collecting every ns/op sample per benchmark name (the -cpu suffix is
-// stripped, so -count=N runs yield N samples) and gating on the median
-// — the robust center CI schedulers' noise cannot easily shift.
+// collecting every ns/op — and, when the run used -benchmem, B/op and
+// allocs/op — sample per benchmark name (the -cpu suffix is stripped,
+// so -count=N runs yield N samples) and gating each metric on the
+// median — the robust center CI schedulers' noise cannot easily shift.
+//
+// Format history: version 1 stored ns/op samples only; version 2 adds
+// the optional allocation metrics. LoadFile accepts both (a v1
+// baseline simply gates nothing on allocations), so bumping the
+// format never breaks an existing committed baseline.
 package benchfmt
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -21,18 +28,40 @@ import (
 	"strings"
 )
 
-// Result holds every ns/op sample collected for one benchmark.
+// Result holds every sample collected for one benchmark.
 type Result struct {
 	// NsPerOp is the time-per-operation sample list in run order.
 	NsPerOp []float64 `json:"ns_per_op"`
+	// BytesPerOp is the B/op sample list, present only when the bench
+	// run used -benchmem (format version 2).
+	BytesPerOp []float64 `json:"bytes_per_op,omitempty"`
+	// AllocsPerOp is the allocs/op sample list, present only when the
+	// bench run used -benchmem (format version 2).
+	AllocsPerOp []float64 `json:"allocs_per_op,omitempty"`
 }
 
 // Median returns the median ns/op sample (0 with no samples).
-func (r Result) Median() float64 {
-	if len(r.NsPerOp) == 0 {
+func (r Result) Median() float64 { return medianOf(r.NsPerOp) }
+
+// metricSamples returns the sample list for a gated metric name.
+func (r Result) metricSamples(metric string) []float64 {
+	switch metric {
+	case MetricNs:
+		return r.NsPerOp
+	case MetricBytes:
+		return r.BytesPerOp
+	case MetricAllocs:
+		return r.AllocsPerOp
+	}
+	return nil
+}
+
+// medianOf returns the median of a sample list (0 when empty).
+func medianOf(samples []float64) float64 {
+	if len(samples) == 0 {
 		return 0
 	}
-	s := append([]float64(nil), r.NsPerOp...)
+	s := append([]float64(nil), samples...)
 	sort.Float64s(s)
 	n := len(s)
 	if n%2 == 1 {
@@ -40,6 +69,17 @@ func (r Result) Median() float64 {
 	}
 	return (s[n/2-1] + s[n/2]) / 2
 }
+
+// The gated metrics, in report order. Allocation metrics appear only
+// in sets parsed from -benchmem runs.
+const (
+	MetricNs     = "ns/op"
+	MetricBytes  = "B/op"
+	MetricAllocs = "allocs/op"
+)
+
+// Metrics lists every gated metric in report order.
+var Metrics = []string{MetricNs, MetricBytes, MetricAllocs}
 
 // Set is a parsed benchmark result set — what BENCH_baseline.json and
 // the BENCH_5.json artifact hold.
@@ -50,12 +90,13 @@ type Set struct {
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
-// benchLine matches one result line of `go test -bench` output.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.e+]+) ns/op`)
+// benchLine matches one result line of `go test -bench` output; the
+// trailing allocation columns appear only under -benchmem.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.e+]+) ns/op(?:\s+([0-9.e+]+) B/op\s+([0-9.e+]+) allocs/op)?`)
 
 // Parse reads go-bench text and collects the per-benchmark samples.
 func Parse(r *bufio.Scanner) (*Set, error) {
-	set := &Set{FormatVersion: 1, Benchmarks: make(map[string]Result)}
+	set := &Set{FormatVersion: 2, Benchmarks: make(map[string]Result)}
 	for r.Scan() {
 		m := benchLine.FindStringSubmatch(strings.TrimSpace(r.Text()))
 		if m == nil {
@@ -67,6 +108,18 @@ func Parse(r *bufio.Scanner) (*Set, error) {
 		}
 		res := set.Benchmarks[m[1]]
 		res.NsPerOp = append(res.NsPerOp, ns)
+		if m[4] != "" {
+			bytes, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: bad B/op %q for %s: %w", m[4], m[1], err)
+			}
+			allocs, err := strconv.ParseFloat(m[5], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: bad allocs/op %q for %s: %w", m[5], m[1], err)
+			}
+			res.BytesPerOp = append(res.BytesPerOp, bytes)
+			res.AllocsPerOp = append(res.AllocsPerOp, allocs)
+		}
 		set.Benchmarks[m[1]] = res
 	}
 	if err := r.Err(); err != nil {
@@ -122,20 +175,30 @@ func (s *Set) GoBenchText() string {
 	sort.Strings(names)
 	var b strings.Builder
 	for _, name := range names {
-		for _, ns := range s.Benchmarks[name].NsPerOp {
-			fmt.Fprintf(&b, "%s 1 %g ns/op\n", name, ns)
+		res := s.Benchmarks[name]
+		for i, ns := range res.NsPerOp {
+			fmt.Fprintf(&b, "%s 1 %g ns/op", name, ns)
+			if i < len(res.BytesPerOp) && i < len(res.AllocsPerOp) {
+				fmt.Fprintf(&b, " %g B/op %g allocs/op", res.BytesPerOp[i], res.AllocsPerOp[i])
+			}
+			b.WriteByte('\n')
 		}
 	}
 	return b.String()
 }
 
-// Comparison is one gated benchmark's baseline-vs-current medians.
+// Comparison is one gated benchmark metric's baseline-vs-current
+// medians.
 type Comparison struct {
 	// Name is the benchmark name.
 	Name string
-	// BaseMedian and CurMedian are the median ns/op of each set.
+	// Metric is the gated unit: "ns/op", "B/op" or "allocs/op".
+	Metric string
+	// BaseMedian and CurMedian are the metric's medians in each set.
 	BaseMedian, CurMedian float64
-	// Delta is the relative change ((cur-base)/base; +0.25 = 25% slower).
+	// Delta is the relative change ((cur-base)/base; +0.25 = 25%
+	// worse). A metric regressing from a zero baseline (e.g. an
+	// allocation-free path starting to allocate) reports +Inf.
 	Delta float64
 	// Regressed marks comparisons beyond the allowed regression.
 	Regressed bool
@@ -155,8 +218,11 @@ type Report struct {
 }
 
 // Compare gates cur against base: every baseline benchmark matching
-// the gate regexp must be present in cur with a median ns/op no more
-// than maxRegress above the baseline median.
+// the gate regexp must be present in cur with, for every metric both
+// sets sampled, a median no more than maxRegress above the baseline
+// median. ns/op is always gated; B/op and allocs/op join when both
+// sets came from -benchmem runs (so a v1 baseline gates time only),
+// and a metric whose zero baseline becomes nonzero always regresses.
 func Compare(base, cur *Set, gate string, maxRegress float64) (*Report, error) {
 	re, err := regexp.Compile(gate)
 	if err != nil {
@@ -176,15 +242,26 @@ func Compare(base, cur *Set, gate string, maxRegress float64) (*Report, error) {
 			rep.Missing = append(rep.Missing, name)
 			continue
 		}
-		baseMed, curMed := base.Benchmarks[name].Median(), curRes.Median()
-		c := Comparison{Name: name, BaseMedian: baseMed, CurMedian: curMed}
-		if baseMed > 0 {
-			c.Delta = (curMed - baseMed) / baseMed
-		}
-		c.Regressed = c.Delta > maxRegress
-		rep.Compared = append(rep.Compared, c)
-		if c.Regressed {
-			rep.Regressions = append(rep.Regressions, c)
+		baseRes := base.Benchmarks[name]
+		for _, metric := range Metrics {
+			baseSamples := baseRes.metricSamples(metric)
+			curSamples := curRes.metricSamples(metric)
+			if len(baseSamples) == 0 || len(curSamples) == 0 {
+				continue
+			}
+			baseMed, curMed := medianOf(baseSamples), medianOf(curSamples)
+			c := Comparison{Name: name, Metric: metric, BaseMedian: baseMed, CurMedian: curMed}
+			switch {
+			case baseMed > 0:
+				c.Delta = (curMed - baseMed) / baseMed
+			case curMed > 0:
+				c.Delta = math.Inf(1)
+			}
+			c.Regressed = c.Delta > maxRegress
+			rep.Compared = append(rep.Compared, c)
+			if c.Regressed {
+				rep.Regressions = append(rep.Regressions, c)
+			}
 		}
 	}
 	return rep, nil
@@ -194,16 +271,16 @@ func Compare(base, cur *Set, gate string, maxRegress float64) (*Report, error) {
 // log.
 func (r *Report) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-55s %14s %14s %8s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
+	fmt.Fprintf(&b, "%-55s %10s %14s %14s %8s\n", "benchmark", "metric", "base", "cur", "delta")
 	for _, c := range r.Compared {
 		mark := ""
 		if c.Regressed {
 			mark = "  REGRESSED"
 		}
-		fmt.Fprintf(&b, "%-55s %14.1f %14.1f %+7.1f%%%s\n", c.Name, c.BaseMedian, c.CurMedian, c.Delta*100, mark)
+		fmt.Fprintf(&b, "%-55s %10s %14.1f %14.1f %+7.1f%%%s\n", c.Name, c.Metric, c.BaseMedian, c.CurMedian, c.Delta*100, mark)
 	}
 	for _, name := range r.Missing {
-		fmt.Fprintf(&b, "%-55s %14s %14s %8s\n", name, "-", "MISSING", "")
+		fmt.Fprintf(&b, "%-55s %10s %14s %14s %8s\n", name, "", "-", "MISSING", "")
 	}
 	return b.String()
 }

@@ -2,6 +2,7 @@ package benchfmt
 
 import (
 	"bufio"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -128,5 +129,110 @@ func TestCompareGatesRegressions(t *testing.T) {
 
 	if _, err := Compare(base, cur, "([", 0.2); err == nil {
 		t.Fatal("bad gate regexp must error")
+	}
+}
+
+const benchmemOutput = `goos: linux
+BenchmarkMethodObservations/fs-8    	   20000	       120.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMethodObservations/fs-8    	   20000	       118.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMethodObservations/fs-8    	   20000	       125.0 ns/op	       8 B/op	       1 allocs/op
+BenchmarkPipeline-8                 	   20000	       310.0 ns/op	      16 B/op	       2 allocs/op
+PASS
+`
+
+func TestParseBenchmemCollectsAllocMetrics(t *testing.T) {
+	set, err := Parse(bufio.NewScanner(strings.NewReader(benchmemOutput)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.FormatVersion != 2 {
+		t.Fatalf("format version = %d, want 2", set.FormatVersion)
+	}
+	fs := set.Benchmarks["BenchmarkMethodObservations/fs"]
+	if len(fs.NsPerOp) != 3 || len(fs.BytesPerOp) != 3 || len(fs.AllocsPerOp) != 3 {
+		t.Fatalf("fs samples = %+v, want 3 of each metric", fs)
+	}
+	if med := medianOf(fs.AllocsPerOp); med != 0 {
+		t.Fatalf("fs allocs median = %v, want 0", med)
+	}
+	if med := medianOf(fs.BytesPerOp); med != 0 {
+		t.Fatalf("fs bytes median = %v, want 0", med)
+	}
+	pipe := set.Benchmarks["BenchmarkPipeline"]
+	if medianOf(pipe.AllocsPerOp) != 2 || medianOf(pipe.BytesPerOp) != 16 {
+		t.Fatalf("pipeline alloc metrics = %+v", pipe)
+	}
+	// The emitted text round-trips the allocation columns.
+	again, err := Parse(bufio.NewScanner(strings.NewReader(set.GoBenchText())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := again.Benchmarks["BenchmarkPipeline"]; medianOf(got.AllocsPerOp) != 2 {
+		t.Fatalf("GoBenchText lost alloc samples: %+v", got)
+	}
+}
+
+func TestCompareGatesAllocRegressions(t *testing.T) {
+	base := &Set{Benchmarks: map[string]Result{
+		"BenchmarkA/x": {NsPerOp: []float64{100}, BytesPerOp: []float64{0}, AllocsPerOp: []float64{0}},
+		"BenchmarkA/y": {NsPerOp: []float64{100}, BytesPerOp: []float64{64}, AllocsPerOp: []float64{2}},
+	}}
+	cur := &Set{Benchmarks: map[string]Result{
+		// Time fine; a zero-alloc path started allocating → +Inf delta.
+		"BenchmarkA/x": {NsPerOp: []float64{105}, BytesPerOp: []float64{32}, AllocsPerOp: []float64{1}},
+		// Time fine; B/op within 20%; allocs/op +50% → regressed.
+		"BenchmarkA/y": {NsPerOp: []float64{95}, BytesPerOp: []float64{70}, AllocsPerOp: []float64{3}},
+	}}
+	rep, err := Compare(base, cur, "^BenchmarkA/", 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Compared) != 6 {
+		t.Fatalf("compared %d metric pairs, want 6", len(rep.Compared))
+	}
+	var got []string
+	for _, c := range rep.Regressions {
+		got = append(got, c.Name+" "+c.Metric)
+	}
+	want := []string{"BenchmarkA/x B/op", "BenchmarkA/x allocs/op", "BenchmarkA/y allocs/op"}
+	if len(got) != len(want) {
+		t.Fatalf("regressions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("regressions = %v, want %v", got, want)
+		}
+	}
+	for _, c := range rep.Regressions {
+		if c.Name == "BenchmarkA/x" && !math.IsInf(c.Delta, 1) {
+			t.Fatalf("zero-baseline regression delta = %v, want +Inf", c.Delta)
+		}
+	}
+}
+
+func TestCompareAcceptsV1Baseline(t *testing.T) {
+	// A committed v1 baseline (ns/op only, format_version 1) must load
+	// and gate time without demanding allocation samples.
+	v1 := []byte(`{"format_version":1,"benchmarks":{"BenchmarkA/x":{"ns_per_op":[100,101,99]}}}`)
+	path := filepath.Join(t.TempDir(), "v1.json")
+	if err := os.WriteFile(path, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := &Set{Benchmarks: map[string]Result{
+		"BenchmarkA/x": {NsPerOp: []float64{140}, BytesPerOp: []float64{512}, AllocsPerOp: []float64{9}},
+	}}
+	rep, err := Compare(base, cur, ".", 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Compared) != 1 || rep.Compared[0].Metric != MetricNs {
+		t.Fatalf("v1 baseline should gate ns/op only, compared %+v", rep.Compared)
+	}
+	if len(rep.Regressions) != 1 {
+		t.Fatalf("+40%% ns/op should regress: %+v", rep.Regressions)
 	}
 }

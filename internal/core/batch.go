@@ -1,0 +1,581 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"frontier/internal/crawl"
+	"frontier/internal/xrand"
+)
+
+// This file implements the slab-based observation hot path: the
+// RunObsBatch/ResumeObsBatch halves of ObservationSampler.
+//
+// The single-observation surface costs an interface dispatch, a
+// closure call and a 4-word struct copy per sampled edge, plus the
+// session's per-step context check and the slice-header churn of
+// SymNeighbors-style adjacency access. The batched loops below remove
+// all of it: observations accumulate into fixed-size slabs recycled
+// through a sync.Pool (one Get per run, zero steady-state
+// allocations), adjacency is read index-based through
+// crawl.IndexedSource (one offset-array read per step, no fabricated
+// slice headers), budget is charged through Session.ChargeStep (no
+// per-step context check) and cancellation is observed once per slab.
+//
+// Determinism is the contract that makes the two surfaces
+// interchangeable: a batched run draws the session RNG in exactly the
+// per-step order of its unbatched twin and charges the same budget in
+// the same float-addition order, so concatenating its slabs yields the
+// byte-identical observation sequence, and Snapshot/Restore stays
+// step-consistent at slab boundaries (state inside the emit callback
+// is exactly "after the slab's last observation"). Samplers whose loop
+// is not step-budget hot (DistributedFS's event clock, the memoryless
+// independence samplers) and runs over non-indexed sources (e.g. the
+// netgraph HTTP client) reuse the single-observation loop through the
+// batchFromObs adapter, which preserves the same guarantees by
+// construction.
+
+// SlabSize is the capacity of the pooled observation slabs a batched
+// run emits through. 512 observations (16 KiB of Observation structs)
+// amortizes the per-slab callback and cancellation check to noise
+// while staying comfortably L2-resident; it also bounds how far a
+// batched run can trail a cancellation or overrun a convergence stop
+// (one slab).
+const SlabSize = 512
+
+// slabPool recycles observation slabs across runs. Pooled as
+// *[]Observation so Put does not allocate a fresh slice header per
+// cycle.
+var slabPool = sync.Pool{New: func() any {
+	s := make([]Observation, 0, SlabSize)
+	return &s
+}}
+
+func getSlab() *[]Observation   { return slabPool.Get().(*[]Observation) }
+func putSlab(sp *[]Observation) { slabPool.Put(sp) }
+
+// flushSlab delivers a partial slab on a loop-exit path. Loop bodies
+// call it before every return so no accumulated observation is lost,
+// error exits included — the observations were legitimately sampled
+// before the exit condition arose, exactly as an unbatched run would
+// already have delivered them.
+func flushSlab(emit BatchObsFunc, slab []Observation) {
+	if len(slab) > 0 {
+		emit(slab)
+	}
+}
+
+// batchFromObs adapts a single-observation run to the batched surface:
+// observations accumulate into a pooled slab delivered on fill and
+// once more for the partial remainder. Emission happens synchronously
+// inside the run's own emit callback, so sampler state inside the
+// batch callback is consistent at the slab's last observation — the
+// same checkpoint contract the native batched loops provide.
+func batchFromObs(emit BatchObsFunc, run func(ObsFunc) error) error {
+	sp := getSlab()
+	defer putSlab(sp)
+	slab := (*sp)[:0]
+	err := run(func(o Observation) {
+		slab = append(slab, o)
+		if len(slab) == cap(slab) {
+			emit(slab)
+			slab = slab[:0]
+		}
+	})
+	flushSlab(emit, slab)
+	return err
+}
+
+// RunObsBatch implements ObservationSampler, starting a fresh batched
+// run.
+func (f *FrontierSampler) RunObsBatch(sess *crawl.Session, emit BatchObsFunc) error {
+	f.st = nil
+	return f.runBatch(sess, emit)
+}
+
+// ResumeObsBatch implements ObservationSampler.
+func (f *FrontierSampler) ResumeObsBatch(sess *crawl.Session, emit BatchObsFunc) error {
+	if f.st == nil {
+		return errors.New("core: FrontierSampler.Resume without state (call Restore first)")
+	}
+	return f.runBatch(sess, emit)
+}
+
+func (f *FrontierSampler) runBatch(sess *crawl.Session, emit BatchObsFunc) error {
+	idx := sess.Indexed()
+	if idx == nil || f.PrefetchEvery > 0 {
+		// Non-indexed sources (netgraph) and prefetch-advised runs keep
+		// the classic loop — those runs are round-trip bound, not
+		// dispatch bound.
+		return batchFromObs(emit, func(obs ObsFunc) error { return f.run(sess, edgeObsFunc(sess, obs)) })
+	}
+	walkers, weights, err := f.prepare(sess)
+	if err != nil {
+		return err
+	}
+	if f.ResolvedSelection() == SelectLinear {
+		return f.runBatchLinear(sess, idx, walkers, weights, emit)
+	}
+	return f.runBatchFenwick(sess, idx, walkers, weights, emit)
+}
+
+// runBatchFenwick is the slab-based twin of the Fenwick branch of run:
+// identical RNG draw order (walker selection, then neighbor index) and
+// budget accounting, with adjacency read through idx.
+func (f *FrontierSampler) runBatchFenwick(sess *crawl.Session, idx crawl.IndexedSource, walkers []int, weights []float64, emit BatchObsFunc) error {
+	fen := xrand.NewFenwick(weights)
+	rng := sess.RNG()
+	sp := getSlab()
+	defer putSlab(sp)
+	slab := (*sp)[:0]
+	for sess.CanStep() {
+		if err := sess.Cancelled(); err != nil {
+			return err
+		}
+		for len(slab) < cap(slab) && sess.CanStep() {
+			i, err := fen.Sample(rng)
+			if err != nil {
+				flushSlab(emit, slab)
+				return fmt.Errorf("core: frontier stalled: %w", err)
+			}
+			u := walkers[i]
+			if err := sess.ChargeStep(); err != nil {
+				flushSlab(emit, slab)
+				if errors.Is(err, crawl.ErrBudgetExhausted) {
+					return nil
+				}
+				return err
+			}
+			lo, hi := idx.SymRange(u)
+			d := int(hi - lo)
+			if d == 0 {
+				flushSlab(emit, slab)
+				return crawl.ErrNoNeighbors
+			}
+			sess.CountStep()
+			v := idx.SymNeighborAt(lo + int64(rng.Intn(d)))
+			walkers[i] = v
+			vlo, vhi := idx.SymRange(v)
+			dv := float64(vhi - vlo)
+			fen.Update(i, dv)
+			f.lastWalker = i
+			var wt float64
+			if dv > 0 {
+				wt = 1 / dv
+			}
+			slab = append(slab, Observation{U: u, V: v, Weight: wt, Edge: true})
+		}
+		if len(slab) > 0 {
+			emit(slab)
+			slab = slab[:0]
+		}
+	}
+	return nil
+}
+
+// runBatchLinear is the slab-based twin of runLinear, for frontiers at
+// or below the linear/Fenwick crossover.
+func (f *FrontierSampler) runBatchLinear(sess *crawl.Session, idx crawl.IndexedSource, walkers []int, weights []float64, emit BatchObsFunc) error {
+	rng := sess.RNG()
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	sp := getSlab()
+	defer putSlab(sp)
+	slab := (*sp)[:0]
+	for sess.CanStep() {
+		if err := sess.Cancelled(); err != nil {
+			return err
+		}
+		for len(slab) < cap(slab) && sess.CanStep() {
+			if total <= 0 {
+				flushSlab(emit, slab)
+				return errors.New("core: frontier stalled")
+			}
+			x := rng.Float64() * total
+			i := 0
+			for ; i < len(weights)-1; i++ {
+				if x < weights[i] {
+					break
+				}
+				x -= weights[i]
+			}
+			u := walkers[i]
+			if err := sess.ChargeStep(); err != nil {
+				flushSlab(emit, slab)
+				if errors.Is(err, crawl.ErrBudgetExhausted) {
+					return nil
+				}
+				return err
+			}
+			lo, hi := idx.SymRange(u)
+			d := int(hi - lo)
+			if d == 0 {
+				flushSlab(emit, slab)
+				return crawl.ErrNoNeighbors
+			}
+			sess.CountStep()
+			v := idx.SymNeighborAt(lo + int64(rng.Intn(d)))
+			walkers[i] = v
+			vlo, vhi := idx.SymRange(v)
+			nw := float64(vhi - vlo)
+			total += nw - weights[i]
+			weights[i] = nw
+			f.lastWalker = i
+			var wt float64
+			if nw > 0 {
+				wt = 1 / nw
+			}
+			slab = append(slab, Observation{U: u, V: v, Weight: wt, Edge: true})
+		}
+		if len(slab) > 0 {
+			emit(slab)
+			slab = slab[:0]
+		}
+	}
+	return nil
+}
+
+// RunObsBatch implements ObservationSampler, starting a fresh batched
+// run.
+func (s *SingleRW) RunObsBatch(sess *crawl.Session, emit BatchObsFunc) error {
+	s.st = nil
+	return s.runBatch(sess, emit)
+}
+
+// ResumeObsBatch implements ObservationSampler.
+func (s *SingleRW) ResumeObsBatch(sess *crawl.Session, emit BatchObsFunc) error {
+	if s.st == nil {
+		return errors.New("core: SingleRW.Resume without state (call Restore first)")
+	}
+	return s.runBatch(sess, emit)
+}
+
+// runBatch is the slab-based twin of run: the walker's current
+// adjacency range is carried across steps, so each step reads the
+// offset array once (for the landing vertex, whose degree the emitted
+// weight needs anyway).
+func (s *SingleRW) runBatch(sess *crawl.Session, emit BatchObsFunc) error {
+	idx := sess.Indexed()
+	if idx == nil {
+		return batchFromObs(emit, func(obs ObsFunc) error { return s.run(sess, edgeObsFunc(sess, obs)) })
+	}
+	if err := s.ensureSeeded(sess); err != nil {
+		return err
+	}
+	rng := sess.RNG()
+	u := s.st.U
+	lo, hi := idx.SymRange(u)
+	sp := getSlab()
+	defer putSlab(sp)
+	slab := (*sp)[:0]
+	for sess.CanStep() {
+		if err := sess.Cancelled(); err != nil {
+			return err
+		}
+		for len(slab) < cap(slab) && sess.CanStep() {
+			if err := sess.ChargeStep(); err != nil {
+				flushSlab(emit, slab)
+				if errors.Is(err, crawl.ErrBudgetExhausted) {
+					return nil
+				}
+				return err
+			}
+			d := int(hi - lo)
+			if d == 0 {
+				flushSlab(emit, slab)
+				return crawl.ErrNoNeighbors
+			}
+			sess.CountStep()
+			v := idx.SymNeighborAt(lo + int64(rng.Intn(d)))
+			s.st.U = v
+			lo, hi = idx.SymRange(v)
+			dv := float64(hi - lo)
+			var wt float64
+			if dv > 0 {
+				wt = 1 / dv
+			}
+			slab = append(slab, Observation{U: u, V: v, Weight: wt, Edge: true})
+			u = v
+		}
+		if len(slab) > 0 {
+			emit(slab)
+			slab = slab[:0]
+		}
+	}
+	return nil
+}
+
+// RunObsBatch implements ObservationSampler, starting a fresh batched
+// run.
+func (m *MultipleRW) RunObsBatch(sess *crawl.Session, emit BatchObsFunc) error {
+	m.st = nil
+	return m.runBatch(sess, emit)
+}
+
+// ResumeObsBatch implements ObservationSampler.
+func (m *MultipleRW) ResumeObsBatch(sess *crawl.Session, emit BatchObsFunc) error {
+	if m.st == nil {
+		return errors.New("core: MultipleRW.Resume without state (call Restore first)")
+	}
+	return m.runBatch(sess, emit)
+}
+
+// runBatch is the slab-based twin of run. MultipleRW advances its
+// walkers one after another (each spending its fixed share), so there
+// is no per-step walker selection to adapt — the current walker's
+// adjacency range carries across steps exactly as SingleRW's does, and
+// slabs span walker hand-offs transparently.
+func (m *MultipleRW) runBatch(sess *crawl.Session, emit BatchObsFunc) error {
+	idx := sess.Indexed()
+	if idx == nil {
+		return batchFromObs(emit, func(obs ObsFunc) error { return m.run(sess, edgeObsFunc(sess, obs)) })
+	}
+	if err := m.prepare(sess); err != nil {
+		return err
+	}
+	st := m.st
+	rng := sess.RNG()
+	sp := getSlab()
+	defer putSlab(sp)
+	slab := (*sp)[:0]
+	if err := sess.Cancelled(); err != nil {
+		return err
+	}
+	for ; st.Cur < len(st.Walkers); st.Cur++ {
+		u := st.Walkers[st.Cur]
+		lo, hi := idx.SymRange(u)
+		for st.Done < st.Share {
+			if len(slab) == cap(slab) {
+				emit(slab)
+				slab = slab[:0]
+				if err := sess.Cancelled(); err != nil {
+					return err
+				}
+			}
+			if err := sess.ChargeStep(); err != nil {
+				flushSlab(emit, slab)
+				if errors.Is(err, crawl.ErrBudgetExhausted) {
+					return nil
+				}
+				return err
+			}
+			d := int(hi - lo)
+			if d == 0 {
+				flushSlab(emit, slab)
+				return crawl.ErrNoNeighbors
+			}
+			sess.CountStep()
+			v := idx.SymNeighborAt(lo + int64(rng.Intn(d)))
+			st.Walkers[st.Cur] = v
+			st.Done++
+			lo, hi = idx.SymRange(v)
+			dv := float64(hi - lo)
+			var wt float64
+			if dv > 0 {
+				wt = 1 / dv
+			}
+			slab = append(slab, Observation{U: u, V: v, Weight: wt, Edge: true})
+			u = v
+		}
+		st.Done = 0
+	}
+	flushSlab(emit, slab)
+	return nil
+}
+
+// RunObsBatch implements ObservationSampler, starting a fresh batched
+// run.
+func (m *MetropolisRW) RunObsBatch(sess *crawl.Session, emit BatchObsFunc) error {
+	m.st = nil
+	return m.runBatch(sess, emit)
+}
+
+// ResumeObsBatch implements ObservationSampler.
+func (m *MetropolisRW) ResumeObsBatch(sess *crawl.Session, emit BatchObsFunc) error {
+	if m.st == nil {
+		return errors.New("core: MetropolisRW.ResumeObs without state (call Restore first)")
+	}
+	return m.runBatch(sess, emit)
+}
+
+// runBatch is the slab-based twin of run. The walker's current degree
+// is carried across steps (an accepted move inherits the proposal's
+// already-read range; a rejected one keeps the old), so each step
+// reads the offset array once, for the proposal.
+func (m *MetropolisRW) runBatch(sess *crawl.Session, emit BatchObsFunc) error {
+	idx := sess.Indexed()
+	if idx == nil {
+		return batchFromObs(emit, func(obs ObsFunc) error { return m.run(sess, funcSink{obs}) })
+	}
+	if err := m.ensureSeeded(sess); err != nil {
+		return err
+	}
+	rng := sess.RNG()
+	v := m.st.V
+	lo, hi := idx.SymRange(v)
+	dv := int(hi - lo)
+	sp := getSlab()
+	defer putSlab(sp)
+	slab := (*sp)[:0]
+	for sess.CanStep() {
+		if err := sess.Cancelled(); err != nil {
+			return err
+		}
+		for len(slab) < cap(slab) && sess.CanStep() {
+			if err := sess.ChargeStep(); err != nil {
+				flushSlab(emit, slab)
+				if errors.Is(err, crawl.ErrBudgetExhausted) {
+					return nil
+				}
+				return err
+			}
+			if dv == 0 {
+				flushSlab(emit, slab)
+				return crawl.ErrNoNeighbors
+			}
+			sess.CountStep()
+			w := idx.SymNeighborAt(lo + int64(rng.Intn(dv)))
+			wlo, whi := idx.SymRange(w)
+			dw := int(whi - wlo)
+			if dw <= dv || rng.Float64() < float64(dv)/float64(dw) {
+				v, lo, dv = w, wlo, dw
+			}
+			m.st.V = v
+			slab = append(slab, Observation{U: v, V: v, Weight: 1})
+		}
+		if len(slab) > 0 {
+			emit(slab)
+			slab = slab[:0]
+		}
+	}
+	return nil
+}
+
+// RunObsBatch implements ObservationSampler, starting a fresh batched
+// run.
+func (s *JumpRW) RunObsBatch(sess *crawl.Session, emit BatchObsFunc) error {
+	s.st = nil
+	return s.runBatch(sess, emit)
+}
+
+// ResumeObsBatch implements ObservationSampler.
+func (s *JumpRW) ResumeObsBatch(sess *crawl.Session, emit BatchObsFunc) error {
+	if s.st == nil {
+		return errors.New("core: JumpRW.ResumeObs without state (call Restore first)")
+	}
+	return s.runBatch(sess, emit)
+}
+
+// runBatch is the slab-based twin of run. Walk steps go through the
+// indexed fast path; restarts keep the session's RandomVertex query
+// (its cost, hit-ratio and RNG accounting are the method's defining
+// trade-off, identical on both surfaces).
+func (s *JumpRW) runBatch(sess *crawl.Session, emit BatchObsFunc) error {
+	idx := sess.Indexed()
+	if idx == nil {
+		return batchFromObs(emit, func(obs ObsFunc) error { return s.run(sess, obs) })
+	}
+	w, err := s.prepare(sess)
+	if err != nil {
+		return err
+	}
+	rng := sess.RNG()
+	u := s.st.V
+	lo, hi := idx.SymRange(u)
+	d := int(hi - lo)
+	sp := getSlab()
+	defer putSlab(sp)
+	slab := (*sp)[:0]
+	for {
+		if err := sess.Cancelled(); err != nil {
+			return err
+		}
+		for len(slab) < cap(slab) {
+			// Restart with probability w/(w+deg(u)), exactly as run does —
+			// same draw, same isolated-vertex escape.
+			jump := false
+			switch {
+			case d == 0 && w == 0:
+				flushSlab(emit, slab)
+				return errors.New("core: JumpRW stuck on isolated vertex (JumpProb 0)")
+			case d == 0:
+				jump = true
+			case w > 0:
+				jump = rng.Float64()*(w+float64(d)) < w
+			}
+			var v int
+			if jump {
+				var err error
+				v, err = sess.RandomVertex()
+				if err != nil {
+					flushSlab(emit, slab)
+					if errors.Is(err, crawl.ErrBudgetExhausted) {
+						return nil
+					}
+					return err
+				}
+			} else {
+				if err := sess.ChargeStep(); err != nil {
+					flushSlab(emit, slab)
+					if errors.Is(err, crawl.ErrBudgetExhausted) {
+						return nil
+					}
+					return err
+				}
+				sess.CountStep()
+				v = idx.SymNeighborAt(lo + int64(rng.Intn(d)))
+			}
+			vlo, vhi := idx.SymRange(v)
+			dv := int(vhi - vlo)
+			s.st.V = v
+			o := Observation{U: u, V: v, Weight: 1 / (float64(dv) + w), Edge: !jump}
+			if jump {
+				o.U = v // a restart observes a vertex, not an edge
+			}
+			slab = append(slab, o)
+			u, lo, d = v, vlo, dv
+		}
+		emit(slab)
+		slab = slab[:0]
+	}
+}
+
+// RunObsBatch implements ObservationSampler through the slab adapter:
+// the event-clock loop draws its holding times per event and is not
+// step-dispatch bound, so it keeps its single-observation form.
+func (d *DistributedFS) RunObsBatch(sess *crawl.Session, emit BatchObsFunc) error {
+	return batchFromObs(emit, func(obs ObsFunc) error { return d.RunObs(sess, obs) })
+}
+
+// ResumeObsBatch implements ObservationSampler through the slab
+// adapter.
+func (d *DistributedFS) ResumeObsBatch(sess *crawl.Session, emit BatchObsFunc) error {
+	return batchFromObs(emit, func(obs ObsFunc) error { return d.ResumeObs(sess, obs) })
+}
+
+// RunObsBatch implements ObservationSampler through the slab adapter:
+// random-vertex draws are query-cost bound, not dispatch bound.
+func (s *RandomVertexSampler) RunObsBatch(sess *crawl.Session, emit BatchObsFunc) error {
+	return batchFromObs(emit, func(obs ObsFunc) error { return s.RunObs(sess, obs) })
+}
+
+// ResumeObsBatch implements ObservationSampler through the slab
+// adapter.
+func (s *RandomVertexSampler) ResumeObsBatch(sess *crawl.Session, emit BatchObsFunc) error {
+	return batchFromObs(emit, func(obs ObsFunc) error { return s.ResumeObs(sess, obs) })
+}
+
+// RunObsBatch implements ObservationSampler through the slab adapter:
+// random-edge draws are query-cost bound, not dispatch bound.
+func (s *RandomEdgeSampler) RunObsBatch(sess *crawl.Session, emit BatchObsFunc) error {
+	return batchFromObs(emit, func(obs ObsFunc) error { return s.RunObs(sess, obs) })
+}
+
+// ResumeObsBatch implements ObservationSampler through the slab
+// adapter.
+func (s *RandomEdgeSampler) ResumeObsBatch(sess *crawl.Session, emit BatchObsFunc) error {
+	return batchFromObs(emit, func(obs ObsFunc) error { return s.ResumeObs(sess, obs) })
+}

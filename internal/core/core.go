@@ -204,6 +204,48 @@ func (f FixedSeeder) Seed(_ *crawl.Session, m int) ([]int, error) {
 	return seeds, nil
 }
 
+// Selection names a walker-selection algorithm for the
+// degree-proportional draw at every Frontier Sampling step. The two
+// implementations are statistically identical — they consume the same
+// single uniform draw and map it to the same walker — so the choice is
+// purely a time constant: the O(M) linear scan wins on small frontiers
+// (better locality, no tree maintenance), the O(log M) Fenwick tree on
+// large ones. BenchmarkAblationWalkerSelection measures the crossover.
+type Selection int
+
+const (
+	// SelectAuto (the zero value) resolves to SelectLinear for frontiers
+	// up to LinearSelectionMaxM walkers and SelectFenwick above — the
+	// crossover measured by BenchmarkAblationWalkerSelection.
+	SelectAuto Selection = iota
+	// SelectFenwick forces the O(log M) Fenwick-tree selection.
+	SelectFenwick
+	// SelectLinear forces the O(M) linear-scan selection.
+	SelectLinear
+)
+
+// LinearSelectionMaxM is the largest frontier dimension for which
+// SelectAuto resolves to the linear scan. The committed baseline
+// (BENCH_baseline.json, BenchmarkAblationWalkerSelection) has linear
+// ahead at m=10, tied at m=100 and 2.6x behind at m=1000, so the
+// crossover sits at the top of the 10–100 band.
+const LinearSelectionMaxM = 100
+
+// String returns the selection's name as the ablation benchmarks
+// label it.
+func (s Selection) String() string {
+	switch s {
+	case SelectAuto:
+		return "auto"
+	case SelectFenwick:
+		return "fenwick"
+	case SelectLinear:
+		return "linear"
+	default:
+		return fmt.Sprintf("Selection(%d)", int(s))
+	}
+}
+
 // FrontierSampler implements Algorithm 1 of the paper: Frontier
 // Sampling, the m-dimensional random walk.
 //
@@ -221,10 +263,12 @@ type FrontierSampler struct {
 	M int
 	// Seeder positions the walkers; nil means UniformSeeder.
 	Seeder Seeder
-	// LinearSelection switches walker selection from the O(log M)
-	// Fenwick tree to an O(M) linear scan. Exposed for the ablation
-	// bench; results are statistically identical.
-	LinearSelection bool
+	// Selection picks the walker-selection algorithm. The default,
+	// SelectAuto, resolves adaptively from M at the measured
+	// linear/Fenwick crossover (LinearSelectionMaxM); the explicit
+	// values pin one implementation, as the ablation bench does.
+	// Results are statistically identical either way.
+	Selection Selection
 	// PrefetchEvery, when positive, issues batched prefetch advice every
 	// PrefetchEvery steps: the current frontier positions plus their
 	// one-hop neighborhoods (the only vertices the next steps can land
@@ -268,6 +312,20 @@ func (f *FrontierSampler) seeder() Seeder {
 	return f.Seeder
 }
 
+// ResolvedSelection returns the walker-selection algorithm a run will
+// actually use: Selection itself when pinned, otherwise SelectAuto's
+// adaptive resolution from M (linear up to LinearSelectionMaxM,
+// Fenwick above).
+func (f *FrontierSampler) ResolvedSelection() Selection {
+	if f.Selection != SelectAuto {
+		return f.Selection
+	}
+	if f.M <= LinearSelectionMaxM {
+		return SelectLinear
+	}
+	return SelectFenwick
+}
+
 // Run implements EdgeSampler, starting a fresh run (any previous or
 // restored state is discarded, preserving the historical semantics of
 // one Run per sampler value).
@@ -306,30 +364,43 @@ func (f *FrontierSampler) Restore(data []byte) error {
 	return nil
 }
 
-func (f *FrontierSampler) run(sess *crawl.Session, emit EdgeFunc) error {
+// prepare validates the configuration, seeds (or revalidates restored)
+// walker state, issues the seed-batch prefetch advice and computes the
+// walkers' selection weights — the shared preamble of every run
+// variant.
+func (f *FrontierSampler) prepare(sess *crawl.Session) (walkers []int, weights []float64, err error) {
 	if f.M < 1 {
-		return errors.New("core: FrontierSampler needs M >= 1")
+		return nil, nil, errors.New("core: FrontierSampler needs M >= 1")
 	}
 	if f.st == nil {
-		walkers, err := f.seeder().Seed(sess, f.M)
+		seeded, err := f.seeder().Seed(sess, f.M)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
-		f.st = &fsState{Walkers: walkers}
+		f.st = &fsState{Walkers: seeded}
 	} else if len(f.st.Walkers) != f.M {
-		return fmt.Errorf("core: FrontierSampler state has %d walkers, config wants M=%d", len(f.st.Walkers), f.M)
+		return nil, nil, fmt.Errorf("core: FrontierSampler state has %d walkers, config wants M=%d", len(f.st.Walkers), f.M)
 	}
-	walkers := f.st.Walkers
+	walkers = f.st.Walkers
 	// One batched round trip for all M seed records instead of M misses.
 	// Prefetching is pure advice: on failure the walk falls back to
 	// per-vertex fetches, which surface any real network fault.
 	_ = sess.Prefetch(walkers)
 	src := sess.Source()
-	weights := make([]float64, f.M)
+	weights = make([]float64, f.M)
 	for i, v := range walkers {
 		weights[i] = float64(src.SymDegree(v))
 	}
-	if f.LinearSelection {
+	return walkers, weights, nil
+}
+
+func (f *FrontierSampler) run(sess *crawl.Session, emit EdgeFunc) error {
+	walkers, weights, err := f.prepare(sess)
+	if err != nil {
+		return err
+	}
+	src := sess.Source()
+	if f.ResolvedSelection() == SelectLinear {
 		return f.runLinear(sess, walkers, weights, emit)
 	}
 	fen := xrand.NewFenwick(weights)
@@ -489,17 +560,27 @@ func (s *SingleRW) Restore(data []byte) error {
 	return nil
 }
 
+// ensureSeeded seeds the walker on a fresh run; resumed runs keep
+// their restored position.
+func (s *SingleRW) ensureSeeded(sess *crawl.Session) error {
+	if s.st != nil {
+		return nil
+	}
+	sd := s.Seeder
+	if sd == nil {
+		sd = UniformSeeder{}
+	}
+	seeds, err := sd.Seed(sess, 1)
+	if err != nil {
+		return err
+	}
+	s.st = &rwState{U: seeds[0]}
+	return nil
+}
+
 func (s *SingleRW) run(sess *crawl.Session, emit EdgeFunc) error {
-	if s.st == nil {
-		sd := s.Seeder
-		if sd == nil {
-			sd = UniformSeeder{}
-		}
-		seeds, err := sd.Seed(sess, 1)
-		if err != nil {
-			return err
-		}
-		s.st = &rwState{U: seeds[0]}
+	if err := s.ensureSeeded(sess); err != nil {
+		return err
 	}
 	for sess.CanStep() {
 		if err := sess.Cancelled(); err != nil {
@@ -589,7 +670,11 @@ func (m *MultipleRW) Restore(data []byte) error {
 	return nil
 }
 
-func (m *MultipleRW) run(sess *crawl.Session, emit EdgeFunc) error {
+// prepare validates the configuration, seeds (or revalidates restored)
+// walker state including the fixed per-walker step share, and issues
+// the seed-batch prefetch advice — the shared preamble of both run
+// variants.
+func (m *MultipleRW) prepare(sess *crawl.Session) error {
 	if m.M < 1 {
 		return errors.New("core: MultipleRW needs M >= 1")
 	}
@@ -617,10 +702,17 @@ func (m *MultipleRW) run(sess *crawl.Session, emit EdgeFunc) error {
 	} else if len(m.st.Walkers) != m.M {
 		return fmt.Errorf("core: MultipleRW state has %d walkers, config wants M=%d", len(m.st.Walkers), m.M)
 	}
-	st := m.st
 	// One batched round trip for all M seed records instead of M misses;
 	// advice only, so failures fall back to per-vertex fetches.
-	_ = sess.Prefetch(st.Walkers)
+	_ = sess.Prefetch(m.st.Walkers)
+	return nil
+}
+
+func (m *MultipleRW) run(sess *crawl.Session, emit EdgeFunc) error {
+	if err := m.prepare(sess); err != nil {
+		return err
+	}
+	st := m.st
 	for ; st.Cur < len(st.Walkers); st.Cur++ {
 		for st.Done < st.Share {
 			if err := sess.Cancelled(); err != nil {
@@ -835,13 +927,13 @@ func (m *MetropolisRW) LastWalker() int { return 0 }
 // query the proposed neighbor.
 func (m *MetropolisRW) RunVertices(sess *crawl.Session, emit VertexFunc) error {
 	m.st = nil
-	return m.run(sess, func(o Observation) { emit(o.V) })
+	return m.run(sess, vertexSink{emit})
 }
 
 // RunObs implements ObservationSampler, starting a fresh run.
 func (m *MetropolisRW) RunObs(sess *crawl.Session, emit ObsFunc) error {
 	m.st = nil
-	return m.run(sess, emit)
+	return m.run(sess, funcSink{emit})
 }
 
 // ResumeObs implements ObservationSampler.
@@ -849,7 +941,7 @@ func (m *MetropolisRW) ResumeObs(sess *crawl.Session, emit ObsFunc) error {
 	if m.st == nil {
 		return errors.New("core: MetropolisRW.ResumeObs without state (call Restore first)")
 	}
-	return m.run(sess, emit)
+	return m.run(sess, funcSink{emit})
 }
 
 // Snapshot implements ObservationSampler.
@@ -870,17 +962,27 @@ func (m *MetropolisRW) Restore(data []byte) error {
 	return nil
 }
 
-func (m *MetropolisRW) run(sess *crawl.Session, emit ObsFunc) error {
-	if m.st == nil {
-		sd := m.Seeder
-		if sd == nil {
-			sd = UniformSeeder{}
-		}
-		seeds, err := sd.Seed(sess, 1)
-		if err != nil {
-			return err
-		}
-		m.st = &mhrwState{V: seeds[0]}
+// ensureSeeded seeds the walker on a fresh run; resumed runs keep
+// their restored position.
+func (m *MetropolisRW) ensureSeeded(sess *crawl.Session) error {
+	if m.st != nil {
+		return nil
+	}
+	sd := m.Seeder
+	if sd == nil {
+		sd = UniformSeeder{}
+	}
+	seeds, err := sd.Seed(sess, 1)
+	if err != nil {
+		return err
+	}
+	m.st = &mhrwState{V: seeds[0]}
+	return nil
+}
+
+func (m *MetropolisRW) run(sess *crawl.Session, sink obsSink) error {
+	if err := m.ensureSeeded(sess); err != nil {
+		return err
 	}
 	src := sess.Source()
 	rng := sess.RNG()
@@ -905,7 +1007,7 @@ func (m *MetropolisRW) run(sess *crawl.Session, emit ObsFunc) error {
 		// State advances before emit so a Snapshot taken inside the
 		// callback is consistent at this step boundary.
 		m.st.V = v
-		emit(Observation{U: v, V: v, Weight: 1})
+		sink.observe(Observation{U: v, V: v, Weight: 1})
 	}
 	return nil
 }
@@ -936,13 +1038,13 @@ func (s *RandomVertexSampler) LastWalker() int { return 0 }
 // RunVertices implements VertexSampler, starting a fresh run.
 func (s *RandomVertexSampler) RunVertices(sess *crawl.Session, emit VertexFunc) error {
 	s.st = &markerState{}
-	return s.run(sess, func(o Observation) { emit(o.V) })
+	return s.run(sess, vertexSink{emit})
 }
 
 // RunObs implements ObservationSampler, starting a fresh run.
 func (s *RandomVertexSampler) RunObs(sess *crawl.Session, emit ObsFunc) error {
 	s.st = &markerState{}
-	return s.run(sess, emit)
+	return s.run(sess, funcSink{emit})
 }
 
 // ResumeObs implements ObservationSampler.
@@ -950,7 +1052,7 @@ func (s *RandomVertexSampler) ResumeObs(sess *crawl.Session, emit ObsFunc) error
 	if s.st == nil {
 		return errors.New("core: RandomVertexSampler.ResumeObs without state (call Restore first)")
 	}
-	return s.run(sess, emit)
+	return s.run(sess, funcSink{emit})
 }
 
 // Snapshot implements ObservationSampler.
@@ -971,7 +1073,7 @@ func (s *RandomVertexSampler) Restore(data []byte) error {
 	return nil
 }
 
-func (s *RandomVertexSampler) run(sess *crawl.Session, emit ObsFunc) error {
+func (s *RandomVertexSampler) run(sess *crawl.Session, sink obsSink) error {
 	for {
 		v, err := sess.RandomVertex()
 		if err != nil {
@@ -980,7 +1082,7 @@ func (s *RandomVertexSampler) run(sess *crawl.Session, emit ObsFunc) error {
 			}
 			return err
 		}
-		emit(Observation{U: v, V: v, Weight: 1})
+		sink.observe(Observation{U: v, V: v, Weight: 1})
 	}
 }
 
@@ -1007,13 +1109,13 @@ func (s *RandomEdgeSampler) LastWalker() int { return 0 }
 // Run implements EdgeSampler, starting a fresh run.
 func (s *RandomEdgeSampler) Run(sess *crawl.Session, emit EdgeFunc) error {
 	s.st = &markerState{}
-	return s.run(sess, func(o Observation) { emit(o.U, o.V) })
+	return s.run(sess, edgePairSink{emit})
 }
 
 // RunObs implements ObservationSampler, starting a fresh run.
 func (s *RandomEdgeSampler) RunObs(sess *crawl.Session, emit ObsFunc) error {
 	s.st = &markerState{}
-	return s.run(sess, emit)
+	return s.run(sess, funcSink{emit})
 }
 
 // ResumeObs implements ObservationSampler.
@@ -1021,7 +1123,7 @@ func (s *RandomEdgeSampler) ResumeObs(sess *crawl.Session, emit ObsFunc) error {
 	if s.st == nil {
 		return errors.New("core: RandomEdgeSampler.ResumeObs without state (call Restore first)")
 	}
-	return s.run(sess, emit)
+	return s.run(sess, funcSink{emit})
 }
 
 // Snapshot implements ObservationSampler.
@@ -1042,7 +1144,7 @@ func (s *RandomEdgeSampler) Restore(data []byte) error {
 	return nil
 }
 
-func (s *RandomEdgeSampler) run(sess *crawl.Session, emit ObsFunc) error {
+func (s *RandomEdgeSampler) run(sess *crawl.Session, sink obsSink) error {
 	src := sess.Source()
 	for {
 		e, err := sess.RandomEdge()
@@ -1052,6 +1154,6 @@ func (s *RandomEdgeSampler) run(sess *crawl.Session, emit ObsFunc) error {
 			}
 			return err
 		}
-		emit(EdgeObservation(src, int(e.U), int(e.V)))
+		sink.observe(EdgeObservation(src, int(e.U), int(e.V)))
 	}
 }

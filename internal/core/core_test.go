@@ -75,7 +75,7 @@ func TestFrontierStationaryDistribution(t *testing.T) {
 
 func TestFrontierLinearSelectionDistribution(t *testing.T) {
 	g := lollipop()
-	frac := vertexVisitFractions(t, g, &FrontierSampler{M: 4, LinearSelection: true}, 300000, 3)
+	frac := vertexVisitFractions(t, g, &FrontierSampler{M: 4, Selection: SelectLinear}, 300000, 3)
 	checkDegreeProportional(t, g, frac, 0.01)
 }
 

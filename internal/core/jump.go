@@ -88,9 +88,12 @@ func (s *JumpRW) Restore(data []byte) error {
 	return nil
 }
 
-func (s *JumpRW) run(sess *crawl.Session, emit ObsFunc) error {
+// prepare validates JumpProb, seeds the walker on a fresh run and
+// returns the jump weight w = α/(1−α) — the shared preamble of both
+// run variants.
+func (s *JumpRW) prepare(sess *crawl.Session) (float64, error) {
 	if s.JumpProb < 0 || s.JumpProb >= 1 {
-		return fmt.Errorf("core: JumpRW needs JumpProb in [0,1), got %g", s.JumpProb)
+		return 0, fmt.Errorf("core: JumpRW needs JumpProb in [0,1), got %g", s.JumpProb)
 	}
 	w := s.JumpProb / (1 - s.JumpProb)
 	if s.st == nil {
@@ -100,9 +103,17 @@ func (s *JumpRW) run(sess *crawl.Session, emit ObsFunc) error {
 		}
 		seeds, err := sd.Seed(sess, 1)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		s.st = &jumpState{V: seeds[0]}
+	}
+	return w, nil
+}
+
+func (s *JumpRW) run(sess *crawl.Session, emit ObsFunc) error {
+	w, err := s.prepare(sess)
+	if err != nil {
+		return err
 	}
 	src := sess.Source()
 	rng := sess.RNG()

@@ -43,6 +43,23 @@ type Observation struct {
 // ObsFunc receives each weighted observation in order.
 type ObsFunc func(Observation)
 
+// BatchObsFunc receives observations in slabs of up to SlabSize, in
+// stream order: concatenating the slabs of a batched run yields
+// exactly the sequence the same run would emit through ObsFunc.
+//
+// Slab contract: the slab is owned by the sampler and recycled (via a
+// sync.Pool) the moment the callback returns — consumers must finish
+// reading (or copy out) before returning and must never retain the
+// slice or any subslice past the call. Slabs are never empty.
+//
+// Checkpointing: the sampler's state inside the callback is consistent
+// with having emitted every observation in the slab, so a Snapshot
+// (plus session Checkpoint) taken from inside the callback resumes
+// exactly after the slab's last observation. Cancellation is observed
+// at slab boundaries, so a cancelled batched run can trail its
+// unbatched twin by up to one slab before unwinding.
+type BatchObsFunc func(batch []Observation)
+
 // ObservationSampler is a sampling process that emits a weighted
 // observation stream and can be checkpointed at observation
 // boundaries — the contract every job-service method implements. It
@@ -65,6 +82,14 @@ type ObservationSampler interface {
 	// ResumeObs continues the run from the current state. It errors if
 	// there is no state to resume.
 	ResumeObs(sess *crawl.Session, emit ObsFunc) error
+	// RunObsBatch is RunObs through the slab-based surface: the same
+	// observation stream, delivered in pooled slabs (see BatchObsFunc).
+	// Hot samplers implement it allocation-free over indexed sources;
+	// the rest adapt their single-observation loop, so every method
+	// supports both surfaces with identical output.
+	RunObsBatch(sess *crawl.Session, emit BatchObsFunc) error
+	// ResumeObsBatch is ResumeObs through the slab-based surface.
+	ResumeObsBatch(sess *crawl.Session, emit BatchObsFunc) error
 	// Snapshot returns the sampler's serialized mid-run state (JSON).
 	// It errors if no run has started.
 	Snapshot() ([]byte, error)
@@ -103,6 +128,34 @@ func EdgeObservation(src crawl.Source, u, v int) Observation {
 	}
 	return Observation{U: u, V: v, Weight: w, Edge: true}
 }
+
+// obsSink is the internal emission target of the single-observation
+// run loops of MetropolisRW, RandomVertexSampler and RandomEdgeSampler.
+// It exists instead of passing ObsFunc directly so the classic compat
+// surfaces (RunVertices, Run) can adapt their callbacks without
+// allocating: each adapter below is a one-word struct that converts to
+// this interface directly (no boxing), where the closure literals the
+// adapters used to build escaped to the heap on every call — a real
+// cost in tight experiment loops that rebuild samplers per run.
+type obsSink interface{ observe(Observation) }
+
+// funcSink adapts the ObsFunc surface to obsSink.
+type funcSink struct{ f ObsFunc }
+
+func (s funcSink) observe(o Observation) { s.f(o) }
+
+// vertexSink adapts a VertexFunc for the classic VertexSampler
+// surface: it forwards each observation's vertex, dropping weights
+// (the surface predates them; MHRW and RV weights are 1 anyway).
+type vertexSink struct{ f VertexFunc }
+
+func (s vertexSink) observe(o Observation) { s.f(o.V) }
+
+// edgePairSink adapts an EdgeFunc for the classic EdgeSampler surface,
+// forwarding each observation's endpoint pair.
+type edgePairSink struct{ f EdgeFunc }
+
+func (s edgePairSink) observe(o Observation) { s.f(o.U, o.V) }
 
 // edgeObsFunc adapts an ObsFunc into the EdgeFunc the edge samplers
 // emit through, attaching the stationary-walk weight to every edge.

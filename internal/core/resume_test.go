@@ -20,7 +20,7 @@ var resumableCases = []struct {
 	build func() Resumable
 }{
 	{"fs", func() Resumable { return &FrontierSampler{M: 16} }},
-	{"fs-linear", func() Resumable { return &FrontierSampler{M: 16, LinearSelection: true} }},
+	{"fs-linear", func() Resumable { return &FrontierSampler{M: 16, Selection: SelectLinear} }},
 	{"single", func() Resumable { return &SingleRW{} }},
 	{"multiple", func() Resumable { return &MultipleRW{M: 8} }},
 	{"dfs", func() Resumable { return &DistributedFS{M: 16} }},

@@ -59,11 +59,31 @@ type BatchSource interface {
 	PrefetchVertices(ids []int) error
 }
 
+// IndexedSource is an optional extension for sources whose symmetric
+// adjacency lives in one contiguous array (CSR): SymRange returns the
+// index range [lo, hi) of v's neighbors and SymNeighborAt reads one by
+// global index, so hi-lo == SymDegree(v) and SymNeighborAt(lo+i) ==
+// SymNeighbor(v, i). Hot walk loops use it to read the offset array
+// once per step and skip the slice-header fabrication of a
+// SymNeighbors-style accessor. Purely an access-path optimization: it
+// must return exactly what Source returns, and samplers must fall back
+// to Source when Session.Indexed is nil.
+type IndexedSource interface {
+	Source
+	// SymRange returns the index range [lo, hi) of v's symmetric
+	// adjacency, hi-lo == SymDegree(v).
+	SymRange(v int) (lo, hi int64)
+	// SymNeighborAt returns the neighbor at global adjacency index i,
+	// which must lie inside some vertex's SymRange.
+	SymNeighborAt(i int64) int
+}
+
 // Statically ensure the in-memory graph satisfies the interfaces.
 var (
-	_ Source      = (*graph.Graph)(nil)
-	_ EdgeSource  = (*graph.Graph)(nil)
-	_ BatchSource = (*graph.Graph)(nil)
+	_ Source        = (*graph.Graph)(nil)
+	_ EdgeSource    = (*graph.Graph)(nil)
+	_ BatchSource   = (*graph.Graph)(nil)
+	_ IndexedSource = (*graph.Graph)(nil)
 )
 
 // CostModel prices each query type.
@@ -99,6 +119,13 @@ func UnitCosts() CostModel {
 // session's budget.
 var ErrBudgetExhausted = errors.New("crawl: budget exhausted")
 
+// ErrNoNeighbors is returned by Step when asked to walk from a vertex
+// with no symmetric neighbors — impossible in the paper's model (every
+// vertex has an edge) but failed safely. Batched sampler loops return
+// the same error from their inlined step so both paths fail
+// identically.
+var ErrNoNeighbors = errors.New("crawl: vertex has no neighbors")
+
 // Stats counts what a session actually did.
 type Stats struct {
 	Steps         int64   `json:"steps"`          // neighbor-walk steps taken
@@ -121,6 +148,7 @@ type Stats struct {
 type Session struct {
 	ctx    context.Context
 	src    Source
+	idx    IndexedSource // src when it supports indexed access, else nil
 	model  CostModel
 	budget float64
 	rng    *xrand.Rand
@@ -140,7 +168,9 @@ func NewSessionContext(ctx context.Context, src Source, budget float64, model Co
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Session{ctx: ctx, src: src, model: model, budget: budget, rng: rng}
+	s := &Session{ctx: ctx, src: src, model: model, budget: budget, rng: rng}
+	s.idx, _ = src.(IndexedSource)
+	return s
 }
 
 // SessionCheckpoint is the serializable mid-run state of a Session. All
@@ -198,6 +228,14 @@ func (s *Session) Cancelled() error {
 // paper's model treats as free once a vertex has been visited).
 func (s *Session) Source() Source { return s.src }
 
+// Indexed returns the source as an IndexedSource when it supports
+// contiguous-adjacency access (resolved once at session construction),
+// or nil. Batched sampler loops take the index-based fast path when it
+// is non-nil and fall back to Step otherwise; both paths draw the same
+// randomness and charge the same budget, so the choice never changes a
+// sampled sequence.
+func (s *Session) Indexed() IndexedSource { return s.idx }
+
 // Model returns the session's cost model, so samplers can convert the
 // remaining budget into affordable query counts (e.g. MultipleRW's
 // per-walker step share at StepCost ≠ 1).
@@ -249,6 +287,26 @@ func (s *Session) Charge(c float64) error {
 	return s.spend(c)
 }
 
+// ChargeStep pays for one random-walk step without performing the
+// neighbor query — the budget half of Step, for batched loops that
+// resolve the neighbor themselves through Indexed. It deliberately
+// skips the per-charge context check (batched loops check Cancelled
+// once per slab instead; the check consumes no randomness, so the
+// sampled sequence is unchanged either way). Callers must pair it with
+// CountStep once the neighbor query succeeds, mirroring Step's
+// accounting exactly.
+func (s *Session) ChargeStep() error {
+	if s.stats.Spent+s.model.StepCost > s.budget {
+		return ErrBudgetExhausted
+	}
+	s.stats.Spent += s.model.StepCost
+	return nil
+}
+
+// CountStep records one completed walk step, the stats half of Step
+// for ChargeStep callers.
+func (s *Session) CountStep() { s.stats.Steps++ }
+
 // Step performs one random-walk step from v: it pays StepCost and
 // returns a uniformly random symmetric neighbor of v. Vertices with no
 // neighbors cannot occur in the paper's model (every vertex has an edge);
@@ -259,7 +317,7 @@ func (s *Session) Step(v int) (int, error) {
 	}
 	d := s.src.SymDegree(v)
 	if d == 0 {
-		return 0, errors.New("crawl: vertex has no neighbors")
+		return 0, ErrNoNeighbors
 	}
 	s.stats.Steps++
 	return s.src.SymNeighbor(v, s.rng.Intn(d)), nil

@@ -303,3 +303,75 @@ func TestResumeSessionRejectsZeroRNG(t *testing.T) {
 		t.Fatal("zero RNG state must be rejected")
 	}
 }
+
+func TestIndexedSourceAccessor(t *testing.T) {
+	g := path4()
+	s := NewSession(g, 10, UnitCosts(), xrand.New(3))
+	idx := s.Indexed()
+	if idx == nil {
+		t.Fatal("graph.Graph should be detected as an IndexedSource")
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		lo, hi := idx.SymRange(v)
+		if int(hi-lo) != g.SymDegree(v) {
+			t.Fatalf("SymRange(%d) spans %d, SymDegree %d", v, hi-lo, g.SymDegree(v))
+		}
+		for j := 0; j < g.SymDegree(v); j++ {
+			if got, want := idx.SymNeighborAt(lo+int64(j)), g.SymNeighbor(v, j); got != want {
+				t.Fatalf("SymNeighborAt(%d+%d) = %d, SymNeighbor(%d,%d) = %d", lo, j, got, v, j, want)
+			}
+		}
+	}
+
+	plain := minimalSource{g}
+	if got := NewSession(plain, 10, UnitCosts(), xrand.New(3)).Indexed(); got != nil {
+		t.Fatalf("minimal source reported as indexed: %v", got)
+	}
+}
+
+// minimalSource hides graph.Graph's extensions behind the bare Source
+// interface.
+type minimalSource struct{ g *graph.Graph }
+
+func (m minimalSource) NumVertices() int         { return m.g.NumVertices() }
+func (m minimalSource) SymDegree(v int) int      { return m.g.SymDegree(v) }
+func (m minimalSource) SymNeighbor(v, i int) int { return m.g.SymNeighbor(v, i) }
+
+func TestChargeStepMatchesStepAccounting(t *testing.T) {
+	g := path4()
+	stepped := NewSession(g, 3, UnitCosts(), xrand.New(7))
+	charged := NewSession(g, 3, UnitCosts(), xrand.New(7))
+	idx := charged.Indexed()
+	for i := 0; i < 3; i++ {
+		if _, err := stepped.Step(1); err != nil {
+			t.Fatal(err)
+		}
+		// The batched hot path's split of Step: charge, then query via
+		// the index (drawing the RNG the same way), then count.
+		if err := charged.ChargeStep(); err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := idx.SymRange(1)
+		_ = idx.SymNeighborAt(lo + int64(charged.RNG().Intn(int(hi-lo))))
+		charged.CountStep()
+	}
+	if err := charged.ChargeStep(); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("over-budget ChargeStep returned %v, want ErrBudgetExhausted", err)
+	}
+	if sc, cc := stepped.Checkpoint(), charged.Checkpoint(); sc != cc {
+		t.Fatalf("accounting diverged:\nStep       %+v\nChargeStep %+v", sc, cc)
+	}
+}
+
+func TestStepNoNeighborsError(t *testing.T) {
+	b := graph.NewBuilder(3) // vertex 2 stays isolated
+	b.AddUndirected(0, 1)
+	g := b.Build()
+	s := NewSession(g, 10, UnitCosts(), xrand.New(9))
+	if _, err := s.Step(2); !errors.Is(err, ErrNoNeighbors) {
+		t.Fatalf("Step on isolated vertex returned %v, want ErrNoNeighbors", err)
+	}
+	if st := s.Stats(); st.Steps != 0 || st.Spent != 1 {
+		t.Fatalf("failed step should charge but not count: %+v", st)
+	}
+}

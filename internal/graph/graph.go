@@ -81,6 +81,23 @@ func (g *Graph) SymNeighbor(v, i int) int {
 	return int(g.symTo[g.symOff[v]+int64(i)])
 }
 
+// SymRange returns the index range [lo, hi) of v's symmetric adjacency
+// in the shared neighbor array addressed by SymNeighborAt, with
+// hi-lo == SymDegree(v). Hot walk loops read the offset array once per
+// step through this accessor instead of fabricating a slice header
+// (SymNeighbors) or paying two separate offset lookups
+// (SymDegree + SymNeighbor).
+func (g *Graph) SymRange(v int) (lo, hi int64) {
+	return g.symOff[v], g.symOff[v+1]
+}
+
+// SymNeighborAt returns the neighbor stored at global adjacency index
+// i, SymRange-bounded: v's j-th neighbor is SymNeighborAt(lo+j) for
+// lo, _ := SymRange(v).
+func (g *Graph) SymNeighborAt(i int64) int {
+	return int(g.symTo[i])
+}
+
 // PrefetchVertices implements crawl.BatchSource as a no-op: the whole
 // graph is already in memory, so there is no latency to hide.
 func (g *Graph) PrefetchVertices([]int) error { return nil }

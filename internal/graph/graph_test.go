@@ -580,3 +580,31 @@ func TestDegreeKindString(t *testing.T) {
 		t.Fatal("unknown DegreeKind string wrong")
 	}
 }
+
+func TestSymRangeMatchesSymNeighbor(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 4)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	b.AddEdge(1, 0)
+	g := b.Build()
+	var total int64
+	for v := 0; v < g.NumVertices(); v++ {
+		lo, hi := g.SymRange(v)
+		if lo != total {
+			t.Fatalf("SymRange(%d) lo = %d, want contiguous offset %d", v, lo, total)
+		}
+		if int(hi-lo) != g.SymDegree(v) {
+			t.Fatalf("SymRange(%d) spans %d, SymDegree %d", v, hi-lo, g.SymDegree(v))
+		}
+		for j := 0; j < g.SymDegree(v); j++ {
+			if got, want := g.SymNeighborAt(lo+int64(j)), g.SymNeighbor(v, j); got != want {
+				t.Fatalf("SymNeighborAt(%d) = %d, SymNeighbor(%d,%d) = %d", lo+int64(j), got, v, j, want)
+			}
+		}
+		total = hi
+	}
+	if want := int64(g.NumSymEdges()); total != want {
+		t.Fatalf("ranges cover %d slots, want |E| = %d", total, want)
+	}
+}

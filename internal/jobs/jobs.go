@@ -829,6 +829,11 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 		m.finish(j, StateFailed, err)
 		return
 	}
+	method, err := m.methods.resolve(spec.Method)
+	if err != nil {
+		m.finish(j, StateFailed, err)
+		return
+	}
 	var sess *crawl.Session
 	var edges int64
 	var hash uint64 = fnvOffset
@@ -883,19 +888,57 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 		}
 	}
 
+	// Methods without per-walker attribution (single, mhrw, rv, re,
+	// jump: LastWalker ≡ 0, so chain 0 takes every observation either
+	// way) are driven through the allocation-free batched surface. The
+	// batched run emits the byte-identical observation stream, so edge
+	// hash, runtime state and resumability are unchanged; only the
+	// granularity moves — checkpoints land at the slab boundary that
+	// crosses a CheckpointEvery multiple, and a convergence stop unwinds
+	// at the next slab instead of the next observation (≤ core.SlabSize
+	// extra observations, all still hashed and consumed). Walker-tracked
+	// methods (fs, dfs, multiple) keep the per-observation drive: the
+	// R-hat chains need LastWalker per observation.
+	emitBatch := func(batch []core.Observation) {
+		for _, o := range batch {
+			hash = hashEdge(hash, o.U, o.V)
+		}
+		prev := edges
+		edges += int64(len(batch))
+		if rep := rt.ObserveBatch(0, batch); rep != nil {
+			j.setReport(rep)
+			if rep.Converged && !stopIssued {
+				stopIssued = true
+				j.mu.Lock()
+				if j.cancel != nil {
+					j.cancel(errConverged)
+				}
+				j.mu.Unlock()
+			}
+		}
+		if edges/int64(spec.CheckpointEvery) != prev/int64(spec.CheckpointEvery) {
+			m.checkpointNow(j, sess, sampler, rt, edges, hash)
+		}
+	}
+	drive := func() error {
+		if !method.UsesWalkers {
+			if resume {
+				return sampler.ResumeObsBatch(sess, emitBatch)
+			}
+			return sampler.RunObsBatch(sess, emitBatch)
+		}
+		if resume {
+			return sampler.ResumeObs(sess, emit)
+		}
+		return sampler.RunObs(sess, emit)
+	}
+
 	if runSafe, ok := src.(interface{ RunSafely(func() error) error }); ok {
 		// Network sources surface fetch failures through panics; convert
 		// them to job failures instead of killing the worker.
-		err = runSafe.RunSafely(func() error {
-			if resume {
-				return sampler.ResumeObs(sess, emit)
-			}
-			return sampler.RunObs(sess, emit)
-		})
-	} else if resume {
-		err = sampler.ResumeObs(sess, emit)
+		err = runSafe.RunSafely(drive)
 	} else {
-		err = sampler.RunObs(sess, emit)
+		err = drive()
 	}
 
 	// finishDone records the final live report and state for the two

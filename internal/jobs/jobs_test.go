@@ -380,3 +380,53 @@ func TestSubmitValidationEnumeratesEstimators(t *testing.T) {
 		t.Fatal("wrong-direction stop rule must be rejected")
 	}
 }
+
+// TestBatchedDriveMatchesDirectRun pins the manager's batched drive:
+// every method without walker attribution (driven through
+// RunObsBatch) finishes with the edge count, FNV hash, estimate and
+// budget spend of an unbatched in-process run with the same seed —
+// the jobs-layer face of the core equivalence contract. Budgets are
+// sized to cross slab boundaries so multi-slab emission is exercised.
+func TestBatchedDriveMatchesDirectRun(t *testing.T) {
+	g := testGraph(2)
+	m, err := NewManager(g, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+
+	specs := []Spec{
+		{Method: "single", Budget: 2000, Seed: 201, Estimate: "clustering"},
+		{Method: "mhrw", Budget: 2000, Seed: 202, Estimate: "avgdegree"},
+		{Method: "rv", Budget: 1500, Seed: 203, Estimate: "avgdegree"},
+		{Method: "re", Budget: 2400, Seed: 204, Estimate: "clustering"},
+		{Method: "jump", JumpProb: 0.15, Budget: 2000, Seed: 205, Estimate: "avgdegree"},
+	}
+	for _, sp := range specs {
+		t.Run(sp.Method, func(t *testing.T) {
+			method, err := DefaultMethods().resolve(sp.Method)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if method.UsesWalkers {
+				t.Fatalf("method %s tracks walkers; it belongs in the per-observation drive", sp.Method)
+			}
+			j, err := m.Submit(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := waitDone(t, j)
+			want := directRun(t, g, sp)
+			if got.Edges != want.Edges || got.EdgeHash != want.EdgeHash {
+				t.Fatalf("batched job: %d observations hash %s, direct unbatched run %d hash %s",
+					got.Edges, got.EdgeHash, want.Edges, want.EdgeHash)
+			}
+			if got.Estimate == nil || want.Estimate == nil || *got.Estimate != *want.Estimate {
+				t.Fatalf("estimate %v, direct run %v", got.Estimate, want.Estimate)
+			}
+			if got.Spent != want.Spent {
+				t.Fatalf("spent %v, direct run %v", got.Spent, want.Spent)
+			}
+		})
+	}
+}

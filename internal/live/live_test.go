@@ -502,3 +502,137 @@ func TestBudgetReportNeverContradictsStopReason(t *testing.T) {
 		t.Fatal("Report() mutated the convergence verdict")
 	}
 }
+
+// TestObserveBatchMatchesObserveSample pins the batch-consumption
+// contract: driving the runtime one slab at a time reaches the exact
+// state (serialized bytes, report, verdict) of the per-observation
+// path, for both a rule that fires mid-stream and one that never does.
+func TestObserveBatchMatchesObserveSample(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(6), 2000, 3)
+
+	// A degree-weighted single-walk stream: varied weights, all edges.
+	sess := crawl.NewSession(g, 6000, crawl.UnitCosts(), xrand.New(17))
+	var obs []core.Observation
+	if err := (&core.SingleRW{}).RunObs(sess, func(o core.Observation) { obs = append(obs, o) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) < 3*core.SlabSize {
+		t.Fatalf("stream too short to cross slab boundaries: %d", len(obs))
+	}
+
+	for _, ruleSpec := range []string{"", "ci_halfwidth<=0.25"} {
+		var rule *StopRule
+		if ruleSpec != "" {
+			r, err := ParseStopRule(ruleSpec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rule = r
+		}
+		build := func() *Runtime {
+			est, err := Default().New("avgdegree", g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return NewRuntime(est, NewMonitor(MonitorConfig{}), rule)
+		}
+
+		single := build()
+		var singleReports int
+		for _, o := range obs {
+			if rep := single.ObserveSample(0, o); rep != nil {
+				singleReports++
+			}
+		}
+
+		batched := build()
+		var batchReports int
+		for lo := 0; lo < len(obs); lo += core.SlabSize {
+			hi := lo + core.SlabSize
+			if hi > len(obs) {
+				hi = len(obs)
+			}
+			if rep := batched.ObserveBatch(0, obs[lo:hi]); rep != nil {
+				batchReports++
+			}
+		}
+
+		// Every eval boundary lands inside some slab, and at the default
+		// cadence (512 == SlabSize) at most one per slab — so the counts
+		// agree too, not just the terminal state.
+		if singleReports == 0 || singleReports != batchReports {
+			t.Fatalf("rule %q: %d per-observation reports, %d batch reports", ruleSpec, singleReports, batchReports)
+		}
+		sConv, sReason := single.Converged()
+		bConv, bReason := batched.Converged()
+		if sConv != bConv || sReason != bReason {
+			t.Fatalf("rule %q: verdicts diverged: (%v,%q) vs (%v,%q)", ruleSpec, sConv, sReason, bConv, bReason)
+		}
+		sState, err := single.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bState, err := batched.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sState, bState) {
+			t.Fatalf("rule %q: serialized runtime state diverged:\nper-obs %s\nbatched %s", ruleSpec, sState, bState)
+		}
+	}
+}
+
+// TestObserveBatchRagged covers slab sizes other than the eval cadence:
+// boundaries then land mid-slab and reports must still fire exactly as
+// often, with identical terminal state.
+func TestObserveBatchRagged(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(7), 1000, 3)
+	sess := crawl.NewSession(g, 3000, crawl.UnitCosts(), xrand.New(23))
+	var obs []core.Observation
+	if err := (&core.MetropolisRW{}).RunObs(sess, func(o core.Observation) { obs = append(obs, o) }); err != nil {
+		t.Fatal(err)
+	}
+
+	build := func() *Runtime {
+		est, err := Default().New("avgdegree", g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewRuntime(est, NewMonitor(MonitorConfig{}), nil)
+	}
+	single := build()
+	singleReports := 0
+	for _, o := range obs {
+		if single.ObserveSample(0, o) != nil {
+			singleReports++
+		}
+	}
+	for _, size := range []int{1, 3, 100, 511, 513} {
+		batched := build()
+		reports := 0
+		for lo := 0; lo < len(obs); lo += size {
+			hi := lo + size
+			if hi > len(obs) {
+				hi = len(obs)
+			}
+			// A slab may cross several eval boundaries; ObserveBatch
+			// returns only the last report, so count boundaries via N.
+			before := batched.Estimator().N()
+			rep := batched.ObserveBatch(0, obs[lo:hi])
+			after := batched.Estimator().N()
+			crossed := int(after/DefaultEvalEvery - before/DefaultEvalEvery)
+			if (rep != nil) != (crossed > 0) {
+				t.Fatalf("size %d: report presence %v but %d boundaries crossed", size, rep != nil, crossed)
+			}
+			reports += crossed
+		}
+		if reports != singleReports {
+			t.Fatalf("size %d: %d eval boundaries, per-observation path saw %d", size, reports, singleReports)
+		}
+		sState, _ := single.State()
+		bState, _ := batched.State()
+		if !bytes.Equal(sState, bState) {
+			t.Fatalf("size %d: serialized runtime state diverged", size)
+		}
+	}
+}

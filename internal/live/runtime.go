@@ -96,6 +96,38 @@ func (rt *Runtime) ObserveSample(walker int, o core.Observation) *Report {
 	return &rep
 }
 
+// ObserveBatch consumes a slab of observations emitted by walker,
+// exactly equivalent to calling ObserveSample on each in order: kernel
+// sums, chain diagnostics and evaluation cadence evolve through the
+// identical float operations, so a batched run reaches the identical
+// runtime state (and convergence verdict) as its per-observation twin.
+// The hot-path win is structural — one call per slab from the
+// sampler's batch callback instead of a closure dispatch per
+// observation, with the evaluation cadence hoisted out of the loop.
+//
+// Evaluations still fire at every EvalEvery boundary crossed inside
+// the slab; the report from the last boundary crossed is returned (nil
+// if none — with the default cadence of 512 and core.SlabSize slabs,
+// at most one fires per slab). The slab is only read during the call,
+// never retained, honoring the core.BatchObsFunc ownership contract.
+func (rt *Runtime) ObserveBatch(walker int, batch []core.Observation) *Report {
+	every := rt.evalEvery()
+	var rep *Report
+	for _, o := range batch {
+		stat, ok := rt.est.ObserveSample(o)
+		if !ok {
+			continue
+		}
+		rt.mon.observe(walker, stat, rt.est.scratch)
+		if rt.est.n%every != 0 {
+			continue
+		}
+		r := rt.buildReport(true)
+		rep = &r
+	}
+	return rep
+}
+
 func (rt *Runtime) evalEvery() int64 {
 	if rt.EvalEvery > 0 {
 		return rt.EvalEvery
