@@ -16,6 +16,7 @@ import (
 	"math"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime/pprof"
 	"testing"
 	"time"
@@ -281,6 +282,112 @@ func BenchmarkMethodObservations(b *testing.B) {
 		})
 		b.Run(name+"/batch", func(b *testing.B) {
 			s, sess := newRun(b)
+			b.ResetTimer()
+			if err := s.RunObsBatch(sess, func(batch []frontier.Observation) {}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// benchSegmentGraph writes the shared benchmark graph to an .fcsr
+// segment once, memory-maps it, and returns the mapped graph plus the
+// segment path. The mapping stays open for the life of the benchmark
+// process; the files live in a fresh OS temp directory.
+var (
+	benchSegPathCache string
+	benchSegmentCache *frontier.GraphSegment
+)
+
+func benchSegmentGraph(b *testing.B) (*frontier.Graph, string) {
+	b.Helper()
+	if benchSegmentCache == nil {
+		dir, err := os.MkdirTemp("", "fcsr-bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(dir, "bench.fcsr")
+		if err := frontier.SaveGraph(path, benchGraph(b)); err != nil {
+			b.Fatal(err)
+		}
+		seg, err := frontier.OpenGraphSegment(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSegPathCache, benchSegmentCache = path, seg
+	}
+	return benchSegmentCache.Graph, benchSegPathCache
+}
+
+// BenchmarkGraphLoad compares the three ways to bring a hosted graph
+// into a process: the zero-copy mmap open of an .fcsr segment, the
+// fully validating heap parse of the same segment, and the text
+// parser. The mmap open touches only the 256-byte header and the
+// O(|V|) offset arrays — it must stay an order of magnitude ahead of
+// the text parse, which is the acceptance bar for the segment format.
+func BenchmarkGraphLoad(b *testing.B) {
+	g := benchGraph(b)
+	_, fcsrPath := benchSegmentGraph(b)
+	textPath := filepath.Join(filepath.Dir(fcsrPath), "bench.fg")
+	if _, err := os.Stat(textPath); err != nil {
+		if err := frontier.SaveGraph(textPath, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("fcsr-mmap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			seg, err := frontier.OpenGraphSegment(fcsrPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if seg.Graph.NumVertices() != g.NumVertices() {
+				b.Fatal("wrong graph")
+			}
+			if err := seg.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fcsr-heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lg, err := frontier.LoadGraph(fcsrPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if lg.NumVertices() != g.NumVertices() {
+				b.Fatal("wrong graph")
+			}
+		}
+	})
+	b.Run("text", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lg, err := frontier.LoadGraph(textPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if lg.NumVertices() != g.NumVertices() {
+				b.Fatal("wrong graph")
+			}
+		}
+	})
+}
+
+// BenchmarkCrawlMmap drives the slab-batched sampling hot loop over
+// the memory-mapped segment instead of the heap graph. The
+// devirtualized CSR loop reads the same little-endian arrays either
+// way, so per-step cost must match BenchmarkMethodObservations'
+// batched variants within noise and stay at 0 allocs/op — a gap here
+// means the mapped path fell off the concrete-type fast path.
+func BenchmarkCrawlMmap(b *testing.B) {
+	mg, _ := benchSegmentGraph(b)
+	for _, name := range []string{"fs", "mhrw"} {
+		method, ok := frontier.DefaultJobMethods().Get(name)
+		if !ok {
+			b.Fatalf("method %s not registered", name)
+		}
+		b.Run(name, func(b *testing.B) {
+			s := method.Build(frontier.JobSpec{Method: name, M: 16, JumpProb: 0.1})
+			sess := frontier.NewSession(mg, 2*float64(b.N)+64, frontier.UnitCosts(), frontier.NewRand(10))
 			b.ResetTimer()
 			if err := s.RunObsBatch(sess, func(batch []frontier.Observation) {}); err != nil {
 				b.Fatal(err)

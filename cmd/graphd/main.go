@@ -10,6 +10,7 @@
 //	graphd -dataset flickr -scale 0.2 -addr :8080   # generate in memory
 //	graphd -dataset lj -workers 8 -checkpoint-dir /var/lib/graphd/jobs
 //	graphd -graphs 'web=web.fgrb,social=gen:flickr:0.2'   # multi-graph
+//	graphd -graphs 'lj=lj.fcsr,orkut=orkut.fcsr'    # lazy out-of-core hosting
 //	graphd -empty                                   # hot-load via POST /v1/graphs
 //
 // -graphs hosts several named graphs in one process: a comma-separated
@@ -20,6 +21,13 @@
 // can be hot-loaded at runtime via POST /v1/graphs and evicted via
 // DELETE /v1/graphs/{name} (refused with 409 while running jobs pin
 // them).
+//
+// Graphs in the .fcsr binary segment format (written by graphgen
+// -format fcsr or frontier convert) are hosted lazily and out of core:
+// registration reads only the 256-byte header, the first request
+// memory-maps the file zero-copy, and eviction unmaps it — a catalog
+// of cold segments costs no resident memory, so one graphd can front
+// far more graph bytes than RAM.
 //
 // See docs/API.md for the complete endpoint reference. Responses are
 // gzip-compressed when the client accepts it. -latency injects a fixed
@@ -89,6 +97,15 @@ func main() {
 		}
 		mustAdd(cat, ds.Name, ds.Graph, ds.Groups)
 	case *graphPath != "":
+		// .fcsr segments are hosted lazily: register by header now, map
+		// the file into memory on first request (embedded group labels
+		// ride the segment; -groups is for the text formats).
+		if graphio.FormatForPath(*graphPath) == graphio.FormatFCSR && *groupsPath == "" {
+			if err := cat.AddPath(*graphPath, *graphPath); err != nil {
+				fatal(err)
+			}
+			break
+		}
 		g, err := graphio.LoadFile(*graphPath)
 		if err != nil {
 			fatal(err)
@@ -208,6 +225,14 @@ func loadGraphsFlag(cat *netgraph.Catalog, flagVal string, seed uint64) error {
 			}
 			if err := cat.Add(name, ds.Graph, ds.Groups); err != nil {
 				return err
+			}
+			continue
+		}
+		if graphio.FormatForPath(spec) == graphio.FormatFCSR {
+			// Lazy out-of-core hosting: only the segment header is read
+			// here; the file is memory-mapped on first access.
+			if err := cat.AddPath(name, spec); err != nil {
+				return fmt.Errorf("graphd: -graphs entry %q: %w", entry, err)
 			}
 			continue
 		}

@@ -7,9 +7,14 @@
 //	graphgen -model ba -n 100000 -m 3 -out ba.fg
 //	graphgen -model gnm -n 10000 -edges 50000 -directed -out er.fg
 //	graphgen -model gab -n 50000 -out gab.fgrb
+//	graphgen -dataset flickr -groups -format fcsr -out flickr.fcsr
 //
-// With -groups the planted special-interest group labels (when the
-// dataset has them) are written next to the graph as <out>.groups.
+// The output format follows the -out extension (.fgrb binary, .fcsr
+// mappable CSR segment, else text) unless -format overrides it. With
+// -groups the planted special-interest group labels (when the dataset
+// has them) are written next to the graph as <out>.groups — except in
+// the fcsr format, which embeds them in the segment itself so graphd
+// can host graph and labels from one mappable file.
 package main
 
 import (
@@ -34,8 +39,9 @@ func main() {
 		directed = flag.Bool("directed", false, "directed edges (gnm)")
 		scale    = flag.Float64("scale", 1, "dataset scale factor")
 		seed     = flag.Uint64("seed", 1, "deterministic seed")
-		out      = flag.String("out", "", "output path (.fgrb = binary, anything else = text)")
-		groups   = flag.Bool("groups", false, "also write group labels to <out>.groups")
+		out      = flag.String("out", "", "output path (.fgrb = binary, .fcsr = CSR segment, anything else = text)")
+		format   = flag.String("format", "", "output format: text, binary, json or fcsr (default: by -out extension)")
+		groups   = flag.Bool("groups", false, "also write group labels (<out>.groups sidecar; embedded for fcsr)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -79,17 +85,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := graphio.SaveFile(*out, g); err != nil {
+	outFormat := *format
+	if outFormat == "" {
+		outFormat = graphio.FormatForPath(*out)
+	}
+	if *groups && gl == nil {
+		fmt.Fprintln(os.Stderr, "graphgen: dataset has no group labels")
+		os.Exit(1)
+	}
+	if err := writeGraph(*out, outFormat, g, gl, *groups); err != nil {
 		fmt.Fprintf(os.Stderr, "graphgen: writing %s: %v\n", *out, err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s: %d vertices, %d directed edges\n", *out, g.NumVertices(), g.NumDirectedEdges())
 
-	if *groups {
-		if gl == nil {
-			fmt.Fprintln(os.Stderr, "graphgen: dataset has no group labels")
-			os.Exit(1)
+	if outFormat == graphio.FormatFCSR {
+		if *groups {
+			fmt.Printf("embedded %d groups in the segment\n", gl.NumGroups())
 		}
+		return
+	}
+	if *groups {
 		gpath := *out + ".groups"
 		f, err := os.Create(gpath)
 		if err != nil {
@@ -106,4 +122,35 @@ func main() {
 		}
 		fmt.Printf("wrote %s: %d groups\n", gpath, gl.NumGroups())
 	}
+}
+
+// writeGraph writes g to path in the named format. For fcsr the group
+// labels are embedded in the segment when embedGroups is set; the
+// other formats ignore gl (the caller writes the sidecar).
+func writeGraph(path, format string, g *graph.Graph, gl *graph.GroupLabels, embedGroups bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch format {
+	case graphio.FormatText:
+		err = graphio.WriteText(f, g)
+	case graphio.FormatBinary:
+		err = graphio.WriteBinary(f, g)
+	case graphio.FormatJSON:
+		err = graphio.WriteJSON(f, g)
+	case graphio.FormatFCSR:
+		var embed *graph.GroupLabels
+		if embedGroups {
+			embed = gl
+		}
+		err = graphio.WriteFCSR(f, g, embed)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
 }

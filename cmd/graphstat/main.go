@@ -7,6 +7,10 @@
 //
 //	graphstat graph.fgrb
 //	graphstat -full graph.fg
+//	graphstat -header graph.fcsr
+//
+// With -header on an .fcsr segment only the 256-byte header is read —
+// counts print without materializing the graph, however large it is.
 package main
 
 import (
@@ -20,12 +24,31 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "also compute assortativity and clustering (slower)")
+	header := flag.Bool("header", false, "print .fcsr header counts only, without loading the graph")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: graphstat [-full] <graph file>")
+		fmt.Fprintln(os.Stderr, "usage: graphstat [-full|-header] <graph file>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
+	if *header {
+		if graphio.FormatForPath(path) != graphio.FormatFCSR {
+			fmt.Fprintln(os.Stderr, "graphstat: -header requires an .fcsr segment")
+			os.Exit(2)
+		}
+		info, err := graphio.StatFCSR(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphstat: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("graph:          %s\n", filepath.Base(path))
+		fmt.Printf("vertices:       %d\n", info.NumVertices)
+		fmt.Printf("directed edges: %d\n", info.NumDirectedEdges)
+		fmt.Printf("sym edges:      %d\n", info.NumSymEdges)
+		fmt.Printf("groups:         %d\n", info.NumGroups)
+		fmt.Printf("file size:      %d bytes\n", info.FileSize)
+		return
+	}
 	g, err := graphio.LoadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "graphstat: %v\n", err)

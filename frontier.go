@@ -26,6 +26,7 @@ package frontier
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"frontier/internal/core"
@@ -391,11 +392,49 @@ func PlantGroups(r *Rand, g *Graph, numGroups, totalMemberships int, s float64) 
 
 // Graph I/O (internal/graphio).
 
-// SaveGraph writes g to path (binary for ".fgrb", text otherwise).
+// SaveGraph writes g to path, picking the format by extension: binary
+// for ".fgrb", a mappable CSR segment for ".fcsr", text otherwise.
 func SaveGraph(path string, g *Graph) error { return graphio.SaveFile(path, g) }
 
-// LoadGraph reads a graph from path.
+// LoadGraph reads a graph from path, picking the format by extension
+// as in SaveGraph (.fcsr segments are heap-parsed and fully validated;
+// OpenGraphSegment is the zero-copy alternative).
 func LoadGraph(path string) (*Graph, error) { return graphio.LoadFile(path) }
+
+// Binary CSR graph segments (.fcsr): checksummed, mappable files
+// holding a graph's CSR arrays (and optional group labels) verbatim,
+// so opening one is O(header + page-in) instead of O(parse).
+type (
+	// GraphSegment is an opened .fcsr segment: the graph (and labels,
+	// when embedded) reading directly from the memory-mapped file, plus
+	// the header metadata. Close unmaps; the graph must not be used
+	// after.
+	GraphSegment = graphio.FCSRFile
+	// GraphSegmentInfo is the .fcsr header metadata: sizes and layout
+	// facts readable without materializing the graph.
+	GraphSegmentInfo = graphio.FCSRInfo
+)
+
+// WriteGraphSegment writes g — and gl's labels, when non-nil — to w in
+// the .fcsr segment format.
+func WriteGraphSegment(w io.Writer, g *Graph, gl *GroupLabels) error {
+	return graphio.WriteFCSR(w, g, gl)
+}
+
+// ReadGraphSegment heap-parses an .fcsr segment, fully validating
+// checksums and adjacency structure: the reader for untrusted bytes.
+func ReadGraphSegment(r io.Reader) (*Graph, *GroupLabels, error) { return graphio.ReadFCSR(r) }
+
+// OpenGraphSegment memory-maps the .fcsr segment at path and returns
+// its graph zero-copy: the CSR arrays alias the mapping, so open cost
+// is O(offset-array validation) and resident memory is only the pages
+// the walk touches. Sampling over the mapped graph draws byte-identical
+// sequences to the same graph on the heap.
+func OpenGraphSegment(path string) (*GraphSegment, error) { return graphio.OpenFCSR(path) }
+
+// StatGraphSegment reads only the segment's header: sizes without
+// materialization, however large the file.
+func StatGraphSegment(path string) (GraphSegmentInfo, error) { return graphio.StatFCSR(path) }
 
 // Networked crawling (internal/netgraph).
 type (

@@ -18,15 +18,27 @@ import (
 // SymNeighbors-style adjacency access. The batched loops below remove
 // all of it: observations accumulate into fixed-size slabs recycled
 // through a sync.Pool (one Get per run, zero steady-state
-// allocations), adjacency is read index-based through
-// crawl.IndexedSource (one offset-array read per step, no fabricated
-// slice headers), budget is charged through Session.ChargeStep (no
-// per-step context check) and cancellation is observed once per slab.
+// allocations), adjacency is read index-based (one offset-array read
+// per step, no fabricated slice headers), budget is charged through
+// Session.ChargeStep (no per-step context check) and cancellation is
+// observed once per slab.
 //
-// Determinism is the contract that makes the two surfaces
-// interchangeable: a batched run draws the session RNG in exactly the
-// per-step order of its unbatched twin and charges the same budget in
-// the same float-addition order, so concatenating its slabs yields the
+// Each loop body is written once as a generic function over the
+// unexported adjacency constraint and instantiated twice: csrAdj
+// indexes the source's raw symmetric CSR arrays directly (the
+// Session.SymCSR fast path — two bounds-checked slice reads per
+// adjacency access, no interface dispatch, fully inlinable), and
+// ifaceAdj dispatches through crawl.IndexedSource for indexed sources
+// that do not expose their arrays. Both are value structs, so Go's
+// GC-shape stenciling gives each its own instantiation with direct
+// calls — the compiler devirtualizes the csrAdj loops completely.
+// The two instantiations read identical values in identical order, so
+// which one runs never changes a sampled sequence.
+//
+// Determinism is the contract that makes the surfaces interchangeable:
+// a batched run draws the session RNG in exactly the per-step order of
+// its unbatched twin and charges the same budget in the same
+// float-addition order, so concatenating its slabs yields the
 // byte-identical observation sequence, and Snapshot/Restore stays
 // step-consistent at slab boundaries (state inside the emit callback
 // is exactly "after the slab's last observation"). Samplers whose loop
@@ -65,6 +77,38 @@ func flushSlab(emit BatchObsFunc, slab []Observation) {
 		emit(slab)
 	}
 }
+
+// adjacency abstracts one symmetric-CSR adjacency read for the generic
+// batched loops: symRange is IndexedSource.SymRange, symNeighborAt is
+// IndexedSource.SymNeighborAt. Implementations are value structs so
+// each gets a devirtualized instantiation (see the file comment).
+type adjacency interface {
+	symRange(v int) (lo, hi int64)
+	symNeighborAt(i int64) int
+}
+
+// csrAdj reads adjacency straight from the raw symmetric CSR arrays —
+// the devirtualized fast path for in-memory and mmap-backed graphs.
+type csrAdj struct {
+	off []int64
+	to  []int32
+}
+
+// symRange implements adjacency by indexing the offset array.
+func (a csrAdj) symRange(v int) (lo, hi int64) { return a.off[v], a.off[v+1] }
+
+// symNeighborAt implements adjacency by indexing the target array.
+func (a csrAdj) symNeighborAt(i int64) int { return int(a.to[i]) }
+
+// ifaceAdj reads adjacency through the IndexedSource interface — the
+// fallback for indexed sources that do not expose raw CSR arrays.
+type ifaceAdj struct{ idx crawl.IndexedSource }
+
+// symRange implements adjacency by delegating to the source.
+func (a ifaceAdj) symRange(v int) (lo, hi int64) { return a.idx.SymRange(v) }
+
+// symNeighborAt implements adjacency by delegating to the source.
+func (a ifaceAdj) symNeighborAt(i int64) int { return a.idx.SymNeighborAt(i) }
 
 // batchFromObs adapts a single-observation run to the batched surface:
 // observations accumulate into a pooled slab delivered on fill and
@@ -114,16 +158,24 @@ func (f *FrontierSampler) runBatch(sess *crawl.Session, emit BatchObsFunc) error
 	if err != nil {
 		return err
 	}
-	if f.ResolvedSelection() == SelectLinear {
-		return f.runBatchLinear(sess, idx, walkers, weights, emit)
+	linear := f.ResolvedSelection() == SelectLinear
+	if off, to, ok := sess.SymCSR(); ok {
+		if linear {
+			return fsRunBatchLinear(f, sess, csrAdj{off, to}, walkers, weights, emit)
+		}
+		return fsRunBatchFenwick(f, sess, csrAdj{off, to}, walkers, weights, emit)
 	}
-	return f.runBatchFenwick(sess, idx, walkers, weights, emit)
+	if linear {
+		return fsRunBatchLinear(f, sess, ifaceAdj{idx}, walkers, weights, emit)
+	}
+	return fsRunBatchFenwick(f, sess, ifaceAdj{idx}, walkers, weights, emit)
 }
 
-// runBatchFenwick is the slab-based twin of the Fenwick branch of run:
-// identical RNG draw order (walker selection, then neighbor index) and
-// budget accounting, with adjacency read through idx.
-func (f *FrontierSampler) runBatchFenwick(sess *crawl.Session, idx crawl.IndexedSource, walkers []int, weights []float64, emit BatchObsFunc) error {
+// fsRunBatchFenwick is the slab-based twin of the Fenwick branch of
+// FrontierSampler.run: identical RNG draw order (walker selection,
+// then neighbor index) and budget accounting, with adjacency read
+// through adj.
+func fsRunBatchFenwick[A adjacency](f *FrontierSampler, sess *crawl.Session, adj A, walkers []int, weights []float64, emit BatchObsFunc) error {
 	fen := xrand.NewFenwick(weights)
 	rng := sess.RNG()
 	sp := getSlab()
@@ -147,16 +199,16 @@ func (f *FrontierSampler) runBatchFenwick(sess *crawl.Session, idx crawl.Indexed
 				}
 				return err
 			}
-			lo, hi := idx.SymRange(u)
+			lo, hi := adj.symRange(u)
 			d := int(hi - lo)
 			if d == 0 {
 				flushSlab(emit, slab)
 				return crawl.ErrNoNeighbors
 			}
 			sess.CountStep()
-			v := idx.SymNeighborAt(lo + int64(rng.Intn(d)))
+			v := adj.symNeighborAt(lo + int64(rng.Intn(d)))
 			walkers[i] = v
-			vlo, vhi := idx.SymRange(v)
+			vlo, vhi := adj.symRange(v)
 			dv := float64(vhi - vlo)
 			fen.Update(i, dv)
 			f.lastWalker = i
@@ -174,9 +226,9 @@ func (f *FrontierSampler) runBatchFenwick(sess *crawl.Session, idx crawl.Indexed
 	return nil
 }
 
-// runBatchLinear is the slab-based twin of runLinear, for frontiers at
-// or below the linear/Fenwick crossover.
-func (f *FrontierSampler) runBatchLinear(sess *crawl.Session, idx crawl.IndexedSource, walkers []int, weights []float64, emit BatchObsFunc) error {
+// fsRunBatchLinear is the slab-based twin of runLinear, for frontiers
+// at or below the linear/Fenwick crossover.
+func fsRunBatchLinear[A adjacency](f *FrontierSampler, sess *crawl.Session, adj A, walkers []int, weights []float64, emit BatchObsFunc) error {
 	rng := sess.RNG()
 	var total float64
 	for _, w := range weights {
@@ -210,16 +262,16 @@ func (f *FrontierSampler) runBatchLinear(sess *crawl.Session, idx crawl.IndexedS
 				}
 				return err
 			}
-			lo, hi := idx.SymRange(u)
+			lo, hi := adj.symRange(u)
 			d := int(hi - lo)
 			if d == 0 {
 				flushSlab(emit, slab)
 				return crawl.ErrNoNeighbors
 			}
 			sess.CountStep()
-			v := idx.SymNeighborAt(lo + int64(rng.Intn(d)))
+			v := adj.symNeighborAt(lo + int64(rng.Intn(d)))
 			walkers[i] = v
-			vlo, vhi := idx.SymRange(v)
+			vlo, vhi := adj.symRange(v)
 			nw := float64(vhi - vlo)
 			total += nw - weights[i]
 			weights[i] = nw
@@ -253,10 +305,6 @@ func (s *SingleRW) ResumeObsBatch(sess *crawl.Session, emit BatchObsFunc) error 
 	return s.runBatch(sess, emit)
 }
 
-// runBatch is the slab-based twin of run: the walker's current
-// adjacency range is carried across steps, so each step reads the
-// offset array once (for the landing vertex, whose degree the emitted
-// weight needs anyway).
 func (s *SingleRW) runBatch(sess *crawl.Session, emit BatchObsFunc) error {
 	idx := sess.Indexed()
 	if idx == nil {
@@ -265,9 +313,20 @@ func (s *SingleRW) runBatch(sess *crawl.Session, emit BatchObsFunc) error {
 	if err := s.ensureSeeded(sess); err != nil {
 		return err
 	}
+	if off, to, ok := sess.SymCSR(); ok {
+		return singleRunBatch(s, sess, csrAdj{off, to}, emit)
+	}
+	return singleRunBatch(s, sess, ifaceAdj{idx}, emit)
+}
+
+// singleRunBatch is the slab-based twin of SingleRW.run: the walker's
+// current adjacency range is carried across steps, so each step reads
+// the offset array once (for the landing vertex, whose degree the
+// emitted weight needs anyway).
+func singleRunBatch[A adjacency](s *SingleRW, sess *crawl.Session, adj A, emit BatchObsFunc) error {
 	rng := sess.RNG()
 	u := s.st.U
-	lo, hi := idx.SymRange(u)
+	lo, hi := adj.symRange(u)
 	sp := getSlab()
 	defer putSlab(sp)
 	slab := (*sp)[:0]
@@ -289,9 +348,9 @@ func (s *SingleRW) runBatch(sess *crawl.Session, emit BatchObsFunc) error {
 				return crawl.ErrNoNeighbors
 			}
 			sess.CountStep()
-			v := idx.SymNeighborAt(lo + int64(rng.Intn(d)))
+			v := adj.symNeighborAt(lo + int64(rng.Intn(d)))
 			s.st.U = v
-			lo, hi = idx.SymRange(v)
+			lo, hi = adj.symRange(v)
 			dv := float64(hi - lo)
 			var wt float64
 			if dv > 0 {
@@ -323,11 +382,6 @@ func (m *MultipleRW) ResumeObsBatch(sess *crawl.Session, emit BatchObsFunc) erro
 	return m.runBatch(sess, emit)
 }
 
-// runBatch is the slab-based twin of run. MultipleRW advances its
-// walkers one after another (each spending its fixed share), so there
-// is no per-step walker selection to adapt — the current walker's
-// adjacency range carries across steps exactly as SingleRW's does, and
-// slabs span walker hand-offs transparently.
 func (m *MultipleRW) runBatch(sess *crawl.Session, emit BatchObsFunc) error {
 	idx := sess.Indexed()
 	if idx == nil {
@@ -336,6 +390,18 @@ func (m *MultipleRW) runBatch(sess *crawl.Session, emit BatchObsFunc) error {
 	if err := m.prepare(sess); err != nil {
 		return err
 	}
+	if off, to, ok := sess.SymCSR(); ok {
+		return multipleRunBatch(m, sess, csrAdj{off, to}, emit)
+	}
+	return multipleRunBatch(m, sess, ifaceAdj{idx}, emit)
+}
+
+// multipleRunBatch is the slab-based twin of MultipleRW.run. MultipleRW
+// advances its walkers one after another (each spending its fixed
+// share), so there is no per-step walker selection to adapt — the
+// current walker's adjacency range carries across steps exactly as
+// SingleRW's does, and slabs span walker hand-offs transparently.
+func multipleRunBatch[A adjacency](m *MultipleRW, sess *crawl.Session, adj A, emit BatchObsFunc) error {
 	st := m.st
 	rng := sess.RNG()
 	sp := getSlab()
@@ -346,7 +412,7 @@ func (m *MultipleRW) runBatch(sess *crawl.Session, emit BatchObsFunc) error {
 	}
 	for ; st.Cur < len(st.Walkers); st.Cur++ {
 		u := st.Walkers[st.Cur]
-		lo, hi := idx.SymRange(u)
+		lo, hi := adj.symRange(u)
 		for st.Done < st.Share {
 			if len(slab) == cap(slab) {
 				emit(slab)
@@ -368,10 +434,10 @@ func (m *MultipleRW) runBatch(sess *crawl.Session, emit BatchObsFunc) error {
 				return crawl.ErrNoNeighbors
 			}
 			sess.CountStep()
-			v := idx.SymNeighborAt(lo + int64(rng.Intn(d)))
+			v := adj.symNeighborAt(lo + int64(rng.Intn(d)))
 			st.Walkers[st.Cur] = v
 			st.Done++
-			lo, hi = idx.SymRange(v)
+			lo, hi = adj.symRange(v)
 			dv := float64(hi - lo)
 			var wt float64
 			if dv > 0 {
@@ -401,10 +467,6 @@ func (m *MetropolisRW) ResumeObsBatch(sess *crawl.Session, emit BatchObsFunc) er
 	return m.runBatch(sess, emit)
 }
 
-// runBatch is the slab-based twin of run. The walker's current degree
-// is carried across steps (an accepted move inherits the proposal's
-// already-read range; a rejected one keeps the old), so each step
-// reads the offset array once, for the proposal.
 func (m *MetropolisRW) runBatch(sess *crawl.Session, emit BatchObsFunc) error {
 	idx := sess.Indexed()
 	if idx == nil {
@@ -413,9 +475,20 @@ func (m *MetropolisRW) runBatch(sess *crawl.Session, emit BatchObsFunc) error {
 	if err := m.ensureSeeded(sess); err != nil {
 		return err
 	}
+	if off, to, ok := sess.SymCSR(); ok {
+		return metropolisRunBatch(m, sess, csrAdj{off, to}, emit)
+	}
+	return metropolisRunBatch(m, sess, ifaceAdj{idx}, emit)
+}
+
+// metropolisRunBatch is the slab-based twin of MetropolisRW.run. The
+// walker's current degree is carried across steps (an accepted move
+// inherits the proposal's already-read range; a rejected one keeps the
+// old), so each step reads the offset array once, for the proposal.
+func metropolisRunBatch[A adjacency](m *MetropolisRW, sess *crawl.Session, adj A, emit BatchObsFunc) error {
 	rng := sess.RNG()
 	v := m.st.V
-	lo, hi := idx.SymRange(v)
+	lo, hi := adj.symRange(v)
 	dv := int(hi - lo)
 	sp := getSlab()
 	defer putSlab(sp)
@@ -437,8 +510,8 @@ func (m *MetropolisRW) runBatch(sess *crawl.Session, emit BatchObsFunc) error {
 				return crawl.ErrNoNeighbors
 			}
 			sess.CountStep()
-			w := idx.SymNeighborAt(lo + int64(rng.Intn(dv)))
-			wlo, whi := idx.SymRange(w)
+			w := adj.symNeighborAt(lo + int64(rng.Intn(dv)))
+			wlo, whi := adj.symRange(w)
 			dw := int(whi - wlo)
 			if dw <= dv || rng.Float64() < float64(dv)/float64(dw) {
 				v, lo, dv = w, wlo, dw
@@ -469,10 +542,6 @@ func (s *JumpRW) ResumeObsBatch(sess *crawl.Session, emit BatchObsFunc) error {
 	return s.runBatch(sess, emit)
 }
 
-// runBatch is the slab-based twin of run. Walk steps go through the
-// indexed fast path; restarts keep the session's RandomVertex query
-// (its cost, hit-ratio and RNG accounting are the method's defining
-// trade-off, identical on both surfaces).
 func (s *JumpRW) runBatch(sess *crawl.Session, emit BatchObsFunc) error {
 	idx := sess.Indexed()
 	if idx == nil {
@@ -482,9 +551,20 @@ func (s *JumpRW) runBatch(sess *crawl.Session, emit BatchObsFunc) error {
 	if err != nil {
 		return err
 	}
+	if off, to, ok := sess.SymCSR(); ok {
+		return jumpRunBatch(s, sess, csrAdj{off, to}, w, emit)
+	}
+	return jumpRunBatch(s, sess, ifaceAdj{idx}, w, emit)
+}
+
+// jumpRunBatch is the slab-based twin of JumpRW.run. Walk steps go
+// through the indexed fast path; restarts keep the session's
+// RandomVertex query (its cost, hit-ratio and RNG accounting are the
+// method's defining trade-off, identical on both surfaces).
+func jumpRunBatch[A adjacency](s *JumpRW, sess *crawl.Session, adj A, w float64, emit BatchObsFunc) error {
 	rng := sess.RNG()
 	u := s.st.V
-	lo, hi := idx.SymRange(u)
+	lo, hi := adj.symRange(u)
 	d := int(hi - lo)
 	sp := getSlab()
 	defer putSlab(sp)
@@ -526,9 +606,9 @@ func (s *JumpRW) runBatch(sess *crawl.Session, emit BatchObsFunc) error {
 					return err
 				}
 				sess.CountStep()
-				v = idx.SymNeighborAt(lo + int64(rng.Intn(d)))
+				v = adj.symNeighborAt(lo + int64(rng.Intn(d)))
 			}
-			vlo, vhi := idx.SymRange(v)
+			vlo, vhi := adj.symRange(v)
 			dv := int(vhi - vlo)
 			s.st.V = v
 			o := Observation{U: u, V: v, Weight: 1 / (float64(dv) + w), Edge: !jump}

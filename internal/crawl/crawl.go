@@ -78,12 +78,30 @@ type IndexedSource interface {
 	SymNeighborAt(i int64) int
 }
 
+// CSRSource is an optional extension for indexed sources whose
+// symmetric adjacency is physically the two raw CSR arrays: SymCSR
+// exposes the offset array (length NumVertices+1) and the target array
+// it indexes, aliasing the source's storage. Batched sampler loops use
+// it to devirtualize the hot path entirely — adjacency reads become
+// two slice indexings with no interface dispatch, which also works
+// unchanged over arrays memory-mapped from an .fcsr segment. The
+// arrays must satisfy the IndexedSource contract verbatim:
+// off[v],off[v+1] == SymRange(v) and int(to[i]) == SymNeighborAt(i),
+// so taking the CSR path never changes a sampled sequence.
+type CSRSource interface {
+	IndexedSource
+	// SymCSR returns the symmetric offset and target arrays. Both
+	// alias internal storage and must not be modified.
+	SymCSR() (off []int64, to []int32)
+}
+
 // Statically ensure the in-memory graph satisfies the interfaces.
 var (
 	_ Source        = (*graph.Graph)(nil)
 	_ EdgeSource    = (*graph.Graph)(nil)
 	_ BatchSource   = (*graph.Graph)(nil)
 	_ IndexedSource = (*graph.Graph)(nil)
+	_ CSRSource     = (*graph.Graph)(nil)
 )
 
 // CostModel prices each query type.
@@ -149,6 +167,8 @@ type Session struct {
 	ctx    context.Context
 	src    Source
 	idx    IndexedSource // src when it supports indexed access, else nil
+	symOff []int64       // raw symmetric CSR when src is a CSRSource, else nil
+	symTo  []int32
 	model  CostModel
 	budget float64
 	rng    *xrand.Rand
@@ -170,6 +190,9 @@ func NewSessionContext(ctx context.Context, src Source, budget float64, model Co
 	}
 	s := &Session{ctx: ctx, src: src, model: model, budget: budget, rng: rng}
 	s.idx, _ = src.(IndexedSource)
+	if cs, ok := src.(CSRSource); ok {
+		s.symOff, s.symTo = cs.SymCSR()
+	}
 	return s
 }
 
@@ -235,6 +258,16 @@ func (s *Session) Source() Source { return s.src }
 // randomness and charge the same budget, so the choice never changes a
 // sampled sequence.
 func (s *Session) Indexed() IndexedSource { return s.idx }
+
+// SymCSR returns the source's raw symmetric CSR arrays (resolved once
+// at session construction through CSRSource) and whether they are
+// available. When ok, batched loops index the arrays directly instead
+// of dispatching through IndexedSource — the devirtualized twin of the
+// same access path, reading identical values, so the sampled sequence
+// is unchanged.
+func (s *Session) SymCSR() (off []int64, to []int32, ok bool) {
+	return s.symOff, s.symTo, s.symOff != nil
+}
 
 // Model returns the session's cost model, so samplers can convert the
 // remaining budget into affordable query counts (e.g. MultipleRW's

@@ -392,3 +392,78 @@ func FromEdges(n int, edges []Edge) *Graph {
 	}
 	return b.Build()
 }
+
+// OutCSR returns the directed out-adjacency in raw CSR form: the
+// offset array (length NumVertices+1) and the target array it indexes.
+// Both alias internal storage and must not be modified; the .fcsr
+// segment writer serializes them verbatim.
+func (g *Graph) OutCSR() (off []int64, to []int32) { return g.outOff, g.outTo }
+
+// InCSR returns the directed in-adjacency (the reverse view) in raw
+// CSR form, under the same aliasing rules as OutCSR.
+func (g *Graph) InCSR() (off []int64, to []int32) { return g.inOff, g.inTo }
+
+// SymCSR returns the symmetric adjacency in raw CSR form, under the
+// same aliasing rules as OutCSR. Hot walk loops that have type-asserted
+// their source down to a CSR-backed graph use these arrays directly,
+// replacing per-step interface dispatch with two array indexings.
+func (g *Graph) SymCSR() (off []int64, to []int32) { return g.symOff, g.symTo }
+
+// validateCSROff checks the structural invariants of one CSR view's
+// offset array: length n+1, starts at 0, non-decreasing, and ends
+// exactly at the target array's length. It deliberately does not read
+// the target array, so validating a memory-mapped graph touches only
+// the (small) offset pages, never the edge pages.
+func validateCSROff(view string, n int, off []int64, lenTo int) error {
+	if len(off) != n+1 {
+		return fmt.Errorf("graph: %s offsets have length %d, want %d", view, len(off), n+1)
+	}
+	if off[0] != 0 {
+		return fmt.Errorf("graph: %s offsets start at %d, want 0", view, off[0])
+	}
+	for v := 0; v < n; v++ {
+		if off[v+1] < off[v] {
+			return fmt.Errorf("graph: %s offsets decrease at vertex %d", view, v)
+		}
+	}
+	if off[n] != int64(lenTo) {
+		return fmt.Errorf("graph: %s offsets end at %d, want %d", view, off[n], lenTo)
+	}
+	return nil
+}
+
+// NewFromCSR constructs a Graph directly over caller-owned CSR arrays —
+// the zero-copy constructor memory-mapped .fcsr segments load through.
+// The three views are, in order: the directed out-adjacency (Gd), the
+// directed in-adjacency (its reverse), and the symmetric union the
+// walks use. The offset arrays are validated structurally (length n+1,
+// monotone, consistent with their target arrays, |outTo| == |inTo|),
+// but the target arrays are trusted: entries must be in [0,n) and each
+// run sorted ascending, exactly as Builder.Build produces and the
+// .fcsr readers verify (by full validation on the heap path, by
+// checksums on the mapped path). The graph aliases the given slices
+// and never mutates them; they must stay valid and unchanged for the
+// graph's lifetime — for a mapped segment, until the mapping closes.
+func NewFromCSR(n int, outOff []int64, outTo []int32, inOff []int64, inTo []int32, symOff []int64, symTo []int32) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	if len(outTo) != len(inTo) {
+		return nil, fmt.Errorf("graph: out/in target arrays disagree (%d vs %d edges)", len(outTo), len(inTo))
+	}
+	if err := validateCSROff("out", n, outOff, len(outTo)); err != nil {
+		return nil, err
+	}
+	if err := validateCSROff("in", n, inOff, len(inTo)); err != nil {
+		return nil, err
+	}
+	if err := validateCSROff("sym", n, symOff, len(symTo)); err != nil {
+		return nil, err
+	}
+	return &Graph{
+		n:      n,
+		outOff: outOff, outTo: outTo,
+		inOff: inOff, inTo: inTo,
+		symOff: symOff, symTo: symTo,
+	}, nil
+}

@@ -1,6 +1,9 @@
 package graph
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // GroupLabels assigns each vertex a (possibly empty) set of group labels,
 // modelling the special-interest groups of Section 6.5 ("in the Flickr
@@ -46,6 +49,72 @@ func NewGroupLabels(numGroups int, membership [][]int32) *GroupLabels {
 		gl.off[v+1] = int64(len(gl.to))
 	}
 	return gl
+}
+
+// CSR returns the membership in raw CSR form: the per-vertex offset
+// array (length NumVertices+1) and the sorted group-id array it
+// indexes. Both alias internal storage and must not be modified; the
+// .fcsr segment writer serializes them verbatim.
+func (gl *GroupLabels) CSR() (off []int64, to []int32) { return gl.off, gl.to }
+
+// NewGroupLabelsFromCSR constructs labels directly over caller-owned
+// CSR arrays (as read back from an .fcsr segment): off has one entry
+// per vertex plus one, and to holds each vertex's sorted group ids.
+// The arrays are validated — monotone offsets, ids in [0, numGroups),
+// runs sorted and duplicate-free — and aliased, not copied; they must
+// stay valid and unchanged for the labels' lifetime. Group sizes are
+// recomputed in one pass (labels are a small side table next to the
+// edge arrays, so this does not disturb the segment's O(page-in) load
+// cost in any meaningful way).
+func NewGroupLabelsFromCSR(numGroups int, off []int64, to []int32) (*GroupLabels, error) {
+	if numGroups < 0 {
+		return nil, fmt.Errorf("graph: negative group count %d", numGroups)
+	}
+	if len(off) < 1 || off[0] != 0 || off[len(off)-1] != int64(len(to)) {
+		return nil, fmt.Errorf("graph: group offsets malformed (len %d, first %v, last %v, want 0..%d)",
+			len(off), first(off), last(off), len(to))
+	}
+	gl := &GroupLabels{
+		numGroups: numGroups,
+		off:       off,
+		to:        to,
+		sizes:     make([]int, numGroups),
+	}
+	for v := 0; v+1 < len(off); v++ {
+		if off[v+1] < off[v] {
+			return nil, fmt.Errorf("graph: group offsets decrease at vertex %d", v)
+		}
+		prev := int32(-1)
+		for _, id := range to[off[v]:off[v+1]] {
+			if id < 0 || int(id) >= numGroups {
+				return nil, fmt.Errorf("graph: group id %d out of range [0,%d)", id, numGroups)
+			}
+			if id <= prev {
+				return nil, fmt.Errorf("graph: group ids of vertex %d not sorted/unique", v)
+			}
+			gl.sizes[id]++
+			prev = id
+		}
+	}
+	return gl, nil
+}
+
+// first returns the first element of s, or nil when empty (error
+// formatting helper).
+func first(s []int64) any {
+	if len(s) == 0 {
+		return nil
+	}
+	return s[0]
+}
+
+// last returns the last element of s, or nil when empty (error
+// formatting helper).
+func last(s []int64) any {
+	if len(s) == 0 {
+		return nil
+	}
+	return s[len(s)-1]
 }
 
 // NumGroups returns the number of distinct groups.

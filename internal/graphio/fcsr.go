@@ -1,0 +1,611 @@
+package graphio
+
+// This file implements the .fcsr CSR segment format: the zero-parse
+// on-disk twin of graph.Graph's in-memory layout, designed to be
+// memory-mapped (internal/mmapio) and served without materialization.
+//
+// Layout (all integers little-endian):
+//
+//	header — 256 bytes:
+//	  [0:4)     magic "FCSR"
+//	  [4:6)     version uint16 (currently 1)
+//	  [6:8)     flags uint16 (bit 0: group-label sections present)
+//	  [8:16)    numVertices uint64
+//	  [16:24)   numDirectedEdges uint64 (|Ed|; length of outTo and inTo)
+//	  [24:32)   numSymEdges uint64 (|E|; length of symTo)
+//	  [32:40)   numGroups uint64
+//	  [40:48)   numGroupEntries uint64 (total membership entries)
+//	  [48:56)   fileSize uint64 (whole segment; truncation check)
+//	  [56:248)  section table: 8 records × 24 bytes each —
+//	            byte offset uint64, byte length uint64,
+//	            CRC-32C uint32, reserved uint32
+//	  [248:252) reserved (zero)
+//	  [252:256) CRC-32C of header bytes [0:252)
+//
+//	sections — each 64-byte aligned, in table order:
+//	  outOff  (numVertices+1 × int64)   directed out-adjacency offsets
+//	  outTo   (numDirectedEdges × int32) directed out-adjacency targets
+//	  inOff   (numVertices+1 × int64)   reverse (in-adjacency) offsets
+//	  inTo    (numDirectedEdges × int32) reverse targets
+//	  symOff  (numVertices+1 × int64)   symmetric-view offsets
+//	  symTo   (numSymEdges × int32)     symmetric-view targets
+//	  groupOff (numVertices+1 × int64)  per-vertex group offsets (flag bit 0)
+//	  groupTo  (numGroupEntries × int32) sorted group ids (flag bit 0)
+//
+// The sections are exactly the arrays graph.Graph holds, so a mapped
+// segment is served by pointing the graph's slices at the file
+// (graph.NewFromCSR): opening costs a header parse plus an O(|V|)
+// offset-array validation, and edge pages fault in only as walks touch
+// them. The heap reader (ReadFCSR) additionally validates every target
+// — it is the path untrusted bytes (HTTP uploads, fuzzing) go through —
+// while the mapped path trusts the per-section checksums, verified on
+// demand via FCSRFile.Verify.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"frontier/internal/graph"
+	"frontier/internal/mmapio"
+)
+
+// ErrChecksum is returned (wrapped, alongside ErrBadFormat) when a
+// .fcsr section or header fails its CRC-32C check.
+var ErrChecksum = errors.New("graphio: checksum mismatch")
+
+// FormatFCSR is the memory-mappable CSR segment format (".fcsr").
+const FormatFCSR = "fcsr"
+
+const (
+	fcsrHeaderSize   = 256
+	fcsrSectionAlign = 64
+	fcsrVersion      = 1
+	fcsrNumSections  = 8
+	fcsrFlagGroups   = 1 << 0
+
+	// Plausibility caps, matching ReadBinary's: a header claiming more
+	// is rejected before any allocation is attempted.
+	fcsrMaxVertices = 1 << 31
+	fcsrMaxEdges    = 1 << 40
+)
+
+var fcsrMagic = [4]byte{'F', 'C', 'S', 'R'}
+
+// crcTable is the Castagnoli polynomial table; CRC-32C is
+// hardware-accelerated on the platforms graphd targets.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Section indices within the .fcsr section table, in file order.
+const (
+	secOutOff = iota
+	secOutTo
+	secInOff
+	secInTo
+	secSymOff
+	secSymTo
+	secGroupOff
+	secGroupTo
+)
+
+// fcsrSection is one parsed section-table record.
+type fcsrSection struct {
+	off uint64 // byte offset from the start of the file
+	len uint64 // byte length (excludes alignment padding)
+	crc uint32 // CRC-32C of the section bytes
+}
+
+// fcsrHeader is the parsed 256-byte segment header.
+type fcsrHeader struct {
+	flags       uint16
+	numVertices uint64
+	numDirEdges uint64
+	numSymEdges uint64
+	numGroups   uint64
+	numGroupEnt uint64
+	fileSize    uint64
+	sections    [fcsrNumSections]fcsrSection
+}
+
+// hasGroups reports whether the segment carries group-label sections.
+func (h *fcsrHeader) hasGroups() bool { return h.flags&fcsrFlagGroups != 0 }
+
+// sectionLens returns the byte length every section must have given
+// the header counts (0 for absent group sections).
+func (h *fcsrHeader) sectionLens() [fcsrNumSections]uint64 {
+	offLen := 8 * (h.numVertices + 1)
+	lens := [fcsrNumSections]uint64{
+		secOutOff: offLen,
+		secOutTo:  4 * h.numDirEdges,
+		secInOff:  offLen,
+		secInTo:   4 * h.numDirEdges,
+		secSymOff: offLen,
+		secSymTo:  4 * h.numSymEdges,
+	}
+	if h.hasGroups() {
+		lens[secGroupOff] = offLen
+		lens[secGroupTo] = 4 * h.numGroupEnt
+	}
+	return lens
+}
+
+// alignUp rounds n up to the next multiple of fcsrSectionAlign.
+func alignUp(n uint64) uint64 {
+	return (n + fcsrSectionAlign - 1) &^ (fcsrSectionAlign - 1)
+}
+
+// WriteFCSR writes g (and gl, when non-nil) as a .fcsr segment:
+// graph.Graph's exact CSR arrays, little-endian, checksummed per
+// section and 64-byte aligned so a reader can memory-map them in
+// place. Unlike the other formats, .fcsr embeds group labels in the
+// same file — one segment is one hosted graph.
+func WriteFCSR(w io.Writer, g *graph.Graph, gl *graph.GroupLabels) error {
+	if gl != nil && gl.NumVertices() != g.NumVertices() {
+		return fmt.Errorf("graphio: group labels cover %d vertices, graph has %d",
+			gl.NumVertices(), g.NumVertices())
+	}
+	outOff, outTo := g.OutCSR()
+	inOff, inTo := g.InCSR()
+	symOff, symTo := g.SymCSR()
+
+	var h fcsrHeader
+	h.numVertices = uint64(g.NumVertices())
+	h.numDirEdges = uint64(len(outTo))
+	h.numSymEdges = uint64(len(symTo))
+
+	// Section byte images, in table order. mmapio gives the
+	// little-endian view zero-copy on LE hosts.
+	images := [fcsrNumSections][]byte{
+		secOutOff: mmapio.Int64Bytes(outOff),
+		secOutTo:  mmapio.Int32Bytes(outTo),
+		secInOff:  mmapio.Int64Bytes(inOff),
+		secInTo:   mmapio.Int32Bytes(inTo),
+		secSymOff: mmapio.Int64Bytes(symOff),
+		secSymTo:  mmapio.Int32Bytes(symTo),
+	}
+	if gl != nil {
+		goff, gto := gl.CSR()
+		h.flags |= fcsrFlagGroups
+		h.numGroups = uint64(gl.NumGroups())
+		h.numGroupEnt = uint64(len(gto))
+		images[secGroupOff] = mmapio.Int64Bytes(goff)
+		images[secGroupTo] = mmapio.Int32Bytes(gto)
+	}
+
+	// Lay sections out back to back, 64-byte aligned, and checksum.
+	cursor := uint64(fcsrHeaderSize)
+	for i, img := range images {
+		cursor = alignUp(cursor)
+		h.sections[i] = fcsrSection{
+			off: cursor,
+			len: uint64(len(img)),
+			crc: crc32.Checksum(img, crcTable),
+		}
+		cursor += uint64(len(img))
+	}
+	h.fileSize = cursor
+
+	hdr := encodeFCSRHeader(&h)
+	bw := newCountingWriter(w)
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	for i, img := range images {
+		if err := bw.padTo(h.sections[i].off); err != nil {
+			return err
+		}
+		if _, err := bw.Write(img); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// countingWriter tracks the bytes written so far, so the section
+// writer can emit exact alignment padding.
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+// newCountingWriter wraps w.
+func newCountingWriter(w io.Writer) *countingWriter { return &countingWriter{w: w} }
+
+// Write implements io.Writer.
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += uint64(n)
+	return n, err
+}
+
+var fcsrPadding [fcsrSectionAlign]byte
+
+// padTo writes zero bytes until the cursor reaches off.
+func (c *countingWriter) padTo(off uint64) error {
+	for c.n < off {
+		chunk := off - c.n
+		if chunk > fcsrSectionAlign {
+			chunk = fcsrSectionAlign
+		}
+		if _, err := c.Write(fcsrPadding[:chunk]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeFCSRHeader serializes h, computing the trailing header CRC.
+func encodeFCSRHeader(h *fcsrHeader) []byte {
+	buf := make([]byte, fcsrHeaderSize)
+	copy(buf[0:4], fcsrMagic[:])
+	binary.LittleEndian.PutUint16(buf[4:6], fcsrVersion)
+	binary.LittleEndian.PutUint16(buf[6:8], h.flags)
+	binary.LittleEndian.PutUint64(buf[8:16], h.numVertices)
+	binary.LittleEndian.PutUint64(buf[16:24], h.numDirEdges)
+	binary.LittleEndian.PutUint64(buf[24:32], h.numSymEdges)
+	binary.LittleEndian.PutUint64(buf[32:40], h.numGroups)
+	binary.LittleEndian.PutUint64(buf[40:48], h.numGroupEnt)
+	binary.LittleEndian.PutUint64(buf[48:56], h.fileSize)
+	for i, s := range h.sections {
+		rec := buf[56+24*i:]
+		binary.LittleEndian.PutUint64(rec[0:8], s.off)
+		binary.LittleEndian.PutUint64(rec[8:16], s.len)
+		binary.LittleEndian.PutUint32(rec[16:20], s.crc)
+	}
+	binary.LittleEndian.PutUint32(buf[252:256], crc32.Checksum(buf[:252], crcTable))
+	return buf
+}
+
+// parseFCSRHeader validates and decodes a 256-byte header: magic,
+// version, header checksum, plausibility caps, and the section table's
+// structural invariants (expected lengths from the counts, in-order
+// 64-byte-aligned offsets, fileSize agreement).
+func parseFCSRHeader(buf []byte) (*fcsrHeader, error) {
+	if len(buf) < fcsrHeaderSize {
+		return nil, fmt.Errorf("%w: fcsr header truncated (%d bytes)", ErrBadFormat, len(buf))
+	}
+	buf = buf[:fcsrHeaderSize]
+	if !bytes.Equal(buf[0:4], fcsrMagic[:]) {
+		return nil, fmt.Errorf("%w: bad fcsr magic", ErrBadFormat)
+	}
+	if v := binary.LittleEndian.Uint16(buf[4:6]); v != fcsrVersion {
+		return nil, fmt.Errorf("%w: unsupported fcsr version %d", ErrBadFormat, v)
+	}
+	if got, want := binary.LittleEndian.Uint32(buf[252:256]), crc32.Checksum(buf[:252], crcTable); got != want {
+		return nil, fmt.Errorf("%w: %w: header crc %08x, computed %08x", ErrBadFormat, ErrChecksum, got, want)
+	}
+	h := &fcsrHeader{
+		flags:       binary.LittleEndian.Uint16(buf[6:8]),
+		numVertices: binary.LittleEndian.Uint64(buf[8:16]),
+		numDirEdges: binary.LittleEndian.Uint64(buf[16:24]),
+		numSymEdges: binary.LittleEndian.Uint64(buf[24:32]),
+		numGroups:   binary.LittleEndian.Uint64(buf[32:40]),
+		numGroupEnt: binary.LittleEndian.Uint64(buf[40:48]),
+		fileSize:    binary.LittleEndian.Uint64(buf[48:56]),
+	}
+	if h.numVertices > fcsrMaxVertices || h.numDirEdges > fcsrMaxEdges ||
+		h.numSymEdges > fcsrMaxEdges || h.numGroupEnt > fcsrMaxEdges ||
+		h.numGroups > fcsrMaxVertices {
+		return nil, fmt.Errorf("%w: implausible fcsr sizes", ErrBadFormat)
+	}
+	for i := range h.sections {
+		rec := buf[56+24*i:]
+		h.sections[i] = fcsrSection{
+			off: binary.LittleEndian.Uint64(rec[0:8]),
+			len: binary.LittleEndian.Uint64(rec[8:16]),
+			crc: binary.LittleEndian.Uint32(rec[16:20]),
+		}
+	}
+	wantLens := h.sectionLens()
+	cursor := uint64(fcsrHeaderSize)
+	for i, s := range h.sections {
+		if s.len != wantLens[i] {
+			return nil, fmt.Errorf("%w: fcsr section %d length %d, want %d", ErrBadFormat, i, s.len, wantLens[i])
+		}
+		cursor = alignUp(cursor)
+		if s.off != cursor {
+			return nil, fmt.Errorf("%w: fcsr section %d at offset %d, want %d", ErrBadFormat, i, s.off, cursor)
+		}
+		cursor += s.len
+	}
+	if h.fileSize != cursor {
+		return nil, fmt.Errorf("%w: fcsr header claims %d bytes, layout needs %d", ErrBadFormat, h.fileSize, cursor)
+	}
+	return h, nil
+}
+
+// ReadFCSR parses a .fcsr segment from a stream into heap-backed graph
+// and label objects — the fully validating path HTTP uploads and other
+// untrusted bytes go through. Every section checksum is verified and
+// every adjacency target is checked in range with sorted runs, so a
+// graph this returns is as trustworthy as one built by graph.Builder.
+func ReadFCSR(r io.Reader) (*graph.Graph, *graph.GroupLabels, error) {
+	var hdr [fcsrHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("%w: fcsr header: %v", ErrBadFormat, err)
+	}
+	h, err := parseFCSRHeader(hdr[:])
+	if err != nil {
+		return nil, nil, err
+	}
+	// Read sections in file order; CopyN into a growing buffer keeps
+	// memory bounded by actual input even if a (checksummed, thus
+	// consistent) header were pathological.
+	cursor := uint64(fcsrHeaderSize)
+	var raw [fcsrNumSections][]byte
+	for i, s := range h.sections {
+		if pad := s.off - cursor; pad > 0 {
+			if _, err := io.CopyN(io.Discard, r, int64(pad)); err != nil {
+				return nil, nil, fmt.Errorf("%w: fcsr truncated before section %d: %v", ErrBadFormat, i, err)
+			}
+		}
+		var buf bytes.Buffer
+		if _, err := io.CopyN(&buf, r, int64(s.len)); err != nil {
+			return nil, nil, fmt.Errorf("%w: fcsr section %d truncated: %v", ErrBadFormat, i, err)
+		}
+		raw[i] = buf.Bytes()
+		if got := crc32.Checksum(raw[i], crcTable); got != s.crc {
+			return nil, nil, fmt.Errorf("%w: %w: fcsr section %d crc %08x, computed %08x",
+				ErrBadFormat, ErrChecksum, i, s.crc, got)
+		}
+		cursor = s.off + s.len
+	}
+	g, gl, err := assembleFCSR(h, raw, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, gl, nil
+}
+
+// sectionInt64s turns a section's bytes into []int64, zero-copy when
+// the platform allows.
+func sectionInt64s(b []byte) ([]int64, error) {
+	if s, ok := mmapio.ViewInt64s(b); ok {
+		return s, nil
+	}
+	return mmapio.DecodeInt64s(b)
+}
+
+// sectionInt32s turns a section's bytes into []int32, zero-copy when
+// the platform allows.
+func sectionInt32s(b []byte) ([]int32, error) {
+	if s, ok := mmapio.ViewInt32s(b); ok {
+		return s, nil
+	}
+	return mmapio.DecodeInt32s(b)
+}
+
+// assembleFCSR builds the graph (and labels) over a segment's section
+// regions. With validateTargets, every adjacency run is additionally
+// checked in range and sorted — the untrusted-input mode; the mapped
+// path skips it to keep open cost independent of edge count.
+func assembleFCSR(h *fcsrHeader, raw [fcsrNumSections][]byte, validateTargets bool) (*graph.Graph, *graph.GroupLabels, error) {
+	n := int(h.numVertices)
+	outOff, err := sectionInt64s(raw[secOutOff])
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	outTo, err := sectionInt32s(raw[secOutTo])
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	inOff, err := sectionInt64s(raw[secInOff])
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	inTo, err := sectionInt32s(raw[secInTo])
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	symOff, err := sectionInt64s(raw[secSymOff])
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	symTo, err := sectionInt32s(raw[secSymTo])
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	g, err := graph.NewFromCSR(n, outOff, outTo, inOff, inTo, symOff, symTo)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if validateTargets {
+		for _, view := range []struct {
+			name string
+			off  []int64
+			to   []int32
+		}{{"out", outOff, outTo}, {"in", inOff, inTo}, {"sym", symOff, symTo}} {
+			if err := validateRuns(view.name, n, view.off, view.to); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	var gl *graph.GroupLabels
+	if h.hasGroups() {
+		goff, err := sectionInt64s(raw[secGroupOff])
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		gto, err := sectionInt32s(raw[secGroupTo])
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		gl, err = graph.NewGroupLabelsFromCSR(int(h.numGroups), goff, gto)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+	}
+	return g, gl, nil
+}
+
+// validateRuns checks one CSR view's targets: every entry in [0,n) and
+// every per-vertex run strictly ascending (sorted, duplicate-free), as
+// graph.Builder emits.
+func validateRuns(name string, n int, off []int64, to []int32) error {
+	for v := 0; v < n; v++ {
+		prev := int32(-1)
+		for _, t := range to[off[v]:off[v+1]] {
+			if t < 0 || int(t) >= n {
+				return fmt.Errorf("%w: %s target %d out of range [0,%d)", ErrBadFormat, name, t, n)
+			}
+			if t <= prev {
+				return fmt.Errorf("%w: %s adjacency of vertex %d not sorted/unique", ErrBadFormat, name, v)
+			}
+			prev = t
+		}
+	}
+	return nil
+}
+
+// FCSRInfo summarizes a segment's header: everything a catalog listing
+// needs without touching a single edge page.
+type FCSRInfo struct {
+	// NumVertices is |V|.
+	NumVertices int
+	// NumDirectedEdges is |Ed|.
+	NumDirectedEdges int
+	// NumSymEdges is |E| (ordered symmetric pairs).
+	NumSymEdges int
+	// NumGroups is the number of group labels (0 when the segment has
+	// no label sections).
+	NumGroups int
+	// HasGroups reports whether label sections are present.
+	HasGroups bool
+	// FileSize is the segment's total size in bytes.
+	FileSize int64
+}
+
+// infoFromHeader converts a parsed header into the public summary.
+func infoFromHeader(h *fcsrHeader) FCSRInfo {
+	return FCSRInfo{
+		NumVertices:      int(h.numVertices),
+		NumDirectedEdges: int(h.numDirEdges),
+		NumSymEdges:      int(h.numSymEdges),
+		NumGroups:        int(h.numGroups),
+		HasGroups:        h.hasGroups(),
+		FileSize:         int64(h.fileSize),
+	}
+}
+
+// StatFCSR reads and validates only the 256-byte header of the segment
+// at path — the cost of registering a cold graph in a catalog. The
+// file's size is checked against the header's claim so truncation is
+// caught at registration, not first resolve.
+func StatFCSR(path string) (FCSRInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return FCSRInfo{}, err
+	}
+	defer f.Close()
+	var hdr [fcsrHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return FCSRInfo{}, fmt.Errorf("%w: fcsr header: %v", ErrBadFormat, err)
+	}
+	h, err := parseFCSRHeader(hdr[:])
+	if err != nil {
+		return FCSRInfo{}, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return FCSRInfo{}, err
+	}
+	if st.Size() != int64(h.fileSize) {
+		return FCSRInfo{}, fmt.Errorf("%w: fcsr file is %d bytes, header claims %d",
+			ErrBadFormat, st.Size(), h.fileSize)
+	}
+	return infoFromHeader(h), nil
+}
+
+// FCSRFile is an opened .fcsr segment: a graph (and optional labels)
+// whose CSR arrays alias the underlying file mapping. The graph is
+// valid until Close; Close while walks still hold the graph is a
+// use-after-free (the catalog's pin counts exist to prevent exactly
+// that).
+type FCSRFile struct {
+	// Graph is the segment's graph, backed by the mapping.
+	Graph *graph.Graph
+	// Groups is the segment's group labels, nil when absent.
+	Groups *graph.GroupLabels
+	// Info summarizes the header.
+	Info FCSRInfo
+
+	m   *mmapio.Mapping
+	hdr *fcsrHeader
+}
+
+// Mapped reports whether the segment is served zero-copy from a memory
+// mapping (false means the portability fallback read it into the
+// heap — same graph, no residency win).
+func (f *FCSRFile) Mapped() bool { return f.m.Mapped() }
+
+// Close releases the mapping. The Graph and Groups must not be used
+// afterwards.
+func (f *FCSRFile) Close() error { return f.m.Close() }
+
+// Verify recomputes every section checksum against the header — a full
+// sequential read of the segment. OpenFCSR skips it so that opening
+// stays O(page-in); callers that want storage-corruption detection up
+// front (or periodically) call it explicitly.
+func (f *FCSRFile) Verify() error {
+	data := f.m.Data()
+	for i, s := range f.hdr.sections {
+		b := data[s.off : s.off+s.len]
+		if got := crc32.Checksum(b, crcTable); got != s.crc {
+			return fmt.Errorf("%w: %w: fcsr section %d crc %08x, computed %08x",
+				ErrBadFormat, ErrChecksum, i, s.crc, got)
+		}
+	}
+	return nil
+}
+
+// OpenFCSR memory-maps the segment at path and serves its graph
+// zero-copy: the returned graph's CSR slices point straight into the
+// file, so open cost is the header parse plus an O(|V|) offset-array
+// validation — no edge page is touched until a walk reads it, and cold
+// segments cost ~0 resident memory. On platforms without mmap the
+// file is read into the heap instead (Mapped reports which).
+//
+// Trust model: the header and offset arrays are validated structurally
+// and the file size is checked, but adjacency targets are not range-
+// checked (that would fault in every page, defeating the point) —
+// segments are trusted local artifacts written by WriteFCSR, with
+// per-section checksums available via Verify for corruption detection.
+// Untrusted streams must go through ReadFCSR instead.
+func OpenFCSR(path string) (*FCSRFile, error) {
+	m, err := mmapio.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := openFCSRMapping(m)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// openFCSRMapping builds the FCSRFile over an open mapping.
+func openFCSRMapping(m *mmapio.Mapping) (*FCSRFile, error) {
+	data := m.Data()
+	h, err := parseFCSRHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(data)) != h.fileSize {
+		return nil, fmt.Errorf("%w: fcsr file is %d bytes, header claims %d",
+			ErrBadFormat, len(data), h.fileSize)
+	}
+	var raw [fcsrNumSections][]byte
+	for i, s := range h.sections {
+		raw[i] = data[s.off : s.off+s.len]
+	}
+	g, gl, err := assembleFCSR(h, raw, false)
+	if err != nil {
+		return nil, err
+	}
+	return &FCSRFile{Graph: g, Groups: gl, Info: infoFromHeader(h), m: m, hdr: h}, nil
+}

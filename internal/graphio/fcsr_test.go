@@ -1,0 +1,390 @@
+package graphio
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"frontier/internal/graph"
+	"frontier/internal/xrand"
+)
+
+// testGraph builds a small irregular graph with self-dedup cases.
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(7)
+	edges := [][2]int{{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {5, 1}, {0, 5}, {2, 5}, {6, 0}}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// testLabels builds group labels over n vertices.
+func testLabels(n int) *graph.GroupLabels {
+	membership := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		switch v % 3 {
+		case 0:
+			membership[v] = []int32{0}
+		case 1:
+			membership[v] = []int32{0, 2}
+		}
+	}
+	return graph.NewGroupLabels(3, membership)
+}
+
+// graphsEqual compares two graphs edge for edge across all views.
+func graphsEqual(t *testing.T, a, b *graph.Graph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() {
+		t.Fatalf("vertices: %d vs %d", a.NumVertices(), b.NumVertices())
+	}
+	if a.NumDirectedEdges() != b.NumDirectedEdges() {
+		t.Fatalf("directed edges: %d vs %d", a.NumDirectedEdges(), b.NumDirectedEdges())
+	}
+	if a.NumSymEdges() != b.NumSymEdges() {
+		t.Fatalf("sym edges: %d vs %d", a.NumSymEdges(), b.NumSymEdges())
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		for name, pair := range map[string][2][]int32{
+			"out": {a.OutNeighbors(v), b.OutNeighbors(v)},
+			"in":  {a.InNeighbors(v), b.InNeighbors(v)},
+			"sym": {a.SymNeighbors(v), b.SymNeighbors(v)},
+		} {
+			x, y := pair[0], pair[1]
+			if len(x) != len(y) {
+				t.Fatalf("%s adjacency of %d: %v vs %v", name, v, x, y)
+			}
+			for i := range x {
+				if x[i] != y[i] {
+					t.Fatalf("%s adjacency of %d: %v vs %v", name, v, x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestFCSRRoundTripFromEveryFormat(t *testing.T) {
+	orig := testGraph(t)
+	// Route the graph through each legacy format first, then fcsr,
+	// proving the conversion chain preserves the edge set exactly.
+	for _, format := range []string{FormatText, FormatBinary, FormatJSON} {
+		t.Run(format, func(t *testing.T) {
+			var legacy bytes.Buffer
+			var err error
+			switch format {
+			case FormatText:
+				err = WriteText(&legacy, orig)
+			case FormatBinary:
+				err = WriteBinary(&legacy, orig)
+			case FormatJSON:
+				err = WriteJSON(&legacy, orig)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := Read(&legacy, format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var seg bytes.Buffer
+			if err := WriteFCSR(&seg, g, nil); err != nil {
+				t.Fatal(err)
+			}
+			got, gl, err := ReadFCSR(bytes.NewReader(seg.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gl != nil {
+				t.Fatal("labels materialized from a label-free segment")
+			}
+			graphsEqual(t, orig, got)
+		})
+	}
+}
+
+func TestFCSRGroupsRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	gl := testLabels(g.NumVertices())
+	var seg bytes.Buffer
+	if err := WriteFCSR(&seg, g, gl); err != nil {
+		t.Fatal(err)
+	}
+	got, gotGL, err := ReadFCSR(bytes.NewReader(seg.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, got)
+	if gotGL == nil {
+		t.Fatal("labels lost")
+	}
+	if gotGL.NumGroups() != gl.NumGroups() {
+		t.Fatalf("NumGroups = %d, want %d", gotGL.NumGroups(), gl.NumGroups())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		a, b := gl.Groups(v), gotGL.Groups(v)
+		if len(a) != len(b) {
+			t.Fatalf("groups of %d: %v vs %v", v, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("groups of %d: %v vs %v", v, a, b)
+			}
+		}
+	}
+	for id := 0; id < gl.NumGroups(); id++ {
+		if gl.GroupSize(id) != gotGL.GroupSize(id) {
+			t.Fatalf("size of group %d: %d vs %d", id, gotGL.GroupSize(id), gl.GroupSize(id))
+		}
+	}
+}
+
+func TestFCSREmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	var seg bytes.Buffer
+	if err := WriteFCSR(&seg, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadFCSR(bytes.NewReader(seg.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != 0 || got.NumDirectedEdges() != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// segBytes writes the test graph (with labels) to a segment.
+func segBytes(t *testing.T) []byte {
+	t.Helper()
+	g := testGraph(t)
+	var seg bytes.Buffer
+	if err := WriteFCSR(&seg, g, testLabels(g.NumVertices())); err != nil {
+		t.Fatal(err)
+	}
+	return seg.Bytes()
+}
+
+func TestFCSRCorruptHeader(t *testing.T) {
+	seg := segBytes(t)
+	cases := map[string]func([]byte){
+		"bad magic":       func(b []byte) { b[0] = 'X' },
+		"bad version":     func(b []byte) { b[4] = 99 },
+		"flipped count":   func(b []byte) { b[9] ^= 0xff },   // numVertices
+		"flipped section": func(b []byte) { b[60] ^= 0x01 },  // section 0 offset
+		"flipped crc":     func(b []byte) { b[253] ^= 0x01 }, // header crc itself
+		"flipped flags":   func(b []byte) { b[6] ^= 0x01 },   // drop the groups flag
+		"flipped size":    func(b []byte) { b[49] ^= 0x01 },  // fileSize
+	}
+	for name, corrupt := range cases {
+		t.Run(name, func(t *testing.T) {
+			mut := bytes.Clone(seg)
+			corrupt(mut)
+			if _, _, err := ReadFCSR(bytes.NewReader(mut)); err == nil {
+				t.Fatal("corrupt header accepted")
+			} else if !errors.Is(err, ErrBadFormat) {
+				t.Fatalf("error %v does not wrap ErrBadFormat", err)
+			}
+		})
+	}
+}
+
+func TestFCSRWrongChecksum(t *testing.T) {
+	seg := segBytes(t)
+	// Flip a byte inside the first data section (header is intact, so
+	// only the section CRC can catch it).
+	mut := bytes.Clone(seg)
+	mut[fcsrHeaderSize] ^= 0x01
+	_, _, err := ReadFCSR(bytes.NewReader(mut))
+	if err == nil {
+		t.Fatal("corrupt section accepted")
+	}
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("error %v does not wrap ErrChecksum", err)
+	}
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("error %v does not wrap ErrBadFormat", err)
+	}
+}
+
+func TestFCSRTruncated(t *testing.T) {
+	seg := segBytes(t)
+	for _, cut := range []int{0, 3, fcsrHeaderSize - 1, fcsrHeaderSize + 10, len(seg) - 1} {
+		if _, _, err := ReadFCSR(bytes.NewReader(seg[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		} else if !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("truncation at %d: error %v does not wrap ErrBadFormat", cut, err)
+		}
+	}
+}
+
+func TestOpenFCSR(t *testing.T) {
+	g := testGraph(t)
+	gl := testLabels(g.NumVertices())
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.fcsr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFCSR(f, g, gl); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seg, err := OpenFCSR(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	graphsEqual(t, g, seg.Graph)
+	if seg.Groups == nil || seg.Groups.NumGroups() != gl.NumGroups() {
+		t.Fatal("groups not served from the mapped segment")
+	}
+	if err := seg.Verify(); err != nil {
+		t.Fatalf("Verify on a pristine segment: %v", err)
+	}
+	if seg.Info.NumVertices != g.NumVertices() || seg.Info.NumSymEdges != g.NumSymEdges() {
+		t.Fatalf("Info = %+v", seg.Info)
+	}
+}
+
+func TestOpenFCSRTruncatedAndCorrupt(t *testing.T) {
+	seg := segBytes(t)
+	dir := t.TempDir()
+
+	trunc := filepath.Join(dir, "trunc.fcsr")
+	if err := os.WriteFile(trunc, seg[:len(seg)-8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFCSR(trunc); err == nil {
+		t.Fatal("truncated segment opened")
+	}
+
+	// A flipped edge byte passes the open (open trusts target
+	// sections) but must fail Verify. Corrupt inside outTo — the
+	// offset arrays are validated even on open.
+	hdr, err := parseFCSRHeader(seg[:fcsrHeaderSize])
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := bytes.Clone(seg)
+	mut[hdr.sections[secOutTo].off] ^= 0x80
+	corrupt := filepath.Join(dir, "corrupt.fcsr")
+	if err := os.WriteFile(corrupt, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := OpenFCSR(corrupt)
+	if err != nil {
+		t.Fatalf("open with intact header/offsets should succeed, got %v", err)
+	}
+	defer sf.Close()
+	if err := sf.Verify(); err == nil {
+		t.Fatal("Verify accepted a corrupted section")
+	} else if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("Verify error %v does not wrap ErrChecksum", err)
+	}
+}
+
+func TestStatFCSR(t *testing.T) {
+	g := testGraph(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.fcsr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFCSR(f, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := StatFCSR(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NumVertices != g.NumVertices() || info.NumDirectedEdges != g.NumDirectedEdges() ||
+		info.NumSymEdges != g.NumSymEdges() || info.HasGroups || info.NumGroups != 0 {
+		t.Fatalf("info = %+v", info)
+	}
+	// Truncation caught at stat time via the fileSize claim.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := filepath.Join(dir, "short.fcsr")
+	if err := os.WriteFile(short, data[:len(data)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StatFCSR(short); err == nil {
+		t.Fatal("truncated segment statted clean")
+	}
+	if _, err := StatFCSR(filepath.Join(dir, "missing.fcsr")); err == nil {
+		t.Fatal("missing file statted clean")
+	}
+}
+
+func TestFCSRSaveLoadFileDispatch(t *testing.T) {
+	g := testGraph(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.fcsr")
+	if err := SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, got)
+	if f := FormatForPath(path); f != FormatFCSR {
+		t.Fatalf("FormatForPath = %q", f)
+	}
+	if !strings.HasSuffix(path, ".fcsr") {
+		t.Fatal("bad test path")
+	}
+}
+
+func TestFCSRReadDispatch(t *testing.T) {
+	g := testGraph(t)
+	var seg bytes.Buffer
+	if err := WriteFCSR(&seg, g, testLabels(g.NumVertices())); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(seg.Bytes()), FormatFCSR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, got)
+}
+
+// TestFCSRLargeGraph exercises section alignment and the zero-copy
+// views on a graph big enough to cross page boundaries.
+func TestFCSRLargeGraph(t *testing.T) {
+	r := xrand.New(42)
+	b := graph.NewBuilder(5000)
+	for i := 0; i < 20000; i++ {
+		b.AddEdge(r.Intn(5000), r.Intn(5000))
+	}
+	g := b.Build()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "big.fcsr")
+	if err := SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := OpenFCSR(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	graphsEqual(t, g, seg.Graph)
+	if err := seg.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

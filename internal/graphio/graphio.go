@@ -327,8 +327,11 @@ func ReadJSON(r io.Reader) (*graph.Graph, error) {
 }
 
 // Read parses a graph from r in the named format: FormatText,
-// FormatBinary or FormatJSON. It is the dispatch point HTTP uploads go
-// through, reusing the same readers as the file loaders.
+// FormatBinary, FormatJSON or FormatFCSR. It is the dispatch point
+// HTTP uploads go through, reusing the same readers as the file
+// loaders. For FormatFCSR the fully validating heap reader runs and
+// any embedded group labels are dropped; callers that want them (the
+// upload endpoint does) call ReadFCSR directly.
 func Read(r io.Reader, format string) (*graph.Graph, error) {
 	switch format {
 	case FormatText:
@@ -337,40 +340,62 @@ func Read(r io.Reader, format string) (*graph.Graph, error) {
 		return ReadBinary(r)
 	case FormatJSON:
 		return ReadJSON(r)
+	case FormatFCSR:
+		g, _, err := ReadFCSR(r)
+		return g, err
 	default:
-		return nil, fmt.Errorf("%w: unknown format %q (want %s, %s or %s)",
-			ErrBadFormat, format, FormatText, FormatBinary, FormatJSON)
+		return nil, fmt.Errorf("%w: unknown format %q (want %s, %s, %s or %s)",
+			ErrBadFormat, format, FormatText, FormatBinary, FormatJSON, FormatFCSR)
 	}
 }
 
-// SaveFile writes g to path, choosing the binary format for a ".fgrb"
-// extension and text otherwise.
+// FormatForPath returns the format the file extension implies: ".fgrb"
+// is binary, ".fcsr" the mappable CSR segment, anything else text.
+func FormatForPath(path string) string {
+	switch {
+	case strings.HasSuffix(path, ".fgrb"):
+		return FormatBinary
+	case strings.HasSuffix(path, ".fcsr"):
+		return FormatFCSR
+	default:
+		return FormatText
+	}
+}
+
+// SaveFile writes g to path, choosing the format by extension as in
+// FormatForPath (.fcsr segments written this way carry no group
+// labels; use WriteFCSR to embed them).
 func SaveFile(path string, g *graph.Graph) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if strings.HasSuffix(path, ".fgrb") {
+	switch FormatForPath(path) {
+	case FormatBinary:
 		if err := WriteBinary(f, g); err != nil {
 			return err
 		}
-	} else if err := WriteText(f, g); err != nil {
-		return err
+	case FormatFCSR:
+		if err := WriteFCSR(f, g, nil); err != nil {
+			return err
+		}
+	default:
+		if err := WriteText(f, g); err != nil {
+			return err
+		}
 	}
 	return f.Close()
 }
 
 // LoadFile reads a graph from path, choosing the format by extension as
-// in SaveFile.
+// in SaveFile. An .fcsr segment is heap-parsed (fully validated);
+// OpenFCSR is the zero-copy alternative.
 func LoadFile(path string) (*graph.Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	if strings.HasSuffix(path, ".fgrb") {
-		return ReadBinary(f)
-	}
-	return ReadText(f)
+	return Read(f, FormatForPath(path))
 }

@@ -1,0 +1,20 @@
+//go:build !unix
+
+package mmapio
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap reports that this platform has no mmap support wired up;
+// Open falls back to reading the file into the heap.
+var errNoMmap = errors.New("mmapio: mmap not supported on this platform")
+
+// mmapFile always fails on non-unix platforms, routing Open to the
+// heap fallback.
+func mmapFile(*os.File, int) ([]byte, error) { return nil, errNoMmap }
+
+// munmap is never reached on non-unix platforms (no mapping can
+// exist), but must compile.
+func munmap([]byte) error { return nil }

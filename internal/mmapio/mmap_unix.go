@@ -1,0 +1,18 @@
+//go:build unix
+
+package mmapio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only, shared with the page cache.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmap releases a mapping produced by mmapFile.
+func munmap(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,202 @@
+// Package mmapio memory-maps files for zero-copy reading and
+// reinterprets raw little-endian byte regions as typed slices.
+//
+// It exists for one workload: hosting .fcsr graph segments
+// (internal/graphio) without parsing them. A Mapping opens a file
+// read-only through the operating system's page cache — on unix via
+// mmap(2), elsewhere (or when mmap fails) by reading the file into the
+// heap — and the View helpers turn aligned regions of it into []int64
+// and []int32 headers pointing straight at the mapped pages. Opening a
+// mapped graph therefore costs no per-edge work: pages fault in lazily
+// as walks touch them, cold segments cost ~0 resident memory, and the
+// kernel reclaims clean pages under pressure.
+//
+// The typed views require a little-endian host and natural alignment
+// (the .fcsr writer 64-byte-aligns every section precisely so its
+// views qualify); ViewInt64s/ViewInt32s report ok=false otherwise and
+// callers fall back to a decoding copy.
+package mmapio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"unsafe"
+)
+
+// Mapping is a read-only byte view of an entire file, either
+// memory-mapped (zero-copy, page-cache backed) or — as a portability
+// fallback — read into the heap. Close releases the mapping; the Data
+// bytes and every typed view derived from them are invalid afterwards.
+type Mapping struct {
+	data   []byte
+	mapped bool
+}
+
+// Open maps the file at path read-only. On platforms with mmap support
+// the file's pages back the returned bytes directly (Mapped reports
+// true); when mapping is unavailable or fails, the file is read into
+// the heap instead, preserving Open's contract at the cost of
+// residency. Empty files yield an empty, unmapped Mapping.
+func Open(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmapio: %s: file too large to map (%d bytes)", path, size)
+	}
+	if data, err := mmapFile(f, int(size)); err == nil {
+		return &Mapping{data: data, mapped: true}, nil
+	}
+	// Fallback: a plain read preserves the zero-copy views' semantics
+	// (the heap buffer is 8-byte aligned) without the residency win.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data}, nil
+}
+
+// Data returns the file's bytes. The slice aliases the mapping and
+// must not be written to or retained past Close.
+func (m *Mapping) Data() []byte { return m.data }
+
+// Mapped reports whether the bytes are memory-mapped (true) or a heap
+// copy (false).
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// Len returns the file size in bytes.
+func (m *Mapping) Len() int { return len(m.data) }
+
+// Close unmaps (or releases) the file bytes. It is safe to call on a
+// nil Mapping and idempotent; all views into the mapping are invalid
+// after the first call.
+func (m *Mapping) Close() error {
+	if m == nil || m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	if m.mapped {
+		m.mapped = false
+		return munmap(data)
+	}
+	return nil
+}
+
+// hostLittleEndian is computed once: the zero-copy views reinterpret
+// little-endian file bytes in place, which is only correct when the
+// host agrees on byte order.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// HostLittleEndian reports whether the host stores integers
+// little-endian, i.e. whether the zero-copy views are available.
+func HostLittleEndian() bool { return hostLittleEndian }
+
+// aligned reports whether the first byte of b sits on an n-byte
+// boundary (vacuously true for empty slices).
+func aligned(b []byte, n uintptr) bool {
+	if len(b) == 0 {
+		return true
+	}
+	return uintptr(unsafe.Pointer(&b[0]))%n == 0
+}
+
+// ViewInt64s reinterprets b — little-endian int64 values — as an
+// []int64 without copying. ok is false when the view is unavailable
+// (big-endian host, misaligned base, or length not a multiple of 8);
+// callers must then decode with DecodeInt64s instead.
+func ViewInt64s(b []byte) (s []int64, ok bool) {
+	if !hostLittleEndian || len(b)%8 != 0 || !aligned(b, 8) {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return []int64{}, true
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8), true
+}
+
+// ViewInt32s reinterprets b — little-endian int32 values — as an
+// []int32 without copying, under the same conditions as ViewInt64s.
+func ViewInt32s(b []byte) (s []int32, ok bool) {
+	if !hostLittleEndian || len(b)%4 != 0 || !aligned(b, 4) {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return []int32{}, true
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4), true
+}
+
+// DecodeInt64s decodes b — little-endian int64 values — into a fresh
+// slice: the portable fallback for when ViewInt64s declines. The
+// length of b must be a multiple of 8.
+func DecodeInt64s(b []byte) ([]int64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("mmapio: int64 region length %d not a multiple of 8", len(b))
+	}
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+// DecodeInt32s decodes b — little-endian int32 values — into a fresh
+// slice. The length of b must be a multiple of 4.
+func DecodeInt32s(b []byte) ([]int32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("mmapio: int32 region length %d not a multiple of 4", len(b))
+	}
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, nil
+}
+
+// Int64Bytes returns the little-endian byte image of s, zero-copy on
+// little-endian hosts and encoded into a fresh buffer otherwise. The
+// .fcsr writer and checksummer feed sections through it.
+func Int64Bytes(s []int64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 8*len(s))
+	}
+	out := make([]byte, 8*len(s))
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(v))
+	}
+	return out
+}
+
+// Int32Bytes returns the little-endian byte image of s, zero-copy on
+// little-endian hosts and encoded into a fresh buffer otherwise.
+func Int32Bytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 4*len(s))
+	}
+	out := make([]byte, 4*len(s))
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(v))
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package mmapio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenMapsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	want := []byte("hello, mapped world")
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if !bytes.Equal(m.Data(), want) {
+		t.Fatalf("Data = %q, want %q", m.Data(), want)
+	}
+	if m.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(want))
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if m.Data() != nil {
+		t.Fatal("Data non-nil after Close")
+	}
+}
+
+func TestOpenEmptyAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 || m.Mapped() {
+		t.Fatalf("empty file: Len=%d Mapped=%v, want 0 false", m.Len(), m.Mapped())
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("Open(missing) succeeded")
+	}
+}
+
+func TestViewsRoundTrip(t *testing.T) {
+	i64 := []int64{0, -1, 1 << 40, 42}
+	i32 := []int32{7, -9, 1 << 20}
+	b64 := Int64Bytes(i64)
+	b32 := Int32Bytes(i32)
+
+	got64, err := DecodeInt64s(b64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range i64 {
+		if got64[i] != v {
+			t.Fatalf("DecodeInt64s[%d] = %d, want %d", i, got64[i], v)
+		}
+	}
+	got32, err := DecodeInt32s(b32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range i32 {
+		if got32[i] != v {
+			t.Fatalf("DecodeInt32s[%d] = %d, want %d", i, got32[i], v)
+		}
+	}
+
+	if HostLittleEndian() {
+		v64, ok := ViewInt64s(b64)
+		if !ok {
+			t.Fatal("ViewInt64s declined an aligned LE buffer")
+		}
+		for i, v := range i64 {
+			if v64[i] != v {
+				t.Fatalf("ViewInt64s[%d] = %d, want %d", i, v64[i], v)
+			}
+		}
+		v32, ok := ViewInt32s(b32)
+		if !ok {
+			t.Fatal("ViewInt32s declined an aligned LE buffer")
+		}
+		for i, v := range i32 {
+			if v32[i] != v {
+				t.Fatalf("ViewInt32s[%d] = %d, want %d", i, v32[i], v)
+			}
+		}
+	}
+}
+
+func TestViewsRejectBadShapes(t *testing.T) {
+	if _, ok := ViewInt64s(make([]byte, 12)); ok {
+		t.Fatal("ViewInt64s accepted a 12-byte region")
+	}
+	if _, ok := ViewInt32s(make([]byte, 6)); ok {
+		t.Fatal("ViewInt32s accepted a 6-byte region")
+	}
+	if _, err := DecodeInt64s(make([]byte, 12)); err == nil {
+		t.Fatal("DecodeInt64s accepted a 12-byte region")
+	}
+	if _, err := DecodeInt32s(make([]byte, 6)); err == nil {
+		t.Fatal("DecodeInt32s accepted a 6-byte region")
+	}
+	if HostLittleEndian() {
+		// A deliberately misaligned base must decline the int64 view.
+		buf := make([]byte, 17)
+		off := buf[1:]
+		if aligned(off, 8) {
+			t.Skip("unexpectedly aligned slice")
+		}
+		if _, ok := ViewInt64s(off); ok {
+			t.Fatal("ViewInt64s accepted a misaligned region")
+		}
+	}
+}
+
+func TestViewEmpty(t *testing.T) {
+	if s, ok := ViewInt64s(nil); HostLittleEndian() && (!ok || len(s) != 0) {
+		t.Fatal("ViewInt64s(nil) should be an empty view on LE hosts")
+	}
+	if got := Int64Bytes(nil); got != nil {
+		t.Fatalf("Int64Bytes(nil) = %v, want nil", got)
+	}
+}
+
+func TestMappingZeroCopy(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ints")
+	want := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	buf := make([]byte, 8*len(want))
+	for i, v := range want {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if !HostLittleEndian() {
+		t.Skip("zero-copy views need a little-endian host")
+	}
+	s, ok := ViewInt64s(m.Data())
+	if !ok {
+		t.Fatal("ViewInt64s declined mapped data (mmap bases are page-aligned)")
+	}
+	for i, v := range want {
+		if s[i] != v {
+			t.Fatalf("mapped[%d] = %d, want %d", i, s[i], v)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"frontier/internal/crawl"
 	"frontier/internal/graph"
+	"frontier/internal/graphio"
 	"frontier/internal/jobs"
 	"frontier/internal/live"
 )
@@ -44,14 +45,27 @@ type GraphInfo struct {
 	// Pins is the number of running jobs currently pinning the graph;
 	// DELETE is refused while it is non-zero.
 	Pins int `json:"pins"`
+	// Backing is "memory" for heap-hosted graphs and "segment" for
+	// graphs backed by an .fcsr file registered through AddPath.
+	Backing string `json:"backing,omitempty"`
+	// Loaded reports whether the graph's data is resident: always true
+	// for memory-backed graphs, true for segment-backed graphs only
+	// once first access has memory-mapped the file.
+	Loaded bool `json:"loaded"`
 }
 
 // hostedGraph is one catalog entry: the immutable graph, its labels,
 // the pin count protecting it from eviction, and its request counters.
+// Segment-backed entries (path != "") start cold — g is nil and info
+// carries the header metadata — until materializeLocked maps the file.
 type hostedGraph struct {
 	name   string
 	g      *graph.Graph
 	groups *graph.GroupLabels
+
+	path string            // .fcsr path for lazily hosted segments, else ""
+	info graphio.FCSRInfo  // header metadata for segment-backed entries
+	seg  *graphio.FCSRFile // the mapping, once materialized
 
 	// Per-graph request counters, aggregated into /metrics.
 	vertexRequests atomic.Int64
@@ -64,7 +78,11 @@ type hostedGraph struct {
 // (cmd/graphd -graphs) or hot-loaded over HTTP (POST /v1/graphs), listed
 // with their sizes, and evicted when no longer needed — except while
 // running sampling jobs pin them, because evicting a graph mid-walk
-// would crash the walk.
+// would crash the walk. Graphs register either fully in memory (Add)
+// or lazily out of core (AddPath): an .fcsr segment costs only its
+// header until first access memory-maps it, and eviction unmaps it, so
+// one server can host far more graph bytes than RAM and pay only for
+// the pages its walks touch.
 //
 // Catalog implements jobs.Resolver: a jobs.Manager built with
 // jobs.WithResolver routes every job's Graph name through it, so one
@@ -111,14 +129,61 @@ func (c *Catalog) Add(name string, g *graph.Graph, groups *graph.GroupLabels) er
 	return nil
 }
 
+// AddPath lazily hosts the .fcsr segment at path under name: only the
+// 256-byte header is read at registration (StatFCSR validates it and
+// the file size), so a cold graph costs no resident memory beyond its
+// catalog entry. First access memory-maps the segment — load cost is
+// O(pages touched), not O(file) — and Remove unmaps it. The file must
+// stay present and unchanged while hosted.
+func (c *Catalog) AddPath(name, path string) error {
+	if name == "" {
+		return errors.New("netgraph: graph name must not be empty")
+	}
+	info, err := graphio.StatFCSR(path)
+	if err != nil {
+		return fmt.Errorf("netgraph: hosting %s: %w", path, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.graphs[name]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateGraph, name)
+	}
+	c.graphs[name] = &hostedGraph{name: name, path: path, info: info}
+	if c.defaultName == "" {
+		c.defaultName = name
+	}
+	return nil
+}
+
+// materializeLocked ensures a segment-backed entry has its graph
+// resident, memory-mapping the .fcsr file on first need. A no-op for
+// memory-backed entries and already-mapped segments. Callers must hold
+// c.mu.
+func (c *Catalog) materializeLocked(hg *hostedGraph) error {
+	if hg.g != nil {
+		return nil
+	}
+	seg, err := graphio.OpenFCSR(hg.path)
+	if err != nil {
+		return fmt.Errorf("netgraph: materializing %s from %s: %w", hg.name, hg.path, err)
+	}
+	hg.seg, hg.g, hg.groups = seg, seg.Graph, seg.Groups
+	return nil
+}
+
 // Remove evicts the named graph. It fails with ErrGraphBusy while
 // running jobs pin the graph and ErrUnknownGraph when the name is not
 // hosted. Removing the default graph leaves the catalog without one
-// until the next Add: unqualified requests then fail.
+// until the next Add: unqualified requests then fail. Removing a
+// materialized segment-backed graph unmaps its file — the pin check is
+// what makes that safe, so holders of a previously returned graph must
+// keep their pin (Resolve) or accept that the arrays die with the
+// eviction.
 func (c *Catalog) Remove(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.graphs[name]; !ok {
+	hg, ok := c.graphs[name]
+	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownGraph, name)
 	}
 	if n := c.pins[name]; n > 0 {
@@ -127,6 +192,11 @@ func (c *Catalog) Remove(name string) error {
 	delete(c.graphs, name)
 	if c.defaultName == name {
 		c.defaultName = ""
+	}
+	if hg.seg != nil {
+		// Unmap under the lock: the entry is unreachable and unpinned,
+		// so no reader can still hold the mapped arrays legitimately.
+		_ = hg.seg.Close()
 	}
 	return nil
 }
@@ -162,44 +232,107 @@ func (c *Catalog) lookupLocked(name string) (*hostedGraph, string, error) {
 	return hg, name, nil
 }
 
-// lookup resolves name ("" = default) to its entry.
-func (c *Catalog) lookup(name string) (*hostedGraph, error) {
+// acquire resolves name ("" = default), materializes segment-backed
+// entries, and pins the graph so a concurrent Remove cannot unmap the
+// arrays while the caller reads them. Callers must release(resolved)
+// when done; the resolved name is returned for that purpose.
+func (c *Catalog) acquire(name string) (*hostedGraph, string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hg, resolved, err := c.lookupLocked(name)
+	if err != nil {
+		return nil, "", err
+	}
+	if err := c.materializeLocked(hg); err != nil {
+		return nil, "", err
+	}
+	c.pins[resolved]++
+	return hg, resolved, nil
+}
+
+// release drops one pin acquired by acquire.
+func (c *Catalog) release(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pins[name] > 0 {
+		c.pins[name]--
+		if c.pins[name] == 0 {
+			delete(c.pins, name)
+		}
+	}
+}
+
+// Graph returns the named graph and its group labels ("" = default),
+// memory-mapping a segment-backed entry on first access. Memory-backed
+// graphs are immutable and stay valid even if later removed from the
+// catalog; a segment-backed graph's arrays are unmapped when it is
+// evicted, so callers that must survive eviction should go through
+// Resolve (which pins) instead.
+func (c *Catalog) Graph(name string) (*graph.Graph, *graph.GroupLabels, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	hg, _, err := c.lookupLocked(name)
-	return hg, err
-}
-
-// Graph returns the named graph and its group labels ("" = default).
-// The returned graph is immutable and stays valid even if it is later
-// removed from the catalog.
-func (c *Catalog) Graph(name string) (*graph.Graph, *graph.GroupLabels, error) {
-	hg, err := c.lookup(name)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := c.materializeLocked(hg); err != nil {
 		return nil, nil, err
 	}
 	return hg.g, hg.groups, nil
 }
 
-// List returns the hosted graphs sorted by name.
+// infoLocked builds the listing entry for one catalog entry, serving
+// cold segment-backed graphs from their header metadata so listing
+// never forces a map-in. Callers must hold c.mu.
+func (c *Catalog) infoLocked(name string, hg *hostedGraph) GraphInfo {
+	gi := GraphInfo{
+		Name:    name,
+		Default: name == c.defaultName,
+		Pins:    c.pins[name],
+		Backing: "memory",
+		Loaded:  true,
+	}
+	if hg.path != "" {
+		gi.Backing = "segment"
+		gi.Loaded = hg.g != nil
+	}
+	if hg.g != nil {
+		gi.NumVertices = hg.g.NumVertices()
+		gi.NumDirectedEdges = hg.g.NumDirectedEdges()
+		gi.NumSymEdges = hg.g.NumSymEdges()
+		if hg.groups != nil {
+			gi.NumGroups = hg.groups.NumGroups()
+		}
+	} else {
+		gi.NumVertices = hg.info.NumVertices
+		gi.NumDirectedEdges = hg.info.NumDirectedEdges
+		gi.NumSymEdges = hg.info.NumSymEdges
+		gi.NumGroups = hg.info.NumGroups
+	}
+	return gi
+}
+
+// Info returns the named graph's listing entry ("" = default) without
+// materializing a cold segment-backed graph: size queries (meta,
+// health) stay free of map-in side effects.
+func (c *Catalog) Info(name string) (GraphInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hg, resolved, err := c.lookupLocked(name)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	return c.infoLocked(resolved, hg), nil
+}
+
+// List returns the hosted graphs sorted by name. Cold segment-backed
+// entries are listed from their header metadata and stay unmapped.
 func (c *Catalog) List() []GraphInfo {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]GraphInfo, 0, len(c.graphs))
 	for name, hg := range c.graphs {
-		numGroups := 0
-		if hg.groups != nil {
-			numGroups = hg.groups.NumGroups()
-		}
-		out = append(out, GraphInfo{
-			Name:             name,
-			NumVertices:      hg.g.NumVertices(),
-			NumDirectedEdges: hg.g.NumDirectedEdges(),
-			NumSymEdges:      hg.g.NumSymEdges(),
-			NumGroups:        numGroups,
-			Default:          name == c.defaultName,
-			Pins:             c.pins[name],
-		})
+		out = append(out, c.infoLocked(name, hg))
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
 	return out
@@ -236,6 +369,9 @@ func (c *Catalog) Resolve(name string) (crawl.Source, func(), error) {
 	defer c.mu.Unlock()
 	hg, resolved, err := c.lookupLocked(name)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := c.materializeLocked(hg); err != nil {
 		return nil, nil, err
 	}
 	c.pins[resolved]++

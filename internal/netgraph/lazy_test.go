@@ -1,0 +1,235 @@
+package netgraph
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"frontier/internal/gen"
+	"frontier/internal/graph"
+	"frontier/internal/graphio"
+	"frontier/internal/xrand"
+)
+
+// writeSegment writes g (with optional labels) as an .fcsr file and
+// returns its path.
+func writeSegment(t *testing.T, g *graph.Graph, gl *graph.GroupLabels) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.fcsr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.WriteFCSR(f, g, gl); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCatalogAddPathLazy: registering a segment reads only its header;
+// first access materializes it, Remove unmaps it.
+func TestCatalogAddPathLazy(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(7), 400, 3)
+	path := writeSegment(t, g, nil)
+
+	cat := NewCatalog()
+	if err := cat.AddPath("seg", path); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddPath("seg", path); !errors.Is(err, ErrDuplicateGraph) {
+		t.Fatalf("duplicate AddPath error = %v", err)
+	}
+	if err := cat.AddPath("bad", filepath.Join(t.TempDir(), "missing.fcsr")); err == nil {
+		t.Fatal("AddPath of a missing file must fail at registration")
+	}
+
+	// Cold: listing and Info serve header metadata without mapping.
+	list := cat.List()
+	if len(list) != 1 {
+		t.Fatalf("list = %+v", list)
+	}
+	e := list[0]
+	if e.Backing != "segment" || e.Loaded {
+		t.Fatalf("cold entry = %+v, want segment/unloaded", e)
+	}
+	if e.NumVertices != g.NumVertices() || e.NumSymEdges != g.NumSymEdges() {
+		t.Fatalf("cold sizes = %+v", e)
+	}
+	if info, err := cat.Info(""); err != nil || info.Loaded {
+		t.Fatalf("Info = %+v, %v; must not materialize", info, err)
+	}
+
+	// First data access materializes.
+	got, gl, err := cat.Graph("seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gl != nil {
+		t.Fatal("labels appeared from a label-free segment")
+	}
+	if got.NumVertices() != g.NumVertices() {
+		t.Fatalf("materialized |V| = %d", got.NumVertices())
+	}
+	for v := 0; v < g.NumVertices(); v += 37 {
+		a, b := g.SymNeighbors(v), got.SymNeighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("adjacency of %d differs", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("adjacency of %d differs", v)
+			}
+		}
+	}
+	if info, _ := cat.Info("seg"); !info.Loaded {
+		t.Fatalf("after access: %+v, want loaded", info)
+	}
+
+	// Eviction unmaps and forgets.
+	if err := cat.Remove("seg"); err != nil {
+		t.Fatal(err)
+	}
+	if cat.Len() != 0 {
+		t.Fatal("entry survived Remove")
+	}
+}
+
+// TestCatalogResolveSegmentPins: a job resolved against a cold segment
+// materializes it, keeps it pinned against eviction, and the resolved
+// source satisfies the CSR fast-path interfaces.
+func TestCatalogResolveSegmentPins(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(3), 300, 2)
+	gl := graph.NewGroupLabels(2, func() [][]int32 {
+		m := make([][]int32, g.NumVertices())
+		for v := range m {
+			if v%2 == 0 {
+				m[v] = []int32{0}
+			}
+		}
+		return m
+	}())
+	cat := NewCatalog()
+	if err := cat.AddPath("seg", writeSegment(t, g, gl)); err != nil {
+		t.Fatal(err)
+	}
+	src, release, err := cat.Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.NumVertices() != g.NumVertices() {
+		t.Fatal("resolved wrong source")
+	}
+	// The labeled wrapper still promotes the raw-CSR accessor, so
+	// batched loops keep their devirtualized path over the mapping.
+	type symCSR interface {
+		SymCSR() (off []int64, to []int32)
+	}
+	if _, ok := src.(symCSR); !ok {
+		t.Fatal("segment-backed source lost the SymCSR fast path")
+	}
+	if err := cat.Remove("seg"); !errors.Is(err, ErrGraphBusy) {
+		t.Fatalf("remove while pinned = %v, want ErrGraphBusy", err)
+	}
+	release()
+	if err := cat.Remove("seg"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerServesSegmentGraph: HTTP handlers serve a lazily hosted
+// segment — meta answers cold, vertex requests map it in, and the
+// listing reflects both states.
+func TestServerServesSegmentGraph(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(11), 500, 3)
+	cat := NewCatalog()
+	if err := cat.AddPath("seg", writeSegment(t, g, nil)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewCatalogServer(cat))
+	defer ts.Close()
+
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Meta().NumVertices != g.NumVertices() {
+		t.Fatalf("meta = %+v", c.Meta())
+	}
+	// Dial issues only GET /v1/meta, which must not have materialized.
+	if info, _ := cat.Info("seg"); info.Loaded {
+		t.Fatal("meta request materialized the segment")
+	}
+	rec, err := c.Vertex(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SymDegree != g.SymDegree(42) {
+		t.Fatalf("vertex record = %+v", rec)
+	}
+	if info, _ := cat.Info("seg"); !info.Loaded {
+		t.Fatal("vertex request did not materialize the segment")
+	}
+}
+
+// TestUploadFCSRWithGroups: POST /v1/graphs?format=fcsr hosts the
+// segment's embedded group labels alongside the graph.
+func TestUploadFCSRWithGroups(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(13), 200, 2)
+	membership := make([][]int32, g.NumVertices())
+	for v := range membership {
+		if v%3 == 0 {
+			membership[v] = []int32{0, 1}
+		}
+	}
+	gl := graph.NewGroupLabels(3, membership)
+	var seg bytes.Buffer
+	if err := graphio.WriteFCSR(&seg, g, gl); err != nil {
+		t.Fatal(err)
+	}
+
+	cat := NewCatalog()
+	ts := httptest.NewServer(NewCatalogServer(cat))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/graphs?name=up&format=fcsr", "application/octet-stream", &seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info GraphInfo
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("fcsr upload status = %d", resp.StatusCode)
+	}
+	info, err = cat.Info("up")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NumGroups != gl.NumGroups() || info.NumVertices != g.NumVertices() {
+		t.Fatalf("hosted info = %+v", info)
+	}
+	_, hostedGL, err := cat.Graph("up")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hostedGL == nil || hostedGL.NumGroups() != gl.NumGroups() {
+		t.Fatal("embedded groups were not hosted")
+	}
+
+	// Corrupt segment uploads fail loudly with 400.
+	bad := []byte("FCSR garbage")
+	resp, err = http.Post(ts.URL+"/v1/graphs?name=bad&format=fcsr", "application/octet-stream", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt upload status = %d, want 400", resp.StatusCode)
+	}
+}

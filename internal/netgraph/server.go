@@ -266,9 +266,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // graphFor resolves the request's ?graph= parameter (empty = default
-// graph) against the catalog.
-func (s *Server) graphFor(r *http.Request) (*hostedGraph, error) {
-	return s.cat.lookup(r.URL.Query().Get("graph"))
+// graph) against the catalog, materializing segment-backed graphs and
+// pinning the entry for the handler's lifetime — a concurrent DELETE
+// gets 409 instead of unmapping arrays the handler is reading. The
+// returned release must be called (deferred) when non-nil.
+func (s *Server) graphFor(r *http.Request) (*hostedGraph, func(), error) {
+	hg, resolved, err := s.cat.acquire(r.URL.Query().Get("graph"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return hg, func() { s.cat.release(resolved) }, nil
 }
 
 // catalogError writes the HTTP mapping of a catalog lookup failure.
@@ -287,21 +294,19 @@ func catalogError(w http.ResponseWriter, err error) {
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	s.metaRequests.Add(1)
-	hg, err := s.graphFor(r)
+	// Served from catalog metadata, not graph data: meta on a cold
+	// segment-backed graph answers from its header without mapping it.
+	info, err := s.cat.Info(r.URL.Query().Get("graph"))
 	if err != nil {
 		catalogError(w, err)
 		return
 	}
-	numGroups := 0
-	if hg.groups != nil {
-		numGroups = hg.groups.NumGroups()
-	}
 	writeJSON(w, r, Meta{
-		NumVertices:      hg.g.NumVertices(),
-		NumDirectedEdges: hg.g.NumDirectedEdges(),
-		NumSymEdges:      hg.g.NumSymEdges(),
-		NumGroups:        numGroups,
-		Name:             hg.name,
+		NumVertices:      info.NumVertices,
+		NumDirectedEdges: info.NumDirectedEdges,
+		NumSymEdges:      info.NumSymEdges,
+		NumGroups:        info.NumGroups,
+		Name:             info.Name,
 	})
 }
 
@@ -323,11 +328,12 @@ func record(hg *hostedGraph, id int) VertexRecord {
 
 func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 	s.vertexRequests.Add(1)
-	hg, err := s.graphFor(r)
+	hg, release, err := s.graphFor(r)
 	if err != nil {
 		catalogError(w, err)
 		return
 	}
+	defer release()
 	hg.vertexRequests.Add(1)
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil || id < 0 || id >= hg.g.NumVertices() {
@@ -341,11 +347,12 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.batchRequests.Add(1)
-	hg, err := s.graphFor(r)
+	hg, release, err := s.graphFor(r)
 	if err != nil {
 		catalogError(w, err)
 		return
 	}
+	defer release()
 	hg.batchRequests.Add(1)
 	var req BatchRequest
 	body := http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)
@@ -386,11 +393,12 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 
 // handleLoadGraph hot-loads a graph into the catalog:
 //
-//	POST /v1/graphs?name={name}&format={text|binary|json}
+//	POST /v1/graphs?name={name}&format={text|binary|json|fcsr}
 //
 // with the graph file as the request body, parsed by internal/graphio
-// (the same readers the CLI tools use). Responds 201 with the new
-// graph's GraphInfo.
+// (the same readers the CLI tools use). An fcsr body is the binary
+// segment format; its embedded group labels, when present, are hosted
+// with the graph. Responds 201 with the new graph's GraphInfo.
 func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("name")
 	if name == "" {
@@ -402,7 +410,16 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 		format = graphio.FormatText
 	}
 	body := http.MaxBytesReader(w, r.Body, MaxGraphUploadBytes)
-	g, err := graphio.Read(body, format)
+	var g *graph.Graph
+	var groups *graph.GroupLabels
+	var err error
+	if format == graphio.FormatFCSR {
+		// Read directly so the segment's embedded labels survive; the
+		// generic Read dispatcher returns only the graph.
+		g, groups, err = graphio.ReadFCSR(body)
+	} else {
+		g, err = graphio.Read(body, format)
+	}
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -412,7 +429,7 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad graph upload: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if err := s.cat.Add(name, g, nil); err != nil {
+	if err := s.cat.Add(name, g, groups); err != nil {
 		catalogError(w, err)
 		return
 	}
@@ -424,6 +441,11 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 		NumDirectedEdges: g.NumDirectedEdges(),
 		NumSymEdges:      g.NumSymEdges(),
 		Default:          s.cat.DefaultName() == name,
+		Backing:          "memory",
+		Loaded:           true,
+	}
+	if groups != nil {
+		info.NumGroups = groups.NumGroups()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
@@ -469,9 +491,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Graphs:        s.cat.Len(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 	}
-	if g, _, err := s.cat.Graph(""); err == nil {
-		h.Name = s.cat.DefaultName()
-		h.NumVertices = g.NumVertices()
+	// Info, not Graph: a liveness probe must not map a cold segment in.
+	if info, err := s.cat.Info(""); err == nil {
+		h.Name = info.Name
+		h.NumVertices = info.NumVertices
 	}
 	if s.jobs != nil {
 		h.Workers = s.jobs.Workers()

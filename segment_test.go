@@ -1,0 +1,134 @@
+// Mmap-equivalence acceptance test: sampling over a memory-mapped
+// .fcsr segment must be byte-identical to sampling the same graph on
+// the heap, for every registered method, on both observation surfaces.
+package frontier_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash"
+	"hash/fnv"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"frontier"
+)
+
+// obsHasher folds observations into an FNV-1a stream hash.
+type obsHasher struct {
+	h   hash.Hash64
+	buf [25]byte
+}
+
+func newObsHasher() *obsHasher {
+	return &obsHasher{h: fnv.New64a()}
+}
+
+func (oh *obsHasher) observe(o frontier.Observation) {
+	binary.LittleEndian.PutUint64(oh.buf[0:8], uint64(int64(o.U)))
+	binary.LittleEndian.PutUint64(oh.buf[8:16], uint64(int64(o.V)))
+	binary.LittleEndian.PutUint64(oh.buf[16:24], math.Float64bits(o.Weight))
+	oh.buf[24] = 0
+	if o.Edge {
+		oh.buf[24] = 1
+	}
+	_, _ = oh.h.Write(oh.buf[:])
+}
+
+func (oh *obsHasher) sum() uint64 { return oh.h.Sum64() }
+
+// runHash runs one method over src and returns (stream hash, count,
+// spent budget). batch selects the slab surface.
+func runHash(t *testing.T, name string, src frontier.Source, batch bool) (uint64, int, float64) {
+	t.Helper()
+	method, ok := frontier.DefaultJobMethods().Get(name)
+	if !ok {
+		t.Fatalf("method %s not registered", name)
+	}
+	s := method.Build(frontier.JobSpec{Method: name, M: 8, JumpProb: 0.2})
+	sess := frontier.NewSession(src, 4000, frontier.UnitCosts(), frontier.NewRand(77))
+	oh := newObsHasher()
+	count := 0
+	var err error
+	if batch {
+		err = s.RunObsBatch(sess, func(obs []frontier.Observation) {
+			for _, o := range obs {
+				count++
+				oh.observe(o)
+			}
+		})
+	} else {
+		err = s.RunObs(sess, func(o frontier.Observation) {
+			count++
+			oh.observe(o)
+		})
+	}
+	if err != nil && !errors.Is(err, frontier.ErrBudgetExhausted) {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if count == 0 {
+		t.Fatalf("%s emitted nothing", name)
+	}
+	return oh.sum(), count, sess.Stats().Spent
+}
+
+// TestMmapCrawlByteIdenticalToHeap is the acceptance criterion for the
+// segment format: for every registered method, the sampled observation
+// stream over the memory-mapped graph hashes identically to the heap
+// graph's — on the single-observation surface and on the batched
+// (devirtualized CSR) surface.
+func TestMmapCrawlByteIdenticalToHeap(t *testing.T) {
+	heap := frontier.BarabasiAlbert(frontier.NewRand(21), 4000, 3)
+	path := filepath.Join(t.TempDir(), "g.fcsr")
+	if err := frontier.SaveGraph(path, heap); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := frontier.OpenGraphSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+
+	for _, name := range frontier.DefaultJobMethods().Names() {
+		for _, batch := range []bool{false, true} {
+			surface := "obs"
+			if batch {
+				surface = "batch"
+			}
+			t.Run(name+"/"+surface, func(t *testing.T) {
+				wantHash, wantN, wantSpent := runHash(t, name, heap, false)
+				gotHash, gotN, gotSpent := runHash(t, name, seg.Graph, batch)
+				if gotHash != wantHash || gotN != wantN || gotSpent != wantSpent {
+					t.Fatalf("mmap %s/%s diverged: hash %x/%x, n %d/%d, spent %v/%v",
+						name, surface, gotHash, wantHash, gotN, wantN, gotSpent, wantSpent)
+				}
+			})
+		}
+	}
+}
+
+// TestHeapSegmentReaderMatchesMmap: the fully validating heap reader
+// and the zero-copy open produce graphs whose crawls agree too (both
+// come from the same bytes, so any divergence is a reader bug).
+func TestHeapSegmentReaderMatchesMmap(t *testing.T) {
+	g := frontier.BarabasiAlbert(frontier.NewRand(8), 2000, 4)
+	path := filepath.Join(t.TempDir(), "g.fcsr")
+	if err := frontier.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	heapG, err := frontier.LoadGraph(path) // heap-parsing reader
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := frontier.OpenGraphSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	h1, n1, _ := runHash(t, "fs", heapG, true)
+	h2, n2, _ := runHash(t, "fs", seg.Graph, true)
+	if h1 != h2 || n1 != n2 {
+		t.Fatalf("heap-parsed vs mapped crawl diverged: %x/%x, %d/%d", h1, h2, n1, n2)
+	}
+}
