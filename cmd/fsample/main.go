@@ -98,8 +98,39 @@ func main() {
 		follow    = flag.Bool("follow", false, "with -remote-job, stream live estimate frames over SSE and print each update")
 		poll      = flag.Duration("poll", 0, "with -remote-job, polling interval when SSE is unavailable (0 = client default)")
 		timeout   = flag.Duration("timeout", 0, "overall run timeout (0 = none); cancels in-flight requests and unwinds sampling")
+
+		// Resilience middleware flags (remote crawls; see netgraph.WithResilience).
+		// Setting any of them wraps the client's transport in the chain
+		// Retry → CircuitBreak → RateLimit → Hedge → AttemptTimeout.
+		retriesF       = flag.Int("retries", 0, "max attempts per request incl. the first (0 = no resilience chain; 1 = chain without retries)")
+		retryBase      = flag.Duration("retry-base", 0, "base backoff before the first retry (0 = 50ms default)")
+		retryMax       = flag.Duration("retry-max", 0, "backoff cap, Retry-After included (0 = 5s default)")
+		rateLimit      = flag.Float64("rate-limit", 0, "max requests/sec per host (token bucket; 0 = unlimited)")
+		rateBurst      = flag.Int("rate-burst", 0, "token-bucket burst size (<1 = 1)")
+		breakerAfter   = flag.Int("breaker-after", 0, "trip the circuit breaker after this many consecutive failures (0 = no breaker)")
+		breakerCool    = flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before the half-open probe (0 = 1s default)")
+		hedgeDelay     = flag.Duration("hedge", 0, "hedge idempotent requests still unresolved after this delay (0 = off)")
+		attemptTimeout = flag.Duration("attempt-timeout", 0, "per-attempt deadline; a timed-out attempt is retried (0 = off)")
 	)
 	flag.Parse()
+
+	// The chain is enabled by any resilience flag; its jitter stream
+	// shares -seed so a faulted rerun replays the same backoff schedule.
+	var resilience []netgraph.Option
+	if *retriesF != 0 || *rateLimit > 0 || *breakerAfter > 0 || *hedgeDelay > 0 || *attemptTimeout > 0 {
+		resilience = append(resilience, netgraph.WithResilience(netgraph.ResilienceConfig{
+			MaxAttempts:      *retriesF,
+			RetryBase:        *retryBase,
+			RetryMax:         *retryMax,
+			Seed:             *seed,
+			RateLimit:        *rateLimit,
+			RateBurst:        *rateBurst,
+			BreakerThreshold: *breakerAfter,
+			BreakerCooldown:  *breakerCool,
+			HedgeDelay:       *hedgeDelay,
+			AttemptTimeout:   *attemptTimeout,
+		}))
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -125,6 +156,7 @@ func main() {
 			m: *m, budget: *budget, seed: *seed, est: *est,
 			stopCI: *stopCI, jsonOut: *jsonOut,
 			follow: *follow, poll: *poll,
+			dialOpts: resilience,
 		}
 		if *methodStr == "jump" {
 			// Only the jump method carries the restart probability; the
@@ -161,11 +193,11 @@ func main() {
 	case *url != "":
 		// With -url, -graph selects a hosted graph by name rather than a
 		// local file.
-		c, err := netgraph.Dial(*url, nil,
+		c, err := netgraph.Dial(*url, nil, append([]netgraph.Option{
 			netgraph.WithCacheCapacity(*cacheCap),
 			netgraph.WithBatchSize(*batchSize),
 			netgraph.WithGraph(*graphPath),
-			netgraph.WithContext(ctx))
+			netgraph.WithContext(ctx)}, resilience...)...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
 			os.Exit(1)
@@ -321,11 +353,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	sess.SyncRetries()
 	st := sess.Stats()
 	fmt.Printf("budget spent: %.0f (steps %d, vertex queries %d, misses %d)\n",
 		st.Spent, st.Steps, st.VertexQueries, st.VertexMisses)
 	if isRemote {
 		printCacheLine(src.(*netgraph.Client))
+		printResilienceLine(src.(*netgraph.Client), st)
 	}
 
 	if *diagnose && sampler != nil {
@@ -387,6 +421,13 @@ type jsonResult struct {
 	CacheHitRatio *float64           `json:"cache_hit_ratio,omitempty"`
 	JobID         string             `json:"job_id,omitempty"`
 	EdgeHash      string             `json:"edge_hash,omitempty"`
+	// Retries/RetrySpent are the resilience chain's retry ledger
+	// (quota spent surviving faults, separate from budget_spent);
+	// Breaker is the circuit breaker's final state. Omitted without a
+	// resilience chain.
+	Retries    int64   `json:"retries,omitempty"`
+	RetrySpent float64 `json:"retry_spent,omitempty"`
+	Breaker    string  `json:"breaker,omitempty"`
 }
 
 // emitJSON prints the result object on stdout.
@@ -406,6 +447,22 @@ func cacheHitRatio(c *netgraph.Client) *float64 {
 	}
 	r := float64(hits) / float64(hits+misses)
 	return &r
+}
+
+// printResilienceLine reports what surviving faults cost: retry
+// attempts (charged to the session's retry ledger, not the sampling
+// budget), hedge legs, and the breaker's final state. Silent without a
+// resilience chain or when nothing fired.
+func printResilienceLine(c *netgraph.Client, st crawl.Stats) {
+	if st.Retries == 0 && c.Hedges() == 0 && c.BreakerState() == "" {
+		return
+	}
+	line := fmt.Sprintf("resilience: %d retries (%.0f budget units), %d hedges",
+		st.Retries, st.RetrySpent, c.Hedges())
+	if bs := c.BreakerState(); bs != "" {
+		line += ", breaker " + bs
+	}
+	fmt.Println(line)
 }
 
 // printCacheLine reports the remote client's fetch/cache counters.
@@ -501,6 +558,7 @@ func runLocalLive(ctx context.Context, cfg localLiveConfig) {
 	}
 
 	rep := rt.Report()
+	sess.SyncRetries()
 	st := sess.Stats()
 	if cfg.jsonOut {
 		// Method is the flag vocabulary ("fs"), not the sampler's display
@@ -519,7 +577,11 @@ func runLocalLive(ctx context.Context, cfg localLiveConfig) {
 			StopReason:  stopReason,
 		}
 		if cfg.isRemote {
-			res.CacheHitRatio = cacheHitRatio(cfg.src.(*netgraph.Client))
+			c := cfg.src.(*netgraph.Client)
+			res.CacheHitRatio = cacheHitRatio(c)
+			res.Retries = st.Retries
+			res.RetrySpent = st.RetrySpent
+			res.Breaker = c.BreakerState()
 		}
 		emitJSON(res)
 		return
@@ -539,6 +601,7 @@ func runLocalLive(ctx context.Context, cfg localLiveConfig) {
 		st.Spent, cfg.budget, st.Steps, st.VertexQueries, st.VertexMisses)
 	if cfg.isRemote {
 		printCacheLine(cfg.src.(*netgraph.Client))
+		printResilienceLine(cfg.src.(*netgraph.Client), st)
 	}
 }
 
@@ -557,16 +620,17 @@ type remoteJobConfig struct {
 	jsonOut  bool
 	follow   bool
 	poll     time.Duration
+	dialOpts []netgraph.Option // resilience options for the control-plane client
 }
 
 // runRemoteJob submits the run as a server-side sampling job, waits for
 // it (streaming live estimate frames with -follow) and prints the final
 // status.
 func runRemoteJob(ctx context.Context, cfg remoteJobConfig) {
-	c, err := netgraph.Dial(cfg.url, nil,
+	c, err := netgraph.Dial(cfg.url, nil, append([]netgraph.Option{
 		netgraph.WithContext(ctx),
 		netgraph.WithGraph(cfg.graph),
-		netgraph.WithPollInterval(cfg.poll))
+		netgraph.WithPollInterval(cfg.poll)}, cfg.dialOpts...)...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fsample: %v\n", err)
 		os.Exit(1)
@@ -653,6 +717,9 @@ func runRemoteJob(ctx context.Context, cfg remoteJobConfig) {
 			StopReason:  final.StopReason,
 			JobID:       final.ID,
 			EdgeHash:    final.EdgeHash,
+			Retries:     final.Retries,
+			RetrySpent:  final.RetrySpent,
+			Breaker:     final.Breaker,
 		}
 		if rep != nil {
 			res.CI = rep.CI
@@ -673,6 +740,13 @@ func runRemoteJob(ctx context.Context, cfg remoteJobConfig) {
 		fmt.Printf("stop reason: %s\n", final.StopReason)
 	}
 	fmt.Printf("budget spent: %.0f (%d edges sampled, edge hash %s)\n", final.Spent, final.Edges, final.EdgeHash)
+	if final.Retries > 0 || final.Breaker != "" {
+		line := fmt.Sprintf("resilience: %d retries (%.0f budget units)", final.Retries, final.RetrySpent)
+		if final.Breaker != "" {
+			line += ", breaker " + final.Breaker
+		}
+		fmt.Println(line)
+	}
 }
 
 func requireEdgeSampler(s core.EdgeSampler, name string) {

@@ -33,7 +33,12 @@
 // gzip-compressed when the client accepts it. -latency injects a fixed
 // per-request delay to model a slow OSN API (the observability
 // endpoints /healthz and /metrics, and the SSE job-event stream, are
-// exempt). -workers sizes the job worker pool (0 disables the job
+// exempt). -faults goes further and models an unreliable one: seeded,
+// deterministic 429/5xx bursts, dropped connections, slow responses and
+// flap schedules on the data-plane endpoints (see netgraph.WithFaults),
+// with injected counts surfaced in /v1/stats and /metrics — the test
+// bench for the client's resilience middleware chain.
+// -workers sizes the job worker pool (0 disables the job
 // service). With -checkpoint-dir, jobs checkpoint to disk and resume
 // across restarts: on SIGINT/SIGTERM running jobs are paused at their
 // next step boundary and a restarted graphd picks them up where they
@@ -80,6 +85,7 @@ func main() {
 		empty      = flag.Bool("empty", false, "start with an empty catalog (hot-load graphs via POST /v1/graphs)")
 		addr       = flag.String("addr", ":8080", "listen address")
 		latency    = flag.Duration("latency", 0, "injected per-request latency (models a slow OSN API, e.g. 5ms)")
+		faults     = flag.String("faults", "", "seeded deterministic fault injection on the data plane, e.g. 'rate=0.1,seed=7,statuses=429+500+503,burst=3,drop=0.2,slow=0.05:5ms,flap=200:40'")
 		workers    = flag.Int("workers", 4, "sampling-job worker pool size (0 disables the job service)")
 		ckptDir    = flag.String("checkpoint-dir", "", "directory for job checkpoints; jobs resume across restarts")
 	)
@@ -138,6 +144,14 @@ func main() {
 	var opts []netgraph.ServerOption
 	if *latency > 0 {
 		opts = append(opts, netgraph.WithLatency(*latency))
+	}
+	if *faults != "" {
+		spec, err := netgraph.ParseFaultSpec(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, netgraph.WithFaults(spec))
+		log.Printf("graphd: injecting faults: %s", *faults)
 	}
 	var mgr *jobs.Manager
 	if *workers > 0 {

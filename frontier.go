@@ -674,6 +674,38 @@ func WithClientPollInterval(d time.Duration) GraphClientOption {
 	return netgraph.WithPollInterval(d)
 }
 
+// Resilience middleware (internal/netgraph): the client-side chain that
+// survives a real OSN API, and the server-side deterministic fault
+// injection that proves it.
+type (
+	// ResilienceConfig configures the client middleware chain
+	// Retry → CircuitBreak → RateLimit → Hedge → AttemptTimeout.
+	ResilienceConfig = netgraph.ResilienceConfig
+	// FaultSpec configures seeded, deterministic server-side fault
+	// injection (429/5xx bursts, dropped connections, slow responses,
+	// flap schedules).
+	FaultSpec = netgraph.FaultSpec
+)
+
+// ErrCircuitOpen is returned (wrapped) when the client's circuit
+// breaker rejects a request without sending it.
+var ErrCircuitOpen = netgraph.ErrCircuitOpen
+
+// WithClientResilience wraps the client's transport in the resilience
+// middleware chain; breaker/limiter state rides session checkpoints so
+// resumed crawls do not thundering-herd a recovering API.
+func WithClientResilience(cfg ResilienceConfig) GraphClientOption {
+	return netgraph.WithResilience(cfg)
+}
+
+// WithServerFaults injects seeded, deterministic faults on the server's
+// data-plane endpoints, with injected counts in /v1/stats and /metrics.
+func WithServerFaults(spec FaultSpec) GraphServerOption { return netgraph.WithFaults(spec) }
+
+// ParseFaultSpec parses the graphd -faults flag syntax, e.g.
+// "rate=0.1,seed=7,statuses=429+500+503,burst=3,drop=0.2".
+func ParseFaultSpec(s string) (FaultSpec, error) { return netgraph.ParseFaultSpec(s) }
+
 // Error metrics (internal/stats).
 type (
 	// ScalarError accumulates Monte Carlo estimates of a scalar with

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"testing"
 
 	"frontier/internal/crawl"
@@ -59,7 +60,7 @@ func TestObsBatchEquivalence(t *testing.T) {
 					t.Fatalf("slab of size %d violates the (0, %d] contract", n, SlabSize)
 				}
 			}
-			if ucp := usess.Checkpoint(); cp != ucp {
+			if ucp := usess.Checkpoint(); !reflect.DeepEqual(cp, ucp) {
 				t.Fatalf("session state diverged:\nbatched   %+v\nunbatched %+v", cp, ucp)
 			}
 		})

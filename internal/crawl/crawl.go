@@ -14,6 +14,7 @@ package crawl
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 
@@ -78,6 +79,42 @@ type IndexedSource interface {
 	SymNeighborAt(i int64) int
 }
 
+// RetryTaker is an optional extension for sources whose queries can
+// transparently retry under the hood (e.g. the netgraph client behind a
+// resilience middleware chain). TakeRetries drains the count of retries
+// issued since the previous take, so a Session can charge each retry to
+// its budget exactly once: the retried query itself was already priced
+// when the sampler issued it, and the retry attempts it triggered are
+// accounted on the side — they cost quota against the real API, but
+// they never re-emit an observation.
+type RetryTaker interface {
+	// TakeRetries returns the number of retry attempts issued since the
+	// last call, resetting the pending count.
+	TakeRetries() int64
+}
+
+// ResilienceCarrier is an optional extension for sources that carry
+// mutable resilience state (circuit breaker, rate-limiter balances,
+// retry jitter stream). Sessions capture the state into checkpoints and
+// restore it on resume, so a resumed crawl does not thundering-herd a
+// recovering API: an open breaker stays open for its remaining
+// cooldown, and limiter tokens do not refill for free across a restart.
+type ResilienceCarrier interface {
+	// ResilienceState serializes the source's resilience state
+	// ((nil, nil) when the source has none configured).
+	ResilienceState() (json.RawMessage, error)
+	// RestoreResilience restores state captured by ResilienceState.
+	RestoreResilience(raw json.RawMessage) error
+}
+
+// BreakerStater is an optional extension for sources with a circuit
+// breaker, reporting its current state for observability ("closed",
+// "open", "half-open"; "" when no breaker is configured).
+type BreakerStater interface {
+	// BreakerState returns the breaker's current state name.
+	BreakerState() string
+}
+
 // CSRSource is an optional extension for indexed sources whose
 // symmetric adjacency is physically the two raw CSR arrays: SymCSR
 // exposes the offset array (length NumVertices+1) and the target array
@@ -119,6 +156,12 @@ type CostModel struct {
 	EdgeQueryCost float64 `json:"edge_query_cost"`
 	// EdgeHitRatio is the probability a random-edge query attempt hits.
 	EdgeHitRatio float64 `json:"edge_hit_ratio"`
+	// RetryCost prices one transparent retry attempt against the API
+	// (charged to the session's retry ledger via SyncRetries, not to
+	// the sampling budget — see Stats.RetrySpent). The paper's model
+	// has no failures, so its accounting has no price for one; 1 (the
+	// cost of the query being retried) is the natural default.
+	RetryCost float64 `json:"retry_cost,omitempty"`
 }
 
 // UnitCosts returns the paper's default accounting: every query costs 1
@@ -130,6 +173,7 @@ func UnitCosts() CostModel {
 		VertexHitRatio:  1,
 		EdgeQueryCost:   2,
 		EdgeHitRatio:    1,
+		RetryCost:       1,
 	}
 }
 
@@ -152,6 +196,17 @@ type Stats struct {
 	EdgeQueries   int64   `json:"edge_queries"`   // random-edge attempts
 	EdgeMisses    int64   `json:"edge_misses"`
 	Spent         float64 `json:"spent"`
+	// Retries counts transparent retry attempts the source reported
+	// (see RetryTaker); RetrySpent is their cost at Model.RetryCost.
+	// They live in a ledger separate from Spent: a retry costs real
+	// quota against the API and is charged and reported, but it does
+	// not shrink the sampling budget — the retried query eventually
+	// succeeded and was already priced, so charging the budget would
+	// also change which observations fit in it, breaking the guarantee
+	// that a crawl under faults samples the exact same sequence as the
+	// fault-free run. TotalSpent sums both ledgers.
+	Retries    int64   `json:"retries,omitempty"`
+	RetrySpent float64 `json:"retry_spent,omitempty"`
 }
 
 // Session mediates all graph access for one sampling run: it enforces the
@@ -205,27 +260,59 @@ type SessionCheckpoint struct {
 	Model  CostModel `json:"model"`
 	Stats  Stats     `json:"stats"`
 	RNG    [4]uint64 `json:"rng"`
+	// Resilience is the source's serialized resilience state (breaker,
+	// limiter, retry jitter stream) when the source is a
+	// ResilienceCarrier with state to report; nil otherwise. Restoring
+	// it on resume is what keeps a resumed crawl from thundering-herd
+	// onto a recovering API.
+	Resilience json.RawMessage `json:"resilience,omitempty"`
 }
 
 // Checkpoint captures the session's current state. It is valid at any
 // point where the sampler's own state is consistent — in practice, at
-// step boundaries (from inside an emit callback, or between runs).
+// step boundaries (from inside an emit callback, or between runs). It
+// first syncs pending retries from the source (so the retry ledger in
+// the checkpoint is current) and, when the source carries resilience
+// state, captures that too.
 func (s *Session) Checkpoint() SessionCheckpoint {
-	return SessionCheckpoint{
+	s.SyncRetries()
+	cp := SessionCheckpoint{
 		Budget: s.budget,
 		Model:  s.model,
 		Stats:  s.stats,
 		RNG:    s.rng.State(),
 	}
+	if rc, ok := s.src.(ResilienceCarrier); ok {
+		// ResilienceState marshals a plain struct; an error cannot
+		// occur in practice and a checkpoint without the blob is still
+		// resumable (the resumed chain starts fresh), so it is dropped
+		// rather than failing the checkpoint.
+		if raw, err := rc.ResilienceState(); err == nil && len(raw) > 0 {
+			cp.Resilience = raw
+		}
+	}
+	return cp
 }
 
 // ResumeSession rebuilds a session over src from a checkpoint: same
 // budget and cost model, stats and spent budget as recorded, and the RNG
-// mid-stream exactly where the checkpointed session left it.
+// mid-stream exactly where the checkpointed session left it. When the
+// checkpoint carries resilience state and src is a ResilienceCarrier,
+// the state is restored into the source — resuming a checkpoint with
+// resilience state onto a carrier without resilience configured is an
+// error (the resumed crawl would herd onto a recovering API); onto a
+// plain source (e.g. an in-memory graph) the blob is ignored.
 func ResumeSession(ctx context.Context, src Source, cp SessionCheckpoint) (*Session, error) {
 	rng := xrand.New(0)
 	if err := rng.Restore(cp.RNG); err != nil {
 		return nil, fmt.Errorf("crawl: resuming session: %w", err)
+	}
+	if len(cp.Resilience) > 0 {
+		if rc, ok := src.(ResilienceCarrier); ok {
+			if err := rc.RestoreResilience(cp.Resilience); err != nil {
+				return nil, fmt.Errorf("crawl: resuming session: %w", err)
+			}
+		}
 	}
 	s := NewSessionContext(ctx, src, cp.Budget, cp.Model, rng)
 	s.stats = cp.Stats
@@ -289,8 +376,41 @@ func (s *Session) Prefetch(ids []int) error {
 // RNG returns the session's random stream.
 func (s *Session) RNG() *xrand.Rand { return s.rng }
 
-// Stats returns a copy of the session's counters.
+// Stats returns a copy of the session's counters. Call SyncRetries
+// first when the retry ledger must be current.
 func (s *Session) Stats() Stats { return s.stats }
+
+// SyncRetries drains pending retries from the source (when it is a
+// RetryTaker) into the session's retry ledger, charging each at
+// Model.RetryCost. Retries are charged to Stats.Retries/RetrySpent —
+// quota visibly spent against the API — but deliberately not to the
+// sampling budget (see Stats). Checkpoint calls it automatically; CLIs
+// call it before reporting final stats. Returns the retries drained.
+func (s *Session) SyncRetries() int64 {
+	rt, ok := s.src.(RetryTaker)
+	if !ok {
+		return 0
+	}
+	n := rt.TakeRetries()
+	if n > 0 {
+		s.stats.Retries += n
+		s.stats.RetrySpent += float64(n) * s.model.RetryCost
+	}
+	return n
+}
+
+// BreakerState returns the source's circuit-breaker state name when the
+// source reports one (see BreakerStater), else "".
+func (s *Session) BreakerState() string {
+	if bs, ok := s.src.(BreakerStater); ok {
+		return bs.BreakerState()
+	}
+	return ""
+}
+
+// TotalSpent returns everything the crawl cost against the API: the
+// sampling budget spent plus the retry ledger.
+func (s *Session) TotalSpent() float64 { return s.stats.Spent + s.stats.RetrySpent }
 
 // Remaining returns the unspent budget.
 func (s *Session) Remaining() float64 { return s.budget - s.stats.Spent }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"frontier/internal/gen"
@@ -269,7 +270,7 @@ func TestSessionCheckpointResume(t *testing.T) {
 	if err := json.Unmarshal(data, &cp2); err != nil {
 		t.Fatal(err)
 	}
-	if cp2 != cp {
+	if !reflect.DeepEqual(cp2, cp) {
 		t.Fatalf("checkpoint changed over JSON: %+v != %+v", cp2, cp)
 	}
 
@@ -358,7 +359,7 @@ func TestChargeStepMatchesStepAccounting(t *testing.T) {
 	if err := charged.ChargeStep(); !errors.Is(err, ErrBudgetExhausted) {
 		t.Fatalf("over-budget ChargeStep returned %v, want ErrBudgetExhausted", err)
 	}
-	if sc, cc := stepped.Checkpoint(), charged.Checkpoint(); sc != cc {
+	if sc, cc := stepped.Checkpoint(), charged.Checkpoint(); !reflect.DeepEqual(sc, cc) {
 		t.Fatalf("accounting diverged:\nStep       %+v\nChargeStep %+v", sc, cc)
 	}
 }

@@ -1,0 +1,134 @@
+package crawl
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"frontier/internal/xrand"
+)
+
+// resilientSource wraps the path graph with the resilience facets a
+// netgraph client would expose: a retry counter to drain, a state blob
+// to checkpoint, and a breaker state.
+type resilientSource struct {
+	Source
+	pending    int64
+	takes      int
+	state      json.RawMessage
+	stateErr   error
+	restored   json.RawMessage
+	restoreErr error
+	breaker    string
+}
+
+func (s *resilientSource) TakeRetries() int64 {
+	s.takes++
+	n := s.pending
+	s.pending = 0
+	return n
+}
+
+func (s *resilientSource) ResilienceState() (json.RawMessage, error) {
+	return s.state, s.stateErr
+}
+
+func (s *resilientSource) RestoreResilience(raw json.RawMessage) error {
+	s.restored = raw
+	return s.restoreErr
+}
+
+func (s *resilientSource) BreakerState() string { return s.breaker }
+
+// TestSyncRetriesChargesLedger: drained retries land in the separate
+// retry ledger at RetryCost each, never in the sampling budget.
+func TestSyncRetriesChargesLedger(t *testing.T) {
+	src := &resilientSource{Source: path4(), pending: 3}
+	model := UnitCosts()
+	model.RetryCost = 2
+	s := NewSession(src, 100, model, xrand.New(1))
+	if _, err := s.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	spentBefore := s.Stats().Spent
+
+	if got := s.SyncRetries(); got != 3 {
+		t.Fatalf("SyncRetries = %d, want 3", got)
+	}
+	src.pending = 2
+	if got := s.SyncRetries(); got != 2 {
+		t.Fatalf("second SyncRetries = %d, want 2", got)
+	}
+	st := s.Stats()
+	if st.Retries != 5 || st.RetrySpent != 10 {
+		t.Fatalf("ledger = retries %d, spent %v; want 5 and 10", st.Retries, st.RetrySpent)
+	}
+	if st.Spent != spentBefore {
+		t.Fatalf("retries leaked into the sampling budget: %v -> %v", spentBefore, st.Spent)
+	}
+	if got := s.TotalSpent(); got != st.Spent+st.RetrySpent {
+		t.Fatalf("TotalSpent = %v, want %v", got, st.Spent+st.RetrySpent)
+	}
+	if s.Remaining() != 100-st.Spent {
+		t.Fatalf("Remaining = %v — the retry ledger must not gate the budget", s.Remaining())
+	}
+}
+
+// TestSyncRetriesPlainSource: a source without the facet is a no-op.
+func TestSyncRetriesPlainSource(t *testing.T) {
+	s := NewSession(path4(), 100, UnitCosts(), xrand.New(1))
+	if got := s.SyncRetries(); got != 0 {
+		t.Fatalf("SyncRetries on plain source = %d", got)
+	}
+	if got := s.BreakerState(); got != "" {
+		t.Fatalf("BreakerState on plain source = %q", got)
+	}
+}
+
+// TestCheckpointCapturesResilience: Checkpoint drains pending retries
+// and embeds the carrier's state blob; ResumeSession hands the blob
+// back to the carrier.
+func TestCheckpointCapturesResilience(t *testing.T) {
+	blob := json.RawMessage(`{"retry_rng":[1,2,3,4]}`)
+	src := &resilientSource{Source: path4(), pending: 4, state: blob, breaker: "closed"}
+	s := NewSession(src, 100, UnitCosts(), xrand.New(1))
+	cp := s.Checkpoint()
+	if cp.Stats.Retries != 4 {
+		t.Fatalf("checkpoint retries = %d, want the pending 4 drained in", cp.Stats.Retries)
+	}
+	if string(cp.Resilience) != string(blob) {
+		t.Fatalf("checkpoint resilience = %s, want %s", cp.Resilience, blob)
+	}
+	if s.BreakerState() != "closed" {
+		t.Fatalf("BreakerState = %q", s.BreakerState())
+	}
+
+	dst := &resilientSource{Source: path4()}
+	if _, err := ResumeSession(context.Background(), dst, cp); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst.restored) != string(blob) {
+		t.Fatalf("restored blob = %s, want %s", dst.restored, blob)
+	}
+}
+
+// TestResumeResilienceErrors: a carrier that refuses the blob fails the
+// resume; a plain source silently skips it (the crawl itself is intact,
+// only transport-layer politeness is lost).
+func TestResumeResilienceErrors(t *testing.T) {
+	cp := SessionCheckpoint{
+		Budget:     100,
+		Model:      UnitCosts(),
+		RNG:        xrand.New(1).State(),
+		Resilience: json.RawMessage(`{"retry_rng":[1,2,3,4]}`),
+	}
+	boom := errors.New("incompatible state")
+	dst := &resilientSource{Source: path4(), restoreErr: boom}
+	if _, err := ResumeSession(context.Background(), dst, cp); !errors.Is(err, boom) {
+		t.Fatalf("resume error = %v, want wrapped %v", err, boom)
+	}
+	if _, err := ResumeSession(context.Background(), path4(), cp); err != nil {
+		t.Fatalf("plain source rejected a resilience-carrying checkpoint: %v", err)
+	}
+}

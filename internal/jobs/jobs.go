@@ -238,8 +238,22 @@ type Status struct {
 	// EstimateUpdates counts live estimation report refreshes — the
 	// per-job counter /metrics exports as
 	// graphd_job_estimate_updates_total.
-	EstimateUpdates int64  `json:"estimate_updates,omitempty"`
-	Error           string `json:"error,omitempty"`
+	EstimateUpdates int64 `json:"estimate_updates,omitempty"`
+	// Retries counts transparent retry attempts the job's source issued
+	// against its backing API (non-zero only for crawls over a
+	// resilience-wrapped netgraph client); RetrySpent is their cost in
+	// budget units. They are charged to a ledger separate from Spent,
+	// so a fault storm never changes which observations a job samples.
+	// /metrics exports Retries as graphd_job_retries_total.
+	Retries int64 `json:"retries,omitempty"`
+	// RetrySpent is the budget-unit cost of Retries (see Retries).
+	RetrySpent float64 `json:"retry_spent,omitempty"`
+	// Breaker is the source's circuit-breaker state at the last step
+	// boundary ("closed", "open", "half-open"; empty when the source
+	// has no breaker). /metrics exports it as a graphd_job_breaker
+	// gauge.
+	Breaker string `json:"breaker,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // checkpoint is the on-disk (and in-memory) serialized form of a job.
@@ -261,7 +275,14 @@ type checkpoint struct {
 	Estimate        *float64        `json:"estimate,omitempty"`
 	StopReason      string          `json:"stop_reason,omitempty"`
 	EstimateUpdates int64           `json:"estimate_updates,omitempty"`
-	Error           string          `json:"error,omitempty"`
+	// Retries/RetrySpent mirror the session's retry ledger at the
+	// checkpoint boundary (the full ledger also rides inside Session;
+	// these copies serve status without deserializing it). Breaker is
+	// the source's circuit-breaker state name at capture.
+	Retries    int64   `json:"retries,omitempty"`
+	RetrySpent float64 `json:"retry_spent,omitempty"`
+	Breaker    string  `json:"breaker,omitempty"`
+	Error      string  `json:"error,omitempty"`
 }
 
 // Job is one sampling job tracked by a Manager.
@@ -289,6 +310,9 @@ type Job struct {
 	stopReason string       // why a done job stopped ("budget" or a convergence reason)
 	report     *live.Report // latest live estimation report, nil before the first
 	estUpdates int64        // report refreshes, the /metrics counter
+	retries    int64        // source retry attempts at the last checkpoint
+	retrySpent float64      // their cost in budget units
+	breaker    string       // breaker state at the last checkpoint ("" = none)
 	cp         *checkpoint  // last step-boundary checkpoint, nil before the first
 
 	version  int64 // bumped on every state change and checkpoint
@@ -370,6 +394,9 @@ func (j *Job) statusLocked() Status {
 		st.StopReason = j.stopReason
 	}
 	st.EstimateUpdates = j.estUpdates
+	st.Retries = j.retries
+	st.RetrySpent = j.retrySpent
+	st.Breaker = j.breaker
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}
@@ -996,6 +1023,12 @@ func (m *Manager) checkpointNow(j *Job, sess *crawl.Session, sampler core.Observ
 		Edges:    edges,
 		EdgeHash: hash,
 		Spent:    scp.Stats.Spent,
+		// Checkpoint() synced the source's retry ledger into Stats and
+		// captured any resilience (breaker/limiter) state into scp, so
+		// the numbers here agree with the serialized session.
+		Retries:    scp.Stats.Retries,
+		RetrySpent: scp.Stats.RetrySpent,
+		Breaker:    sess.BreakerState(),
 	}
 	if !math.IsNaN(est) {
 		e := est
@@ -1008,6 +1041,9 @@ func (m *Manager) checkpointNow(j *Job, sess *crawl.Session, sampler core.Observ
 	j.cp = cp
 	j.edges = edges
 	j.spent = scp.Stats.Spent
+	j.retries = cp.Retries
+	j.retrySpent = cp.RetrySpent
+	j.breaker = cp.Breaker
 	j.estimate = est
 	j.hash = hash
 	j.notifyLocked()
@@ -1051,6 +1087,7 @@ func (m *Manager) persist(j *Job) {
 		ID: j.id, Spec: j.spec, State: j.state,
 		Edges: j.edges, EdgeHash: j.hash, Spent: j.spent,
 		StopReason: j.stopReason, EstimateUpdates: j.estUpdates,
+		Retries: j.retries, RetrySpent: j.retrySpent, Breaker: j.breaker,
 	}
 	if j.cp != nil {
 		cp.Session = j.cp.Session
@@ -1135,6 +1172,7 @@ func (m *Manager) loadCheckpoints() error {
 			id: cp.ID, spec: cp.Spec, edges: cp.Edges, spent: cp.Spent,
 			hash: cp.EdgeHash, estimate: math.NaN(),
 			stopReason: cp.StopReason, estUpdates: cp.EstimateUpdates,
+			retries: cp.Retries, retrySpent: cp.RetrySpent, breaker: cp.Breaker,
 		}
 		if cp.Estimate != nil {
 			j.estimate = *cp.Estimate

@@ -120,6 +120,9 @@ type Client struct {
 	batchSize    int
 	pollInterval time.Duration
 
+	resCfg *ResilienceConfig // set by WithResilience; consumed in Dial
+	res    *resilience       // assembled middleware state (nil without WithResilience)
+
 	mu       sync.Mutex
 	cache    lruCache
 	inflight map[int]*inflightFetch
@@ -164,6 +167,19 @@ func Dial(baseURL string, hc *http.Client, opts ...Option) (*Client, error) {
 	}
 	for _, opt := range opts {
 		opt(c)
+	}
+	if c.resCfg != nil {
+		// Wrap a shallow copy of the caller's http.Client so the chain
+		// is private to this netgraph client. The meta fetch below
+		// already benefits: a flapping server no longer fails Dial.
+		c.res = newResilience(*c.resCfg)
+		hc2 := *c.hc
+		base := hc2.Transport
+		if base == nil {
+			base = http.DefaultTransport
+		}
+		hc2.Transport = c.res.wrap(base)
+		c.hc = &hc2
 	}
 	resp, err := c.get(c.ctx, c.gpath("/v1/meta"))
 	if err != nil {
@@ -241,6 +257,69 @@ func (c *Client) CacheCapacity() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.cache.cap
+}
+
+// Retries returns the total number of retry attempts the resilience
+// chain has issued (0 without WithResilience). Each retry was a real
+// round trip against the API, which is why crawl sessions charge them
+// to the budget's retry ledger.
+func (c *Client) Retries() int64 {
+	if c.res == nil {
+		return 0
+	}
+	return c.res.retries.Load()
+}
+
+// TakeRetries implements crawl.RetryTaker: it returns the number of
+// retries issued since the previous take, so a session can charge each
+// exactly once. Returns 0 without WithResilience.
+func (c *Client) TakeRetries() int64 {
+	if c.res == nil {
+		return 0
+	}
+	return c.res.takeRetries()
+}
+
+// Hedges returns the number of hedge legs launched (0 without
+// WithResilience or with hedging disabled).
+func (c *Client) Hedges() int64 {
+	if c.res == nil {
+		return 0
+	}
+	return c.res.hedges.Load()
+}
+
+// BreakerState implements crawl.BreakerStater: it returns the circuit
+// breaker's current state ("closed", "open" or "half-open"), or "" when
+// no breaker is configured.
+func (c *Client) BreakerState() string {
+	if c.res == nil {
+		return ""
+	}
+	return c.res.breakerState()
+}
+
+// ResilienceState implements crawl.ResilienceCarrier: it serializes the
+// middleware chain's mutable state (breaker state machine, limiter
+// token balances, jitter stream) for a session checkpoint. Returns
+// (nil, nil) without WithResilience.
+func (c *Client) ResilienceState() (json.RawMessage, error) {
+	if c.res == nil {
+		return nil, nil
+	}
+	return c.res.stateJSON()
+}
+
+// RestoreResilience implements crawl.ResilienceCarrier: it restores
+// breaker, limiter and jitter-stream state from a checkpoint blob, so a
+// resumed crawl rejoins a recovering API at the pace it left — an open
+// breaker stays open for its remaining cooldown instead of herding.
+// Restoring onto a client dialed without WithResilience is an error.
+func (c *Client) RestoreResilience(raw json.RawMessage) error {
+	if c.res == nil {
+		return fmt.Errorf("netgraph: checkpoint carries resilience state but client has none configured (use WithResilience)")
+	}
+	return c.res.restoreJSON(raw)
 }
 
 // Vertex returns the record for v, fetching it over the network on a
@@ -430,7 +509,10 @@ func (c *Client) fetchBatch(ids []int) (map[int]*VertexRecord, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netgraph: encoding batch: %w", err)
 	}
-	resp, err := c.post(c.ctx, c.gpath("/v1/vertices"), body)
+	// Batch fetches are read-only and idempotent, so they are marked
+	// hedge-eligible: under WithResilience(HedgeDelay > 0) a straggling
+	// batch gets a second chance instead of stalling the whole frontier.
+	resp, err := c.post(MarkHedgeable(c.ctx), c.gpath("/v1/vertices"), body)
 	if err != nil {
 		return nil, fmt.Errorf("netgraph: batch of %d: %w", len(ids), err)
 	}

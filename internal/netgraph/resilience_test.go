@@ -1,0 +1,410 @@
+package netgraph
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"frontier/internal/core"
+	"frontier/internal/crawl"
+	"frontier/internal/gen"
+	"frontier/internal/jobs"
+	"frontier/internal/xrand"
+)
+
+// fsObsHash runs Frontier Sampling over src and returns an FNV-1a hash
+// of the exact observation sequence plus the session. Identical hashes
+// mean byte-identical crawls.
+func fsObsHash(t *testing.T, src crawl.Source, seed uint64, budget float64) (uint64, *crawl.Session) {
+	t.Helper()
+	sess := crawl.NewSession(src, budget, crawl.UnitCosts(), xrand.New(seed))
+	fs := &core.FrontierSampler{M: 16}
+	var h uint64 = 14695981039346656037
+	obs := func(u, v int) {
+		for _, x := range [2]int{u, v} {
+			for i := 0; i < 8; i++ {
+				h ^= uint64(byte(x >> (8 * i)))
+				h *= 1099511628211
+			}
+		}
+	}
+	run := func() error { return fs.Run(sess, obs) }
+	var err error
+	if c, ok := src.(*Client); ok {
+		err = c.RunSafely(run)
+	} else {
+		err = run()
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.SyncRetries()
+	return h, sess
+}
+
+// TestCrawlUnderFaultsByteIdentical is the acceptance test for the
+// resilience chain: a crawl over a server injecting seeded 429/5xx
+// bursts and dropped connections at 10% must finish with the exact
+// observation sequence of the fault-free run — retries are charged to
+// the session's retry ledger, never to the sampling budget, so the
+// sampler's RNG stream and walk are untouched by transport failures.
+func TestCrawlUnderFaultsByteIdentical(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(11), 300, 3)
+	const budget = 4000
+
+	plain := httptest.NewServer(NewServer("plain", g, nil))
+	defer plain.Close()
+	cPlain := dialOpts(t, plain)
+	wantHash, basSess := fsObsHash(t, cPlain, 42, budget)
+	baseStats := basSess.Stats()
+	if baseStats.Retries != 0 || baseStats.RetrySpent != 0 {
+		t.Fatalf("fault-free run charged retries: %+v", baseStats)
+	}
+
+	srvF := NewServer("faulted", g, nil, WithFaults(FaultSpec{
+		Seed: 7, Rate: 0.10, Burst: 2, DropRate: 0.2,
+	}))
+	faulted := httptest.NewServer(srvF)
+	defer faulted.Close()
+	cFaulted := dialOpts(t, faulted, WithResilience(ResilienceConfig{
+		MaxAttempts: 10,
+		RetryBase:   200 * time.Microsecond,
+		RetryMax:    2 * time.Millisecond,
+		Seed:        9,
+	}))
+	gotHash, sess := fsObsHash(t, cFaulted, 42, budget)
+	st := sess.Stats()
+
+	if gotHash != wantHash {
+		t.Fatalf("observation hash under faults = %016x, fault-free = %016x", gotHash, wantHash)
+	}
+	if st.Spent != baseStats.Spent || st.Steps != baseStats.Steps {
+		t.Fatalf("sampling budget diverged under faults: %+v vs %+v", st, baseStats)
+	}
+	if fst := srvF.Stats(); fst.FaultsInjected == 0 || fst.FaultsDropped == 0 {
+		t.Fatalf("fault injection never fired: %+v", fst)
+	}
+	if st.Retries == 0 {
+		t.Fatal("faults were injected but no retries were charged")
+	}
+	if st.RetrySpent != float64(st.Retries) {
+		t.Fatalf("RetrySpent = %v, want Retries × RetryCost = %v", st.RetrySpent, float64(st.Retries))
+	}
+	if got := sess.TotalSpent(); got != st.Spent+st.RetrySpent {
+		t.Fatalf("TotalSpent = %v, want %v", got, st.Spent+st.RetrySpent)
+	}
+	if c := cFaulted.Retries(); c != st.Retries {
+		t.Fatalf("client retry counter %d, session ledger %d", c, st.Retries)
+	}
+}
+
+// TestResilienceStateRoundTrip: a tripped breaker and the limiter's
+// token balances survive a session checkpoint losslessly. The resumed
+// client rejects requests without touching the server while the
+// restored cooldown runs — no thundering herd on resume — then probes
+// half-open and closes.
+func TestResilienceStateRoundTrip(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(11), 200, 3)
+	inner := NewServer("g", g, nil)
+	var failing atomic.Bool
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			hits.Add(1)
+			if failing.Load() {
+				http.Error(w, "down", http.StatusServiceUnavailable)
+				return
+			}
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	fc := newFakeClock()
+	rcfg := ResilienceConfig{
+		MaxAttempts:      1, // isolate the breaker: one failure per call
+		BreakerThreshold: 3,
+		BreakerCooldown:  10 * time.Second,
+		RateLimit:        1000,
+		RateBurst:        8,
+		Clock:            fc,
+	}
+	c1 := dialOpts(t, ts, WithResilience(rcfg))
+	sess := crawl.NewSession(c1, 1000, crawl.UnitCosts(), xrand.New(1))
+	if err := c1.RunSafely(func() error { c1.SymDegree(0); return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	failing.Store(true)
+	for i := 0; i < 3; i++ {
+		v := 10 + i
+		if err := c1.RunSafely(func() error { c1.SymDegree(v); return nil }); err == nil {
+			t.Fatalf("call %d succeeded against a failing server", i)
+		}
+	}
+	if got := c1.BreakerState(); got != string(BreakerOpen) {
+		t.Fatalf("breaker = %s after 3 consecutive failures, want open", got)
+	}
+	cp := sess.Checkpoint()
+	if len(cp.Resilience) == 0 {
+		t.Fatal("session checkpoint is missing the resilience blob")
+	}
+	failing.Store(false)
+
+	// A second client — think process restart — resumes the checkpoint.
+	c2 := dialOpts(t, ts, WithResilience(rcfg))
+	sess2, err := crawl.ResumeSession(context.Background(), c2, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sess2
+	if got := c2.BreakerState(); got != string(BreakerOpen) {
+		t.Fatalf("resumed breaker = %s, want open", got)
+	}
+	// Lossless: re-serializing the restored state reproduces the blob
+	// byte for byte (the clock has not moved).
+	got, err := c2.ResilienceState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, cp.Resilience) {
+		t.Fatalf("restored state round-trip diverged:\n got %s\nwant %s", got, cp.Resilience)
+	}
+
+	// No thundering herd: while the restored cooldown runs, requests
+	// fail fast with ErrCircuitOpen and the server sees nothing.
+	before := hits.Load()
+	err = c2.RunSafely(func() error { c2.SymDegree(1); return nil })
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open-breaker call error = %v, want ErrCircuitOpen", err)
+	}
+	if hits.Load() != before {
+		t.Fatal("open breaker let a request reach the server")
+	}
+
+	// Cooldown over: the half-open probe goes through and closes.
+	fc.Advance(11 * time.Second)
+	if err := c2.RunSafely(func() error { c2.SymDegree(1); return nil }); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if got := c2.BreakerState(); got != string(BreakerClosed) {
+		t.Fatalf("breaker after successful probe = %s, want closed", got)
+	}
+	if got := sess2.BreakerState(); got != string(BreakerClosed) {
+		t.Fatalf("session breaker facet = %s, want closed", got)
+	}
+}
+
+// TestResilienceStatePlainClient: a client without WithResilience has
+// no state to capture, and refuses to restore a checkpoint that carries
+// some — resuming a resilient crawl needs a resilient client.
+func TestResilienceStatePlainClient(t *testing.T) {
+	ts, _, _ := testServer(t)
+	c := dialOpts(t, ts)
+	raw, err := c.ResilienceState()
+	if raw != nil || err != nil {
+		t.Fatalf("plain client state = (%s, %v), want (nil, nil)", raw, err)
+	}
+	if err := c.RestoreResilience([]byte(`{"retry_rng":[1,2,3,4]}`)); err == nil {
+		t.Fatal("plain client accepted a resilience checkpoint")
+	}
+}
+
+// TestJobCheckpointResilienceRoundTrip drives the full stack: a job
+// crawling through a resilient client over a fault-injecting server is
+// paused mid-storm, its manager shut down, and a fresh manager + fresh
+// client resume it from the persisted checkpoint. The finished job's
+// edge hash must equal a fault-free in-process baseline, retries must
+// be charged and surfaced in job status, and the persisted checkpoint
+// must carry the resilience state.
+func TestJobCheckpointResilienceRoundTrip(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(21), 800, 3)
+	spec := jobs.Spec{Method: "fs", M: 8, Budget: 50000, Seed: 77}
+
+	// Fault-free baseline, in process.
+	mgr0, err := jobs.NewManager(g, jobs.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j0, err := mgr0.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j0, func(st jobs.Status) bool { return st.State.Terminal() })
+	base := j0.Status()
+	mgr0.Stop()
+	if base.State != jobs.StateDone || base.EdgeHash == "" {
+		t.Fatalf("baseline job ended %+v", base)
+	}
+
+	ts := httptest.NewServer(NewServer("fg", g, nil, WithFaults(FaultSpec{
+		Seed: 3, Rate: 0.08, DropRate: 0.25,
+	})))
+	defer ts.Close()
+	rcfg := ResilienceConfig{
+		MaxAttempts:      10,
+		RetryBase:        100 * time.Microsecond,
+		RetryMax:         time.Millisecond,
+		RateLimit:        1e6,
+		RateBurst:        1024,
+		BreakerThreshold: 1 << 20, // enabled, but must never trip here
+		Seed:             5,
+	}
+	dir := t.TempDir()
+
+	c1 := dialOpts(t, ts, WithResilience(rcfg))
+	mgr1, err := jobs.NewManager(c1, jobs.WithWorkers(1), jobs.WithCheckpointDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := mgr1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j1, func(st jobs.Status) bool { return st.Edges > 0 || st.State.Terminal() })
+	if err := mgr1.Pause(j1.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j1, func(st jobs.Status) bool {
+		return st.State == jobs.StatePaused || st.State.Terminal()
+	})
+	mgr1.Stop()
+	paused := j1.Status()
+	if paused.State != jobs.StatePaused {
+		t.Fatalf("job state at shutdown = %s, want paused mid-storm", paused.State)
+	}
+
+	// The persisted checkpoint carries the resilience state.
+	data, err := os.ReadFile(filepath.Join(dir, j1.ID()+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, marker := range []string{`"resilience"`, `"retry_rng"`, `"breaker"`} {
+		if !strings.Contains(string(data), marker) {
+			t.Fatalf("checkpoint file missing %s:\n%s", marker, data)
+		}
+	}
+
+	// Restart: fresh client, fresh manager, same checkpoint dir.
+	c2 := dialOpts(t, ts, WithResilience(rcfg))
+	mgr2, err := jobs.NewManager(c2, jobs.WithWorkers(1), jobs.WithCheckpointDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr2.Stop()
+	j2, ok := mgr2.Get(j1.ID())
+	if !ok {
+		t.Fatal("resumed manager lost the job")
+	}
+	waitState(t, j2, func(st jobs.Status) bool { return st.State.Terminal() })
+	fin := j2.Status()
+	if fin.State != jobs.StateDone {
+		t.Fatalf("resumed job ended %s (%s)", fin.State, fin.Error)
+	}
+	if fin.EdgeHash != base.EdgeHash {
+		t.Fatalf("edge hash after pause/resume under faults = %s, fault-free baseline = %s",
+			fin.EdgeHash, base.EdgeHash)
+	}
+	if fin.Retries == 0 || fin.RetrySpent != float64(fin.Retries) {
+		t.Fatalf("retries not charged through the job: retries=%d spent=%v", fin.Retries, fin.RetrySpent)
+	}
+	if fin.Breaker != string(BreakerClosed) {
+		t.Fatalf("job breaker state = %q, want closed", fin.Breaker)
+	}
+	if fin.Spent != base.Spent {
+		t.Fatalf("sampling budget diverged: %v vs baseline %v", fin.Spent, base.Spent)
+	}
+}
+
+// waitState polls a job until cond holds (acceptance tests run against
+// real servers, so this is honest waiting, bounded by the test
+// deadline).
+func waitState(t *testing.T, j *jobs.Job, cond func(jobs.Status) bool) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for !cond(j.Status()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for job state; last = %+v", j.Status())
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
+// TestVertexErrorPaths: Vertex surfaces server-side failures as errors
+// — out-of-range IDs (404) and server faults (500, no retry layer
+// configured) alike.
+func TestVertexErrorPaths(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(5), 50, 2)
+	inner := NewServer("g", g, nil)
+	var fail atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fail.Load() && strings.HasPrefix(r.URL.Path, "/v1/vertex") {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	c := dialOpts(t, ts)
+
+	if _, err := c.Vertex(1 << 20); err == nil {
+		t.Fatal("out-of-range Vertex returned no error")
+	}
+	if _, err := c.Vertex(-1); err == nil {
+		t.Fatal("negative Vertex returned no error")
+	}
+	if rec, err := c.Vertex(3); err != nil || rec.ID != 3 {
+		t.Fatalf("healthy Vertex(3) = %+v, %v", rec, err)
+	}
+	fail.Store(true)
+	if _, err := c.Vertex(7); err == nil {
+		t.Fatal("Vertex against a 500ing server returned no error")
+	}
+}
+
+// TestWaitJobPollingFallback: when the SSE event stream is unavailable
+// (old server, stripping proxy), WaitJob falls back to polling and
+// still returns the terminal status.
+func TestWaitJobPollingFallback(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(21), 500, 3)
+	mgr, err := jobs.NewManager(g, jobs.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Stop)
+	inner := NewServer("g", g, nil, WithJobs(mgr))
+	var sseHits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/events") {
+			sseHits.Add(1)
+			http.NotFound(w, r)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	c := dialOpts(t, ts)
+
+	st, err := c.SubmitJob(context.Background(), jobs.Spec{Method: "fs", M: 4, Budget: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitJob(context.Background(), st.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != jobs.StateDone {
+		t.Fatalf("job ended %s (%s)", final.State, final.Error)
+	}
+	if sseHits.Load() == 0 {
+		t.Fatal("the SSE route was never attempted — fallback path untested")
+	}
+}

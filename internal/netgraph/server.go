@@ -112,6 +112,16 @@ type ServerStats struct {
 	BatchRequests int64 `json:"batch_requests"`
 	// VerticesServed counts vertex records sent (single + batched).
 	VerticesServed int64 `json:"vertices_served"`
+	// FaultsInjected counts hard faults injected by WithFaults (status
+	// responses + dropped connections); zero and omitted without fault
+	// injection.
+	FaultsInjected int64 `json:"faults_injected,omitempty"`
+	// FaultsByStatus breaks FaultsInjected down by injected status code.
+	FaultsByStatus map[string]int64 `json:"faults_by_status,omitempty"`
+	// FaultsDropped counts injected dropped connections.
+	FaultsDropped int64 `json:"faults_dropped,omitempty"`
+	// FaultsSlowed counts responses served after an injected slow delay.
+	FaultsSlowed int64 `json:"faults_slowed,omitempty"`
 }
 
 // ServerOption configures a Server.
@@ -160,6 +170,7 @@ type Server struct {
 	mux     *http.ServeMux
 	routes  []string
 	latency time.Duration
+	faults  *faultInjector // nil unless WithFaults configured injection
 	jobs    *jobs.Manager
 	started time.Time
 
@@ -239,13 +250,17 @@ func (s *Server) Catalog() *Catalog { return s.cat }
 
 // Stats returns a snapshot of the aggregate request counters.
 func (s *Server) Stats() ServerStats {
-	return ServerStats{
+	st := ServerStats{
 		Requests:       s.requests.Load(),
 		MetaRequests:   s.metaRequests.Load(),
 		VertexRequests: s.vertexRequests.Load(),
 		BatchRequests:  s.batchRequests.Load(),
 		VerticesServed: s.verticesServed.Load(),
 	}
+	if s.faults != nil {
+		st.FaultsByStatus, st.FaultsDropped, st.FaultsSlowed, st.FaultsInjected = s.faults.counts()
+	}
+	return st
 }
 
 // latencyExempt reports whether a path skips the injected latency:
@@ -261,6 +276,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if s.latency > 0 && !latencyExempt(r) {
 		time.Sleep(s.latency)
+	}
+	if s.faults != nil && faultEligible(r) && s.injectFault(w, r) {
+		return
 	}
 	s.mux.ServeHTTP(w, r)
 }
@@ -685,6 +703,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("graphd_vertex_requests_total", "GET /v1/vertex/{id} requests.", s.vertexRequests.Load())
 	counter("graphd_batch_requests_total", "POST /v1/vertices requests.", s.batchRequests.Load())
 	counter("graphd_vertices_served_total", "Vertex records sent (single + batched).", s.verticesServed.Load())
+	if s.faults != nil {
+		s.faults.writeFaultMetrics(&b)
+	}
 
 	fmt.Fprintf(&b, "# HELP graphd_uptime_seconds Time since the server started.\n# TYPE graphd_uptime_seconds gauge\ngraphd_uptime_seconds %g\n",
 		time.Since(s.started).Seconds())
@@ -769,6 +790,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				emitted = true
 			}
 			fmt.Fprintf(&b, "graphd_job_estimate_updates_total{job=%q} %d\n", promEscape(st.ID), st.EstimateUpdates)
+		}
+		// Per-job resilience counters: retry attempts the job's source
+		// issued (quota spent surviving faults) and the circuit
+		// breaker's state at the last step boundary.
+		emitted = false
+		for _, st := range statuses {
+			if st.Retries == 0 {
+				continue
+			}
+			if !emitted {
+				fmt.Fprintf(&b, "# HELP graphd_job_retries_total Source retry attempts per job.\n# TYPE graphd_job_retries_total counter\n")
+				emitted = true
+			}
+			fmt.Fprintf(&b, "graphd_job_retries_total{job=%q} %d\n", promEscape(st.ID), st.Retries)
+		}
+		emitted = false
+		for _, st := range statuses {
+			if st.Breaker == "" {
+				continue
+			}
+			if !emitted {
+				fmt.Fprintf(&b, "# HELP graphd_job_breaker Circuit-breaker state per job (1 = current state).\n# TYPE graphd_job_breaker gauge\n")
+				emitted = true
+			}
+			fmt.Fprintf(&b, "graphd_job_breaker{job=%q,state=%q} 1\n", promEscape(st.ID), promEscape(st.Breaker))
 		}
 	}
 
