@@ -11,8 +11,11 @@
 package frontier_test
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"net/http/httptest"
 	"os"
@@ -287,6 +290,39 @@ func BenchmarkMethodObservations(b *testing.B) {
 				b.Fatal(err)
 			}
 		})
+	}
+}
+
+// BenchmarkObsBatchLogging proves the observability layer stays off
+// the batched observation hot path: the slab callback carries the same
+// guarded disabled-level slog call the job manager's emitBatch uses (a
+// hoisted Enabled check in front of LogAttrs), and the run must still
+// report 0 allocs/op — the CI benchmark gate enforces it. An unguarded
+// call, or variadic ...any logging, would allocate per slab.
+func BenchmarkObsBatchLogging(b *testing.B) {
+	g := benchGraph(b)
+	logger, err := frontier.NewLogger(io.Discard, slog.LevelWarn, "json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	method, ok := frontier.DefaultJobMethods().Get("fs")
+	if !ok {
+		b.Fatal("method fs not registered")
+	}
+	s := method.Build(frontier.JobSpec{Method: "fs", M: 16})
+	sess := frontier.NewSession(g, 2*float64(b.N)+64, frontier.UnitCosts(), frontier.NewRand(10))
+	var slabs int64
+	b.ResetTimer()
+	err = s.RunObsBatch(sess, func(batch []frontier.Observation) {
+		slabs++
+		if logger.Enabled(ctx, slog.LevelDebug) {
+			logger.LogAttrs(ctx, slog.LevelDebug, "slab",
+				slog.Int("n", len(batch)), slog.Int64("slabs", slabs))
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
 	}
 }
 

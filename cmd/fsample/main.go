@@ -60,6 +60,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -71,6 +72,7 @@ import (
 	"frontier/internal/jobs"
 	"frontier/internal/live"
 	"frontier/internal/netgraph"
+	"frontier/internal/obs"
 	"frontier/internal/stats"
 	"frontier/internal/walkstats"
 	"frontier/internal/xrand"
@@ -111,8 +113,26 @@ func main() {
 		breakerCool    = flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before the half-open probe (0 = 1s default)")
 		hedgeDelay     = flag.Duration("hedge", 0, "hedge idempotent requests still unresolved after this delay (0 = off)")
 		attemptTimeout = flag.Duration("attempt-timeout", 0, "per-attempt deadline; a timed-out attempt is retried (0 = off)")
+
+		// Observability flags. The default level is warn: a CLI's stdout
+		// is its result, so informational logging is opt-in.
+		logLevel  = flag.String("log-level", "warn", "log level: debug, info, warn or error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
+		traceF    = flag.Bool("trace", false, "mint a trace ID for this run (propagated to graphd via X-Trace-Id); with -remote-job, print the job's span timeline at the end")
 	)
 	flag.Parse()
+
+	level, lerr := obs.ParseLevel(*logLevel)
+	if lerr != nil {
+		fmt.Fprintf(os.Stderr, "fsample: %v\n", lerr)
+		os.Exit(2)
+	}
+	logger, lerr := obs.NewLogger(os.Stderr, level, *logFormat)
+	if lerr != nil {
+		fmt.Fprintf(os.Stderr, "fsample: %v\n", lerr)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	// The chain is enabled by any resilience flag; its jitter stream
 	// shares -seed so a faulted rerun replays the same backoff schedule.
@@ -138,6 +158,13 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	if *traceF {
+		// The ID rides every request this run issues as X-Trace-Id, so
+		// server-side log lines and job statuses correlate with this run.
+		id := obs.NewTraceID()
+		ctx = obs.WithTraceID(ctx, id)
+		fmt.Fprintf(os.Stderr, "trace id: %s\n", id)
+	}
 
 	if *remoteJob {
 		if *url == "" {
@@ -155,7 +182,7 @@ func main() {
 			url: *url, graph: *graphPath, method: *methodStr,
 			m: *m, budget: *budget, seed: *seed, est: *est,
 			stopCI: *stopCI, jsonOut: *jsonOut,
-			follow: *follow, poll: *poll,
+			follow: *follow, poll: *poll, trace: *traceF,
 			dialOpts: resilience,
 		}
 		if *methodStr == "jump" {
@@ -620,6 +647,7 @@ type remoteJobConfig struct {
 	jsonOut  bool
 	follow   bool
 	poll     time.Duration
+	trace    bool              // print the job's span timeline when it ends
 	dialOpts []netgraph.Option // resilience options for the control-plane client
 }
 
@@ -695,6 +723,11 @@ func runRemoteJob(ctx context.Context, cfg remoteJobConfig) {
 		}
 		os.Exit(1)
 	}
+	if cfg.trace {
+		// Printed before the result (and before a failure exit): the span
+		// timeline is most useful exactly when the job did not end well.
+		printJobTrace(ctx, c, final.ID)
+	}
 	if final.State != jobs.StateDone {
 		fmt.Fprintf(os.Stderr, "fsample: job %s ended %s: %s\n", final.ID, final.State, final.Error)
 		os.Exit(1)
@@ -746,6 +779,25 @@ func runRemoteJob(ctx context.Context, cfg remoteJobConfig) {
 			line += ", breaker " + final.Breaker
 		}
 		fmt.Println(line)
+	}
+}
+
+// printJobTrace fetches and prints the job's span timeline to stderr:
+// one line per event (lifecycle transitions, checkpoints, and the
+// crawl retry/hedge/breaker events the resilient source emitted).
+func printJobTrace(ctx context.Context, c *netgraph.Client, id string) {
+	tr, err := c.JobTrace(ctx, id)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsample: job trace unavailable: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "trace %s: %d events (%d dropped)\n", tr.TraceID, len(tr.Events), tr.Dropped)
+	for _, ev := range tr.Events {
+		line := fmt.Sprintf("  %s %s", ev.Time.Format("15:04:05.000"), ev.Name)
+		if ev.Detail != "" {
+			line += " " + ev.Detail
+		}
+		fmt.Fprintln(os.Stderr, line)
 	}
 }
 

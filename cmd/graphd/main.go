@@ -51,13 +51,20 @@
 // stop_rule (e.g. "ci_halfwidth<=0.01") halts adaptively the moment
 // its estimate converges — estimator and monitor state ride the same
 // checkpoints, so adaptive jobs also pause and resume losslessly.
+//
+// Observability: logs are structured (log/slog; -log-level and
+// -log-format select severity and text/json encoding), every request
+// is traced by an X-Trace-Id header (adopted from the client or
+// minted) that links request log lines, job statuses and the span
+// timeline at GET /v1/jobs/{id}/trace, request and job latency
+// histograms ride /metrics, and -pprof serves net/http/pprof on a
+// separate (typically loopback-only) listener.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -71,6 +78,7 @@ import (
 	"frontier/internal/graphio"
 	"frontier/internal/jobs"
 	"frontier/internal/netgraph"
+	"frontier/internal/obs"
 	"frontier/internal/xrand"
 )
 
@@ -88,8 +96,20 @@ func main() {
 		faults     = flag.String("faults", "", "seeded deterministic fault injection on the data plane, e.g. 'rate=0.1,seed=7,statuses=429+500+503,burst=3,drop=0.2,slow=0.05:5ms,flap=200:40'")
 		workers    = flag.Int("workers", 4, "sampling-job worker pool size (0 disables the job service)")
 		ckptDir    = flag.String("checkpoint-dir", "", "directory for job checkpoints; jobs resume across restarts")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat  = flag.String("log-format", "text", "log format: text or json")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger, err := obs.NewLogger(os.Stderr, level, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
 
 	cat := netgraph.NewCatalog()
 
@@ -141,7 +161,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	var opts []netgraph.ServerOption
+	opts := []netgraph.ServerOption{netgraph.WithLogging(logger)}
 	if *latency > 0 {
 		opts = append(opts, netgraph.WithLatency(*latency))
 	}
@@ -151,11 +171,15 @@ func main() {
 			fatal(err)
 		}
 		opts = append(opts, netgraph.WithFaults(spec))
-		log.Printf("graphd: injecting faults: %s", *faults)
+		logger.Info("injecting faults", "spec", *faults)
 	}
 	var mgr *jobs.Manager
 	if *workers > 0 {
-		mopts := []jobs.Option{jobs.WithWorkers(*workers), jobs.WithResolver(cat)}
+		mopts := []jobs.Option{
+			jobs.WithWorkers(*workers),
+			jobs.WithResolver(cat),
+			jobs.WithLogger(logger),
+		}
 		if *ckptDir != "" {
 			mopts = append(mopts, jobs.WithCheckpointDir(*ckptDir))
 		}
@@ -165,8 +189,23 @@ func main() {
 			fatal(err)
 		}
 		opts = append(opts, netgraph.WithJobs(mgr))
-		log.Printf("graphd: job service: %d workers, %d jobs resumed (checkpoint dir %q)",
-			*workers, mgr.ActiveJobs(), *ckptDir)
+		logger.Info("job service started",
+			"workers", *workers, "jobs_resumed", mgr.ActiveJobs(), "checkpoint_dir", *ckptDir)
+	}
+	if *pprofAddr != "" {
+		// The debug mux listens on its own (typically loopback-only)
+		// address so profiling endpoints never share the public listener.
+		go func() {
+			dbg := &http.Server{
+				Addr:              *pprofAddr,
+				Handler:           obs.DebugMux(),
+				ReadHeaderTimeout: 10 * time.Second,
+			}
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("pprof server failed", "err", err)
+			}
+		}()
 	}
 	srv := &http.Server{
 		Addr:    *addr,
@@ -181,14 +220,11 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	for _, info := range cat.List() {
-		def := ""
-		if info.Default {
-			def = " (default)"
-		}
-		log.Printf("graphd: hosting %q%s (%d vertices, %d directed edges)",
-			info.Name, def, info.NumVertices, info.NumDirectedEdges)
+		logger.Info("hosting graph",
+			"graph", info.Name, "default", info.Default,
+			"vertices", info.NumVertices, "directed_edges", info.NumDirectedEdges)
 	}
-	log.Printf("graphd: serving %d graph(s) on %s (latency %s)", cat.Len(), *addr, *latency)
+	logger.Info("serving", "graphs", cat.Len(), "addr", *addr, "latency", *latency)
 
 	// Graceful shutdown: pause and checkpoint running jobs, then drain
 	// the listener.
@@ -197,7 +233,7 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		log.Printf("graphd: shutting down")
+		logger.Info("shutting down")
 		if mgr != nil {
 			mgr.Stop()
 		}
@@ -207,7 +243,8 @@ func main() {
 		close(done)
 	}()
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatalf("graphd: %v", err)
+		logger.Error("listener failed", "err", err)
+		os.Exit(1)
 	}
 	<-done
 }

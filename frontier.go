@@ -27,6 +27,8 @@ package frontier
 import (
 	"context"
 	"io"
+	"log/slog"
+	"net/http"
 	"time"
 
 	"frontier/internal/core"
@@ -38,6 +40,7 @@ import (
 	"frontier/internal/jobs"
 	"frontier/internal/live"
 	"frontier/internal/netgraph"
+	"frontier/internal/obs"
 	"frontier/internal/stats"
 	"frontier/internal/walkstats"
 	"frontier/internal/xrand"
@@ -767,3 +770,76 @@ func Autocorrelation(xs []float64, maxLag int) ([]float64, error) {
 func MeanCI(xs []float64) (mean, halfWidth float64, err error) {
 	return walkstats.MeanCI(xs)
 }
+
+// Observability (internal/obs): structured logging, trace IDs, span
+// timelines, Prometheus latency histograms and a pprof debug mux,
+// wired through the graph server, client and job manager.
+type (
+	// TraceEvent is one entry in a span timeline.
+	TraceEvent = obs.Event
+	// TraceTimeline is a bounded in-memory ring of trace events.
+	TraceTimeline = obs.Timeline
+	// JobTrace is a job's span timeline as served at
+	// GET /v1/jobs/{id}/trace: lifecycle transitions, checkpoints and
+	// the crawl retry/hedge/breaker events the job's source emitted.
+	JobTrace = jobs.Trace
+	// LatencyHistogram is a fixed-bucket Prometheus-style histogram.
+	LatencyHistogram = obs.Histogram
+	// LatencyHistogramVec partitions a LatencyHistogram by one label.
+	LatencyHistogramVec = obs.HistogramVec
+)
+
+// TraceHeader is the HTTP header that propagates a trace ID between
+// the graph client and server.
+const TraceHeader = obs.TraceHeader
+
+// ParseLogLevel parses a -log-level flag value (debug, info, warn,
+// warning or error; case-insensitive) into a slog.Level.
+func ParseLogLevel(s string) (slog.Level, error) { return obs.ParseLevel(s) }
+
+// NewLogger builds a structured logger writing to w at the given
+// level; format selects "json" or "text" (default) encoding.
+func NewLogger(w io.Writer, level slog.Level, format string) (*slog.Logger, error) {
+	return obs.NewLogger(w, level, format)
+}
+
+// NopLogger returns a logger that discards everything and reports
+// every level disabled — the silent default the server and job
+// manager use when no logger is configured.
+func NopLogger() *slog.Logger { return obs.NopLogger() }
+
+// NewTraceID mints a 16-hex-character random trace ID.
+func NewTraceID() string { return obs.NewTraceID() }
+
+// WithTraceID returns ctx carrying the trace ID; the graph client
+// stamps it on every outbound request as the TraceHeader.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return obs.WithTraceID(ctx, id)
+}
+
+// TraceIDFromContext returns the trace ID carried by ctx ("" when
+// none).
+func TraceIDFromContext(ctx context.Context) string { return obs.TraceID(ctx) }
+
+// DebugMux returns a mux serving net/http/pprof under /debug/pprof/,
+// for a separate (typically loopback-only) listener — graphd's -pprof
+// flag mounts it.
+func DebugMux() *http.ServeMux { return obs.DebugMux() }
+
+// EscapeMetricLabel escapes a Prometheus label value (backslash,
+// quote, newline).
+func EscapeMetricLabel(s string) string { return obs.EscapeLabel(s) }
+
+// CheckMetricsExposition validates Prometheus text exposition output:
+// syntax, and histogram bucket monotonicity/completeness.
+func CheckMetricsExposition(data []byte) error { return obs.CheckExposition(data) }
+
+// WithServerLogging attaches a structured logger to the graph server:
+// one Info record per request (method, route, status, duration,
+// trace ID) and Error records for recovered handler panics.
+func WithServerLogging(l *slog.Logger) GraphServerOption { return netgraph.WithLogging(l) }
+
+// WithJobLogger attaches a structured logger to the job manager: job
+// lifecycle at Info, slab progress at Debug, persistence failures at
+// Error, every record carrying the job and trace IDs.
+func WithJobLogger(l *slog.Logger) JobOption { return jobs.WithLogger(l) }

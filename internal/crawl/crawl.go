@@ -115,6 +115,18 @@ type BreakerStater interface {
 	BreakerState() string
 }
 
+// EventSource is an optional extension for sources that emit
+// transport-level resilience events (retry waits, hedge launches,
+// circuit-breaker transitions). SetEventSink installs fn as the live
+// event consumer — the jobs manager points it at the running job's
+// span timeline so a fault-injected crawl's retry storm is visible at
+// /v1/jobs/{id}/trace; nil uninstalls. fn is called from request
+// goroutines and must be cheap and concurrency-safe.
+type EventSource interface {
+	// SetEventSink installs (or, with nil, removes) the event consumer.
+	SetEventSink(fn func(kind, detail string))
+}
+
 // CSRSource is an optional extension for indexed sources whose
 // symmetric adjacency is physically the two raw CSR arrays: SymCSR
 // exposes the offset array (length NumVertices+1) and the target array

@@ -50,6 +50,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
 	"math"
 	"os"
 	"path/filepath"
@@ -62,6 +63,7 @@ import (
 	"frontier/internal/core"
 	"frontier/internal/crawl"
 	"frontier/internal/live"
+	"frontier/internal/obs"
 	"frontier/internal/xrand"
 )
 
@@ -253,6 +255,11 @@ type Status struct {
 	// has no breaker). /metrics exports it as a graphd_job_breaker
 	// gauge.
 	Breaker string `json:"breaker,omitempty"`
+	// TraceID is the job's trace identifier: the X-Trace-Id of the
+	// submitting request when it carried one, minted otherwise. Every
+	// log line and span event the job produces carries it, and
+	// GET /v1/jobs/{id}/trace serves the job's span timeline under it.
+	TraceID string `json:"trace_id,omitempty"`
 	Error   string `json:"error,omitempty"`
 }
 
@@ -282,13 +289,19 @@ type checkpoint struct {
 	Retries    int64   `json:"retries,omitempty"`
 	RetrySpent float64 `json:"retry_spent,omitempty"`
 	Breaker    string  `json:"breaker,omitempty"`
-	Error      string  `json:"error,omitempty"`
+	// TraceID persists the job's trace identifier so a resumed job keeps
+	// its identity across restarts (the span timeline itself is
+	// in-memory only and restarts fresh with a "restored" event).
+	TraceID string `json:"trace_id,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // Job is one sampling job tracked by a Manager.
 type Job struct {
-	id   string
-	spec Spec
+	id       string
+	spec     Spec
+	traceID  string        // immutable after Submit/load
+	timeline *obs.Timeline // bounded span ring; nil only for zero-value Jobs
 
 	// persistMu serializes checkpoint-file writes for this job. It is
 	// held across the state snapshot AND the write+rename, so concurrent
@@ -397,10 +410,48 @@ func (j *Job) statusLocked() Status {
 	st.Retries = j.retries
 	st.RetrySpent = j.retrySpent
 	st.Breaker = j.breaker
+	st.TraceID = j.traceID
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}
 	return st
+}
+
+// recordEvent appends a span event to the job's timeline (nil-safe, so
+// zero-value Jobs in tests cannot crash the recorder).
+func (j *Job) recordEvent(name, detail string) {
+	if j.timeline != nil {
+		j.timeline.Record(name, detail)
+	}
+}
+
+// Trace is the span-timeline payload served at GET /v1/jobs/{id}/trace:
+// the job's lifecycle events (queued→running→checkpoint→terminal) plus
+// any crawl-level resilience events ("crawl/retry", "crawl/hedge",
+// "crawl/breaker") its source emitted while the job ran.
+type Trace struct {
+	// JobID is the job's identifier.
+	JobID string `json:"job_id"`
+	// TraceID is the job's trace identifier (see Status.TraceID).
+	TraceID string `json:"trace_id,omitempty"`
+	// Events is the timeline, oldest first. The ring is bounded
+	// (obs.DefaultTimelineCap); when it overflowed, the oldest events
+	// were dropped and Dropped counts them.
+	Events []obs.Event `json:"events"`
+	// Dropped counts events lost to ring overflow.
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+// Trace returns the job's span timeline snapshot.
+func (j *Job) Trace() Trace {
+	tr := Trace{JobID: j.id, TraceID: j.traceID}
+	if j.timeline != nil {
+		tr.Events = j.timeline.Events()
+		tr.Dropped = j.timeline.Dropped()
+	} else {
+		tr.Events = []obs.Event{}
+	}
+	return tr
 }
 
 // setReport installs a fresh live estimation report, bumping the
@@ -533,15 +584,32 @@ func WithMethods(reg *MethodRegistry) Option {
 	}
 }
 
+// WithLogger routes the manager's structured logs — job lifecycle
+// events at info, per-slab progress at debug, checkpoint-persistence
+// failures at error — through l. Without it the manager is silent
+// except for persistence failures, which fall back to the standard log
+// package so they are never lost.
+func WithLogger(l *slog.Logger) Option {
+	return func(m *Manager) {
+		if l != nil {
+			m.log = l
+			m.logSet = true
+		}
+	}
+}
+
 // Manager owns the job table, the bounded queue and the worker pool.
 // All methods are safe for concurrent use.
 type Manager struct {
-	resolver Resolver
-	registry *live.Registry
-	methods  *MethodRegistry
-	workers  int
-	queueCap int
-	dir      string
+	resolver  Resolver
+	registry  *live.Registry
+	methods   *MethodRegistry
+	workers   int
+	queueCap  int
+	dir       string
+	log       *slog.Logger
+	logSet    bool              // WithLogger was used (persistErr fallback)
+	durations *obs.HistogramVec // per-method job wall time, /metrics histogram
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -566,11 +634,13 @@ type Manager struct {
 // before the workers start.
 func NewManager(src crawl.Source, opts ...Option) (*Manager, error) {
 	m := &Manager{
-		registry: live.Default(),
-		methods:  DefaultMethods(),
-		workers:  4,
-		queueCap: 1024,
-		jobs:     make(map[string]*Job),
+		registry:  live.Default(),
+		methods:   DefaultMethods(),
+		workers:   4,
+		queueCap:  1024,
+		jobs:      make(map[string]*Job),
+		log:       obs.NopLogger(),
+		durations: obs.NewHistogramVec("method", nil),
 	}
 	for _, opt := range opts {
 		opt(m)
@@ -634,8 +704,17 @@ func (m *Manager) ActiveJobs() int {
 }
 
 // Submit validates sp — including that its Graph name resolves and
-// supports the requested estimate — assigns an id and enqueues the job.
+// supports the requested estimate — assigns an id and enqueues the job
+// under a freshly minted trace ID.
 func (m *Manager) Submit(sp Spec) (*Job, error) {
+	return m.SubmitTrace(sp, "")
+}
+
+// SubmitTrace is Submit with an explicit trace ID — the graphd job
+// endpoint passes the submitting request's X-Trace-Id so the job's
+// logs and span timeline share the caller's trace. An empty traceID
+// mints a fresh one.
+func (m *Manager) SubmitTrace(sp Spec, traceID string) (*Job, error) {
 	sp.normalize()
 	src, release, err := m.resolver.Resolve(sp.Graph)
 	if err != nil {
@@ -645,13 +724,19 @@ func (m *Manager) Submit(sp Spec) (*Job, error) {
 	if err := sp.validate(src, m.registry, m.methods); err != nil {
 		return nil, err
 	}
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return nil, ErrStopped
 	}
 	m.nextID++
-	j := &Job{id: fmt.Sprintf("job-%06d", m.nextID), spec: sp, state: StateQueued, estimate: math.NaN()}
+	j := &Job{
+		id: fmt.Sprintf("job-%06d", m.nextID), spec: sp, state: StateQueued,
+		estimate: math.NaN(), traceID: traceID, timeline: obs.NewTimeline(0),
+	}
 	select {
 	case m.queue <- j.id:
 	default:
@@ -660,9 +745,18 @@ func (m *Manager) Submit(sp Spec) (*Job, error) {
 	}
 	m.jobs[j.id] = j
 	m.mu.Unlock()
+	j.recordEvent("queued", "")
+	m.log.LogAttrs(context.Background(), slog.LevelInfo, "job queued",
+		slog.String("job_id", j.id), slog.String("trace_id", traceID),
+		slog.String("method", sp.Method), slog.String("graph", sp.Graph),
+		slog.Float64("budget", sp.Budget))
 	m.persist(j)
 	return j, nil
 }
+
+// JobDurations returns the per-method job wall-time histogram vector
+// the server renders at /metrics as graphd_job_duration_seconds.
+func (m *Manager) JobDurations() *obs.HistogramVec { return m.durations }
 
 // Get returns the job with the given id.
 func (m *Manager) Get(id string) (*Job, bool) {
@@ -820,10 +914,17 @@ func (m *Manager) worker() {
 			ctx, cancel := context.WithCancelCause(context.Background())
 			j.state = StateRunning
 			j.cancel = cancel
+			method := j.spec.Method
 			j.notifyLocked()
 			j.mu.Unlock()
+			j.recordEvent("running", "")
+			m.log.LogAttrs(ctx, slog.LevelInfo, "job running",
+				slog.String("job_id", j.id), slog.String("trace_id", j.traceID),
+				slog.String("method", method))
 			m.busy.Add(1)
+			start := time.Now()
 			m.runJob(ctx, j)
+			m.durations.Observe(method, time.Since(start).Seconds())
 			m.busy.Add(-1)
 			cancel(nil)
 		}
@@ -845,6 +946,15 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 		return
 	}
 	defer release()
+
+	// Route the source's transport-level resilience events (retry,
+	// hedge, breaker transitions) into this job's span timeline for the
+	// duration of the run. With several workers sharing one source the
+	// last installer wins — events attribute to the most recent job.
+	if es, ok := src.(crawl.EventSource); ok {
+		es.SetEventSink(func(kind, detail string) { j.recordEvent("crawl/"+kind, detail) })
+		defer es.SetEventSink(nil)
+	}
 
 	rt, err := newRuntime(m.registry, spec, src)
 	if err != nil {
@@ -903,6 +1013,7 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 				// charge. The cancellation cause marks this "done", not
 				// "cancelled".
 				stopIssued = true
+				j.recordEvent("converged", rep.StopReason)
 				j.mu.Lock()
 				if j.cancel != nil {
 					j.cancel(errConverged)
@@ -926,16 +1037,27 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 	// extra observations, all still hashed and consumed). Walker-tracked
 	// methods (fs, dfs, multiple) keep the per-observation drive: the
 	// R-hat chains need LastWalker per observation.
+	// Per-slab progress logging is guarded by a level check hoisted out
+	// of the hot loop: when debug is disabled (the normal case) the
+	// batched path stays allocation-free — BenchmarkObsBatchLogging
+	// gates exactly this property.
+	logSlabs := m.log.Enabled(ctx, slog.LevelDebug)
 	emitBatch := func(batch []core.Observation) {
 		for _, o := range batch {
 			hash = hashEdge(hash, o.U, o.V)
 		}
 		prev := edges
 		edges += int64(len(batch))
+		if logSlabs {
+			m.log.LogAttrs(ctx, slog.LevelDebug, "slab",
+				slog.String("job_id", j.id), slog.Int("n", len(batch)),
+				slog.Int64("edges", edges))
+		}
 		if rep := rt.ObserveBatch(0, batch); rep != nil {
 			j.setReport(rep)
 			if rep.Converged && !stopIssued {
 				stopIssued = true
+				j.recordEvent("converged", rep.StopReason)
 				j.mu.Lock()
 				if j.cancel != nil {
 					j.cancel(errConverged)
@@ -1038,6 +1160,7 @@ func (m *Manager) checkpointNow(j *Job, sess *crawl.Session, sampler core.Observ
 	cp.State = j.state
 	cp.StopReason = j.stopReason
 	cp.EstimateUpdates = j.estUpdates
+	cp.TraceID = j.traceID
 	j.cp = cp
 	j.edges = edges
 	j.spent = scp.Stats.Spent
@@ -1048,6 +1171,7 @@ func (m *Manager) checkpointNow(j *Job, sess *crawl.Session, sampler core.Observ
 	j.hash = hash
 	j.notifyLocked()
 	j.mu.Unlock()
+	j.recordEvent("checkpoint", fmt.Sprintf("edges=%d spent=%g retries=%d", edges, scp.Stats.Spent, cp.Retries))
 	m.lastCheckpoint.Store(time.Now().UnixNano())
 	m.persist(j)
 }
@@ -1062,8 +1186,23 @@ func (m *Manager) finish(j *Job, state State, err error) {
 	}
 	j.err = err
 	j.cancel = nil
+	final := j.state
+	detail := j.stopReason
+	edges := j.edges
 	j.notifyLocked()
 	j.mu.Unlock()
+	if err != nil {
+		detail = err.Error()
+	}
+	j.recordEvent(string(final), detail)
+	level := slog.LevelInfo
+	if final == StateFailed {
+		level = slog.LevelError
+	}
+	m.log.LogAttrs(context.Background(), level, "job finished",
+		slog.String("job_id", j.id), slog.String("trace_id", j.traceID),
+		slog.String("state", string(final)), slog.Int64("edges", edges),
+		slog.String("detail", detail))
 	m.persist(j)
 }
 
@@ -1129,7 +1268,15 @@ func (m *Manager) persist(j *Job) {
 // ones are almost always the same full-disk/permissions condition).
 func (m *Manager) persistErr(id string, err error) {
 	m.persistErrOnce.Do(func() {
-		log.Printf("jobs: persisting %s to %s failed (further failures suppressed): %v", id, m.dir, err)
+		m.log.LogAttrs(context.Background(), slog.LevelError,
+			"persisting checkpoint failed (further failures suppressed)",
+			slog.String("job_id", id), slog.String("dir", m.dir),
+			slog.String("error", err.Error()))
+		if !m.logSet {
+			// No structured logger configured: fall back to the standard
+			// log package so the failure is never silently swallowed.
+			log.Printf("jobs: persisting %s to %s failed (further failures suppressed): %v", id, m.dir, err)
+		}
 	})
 }
 
@@ -1173,7 +1320,14 @@ func (m *Manager) loadCheckpoints() error {
 			hash: cp.EdgeHash, estimate: math.NaN(),
 			stopReason: cp.StopReason, estUpdates: cp.EstimateUpdates,
 			retries: cp.Retries, retrySpent: cp.RetrySpent, breaker: cp.Breaker,
+			traceID: cp.TraceID, timeline: obs.NewTimeline(0),
 		}
+		if j.traceID == "" {
+			// Checkpoints written before trace support: mint now so every
+			// job always has a trace identity.
+			j.traceID = obs.NewTraceID()
+		}
+		j.recordEvent("restored", "from checkpoint "+ent.Name())
 		if cp.Estimate != nil {
 			j.estimate = *cp.Estimate
 		}

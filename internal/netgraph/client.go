@@ -20,6 +20,7 @@ import (
 	"frontier/internal/graph"
 	"frontier/internal/jobs"
 	"frontier/internal/live"
+	"frontier/internal/obs"
 )
 
 // DefaultCacheCapacity bounds the vertex cache when no explicit capacity
@@ -322,6 +323,17 @@ func (c *Client) RestoreResilience(raw json.RawMessage) error {
 	return c.res.restoreJSON(raw)
 }
 
+// SetEventSink implements crawl.EventSource: it installs (or, with
+// nil, removes) a live consumer for the resilience chain's retry,
+// hedge and breaker events. The jobs manager points it at the running
+// job's span timeline. A no-op without WithResilience.
+func (c *Client) SetEventSink(fn func(kind, detail string)) {
+	if c.res == nil {
+		return
+	}
+	c.res.setEventSink(fn)
+}
+
 // Vertex returns the record for v, fetching it over the network on a
 // cache miss. This is the error-returning access path; the panicking
 // crawl.Source methods wrap it for samplers that cannot thread errors.
@@ -381,6 +393,7 @@ func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	setTraceHeader(req)
 	return c.hc.Do(req)
 }
 
@@ -391,7 +404,17 @@ func (c *Client) post(ctx context.Context, path string, body []byte) (*http.Resp
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	setTraceHeader(req)
 	return c.hc.Do(req)
+}
+
+// setTraceHeader stamps the request with the trace ID its context
+// carries, if any, so a trace minted by a CLI or server follows the
+// request across the wire.
+func setTraceHeader(req *http.Request) {
+	if id := obs.TraceID(req.Context()); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
 }
 
 // fetchOne performs the single-vertex GET.
@@ -726,6 +749,27 @@ func (c *Client) JobEstimates(ctx context.Context, id string) (live.Report, erro
 	return rep, nil
 }
 
+// JobTrace fetches a job's span timeline (GET /v1/jobs/{id}/trace):
+// the queued→running→checkpoint→terminal lifecycle events plus any
+// crawl-level retry/hedge/breaker events the job's source emitted.
+func (c *Client) JobTrace(ctx context.Context, id string) (jobs.Trace, error) {
+	resp, err := c.get(ctx, "/v1/jobs/"+id+"/trace")
+	if err != nil {
+		return jobs.Trace{}, fmt.Errorf("netgraph: job trace %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return jobs.Trace{}, fmt.Errorf("netgraph: job trace %s: status %d: %s",
+			id, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var tr jobs.Trace
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return jobs.Trace{}, fmt.Errorf("netgraph: decoding job trace %s: %w", id, err)
+	}
+	return tr, nil
+}
+
 // CancelJob cancels a job (POST /v1/jobs/{id}/cancel) and returns its
 // status after the cancel was recorded.
 func (c *Client) CancelJob(ctx context.Context, id string) (jobs.Status, error) {
@@ -813,6 +857,7 @@ func (c *Client) followEvents(ctx context.Context, id string, onStatus func(jobs
 		return jobs.Status{}, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	setTraceHeader(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return jobs.Status{}, fmt.Errorf("netgraph: job events %s: %w", id, err)

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"frontier/internal/obs"
 	"frontier/internal/xrand"
 )
 
@@ -262,7 +263,7 @@ func (f *faultInjector) writeFaultMetrics(b *strings.Builder) {
 	}
 	sort.Strings(kinds)
 	for _, k := range kinds {
-		fmt.Fprintf(b, "graphd_faults_injected_total{kind=%q} %d\n", k, byStatus[strings.TrimPrefix(k, "status_")])
+		fmt.Fprintf(b, "graphd_faults_injected_total{kind=\"%s\"} %d\n", obs.EscapeLabel(k), byStatus[strings.TrimPrefix(k, "status_")])
 	}
 	if drops > 0 {
 		fmt.Fprintf(b, "graphd_faults_injected_total{kind=\"drop\"} %d\n", drops)

@@ -1,0 +1,134 @@
+package netgraph
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"time"
+
+	"frontier/internal/obs"
+)
+
+// WithLogging attaches a structured logger to the server. Every request
+// is logged at Info with its method, route pattern, status, duration
+// and trace ID; recovered handler panics are logged at Error with the
+// stack. Without this option the server stays silent (requests are
+// still traced and measured — only the log sink is missing).
+func WithLogging(l *slog.Logger) ServerOption {
+	return func(s *Server) {
+		if l != nil {
+			s.log = l
+		}
+	}
+}
+
+// statusRecorder captures the response status and byte count for the
+// request log and latency histogram. It passes Flush and Unwrap
+// through so the SSE job-event stream (which needs http.Flusher and
+// http.NewResponseController deadline control) works unchanged behind
+// the instrumentation wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+// WriteHeader records the status before delegating.
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// Write counts response bytes, defaulting the status to 200 on an
+// implicit header write.
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+// Flush implements http.Flusher when the underlying writer does; the
+// SSE handler checks for it with a type assertion on the wrapper.
+func (sr *statusRecorder) Flush() {
+	if fl, ok := sr.ResponseWriter.(http.Flusher); ok {
+		if sr.status == 0 {
+			sr.status = http.StatusOK
+		}
+		fl.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.NewResponseController.
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
+
+// instrument wraps a route handler with the server's observability
+// stack: trace-ID propagation (the incoming X-Trace-Id is adopted, or
+// one is minted, echoed in the response header and placed in the
+// request context), per-route latency observation, a per-request Info
+// log line, and panic recovery — a panicking handler is logged with
+// its stack and answered with 500 instead of killing the connection.
+// http.ErrAbortHandler is re-raised untouched: it is net/http's
+// sanctioned way to drop a connection (fault injection uses it) and
+// must reach the server loop.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(obs.TraceHeader)
+		if id == "" {
+			id = obs.NewTraceID()
+		}
+		w.Header().Set(obs.TraceHeader, id)
+		r = r.WithContext(obs.WithTraceID(r.Context(), id))
+
+		sr := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				s.log.LogAttrs(r.Context(), slog.LevelError, "handler panic",
+					slog.String("route", route),
+					slog.String("trace_id", id),
+					slog.String("panic", fmt.Sprint(rec)),
+					slog.String("stack", string(debug.Stack())))
+				if sr.status == 0 {
+					http.Error(sr, "internal server error", http.StatusInternalServerError)
+				}
+				return
+			}
+			elapsed := time.Since(start)
+			s.reqHist.Observe(route, elapsed.Seconds())
+			if s.log.Enabled(r.Context(), slog.LevelInfo) {
+				s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+					slog.String("method", r.Method),
+					slog.String("route", route),
+					slog.String("path", r.URL.Path),
+					slog.Int("status", sr.status),
+					slog.Int64("bytes", sr.bytes),
+					slog.Duration("duration", elapsed),
+					slog.String("trace_id", id))
+			}
+		}()
+		h(sr, r)
+	}
+}
+
+// handleJobTrace serves the job's span timeline: the lifecycle events
+// (queued, running, checkpoint, converged, done/failed/canceled) and
+// the crawl resilience events (crawl/retry, crawl/hedge, crawl/breaker)
+// the job's source emitted while it ran, oldest first, with the count
+// of events the bounded ring dropped.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, r, j.Trace())
+}

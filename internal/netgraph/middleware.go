@@ -431,6 +431,7 @@ type breaker struct {
 	threshold int
 	cooldown  time.Duration
 	clock     Clock
+	onChange  func(from, to BreakerState) // set before first use; fired outside mu
 
 	mu       sync.Mutex
 	state    BreakerState
@@ -453,7 +454,16 @@ func newBreaker(threshold int, cooldown time.Duration, clock Clock) *breaker {
 // ErrCircuitOpen to reject.
 func (b *breaker) allow() error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
+	err := b.allowLocked()
+	to := b.state
+	b.mu.Unlock()
+	b.notify(from, to)
+	return err
+}
+
+// allowLocked is allow's state machine; the caller holds b.mu.
+func (b *breaker) allowLocked() error {
 	switch b.state {
 	case BreakerOpen:
 		remaining := b.until.Sub(b.clock.Now())
@@ -474,12 +484,28 @@ func (b *breaker) allow() error {
 	}
 }
 
+// notify fires the state-change hook for a transition observed outside
+// the lock; no-op when the state did not change or no hook is set.
+func (b *breaker) notify(from, to BreakerState) {
+	if from != to && b.onChange != nil {
+		b.onChange(from, to)
+	}
+}
+
 // record feeds an admitted request's outcome back into the state
 // machine. Outcomes of requests admitted before a trip are ignored once
 // the breaker is open.
 func (b *breaker) record(ok bool) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
+	b.recordLocked(ok)
+	to := b.state
+	b.mu.Unlock()
+	b.notify(from, to)
+}
+
+// recordLocked is record's state machine; the caller holds b.mu.
+func (b *breaker) recordLocked(ok bool) {
 	switch b.state {
 	case BreakerHalfOpen:
 		b.probing = false
@@ -804,6 +830,13 @@ type ResilienceConfig struct {
 	// Clock drives backoff, cooldown, refill and hedge timing; tests
 	// inject a fake (nil = system clock).
 	Clock Clock
+	// OnEvent, when non-nil, observes every resilience event: kind is
+	// "retry" (detail: the retry cause), "hedge" (detail empty) or
+	// "breaker" (detail: the new state). It is called from request
+	// goroutines and must be cheap and non-blocking. The jobs manager
+	// additionally installs a per-job sink via the crawl.EventSource
+	// facet to route these into the job's span timeline.
+	OnEvent func(kind, detail string)
 }
 
 // resilience owns the assembled middleware chain's shared state: the
@@ -820,8 +853,29 @@ type resilience struct {
 	breaker *breaker // nil when disabled
 	limiter *limiter // nil when disabled
 
+	sink atomic.Value // eventSink installed via setEventSink
+
 	rngMu sync.Mutex
 	rng   *xrand.Rand // jitter stream; state rides checkpoints
+}
+
+// eventSink is the installable resilience-event callback type; a named
+// type so atomic.Value always stores one concrete type.
+type eventSink func(kind, detail string)
+
+// emit fires an event at the config hook and the installed sink.
+func (r *resilience) emit(kind, detail string) {
+	if r.cfg.OnEvent != nil {
+		r.cfg.OnEvent(kind, detail)
+	}
+	if fn, _ := r.sink.Load().(eventSink); fn != nil {
+		fn(kind, detail)
+	}
+}
+
+// setEventSink installs (or, with nil, removes) the dynamic event sink.
+func (r *resilience) setEventSink(fn func(kind, detail string)) {
+	r.sink.Store(eventSink(fn))
 }
 
 // newResilience builds the shared state for a config.
@@ -836,6 +890,7 @@ func newResilience(cfg ResilienceConfig) *resilience {
 			cooldown = time.Second
 		}
 		r.breaker = newBreaker(cfg.BreakerThreshold, cooldown, r.clock)
+		r.breaker.onChange = func(_, to BreakerState) { r.emit("breaker", string(to)) }
 	}
 	if cfg.RateLimit > 0 {
 		r.limiter = newLimiter(cfg.RateLimit, cfg.RateBurst, r.clock)
@@ -861,8 +916,11 @@ func (r *resilience) wrap(base http.RoundTripper) http.RoundTripper {
 			MaxDelay:    r.cfg.RetryMax,
 			Jitter:      r.cfg.Jitter,
 			Clock:       r.clock,
-			OnRetry:     func(int, string) { r.retries.Add(1) },
-			rand:        r.draw,
+			OnRetry: func(_ int, cause string) {
+				r.retries.Add(1)
+				r.emit("retry", cause)
+			},
+			rand: r.draw,
 		}))
 	}
 	if r.breaker != nil {
@@ -872,7 +930,10 @@ func (r *resilience) wrap(base http.RoundTripper) http.RoundTripper {
 		mws = append(mws, r.limiter.middleware())
 	}
 	if r.cfg.HedgeDelay > 0 {
-		h := &hedger{delay: r.cfg.HedgeDelay, clock: r.clock, onHedge: func() { r.hedges.Add(1) }}
+		h := &hedger{delay: r.cfg.HedgeDelay, clock: r.clock, onHedge: func() {
+			r.hedges.Add(1)
+			r.emit("hedge", "")
+		}}
 		mws = append(mws, h.middleware())
 	}
 	if r.cfg.AttemptTimeout > 0 {

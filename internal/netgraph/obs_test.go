@@ -1,0 +1,356 @@
+package netgraph
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"frontier/internal/gen"
+	"frontier/internal/jobs"
+	"frontier/internal/obs"
+	"frontier/internal/xrand"
+)
+
+// captureHandler is a slog.Handler that retains every record so tests
+// can assert on structured fields rather than formatted output.
+type captureHandler struct {
+	mu   sync.Mutex
+	recs []map[string]any
+}
+
+func (h *captureHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *captureHandler) Handle(_ context.Context, r slog.Record) error {
+	fields := map[string]any{"msg": r.Message, "level": r.Level}
+	r.Attrs(func(a slog.Attr) bool {
+		fields[a.Key] = a.Value.Any()
+		return true
+	})
+	h.mu.Lock()
+	h.recs = append(h.recs, fields)
+	h.mu.Unlock()
+	return nil
+}
+
+func (h *captureHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
+func (h *captureHandler) WithGroup(string) slog.Handler      { return h }
+
+// find returns the first captured record with the given msg.
+func (h *captureHandler) find(msg string) (map[string]any, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, r := range h.recs {
+		if r["msg"] == msg {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// TestRequestLogFields: every request through the instrumented mux
+// produces one structured "request" log record carrying the method,
+// route pattern, status and the trace ID that was echoed to the
+// client.
+func TestRequestLogFields(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(5), 50, 2)
+	cap := &captureHandler{}
+	srv := NewServer("g", g, nil, WithLogging(slog.New(cap)))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/meta", nil)
+	req.Header.Set(obs.TraceHeader, "cafe0123deadbeef")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.TraceHeader); got != "cafe0123deadbeef" {
+		t.Fatalf("trace header not echoed: %q", got)
+	}
+
+	rec, ok := cap.find("request")
+	if !ok {
+		t.Fatalf("no request record captured: %+v", cap.recs)
+	}
+	want := map[string]any{
+		"method":   "GET",
+		"route":    "GET /v1/meta",
+		"status":   int64(200),
+		"trace_id": "cafe0123deadbeef",
+	}
+	for k, v := range want {
+		if rec[k] != v {
+			t.Fatalf("request log field %s = %v (%T), want %v", k, rec[k], rec[k], v)
+		}
+	}
+	if d, ok := rec["duration"].(time.Duration); !ok || d <= 0 {
+		t.Fatalf("request log duration = %v", rec["duration"])
+	}
+
+	// A request without the header gets a minted ID, echoed back.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get(obs.TraceHeader); len(id) != 16 {
+		t.Fatalf("minted trace ID %q not 16 hex chars", id)
+	}
+}
+
+// TestPanicRecovery: a panicking handler is answered with 500 (the
+// connection survives) and the panic is logged with its stack and the
+// request's trace ID. http.ErrAbortHandler must pass through untouched
+// — it is how fault injection drops connections.
+func TestPanicRecovery(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(5), 50, 2)
+	cap := &captureHandler{}
+	srv := NewServer("g", g, nil, WithLogging(slog.New(cap)))
+	srv.handle("GET /boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	srv.handle("GET /abort", func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/boom", nil)
+	req.Header.Set(obs.TraceHeader, "feedface00000001")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("panicking handler killed the connection: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	rec, ok := cap.find("handler panic")
+	if !ok {
+		t.Fatal("panic was not logged")
+	}
+	if rec["panic"] != "kaboom" || rec["trace_id"] != "feedface00000001" {
+		t.Fatalf("panic record fields: %+v", rec)
+	}
+	if st, _ := rec["stack"].(string); !strings.Contains(st, "obs_test") {
+		t.Fatalf("panic stack does not reach the handler:\n%s", st)
+	}
+
+	// ErrAbortHandler: net/http drops the connection, so the client
+	// sees a transport error, and nothing is logged as a panic.
+	before := len(cap.recs)
+	if resp, err := http.Get(ts.URL + "/abort"); err == nil {
+		resp.Body.Close()
+		t.Fatal("ErrAbortHandler did not drop the connection")
+	}
+	for _, r := range cap.recs[before:] {
+		if r["msg"] == "handler panic" {
+			t.Fatal("ErrAbortHandler was logged as a recovered panic")
+		}
+	}
+}
+
+// TestMetricsExposition: /metrics stays valid Prometheus text format —
+// histograms included, label values escaped — even when graph names
+// contain quotes, backslashes and newlines.
+func TestMetricsExposition(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(5), 60, 2)
+	weird := "web\"2.0\\graph"
+	mgr, err := jobs.NewManager(g, jobs.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+	srv := NewServer(weird, g, nil, WithJobs(mgr))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	j, err := mgr.Submit(jobs.Spec{Method: "fs", M: 4, Budget: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, func(st jobs.Status) bool { return st.State.Terminal() })
+
+	// Traffic to populate the per-route histogram.
+	for _, p := range []string{"/v1/meta", "/v1/vertex/1", "/healthz"} {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	body := getBody(t, ts, "/metrics")
+	if err := obs.CheckExposition([]byte(body)); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		`graphd_request_duration_seconds_bucket{route="GET /v1/meta",le="+Inf"}`,
+		"graphd_request_duration_seconds_count",
+		`graphd_job_duration_seconds_bucket{method="fs",le="+Inf"} 1`,
+		`graph="web\"2.0\\graph"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// getBody GETs a path off the test server and returns the body.
+func getBody(t *testing.T, ts *httptest.Server, path string) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestTraceIDPropagation: a trace ID placed in the client context rides
+// the X-Trace-Id header to the server, is adopted by the submitted job,
+// and comes back in the job status and span timeline.
+func TestTraceIDPropagation(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(5), 80, 2)
+	mgr, err := jobs.NewManager(g, jobs.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+	ts := httptest.NewServer(NewServer("g", g, nil, WithJobs(mgr)))
+	defer ts.Close()
+	c := dialOpts(t, ts)
+
+	id := obs.NewTraceID()
+	ctx := obs.WithTraceID(context.Background(), id)
+	st, err := c.SubmitJob(ctx, jobs.Spec{Method: "fs", M: 4, Budget: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceID != id {
+		t.Fatalf("submitted job trace ID = %q, want %q", st.TraceID, id)
+	}
+	fin, err := c.WaitJob(ctx, st.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.TraceID != id {
+		t.Fatalf("final status trace ID = %q, want %q", fin.TraceID, id)
+	}
+	tr, err := c.JobTrace(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TraceID != id || tr.JobID != st.ID {
+		t.Fatalf("trace identity = (%q, %q), want (%q, %q)", tr.JobID, tr.TraceID, st.ID, id)
+	}
+	assertEventOrder(t, eventNames(tr), "queued", "running", "done")
+
+	if _, err := c.JobTrace(ctx, "nope"); err == nil {
+		t.Fatal("JobTrace accepted an unknown job id")
+	}
+}
+
+// eventNames projects a trace to its event-name sequence.
+func eventNames(tr jobs.Trace) []string {
+	names := make([]string, len(tr.Events))
+	for i, ev := range tr.Events {
+		names[i] = ev.Name
+	}
+	return names
+}
+
+// assertEventOrder checks that want appears as a subsequence of names.
+func assertEventOrder(t *testing.T, names []string, want ...string) {
+	t.Helper()
+	i := 0
+	for _, n := range names {
+		if i < len(want) && n == want[i] {
+			i++
+		}
+	}
+	if i != len(want) {
+		t.Fatalf("event sequence %v does not contain %v in order", names, want)
+	}
+}
+
+// TestJobTraceUnderFaults is the acceptance test for span tracing: a
+// remote job crawling through the resilient client against a
+// fault-injecting server must leave a retrievable span timeline whose
+// crawl/retry events agree exactly with the retry count the job status
+// reports — the timeline is the narrative form of the same ledger.
+func TestJobTraceUnderFaults(t *testing.T) {
+	g := gen.BarabasiAlbert(xrand.New(21), 400, 3)
+
+	// Data plane: a faulted server the job's source crawls through.
+	data := httptest.NewServer(NewServer("fg", g, nil, WithFaults(FaultSpec{
+		Seed: 3, Rate: 0.08, DropRate: 0.25,
+	})))
+	defer data.Close()
+	src := dialOpts(t, data, WithResilience(ResilienceConfig{
+		MaxAttempts: 10,
+		RetryBase:   100 * time.Microsecond,
+		RetryMax:    time.Millisecond,
+		Seed:        5,
+	}))
+	mgr, err := jobs.NewManager(src, jobs.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+
+	// Control plane: the server the trace is fetched from.
+	ctrl := httptest.NewServer(NewServer("fg", g, nil, WithJobs(mgr)))
+	defer ctrl.Close()
+	c := dialOpts(t, ctrl)
+
+	ctx := obs.WithTraceID(context.Background(), obs.NewTraceID())
+	st, err := c.SubmitJob(ctx, jobs.Spec{Method: "fs", M: 8, Budget: 6000, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.WaitJob(ctx, st.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != jobs.StateDone {
+		t.Fatalf("job ended %s: %s", fin.State, fin.Error)
+	}
+	if fin.Retries == 0 {
+		t.Fatal("faulted run charged no retries; the test exercises nothing")
+	}
+
+	tr, err := c.JobTrace(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Dropped != 0 {
+		t.Fatalf("timeline dropped %d events; budget too large for the ring", tr.Dropped)
+	}
+	names := eventNames(tr)
+	assertEventOrder(t, names, "queued", "running", "done")
+	retryEvents := 0
+	for _, n := range names {
+		switch n {
+		case "crawl/retry":
+			retryEvents++
+		case "crawl/breaker":
+			t.Fatalf("breaker event on a run whose breaker never trips: %v", names)
+		}
+	}
+	if int64(retryEvents) != fin.Retries {
+		t.Fatalf("timeline has %d crawl/retry events, status reports %d retries",
+			retryEvents, fin.Retries)
+	}
+}

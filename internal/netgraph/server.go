@@ -29,6 +29,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -39,6 +40,7 @@ import (
 	"frontier/internal/graph"
 	"frontier/internal/graphio"
 	"frontier/internal/jobs"
+	"frontier/internal/obs"
 )
 
 // Meta describes one served graph.
@@ -173,6 +175,8 @@ type Server struct {
 	faults  *faultInjector // nil unless WithFaults configured injection
 	jobs    *jobs.Manager
 	started time.Time
+	log     *slog.Logger      // never nil; NopLogger unless WithLogging
+	reqHist *obs.HistogramVec // per-route request-duration histogram
 
 	requests       atomic.Int64
 	metaRequests   atomic.Int64
@@ -203,7 +207,13 @@ func NewServer(name string, g *graph.Graph, groups *graph.GroupLabels, opts ...S
 // adding and removing graphs concurrently; cmd/graphd uses this with a
 // jobs.Manager resolving through the same catalog.
 func NewCatalogServer(cat *Catalog, opts ...ServerOption) *Server {
-	s := &Server{cat: cat, mux: http.NewServeMux(), started: time.Now()}
+	s := &Server{
+		cat:     cat,
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+		log:     obs.NopLogger(),
+		reqHist: obs.NewHistogramVec("route", nil),
+	}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -222,16 +232,18 @@ func NewCatalogServer(cat *Catalog, opts ...ServerOption) *Server {
 		s.handle("GET /v1/jobs/{id}", s.handleGetJob)
 		s.handle("GET /v1/jobs/{id}/estimates", s.handleJobEstimates)
 		s.handle("GET /v1/jobs/{id}/events", s.handleJobEvents)
+		s.handle("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 		s.handle("POST /v1/jobs/{id}/cancel", s.handleCancelJob)
 	}
 	return s
 }
 
-// handle registers a handler and records its pattern in the route
-// table.
+// handle registers a handler — wrapped with the observability stack
+// (trace IDs, latency histogram, request log, panic recovery) — and
+// records its pattern in the route table.
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
 	s.routes = append(s.routes, pattern)
-	s.mux.HandleFunc(pattern, h)
+	s.mux.HandleFunc(pattern, s.instrument(pattern, h))
 }
 
 // Routes returns the method-qualified route patterns the server
@@ -532,7 +544,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad job spec: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	j, err := s.jobs.Submit(spec)
+	j, err := s.jobs.SubmitTrace(spec, obs.TraceID(r.Context()))
 	if err != nil {
 		code := http.StatusBadRequest
 		switch {
@@ -680,13 +692,6 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, r, j.Status())
 }
 
-// promEscape escapes a Prometheus label value (backslash, quote,
-// newline).
-func promEscape(v string) string {
-	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
-	return r.Replace(v)
-}
-
 // handleMetrics serves the Prometheus text exposition format: aggregate
 // request counters, per-graph traffic and size gauges, and — when the
 // job service is mounted — worker-pool occupancy, queue depth, per-graph
@@ -707,6 +712,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.faults.writeFaultMetrics(&b)
 	}
 
+	s.reqHist.WritePrometheus(&b, "graphd_request_duration_seconds",
+		"Request latency by route pattern.")
+	if s.jobs != nil {
+		s.jobs.JobDurations().WritePrometheus(&b, "graphd_job_duration_seconds",
+			"Wall-clock job duration by sampling method.")
+	}
+
 	fmt.Fprintf(&b, "# HELP graphd_uptime_seconds Time since the server started.\n# TYPE graphd_uptime_seconds gauge\ngraphd_uptime_seconds %g\n",
 		time.Since(s.started).Seconds())
 	fmt.Fprintf(&b, "# HELP graphd_graphs Hosted graphs in the catalog.\n# TYPE graphd_graphs gauge\ngraphd_graphs %d\n", s.cat.Len())
@@ -715,7 +727,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	perGraph := func(name, help, typ string, value func(GraphInfo) string) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 		for _, info := range infos {
-			fmt.Fprintf(&b, "%s{graph=%q} %s\n", name, promEscape(info.Name), value(info))
+			fmt.Fprintf(&b, "%s{graph=\"%s\"} %s\n", name, obs.EscapeLabel(info.Name), value(info))
 		}
 	}
 	if len(infos) > 0 {
@@ -776,7 +788,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			return keys[a].state < keys[b].state
 		})
 		for _, k := range keys {
-			fmt.Fprintf(&b, "graphd_jobs{graph=%q,state=%q} %d\n", promEscape(k.graph), k.state, jc[k])
+			fmt.Fprintf(&b, "graphd_jobs{graph=\"%s\",state=\"%s\"} %d\n",
+				obs.EscapeLabel(k.graph), obs.EscapeLabel(string(k.state)), jc[k])
 		}
 		// Per-job live estimate-update counters (Jobs() returns
 		// submission order, which is already stable for scrapes).
@@ -789,7 +802,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				fmt.Fprintf(&b, "# HELP graphd_job_estimate_updates_total Live estimate report refreshes per job.\n# TYPE graphd_job_estimate_updates_total counter\n")
 				emitted = true
 			}
-			fmt.Fprintf(&b, "graphd_job_estimate_updates_total{job=%q} %d\n", promEscape(st.ID), st.EstimateUpdates)
+			fmt.Fprintf(&b, "graphd_job_estimate_updates_total{job=\"%s\"} %d\n", obs.EscapeLabel(st.ID), st.EstimateUpdates)
 		}
 		// Per-job resilience counters: retry attempts the job's source
 		// issued (quota spent surviving faults) and the circuit
@@ -803,7 +816,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				fmt.Fprintf(&b, "# HELP graphd_job_retries_total Source retry attempts per job.\n# TYPE graphd_job_retries_total counter\n")
 				emitted = true
 			}
-			fmt.Fprintf(&b, "graphd_job_retries_total{job=%q} %d\n", promEscape(st.ID), st.Retries)
+			fmt.Fprintf(&b, "graphd_job_retries_total{job=\"%s\"} %d\n", obs.EscapeLabel(st.ID), st.Retries)
 		}
 		emitted = false
 		for _, st := range statuses {
@@ -814,7 +827,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				fmt.Fprintf(&b, "# HELP graphd_job_breaker Circuit-breaker state per job (1 = current state).\n# TYPE graphd_job_breaker gauge\n")
 				emitted = true
 			}
-			fmt.Fprintf(&b, "graphd_job_breaker{job=%q,state=%q} 1\n", promEscape(st.ID), promEscape(st.Breaker))
+			fmt.Fprintf(&b, "graphd_job_breaker{job=\"%s\",state=\"%s\"} 1\n",
+				obs.EscapeLabel(st.ID), obs.EscapeLabel(st.Breaker))
 		}
 	}
 

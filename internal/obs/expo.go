@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// histSeries accumulates one histogram family's bucket series while
+// CheckExposition scans the exposition text.
+type histSeries struct {
+	le       []float64
+	count    []float64
+	inf      float64
+	hasInf   bool
+	total    float64
+	hasTotal bool
+}
+
+// CheckExposition validates Prometheus text exposition data: every
+// line must be a comment (# HELP / # TYPE), blank, or a well-formed
+// sample with a legal metric name, properly quoted-and-escaped label
+// values, and a parseable value; and every histogram family must have
+// cumulative non-decreasing buckets ending at le="+Inf" with a _count
+// series matching the +Inf bucket. Tests run /metrics output through
+// this to catch corrupt escaping or non-monotone buckets.
+func CheckExposition(data []byte) error {
+	hists := make(map[string]*histSeries) // key: base name + sorted non-le labels
+	for i, line := range strings.Split(string(data), "\n") {
+		ln := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				return fmt.Errorf("obs: line %d: unknown comment form %q", ln, line)
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("obs: line %d: %w", ln, err)
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			base := strings.TrimSuffix(name, "_bucket")
+			le, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("obs: line %d: histogram bucket without le label", ln)
+			}
+			h := histFor(hists, base, labels)
+			if le == "+Inf" {
+				h.inf, h.hasInf = value, true
+				break
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("obs: line %d: bad le bound %q: %w", ln, le, err)
+			}
+			h.le = append(h.le, bound)
+			h.count = append(h.count, value)
+		case strings.HasSuffix(name, "_count"):
+			base := strings.TrimSuffix(name, "_count")
+			h := histFor(hists, base, labels)
+			h.total, h.hasTotal = value, true
+		}
+	}
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := hists[k]
+		if len(h.le) == 0 && !h.hasInf {
+			continue // a bare _count with no buckets: a plain counter family
+		}
+		if !sort.Float64sAreSorted(h.le) {
+			return fmt.Errorf("obs: histogram %s: le bounds out of order", k)
+		}
+		prev := 0.0
+		for i, c := range h.count {
+			if c < prev {
+				return fmt.Errorf("obs: histogram %s: bucket le=%g count %g below previous %g", k, h.le[i], c, prev)
+			}
+			prev = c
+		}
+		if !h.hasInf {
+			return fmt.Errorf("obs: histogram %s: missing le=\"+Inf\" bucket", k)
+		}
+		if h.inf < prev {
+			return fmt.Errorf("obs: histogram %s: +Inf bucket %g below previous %g", k, h.inf, prev)
+		}
+		if h.hasTotal && h.total != h.inf {
+			return fmt.Errorf("obs: histogram %s: _count %g != +Inf bucket %g", k, h.total, h.inf)
+		}
+	}
+	return nil
+}
+
+// histFor returns (creating if needed) the histogram record for a base
+// name + non-le label set.
+func histFor(hists map[string]*histSeries, base string, labels map[string]string) *histSeries {
+	k := histKey(base, labels)
+	h, ok := hists[k]
+	if !ok {
+		h = &histSeries{}
+		hists[k] = h
+	}
+	return h
+}
+
+// histKey builds the grouping key for one histogram family: base
+// metric name plus its sorted labels excluding le.
+func histKey(base string, labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == "le" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(base)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "{%s=%q}", k, labels[k])
+	}
+	return b.String()
+}
+
+// parseSample parses one exposition sample line into metric name,
+// label map and value.
+func parseSample(line string) (string, map[string]string, float64, error) {
+	rest := line
+	nameEnd := strings.IndexAny(rest, "{ ")
+	if nameEnd <= 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name := rest[:nameEnd]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("bad metric name %q", name)
+	}
+	rest = rest[nameEnd:]
+	labels := map[string]string{}
+	if rest[0] == '{' {
+		var err error
+		labels, rest, err = parseLabels(rest)
+		if err != nil {
+			return "", nil, 0, err
+		}
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	// Ignore an optional trailing timestamp field.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return "", nil, 0, err
+	}
+	return name, labels, v, nil
+}
+
+// validMetricName reports whether s is a legal Prometheus metric name.
+func validMetricName(s string) bool {
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return s != ""
+}
+
+// validLabelName reports whether s is a legal label name.
+func validLabelName(s string) bool {
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return s != ""
+}
+
+// parseLabels consumes a {name="value",...} block, validating quoting
+// and escape sequences, returning the labels and the remaining input.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := map[string]string{}
+	s = s[1:] // consume '{'
+	for {
+		if s == "" {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if s[0] == '}' {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return nil, "", fmt.Errorf("malformed label pair near %q", s)
+		}
+		name := s[:eq]
+		if !validLabelName(name) {
+			return nil, "", fmt.Errorf("bad label name %q", name)
+		}
+		s = s[eq+1:]
+		if s == "" || s[0] != '"' {
+			return nil, "", fmt.Errorf("label %s: value not quoted", name)
+		}
+		val, rest, err := parseQuoted(s)
+		if err != nil {
+			return nil, "", fmt.Errorf("label %s: %w", name, err)
+		}
+		labels[name] = val
+		s = rest
+		if s != "" && s[0] == ',' {
+			s = s[1:]
+		}
+	}
+}
+
+// parseQuoted consumes a double-quoted, backslash-escaped label value
+// returning the unescaped value and the remaining input. Only \\, \"
+// and \n escapes are legal in the exposition format.
+func parseQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling backslash")
+			}
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("illegal escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted value")
+}
+
+// parseValue parses a sample value, accepting the special +Inf, -Inf
+// and NaN forms.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return v, nil
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default histogram upper bounds in seconds — the
+// Prometheus client default ladder, wide enough for both request and
+// job durations (anything beyond 10s lands in +Inf).
+var DefBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Histogram is a fixed-bucket latency histogram with lock-free
+// observation: per-bucket atomic counters plus an atomic float sum.
+type Histogram struct {
+	bounds  []float64       // sorted upper bounds, excluding +Inf
+	counts  []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// NewHistogram builds a histogram over the given sorted upper bounds
+// (DefBuckets when nil).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// write renders the histogram's series with the given metric name and
+// an optional pre-rendered label pair (`method="fs"` style, already
+// escaped) merged into each series' label set.
+func (h *Histogram) write(w io.Writer, name, labelPair string) {
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%sle=\"%s\"} %d\n", name, labelPrefix(labelPair), formatBound(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labelPrefix(labelPair), cum)
+	if labelPair == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+		return
+	}
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labelPair, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labelPair, h.Count())
+}
+
+// labelPrefix renders a label pair as a prefix for the le label.
+func labelPrefix(pair string) string {
+	if pair == "" {
+		return ""
+	}
+	return pair + ","
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do
+// (shortest decimal round-trip).
+func formatBound(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// formatFloat renders a sample value.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus renders the histogram in text exposition format with
+// HELP/TYPE headers and no extra labels.
+func (h *Histogram) WritePrometheus(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	h.write(w, name, "")
+}
+
+// HistogramVec is a set of histograms partitioned by one label (route,
+// method, ...). Children are created on first observation.
+type HistogramVec struct {
+	label  string
+	bounds []float64
+	mu     sync.Mutex
+	kids   map[string]*Histogram
+}
+
+// NewHistogramVec builds a vector partitioned by the given label name,
+// each child using the given bounds (DefBuckets when nil).
+func NewHistogramVec(label string, bounds []float64) *HistogramVec {
+	return &HistogramVec{label: label, bounds: bounds, kids: make(map[string]*Histogram)}
+}
+
+// Observe records one value in the child for the given label value.
+func (v *HistogramVec) Observe(labelValue string, value float64) {
+	v.mu.Lock()
+	h, ok := v.kids[labelValue]
+	if !ok {
+		h = NewHistogram(v.bounds)
+		v.kids[labelValue] = h
+	}
+	v.mu.Unlock()
+	h.Observe(value)
+}
+
+// WritePrometheus renders every child in text exposition format, label
+// values sorted and escaped, under one HELP/TYPE header.
+func (v *HistogramVec) WritePrometheus(w io.Writer, name, help string) {
+	v.mu.Lock()
+	values := make([]string, 0, len(v.kids))
+	for lv := range v.kids {
+		values = append(values, lv)
+	}
+	kids := make(map[string]*Histogram, len(v.kids))
+	for lv, h := range v.kids {
+		kids[lv] = h
+	}
+	v.mu.Unlock()
+	sort.Strings(values)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, lv := range values {
+		pair := fmt.Sprintf("%s=\"%s\"", v.label, EscapeLabel(lv))
+		kids[lv].write(w, name, pair)
+	}
+}
+
+// labelEscaper implements Prometheus text-format label-value escaping:
+// backslash, double-quote and newline must be escaped, nothing else.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// EscapeLabel escapes a raw string for use inside a double-quoted
+// Prometheus label value. It is the single escaping point for every
+// label the server renders (graph names, job IDs, fault kinds) — the
+// value must NOT additionally pass through %q, which double-escapes.
+func EscapeLabel(s string) string { return labelEscaper.Replace(s) }

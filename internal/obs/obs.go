@@ -1,0 +1,87 @@
+// Package obs is the dependency-free observability core: structured
+// slog construction (JSON/text handlers, level parsing, a discard
+// logger that stays zero-alloc on guarded hot paths), trace-ID minting
+// and context/header propagation, bounded span timelines for job and
+// crawl events, atomic latency histograms rendered in Prometheus text
+// exposition format, a strict exposition checker used by tests, and a
+// net/http/pprof debug mux for `graphd -pprof`.
+//
+// Everything here is stdlib-only so any layer — server, client, jobs
+// manager, CLIs — can depend on it without dragging in transport or
+// sampling code.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// ParseLevel maps a user-facing level name ("debug", "info", "warn",
+// "error", case-insensitive) to its slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// NewLogger builds a structured logger writing to w at the given
+// level. Format selects the handler: "json" for machine-readable
+// output, "text" (or "") for logfmt-style key=value lines.
+func NewLogger(w io.Writer, level slog.Level, format string) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want text|json)", format)
+}
+
+// NopLogger returns a logger disabled at every level. Enabled reports
+// false for all levels, so code guarded by the
+// `if log.Enabled(...) { log.LogAttrs(...) }` idiom pays only the
+// guard — no allocation — when handed this logger.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+// nopHandler is a slog.Handler disabled at every level.
+type nopHandler struct{}
+
+// Enabled reports false for every level.
+func (nopHandler) Enabled(context.Context, slog.Level) bool { return false }
+
+// Handle discards the record.
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+
+// WithAttrs returns the handler unchanged.
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
+
+// WithGroup returns the handler unchanged.
+func (h nopHandler) WithGroup(string) slog.Handler { return h }
+
+// DebugMux returns a mux serving the net/http/pprof profile endpoints
+// under /debug/pprof/ — what `graphd -pprof addr` listens on. A
+// dedicated mux (rather than http.DefaultServeMux) keeps profiling off
+// the public API listener.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

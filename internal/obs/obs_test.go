@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newReq builds a GET request for mux-dispatch checks.
+func newReq(path string) *http.Request { return httptest.NewRequest(http.MethodGet, path, nil) }
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug":   slog.LevelDebug,
+		"Info":    slog.LevelInfo,
+		"WARN":    slog.LevelWarn,
+		"warning": slog.LevelWarn,
+		"error":   slog.LevelError,
+		" info ":  slog.LevelInfo,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil {
+			t.Fatalf("ParseLevel(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Fatal("ParseLevel accepted unknown level")
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, slog.LevelInfo, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hello", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json handler produced non-JSON %q: %v", buf.String(), err)
+	}
+	if rec["msg"] != "hello" || rec["k"] != "v" {
+		t.Fatalf("unexpected record %v", rec)
+	}
+
+	buf.Reset()
+	l, err = NewLogger(&buf, slog.LevelWarn, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("dropped")
+	if buf.Len() != 0 {
+		t.Fatalf("info line emitted at warn level: %q", buf.String())
+	}
+	l.Warn("kept", "k", 1)
+	if !strings.Contains(buf.String(), "msg=kept") || !strings.Contains(buf.String(), "k=1") {
+		t.Fatalf("text handler output %q missing fields", buf.String())
+	}
+
+	if _, err := NewLogger(&buf, slog.LevelInfo, "xml"); err == nil {
+		t.Fatal("NewLogger accepted unknown format")
+	}
+}
+
+func TestNopLoggerDisabled(t *testing.T) {
+	l := NopLogger()
+	for _, lvl := range []slog.Level{slog.LevelDebug, slog.LevelInfo, slog.LevelWarn, slog.LevelError} {
+		if l.Enabled(context.Background(), lvl) {
+			t.Fatalf("nop logger enabled at %v", lvl)
+		}
+	}
+	l = l.With("k", "v").WithGroup("g") // must stay usable and silent
+	l.Error("ignored")
+}
+
+func TestTraceIDContext(t *testing.T) {
+	id := NewTraceID()
+	if len(id) != 16 {
+		t.Fatalf("trace ID %q not 16 hex chars", id)
+	}
+	if id2 := NewTraceID(); id2 == id {
+		t.Fatalf("two minted trace IDs collided: %q", id)
+	}
+	ctx := WithTraceID(context.Background(), id)
+	if got := TraceID(ctx); got != id {
+		t.Fatalf("TraceID = %q, want %q", got, id)
+	}
+	if got := TraceID(context.Background()); got != "" {
+		t.Fatalf("empty context yielded trace ID %q", got)
+	}
+	if ctx2 := WithTraceID(ctx, ""); ctx2 != ctx {
+		t.Fatal("WithTraceID with empty id must return ctx unchanged")
+	}
+}
+
+func TestTimelineRing(t *testing.T) {
+	tl := NewTimeline(4)
+	for i := 0; i < 4; i++ {
+		tl.RecordAt(time.Unix(int64(i), 0), "ev", "")
+	}
+	if tl.Len() != 4 || tl.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d before overflow", tl.Len(), tl.Dropped())
+	}
+	tl.RecordAt(time.Unix(4, 0), "ev", "newest")
+	tl.RecordAt(time.Unix(5, 0), "ev", "newest2")
+	if tl.Len() != 4 {
+		t.Fatalf("len=%d after overflow, want 4", tl.Len())
+	}
+	if tl.Dropped() != 2 {
+		t.Fatalf("dropped=%d, want 2", tl.Dropped())
+	}
+	evs := tl.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events returned %d", len(evs))
+	}
+	if !evs[0].Time.Equal(time.Unix(2, 0)) || !evs[3].Time.Equal(time.Unix(5, 0)) {
+		t.Fatalf("ring order wrong: first=%v last=%v", evs[0].Time, evs[3].Time)
+	}
+	if NewTimeline(0).ring == nil || cap(NewTimeline(0).ring) != DefaultTimelineCap {
+		t.Fatal("default capacity not applied")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count=%d", h.Count())
+	}
+	if got, want := h.Sum(), 102.65; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("sum=%g want %g", got, want)
+	}
+	var buf bytes.Buffer
+	h.WritePrometheus(&buf, "t_seconds", "test histogram")
+	out := buf.String()
+	for _, want := range []string{
+		`t_seconds_bucket{le="0.1"} 2`, // 0.05 and the boundary value 0.1
+		`t_seconds_bucket{le="1"} 3`,
+		`t_seconds_bucket{le="10"} 4`,
+		`t_seconds_bucket{le="+Inf"} 5`,
+		`t_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Fatalf("own exposition invalid: %v", err)
+	}
+}
+
+func TestHistogramVecEscaping(t *testing.T) {
+	v := NewHistogramVec("route", []float64{1})
+	v.Observe(`GET /weird"name\with`+"\n", 0.5)
+	v.Observe("GET /plain", 2)
+	var buf bytes.Buffer
+	v.WritePrometheus(&buf, "req_seconds", "per-route latency")
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Fatalf("escaped exposition invalid: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), `route="GET /weird\"name\\with\n"`) {
+		t.Fatalf("label not escaped once:\n%s", buf.String())
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	if got := EscapeLabel("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Fatalf("EscapeLabel = %q", got)
+	}
+}
+
+func TestCheckExpositionRejects(t *testing.T) {
+	bad := []string{
+		"metric{label=value} 1\n",    // unquoted label value
+		"metric{label=\"v} 1\n",      // unterminated quote
+		"metric{label=\"a\\q\"} 1\n", // illegal escape
+		"1metric 2\n",                // bad metric name
+		"metric notanumber\n",        // bad value
+		"# COMMENT nothelp\n",        // unknown comment form
+		"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n", // non-monotone
+		"h_bucket{le=\"1\"} 5\n",                                     // missing +Inf
+		"h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_count 7\n", // count mismatch
+	}
+	for _, in := range bad {
+		if err := CheckExposition([]byte(in)); err == nil {
+			t.Fatalf("CheckExposition accepted %q", in)
+		}
+	}
+	good := "# HELP m ok\n# TYPE m counter\nm{g=\"a\\\\b\"} 1 1700000000\nplain 2.5e-3\n"
+	if err := CheckExposition([]byte(good)); err != nil {
+		t.Fatalf("CheckExposition rejected valid input: %v", err)
+	}
+}
+
+func TestDebugMux(t *testing.T) {
+	mux := DebugMux()
+	for _, p := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		if _, pat := mux.Handler(newReq(p)); pat == "" {
+			t.Fatalf("no handler registered for %s", p)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one entry in a span timeline: a named moment with an
+// optional free-form detail string. Events marshal directly into the
+// /v1/jobs/{id}/trace response.
+type Event struct {
+	// Time is when the event was recorded.
+	Time time.Time `json:"time"`
+	// Name identifies the event kind, e.g. "queued", "running",
+	// "checkpoint", "crawl/retry", "done".
+	Name string `json:"name"`
+	// Detail carries event-specific context ("edges=512 spent=1024",
+	// a retry cause, a breaker state), empty when the name says it all.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Timeline is a bounded, concurrency-safe ring of span events. When
+// the ring is full the oldest events are overwritten and the drop
+// count grows, so a retry storm can never let one job's trace grow
+// without bound.
+type Timeline struct {
+	mu      sync.Mutex
+	ring    []Event
+	start   int // index of the oldest event
+	n       int // number of live events
+	dropped int64
+}
+
+// DefaultTimelineCap is the span-ring capacity used for job timelines.
+const DefaultTimelineCap = 512
+
+// NewTimeline builds a timeline holding at most capacity events
+// (DefaultTimelineCap when capacity is <= 0).
+func NewTimeline(capacity int) *Timeline {
+	if capacity <= 0 {
+		capacity = DefaultTimelineCap
+	}
+	return &Timeline{ring: make([]Event, 0, capacity)}
+}
+
+// Record appends an event stamped now.
+func (t *Timeline) Record(name, detail string) {
+	t.RecordAt(time.Now(), name, detail)
+}
+
+// RecordAt appends an event with an explicit timestamp.
+func (t *Timeline) RecordAt(at time.Time, name, detail string) {
+	ev := Event{Time: at, Name: name, Detail: detail}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+		t.n++
+		return
+	}
+	t.ring[t.start] = ev
+	t.start = (t.start + 1) % cap(t.ring)
+	t.dropped++
+}
+
+// Events returns the live events oldest-first. The returned slice is a
+// copy; callers may retain it.
+func (t *Timeline) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(t.start+i)%cap(t.ring)])
+	}
+	return out
+}
+
+// Dropped returns how many events were overwritten because the ring
+// was full.
+func (t *Timeline) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Len returns the number of live events in the ring.
+func (t *Timeline) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// TraceHeader is the HTTP header carrying a request's trace ID between
+// the netgraph client and server. The server echoes it on every
+// response (minting one when the request carried none) and the jobs
+// manager stamps it on job status, so one ID follows a request from
+// CLI flag through crawl middleware to job timeline.
+const TraceHeader = "X-Trace-Id"
+
+// traceKey is the context key type for trace IDs; an unexported type
+// keeps the key collision-free.
+type traceKey struct{}
+
+// NewTraceID mints a 16-hex-character random trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	// crypto/rand.Read never fails on supported platforms; on the
+	// impossible error path fall back to an all-zero ID rather than
+	// making every caller error-check ID minting.
+	_, _ = rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// WithTraceID returns a context carrying the given trace ID. An empty
+// id returns ctx unchanged.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceID returns the trace ID carried by ctx, or "" when none is set.
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
