@@ -10,6 +10,18 @@
 // Output is a plain-text table per artifact (the same rows/series the
 // paper plots), followed by the shape checks that encode the paper's
 // qualitative claims. Exit status is non-zero if any check fails.
+//
+// With -remote the work is delegated to a running graphd sweep
+// service instead of the in-process Monte Carlo engine:
+//
+//	fsexp -remote http://localhost:8080 -exp fig5
+//	fsexp -remote http://localhost:8080 -exp fig5 -artifacts-dir out/
+//
+// Each requested artifact becomes one sweep (POST /v1/sweeps); fsexp
+// follows the SSE progress stream, downloads the figure artifacts,
+// renders the same tables and [PASS]/[FAIL] check lines, and exits
+// non-zero if any check failed. Only sweep-runnable artifacts are
+// accepted remotely (see docs/EXPERIMENTS.md).
 package main
 
 import (
@@ -32,6 +44,10 @@ func main() {
 		runs   = flag.Int("runs", 0, "Monte Carlo runs per point (0 = default 400; paper used 10000)")
 		trials = flag.Int("trials", 0, "Monte Carlo trials for table4 (0 = default 400000)")
 		list   = flag.Bool("list", false, "list artifact ids and exit")
+
+		remote  = flag.String("remote", "", "graphd base URL; run artifacts as server-side sweeps instead of in-process")
+		graph   = flag.String("graph", "", "catalog graph name for -remote sweeps (empty = server default)")
+		saveDir = flag.String("artifacts-dir", "", "with -remote, also save downloaded figure artifacts here")
 	)
 	flag.Parse()
 
@@ -47,6 +63,20 @@ func main() {
 		Scale:  gen.Scale(*scale),
 		Runs:   *runs,
 		Trials: *trials,
+	}
+
+	if *remote != "" {
+		// The sweep service expands "all" itself, so it stays one sweep.
+		var ids []string
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+		failed := runRemote(*remote, *graph, *saveDir, ids, *seed, *runs)
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "fsexp: %d shape check(s) failed\n", failed)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var ids []string

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"frontier/internal/netgraph"
+	"frontier/internal/sweep"
+)
+
+// remoteDoc mirrors the JSON artifact a sweep's figure node writes
+// (the sweep package's figureDoc), decoding only what the CLI prints.
+type remoteDoc struct {
+	ID     string              `json:"id"`
+	Paper  string              `json:"paper"`
+	Title  string              `json:"title"`
+	Header []string            `json:"header"`
+	Rows   [][]string          `json:"rows"`
+	Checks []sweep.CheckResult `json:"checks"`
+	Notes  []string            `json:"notes"`
+}
+
+// runRemote reproduces artifacts through a graphd sweep service
+// instead of the in-process Monte Carlo engine: one sweep per
+// requested id ("all" is a single sweep over every supported
+// artifact). Returns the number of failed shape checks.
+func runRemote(url, graphName, artifactsDir string, ids []string, seed uint64, runs int) int {
+	c, err := netgraph.Dial(url, &http.Client{})
+	if err != nil {
+		fatalf("connecting to %s: %v", url, err)
+	}
+	ctx := context.Background()
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		st, err := c.SubmitSweep(ctx, sweep.Spec{
+			Artifact: id, Graph: graphName, Seed: seed, Runs: runs,
+		})
+		if err != nil {
+			fatalf("submitting sweep %q: %v", id, err)
+		}
+		fmt.Printf("== sweep %s — artifact %s, %d nodes (trace %s)\n",
+			st.ID, id, len(st.Nodes), st.TraceID)
+
+		lastDone := -1
+		final, err := c.FollowSweep(ctx, st.ID, func(s sweep.Status) {
+			if d := s.NodeCounts[sweep.NodeDone]; d != lastDone {
+				lastDone = d
+				fmt.Printf("  %d/%d nodes done\n", d, len(s.Nodes))
+			}
+		})
+		if err != nil {
+			// SSE can be blocked by intermediaries; fall back to polling.
+			final, err = c.WaitSweep(ctx, st.ID, 0)
+			if err != nil {
+				fatalf("waiting for sweep %s: %v", st.ID, err)
+			}
+		}
+		if final.State != sweep.StateDone {
+			fatalf("sweep %s ended %s: %s", st.ID, final.State, final.Error)
+		}
+
+		for _, a := range final.Artifacts {
+			data, err := c.SweepArtifact(ctx, st.ID, a.Name)
+			if err != nil {
+				fatalf("downloading %s: %v", a.Name, err)
+			}
+			if artifactsDir != "" {
+				if err := os.MkdirAll(artifactsDir, 0o755); err != nil {
+					fatalf("creating %s: %v", artifactsDir, err)
+				}
+				path := filepath.Join(artifactsDir, a.Name)
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					fatalf("saving %s: %v", path, err)
+				}
+				fmt.Printf("  saved %s (%d bytes, sha256 %s)\n", path, len(data), a.SHA256)
+			}
+			if strings.HasSuffix(a.Name, ".json") {
+				printRemoteDoc(data, time.Since(start))
+			}
+		}
+		for _, ch := range final.Checks {
+			if !ch.Pass {
+				failed++
+			}
+		}
+		fmt.Println()
+	}
+	return failed
+}
+
+// printRemoteDoc renders one downloaded figure artifact the same way
+// the in-process path prints its results.
+func printRemoteDoc(data []byte, elapsed time.Duration) {
+	var doc remoteDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fatalf("decoding artifact: %v", err)
+	}
+	fmt.Printf("== %s — %s (%.1fs)\n", doc.ID, doc.Title, elapsed.Seconds())
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(doc.Header, "\t"))
+	for _, row := range doc.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	for _, n := range doc.Notes {
+		fmt.Printf("  note: %s\n", n)
+	}
+	for _, ch := range doc.Checks {
+		mark := "PASS"
+		if !ch.Pass {
+			mark = "FAIL"
+		}
+		fmt.Printf("  [%s] %s — %s\n", mark, ch.Name, ch.Detail)
+	}
+}
+
+// fatalf prints a formatted error and exits 1.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fsexp: "+format+"\n", args...)
+	os.Exit(1)
+}

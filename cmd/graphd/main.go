@@ -52,6 +52,18 @@
 // its estimate converges — estimator and monitor state ride the same
 // checkpoints, so adaptive jobs also pause and resume losslessly.
 //
+// The sweep service (enabled with the job service) reproduces paper
+// figures end to end: POST /v1/sweeps with {"artifact":"fig5"} plans a
+// DAG of sampling jobs (method × Monte Carlo run), aggregates them
+// into the figure's rows, evaluates the paper's shape checks, and
+// writes JSON + CSV artifacts served at GET
+// /v1/sweeps/{id}/artifacts/{name}. With -checkpoint-dir, sweep
+// manifests persist under <checkpoint-dir>/sweeps and artifacts under
+// -artifacts-dir (default <checkpoint-dir>/artifacts); a killed graphd
+// resumes interrupted sweeps without re-running completed nodes, and
+// the resumed artifacts are byte-identical. See docs/EXPERIMENTS.md
+// for the artifact ↔ paper-figure map.
+//
 // Observability: logs are structured (log/slog; -log-level and
 // -log-format select severity and text/json encoding), every request
 // is traced by an X-Trace-Id header (adopted from the client or
@@ -79,6 +91,7 @@ import (
 	"frontier/internal/jobs"
 	"frontier/internal/netgraph"
 	"frontier/internal/obs"
+	"frontier/internal/sweep"
 	"frontier/internal/xrand"
 )
 
@@ -94,8 +107,9 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		latency    = flag.Duration("latency", 0, "injected per-request latency (models a slow OSN API, e.g. 5ms)")
 		faults     = flag.String("faults", "", "seeded deterministic fault injection on the data plane, e.g. 'rate=0.1,seed=7,statuses=429+500+503,burst=3,drop=0.2,slow=0.05:5ms,flap=200:40'")
-		workers    = flag.Int("workers", 4, "sampling-job worker pool size (0 disables the job service)")
-		ckptDir    = flag.String("checkpoint-dir", "", "directory for job checkpoints; jobs resume across restarts")
+		workers    = flag.Int("workers", 4, "sampling-job worker pool size (0 disables the job and sweep services)")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for job checkpoints and sweep manifests; jobs and sweeps resume across restarts")
+		artDir     = flag.String("artifacts-dir", "", "directory for sweep figure artifacts (default: <checkpoint-dir>/artifacts, or a temp dir)")
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		logFormat  = flag.String("log-format", "text", "log format: text or json")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
@@ -174,6 +188,7 @@ func main() {
 		logger.Info("injecting faults", "spec", *faults)
 	}
 	var mgr *jobs.Manager
+	var sweeps *sweep.Manager
 	if *workers > 0 {
 		mopts := []jobs.Option{
 			jobs.WithWorkers(*workers),
@@ -191,6 +206,24 @@ func main() {
 		opts = append(opts, netgraph.WithJobs(mgr))
 		logger.Info("job service started",
 			"workers", *workers, "jobs_resumed", mgr.ActiveJobs(), "checkpoint_dir", *ckptDir)
+
+		// The sweep service plans paper-figure DAGs over the job
+		// manager. Its manifests live next to the job checkpoints so a
+		// restarted graphd resumes interrupted sweeps along with their
+		// jobs.
+		sopts := []sweep.Option{sweep.WithLogger(logger)}
+		if *ckptDir != "" {
+			sopts = append(sopts, sweep.WithDir(*ckptDir+"/sweeps"))
+		}
+		if *artDir != "" {
+			sopts = append(sopts, sweep.WithArtifactDir(*artDir))
+		}
+		sweeps, err = sweep.NewManager(mgr, cat, sopts...)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, netgraph.WithSweeps(sweeps))
+		logger.Info("sweep service started", "artifacts", sweep.Supported())
 	}
 	if *pprofAddr != "" {
 		// The debug mux listens on its own (typically loopback-only)
@@ -234,6 +267,11 @@ func main() {
 	go func() {
 		<-sig
 		logger.Info("shutting down")
+		// Freeze sweeps first so their manifests settle before the job
+		// manager checkpoints the underlying jobs.
+		if sweeps != nil {
+			sweeps.Stop()
+		}
 		if mgr != nil {
 			mgr.Stop()
 		}

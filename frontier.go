@@ -42,6 +42,7 @@ import (
 	"frontier/internal/netgraph"
 	"frontier/internal/obs"
 	"frontier/internal/stats"
+	"frontier/internal/sweep"
 	"frontier/internal/walkstats"
 	"frontier/internal/xrand"
 )
@@ -843,3 +844,103 @@ func WithServerLogging(l *slog.Logger) GraphServerOption { return netgraph.WithL
 // lifecycle at Info, slab progress at Debug, persistence failures at
 // Error, every record carrying the job and trace IDs.
 func WithJobLogger(l *slog.Logger) JobOption { return jobs.WithLogger(l) }
+
+// Paper-figure sweep service (internal/sweep): a deterministic DAG
+// executor that reproduces a paper artifact (fig5, table2, ...) as a
+// sweep of sampling jobs — method × run job nodes, per-method
+// aggregation nodes, one figure node writing the JSON/CSV artifact and
+// evaluating the paper's shape checks. Sweeps persist per-node
+// manifests and resume after a restart without re-running done nodes,
+// reproducing byte-identical artifacts. Mount into a GraphServer with
+// WithServerSweeps; drive remotely through GraphClient.SubmitSweep /
+// FollowSweep / SweepArtifact. See docs/EXPERIMENTS.md for the
+// figure↔artifact↔endpoint map.
+type (
+	// SweepManager owns the sweep table, DAG scheduler and manifests.
+	SweepManager = sweep.Manager
+	// SweepSpec names the artifact to reproduce ("fig5", ..., or "all")
+	// plus graph, seed, runs, parallelism and failure policy.
+	SweepSpec = sweep.Spec
+	// SweepStatus is a sweep's externally visible snapshot: state,
+	// per-node statuses, artifacts and shape-check results.
+	SweepStatus = sweep.Status
+	// SweepState is a sweep's lifecycle state.
+	SweepState = sweep.State
+	// SweepNodeState is a DAG node's lifecycle state.
+	SweepNodeState = sweep.NodeState
+	// SweepNodeStatus is one DAG node's externally visible snapshot.
+	SweepNodeStatus = sweep.NodeStatus
+	// SweepArtifactInfo describes one written figure artifact (name,
+	// size, digest).
+	SweepArtifactInfo = sweep.ArtifactInfo
+	// SweepCheckResult is one evaluated paper shape check.
+	SweepCheckResult = sweep.CheckResult
+	// SweepOption configures a SweepManager.
+	SweepOption = sweep.Option
+	// SweepGraphSource resolves a SweepSpec's Graph name to the graph
+	// and labels the sweep's truth vectors are computed from
+	// (GraphCatalog implements it).
+	SweepGraphSource = sweep.GraphSource
+	// SweepTrace is a sweep's span timeline as served at
+	// GET /v1/sweeps/{id}/trace.
+	SweepTrace = sweep.Trace
+)
+
+// Sweep lifecycle states.
+const (
+	SweepPending   = sweep.StatePending
+	SweepRunning   = sweep.StateRunning
+	SweepDone      = sweep.StateDone
+	SweepFailed    = sweep.StateFailed
+	SweepCancelled = sweep.StateCancelled
+)
+
+// Sweep DAG node states.
+const (
+	SweepNodePending = sweep.NodePending
+	SweepNodeRunning = sweep.NodeRunning
+	SweepNodeDone    = sweep.NodeDone
+	SweepNodeFailed  = sweep.NodeFailed
+	SweepNodeSkipped = sweep.NodeSkipped
+)
+
+// Sweep failure policies for SweepSpec.OnError.
+const (
+	// SweepFailFast cancels in-flight siblings on the first node
+	// failure (the default).
+	SweepFailFast = sweep.FailFast
+	// SweepContinue lets siblings finish; only dependents of the failed
+	// node are skipped.
+	SweepContinue = sweep.Continue
+)
+
+// SweepArtifacts returns the artifact ids the sweep service can
+// reproduce, in paper order.
+func SweepArtifacts() []string { return sweep.Supported() }
+
+// NewSweepManager creates a sweep manager executing its job nodes on
+// jm and resolving graphs through src. Stop it with
+// (*SweepManager).Stop — before stopping jm — which freezes running
+// sweeps resumably.
+func NewSweepManager(jm *JobManager, src SweepGraphSource, opts ...SweepOption) (*SweepManager, error) {
+	return sweep.NewManager(jm, src, opts...)
+}
+
+// WithSweepDir persists per-sweep manifests under dir so sweeps
+// survive a restart and resume without re-running done nodes.
+func WithSweepDir(dir string) SweepOption { return sweep.WithDir(dir) }
+
+// WithSweepArtifactDir writes figure artifacts under dir (default:
+// a sibling "artifacts" directory of the manifest dir).
+func WithSweepArtifactDir(dir string) SweepOption { return sweep.WithArtifactDir(dir) }
+
+// WithSweepParallel bounds how many job nodes run concurrently per
+// sweep (default: the job manager's worker count).
+func WithSweepParallel(n int) SweepOption { return sweep.WithParallel(n) }
+
+// WithSweepLogger attaches a structured logger to the sweep manager.
+func WithSweepLogger(l *slog.Logger) SweepOption { return sweep.WithLogger(l) }
+
+// WithServerSweeps mounts the sweep endpoints (POST /v1/sweeps et al.)
+// backed by m into a GraphServer.
+func WithServerSweeps(m *SweepManager) GraphServerOption { return netgraph.WithSweeps(m) }

@@ -361,6 +361,68 @@ func TestPublicAPIJobService(t *testing.T) {
 	}
 }
 
+// TestPublicAPISweepService drives the paper-figure sweep service
+// through the facade: catalog-backed manager, remote submit, SSE
+// follow, artifact download.
+func TestPublicAPISweepService(t *testing.T) {
+	g := frontier.BarabasiAlbert(frontier.NewRand(31), 600, 3)
+	cat := frontier.NewGraphCatalog()
+	if err := cat.Add("ba", g, nil); err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := frontier.NewJobManager(g, frontier.WithJobWorkers(2), frontier.WithJobResolver(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := frontier.NewSweepManager(mgr, cat,
+		frontier.WithSweepDir(t.TempDir()),
+		frontier.WithSweepArtifactDir(t.TempDir()),
+		frontier.WithSweepParallel(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+	defer sm.Stop() // sweeps freeze before the job manager checkpoints
+
+	if ids := frontier.SweepArtifacts(); len(ids) == 0 {
+		t.Fatal("no sweep-runnable artifacts")
+	}
+
+	ts := httptest.NewServer(frontier.NewGraphServer("ba", g, nil,
+		frontier.WithServerJobs(mgr), frontier.WithServerSweeps(sm)))
+	defer ts.Close()
+	c, err := frontier.DialGraph(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	st, err := c.SubmitSweep(ctx, frontier.SweepSpec{Artifact: "fig1", Runs: 2, OnError: frontier.SweepContinue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.FollowSweep(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != frontier.SweepDone {
+		t.Fatalf("sweep ended %s: %s", final.State, final.Error)
+	}
+	if n := final.NodeCounts[frontier.SweepNodeDone]; n != len(final.Nodes) {
+		t.Fatalf("%d/%d nodes done", n, len(final.Nodes))
+	}
+	if len(final.Artifacts) == 0 {
+		t.Fatal("no artifacts on done sweep")
+	}
+	data, err := c.SweepArtifact(ctx, st.ID, final.Artifacts[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty artifact")
+	}
+}
+
 // TestPublicAPILiveEstimation drives the live estimation subsystem
 // through the facade: registry, runtime, adaptive stop, and the
 // job-spec stop rule.

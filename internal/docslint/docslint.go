@@ -1,0 +1,124 @@
+// Package docslint checks the repository's Markdown documentation for
+// broken relative links — files that moved or were renamed without
+// their references following, and in-page anchors that no longer match
+// a heading. External links (http, https, mailto) are out of scope:
+// checking them needs the network and their liveness is not this
+// repository's to enforce. Like godoclint, the package is stdlib-only
+// and runs as an ordinary Go test, so the docs are gated by `go test`
+// alongside the code they describe.
+package docslint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// Violation is one broken link: the document holding it, the link
+// target as written, and what is wrong with it.
+type Violation struct {
+	Doc    string
+	Target string
+	Reason string
+}
+
+// String formats the violation as file: [target] reason.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: link %q %s", v.Doc, v.Target, v.Reason)
+}
+
+// inlineLink matches Markdown inline links [text](target). Images
+// ![alt](target) match too via the same suffix, which is what we want.
+var inlineLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// fence matches fenced code blocks, which may contain ](...) shaped
+// text that is not a link (shell snippets, JSON).
+var fence = regexp.MustCompile("(?s)```.*?```")
+
+// heading matches ATX headings, whose text defines the page's anchors.
+var heading = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+
+// anchorStrip removes the characters GitHub drops when slugifying a
+// heading into an anchor.
+var anchorStrip = regexp.MustCompile(`[^\p{L}\p{N} _-]`)
+
+// slugify converts a heading text to its GitHub anchor id: lower-case,
+// punctuation dropped, spaces to hyphens.
+func slugify(h string) string {
+	// Inline code and emphasis markers contribute their text only.
+	h = strings.NewReplacer("`", "", "*", "", "_", " ").Replace(h)
+	h = anchorStrip.ReplaceAllString(strings.ToLower(h), "")
+	return strings.ReplaceAll(strings.TrimSpace(h), " ", "-")
+}
+
+// anchorsOf collects the anchor ids of every heading in a document.
+func anchorsOf(md []byte) map[string]bool {
+	anchors := make(map[string]bool)
+	for _, m := range heading.FindAllStringSubmatch(string(md), -1) {
+		anchors[slugify(m[1])] = true
+	}
+	return anchors
+}
+
+// CheckFile lints one Markdown file. Relative link targets resolve
+// against the file's directory; same-page `#anchor` links must match a
+// heading. Targets with URL schemes are skipped.
+func CheckFile(path string) ([]Violation, error) {
+	md, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	body := fence.ReplaceAll(md, nil)
+	anchors := anchorsOf(md)
+
+	var vs []Violation
+	for _, m := range inlineLink.FindAllStringSubmatch(string(body), -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+			continue
+		}
+		file, frag, _ := strings.Cut(target, "#")
+		if file == "" { // same-page anchor
+			if !anchors[frag] {
+				vs = append(vs, Violation{path, target, "names no heading in this file"})
+			}
+			continue
+		}
+		dest := filepath.Join(filepath.Dir(path), filepath.FromSlash(file))
+		fi, err := os.Stat(dest)
+		switch {
+		case err != nil:
+			vs = append(vs, Violation{path, target, "does not resolve to a file in this repository"})
+		case frag != "" && !fi.IsDir():
+			other, err := os.ReadFile(dest)
+			if err != nil {
+				return nil, err
+			}
+			if !anchorsOf(other)[frag] {
+				vs = append(vs, Violation{path, target, "names no heading in the linked file"})
+			}
+		}
+	}
+	return vs, nil
+}
+
+// CheckFiles lints several Markdown files and concatenates their
+// violations; missing files are violations too, so the checked-doc
+// list cannot silently rot.
+func CheckFiles(paths []string) ([]Violation, error) {
+	var vs []Violation
+	for _, p := range paths {
+		fvs, err := CheckFile(p)
+		if os.IsNotExist(err) {
+			vs = append(vs, Violation{p, p, "file is listed for linting but does not exist"})
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		vs = append(vs, fvs...)
+	}
+	return vs, nil
+}

@@ -1,0 +1,99 @@
+package docslint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// repoRoot walks up from the working directory to the directory
+// holding go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepositoryDocsLinksResolve lints every tracked Markdown document
+// for broken relative links and anchors. This is the docs-lint step CI
+// runs: a file rename that breaks a cross-reference fails the build.
+func TestRepositoryDocsLinksResolve(t *testing.T) {
+	root := repoRoot(t)
+	docs := []string{
+		filepath.Join(root, "README.md"),
+		filepath.Join(root, "DESIGN.md"),
+		filepath.Join(root, "ROADMAP.md"),
+		filepath.Join(root, "examples", "README.md"),
+	}
+	entries, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no Markdown files under docs/")
+	}
+	docs = append(docs, entries...)
+
+	vs, err := CheckFiles(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestCheckFileFindsBreakage proves the linter actually detects the
+// failure modes it exists for, against a synthetic doc tree.
+func TestCheckFileFindsBreakage(t *testing.T) {
+	dir := t.TempDir()
+	other := filepath.Join(dir, "other.md")
+	if err := os.WriteFile(other, []byte("# Real Heading\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := filepath.Join(dir, "doc.md")
+	content := "# Title\n\n" +
+		"[ok file](other.md)\n" +
+		"[ok anchor](#title)\n" +
+		"[ok cross anchor](other.md#real-heading)\n" +
+		"[external](https://example.com/missing)\n" +
+		"```\nnot a [link](nothing.md) inside a fence\n```\n" +
+		"[missing file](gone.md)\n" +
+		"[missing anchor](#nope)\n" +
+		"[missing cross anchor](other.md#nope)\n"
+	if err := os.WriteFile(doc, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	vs, err := CheckFile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 {
+		t.Fatalf("violations = %v, want the 3 planted breakages", vs)
+	}
+	wantTargets := map[string]bool{"gone.md": true, "#nope": true, "other.md#nope": true}
+	for _, v := range vs {
+		if !wantTargets[v.Target] {
+			t.Errorf("unexpected violation %s", v)
+		}
+	}
+
+	// A listed-but-absent doc is itself a violation, not a silent skip.
+	vs, err = CheckFiles([]string{filepath.Join(dir, "absent.md")})
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("CheckFiles(absent) = %v, %v", vs, err)
+	}
+}

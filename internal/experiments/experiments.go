@@ -252,6 +252,16 @@ func runSeed(base, salt uint64, run int) uint64 {
 	return x
 }
 
+// RunSeed exposes the per-run seed derivation for external drivers
+// (the sweep executor) so a remote Monte Carlo run draws its seed from
+// the same family as an in-process one with the same base and salt.
+func RunSeed(base, salt uint64, run int) uint64 { return runSeed(base, salt, run) }
+
+// Salt hashes a call-site name into a runSeed salt; the exported pair
+// (Salt, RunSeed) lets the sweep executor key node seeds by artifact
+// and method name exactly the way the in-process suite does.
+func Salt(name string) uint64 { return hashName(name) }
+
 // parallelRuns executes runs Monte Carlo iterations across workers.
 // Each run's do receives its own deterministic RNG and returns an
 // estimate vector, which collect consumes under a lock (collectors must

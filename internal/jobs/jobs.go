@@ -1309,10 +1309,29 @@ func (m *Manager) loadCheckpoints() error {
 		// marks its job failed instead of aborting the reload: one stale
 		// checkpoint must not take down the whole manager.
 		var invalid error
+		var report *live.Report
 		if src, release, rerr := m.resolver.Resolve(cp.Spec.Graph); rerr != nil {
 			invalid = rerr
 		} else {
 			invalid = cp.Spec.validate(src, m.registry, m.methods)
+			if invalid == nil && cp.State == StateDone && len(cp.Live) > 0 {
+				// A done checkpoint carries the final live-runtime state, so
+				// the report the job published as it finished is exactly
+				// reconstructible (newRuntime is a pure function of the
+				// spec). Rehydrate it: otherwise the restored job answers
+				// EstimateReport with "no report yet", the estimates
+				// endpoint 404s, and a sweep reattaching to the job after a
+				// restart would aggregate its figure from a result missing
+				// the estimand vector. A state that fails to restore (e.g.
+				// cross-version live state) leaves the report absent —
+				// consumers that need it fail loudly downstream.
+				if rt, err := newRuntime(m.registry, cp.Spec, src); err == nil {
+					if err := rt.Restore(cp.Live); err == nil {
+						rep := rt.Report()
+						report = &rep
+					}
+				}
+			}
 			release()
 		}
 		j := &Job{
@@ -1328,6 +1347,10 @@ func (m *Manager) loadCheckpoints() error {
 			j.traceID = obs.NewTraceID()
 		}
 		j.recordEvent("restored", "from checkpoint "+ent.Name())
+		// estUpdates already carries the checkpointed counter; installing
+		// the rehydrated report must not bump it, so this bypasses
+		// setReport deliberately (the job is not yet visible to watchers).
+		j.report = report
 		if cp.Estimate != nil {
 			j.estimate = *cp.Estimate
 		}

@@ -3,6 +3,7 @@ package jobs
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -428,5 +429,60 @@ func TestBatchedDriveMatchesDirectRun(t *testing.T) {
 				t.Fatalf("spent %v, direct run %v", got.Spent, want.Spent)
 			}
 		})
+	}
+}
+
+// TestRestoredDoneJobKeepsEstimateReport: a done job reloaded from its
+// checkpoint must still answer EstimateReport with the exact report it
+// published as it finished — the done checkpoint carries the final
+// live-runtime state, and rehydrating it is what keeps the estimates
+// endpoint and sweep reattachment working across a process restart.
+// Before this was fixed, a restored done job reported "no estimates
+// yet", and a sweep resuming across a hard restart silently aggregated
+// its figure without the job's estimand vector.
+func TestRestoredDoneJobKeepsEstimateReport(t *testing.T) {
+	g := testGraph(11)
+	spec := Spec{Method: "multiple", M: 2, Budget: 40, Seed: 17, Estimate: "degreedist"}
+
+	dir := t.TempDir()
+	m1, err := NewManager(g, WithWorkers(1), WithCheckpointDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	want, wantSeq, ok := j.EstimateReport()
+	if !ok || want.Vector == nil {
+		t.Fatalf("pre-restart report = (%+v, %v); want a vector report", want, ok)
+	}
+	m1.Stop()
+
+	m2, err := NewManager(g, WithWorkers(1), WithCheckpointDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Stop()
+	j2, found := m2.Get(j.ID())
+	if !found {
+		t.Fatalf("job %s not reloaded from %s", j.ID(), dir)
+	}
+	if st := j2.Status(); st.State != StateDone {
+		t.Fatalf("reloaded job state %s, want done", st.State)
+	}
+	got, gotSeq, ok := j2.EstimateReport()
+	if !ok {
+		t.Fatal("reloaded done job has no estimate report")
+	}
+	if gotSeq != wantSeq {
+		t.Fatalf("estimate-update counter %d, want %d (rehydration must not bump it)", gotSeq, wantSeq)
+	}
+	if got.Observations != want.Observations || !reflect.DeepEqual(got.Vector, want.Vector) {
+		t.Fatalf("rehydrated report differs:\n got %+v\nwant %+v", got, want)
+	}
+	if (got.Value == nil) != (want.Value == nil) || (got.Value != nil && *got.Value != *want.Value) {
+		t.Fatalf("rehydrated value %v, want %v", got.Value, want.Value)
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"frontier/internal/gen"
 	"frontier/internal/jobs"
+	"frontier/internal/sweep"
 	"frontier/internal/xrand"
 )
 
@@ -31,7 +32,12 @@ func TestAPIDocCoversEveryRoute(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mgr.Stop()
-	srv := NewServer("doc", g, nil, WithJobs(mgr))
+	sm, err := sweep.NewManager(mgr, sweepGraphSource{g: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sm.Stop()
+	srv := NewServer("doc", g, nil, WithJobs(mgr), WithSweeps(sm))
 
 	registered := make(map[string]bool)
 	for _, route := range srv.Routes() {

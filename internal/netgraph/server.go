@@ -41,6 +41,7 @@ import (
 	"frontier/internal/graphio"
 	"frontier/internal/jobs"
 	"frontier/internal/obs"
+	"frontier/internal/sweep"
 )
 
 // Meta describes one served graph.
@@ -149,6 +150,15 @@ func WithJobs(m *jobs.Manager) ServerOption {
 	return func(s *Server) { s.jobs = m }
 }
 
+// WithSweeps mounts the paper-figure sweep endpoints (POST /v1/sweeps,
+// GET /v1/sweeps/{id}, …/events, …/trace, …/artifacts) backed by m,
+// which the caller owns: the server does not stop the manager on
+// shutdown. Build the manager over the same jobs.Manager passed to
+// WithJobs and the server's Catalog as its graph source.
+func WithSweeps(m *sweep.Manager) ServerOption {
+	return func(s *Server) { s.sweeps = m }
+}
+
 // MaxBatchIDs bounds the number of ids one batch request may ask for,
 // keeping a single request from holding the handler for an unbounded
 // amount of work.
@@ -174,6 +184,7 @@ type Server struct {
 	latency time.Duration
 	faults  *faultInjector // nil unless WithFaults configured injection
 	jobs    *jobs.Manager
+	sweeps  *sweep.Manager
 	started time.Time
 	log     *slog.Logger      // never nil; NopLogger unless WithLogging
 	reqHist *obs.HistogramVec // per-route request-duration histogram
@@ -234,6 +245,16 @@ func NewCatalogServer(cat *Catalog, opts ...ServerOption) *Server {
 		s.handle("GET /v1/jobs/{id}/events", s.handleJobEvents)
 		s.handle("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 		s.handle("POST /v1/jobs/{id}/cancel", s.handleCancelJob)
+	}
+	if s.sweeps != nil {
+		s.handle("POST /v1/sweeps", s.handleSubmitSweep)
+		s.handle("GET /v1/sweeps", s.handleListSweeps)
+		s.handle("GET /v1/sweeps/{id}", s.handleGetSweep)
+		s.handle("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+		s.handle("GET /v1/sweeps/{id}/trace", s.handleSweepTrace)
+		s.handle("GET /v1/sweeps/{id}/artifacts", s.handleSweepArtifacts)
+		s.handle("GET /v1/sweeps/{id}/artifacts/{name}", s.handleSweepArtifact)
+		s.handle("POST /v1/sweeps/{id}/cancel", s.handleCancelSweep)
 	}
 	return s
 }
@@ -830,6 +851,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(&b, "graphd_job_breaker{job=\"%s\",state=\"%s\"} 1\n",
 				obs.EscapeLabel(st.ID), obs.EscapeLabel(st.Breaker))
 		}
+	}
+
+	if s.sweeps != nil {
+		writeStateGauge := func(name, help string, counts map[string]int) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			states := make([]string, 0, len(counts))
+			for st := range counts {
+				states = append(states, st)
+			}
+			sort.Strings(states)
+			for _, st := range states {
+				fmt.Fprintf(&b, "%s{state=\"%s\"} %d\n", name, obs.EscapeLabel(st), counts[st])
+			}
+		}
+		sc := make(map[string]int)
+		for st, c := range s.sweeps.StateCounts() {
+			sc[string(st)] = c
+		}
+		writeStateGauge("graphd_sweeps", "Sweeps per lifecycle state.", sc)
+		nc := make(map[string]int)
+		for st, c := range s.sweeps.NodeCounts() {
+			nc[string(st)] = c
+		}
+		writeStateGauge("graphd_sweep_nodes", "Sweep DAG nodes per state, across all sweeps.", nc)
 	}
 
 	_, _ = w.Write([]byte(b.String()))

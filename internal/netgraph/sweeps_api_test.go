@@ -1,0 +1,268 @@
+package netgraph
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"frontier/internal/gen"
+	"frontier/internal/graph"
+	"frontier/internal/jobs"
+	"frontier/internal/sweep"
+	"frontier/internal/xrand"
+)
+
+// sweepGraphSource adapts a fixed graph to sweep.GraphSource the way
+// the catalog does for graphd.
+type sweepGraphSource struct {
+	g  *graph.Graph
+	gl *graph.GroupLabels
+}
+
+func (s sweepGraphSource) Graph(string) (*graph.Graph, *graph.GroupLabels, error) {
+	return s.g, s.gl, nil
+}
+
+// sweepSlowSource throttles degree queries so a sweep stays running
+// long enough to observe and cancel.
+type sweepSlowSource struct {
+	g     *graph.Graph
+	delay time.Duration
+}
+
+func (s *sweepSlowSource) NumVertices() int { return s.g.NumVertices() }
+func (s *sweepSlowSource) SymDegree(v int) int {
+	time.Sleep(s.delay)
+	return s.g.SymDegree(v)
+}
+func (s *sweepSlowSource) SymNeighbor(v, i int) int { return s.g.SymNeighbor(v, i) }
+
+// sweepServer spins up a graphd-shaped server with both the job and
+// sweep services mounted.
+func sweepServer(t *testing.T, delay time.Duration) (*httptest.Server, *sweep.Manager) {
+	t.Helper()
+	g := gen.BarabasiAlbert(xrand.New(41), 600, 3)
+	var src interface {
+		NumVertices() int
+		SymDegree(v int) int
+		SymNeighbor(v, i int) int
+	} = g
+	if delay > 0 {
+		src = &sweepSlowSource{g: g, delay: delay}
+	}
+	jm, err := jobs.NewManager(src, jobs.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	sm, err := sweep.NewManager(jm, sweepGraphSource{g: g},
+		sweep.WithDir(filepath.Join(root, "sweeps")),
+		sweep.WithArtifactDir(filepath.Join(root, "artifacts")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		sm.Stop()
+		jm.Stop()
+	})
+	ts := httptest.NewServer(NewServer("sweep-graph", g, nil, WithJobs(jm), WithSweeps(sm)))
+	t.Cleanup(ts.Close)
+	return ts, sm
+}
+
+// TestRemoteSweepRoundTrip drives the full HTTP sweep lifecycle:
+// submit, follow the SSE stream to completion, list and download the
+// artifacts, and read the sweep-wide trace.
+func TestRemoteSweepRoundTrip(t *testing.T) {
+	ts, _ := sweepServer(t, 0)
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	st, err := c.SubmitSweep(ctx, sweep.Spec{Artifact: "fig1", Runs: 3})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if st.ID == "" || len(st.Nodes) != 9 { // 2 methods × 3 runs + 2 agg + 1 figure
+		t.Fatalf("initial status: id=%q nodes=%d", st.ID, len(st.Nodes))
+	}
+	if st.Spec.Runs != 3 || st.Spec.OnError != sweep.FailFast {
+		t.Fatalf("normalized spec not echoed: %+v", st.Spec)
+	}
+
+	var updates int
+	final, err := c.FollowSweep(ctx, st.ID, func(sweep.Status) { updates++ })
+	if err != nil {
+		t.Fatalf("follow: %v", err)
+	}
+	if final.State != sweep.StateDone || updates == 0 {
+		t.Fatalf("followed to %s after %d updates (%q)", final.State, updates, final.Error)
+	}
+	if final.NodeCounts[sweep.NodeDone] != len(final.Nodes) {
+		t.Fatalf("node counts %v", final.NodeCounts)
+	}
+
+	arts, err := c.SweepArtifacts(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("artifacts: %v", err)
+	}
+	if len(arts) != 2 {
+		t.Fatalf("artifacts = %+v", arts)
+	}
+	for _, a := range arts {
+		data, err := c.SweepArtifact(ctx, st.ID, a.Name)
+		if err != nil {
+			t.Fatalf("download %s: %v", a.Name, err)
+		}
+		if int64(len(data)) != a.Bytes {
+			t.Fatalf("artifact %s: %d bytes, advertised %d", a.Name, len(data), a.Bytes)
+		}
+		if strings.HasSuffix(a.Name, ".json") && !json.Valid(data) {
+			t.Fatalf("artifact %s is not valid JSON", a.Name)
+		}
+	}
+
+	tr, err := c.SweepTrace(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	if tr.SweepID != st.ID || tr.TraceID == "" || len(tr.Events) == 0 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	// The sweep's trace id is stamped on its jobs: the job trace for a
+	// node's job carries the same id.
+	jid := ""
+	for _, n := range final.Nodes {
+		if n.JobID != "" {
+			jid = n.JobID
+			break
+		}
+	}
+	jt, err := c.JobTrace(ctx, jid)
+	if err != nil {
+		t.Fatalf("job trace: %v", err)
+	}
+	if jt.TraceID != tr.TraceID {
+		t.Fatalf("job trace id %q, sweep trace id %q", jt.TraceID, tr.TraceID)
+	}
+
+	all, err := c.Sweeps(ctx)
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if len(all) != 1 || all[0].ID != st.ID {
+		t.Fatalf("list = %+v", all)
+	}
+
+	// WaitSweep on an already-terminal sweep returns immediately.
+	got, err := c.WaitSweep(ctx, st.ID, 10*time.Millisecond)
+	if err != nil || got.State != sweep.StateDone {
+		t.Fatalf("wait: %v %v", got.State, err)
+	}
+}
+
+func TestRemoteSweepCancel(t *testing.T) {
+	ts, _ := sweepServer(t, 2*time.Millisecond)
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	st, err := c.SubmitSweep(ctx, sweep.Spec{Artifact: "fig1", Runs: 8, Parallel: 1})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := c.CancelSweep(ctx, st.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	final, err := c.WaitSweep(ctx, st.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait after cancel: %v", err)
+	}
+	if final.State != sweep.StateCancelled {
+		t.Fatalf("state %s after cancel", final.State)
+	}
+	// A second cancel conflicts.
+	if _, err := c.CancelSweep(ctx, st.ID); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("second cancel error = %v", err)
+	}
+}
+
+func TestSweepAPIErrors(t *testing.T) {
+	ts, _ := sweepServer(t, 0)
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if _, err := c.SubmitSweep(ctx, sweep.Spec{Artifact: "nope"}); err == nil ||
+		!strings.Contains(err.Error(), "400") {
+		t.Fatalf("unknown artifact error = %v", err)
+	}
+	if _, err := c.SubmitSweep(ctx, sweep.Spec{Artifact: "table4"}); err == nil ||
+		!strings.Contains(err.Error(), "not sweep-runnable") {
+		t.Fatalf("unsupported artifact error = %v", err)
+	}
+	if _, err := c.Sweep(ctx, "sweep-999999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown sweep error = %v", err)
+	}
+	if _, err := c.SweepArtifact(ctx, "sweep-999999", "fig1.json"); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown sweep artifact error = %v", err)
+	}
+	// Artifact names outside the manifest 404 (no path traversal).
+	st, err := c.SubmitSweep(ctx, sweep.Spec{Artifact: "fig1", Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitSweep(ctx, st.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SweepArtifact(ctx, st.ID, "../../etc/passwd"); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Fatalf("traversal name error = %v", err)
+	}
+}
+
+// TestSweepMetricsExposed: after a sweep completes, /metrics carries
+// the sweep and node state gauges.
+func TestSweepMetricsExposed(t *testing.T) {
+	ts, _ := sweepServer(t, 0)
+	c, err := Dial(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	st, err := c.SubmitSweep(ctx, sweep.Spec{Artifact: "fig1", Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitSweep(ctx, st.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, `graphd_sweeps{state="done"} 1`) {
+		t.Errorf("metrics missing sweep state gauge:\n%s", text)
+	}
+	if !strings.Contains(text, `graphd_sweep_nodes{state="done"}`) {
+		t.Errorf("metrics missing sweep node gauge")
+	}
+}

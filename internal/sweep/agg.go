@@ -1,0 +1,360 @@
+package sweep
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/csv"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"frontier/internal/experiments"
+	"frontier/internal/graph"
+	"frontier/internal/stats"
+)
+
+// invalidNMSE is the JSON-safe sentinel for an undefined per-index
+// error (truth zero → NaN NMSE, which JSON cannot carry).
+const invalidNMSE = -1.0
+
+// truthVector computes the exact estimand vector on the hosted graph
+// for a vector-kind artifact.
+func truthVector(d artifactDef, g *graph.Graph, gl *graph.GroupLabels) []float64 {
+	switch d.kind {
+	case artCurve:
+		return graph.CCDF(g.DegreeDistribution(graph.SymDeg))
+	case artDensity:
+		return g.DegreeDistribution(graph.SymDeg)
+	case artGroups:
+		ids := topGroups(gl)
+		truth := make([]float64, len(ids))
+		for k, id := range ids {
+			truth[k] = gl.Density(id)
+		}
+		return truth
+	}
+	return nil
+}
+
+// truthScalar computes the exact scalar estimand on the hosted graph.
+func truthScalar(d artifactDef, g *graph.Graph) float64 {
+	switch d.estimand {
+	case "assortativity":
+		return g.AssortativityUndirected()
+	case "clustering":
+		return g.GlobalClustering()
+	}
+	return math.NaN()
+}
+
+// maxGroups caps the group ranking at the paper's 200 most popular.
+const maxGroups = 200
+
+// topGroups returns the ranked group ids a groups-kind artifact
+// evaluates: the most popular first, at most maxGroups.
+func topGroups(gl *graph.GroupLabels) []int {
+	ids := gl.ByPopularity()
+	if len(ids) > maxGroups {
+		ids = ids[:maxGroups]
+	}
+	return ids
+}
+
+// runVector extracts the estimand vector an aggregation consumes from
+// one run's recorded result, in truth-vector index space.
+func runVector(d artifactDef, jr jobResult, gl *graph.GroupLabels, truthLen int) []float64 {
+	switch d.kind {
+	case artCurve:
+		return jr.Vector
+	case artDensity:
+		return ccdfToDensity(jr.Vector, truthLen)
+	case artGroups:
+		ids := topGroups(gl)
+		est := make([]float64, len(ids))
+		for k, id := range ids {
+			if id < len(jr.Vector) {
+				est[k] = jr.Vector[id]
+			}
+		}
+		return est
+	}
+	return nil
+}
+
+// ccdfToDensity inverts an estimated CCDF γ (index i = fraction of
+// vertices with degree > i) back to per-degree densities θ over n
+// indexes: θ[i] = γ[i−1] − γ[i], with γ[−1] = 1 and γ ≡ 0 beyond the
+// estimate's length.
+func ccdfToDensity(ccdf []float64, n int) []float64 {
+	theta := make([]float64, n)
+	prev := 1.0
+	for i := 0; i < n; i++ {
+		cur := 0.0
+		if i < len(ccdf) {
+			cur = ccdf[i]
+		}
+		theta[i] = prev - cur
+		prev = cur
+	}
+	return theta
+}
+
+// aggregateVector folds one method's run vectors into its error
+// summary. Results arrive in run order; the accumulator is
+// order-independent regardless.
+func aggregateVector(d artifactDef, method string, results []jobResult, g *graph.Graph, gl *graph.GroupLabels) aggResult {
+	truth := truthVector(d, g, gl)
+	ve := stats.NewVectorError(truth)
+	for _, jr := range results {
+		ve.Add(runVector(d, jr, gl, len(truth)))
+	}
+	nmse := make([]float64, ve.Len())
+	for i := range nmse {
+		if v := ve.NMSEAt(i); math.IsNaN(v) || math.IsInf(v, 0) {
+			nmse[i] = invalidNMSE
+		} else {
+			nmse[i] = v
+		}
+	}
+	gm, _ := stats.GeometricMeanOfValid(validOnly(nmse))
+	return aggResult{Method: method, GM: gm, NMSE: nmse, Runs: len(results)}
+}
+
+// aggregateScalar folds one method's run values into its scalar error
+// summary, mapping undefined estimates to 0 the way the in-process
+// suite does.
+func aggregateScalar(d artifactDef, method string, results []jobResult, g *graph.Graph) aggResult {
+	truth := truthScalar(d, g)
+	se := stats.NewScalarError(truth)
+	for _, jr := range results {
+		v := 0.0
+		if jr.Value != nil && !math.IsNaN(*jr.Value) {
+			v = *jr.Value
+		}
+		se.Add(v)
+	}
+	return aggResult{
+		Method: method,
+		GM:     se.NMSE(),
+		Bias:   se.RelativeBias(),
+		Mean:   se.MeanEstimate(),
+		Truth:  truth,
+		Runs:   len(results),
+	}
+}
+
+// validOnly filters the invalid-NMSE sentinel out, leaving the values
+// GeometricMeanOfValid should see.
+func validOnly(nmse []float64) []float64 {
+	out := make([]float64, 0, len(nmse))
+	for _, v := range nmse {
+		if v != invalidNMSE {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// medianRatio is the median of a[i]/b[i] over indexes in [lo, hi)
+// where both curves are valid and nonzero — NaN when nothing
+// qualifies. Mirrors the in-process fig12 summary statistic.
+func medianRatio(a, b []float64, lo, hi int) float64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(a) {
+		hi = len(a)
+	}
+	var ratios []float64
+	for i := lo; i < hi && i < len(b); i++ {
+		if a[i] > 0 && b[i] > 0 {
+			ratios = append(ratios, a[i]/b[i])
+		}
+	}
+	if len(ratios) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(ratios)
+	return ratios[len(ratios)/2]
+}
+
+// densityCheckNames lists the fig12-style checks in evaluation order,
+// for the documentation-facing Defs listing.
+func densityCheckNames() []string {
+	return []string{
+		"RandomEdge more accurate than RandomVertex above the average degree",
+		"RandomVertex more accurate than RandomEdge below the average degree",
+		"FS within 2x of RandomEdge overall",
+	}
+}
+
+// densityChecks evaluates the fig12 shape checks over the per-method
+// NMSE curves.
+func densityChecks(artifact string, byKey map[string]aggResult, g *graph.Graph) []CheckResult {
+	names := densityCheckNames()
+	re, fs, rv := byKey["re"].NMSE, byKey["fs"].NMSE, byKey["rv"].NMSE
+	davg := int(averageDegree(g))
+	n := len(re)
+	above := medianRatio(re, rv, davg, n)
+	below := medianRatio(re, rv, 0, davg)
+	fsRatio := medianRatio(fs, re, 0, n)
+	return []CheckResult{
+		{Artifact: artifact, Name: names[0], Pass: above < 1,
+			Detail: fmt.Sprintf("median NMSE(RE)/NMSE(RV) above degree %d = %s", davg, fmtG(above))},
+		{Artifact: artifact, Name: names[1], Pass: below > 1,
+			Detail: fmt.Sprintf("median NMSE(RE)/NMSE(RV) below degree %d = %s", davg, fmtG(below))},
+		{Artifact: artifact, Name: names[2], Pass: fsRatio < 2.0,
+			Detail: fmt.Sprintf("median NMSE(FS)/NMSE(RE) = %s", fmtG(fsRatio))},
+	}
+}
+
+// averageDegree is the mean symmetric degree of the hosted graph.
+func averageDegree(g *graph.Graph) float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	return float64(g.NumSymEdges()) / float64(n)
+}
+
+// figureDoc is the JSON artifact one figure node writes.
+type figureDoc struct {
+	// ID is the artifact id.
+	ID string `json:"id"`
+	// Paper is the paper locus the artifact reproduces.
+	Paper string `json:"paper"`
+	// Title is the experiment registry's title for the artifact.
+	Title string `json:"title"`
+	// Graph names the swept catalog graph.
+	Graph string `json:"graph,omitempty"`
+	// Spec echoes the sweep spec (seed, runs — the determinism key).
+	Spec Spec `json:"spec"`
+	// Header labels the row columns.
+	Header []string `json:"header"`
+	// Rows is the rendered figure table.
+	Rows [][]string `json:"rows"`
+	// Checks lists the evaluated shape checks.
+	Checks []CheckResult `json:"checks"`
+	// Notes carries caveats (estimand facet, budget, walker counts).
+	Notes []string `json:"notes,omitempty"`
+}
+
+// buildFigure assembles one artifact's figure from its per-method
+// aggregates, evaluates the shape checks, and renders both artifact
+// encodings. aggs arrive in the artifact's method order.
+func buildFigure(d artifactDef, sp Spec, aggs []aggResult, g *graph.Graph) (doc figureDoc, jsonBytes, csvBytes []byte, err error) {
+	byKey := make(map[string]aggResult, len(aggs))
+	for _, a := range aggs {
+		byKey[a.Method] = a
+	}
+	doc = figureDoc{
+		ID:    d.id,
+		Paper: d.paper,
+		Graph: sp.Graph,
+		Spec:  sp,
+	}
+	if e, ok := experiments.ByID(d.id); ok {
+		doc.Title = e.Title
+	}
+	doc.Notes = append(doc.Notes,
+		fmt.Sprintf("service sweep over the hosted graph: estimand %q, budget %s = %s steps",
+			d.estimand, fmt.Sprintf("|V|/%d", d.budgetDiv), fmtG(d.budgetFor(g))),
+		d.note,
+	)
+
+	switch d.kind {
+	case artScalar:
+		doc.Header = []string{"method", "truth", "mean estimate", "relative bias", "NMSE"}
+		for _, md := range d.methods {
+			a := byKey[md.key]
+			doc.Rows = append(doc.Rows, []string{
+				methodLabels[md.key], fmtG(a.Truth), fmtG(a.Mean), fmtG(a.Bias), fmtG(a.GM),
+			})
+		}
+	default:
+		first := "degree>"
+		if d.kind == artDensity {
+			first = "degree"
+		} else if d.kind == artGroups {
+			first = "group rank"
+		}
+		doc.Header = []string{first}
+		for _, md := range d.methods {
+			doc.Header = append(doc.Header, "NMSE("+methodLabels[md.key]+")")
+		}
+		n := 0
+		for _, a := range aggs {
+			if n == 0 || len(a.NMSE) < n {
+				n = len(a.NMSE)
+			}
+		}
+		for _, i := range stats.LogBuckets(n, 4) {
+			row := []string{fmt.Sprintf("%d", i)}
+			for _, md := range d.methods {
+				row = append(row, fmtG(nmseAt(byKey[md.key].NMSE, i)))
+			}
+			doc.Rows = append(doc.Rows, row)
+		}
+		gmRow := []string{"geo-mean"}
+		for _, md := range d.methods {
+			gmRow = append(gmRow, fmtG(byKey[md.key].GM))
+		}
+		doc.Rows = append(doc.Rows, gmRow)
+	}
+
+	if d.kind == artDensity {
+		doc.Checks = densityChecks(d.id, byKey, g)
+	}
+	for _, c := range d.checks {
+		ga, gb := byKey[c.a].GM, byKey[c.b].GM
+		doc.Checks = append(doc.Checks, CheckResult{
+			Artifact: d.id,
+			Name:     c.name,
+			Pass:     ga <= gb*c.factor,
+			Detail: fmt.Sprintf("gm NMSE %s=%s vs %s=%s (factor %s)",
+				methodLabels[c.a], fmtG(ga), methodLabels[c.b], fmtG(gb), fmtG(c.factor)),
+		})
+	}
+
+	jsonBytes, err = json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return doc, nil, nil, fmt.Errorf("sweep: encode %s artifact: %w", d.id, err)
+	}
+	jsonBytes = append(jsonBytes, '\n')
+
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write(doc.Header); err != nil {
+		return doc, nil, nil, err
+	}
+	if err := w.WriteAll(doc.Rows); err != nil {
+		return doc, nil, nil, err
+	}
+	return doc, jsonBytes, buf.Bytes(), nil
+}
+
+// nmseAt indexes an NMSE curve defensively.
+func nmseAt(nmse []float64, i int) float64 {
+	if i < 0 || i >= len(nmse) {
+		return invalidNMSE
+	}
+	return nmse[i]
+}
+
+// fmtG renders a figure value: 6 significant digits, with undefined
+// errors printed as "n/a".
+func fmtG(v float64) string {
+	if v == invalidNMSE || math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.6g", v)
+}
+
+// digestOf hex-encodes the sha256 of b — node-result and artifact
+// digests both use it.
+func digestOf(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

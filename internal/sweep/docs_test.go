@@ -1,0 +1,119 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"frontier/internal/experiments"
+)
+
+// indexRow matches one row of the EXPERIMENTS.md artifact index:
+// | `fig1` | Figure 1 | ... | in-process, sweep |
+var indexRow = regexp.MustCompile("(?m)^\\| `([a-z0-9-]+)` \\|(.*)\\|\\s*$")
+
+// TestExperimentsDocMatchesRegistries diffs docs/EXPERIMENTS.md
+// against the two registries it documents: every experiment id must
+// appear in the artifact index, the "sweep" markings must match
+// Supported(), and each sweep section must state the estimand,
+// methods, budget rule and shape checks the executor actually uses.
+// This is the acceptance criterion keeping the reproduction map
+// honest.
+func TestExperimentsDocMatchesRegistries(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "EXPERIMENTS.md"))
+	if err != nil {
+		t.Fatalf("docs/EXPERIMENTS.md must exist: %v", err)
+	}
+	doc := string(raw)
+
+	// Index ↔ experiment registry, both directions.
+	documented := make(map[string]bool) // id -> marked sweep-runnable
+	for _, m := range indexRow.FindAllStringSubmatch(doc, -1) {
+		if _, seen := documented[m[1]]; seen {
+			// Later tables reuse ids (per-artifact sections, refusal
+			// reasons); only the first (index) hit decides the marking.
+			continue
+		}
+		cols := strings.Split(m[2], "|")
+		documented[m[1]] = strings.Contains(cols[len(cols)-1], "sweep")
+	}
+	registered := experiments.IDs()
+	for _, id := range registered {
+		if _, ok := documented[id]; !ok {
+			t.Errorf("experiment %q is registered but missing from the EXPERIMENTS.md index", id)
+		}
+	}
+	byID := make(map[string]bool, len(registered))
+	for _, id := range registered {
+		byID[id] = true
+	}
+	for id := range documented {
+		if !byID[id] {
+			t.Errorf("EXPERIMENTS.md documents %q, which is not a registered experiment", id)
+		}
+	}
+
+	// Sweep-runnable markings ↔ sweep registry.
+	supported := make(map[string]bool)
+	for _, id := range Supported() {
+		supported[id] = true
+		if !documented[id] {
+			t.Errorf("artifact %q is sweep-runnable but not marked \"sweep\" in the index", id)
+		}
+	}
+	for id, sweepable := range documented {
+		if sweepable && !supported[id] {
+			t.Errorf("EXPERIMENTS.md marks %q sweep-runnable, but sweep.Supported() does not include it", id)
+		}
+	}
+
+	// Each sweep-runnable artifact has a section stating what the
+	// executor actually does. Markdown tables escape the pipes in
+	// budget rules like |V|/100, so compare with backslashes stripped.
+	sections := make(map[string]string)
+	parts := strings.Split(doc, "\n### ")
+	for _, p := range parts[1:] {
+		id, body, _ := strings.Cut(p, "\n")
+		sections[strings.TrimSpace(id)] = strings.ReplaceAll(body, "\\", "")
+	}
+	for _, d := range Defs() {
+		sec, ok := sections[d.ID]
+		if !ok {
+			t.Errorf("EXPERIMENTS.md lacks a \"### %s\" sweep section", d.ID)
+			continue
+		}
+		if !strings.Contains(sec, d.Paper) {
+			t.Errorf("section %s: missing paper locus %q", d.ID, d.Paper)
+		}
+		if !strings.Contains(sec, "`"+d.Estimand+"`") {
+			t.Errorf("section %s: missing estimand `%s`", d.ID, d.Estimand)
+		}
+		if !strings.Contains(sec, d.BudgetRule) {
+			t.Errorf("section %s: missing budget rule %q", d.ID, d.BudgetRule)
+		}
+		for _, m := range d.Methods {
+			if !strings.Contains(sec, "`"+m+"`") {
+				t.Errorf("section %s: missing method `%s`", d.ID, m)
+			}
+		}
+		for _, c := range d.Checks {
+			if !strings.Contains(sec, c) {
+				t.Errorf("section %s: missing check %q", d.ID, c)
+			}
+		}
+	}
+
+	// Every in-process-only id documents the exact refusal reason the
+	// server returns.
+	for _, id := range registered {
+		reason := UnsupportedReason(id)
+		if reason == "" {
+			continue
+		}
+		if !strings.Contains(doc, reason) {
+			t.Errorf("EXPERIMENTS.md missing the refusal reason for %q: %q", id, reason)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+package sweep
+
+import (
+	"fmt"
+
+	"frontier/internal/experiments"
+	"frontier/internal/graph"
+	"frontier/internal/jobs"
+)
+
+// artifactKind selects how an artifact's runs aggregate into a figure.
+type artifactKind string
+
+const (
+	// artCurve: cumulative NMSE of the symmetric-degree CCDF per
+	// degree threshold, geometric-mean summarized (fig1/fig5-family).
+	artCurve artifactKind = "curve"
+	// artDensity: NMSE of per-degree densities recovered by CCDF
+	// inversion (fig12).
+	artDensity artifactKind = "density"
+	// artGroups: NMSE of the most popular groups' densities (fig14).
+	artGroups artifactKind = "groups"
+	// artScalar: bias and NMSE of a scalar estimand (table2/table3).
+	artScalar artifactKind = "scalar"
+)
+
+// methodDef is one method column of an artifact: the node-id key, the
+// jobs method name, and how its walker count is chosen.
+type methodDef struct {
+	key    string
+	method string
+	// paperM scales the paper's walker count to the hosted budget via
+	// experiments.WalkersFor; fixedM pins it outright. Zero both for
+	// walker-free methods.
+	paperM int
+	fixedM int
+}
+
+// checkCmp is one declarative shape check: pass when the geometric
+// mean error of method a is at most factor times method b's.
+type checkCmp struct {
+	a, b   string
+	factor float64
+	name   string
+}
+
+// artifactDef describes how one paper artifact is produced as a sweep
+// over the hosted graph.
+type artifactDef struct {
+	id       string
+	paper    string // paper locus, e.g. "Figure 5"
+	kind     artifactKind
+	estimand string // jobs estimator name
+	// budgetDiv sets the sampling budget B = |V| / budgetDiv (the
+	// paper's B = 0.1|V| and B = 0.01|V| regimes).
+	budgetDiv   int
+	methods     []methodDef
+	checks      []checkCmp
+	needsGroups bool
+	note        string
+}
+
+// methodLabels maps method keys to the labels figures print.
+var methodLabels = map[string]string{
+	"fs":       "FS",
+	"single":   "SingleRW",
+	"multiple": "MultipleRW",
+	"mhrw":     "MHRW",
+	"re":       "RandomEdge",
+	"rv":       "RandomVertex",
+}
+
+// defs lists the sweep-supported artifacts in registry order. The
+// service estimand for degree figures is the symmetric-degree CCDF
+// (the live kernel's vector estimand); the in-process suite's
+// per-dataset degree facets (in/out) remain CLI-only.
+var defs = []artifactDef{
+	{
+		id: "fig1", paper: "Figure 1", kind: artCurve, estimand: "degreedist",
+		budgetDiv: 10,
+		methods: []methodDef{
+			{key: "single", method: "single"},
+			{key: "multiple", method: "multiple", fixedM: 10},
+		},
+		checks: []checkCmp{
+			{"single", "multiple", 1.0, "SingleRW more accurate than MultipleRW(10)"},
+		},
+		note: "B=|V|/10; the paper's point: independent short walks hurt",
+	},
+	{
+		id: "fig5", paper: "Figure 5", kind: artCurve, estimand: "degreedist",
+		budgetDiv: 100,
+		methods: []methodDef{
+			{key: "fs", method: "fs", paperM: 1000},
+			{key: "single", method: "single"},
+			{key: "multiple", method: "multiple", paperM: 1000},
+		},
+		checks: []checkCmp{
+			{"fs", "single", 1.0, "FS more accurate than SingleRW"},
+			{"fs", "multiple", 1.0, "FS more accurate than MultipleRW"},
+		},
+		note: "B=|V|/100; the headline FS-vs-baselines comparison",
+	},
+	{
+		id: "fig12", paper: "Figure 12", kind: artDensity, estimand: "degreedist",
+		budgetDiv: 100,
+		methods: []methodDef{
+			{key: "re", method: "re"},
+			{key: "fs", method: "fs", paperM: 1000},
+			{key: "rv", method: "rv"},
+		},
+		note: "B=|V|/100; densities recovered from the estimated CCDF",
+	},
+	{
+		id: "fig14", paper: "Figure 14", kind: artGroups, estimand: "groupdensity",
+		budgetDiv: 10,
+		methods: []methodDef{
+			{key: "fs", method: "fs", paperM: 100},
+			{key: "single", method: "single"},
+			{key: "multiple", method: "multiple", paperM: 100},
+		},
+		checks: []checkCmp{
+			{"fs", "single", 1.1, "FS at least as accurate as SingleRW"},
+			{"fs", "multiple", 1.1, "FS at least as accurate as MultipleRW"},
+		},
+		needsGroups: true,
+		note:        "B=|V|/10; densities of the most popular groups",
+	},
+	{
+		id: "table2", paper: "Table 2", kind: artScalar, estimand: "assortativity",
+		budgetDiv: 100,
+		methods: []methodDef{
+			{key: "fs", method: "fs", paperM: 1000},
+			{key: "single", method: "single"},
+			{key: "multiple", method: "multiple", paperM: 1000},
+		},
+		checks: []checkCmp{
+			{"fs", "single", 1.0, "FS assortativity NMSE below SingleRW"},
+			{"fs", "multiple", 1.0, "FS assortativity NMSE below MultipleRW"},
+		},
+		note: "B=|V|/100; joint-degree estimand over sampled edges",
+	},
+	{
+		id: "table3", paper: "Table 3", kind: artScalar, estimand: "clustering",
+		budgetDiv: 100,
+		methods: []methodDef{
+			{key: "fs", method: "fs", paperM: 1000},
+			{key: "single", method: "single"},
+			{key: "multiple", method: "multiple", paperM: 1000},
+		},
+		checks: []checkCmp{
+			{"fs", "single", 1.5, "FS clustering NMSE within 1.5x of SingleRW"},
+			{"fs", "multiple", 1.5, "FS clustering NMSE within 1.5x of MultipleRW"},
+		},
+		note: "B=|V|/100; triangle estimand over sampled edges",
+	},
+	{
+		id: "ext-mhrw", paper: "Extension", kind: artCurve, estimand: "degreedist",
+		budgetDiv: 100,
+		methods: []methodDef{
+			{key: "single", method: "single"},
+			{key: "mhrw", method: "mhrw"},
+		},
+		checks: []checkCmp{
+			{"single", "mhrw", 1.1, "plain RW at least as accurate as MHRW"},
+		},
+		note: "B=|V|/100; reweighted RW vs Metropolis-Hastings RW",
+	},
+}
+
+// unsupported maps every registry artifact the sweep service does not
+// run to the reason, so docs/EXPERIMENTS.md can state it and the
+// registry-diff test can verify the two sets partition the registry.
+var unsupported = map[string]string{
+	"table1":          "pure dataset-property table; nothing to sample",
+	"fig3":            "exact CCDF plot of a dataset property; nothing to sample",
+	"fig4":            "same engine as fig5 — host the LCC graph and sweep fig5",
+	"fig6":            "per-step sample paths need in-process estimate traces, not terminal job estimates",
+	"fig7":            "exact CCDF plot of a dataset property; nothing to sample",
+	"fig8":            "same engine as fig5 — host the corresponding graph and sweep fig5",
+	"fig9":            "per-step sample paths need in-process estimate traces, not terminal job estimates",
+	"fig10":           "same engine as fig5 — host the corresponding graph and sweep fig5",
+	"fig11":           "stationary-start baselines need warm-started walkers the job surface does not expose",
+	"fig13":           "sparse-id hit-ratio cost model is simulated in-process, not a service method",
+	"table4":          "transient edge-sampling probabilities come from closed-form matrix powers, not jobs",
+	"ext-burnin":      "burn-in remedy needs discard-prefix samplers outside the method registry",
+	"ext-dimension":   "per-point walker-count sweep is kept in-process alongside its cost model",
+	"ext-communities": "generates a fresh SBM graph per sweep point rather than sampling a hosted one",
+}
+
+// Supported returns the sweep-runnable artifact ids in registry order.
+func Supported() []string {
+	ids := make([]string, len(defs))
+	for i, d := range defs {
+		ids[i] = d.id
+	}
+	return ids
+}
+
+// UnsupportedReason returns why the given registry artifact is not
+// sweep-runnable ("" for supported or unknown ids).
+func UnsupportedReason(id string) string { return unsupported[id] }
+
+// defByID resolves a supported artifact id.
+func defByID(id string) (artifactDef, bool) {
+	for _, d := range defs {
+		if d.id == id {
+			return d, true
+		}
+	}
+	return artifactDef{}, false
+}
+
+// DefInfo is the documentation-facing description of one supported
+// artifact: what docs/EXPERIMENTS.md's table states and the
+// registry-diff test cross-checks.
+type DefInfo struct {
+	// ID is the artifact id.
+	ID string
+	// Paper is the paper locus the artifact reproduces.
+	Paper string
+	// Estimand is the jobs estimator the sweep's jobs run.
+	Estimand string
+	// BudgetRule renders the budget regime, e.g. "|V|/100".
+	BudgetRule string
+	// Methods lists the swept method keys in column order.
+	Methods []string
+	// Checks lists the encoded shape-check names.
+	Checks []string
+	// NeedsGroups marks artifacts requiring hosted group labels.
+	NeedsGroups bool
+}
+
+// Defs returns the documentation-facing descriptions of the supported
+// artifacts in registry order.
+func Defs() []DefInfo {
+	out := make([]DefInfo, len(defs))
+	for i, d := range defs {
+		info := DefInfo{
+			ID:          d.id,
+			Paper:       d.paper,
+			Estimand:    d.estimand,
+			BudgetRule:  fmt.Sprintf("|V|/%d", d.budgetDiv),
+			NeedsGroups: d.needsGroups,
+		}
+		for _, m := range d.methods {
+			info.Methods = append(info.Methods, m.key)
+		}
+		for _, c := range d.checks {
+			info.Checks = append(info.Checks, c.name)
+		}
+		if d.kind == artDensity {
+			info.Checks = append(info.Checks, densityCheckNames()...)
+		}
+		out[i] = info
+	}
+	return out
+}
+
+// minBudget floors the sampling budget so degenerate tiny graphs
+// still take a few steps per job.
+const minBudget = 8.0
+
+// budgetFor computes an artifact's sampling budget on a hosted graph.
+func (d artifactDef) budgetFor(g *graph.Graph) float64 {
+	b := float64(g.NumVertices()) / float64(d.budgetDiv)
+	if b < minBudget {
+		b = minBudget
+	}
+	return b
+}
+
+// walkersFor resolves one method column's walker count under budget b.
+func (md methodDef) walkersFor(b float64) int {
+	if md.fixedM > 0 {
+		return md.fixedM
+	}
+	if md.paperM > 0 {
+		return experiments.WalkersFor(b, md.paperM)
+	}
+	return 0
+}
+
+// plan expands a normalized spec into the sweep's DAG nodes over the
+// hosted graph. Node order is deterministic (artifact order, then
+// method order, then run index, then aggregation, then figure) — the
+// executor and aggregators rely on it for byte-identical artifacts.
+func plan(sp Spec, g *graph.Graph, gl *graph.GroupLabels) ([]*node, error) {
+	var picked []artifactDef
+	if sp.Artifact == "all" {
+		picked = defs
+	} else {
+		d, ok := defByID(sp.Artifact)
+		if !ok {
+			if reason := UnsupportedReason(sp.Artifact); reason != "" {
+				return nil, fmt.Errorf("sweep: artifact %q is not sweep-runnable: %s", sp.Artifact, reason)
+			}
+			return nil, fmt.Errorf("sweep: unknown artifact %q (runnable: %v, or \"all\")", sp.Artifact, Supported())
+		}
+		if d.needsGroups && gl == nil {
+			return nil, fmt.Errorf("sweep: artifact %q needs group labels, which graph %q does not carry", sp.Artifact, sp.Graph)
+		}
+		picked = []artifactDef{d}
+	}
+
+	var nodes []*node
+	for _, d := range picked {
+		if d.needsGroups && gl == nil {
+			// Under "all", inapplicable artifacts stay visible in the
+			// DAG as one planned-skipped figure node.
+			nodes = append(nodes, &node{
+				id: d.id + "/figure", kind: kindFigure, level: 2,
+				artifact: d.id, planSkip: "graph has no group labels",
+				state: NodePending,
+			})
+			continue
+		}
+		nodes = append(nodes, d.planNodes(sp, g)...)
+	}
+	return nodes, nil
+}
+
+// planNodes expands one artifact into its job, aggregation, and
+// figure nodes.
+func (d artifactDef) planNodes(sp Spec, g *graph.Graph) []*node {
+	budget := d.budgetFor(g)
+	var nodes []*node
+	aggIDs := make([]string, 0, len(d.methods))
+	for _, md := range d.methods {
+		salt := experiments.Salt(d.id + "/" + md.key)
+		runIDs := make([]string, 0, sp.Runs)
+		for r := 0; r < sp.Runs; r++ {
+			id := fmt.Sprintf("%s/%s/run%03d", d.id, md.key, r)
+			nodes = append(nodes, &node{
+				id: id, kind: kindJob, level: 0,
+				artifact: d.id, method: md.key, run: r,
+				jobSpec: &jobs.Spec{
+					Graph:    sp.Graph,
+					Method:   md.method,
+					M:        md.walkersFor(budget),
+					Budget:   budget,
+					Seed:     experiments.RunSeed(sp.Seed, salt, r),
+					Estimate: d.estimand,
+				},
+				state: NodePending,
+			})
+			runIDs = append(runIDs, id)
+		}
+		aggID := d.id + "/agg/" + md.key
+		nodes = append(nodes, &node{
+			id: aggID, kind: kindAggregate, level: 1, deps: runIDs,
+			artifact: d.id, method: md.key, state: NodePending,
+		})
+		aggIDs = append(aggIDs, aggID)
+	}
+	nodes = append(nodes, &node{
+		id: d.id + "/figure", kind: kindFigure, level: 2, deps: aggIDs,
+		artifact: d.id, state: NodePending,
+	})
+	return nodes
+}
